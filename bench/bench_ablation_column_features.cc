@@ -1,0 +1,103 @@
+// Extension ablation: column classification (paper future work iii —
+// "whether column classification can help boost the classification
+// quality"). Compares Strudel^C with and without the 6-dim
+// ColumnClassProbability feature block, plus the standalone column
+// classifier's own quality.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "strudel/strudel_column.h"
+
+using namespace strudel;
+
+namespace {
+
+/// Harness adapter around the full StrudelCell pipeline (no caching —
+/// sized for this ablation only).
+class FullStrudelCellAlgo final : public eval::CellAlgo {
+ public:
+  FullStrudelCellAlgo(std::string name, StrudelCellOptions options)
+      : name_(std::move(name)), options_(std::move(options)) {}
+  std::string name() const override { return name_; }
+  Status Fit(const std::vector<AnnotatedFile>& files,
+             const std::vector<size_t>& train_indices) override {
+    model_ = std::make_unique<StrudelCell>(options_);
+    return model_->Fit(FilePointers(files, train_indices));
+  }
+  std::vector<std::vector<int>> Predict(
+      const std::vector<AnnotatedFile>& files, size_t file_index) override {
+    return model_->Predict(files[file_index].table).classes;
+  }
+
+ private:
+  std::string name_;
+  StrudelCellOptions options_;
+  std::unique_ptr<StrudelCell> model_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config = bench::ParseConfig(argc, argv);
+  bench::PrintConfig(
+      "Ablation: column classification (paper future work iii)", config);
+
+  for (const char* dataset : {"CIUS", "DeEx"}) {
+    auto corpus = bench::MakeCorpus(config, dataset);
+
+    // Standalone column classifier quality (grouped train/test split).
+    {
+      const size_t test_count = std::max<size_t>(1, corpus.size() / 5);
+      std::vector<AnnotatedFile> train(corpus.begin(),
+                                       corpus.end() - test_count);
+      std::vector<AnnotatedFile> test(corpus.end() - test_count,
+                                      corpus.end());
+      StrudelColumnOptions options;
+      options.forest.num_trees = config.trees;
+      options.forest.seed = config.seed;
+      StrudelColumn column_model(options);
+      if (column_model.Fit(train).ok()) {
+        ml::ConfusionMatrix confusion(kNumElementClasses);
+        for (const AnnotatedFile& file : test) {
+          const std::vector<int> actual = ColumnLabelsFromCells(
+              file.annotation.cell_labels, file.table.num_cols());
+          const ColumnPrediction prediction =
+              column_model.Predict(file.table);
+          for (size_t c = 0; c < actual.size(); ++c) {
+            if (actual[c] >= 0 && prediction.classes[c] >= 0) {
+              confusion.Add(actual[c], prediction.classes[c]);
+            }
+          }
+        }
+        std::printf("%s standalone column classifier: accuracy %.3f, "
+                    "macro-F1 %.3f (%lld columns)\n",
+                    dataset, confusion.Accuracy(), confusion.MacroF1(),
+                    confusion.total());
+      }
+    }
+
+    // Strudel^C with / without the column-probability block.
+    StrudelCellOptions base;
+    base.forest.num_trees = config.trees;
+    base.forest.seed = config.seed;
+    base.line.forest.num_trees = config.trees;
+    base.line.forest.seed = config.seed;
+    base.line_cross_fit_folds = 2;
+    auto plain = std::make_shared<FullStrudelCellAlgo>("Strudel^C", base);
+    StrudelCellOptions with_columns = base;
+    with_columns.use_column_probabilities = true;
+    auto extended = std::make_shared<FullStrudelCellAlgo>(
+        "Strudel^C+columns", with_columns);
+
+    eval::CvOptions cv = bench::MakeCv(config);
+    cv.folds = std::min(cv.folds, 4);  // full pipeline per fold: keep lean
+    auto results = eval::RunCellCv(corpus, {plain, extended}, cv);
+    std::printf("%s\n", eval::FormatResultsTable(dataset, results,
+                                                 "# cells")
+                            .c_str());
+  }
+  std::printf(
+      "extension beyond the paper: quantifies future-work direction iii\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Preprocessing quality: dialect detection accuracy (paper §6.1 applies
+// van den Burg et al. as general preprocessing; on Mendeley's intricate
+// plain-text dialects it "cannot reliably discover the correct dialect
+// for all files" — only 62 of 100 sampled files were parse-able).
+//
+// This bench serialises generated corpora in randomly drawn dialects
+// WITHOUT quoting — the plain-text-file condition, where prose lines and
+// thousands-separated numbers collide with the delimiter — and measures
+// how often the detector still recovers the delimiter, and how often the
+// file parses back to its original shape (the paper's "parse-able"
+// criterion).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "csv/dialect_detector.h"
+#include "csv/reader.h"
+#include "csv/writer.h"
+#include "eval/table_printer.h"
+
+using namespace strudel;
+using eval::TablePrinter;
+
+int main(int argc, char** argv) {
+  auto config = bench::ParseConfig(argc, argv);
+  bench::PrintConfig("Preprocessing: dialect detection accuracy", config);
+
+  const char kDelimiters[] = {',', ';', '\t', '|'};
+  TablePrinter printer({"Dataset", "files", "delimiter recovered",
+                        "parse-able (shape kept)"});
+  for (const char* dataset :
+       {"GovUK", "SAUS", "CIUS", "DeEx", "Mendeley", "Troy"}) {
+    const double extra = std::string(dataset) == "Mendeley"
+                             ? bench::MendeleyExtraScale(config)
+                             : 1.0;
+    auto corpus = bench::MakeCorpus(config, dataset, extra);
+    Rng rng(config.seed ^ 0xD1A1EC7ULL);
+    int delimiter_ok = 0, dialect_ok = 0;
+    for (const AnnotatedFile& file : corpus) {
+      csv::Dialect dialect;
+      dialect.delimiter = kDelimiters[rng.UniformInt(uint64_t{4})];
+      dialect.quote = '\0';  // plain-text condition: no quoting at all
+      const std::string text = csv::WriteTable(file.table, dialect);
+      auto detected = csv::DetectDialect(text);
+      if (!detected.ok()) continue;
+      if (detected->delimiter == dialect.delimiter) {
+        ++delimiter_ok;
+        // "Parse-able": re-reading with the detected dialect preserves
+        // the original table-region shape (row count and width).
+        csv::ReaderOptions reader_options;
+        reader_options.dialect = *detected;
+        auto parsed = csv::ReadTable(text, reader_options);
+        if (parsed.ok() && parsed->num_rows() == file.table.num_rows() &&
+            parsed->num_cols() == file.table.num_cols()) {
+          ++dialect_ok;
+        }
+      }
+    }
+    const double n = static_cast<double>(corpus.size());
+    printer.AddRow({dataset, TablePrinter::Count(corpus.size()),
+                    TablePrinter::Percent(delimiter_ok / n),
+                    TablePrinter::Percent(dialect_ok / n)});
+  }
+  std::printf("%s\n", printer.ToString().c_str());
+  std::printf(
+      "paper anchor: detection is reliable on report-style corpora and "
+      "weakest on Mendeley-style plain-text files (62/100 parse-able in "
+      "the paper's sample)\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 3: percentage of lines per cell-class diversity degree (the number
+// of distinct non-empty cell classes in a line) for SAUS, CIUS and DeEx.
+//
+// Paper values: SAUS 86.3/13.7/0/0/0, CIUS 88.7/11.2/0.1/0/0,
+// DeEx 95.3/4.6/0.1/0/0.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/table_printer.h"
+
+using strudel::datagen::ComputeStats;
+using strudel::eval::TablePrinter;
+
+int main(int argc, char** argv) {
+  auto config = strudel::bench::ParseConfig(argc, argv);
+  strudel::bench::PrintConfig("Table 3: cell-class diversity degree",
+                              config);
+
+  TablePrinter printer({"Dataset", "1", "2", "3", "4", "5"});
+  const double paper[3][5] = {
+      {86.3, 13.7, 0.0, 0.0, 0.0},
+      {88.7, 11.2, 0.1, 0.0, 0.0},
+      {95.3, 4.6, 0.1, 0.0, 0.0},
+  };
+  const char* names[3] = {"SAUS", "CIUS", "DeEx"};
+  for (int d = 0; d < 3; ++d) {
+    auto corpus = strudel::bench::MakeCorpus(config, names[d]);
+    auto stats = ComputeStats(corpus);
+    std::vector<std::string> row = {names[d]};
+    for (int degree = 1; degree <= 5; ++degree) {
+      row.push_back(TablePrinter::Percent(stats.DiversityShare(degree)));
+    }
+    printer.AddRow(std::move(row));
+    std::vector<std::string> paper_row = {std::string(names[d]) + " (paper)"};
+    for (int degree = 0; degree < 5; ++degree) {
+      paper_row.push_back(TablePrinter::Percent(paper[d][degree] / 100.0));
+    }
+    printer.AddRow(std::move(paper_row));
+    printer.AddSeparator();
+  }
+  std::printf("%s\n", printer.ToString().c_str());
+  return 0;
+}

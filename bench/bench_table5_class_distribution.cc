@@ -1,0 +1,56 @@
+// Table 5: number of lines / cells per class and cells-per-line over the
+// SAUS + CIUS + DeEx collection.
+//
+// Paper: metadata 2213/2479/1.12, header 2232/19047/8.53, group
+// 1767/6143/3.48, data 114354/1202058/10.51, derived 1406/76996/54.76,
+// notes 2036/2445/1.20.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "eval/table_printer.h"
+
+using strudel::ElementClassName;
+using strudel::kNumElementClasses;
+using strudel::datagen::ComputeStats;
+using strudel::eval::TablePrinter;
+
+int main(int argc, char** argv) {
+  auto config = strudel::bench::ParseConfig(argc, argv);
+  strudel::bench::PrintConfig(
+      "Table 5: per-class distribution (SAUS+CIUS+DeEx)", config);
+
+  auto collection = strudel::datagen::ConcatCorpora(
+      {strudel::bench::MakeCorpus(config, "SAUS"),
+       strudel::bench::MakeCorpus(config, "CIUS"),
+       strudel::bench::MakeCorpus(config, "DeEx")});
+  auto stats = ComputeStats(collection);
+
+  const long long paper_lines[6] = {2213, 2232, 1767, 114354, 1406, 2036};
+  const long long paper_cells[6] = {2479, 19047, 6143, 1202058, 76996, 2445};
+
+  TablePrinter printer({"class", "# lines", "# cells", "cells/line",
+                        "paper lines", "paper cells", "paper c/l"});
+  long long total_lines = 0, total_cells = 0;
+  for (int k = 0; k < kNumElementClasses; ++k) {
+    total_lines += stats.lines_per_class[k];
+    total_cells += stats.cells_per_class[k];
+    printer.AddRow(
+        {std::string(ElementClassName(k)),
+         TablePrinter::Count(stats.lines_per_class[k]),
+         TablePrinter::Count(stats.cells_per_class[k]),
+         strudel::StrFormat("%.2f", stats.CellsPerLine(k)),
+         TablePrinter::Count(paper_lines[k]),
+         TablePrinter::Count(paper_cells[k]),
+         strudel::StrFormat("%.2f", static_cast<double>(paper_cells[k]) /
+                                        paper_lines[k])});
+  }
+  printer.AddSeparator();
+  printer.AddRow({"Overall", TablePrinter::Count(total_lines),
+                  TablePrinter::Count(total_cells), "-",
+                  TablePrinter::Count(124006),
+                  TablePrinter::Count(1309168), "-"});
+  std::printf("%s\n", printer.ToString().c_str());
+  return 0;
+}

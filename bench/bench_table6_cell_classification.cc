@@ -1,0 +1,46 @@
+// Table 6 (bottom): cell-classification comparison — Line^C vs RNN^C vs
+// Strudel^C on SAUS, CIUS, DeEx. Per-class F1, accuracy and macro-average
+// F1 under repeated grouped k-fold cross-validation.
+//
+// Paper macro-averages: SAUS .753/.762/.890, CIUS .725/.825/.884,
+// DeEx .528/.559/.700 (Line/RNN/Strudel). Expected shape: Strudel^C
+// leads; Line^C fails on group/derived cells that co-occur with data in
+// one line; RNN^C sits between.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace strudel;
+
+int main(int argc, char** argv) {
+  auto config = bench::ParseConfig(argc, argv);
+  bench::PrintConfig("Table 6 (bottom): cell classification", config);
+
+  const double paper_macro[3][3] = {{.753, .762, .890},
+                                    {.725, .825, .884},
+                                    {.528, .559, .700}};
+  const char* datasets[3] = {"SAUS", "CIUS", "DeEx"};
+
+  for (int d = 0; d < 3; ++d) {
+    auto corpus = bench::MakeCorpus(config, datasets[d]);
+
+    auto line_cell = std::make_shared<eval::LineCellAlgo>(
+        bench::LineAlgoOptions(config));
+    auto rnn_cell = std::make_shared<eval::RnnCellAlgo>(
+        bench::RnnAlgoOptions(config));
+    auto strudel_cell = std::make_shared<eval::StrudelCellAlgo>(
+        bench::CellAlgoOptions(config));
+
+    auto results = eval::RunCellCv(corpus,
+                                   {line_cell, rnn_cell, strudel_cell},
+                                   bench::MakeCv(config));
+    std::printf("%s", eval::FormatResultsTable(datasets[d], results,
+                                               "# cells")
+                          .c_str());
+    std::printf("paper macro-avg: Line^C %.3f  RNN^C %.3f  "
+                "Strudel^C %.3f\n\n",
+                paper_macro[d][0], paper_macro[d][1], paper_macro[d][2]);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table 6 (top): line-classification comparison — CRF^L vs Pytheas^L vs
+// Strudel^L on GovUK, SAUS, CIUS, DeEx. Per-class F1, accuracy and
+// macro-average F1 under repeated grouped k-fold cross-validation.
+//
+// Paper macro-averages: GovUK .733/.518/.751, SAUS .797/.836/.899,
+// CIUS .947/.692/.960, DeEx .475/.420/.710 (CRF/Pytheas/Strudel). The
+// expected *shape*: Strudel^L leads everywhere; Pytheas collapses on
+// minority classes outside SAUS; everyone drops on DeEx.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace strudel;
+
+int main(int argc, char** argv) {
+  auto config = bench::ParseConfig(argc, argv);
+  bench::PrintConfig("Table 6 (top): line classification", config);
+
+  const double paper_macro[4][3] = {{.733, .518, .751},
+                                    {.797, .836, .899},
+                                    {.947, .692, .960},
+                                    {.475, .420, .710}};
+  const char* datasets[4] = {"GovUK", "SAUS", "CIUS", "DeEx"};
+
+  for (int d = 0; d < 4; ++d) {
+    auto corpus = bench::MakeCorpus(config, datasets[d]);
+
+    auto crf = std::make_shared<eval::CrfLineAlgo>(
+        bench::CrfAlgoOptions(config));
+    auto pytheas = std::make_shared<eval::PytheasLineAlgo>();
+    auto strudel_line = std::make_shared<eval::StrudelLineAlgo>(
+        bench::LineAlgoOptions(config));
+
+    auto results = eval::RunLineCv(corpus, {crf, pytheas, strudel_line},
+                                   bench::MakeCv(config));
+    std::printf("%s", eval::FormatResultsTable(datasets[d], results,
+                                               "# lines")
+                          .c_str());
+    std::printf("paper macro-avg: CRF^L %.3f  Pytheas^L %.3f  "
+                "Strudel^L %.3f\n\n",
+                paper_macro[d][0], paper_macro[d][1], paper_macro[d][2]);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table 7: out-of-domain generalisation — Strudel trained on the
+// SAUS + CIUS + DeEx collection, tested on the unseen Troy dataset, for
+// both line and cell classification.
+//
+// Paper: line macro .730 (data .937, derived .070), cell macro .683
+// (data .936, derived .216, group .232). Expected shape: data transfers,
+// derived collapses (Troy's derived lines carry no anchoring keywords),
+// group cells suffer with it.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace strudel;
+
+int main(int argc, char** argv) {
+  auto config = bench::ParseConfig(argc, argv);
+  bench::PrintConfig("Table 7: out-of-domain (Troy)", config);
+
+  auto train = datagen::ConcatCorpora({bench::MakeCorpus(config, "SAUS"),
+                                       bench::MakeCorpus(config, "CIUS"),
+                                       bench::MakeCorpus(config, "DeEx")});
+  auto test = bench::MakeCorpus(config, "Troy");
+
+  eval::StrudelLineAlgo line_algo(bench::LineAlgoOptions(config));
+  eval::EvalResult line_result = eval::TrainTestLine(train, test, line_algo);
+  std::printf("%s", eval::FormatResultsTable("Troy (lines)", {line_result},
+                                             "# lines")
+                        .c_str());
+  std::printf("paper per-class F1: metadata .935 header .798 group .667 "
+              "data .937 derived .070 notes .971 | macro .730\n\n");
+
+  eval::StrudelCellAlgo cell_algo(bench::CellAlgoOptions(config));
+  eval::EvalResult cell_result = eval::TrainTestCell(train, test, cell_algo);
+  std::printf("%s", eval::FormatResultsTable("Troy (cells)", {cell_result},
+                                             "# cells")
+                        .c_str());
+  std::printf("paper per-class F1: metadata .921 header .840 group .232 "
+              "data .936 derived .216 notes .952 | macro .683\n");
+  return 0;
+}

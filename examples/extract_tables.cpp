@@ -1,0 +1,116 @@
+// Table extraction: the downstream task the paper motivates — turning a
+// verbose CSV file into clean machine-readable relational tables. Line
+// classes drive the segmentation: contiguous header+data(+derived) areas
+// become tables; metadata and notes are reported separately; derived
+// lines are dropped from the relational output (they are redundant
+// aggregates).
+//
+//   $ ./examples/extract_tables [input.csv]
+//
+// Without an argument, a built-in two-table demo file is used.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "csv/dialect_detector.h"
+#include "csv/reader.h"
+#include "csv/writer.h"
+#include "datagen/corpus.h"
+#include "strudel/segmentation.h"
+#include "strudel/strudel_line.h"
+
+using namespace strudel;
+
+namespace {
+
+const char kDemoFile[] =
+    "Enrollment by school 2018 to 2019\n"
+    "School,2018,2019\n"
+    "Northfield,120,130\n"
+    "Eastbrook,80,90\n"
+    "Total,200,220\n"
+    "\n"
+    "Staff by school\n"
+    "School,2018,2019\n"
+    "Northfield,12,14\n"
+    "Eastbrook,8,9\n"
+    "\n"
+    "Source: Ministry of Education\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Load input.
+  std::string raw_file = kDemoFile;
+  if (argc > 1) {
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    raw_file = buffer.str();
+  }
+
+  // Train the line classifier on a mixed synthetic corpus.
+  auto corpus = datagen::ConcatCorpora(
+      {datagen::GenerateCorpus(
+           datagen::ScaledProfile(datagen::SausProfile(), 0.08, 0.5), 1),
+       datagen::GenerateCorpus(
+           datagen::ScaledProfile(datagen::GovUkProfile(), 0.05, 0.3), 2)});
+  StrudelLineOptions options;
+  options.forest.num_trees = 30;
+  StrudelLine model(options);
+  if (!model.Fit(corpus).ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+
+  // Parse and classify.
+  auto dialect = csv::DetectDialect(raw_file);
+  if (!dialect.ok()) {
+    std::fprintf(stderr, "dialect detection failed\n");
+    return 1;
+  }
+  csv::ReaderOptions reader_options;
+  reader_options.dialect = *dialect;
+  auto parsed = csv::ReadTable(raw_file, reader_options);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse failed\n");
+    return 1;
+  }
+  const csv::Table& table = *parsed;
+  LinePrediction prediction = model.Predict(table);
+
+  // Segment the file and flatten the table bodies using the library's
+  // segmentation API (strudel/segmentation.h).
+  FileSegmentation segmentation = SegmentFile(table, prediction.classes);
+  std::vector<RelationalTable> tables =
+      ExtractRelationalTables(table, segmentation);
+
+  std::vector<std::string> metadata, notes;
+  for (int r : segmentation.metadata_rows) {
+    metadata.emplace_back(table.cell(r, 0));
+  }
+  for (int r : segmentation.notes_rows) notes.emplace_back(table.cell(r, 0));
+
+  // Report.
+  std::printf("metadata (%zu lines):\n", metadata.size());
+  for (const auto& line : metadata) std::printf("  %s\n", line.c_str());
+  std::printf("\nextracted %zu relational table(s):\n\n", tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    std::printf("--- table %zu (%zu rows) ---\n", t + 1,
+                tables[t].rows.size());
+    std::vector<std::vector<std::string>> out;
+    out.push_back(tables[t].header);
+    for (const auto& row : tables[t].rows) out.push_back(row);
+    std::printf("%s\n", csv::WriteCsv(out).c_str());
+  }
+  std::printf("notes (%zu lines):\n", notes.size());
+  for (const auto& line : notes) std::printf("  %s\n", line.c_str());
+  return 0;
+}

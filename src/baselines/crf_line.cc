@@ -1,0 +1,124 @@
+#include "baselines/crf_line.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace strudel::baselines {
+
+CrfLine::CrfLine(CrfLineOptions options)
+    : options_(std::move(options)), crf_(options_.crf) {}
+
+int CrfLine::LogBin(double value, int bins) {
+  value = Clamp(value, 0.0, 1.0);
+  if (value <= 0.0) return 0;
+  const int bin = 1 + static_cast<int>(std::floor(-std::log2(value)));
+  return std::min(bin, bins - 1);
+}
+
+namespace {
+
+// Column indices of the prior-work feature subset (see
+// CrfLineOptions::prior_work_features_only).
+std::vector<size_t> PriorWorkColumns(const strudel::LineFeatureOptions& options) {
+  static const char* kExcluded[] = {"DiscountedCumulativeGain",
+                                    "CellLengthDifferenceAbove",
+                                    "CellLengthDifferenceBelow",
+                                    "DerivedCoverage"};
+  std::vector<size_t> columns;
+  const std::vector<std::string> names = strudel::LineFeatureNames(options);
+  for (size_t i = 0; i < names.size(); ++i) {
+    bool excluded = false;
+    for (const char* name : kExcluded) {
+      if (names[i] == name) excluded = true;
+    }
+    if (!excluded) columns.push_back(i);
+  }
+  return columns;
+}
+
+}  // namespace
+
+ml::Matrix CrfLine::BuildSequenceFeatures(const csv::Table& table,
+                                          std::vector<int>* line_rows) const {
+  // Sequences run over non-empty lines (empty separators carry their
+  // signal through the contextual features).
+  ml::Matrix full = ExtractLineFeatures(table, options_.features);
+  ml::Matrix raw;
+  if (options_.prior_work_features_only) {
+    const std::vector<size_t> columns = PriorWorkColumns(options_.features);
+    raw = ml::Matrix(full.rows(), columns.size());
+    for (size_t r = 0; r < full.rows(); ++r) {
+      for (size_t i = 0; i < columns.size(); ++i) {
+        raw.at(r, i) = full.at(r, columns[i]);
+      }
+    }
+  } else {
+    raw = std::move(full);
+  }
+  const size_t d = raw.cols();
+  const size_t width = options_.logarithmic_binning
+                           ? d * static_cast<size_t>(options_.bins)
+                           : d;
+  ml::Matrix out(0, width);
+  std::vector<double> encoded(width, 0.0);
+  for (int r = 0; r < table.num_rows(); ++r) {
+    if (table.row_empty(r)) continue;
+    if (line_rows != nullptr) line_rows->push_back(r);
+    auto row = raw.row(static_cast<size_t>(r));
+    if (options_.logarithmic_binning) {
+      std::fill(encoded.begin(), encoded.end(), 0.0);
+      for (size_t f = 0; f < d; ++f) {
+        const int bin = LogBin(row[f], options_.bins);
+        encoded[f * static_cast<size_t>(options_.bins) +
+                static_cast<size_t>(bin)] = 1.0;
+      }
+      out.append_row(encoded);
+    } else {
+      out.append_row(row);
+    }
+  }
+  return out;
+}
+
+Status CrfLine::Fit(const std::vector<AnnotatedFile>& files) {
+  return Fit(FilePointers(files));
+}
+
+Status CrfLine::Fit(const std::vector<const AnnotatedFile*>& files) {
+  std::vector<ml::CrfSequence> sequences;
+  sequences.reserve(files.size());
+  for (const AnnotatedFile* file_ptr : files) {
+    const AnnotatedFile& file = *file_ptr;
+    ml::CrfSequence seq;
+    std::vector<int> line_rows;
+    seq.features = BuildSequenceFeatures(file.table, &line_rows);
+    seq.labels.reserve(line_rows.size());
+    for (int r : line_rows) {
+      seq.labels.push_back(
+          file.annotation.line_labels[static_cast<size_t>(r)]);
+    }
+    if (!seq.labels.empty()) sequences.push_back(std::move(seq));
+  }
+  if (sequences.empty()) {
+    return Status::InvalidArgument("crf_line: no labelled sequences");
+  }
+  STRUDEL_RETURN_IF_ERROR(crf_.Fit(sequences, kNumElementClasses));
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<int> CrfLine::Predict(const csv::Table& table) const {
+  std::vector<int> labels(static_cast<size_t>(std::max(table.num_rows(), 0)),
+                          kEmptyLabel);
+  std::vector<int> line_rows;
+  ml::Matrix features = BuildSequenceFeatures(table, &line_rows);
+  if (line_rows.empty()) return labels;
+  std::vector<int> path = crf_.Predict(features);
+  for (size_t i = 0; i < line_rows.size() && i < path.size(); ++i) {
+    labels[static_cast<size_t>(line_rows[i])] = path[i];
+  }
+  return labels;
+}
+
+}  // namespace strudel::baselines

@@ -1,0 +1,41 @@
+#include "baselines/line_cell.h"
+
+namespace strudel::baselines {
+
+LineCell::LineCell(strudel::StrudelLineOptions options)
+    : line_model_(std::move(options)) {}
+
+Status LineCell::Fit(const std::vector<AnnotatedFile>& files) {
+  return line_model_.Fit(files);
+}
+
+Status LineCell::Fit(const std::vector<const AnnotatedFile*>& files) {
+  return line_model_.Fit(files);
+}
+
+std::vector<std::vector<int>> LineCell::Predict(
+    const csv::Table& table) const {
+  return ExtendToCells(table, line_model_.Predict(table).classes);
+}
+
+std::vector<std::vector<int>> LineCell::ExtendToCells(
+    const csv::Table& table, const std::vector<int>& line_classes) {
+  std::vector<std::vector<int>> grid(
+      static_cast<size_t>(std::max(table.num_rows(), 0)),
+      std::vector<int>(static_cast<size_t>(std::max(table.num_cols(), 0)),
+                       kEmptyLabel));
+  for (int r = 0; r < table.num_rows(); ++r) {
+    const int line_class = static_cast<size_t>(r) < line_classes.size()
+                               ? line_classes[static_cast<size_t>(r)]
+                               : kEmptyLabel;
+    if (line_class == kEmptyLabel) continue;
+    for (int c = 0; c < table.num_cols(); ++c) {
+      if (!table.cell_empty(r, c)) {
+        grid[static_cast<size_t>(r)][static_cast<size_t>(c)] = line_class;
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace strudel::baselines

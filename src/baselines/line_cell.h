@@ -1,0 +1,42 @@
+// Line^C — the cell-classification baseline (paper §6.1.2): "This
+// approach simply extends the predicted class of a line from the result of
+// a Strudel^L execution to each non-empty cell in this line." Its failure
+// mode is structural: group and derived cells co-occurring with data cells
+// in one line all inherit the line's majority class (§6.2.2).
+
+#ifndef STRUDEL_BASELINES_LINE_CELL_H_
+#define STRUDEL_BASELINES_LINE_CELL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "strudel/strudel_line.h"
+
+namespace strudel::baselines {
+
+class LineCell {
+ public:
+  explicit LineCell(strudel::StrudelLineOptions options = {});
+
+  /// Trains the underlying Strudel^L model.
+  Status Fit(const std::vector<const AnnotatedFile*>& files);
+  Status Fit(const std::vector<AnnotatedFile>& files);
+
+  /// Cell label grid: every non-empty cell takes its line's predicted
+  /// class; empty cells carry kEmptyLabel.
+  std::vector<std::vector<int>> Predict(const csv::Table& table) const;
+
+  /// Extends an externally produced line prediction (used when the line
+  /// stage is shared with other algorithms in the eval harness).
+  static std::vector<std::vector<int>> ExtendToCells(
+      const csv::Table& table, const std::vector<int>& line_classes);
+
+  const strudel::StrudelLine& line_model() const { return line_model_; }
+
+ private:
+  strudel::StrudelLine line_model_;
+};
+
+}  // namespace strudel::baselines
+
+#endif  // STRUDEL_BASELINES_LINE_CELL_H_

@@ -1,0 +1,297 @@
+#include "baselines/pytheas_line.h"
+
+#include <array>
+#include <cmath>
+#include <functional>
+
+#include "common/string_util.h"
+#include "strudel/keywords.h"
+#include "types/value_parser.h"
+
+namespace strudel::baselines {
+
+namespace {
+
+// A fuzzy rule inspects a line in its table context and either abstains
+// (returns 0) or votes with sign: +1 = looks like data, -1 = non-data.
+using Rule = std::function<int(const csv::Table&, int row)>;
+
+double NumericRatio(const csv::Table& table, int row) {
+  const int non_empty = table.row_non_empty_count(row);
+  if (non_empty == 0) return 0.0;
+  int numeric = 0;
+  for (int c = 0; c < table.num_cols(); ++c) {
+    if (IsNumericType(table.cell_type(row, c))) ++numeric;
+  }
+  return static_cast<double>(numeric) / static_cast<double>(non_empty);
+}
+
+bool OnlyFirstCellNonEmpty(const csv::Table& table, int row) {
+  if (table.cell_empty(row, 0)) return false;
+  return table.row_non_empty_count(row) == 1;
+}
+
+int TypeAgreementWithNeighbor(const csv::Table& table, int row, int other) {
+  if (other < 0) return 0;
+  int agree = 0, non_empty = 0;
+  for (int c = 0; c < table.num_cols(); ++c) {
+    const DataType type = table.cell_type(row, c);
+    if (type == DataType::kEmpty) continue;
+    ++non_empty;
+    if (type == table.cell_type(other, c)) ++agree;
+  }
+  if (non_empty == 0) return 0;
+  const double ratio = static_cast<double>(agree) /
+                       static_cast<double>(non_empty);
+  if (ratio >= 0.8) return +1;
+  if (ratio <= 0.2) return -1;
+  return 0;
+}
+
+// The Pytheas-style fuzzy rule set. Each rule abstains when its pattern
+// does not apply.
+const std::vector<Rule>& Rules() {
+  static const std::vector<Rule>* rules = new std::vector<Rule>{
+      // R0: mostly numeric cells -> data.
+      [](const csv::Table& t, int r) {
+        return NumericRatio(t, r) >= 0.6 ? +1 : 0;
+      },
+      // R1: wide line (most columns filled) -> data.
+      [](const csv::Table& t, int r) {
+        const double fill = static_cast<double>(t.row_non_empty_count(r)) /
+                            static_cast<double>(t.num_cols());
+        return fill >= 0.75 && t.num_cols() >= 3 ? +1 : 0;
+      },
+      // R2: value types agree with the previous non-empty line -> data.
+      [](const csv::Table& t, int r) {
+        return TypeAgreementWithNeighbor(t, r, t.PrevNonEmptyRow(r));
+      },
+      // R3: value types agree with the next non-empty line -> data.
+      [](const csv::Table& t, int r) {
+        return TypeAgreementWithNeighbor(t, r, t.NextNonEmptyRow(r));
+      },
+      // R4: single populated cell -> non-data.
+      [](const csv::Table& t, int r) {
+        return t.row_non_empty_count(r) == 1 ? -1 : 0;
+      },
+      // R5: long free text in some cell -> non-data.
+      [](const csv::Table& t, int r) {
+        for (int c = 0; c < t.num_cols(); ++c) {
+          if (CountWords(t.cell(r, c)) >= 6) return -1;
+        }
+        return 0;
+      },
+      // R6: aggregation keyword present -> non-data.
+      [](const csv::Table& t, int r) {
+        return RowHasAggregationKeyword(t, r) ? -1 : 0;
+      },
+      // R7: all populated cells are strings while a neighbour is mostly
+      // numeric -> non-data (header-ish).
+      [](const csv::Table& t, int r) {
+        int strings = 0;
+        const int non_empty = t.row_non_empty_count(r);
+        if (non_empty == 0) return 0;
+        for (int c = 0; c < t.num_cols(); ++c) {
+          if (t.cell_type(r, c) == DataType::kString) ++strings;
+        }
+        if (strings != non_empty) return 0;
+        const int below = t.NextNonEmptyRow(r);
+        if (below >= 0 && NumericRatio(t, below) >= 0.6) return -1;
+        return 0;
+      },
+      // R8: first populated line of the file -> non-data.
+      [](const csv::Table& t, int r) {
+        return t.PrevNonEmptyRow(r) < 0 ? -1 : 0;
+      },
+      // R9: footnote marker shapes ("*", "(1)", "Note:", "Source:").
+      [](const csv::Table& t, int r) {
+        const std::string first = Trim(t.cell(r, 0));
+        if (first.empty()) return 0;
+        if (first[0] == '*' || first[0] == '(') return -1;
+        if (ContainsIgnoreCase(first, "note") ||
+            ContainsIgnoreCase(first, "source")) {
+          return -1;
+        }
+        return 0;
+      },
+  };
+  return *rules;
+}
+
+}  // namespace
+
+PytheasLine::PytheasLine(PytheasOptions options) : options_(options) {}
+
+std::vector<std::string> PytheasLine::RuleNames() {
+  return {"numeric_majority",  "wide_line",       "agrees_above",
+          "agrees_below",      "single_cell",     "long_text",
+          "aggregation_word",  "string_header",   "first_line",
+          "footnote_marker"};
+}
+
+Status PytheasLine::Fit(const std::vector<AnnotatedFile>& files) {
+  return Fit(FilePointers(files));
+}
+
+Status PytheasLine::Fit(const std::vector<const AnnotatedFile*>& files) {
+  const auto& rules = Rules();
+  // weight = precision of the rule's data/non-data votes on the training
+  // lines, Laplace-smoothed.
+  std::vector<double> correct(rules.size(), 0.0);
+  std::vector<double> fired(rules.size(), 0.0);
+  for (const AnnotatedFile* file_ptr : files) {
+    const AnnotatedFile& file = *file_ptr;
+    for (int r = 0; r < file.table.num_rows(); ++r) {
+      const int label = file.annotation.line_labels[static_cast<size_t>(r)];
+      if (label == kEmptyLabel) continue;
+      const bool is_data = label == static_cast<int>(ElementClass::kData) ||
+                           label == static_cast<int>(ElementClass::kDerived);
+      for (size_t i = 0; i < rules.size(); ++i) {
+        const int vote = rules[i](file.table, r);
+        if (vote == 0) continue;
+        fired[i] += 1.0;
+        if ((vote > 0) == is_data) correct[i] += 1.0;
+      }
+    }
+  }
+  weights_.assign(rules.size(), 0.0);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const double precision = (correct[i] + options_.smoothing) /
+                             (fired[i] + 2.0 * options_.smoothing);
+    // Centre at 0.5 so that coin-flip rules carry no weight.
+    weights_[i] = std::max(0.0, 2.0 * precision - 1.0);
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> PytheasLine::DataConfidences(
+    const csv::Table& table) const {
+  const auto& rules = Rules();
+  std::vector<double> confidences(static_cast<size_t>(table.num_rows()),
+                                  0.0);
+  for (int r = 0; r < table.num_rows(); ++r) {
+    if (table.row_empty(r)) continue;
+    double vote_sum = 0.0;
+    double weight_sum = 0.0;
+    for (size_t i = 0; i < rules.size(); ++i) {
+      const int vote = rules[i](table, r);
+      if (vote == 0) continue;
+      vote_sum += weights_[i] * (vote > 0 ? 1.0 : 0.0);
+      weight_sum += weights_[i];
+    }
+    confidences[static_cast<size_t>(r)] =
+        weight_sum > 0.0 ? vote_sum / weight_sum : 0.5;
+  }
+  return confidences;
+}
+
+std::vector<int> PytheasLine::Predict(const csv::Table& table) const {
+  const int rows = table.num_rows();
+  std::vector<int> labels(static_cast<size_t>(std::max(rows, 0)),
+                          kEmptyLabel);
+  if (rows == 0) return labels;
+
+  // Stage 1: binary data/non-data.
+  const std::vector<double> confidence = DataConfidences(table);
+  std::vector<bool> is_data(static_cast<size_t>(rows), false);
+  for (int r = 0; r < rows; ++r) {
+    is_data[static_cast<size_t>(r)] =
+        !table.row_empty(r) &&
+        confidence[static_cast<size_t>(r)] > options_.data_threshold;
+  }
+
+  // Stage 2: table bodies = maximal data runs (empty lines inside a run do
+  // not break it; a non-data line does).
+  struct Body {
+    int top;
+    int bottom;
+  };
+  std::vector<Body> bodies;
+  int run_start = -1, last_data = -1;
+  for (int r = 0; r <= rows; ++r) {
+    const bool data_line = r < rows && is_data[static_cast<size_t>(r)];
+    const bool empty_line = r < rows && table.row_empty(r);
+    if (data_line) {
+      if (run_start < 0) run_start = r;
+      last_data = r;
+    } else if (!empty_line && run_start >= 0) {
+      // Interior single non-data lines with only the first cell populated
+      // are group headers inside the body — they do not close the table.
+      const bool group_like = r < rows && OnlyFirstCellNonEmpty(table, r);
+      if (!group_like) {
+        bodies.push_back({run_start, last_data});
+        run_start = -1;
+      }
+    }
+    if (r == rows && run_start >= 0) bodies.push_back({run_start, last_data});
+  }
+
+  // Default: everything non-empty before the first body is metadata,
+  // everything after the last body is notes.
+  const int first_top = bodies.empty() ? rows : bodies.front().top;
+  const int last_bottom = bodies.empty() ? -1 : bodies.back().bottom;
+  for (int r = 0; r < rows; ++r) {
+    if (table.row_empty(r)) continue;
+    if (r < first_top) {
+      labels[static_cast<size_t>(r)] =
+          static_cast<int>(ElementClass::kMetadata);
+    } else if (r > last_bottom) {
+      labels[static_cast<size_t>(r)] = static_cast<int>(ElementClass::kNotes);
+    }
+  }
+
+  for (size_t b = 0; b < bodies.size(); ++b) {
+    const Body& body = bodies[b];
+    // Data lines inside the body.
+    for (int r = body.top; r <= body.bottom; ++r) {
+      if (table.row_empty(r)) continue;
+      if (is_data[static_cast<size_t>(r)]) {
+        labels[static_cast<size_t>(r)] =
+            static_cast<int>(ElementClass::kData);
+      } else if (OnlyFirstCellNonEmpty(table, r)) {
+        labels[static_cast<size_t>(r)] =
+            static_cast<int>(ElementClass::kGroup);
+      } else {
+        labels[static_cast<size_t>(r)] =
+            static_cast<int>(ElementClass::kData);
+      }
+    }
+    // Non-data lines between the previous body and this one: the line
+    // directly above the body is its header (up to two header lines);
+    // left-only lines are groups; the rest is metadata.
+    const int region_start =
+        b == 0 ? 0 : bodies[b - 1].bottom + 1;
+    // Headers are the lines *immediately* above the body: the budget ends
+    // at the first empty separator, at a single-cell line, or after two
+    // header lines; everything further up is metadata.
+    int header_budget = 2;
+    bool in_header_zone = true;
+    for (int r = body.top - 1; r >= region_start; --r) {
+      if (table.row_empty(r)) {
+        in_header_zone = false;
+        continue;
+      }
+      if (in_header_zone && header_budget > 0 &&
+          !OnlyFirstCellNonEmpty(table, r)) {
+        labels[static_cast<size_t>(r)] =
+            static_cast<int>(ElementClass::kHeader);
+        --header_budget;
+        continue;
+      }
+      in_header_zone = false;
+      if (OnlyFirstCellNonEmpty(table, r) && r + 1 <= body.top &&
+          header_budget < 2) {
+        // Group label sitting between metadata and the header block.
+        labels[static_cast<size_t>(r)] =
+            static_cast<int>(ElementClass::kGroup);
+      } else {
+        labels[static_cast<size_t>(r)] =
+            static_cast<int>(ElementClass::kMetadata);
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace strudel::baselines

@@ -1,0 +1,65 @@
+// Pytheas^L — rule-based line classification baseline (Christodoulakis et
+// al., PVLDB 2020), reimplemented in the published two-stage shape:
+//
+//  1. A set of weighted fuzzy rules votes each line *data* or *non-data*;
+//     rule weights are learned from training data as the empirical
+//     precision of each rule when it fires.
+//  2. Maximal runs of data lines become table bodies. Class-specific rules
+//     then label the non-data areas relative to the discovered tables:
+//     the line(s) directly above a body are headers, lines above those are
+//     metadata, interior non-data lines with only the leftmost cell
+//     non-empty are group headers, and lines after the last table are
+//     notes.
+//
+// As in the paper's comparison, Pytheas^L has *no derived class* — derived
+// lines are excluded from its scoring (§6.2.1) — and its group rule covers
+// only left-cell-only lines between data lines, which is why it collapses
+// on datasets whose group lines do not follow that convention.
+
+#ifndef STRUDEL_BASELINES_PYTHEAS_LINE_H_
+#define STRUDEL_BASELINES_PYTHEAS_LINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "strudel/classes.h"
+
+namespace strudel::baselines {
+
+struct PytheasOptions {
+  /// A line is data when its weighted fuzzy confidence exceeds this.
+  double data_threshold = 0.5;
+  /// Laplace smoothing for rule-precision learning.
+  double smoothing = 1.0;
+};
+
+class PytheasLine {
+ public:
+  explicit PytheasLine(PytheasOptions options = {});
+
+  /// Learns the fuzzy-rule weights from annotated files.
+  Status Fit(const std::vector<const AnnotatedFile*>& files);
+  Status Fit(const std::vector<AnnotatedFile>& files);
+
+  /// Per-line classes; kEmptyLabel for empty lines. Never predicts
+  /// kDerived.
+  std::vector<int> Predict(const csv::Table& table) const;
+
+  /// Learned rule weights (diagnostics / tests), aligned with RuleNames().
+  const std::vector<double>& rule_weights() const { return weights_; }
+  static std::vector<std::string> RuleNames();
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  std::vector<double> DataConfidences(const csv::Table& table) const;
+
+  PytheasOptions options_;
+  std::vector<double> weights_;
+  bool fitted_ = false;
+};
+
+}  // namespace strudel::baselines
+
+#endif  // STRUDEL_BASELINES_PYTHEAS_LINE_H_

@@ -1,0 +1,180 @@
+#include "baselines/rnn_cell.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "strudel/cell_features.h"
+
+namespace strudel::baselines {
+
+namespace {
+
+// FNV-1a, the hashing trick's hash function. Deterministic across
+// platforms, unlike std::hash.
+uint64_t Fnv1a(std::string_view s, uint64_t seed) {
+  uint64_t hash = 1469598103934665603ULL ^ seed;
+  for (char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void HashInto(std::string_view token, std::vector<double>& embedding) {
+  const uint64_t h = Fnv1a(token, 0x9e3779b97f4a7c15ULL);
+  const size_t index = h % embedding.size();
+  const double sign = (h >> 32) & 1 ? 1.0 : -1.0;
+  embedding[index] += sign;
+}
+
+}  // namespace
+
+RnnCell::RnnCell(RnnCellOptions options) : options_(options), mlp_(options_.mlp) {}
+
+std::vector<double> RnnCell::EmbedValue(std::string_view value) const {
+  std::vector<double> embedding(
+      static_cast<size_t>(std::max(options_.embedding_dim, 1)), 0.0);
+  const std::string lowered = ToLower(TrimView(value));
+  if (lowered.empty()) return embedding;
+  // Word tokens.
+  int count = 0;
+  for (const std::string& word : Words(lowered)) {
+    HashInto(word, embedding);
+    ++count;
+  }
+  // Character trigrams capture sub-token shape ("$1,2", "(12)", "19-").
+  if (lowered.size() >= 3) {
+    for (size_t i = 0; i + 3 <= lowered.size(); ++i) {
+      HashInto(std::string_view(lowered).substr(i, 3), embedding);
+      ++count;
+    }
+  }
+  if (count > 0) {
+    const double scale = 1.0 / std::sqrt(static_cast<double>(count));
+    for (double& v : embedding) v *= scale;
+  }
+  return embedding;
+}
+
+ml::Matrix RnnCell::BuildFeatures(
+    const csv::Table& table,
+    std::vector<std::pair<int, int>>* coords_out) const {
+  const auto coords = strudel::NonEmptyCellCoordinates(table);
+  if (coords_out != nullptr) *coords_out = coords;
+  const size_t embed_dim =
+      static_cast<size_t>(std::max(options_.embedding_dim, 1));
+  // Layout: content embedding | type one-hot | length | row/col position |
+  // neighbour mean embedding | neighbour type histogram.
+  const size_t width = embed_dim + kNumDataTypes + 3 + embed_dim +
+                       kNumDataTypes;
+  ml::Matrix features(coords.size(), width);
+  if (coords.empty()) return features;
+
+  const int rows = table.num_rows();
+  const int cols = table.num_cols();
+  double max_length = 1.0;
+  for (auto [r, c] : coords) {
+    max_length = std::max(
+        max_length,
+        static_cast<double>(TrimView(table.cell(r, c)).size()));
+  }
+
+  constexpr int kDr[8] = {-1, -1, -1, 0, 0, 1, 1, 1};
+  constexpr int kDc[8] = {-1, 0, 1, -1, 1, -1, 0, 1};
+
+  for (size_t i = 0; i < coords.size(); ++i) {
+    const auto [r, c] = coords[i];
+    auto row = features.row(i);
+    size_t f = 0;
+
+    const std::vector<double> embedding = EmbedValue(table.cell(r, c));
+    for (double v : embedding) row[f++] = v;
+
+    const int type = static_cast<int>(table.cell_type(r, c));
+    for (int k = 0; k < kNumDataTypes; ++k) {
+      row[f++] = (k == type) ? 1.0 : 0.0;
+    }
+    row[f++] = static_cast<double>(TrimView(table.cell(r, c)).size()) /
+               max_length;
+    row[f++] = rows > 1 ? static_cast<double>(r) /
+                              static_cast<double>(rows - 1)
+                        : 0.0;
+    row[f++] = cols > 1 ? static_cast<double>(c) /
+                              static_cast<double>(cols - 1)
+                        : 0.0;
+
+    // Neighbour context: mean content embedding + type histogram.
+    std::vector<double> neighbor_mean(embed_dim, 0.0);
+    std::vector<double> type_histogram(kNumDataTypes, 0.0);
+    int present = 0;
+    for (int n = 0; n < 8; ++n) {
+      const int nr = r + kDr[n];
+      const int nc = c + kDc[n];
+      if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
+      ++present;
+      type_histogram[static_cast<size_t>(table.cell_type(nr, nc))] += 1.0;
+      if (!table.cell_empty(nr, nc)) {
+        const std::vector<double> ne = EmbedValue(table.cell(nr, nc));
+        for (size_t k = 0; k < embed_dim; ++k) neighbor_mean[k] += ne[k];
+      }
+    }
+    if (present > 0) {
+      for (double& v : neighbor_mean) v /= present;
+      for (double& v : type_histogram) v /= present;
+    }
+    for (double v : neighbor_mean) row[f++] = v;
+    for (double v : type_histogram) row[f++] = v;
+  }
+  return features;
+}
+
+Status RnnCell::Fit(const std::vector<AnnotatedFile>& files) {
+  return Fit(FilePointers(files));
+}
+
+Status RnnCell::Fit(const std::vector<const AnnotatedFile*>& files) {
+  ml::Dataset data;
+  data.num_classes = kNumElementClasses;
+  for (const AnnotatedFile* file_ptr : files) {
+    const AnnotatedFile& file = *file_ptr;
+    std::vector<std::pair<int, int>> coords;
+    ml::Matrix features = BuildFeatures(file.table, &coords);
+    for (size_t i = 0; i < coords.size(); ++i) {
+      const auto [r, c] = coords[i];
+      const int label = file.annotation.cell_labels[static_cast<size_t>(r)]
+                                                   [static_cast<size_t>(c)];
+      if (label == kEmptyLabel) continue;
+      data.features.append_row(features.row(i));
+      data.labels.push_back(label);
+      data.groups.push_back(kEmptyLabel);
+    }
+  }
+  if (data.size() == 0) {
+    return Status::InvalidArgument("rnn_cell: no labelled cells");
+  }
+  normalizer_.FitTransform(data.features);
+  STRUDEL_RETURN_IF_ERROR(mlp_.Fit(data));
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<std::vector<int>> RnnCell::Predict(
+    const csv::Table& table) const {
+  std::vector<std::vector<int>> grid(
+      static_cast<size_t>(std::max(table.num_rows(), 0)),
+      std::vector<int>(static_cast<size_t>(std::max(table.num_cols(), 0)),
+                       kEmptyLabel));
+  if (!fitted_) return grid;
+  std::vector<std::pair<int, int>> coords;
+  ml::Matrix features = BuildFeatures(table, &coords);
+  normalizer_.Transform(features);
+  for (size_t i = 0; i < coords.size(); ++i) {
+    const auto [r, c] = coords[i];
+    grid[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+        mlp_.Predict(features.row(i));
+  }
+  return grid;
+}
+
+}  // namespace strudel::baselines

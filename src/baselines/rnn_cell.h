@@ -1,0 +1,62 @@
+// RNN^C — neural cell-classification baseline, a surrogate for
+// Ghasemi-Gol, Pujara & Szekely's recursive network over pre-trained cell
+// embeddings (ICDM 2019), evaluated by the paper in its style-less
+// configuration.
+//
+// Substitution (see DESIGN.md §3): no pre-trained embedding corpus is
+// available offline, so the cell representation is *learned in place*:
+// a hashed bag of word tokens and character trigrams projects each cell
+// value into a fixed-dimension content embedding; the context of a cell is
+// the average embedding and type histogram of its eight neighbours
+// (the original likewise restricts context to neighbouring cells). The
+// concatenated representation feeds a feed-forward softmax network
+// (ml/mlp.h). Like the original, this baseline uses *no value-arithmetic
+// features* — the trait the paper credits for its weakness on reforged
+// derived cells — and no line-stage probabilities.
+
+#ifndef STRUDEL_BASELINES_RNN_CELL_H_
+#define STRUDEL_BASELINES_RNN_CELL_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/mlp.h"
+#include "ml/normalizer.h"
+#include "strudel/classes.h"
+
+namespace strudel::baselines {
+
+struct RnnCellOptions {
+  int embedding_dim = 24;
+  ml::MlpOptions mlp;
+};
+
+class RnnCell {
+ public:
+  explicit RnnCell(RnnCellOptions options = {});
+
+  Status Fit(const std::vector<const AnnotatedFile*>& files);
+  Status Fit(const std::vector<AnnotatedFile>& files);
+
+  /// Cell label grid; kEmptyLabel on empty cells.
+  std::vector<std::vector<int>> Predict(const csv::Table& table) const;
+
+  /// Exposed for tests: the hashed content embedding of a single value.
+  std::vector<double> EmbedValue(std::string_view value) const;
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  ml::Matrix BuildFeatures(const csv::Table& table,
+                           std::vector<std::pair<int, int>>* coords) const;
+
+  RnnCellOptions options_;
+  ml::Mlp mlp_;
+  ml::MinMaxNormalizer normalizer_;
+  bool fitted_ = false;
+};
+
+}  // namespace strudel::baselines
+
+#endif  // STRUDEL_BASELINES_RNN_CELL_H_

@@ -1,0 +1,42 @@
+// Minimal leveled logging to stderr. Benches and examples use it for
+// progress reporting; the library itself logs only at kWarning and above.
+
+#ifndef STRUDEL_COMMON_LOGGING_H_
+#define STRUDEL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace strudel {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace strudel
+
+#define STRUDEL_LOG(level)                                              \
+  ::strudel::internal::LogMessage(::strudel::LogLevel::level, __FILE__, \
+                                  __LINE__)                             \
+      .stream()
+
+#endif  // STRUDEL_COMMON_LOGGING_H_

@@ -1,0 +1,125 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace strudel {
+
+double Clamp(double x, double lo, double hi) {
+  return std::max(lo, std::min(hi, x));
+}
+
+bool NearlyEqual(double a, double b, double tol) {
+  return std::fabs(a - b) <= tol;
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double sum = 0.0;
+  for (double x : v) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  double lo = *std::max_element(v.begin(), v.begin() + mid);
+  return (lo + hi) / 2.0;
+}
+
+void MinMaxNormalize(std::vector<double>& v) {
+  if (v.empty()) return;
+  auto [lo_it, hi_it] = std::minmax_element(v.begin(), v.end());
+  double lo = *lo_it, hi = *hi_it;
+  if (hi - lo <= 0.0) {
+    std::fill(v.begin(), v.end(), 0.0);
+    return;
+  }
+  for (double& x : v) x = (x - lo) / (hi - lo);
+}
+
+double NormalizedDcg(const std::vector<int>& relevance) {
+  if (relevance.empty()) return 0.0;
+  double dcg = 0.0, ideal = 0.0;
+  for (size_t i = 0; i < relevance.size(); ++i) {
+    double discount = 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    ideal += discount;
+    if (relevance[i] != 0) dcg += discount;
+  }
+  return ideal > 0.0 ? dcg / ideal : 0.0;
+}
+
+double BhattacharyyaHistogramDistance(const std::vector<double>& a,
+                                      const std::vector<double>& b,
+                                      int bins) {
+  if (a.empty() || b.empty() || bins <= 0) return 1.0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double x : a) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  for (double x : b) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  std::vector<double> ha(static_cast<size_t>(bins), 0.0);
+  std::vector<double> hb(static_cast<size_t>(bins), 0.0);
+  double width = hi - lo;
+  auto bin_of = [&](double x) {
+    if (width <= 0.0) return 0;
+    int idx = static_cast<int>((x - lo) / width * bins);
+    return std::min(idx, bins - 1);
+  };
+  for (double x : a) ha[static_cast<size_t>(bin_of(x))] += 1.0;
+  for (double x : b) hb[static_cast<size_t>(bin_of(x))] += 1.0;
+  double bc = 0.0;
+  for (int i = 0; i < bins; ++i) {
+    double pa = ha[static_cast<size_t>(i)] / static_cast<double>(a.size());
+    double pb = hb[static_cast<size_t>(i)] / static_cast<double>(b.size());
+    bc += std::sqrt(pa * pb);
+  }
+  return Clamp(1.0 - bc, 0.0, 1.0);
+}
+
+void SoftmaxInPlace(std::vector<double>& logits) {
+  if (logits.empty()) return;
+  double max_logit = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (double& x : logits) {
+    x = std::exp(x - max_logit);
+    sum += x;
+  }
+  for (double& x : logits) x /= sum;
+}
+
+double LogSumExp(const std::vector<double>& x) {
+  if (x.empty()) return -std::numeric_limits<double>::infinity();
+  double max_x = *std::max_element(x.begin(), x.end());
+  if (!std::isfinite(max_x)) return max_x;
+  double sum = 0.0;
+  for (double v : x) sum += std::exp(v - max_x);
+  return max_x + std::log(sum);
+}
+
+size_t ArgMax(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  return static_cast<size_t>(
+      std::distance(v.begin(), std::max_element(v.begin(), v.end())));
+}
+
+}  // namespace strudel

@@ -1,0 +1,57 @@
+// Small numeric helpers used by feature extraction and the ML substrate.
+
+#ifndef STRUDEL_COMMON_MATH_UTIL_H_
+#define STRUDEL_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace strudel {
+
+/// Clamps x to [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// True when |a - b| <= tol.
+bool NearlyEqual(double a, double b, double tol);
+
+/// Arithmetic mean; 0 on empty input.
+double Mean(const std::vector<double>& v);
+
+/// Population variance; 0 on inputs of size < 2.
+double Variance(const std::vector<double>& v);
+double StdDev(const std::vector<double>& v);
+
+/// Median (average of the two middle values for even sizes); 0 on empty.
+double Median(std::vector<double> v);
+
+/// Min-max normalisation of v into [0, 1] in place. Constant vectors map
+/// to all-zeros.
+void MinMaxNormalize(std::vector<double>& v);
+
+/// Discounted cumulative gain over a 0/1 relevance vector:
+///   DCG = sum_i rel_i / log2(i + 2), i from 0.
+/// Normalised by the ideal DCG of a vector of the same length that is all
+/// ones, so the result lies in [0, 1] (0 for all-empty lines).
+double NormalizedDcg(const std::vector<int>& relevance);
+
+/// Bhattacharyya distance between two histograms built from the two value
+/// sequences. The sequences are binned together over their joint range into
+/// `bins` equal-width bins; the coefficient BC = sum_i sqrt(p_i * q_i) is
+/// mapped to a distance 1 - BC in [0, 1]. Empty inputs give distance 1.
+double BhattacharyyaHistogramDistance(const std::vector<double>& a,
+                                      const std::vector<double>& b,
+                                      int bins = 8);
+
+/// Softmax in place (numerically stable).
+void SoftmaxInPlace(std::vector<double>& logits);
+
+/// log(sum(exp(x))) computed stably.
+double LogSumExp(const std::vector<double>& x);
+
+/// Index of the maximum element; 0 on empty input. Ties resolve to the
+/// lowest index.
+size_t ArgMax(const std::vector<double>& v);
+
+}  // namespace strudel
+
+#endif  // STRUDEL_COMMON_MATH_UTIL_H_

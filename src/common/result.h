@@ -1,0 +1,76 @@
+// Result<T>: value-or-Status, the return type of fallible functions that
+// produce a value. Mirrors arrow::Result / absl::StatusOr.
+
+#ifndef STRUDEL_COMMON_RESULT_H_
+#define STRUDEL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace strudel {
+
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value. Intentionally implicit so that
+  /// `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); checked with assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace strudel
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+/// Usage: STRUDEL_ASSIGN_OR_RETURN(auto table, ReadCsv(path));
+#define STRUDEL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define STRUDEL_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define STRUDEL_ASSIGN_OR_RETURN_NAME(a, b) STRUDEL_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define STRUDEL_ASSIGN_OR_RETURN(lhs, expr)                                   \
+  STRUDEL_ASSIGN_OR_RETURN_IMPL(                                              \
+      STRUDEL_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+#endif  // STRUDEL_COMMON_RESULT_H_

@@ -1,0 +1,107 @@
+// Status: lightweight error model used across the strudel library.
+//
+// Following the database-systems idiom (RocksDB, Arrow), fallible APIs do
+// not throw; they return a Status (or a Result<T>, see common/result.h).
+// A Status is cheap to copy in the OK case (no allocation) and carries a
+// code plus a human-readable message otherwise.
+
+#ifndef STRUDEL_COMMON_STATUS_H_
+#define STRUDEL_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace strudel {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kParseError = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+  kIOError = 8,
+};
+
+/// Returns the canonical lowercase name of a status code ("ok",
+/// "invalid_argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  /// Constructs an OK status. OK statuses carry no payload and are free to
+  /// copy.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// Message is empty for OK statuses.
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; non-OK statuses allocate. This keeps sizeof(Status)
+  // to one pointer and the happy path allocation-free.
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace strudel
+
+/// Propagates a non-OK Status to the caller. Usage:
+///   STRUDEL_RETURN_IF_ERROR(DoThing());
+#define STRUDEL_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::strudel::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+#endif  // STRUDEL_COMMON_STATUS_H_

@@ -1,0 +1,168 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace strudel {
+
+namespace {
+bool EqualsIgnoreCaseImpl(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i], cb = b[i];
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::string_view TrimView(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && IsSpaceAscii(s[begin])) ++begin;
+  size_t end = s.size();
+  while (end > begin && IsSpaceAscii(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::string Trim(std::string_view s) { return std::string(TrimView(s)); }
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  return out;
+}
+
+bool IsAlnumAscii(char c) { return IsDigitAscii(c) || IsAlphaAscii(c); }
+bool IsDigitAscii(char c) { return c >= '0' && c <= '9'; }
+bool IsAlphaAscii(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+bool IsSpaceAscii(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Words(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && !IsAlnumAscii(s[i])) ++i;
+    size_t start = i;
+    while (i < s.size() && IsAlnumAscii(s[i])) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+int CountWords(std::string_view s) {
+  int count = 0;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && !IsAlnumAscii(s[i])) ++i;
+    size_t start = i;
+    while (i < s.size() && IsAlnumAscii(s[i])) ++i;
+    if (i > start) ++count;
+  }
+  return count;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool ContainsIgnoreCase(std::string_view s, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > s.size()) return false;
+  for (size_t i = 0; i + needle.size() <= s.size(); ++i) {
+    if (EqualsIgnoreCaseImpl(s.substr(i, needle.size()), needle)) return true;
+  }
+  return false;
+}
+
+bool HasWordIgnoreCase(std::string_view s, std::string_view word) {
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && !IsAlnumAscii(s[i])) ++i;
+    size_t start = i;
+    while (i < s.size() && IsAlnumAscii(s[i])) ++i;
+    if (i > start && EqualsIgnoreCaseImpl(s.substr(start, i - start), word)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out += s.substr(pos);
+      break;
+    }
+    out += s.substr(pos, hit - pos);
+    out += to;
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace strudel

@@ -1,0 +1,63 @@
+// String helpers shared across the library: trimming, case folding,
+// splitting, joining, tokenisation and small predicates used by the
+// feature extractors.
+
+#ifndef STRUDEL_COMMON_STRING_UTIL_H_
+#define STRUDEL_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace strudel {
+
+/// Returns `s` without leading/trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+
+/// True if `c` is an ASCII letter or digit.
+bool IsAlnumAscii(char c);
+bool IsDigitAscii(char c);
+bool IsAlphaAscii(char c);
+bool IsSpaceAscii(char c);
+
+/// Splits on a single character; keeps empty pieces ("a,,b" -> 3 pieces).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` into maximal runs of alphanumeric characters ("Total (EU)" ->
+/// ["Total", "EU"]). Used by WordAmount and the keyword matchers.
+std::vector<std::string> Words(std::string_view s);
+
+/// Number of words as defined by Words().
+int CountWords(std::string_view s);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// True if `s` contains `needle` case-insensitively (ASCII).
+bool ContainsIgnoreCase(std::string_view s, std::string_view needle);
+
+/// True if any *word* of `s` equals `word` case-insensitively. Matching on
+/// whole words keeps "totally" from matching the aggregation keyword
+/// "total".
+bool HasWordIgnoreCase(std::string_view s, std::string_view word);
+
+/// True when s starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Replaces every occurrence of `from` with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace strudel
+
+#endif  // STRUDEL_COMMON_STRING_UTIL_H_

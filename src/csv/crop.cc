@@ -1,0 +1,50 @@
+#include "csv/crop.h"
+
+namespace strudel::csv {
+
+CropExtent ComputeCropExtent(const Table& table) {
+  CropExtent extent;
+  extent.first_row = table.num_rows();
+  extent.last_row = -1;
+  extent.first_col = table.num_cols();
+  extent.last_col = -1;
+  for (int r = 0; r < table.num_rows(); ++r) {
+    if (table.row_empty(r)) continue;
+    extent.first_row = std::min(extent.first_row, r);
+    extent.last_row = std::max(extent.last_row, r);
+  }
+  for (int c = 0; c < table.num_cols(); ++c) {
+    if (table.col_empty(c)) continue;
+    extent.first_col = std::min(extent.first_col, c);
+    extent.last_col = std::max(extent.last_col, c);
+  }
+  if (extent.last_row < 0) {
+    extent.first_row = 0;
+    extent.first_col = 0;
+    extent.last_col = -1;
+  }
+  return extent;
+}
+
+Table CropMargins(const Table& table, CropExtent* extent_out) {
+  CropExtent extent = ComputeCropExtent(table);
+  if (extent_out != nullptr) *extent_out = extent;
+  std::vector<std::vector<std::string>> rows;
+  if (extent.last_row >= extent.first_row &&
+      extent.last_col >= extent.first_col) {
+    rows.reserve(static_cast<size_t>(extent.last_row - extent.first_row + 1));
+    for (int r = extent.first_row; r <= extent.last_row; ++r) {
+      std::vector<std::string> row;
+      row.reserve(static_cast<size_t>(extent.last_col - extent.first_col + 1));
+      for (int c = extent.first_col; c <= extent.last_col; ++c) {
+        row.emplace_back(table.cell(r, c));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  return Table(std::move(rows));
+}
+
+Table CropMargins(const Table& table) { return CropMargins(table, nullptr); }
+
+}  // namespace strudel::csv

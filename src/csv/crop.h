@@ -1,0 +1,34 @@
+// Margin cropping (paper §6.1.1): "we cropped each file by removing the
+// marginal empty lines or columns, as some of our features are sensitive to
+// the number of empty cells in the lines, and leading/trailing empty lines
+// are trivial cases."
+
+#ifndef STRUDEL_CSV_CROP_H_
+#define STRUDEL_CSV_CROP_H_
+
+#include "csv/table.h"
+
+namespace strudel::csv {
+
+struct CropExtent {
+  int first_row = 0;  // inclusive
+  int last_row = -1;  // inclusive; -1 when the table is entirely empty
+  int first_col = 0;
+  int last_col = -1;
+};
+
+/// Computes the bounding box of non-empty content.
+CropExtent ComputeCropExtent(const Table& table);
+
+/// Returns a copy of `table` restricted to its non-empty bounding box.
+/// An all-empty table crops to an empty table. Interior empty lines and
+/// columns are preserved — they carry layout signal.
+Table CropMargins(const Table& table);
+
+/// Same, but also reports how many rows/cols were removed on each side so
+/// that callers can map cropped coordinates back to the original file.
+Table CropMargins(const Table& table, CropExtent* extent);
+
+}  // namespace strudel::csv
+
+#endif  // STRUDEL_CSV_CROP_H_

@@ -1,0 +1,26 @@
+#include "csv/dialect.h"
+
+#include "common/string_util.h"
+
+namespace strudel::csv {
+
+namespace {
+std::string CharRepr(char c) {
+  if (c == '\0') return "none";
+  if (c == '\t') return "'\\t'";
+  std::string out = "'";
+  out += c;
+  out += "'";
+  return out;
+}
+}  // namespace
+
+std::string Dialect::ToString() const {
+  return StrFormat("delimiter=%s quote=%s escape=%s",
+                   CharRepr(delimiter).c_str(), CharRepr(quote).c_str(),
+                   CharRepr(escape).c_str());
+}
+
+Dialect Rfc4180Dialect() { return Dialect{',', '"', '\0'}; }
+
+}  // namespace strudel::csv

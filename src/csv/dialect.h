@@ -1,0 +1,34 @@
+// A CSV dialect: delimiter, quote character and escape character.
+//
+// Verbose CSV files in the wild use many dialects (paper §6.1: "In
+// practice, verbose CSV files may have unique dialects. The dialect of a
+// file specifies the delimiter, quoting character, and escape character,
+// enabling to parse the lines and cells correctly.").
+
+#ifndef STRUDEL_CSV_DIALECT_H_
+#define STRUDEL_CSV_DIALECT_H_
+
+#include <string>
+
+namespace strudel::csv {
+
+struct Dialect {
+  char delimiter = ',';
+  /// '\0' means "no quoting".
+  char quote = '"';
+  /// '\0' means "no escape character"; quote doubling ("") is always
+  /// understood inside quoted fields when `quote` is set.
+  char escape = '\0';
+
+  bool operator==(const Dialect& other) const = default;
+
+  /// Human-readable form like `delimiter=',' quote='"' escape=none`.
+  std::string ToString() const;
+};
+
+/// The RFC 4180 dialect: comma, double-quote, quote doubling.
+Dialect Rfc4180Dialect();
+
+}  // namespace strudel::csv
+
+#endif  // STRUDEL_CSV_DIALECT_H_

@@ -1,0 +1,109 @@
+#include "csv/dialect_detector.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+#include "csv/reader.h"
+#include "types/date_parser.h"
+#include "types/value_parser.h"
+
+namespace strudel::csv {
+
+namespace {
+
+// Truncates text to its first `max_lines` physical lines. Quoted embedded
+// newlines may be split, which only costs a little scoring noise on the
+// last inspected line.
+std::string_view Prefix(std::string_view text, int max_lines) {
+  if (max_lines <= 0) return text;
+  int lines = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n' && ++lines >= max_lines) {
+      return text.substr(0, i + 1);
+    }
+  }
+  return text;
+}
+
+// "Known type" per the consistency measure: cells whose content matches a
+// recognisable value pattern. Free-form strings are unknown.
+bool HasKnownType(std::string_view value) {
+  std::string_view s = TrimView(value);
+  if (s.empty()) return true;
+  if (IsNumeric(s)) return true;
+  if (IsDate(s)) return true;
+  return false;
+}
+
+double PatternScore(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return 0.0;
+  // Row pattern abstraction: the number of cells in the row.
+  std::map<size_t, int> pattern_counts;
+  for (const auto& row : rows) ++pattern_counts[row.size()];
+  double score = 0.0;
+  for (const auto& [cells, count] : pattern_counts) {
+    double len = static_cast<double>(cells);
+    if (len < 1.0) len = 1.0;
+    score += static_cast<double>(count) * (len - 1.0) / len;
+  }
+  return score / static_cast<double>(pattern_counts.size());
+}
+
+double TypeScore(const std::vector<std::vector<std::string>>& rows) {
+  size_t total = 0, known = 0;
+  for (const auto& row : rows) {
+    for (const auto& cell : row) {
+      ++total;
+      if (HasKnownType(cell)) ++known;
+    }
+  }
+  if (total == 0) return 0.0;
+  // Laplace-style smoothing keeps all-string files from zeroing every
+  // candidate, preserving the relative ordering from the pattern score.
+  return (static_cast<double>(known) + 1.0) / (static_cast<double>(total) + 1.0);
+}
+
+}  // namespace
+
+std::vector<DialectScore> ScoreDialects(std::string_view text,
+                                        const DetectorOptions& options) {
+  std::string_view prefix = Prefix(text, options.max_lines);
+  std::vector<DialectScore> scores;
+  for (char delim : options.delimiters) {
+    for (char quote : options.quotes) {
+      DialectScore entry;
+      entry.dialect = Dialect{delim, quote, '\0'};
+      ReaderOptions reader_options;
+      reader_options.dialect = entry.dialect;
+      auto rows = ParseCsv(prefix, reader_options);
+      if (rows.ok()) {
+        entry.pattern_score = PatternScore(*rows);
+        entry.type_score = TypeScore(*rows);
+        entry.consistency = entry.pattern_score * entry.type_score;
+      }
+      scores.push_back(std::move(entry));
+    }
+  }
+  return scores;
+}
+
+Result<Dialect> DetectDialect(std::string_view text,
+                              const DetectorOptions& options) {
+  if (TrimView(text).empty()) {
+    return Status::InvalidArgument("cannot detect dialect of empty input");
+  }
+  std::vector<DialectScore> scores = ScoreDialects(text, options);
+  if (scores.empty()) {
+    return Status::InvalidArgument("no candidate dialects configured");
+  }
+  // Candidates are generated in preference order, so strict inequality
+  // implements the tie-break.
+  const DialectScore* best = &scores[0];
+  for (const DialectScore& s : scores) {
+    if (s.consistency > best->consistency) best = &s;
+  }
+  return best->dialect;
+}
+
+}  // namespace strudel::csv

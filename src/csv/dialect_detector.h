@@ -1,0 +1,56 @@
+// Dialect detection following the data-consistency approach of van den
+// Burg, Nazábal & Sutton, "Wrangling messy CSV files by detecting row and
+// type patterns" (DMKD 2019) — the method the paper applies as general
+// preprocessing (§6.1).
+//
+// Every candidate dialect (delimiter x quote combination) is scored by
+//   Q(dialect) = P(dialect) * T(dialect)
+// where the *pattern score* P rewards dialects under which rows parse into
+// few distinct, frequently repeated, many-celled row patterns:
+//   P = (1/K) * sum over distinct patterns a of  N_a * (L_a - 1) / L_a
+// (K = number of distinct patterns, N_a = rows with pattern a, L_a = cells
+// per row of pattern a), and the *type score* T is the fraction of parsed
+// cells whose value matches a known type (empty, number, date, percentage,
+// currency). The dialect with maximal Q wins; ties break toward the more
+// common delimiter (comma first).
+
+#ifndef STRUDEL_CSV_DIALECT_DETECTOR_H_
+#define STRUDEL_CSV_DIALECT_DETECTOR_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "csv/dialect.h"
+
+namespace strudel::csv {
+
+struct DialectScore {
+  Dialect dialect;
+  double pattern_score = 0.0;
+  double type_score = 0.0;
+  double consistency = 0.0;  // pattern_score * type_score
+};
+
+struct DetectorOptions {
+  /// Candidate delimiters, in tie-break preference order.
+  std::vector<char> delimiters = {',', ';', '\t', '|', ':', ' '};
+  /// Candidate quote characters ('\0' = no quoting).
+  std::vector<char> quotes = {'"', '\'', '\0'};
+  /// Only the first `max_lines` lines are scored (0 = all). Detection cost
+  /// is linear in the inspected prefix.
+  int max_lines = 200;
+};
+
+/// Scores every candidate dialect on `text`. Never fails; an unparseable
+/// candidate simply scores 0.
+std::vector<DialectScore> ScoreDialects(std::string_view text,
+                                        const DetectorOptions& options = {});
+
+/// Returns the best-scoring dialect. Fails only on empty input.
+Result<Dialect> DetectDialect(std::string_view text,
+                              const DetectorOptions& options = {});
+
+}  // namespace strudel::csv
+
+#endif  // STRUDEL_CSV_DIALECT_DETECTOR_H_

@@ -1,0 +1,146 @@
+#include "csv/reader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace strudel::csv {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text, const ReaderOptions& options) {
+  const Dialect& d = options.dialect;
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  size_t cell_count = 0;
+
+  enum class State { kFieldStart, kUnquoted, kQuoted, kQuoteInQuoted };
+  State state = State::kFieldStart;
+
+  auto end_field = [&]() -> Status {
+    if (++cell_count > options.max_cells) {
+      return Status::OutOfRange("csv input exceeds max_cells");
+    }
+    row.push_back(std::move(field));
+    field.clear();
+    return Status::OK();
+  };
+  auto end_row = [&]() -> Status {
+    STRUDEL_RETURN_IF_ERROR(end_field());
+    rows.push_back(std::move(row));
+    row.clear();
+    return Status::OK();
+  };
+
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    switch (state) {
+      case State::kFieldStart:
+        if (d.quote != '\0' && c == d.quote) {
+          state = State::kQuoted;
+        } else if (c == d.delimiter) {
+          STRUDEL_RETURN_IF_ERROR(end_field());
+        } else if (c == '\n') {
+          STRUDEL_RETURN_IF_ERROR(end_row());
+        } else if (c == '\r') {
+          if (i + 1 < n && text[i + 1] == '\n') ++i;
+          STRUDEL_RETURN_IF_ERROR(end_row());
+        } else {
+          field += c;
+          state = State::kUnquoted;
+        }
+        break;
+      case State::kUnquoted:
+        if (c == d.delimiter) {
+          STRUDEL_RETURN_IF_ERROR(end_field());
+          state = State::kFieldStart;
+        } else if (c == '\n') {
+          STRUDEL_RETURN_IF_ERROR(end_row());
+          state = State::kFieldStart;
+        } else if (c == '\r') {
+          if (i + 1 < n && text[i + 1] == '\n') ++i;
+          STRUDEL_RETURN_IF_ERROR(end_row());
+          state = State::kFieldStart;
+        } else if (d.quote != '\0' && c == d.quote && !options.lenient) {
+          return Status::ParseError(StrFormat(
+              "quote character inside unquoted field at offset %zu", i));
+        } else {
+          field += c;
+        }
+        break;
+      case State::kQuoted:
+        if (d.escape != '\0' && c == d.escape && i + 1 < n) {
+          field += text[i + 1];
+          ++i;
+        } else if (c == d.quote) {
+          state = State::kQuoteInQuoted;
+        } else {
+          field += c;
+        }
+        break;
+      case State::kQuoteInQuoted:
+        if (c == d.quote) {
+          // Doubled quote: literal quote character.
+          field += d.quote;
+          state = State::kQuoted;
+        } else if (c == d.delimiter) {
+          STRUDEL_RETURN_IF_ERROR(end_field());
+          state = State::kFieldStart;
+        } else if (c == '\n') {
+          STRUDEL_RETURN_IF_ERROR(end_row());
+          state = State::kFieldStart;
+        } else if (c == '\r') {
+          if (i + 1 < n && text[i + 1] == '\n') ++i;
+          STRUDEL_RETURN_IF_ERROR(end_row());
+          state = State::kFieldStart;
+        } else if (options.lenient) {
+          // Text after a closing quote: keep it verbatim.
+          field += c;
+          state = State::kUnquoted;
+        } else {
+          return Status::ParseError(StrFormat(
+              "unexpected character after closing quote at offset %zu", i));
+        }
+        break;
+    }
+    ++i;
+  }
+
+  // Flush the trailing record (no newline at EOF). An input ending in a
+  // newline has already flushed; avoid emitting a phantom empty row.
+  if (state == State::kQuoted) {
+    if (!options.lenient) {
+      return Status::ParseError("unterminated quoted field at end of input");
+    }
+    STRUDEL_RETURN_IF_ERROR(end_row());
+  } else if (!field.empty() || !row.empty() ||
+             (n > 0 && text[n - 1] != '\n' && text[n - 1] != '\r')) {
+    if (n > 0) STRUDEL_RETURN_IF_ERROR(end_row());
+  }
+
+  return rows;
+}
+
+Result<Table> ReadTable(std::string_view text, const ReaderOptions& options) {
+  STRUDEL_ASSIGN_OR_RETURN(auto rows, ParseCsv(text, options));
+  return Table(std::move(rows));
+}
+
+Result<Table> ReadTableFromFile(const std::string& path,
+                                const ReaderOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("error while reading file: " + path);
+  }
+  return ReadTable(buffer.str(), options);
+}
+
+}  // namespace strudel::csv

@@ -1,0 +1,44 @@
+// CSV reading: raw text -> rows of cells -> Table, under a given Dialect.
+//
+// The parser is a single-pass state machine handling quoted fields, quote
+// doubling, an optional escape character, embedded newlines inside quoted
+// fields, and both \n and \r\n line endings.
+
+#ifndef STRUDEL_CSV_READER_H_
+#define STRUDEL_CSV_READER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "csv/dialect.h"
+#include "csv/table.h"
+
+namespace strudel::csv {
+
+struct ReaderOptions {
+  Dialect dialect = Rfc4180Dialect();
+  /// When true (lenient mode, the default), a quote appearing in the middle
+  /// of an unquoted field is treated as a literal character — real-world
+  /// verbose files are full of such lines. Strict mode reports ParseError.
+  bool lenient = true;
+  /// Hard cap against pathological inputs.
+  size_t max_cells = 100'000'000;
+};
+
+/// Parses CSV text into rows of cell values.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text, const ReaderOptions& options = {});
+
+/// Parses CSV text directly into a Table.
+Result<Table> ReadTable(std::string_view text,
+                        const ReaderOptions& options = {});
+
+/// Reads a file from disk and parses it.
+Result<Table> ReadTableFromFile(const std::string& path,
+                                const ReaderOptions& options = {});
+
+}  // namespace strudel::csv
+
+#endif  // STRUDEL_CSV_READER_H_

@@ -1,0 +1,111 @@
+#include "csv/table.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace strudel::csv {
+
+Table::Table(std::vector<std::vector<std::string>> rows)
+    : rows_(std::move(rows)) {
+  RecomputeCaches();
+}
+
+void Table::RecomputeCaches() {
+  num_cols_ = 0;
+  for (const auto& r : rows_) {
+    num_cols_ = std::max(num_cols_, static_cast<int>(r.size()));
+  }
+  types_.assign(rows_.size(), {});
+  row_non_empty_.assign(rows_.size(), 0);
+  col_non_empty_.assign(static_cast<size_t>(num_cols_), 0);
+  non_empty_total_ = 0;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    types_[r].resize(rows_[r].size());
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      DataType t = InferDataType(rows_[r][c]);
+      types_[r][c] = t;
+      if (t != DataType::kEmpty) {
+        ++row_non_empty_[r];
+        ++col_non_empty_[c];
+        ++non_empty_total_;
+      }
+    }
+  }
+}
+
+std::string_view Table::cell(int row, int col) const {
+  if (row < 0 || row >= num_rows() || col < 0 || col >= num_cols_) return {};
+  const auto& r = rows_[static_cast<size_t>(row)];
+  if (static_cast<size_t>(col) >= r.size()) return {};
+  return r[static_cast<size_t>(col)];
+}
+
+DataType Table::cell_type(int row, int col) const {
+  if (row < 0 || row >= num_rows() || col < 0 || col >= num_cols_) {
+    return DataType::kEmpty;
+  }
+  const auto& r = types_[static_cast<size_t>(row)];
+  if (static_cast<size_t>(col) >= r.size()) return DataType::kEmpty;
+  return r[static_cast<size_t>(col)];
+}
+
+bool Table::cell_empty(int row, int col) const {
+  return cell_type(row, col) == DataType::kEmpty;
+}
+
+bool Table::row_empty(int row) const {
+  if (row < 0 || row >= num_rows()) return true;
+  return row_non_empty_[static_cast<size_t>(row)] == 0;
+}
+
+bool Table::col_empty(int col) const {
+  if (col < 0 || col >= num_cols_) return true;
+  return col_non_empty_[static_cast<size_t>(col)] == 0;
+}
+
+int Table::row_non_empty_count(int row) const {
+  if (row < 0 || row >= num_rows()) return 0;
+  return row_non_empty_[static_cast<size_t>(row)];
+}
+
+int Table::col_non_empty_count(int col) const {
+  if (col < 0 || col >= num_cols_) return 0;
+  return col_non_empty_[static_cast<size_t>(col)];
+}
+
+int Table::non_empty_count() const { return non_empty_total_; }
+
+void Table::set_cell(int row, int col, std::string value) {
+  if (row < 0 || row >= num_rows() || col < 0 || col >= num_cols_) return;
+  auto& r = rows_[static_cast<size_t>(row)];
+  auto& tr = types_[static_cast<size_t>(row)];
+  if (static_cast<size_t>(col) >= r.size()) {
+    r.resize(static_cast<size_t>(col) + 1);
+    tr.resize(static_cast<size_t>(col) + 1, DataType::kEmpty);
+  }
+  DataType old_type = tr[static_cast<size_t>(col)];
+  r[static_cast<size_t>(col)] = std::move(value);
+  DataType new_type = InferDataType(r[static_cast<size_t>(col)]);
+  tr[static_cast<size_t>(col)] = new_type;
+  int delta = (new_type != DataType::kEmpty) - (old_type != DataType::kEmpty);
+  row_non_empty_[static_cast<size_t>(row)] += delta;
+  col_non_empty_[static_cast<size_t>(col)] += delta;
+  non_empty_total_ += delta;
+}
+
+int Table::PrevNonEmptyRow(int row) const {
+  for (int r = row - 1; r >= 0; --r) {
+    if (!row_empty(r)) return r;
+  }
+  return -1;
+}
+
+int Table::NextNonEmptyRow(int row) const {
+  for (int r = row + 1; r < num_rows(); ++r) {
+    if (!row_empty(r)) return r;
+  }
+  return -1;
+}
+
+}  // namespace strudel::csv

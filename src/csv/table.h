@@ -1,0 +1,77 @@
+// Table: the two-dimensional cell grid every Strudel component operates on.
+//
+// A Table is a dense rectangular view over possibly-ragged CSV rows: the
+// width is the maximum row length and short rows read as empty cells. Cell
+// data types (types/datatype.h) are computed once and cached, since every
+// feature extractor consults them repeatedly.
+
+#ifndef STRUDEL_CSV_TABLE_H_
+#define STRUDEL_CSV_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "types/datatype.h"
+
+namespace strudel::csv {
+
+class Table {
+ public:
+  Table() = default;
+
+  /// Takes ownership of raw rows (possibly ragged).
+  explicit Table(std::vector<std::vector<std::string>> rows);
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  /// Width of the widest row.
+  int num_cols() const { return num_cols_; }
+
+  /// Cell value; empty string_view for out-of-range coordinates and for
+  /// cells beyond a short row's end.
+  std::string_view cell(int row, int col) const;
+
+  /// Cached data type of a cell; kEmpty out of range.
+  DataType cell_type(int row, int col) const;
+
+  /// True when the trimmed cell value is empty.
+  bool cell_empty(int row, int col) const;
+
+  /// True when every cell of the row is empty.
+  bool row_empty(int row) const;
+
+  /// True when every cell of the column is empty.
+  bool col_empty(int col) const;
+
+  /// Number of non-empty cells in a row / column / the whole table.
+  int row_non_empty_count(int row) const;
+  int col_non_empty_count(int col) const;
+  int non_empty_count() const;
+
+  /// Mutates a cell (re-infers its cached type). Grows the row if needed
+  /// but never beyond num_cols().
+  void set_cell(int row, int col, std::string value);
+
+  /// Raw row access (short rows stay short).
+  const std::vector<std::string>& row(int r) const { return rows_[r]; }
+
+  /// Index of the closest non-empty row strictly above/below `row`;
+  /// -1 when none exists. Used by the contextual line features, which
+  /// compare against the nearest non-empty neighbour (paper §4).
+  int PrevNonEmptyRow(int row) const;
+  int NextNonEmptyRow(int row) const;
+
+ private:
+  void RecomputeCaches();
+
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::vector<DataType>> types_;
+  std::vector<int> row_non_empty_;
+  std::vector<int> col_non_empty_;
+  int num_cols_ = 0;
+  int non_empty_total_ = 0;
+};
+
+}  // namespace strudel::csv
+
+#endif  // STRUDEL_CSV_TABLE_H_

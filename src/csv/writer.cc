@@ -1,0 +1,69 @@
+#include "csv/writer.h"
+
+#include <fstream>
+
+namespace strudel::csv {
+
+std::string EscapeField(const std::string& field, const Dialect& dialect) {
+  bool needs_quoting = false;
+  for (char c : field) {
+    if (c == dialect.delimiter || c == '\n' || c == '\r' ||
+        (dialect.quote != '\0' && c == dialect.quote)) {
+      needs_quoting = true;
+      break;
+    }
+  }
+  if (!needs_quoting || dialect.quote == '\0') return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += dialect.quote;
+  for (char c : field) {
+    if (c == dialect.quote) {
+      if (dialect.escape != '\0') {
+        out += dialect.escape;
+        out += c;
+      } else {
+        out += c;
+        out += c;  // quote doubling
+      }
+    } else {
+      out += c;
+    }
+  }
+  out += dialect.quote;
+  return out;
+}
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
+                     const Dialect& dialect) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += dialect.delimiter;
+      out += EscapeField(row[c], dialect);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string WriteTable(const Table& table, const Dialect& dialect) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(static_cast<size_t>(table.num_rows()));
+  for (int r = 0; r < table.num_rows(); ++r) {
+    rows.push_back(table.row(r));
+  }
+  return WriteCsv(rows, dialect);
+}
+
+Status WriteTableToFile(const Table& table, const std::string& path,
+                        const Dialect& dialect) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open file for writing: " + path);
+  std::string text = WriteTable(table, dialect);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IOError("error while writing file: " + path);
+  return Status::OK();
+}
+
+}  // namespace strudel::csv

@@ -1,0 +1,34 @@
+// CSV writing under a given Dialect, with minimal quoting: a field is
+// quoted only when it contains the delimiter, the quote character, or a
+// newline. The corpus generators use this to serialise synthetic files.
+
+#ifndef STRUDEL_CSV_WRITER_H_
+#define STRUDEL_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "csv/dialect.h"
+#include "csv/table.h"
+
+namespace strudel::csv {
+
+/// Serialises one field, adding quotes/escapes if required.
+std::string EscapeField(const std::string& field, const Dialect& dialect);
+
+/// Serialises rows as CSV text ('\n' line endings).
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
+                     const Dialect& dialect = Rfc4180Dialect());
+
+/// Serialises a Table (short rows are written short, as parsed).
+std::string WriteTable(const Table& table,
+                       const Dialect& dialect = Rfc4180Dialect());
+
+/// Writes a table to a file on disk.
+Status WriteTableToFile(const Table& table, const std::string& path,
+                        const Dialect& dialect = Rfc4180Dialect());
+
+}  // namespace strudel::csv
+
+#endif  // STRUDEL_CSV_WRITER_H_

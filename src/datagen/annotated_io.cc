@@ -1,0 +1,116 @@
+#include "datagen/annotated_io.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "csv/reader.h"
+#include "csv/writer.h"
+
+namespace strudel::datagen {
+
+namespace fs = std::filesystem;
+
+Status SaveAnnotatedFile(const AnnotatedFile& file,
+                         const std::string& csv_path) {
+  STRUDEL_RETURN_IF_ERROR(csv::WriteTableToFile(file.table, csv_path));
+  std::ofstream labels(csv_path + ".labels");
+  if (!labels) {
+    return Status::IOError("cannot open labels file: " + csv_path +
+                           ".labels");
+  }
+  for (int r = 0; r < file.table.num_rows(); ++r) {
+    labels << ElementClassName(
+        file.annotation.line_labels[static_cast<size_t>(r)]);
+    for (int c = 0; c < file.table.num_cols(); ++c) {
+      labels << '\t'
+             << ElementClassName(
+                    file.annotation.cell_labels[static_cast<size_t>(r)]
+                                               [static_cast<size_t>(c)]);
+    }
+    labels << '\n';
+  }
+  if (!labels) {
+    return Status::IOError("write failed: " + csv_path + ".labels");
+  }
+  return Status::OK();
+}
+
+Status SaveAnnotatedCorpus(const std::vector<AnnotatedFile>& corpus,
+                           const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory: " + directory);
+  }
+  for (const AnnotatedFile& file : corpus) {
+    const std::string name = file.name.empty() ? "file.csv" : file.name;
+    STRUDEL_RETURN_IF_ERROR(
+        SaveAnnotatedFile(file, (fs::path(directory) / name).string()));
+  }
+  return Status::OK();
+}
+
+Result<AnnotatedFile> LoadAnnotatedFile(const std::string& csv_path) {
+  AnnotatedFile file;
+  file.name = fs::path(csv_path).filename().string();
+  STRUDEL_ASSIGN_OR_RETURN(file.table, csv::ReadTableFromFile(csv_path));
+
+  std::ifstream labels_in(csv_path + ".labels");
+  if (!labels_in) {
+    return Status::IOError("cannot open labels file: " + csv_path +
+                           ".labels");
+  }
+  std::string line;
+  while (std::getline(labels_in, line)) {
+    if (TrimView(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields.empty()) continue;
+    file.annotation.line_labels.push_back(
+        ElementClassFromName(Trim(fields[0])));
+    std::vector<int> row;
+    row.reserve(fields.size() - 1);
+    for (size_t c = 1; c < fields.size(); ++c) {
+      row.push_back(ElementClassFromName(Trim(fields[c])));
+    }
+    file.annotation.cell_labels.push_back(std::move(row));
+  }
+
+  // Pad label rows to the table width (short CSV rows parse short).
+  for (auto& row : file.annotation.cell_labels) {
+    row.resize(static_cast<size_t>(file.table.num_cols()), kEmptyLabel);
+  }
+  if (!AnnotationConsistent(file.table, file.annotation)) {
+    return Status::ParseError(
+        "labels sidecar inconsistent with CSV content: " + csv_path);
+  }
+  return file;
+}
+
+Result<std::vector<AnnotatedFile>> LoadAnnotatedCorpus(
+    const std::string& directory) {
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec) || ec) {
+    return Status::NotFound("not a directory: " + directory);
+  }
+  std::vector<std::string> csv_paths;
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string path = entry.path().string();
+    if (EndsWith(path, ".csv") && fs::exists(path + ".labels")) {
+      csv_paths.push_back(path);
+    }
+  }
+  std::sort(csv_paths.begin(), csv_paths.end());
+  std::vector<AnnotatedFile> corpus;
+  corpus.reserve(csv_paths.size());
+  for (const std::string& path : csv_paths) {
+    STRUDEL_ASSIGN_OR_RETURN(AnnotatedFile file, LoadAnnotatedFile(path));
+    corpus.push_back(std::move(file));
+  }
+  return corpus;
+}
+
+}  // namespace strudel::datagen

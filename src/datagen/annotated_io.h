@@ -1,0 +1,41 @@
+// Annotated-corpus disk format: one CSV file plus a ".labels" sidecar per
+// file. The sidecar holds one tab-separated record per table row: the
+// line class followed by one cell class per column (class names as in
+// strudel/classes.h, "empty" for empty elements). This is the shape in
+// which the paper's ground truth was published and the format produced by
+// examples/annotate_corpus; it makes externally annotated corpora usable
+// for training.
+
+#ifndef STRUDEL_DATAGEN_ANNOTATED_IO_H_
+#define STRUDEL_DATAGEN_ANNOTATED_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "strudel/classes.h"
+
+namespace strudel::datagen {
+
+/// Writes `file.table` to `csv_path` and the annotation to
+/// `csv_path + ".labels"`.
+Status SaveAnnotatedFile(const AnnotatedFile& file,
+                         const std::string& csv_path);
+
+/// Writes a whole corpus into `directory` (created if missing), one file
+/// pair per AnnotatedFile, named by AnnotatedFile::name.
+Status SaveAnnotatedCorpus(const std::vector<AnnotatedFile>& corpus,
+                           const std::string& directory);
+
+/// Loads one file pair. The labels sidecar must be shape-consistent with
+/// the parsed CSV (validated with AnnotationConsistent).
+Result<AnnotatedFile> LoadAnnotatedFile(const std::string& csv_path);
+
+/// Loads every "*.csv" with a "*.csv.labels" sidecar in `directory`,
+/// sorted by name.
+Result<std::vector<AnnotatedFile>> LoadAnnotatedCorpus(
+    const std::string& directory);
+
+}  // namespace strudel::datagen
+
+#endif  // STRUDEL_DATAGEN_ANNOTATED_IO_H_

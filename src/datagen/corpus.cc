@@ -1,0 +1,77 @@
+#include "datagen/corpus.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace strudel::datagen {
+
+std::vector<AnnotatedFile> GenerateCorpus(const DatasetProfile& profile,
+                                          uint64_t seed) {
+  std::vector<AnnotatedFile> corpus;
+  corpus.reserve(static_cast<size_t>(std::max(profile.num_files, 0)));
+  Rng master(seed ^ 0x5742u);
+  for (int i = 0; i < profile.num_files; ++i) {
+    Rng file_rng = master.Fork();
+    corpus.push_back(GenerateFile(
+        profile.spec, file_rng,
+        StrFormat("%s_%04d.csv", ToLower(profile.name).c_str(), i)));
+  }
+  return corpus;
+}
+
+double CorpusStats::CellsPerLine(int cls) const {
+  if (cls < 0 || cls >= kNumElementClasses) return 0.0;
+  const long long lines = lines_per_class[static_cast<size_t>(cls)];
+  if (lines == 0) return 0.0;
+  return static_cast<double>(cells_per_class[static_cast<size_t>(cls)]) /
+         static_cast<double>(lines);
+}
+
+double CorpusStats::DiversityShare(int degree) const {
+  if (degree < 1 || degree > kNumElementClasses) return 0.0;
+  long long total = 0;
+  for (long long count : diversity_degree) total += count;
+  if (total == 0) return 0.0;
+  return static_cast<double>(diversity_degree[static_cast<size_t>(degree - 1)]) /
+         static_cast<double>(total);
+}
+
+CorpusStats ComputeStats(const std::vector<AnnotatedFile>& corpus) {
+  CorpusStats stats;
+  stats.num_files = static_cast<int>(corpus.size());
+  for (const AnnotatedFile& file : corpus) {
+    for (int r = 0; r < file.table.num_rows(); ++r) {
+      const int line_label =
+          file.annotation.line_labels[static_cast<size_t>(r)];
+      if (line_label == kEmptyLabel) continue;
+      ++stats.num_lines;
+      ++stats.lines_per_class[static_cast<size_t>(line_label)];
+      std::set<int> distinct;
+      for (int c = 0; c < file.table.num_cols(); ++c) {
+        const int cell_label =
+            file.annotation.cell_labels[static_cast<size_t>(r)]
+                                       [static_cast<size_t>(c)];
+        if (cell_label == kEmptyLabel) continue;
+        ++stats.num_cells;
+        ++stats.cells_per_class[static_cast<size_t>(cell_label)];
+        distinct.insert(cell_label);
+      }
+      if (!distinct.empty()) {
+        ++stats.diversity_degree[distinct.size() - 1];
+      }
+    }
+  }
+  return stats;
+}
+
+std::vector<AnnotatedFile> ConcatCorpora(
+    std::vector<std::vector<AnnotatedFile>> corpora) {
+  std::vector<AnnotatedFile> all;
+  for (auto& corpus : corpora) {
+    for (auto& file : corpus) all.push_back(std::move(file));
+  }
+  return all;
+}
+
+}  // namespace strudel::datagen

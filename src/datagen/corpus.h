@@ -1,0 +1,45 @@
+// Corpus generation and the dataset statistics reported in the paper's
+// Tables 3-5: file/line/cell counts, per-class distributions, cells per
+// line, and the cell-class diversity degree of lines.
+
+#ifndef STRUDEL_DATAGEN_CORPUS_H_
+#define STRUDEL_DATAGEN_CORPUS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "datagen/profiles.h"
+#include "strudel/classes.h"
+
+namespace strudel::datagen {
+
+/// Generates `profile.num_files` annotated files; deterministic in `seed`.
+std::vector<AnnotatedFile> GenerateCorpus(const DatasetProfile& profile,
+                                          uint64_t seed);
+
+struct CorpusStats {
+  int num_files = 0;
+  long long num_lines = 0;  // non-empty lines (Table 4 convention)
+  long long num_cells = 0;  // non-empty cells
+  std::array<long long, kNumElementClasses> lines_per_class{};
+  std::array<long long, kNumElementClasses> cells_per_class{};
+  /// diversity_degree[d-1] = lines whose non-empty cells span d distinct
+  /// classes (Table 3; d in 1..6).
+  std::array<long long, kNumElementClasses> diversity_degree{};
+
+  double CellsPerLine(int cls) const;
+  /// Fraction of lines with the given diversity degree (1-based).
+  double DiversityShare(int degree) const;
+};
+
+CorpusStats ComputeStats(const std::vector<AnnotatedFile>& corpus);
+
+/// Concatenates corpora (e.g. SAUS + CIUS + DeEx for the Figure 4 and
+/// Table 7/8 training collections).
+std::vector<AnnotatedFile> ConcatCorpora(
+    std::vector<std::vector<AnnotatedFile>> corpora);
+
+}  // namespace strudel::datagen
+
+#endif  // STRUDEL_DATAGEN_CORPUS_H_

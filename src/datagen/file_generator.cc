@@ -1,0 +1,480 @@
+#include "datagen/file_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/string_util.h"
+#include "datagen/table_builder.h"
+#include "datagen/vocab.h"
+
+namespace strudel::datagen {
+
+namespace {
+
+constexpr int kMetadata = static_cast<int>(ElementClass::kMetadata);
+constexpr int kHeader = static_cast<int>(ElementClass::kHeader);
+constexpr int kGroup = static_cast<int>(ElementClass::kGroup);
+constexpr int kData = static_cast<int>(ElementClass::kData);
+constexpr int kDerived = static_cast<int>(ElementClass::kDerived);
+constexpr int kNotes = static_cast<int>(ElementClass::kNotes);
+
+// Column roles inside a table body.
+enum class ColumnKind {
+  kGroupColumn,
+  kEntity,
+  kDate,
+  kCategory,  // string-valued data column
+  kNumeric,
+  kDerivedCol,
+};
+
+struct ColumnPlan {
+  ColumnKind kind;
+  bool decimal = false;   // numeric columns: 1-decimal values
+  bool big = false;       // numeric columns: thousands-scale magnitudes
+};
+
+// Structural decisions of one table, drawn from the structure RNG so that
+// templated files share them.
+struct TablePlan {
+  std::vector<ColumnPlan> columns;
+  int header_rows = 1;
+  bool numeric_headers = false;
+  int fractions = 1;
+  std::vector<int> rows_per_fraction;
+  bool group_lines = false;        // left-only group line per fraction
+  std::vector<bool> fraction_derived;
+  bool table_total = false;
+  bool derived_keyword = true;
+  bool derived_mean = false;
+  bool blank_header_gap = false;
+  bool blank_between_fractions = false;
+};
+
+std::string FormatValue(double value, bool decimal, bool big) {
+  if (decimal) return StrFormat("%.1f", value);
+  const long long v = static_cast<long long>(std::llround(value));
+  if (big && (v >= 10000 || v <= -10000)) {
+    // Insert thousands separators.
+    std::string digits = StrFormat("%lld", v < 0 ? -v : v);
+    std::string grouped;
+    const size_t n = digits.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (i > 0 && (n - i) % 3 == 0) grouped += ',';
+      grouped += digits[i];
+    }
+    return v < 0 ? "-" + grouped : grouped;
+  }
+  return StrFormat("%lld", v);
+}
+
+double SampleValue(const ColumnPlan& plan, Rng& rng) {
+  double magnitude =
+      plan.big ? rng.UniformDouble(5000.0, 900000.0)
+               : rng.UniformDouble(1.0, 900.0);
+  if (plan.decimal) {
+    // Keep one decimal digit exactly so sums stay representable.
+    return std::round(magnitude * 10.0) / 10.0;
+  }
+  return std::round(magnitude);
+}
+
+std::string MakeDateValue(Rng& rng) {
+  switch (rng.UniformInt(3)) {
+    case 0:
+      return StrFormat("%04d-%02d-%02d",
+                       static_cast<int>(rng.UniformInt(2008, 2020)),
+                       static_cast<int>(rng.UniformInt(1, 12)),
+                       static_cast<int>(rng.UniformInt(1, 28)));
+    case 1: {
+      std::string out(Pick(MonthNames(), rng));
+      out += StrFormat(" %04d", static_cast<int>(rng.UniformInt(2008, 2020)));
+      return out;
+    }
+    default:
+      return StrFormat("%02d/%02d/%04d",
+                       static_cast<int>(rng.UniformInt(1, 28)),
+                       static_cast<int>(rng.UniformInt(1, 12)),
+                       static_cast<int>(rng.UniformInt(2008, 2020)));
+  }
+}
+
+TablePlan PlanTable(const FileGenSpec& spec, Rng& structure) {
+  TablePlan plan;
+  plan.header_rows = spec.header_rows.Sample(structure);
+  plan.numeric_headers = structure.Bernoulli(spec.numeric_header_prob);
+  plan.fractions = spec.group_fractions.Sample(structure);
+  plan.group_lines = structure.Bernoulli(spec.group_line_prob);
+  plan.table_total = structure.Bernoulli(spec.table_total_row_prob);
+  plan.derived_keyword = structure.Bernoulli(spec.derived_keyword_prob);
+  plan.derived_mean = structure.Bernoulli(spec.derived_mean_prob);
+  plan.blank_header_gap =
+      structure.Bernoulli(spec.blank_between_header_data_prob);
+  plan.blank_between_fractions =
+      structure.Bernoulli(spec.blank_between_fractions_prob);
+
+  // Columns: optional group column(s), an entity key column, optional
+  // date column, numeric columns, optional derived column.
+  const bool use_group_column =
+      plan.fractions > 1 &&
+      (!plan.group_lines || structure.Bernoulli(spec.group_column_prob));
+  if (use_group_column) {
+    plan.group_lines = false;
+    plan.columns.push_back({ColumnKind::kGroupColumn});
+    if (structure.Bernoulli(spec.multi_level_group_prob)) {
+      plan.columns.push_back({ColumnKind::kGroupColumn});
+    }
+  }
+  plan.columns.push_back({ColumnKind::kEntity});
+  if (structure.Bernoulli(spec.date_column_prob)) {
+    plan.columns.push_back({ColumnKind::kDate});
+  }
+  const int numeric_columns =
+      std::max(1, spec.data_columns.Sample(structure) -
+                      static_cast<int>(plan.columns.size()));
+  for (int i = 0; i < numeric_columns; ++i) {
+    // Keep at least one truly numeric column per table.
+    if (i > 0 && structure.Bernoulli(spec.string_column_prob)) {
+      plan.columns.push_back({ColumnKind::kCategory});
+      continue;
+    }
+    ColumnPlan column{ColumnKind::kNumeric};
+    column.decimal = structure.Bernoulli(spec.value_decimal_prob);
+    column.big = structure.Bernoulli(spec.big_value_prob);
+    plan.columns.push_back(column);
+  }
+  if (structure.Bernoulli(spec.derived_column_prob)) {
+    ColumnPlan column{ColumnKind::kDerivedCol};
+    // A derived column matches the shape of the columns it sums.
+    column.decimal = false;
+    for (const ColumnPlan& c : plan.columns) {
+      if (c.kind == ColumnKind::kNumeric && c.decimal) column.decimal = true;
+    }
+    plan.columns.push_back(column);
+  }
+
+  plan.rows_per_fraction.resize(static_cast<size_t>(plan.fractions));
+  for (int& rows : plan.rows_per_fraction) {
+    rows = spec.rows_per_fraction.Sample(structure);
+  }
+  plan.fraction_derived.resize(static_cast<size_t>(plan.fractions));
+  for (size_t f = 0; f < plan.fraction_derived.size(); ++f) {
+    // Fraction-closing derived lines only make sense with >1 fraction or
+    // when the table has no grand total of its own.
+    plan.fraction_derived[f] =
+        structure.Bernoulli(spec.fraction_derived_prob) &&
+        (plan.fractions > 1 || !plan.table_total);
+  }
+  return plan;
+}
+
+// Splits `text` across several cells at word boundaries — the Mendeley
+// "delimiter dilemma" where one delimiter choice shreds prose lines.
+std::vector<std::string> FragmentText(const std::string& text, Rng& rng) {
+  std::vector<std::string> words = Split(text, ' ');
+  std::vector<std::string> cells;
+  std::string current;
+  for (const std::string& word : words) {
+    if (!current.empty() && rng.Bernoulli(0.35)) {
+      cells.push_back(current);
+      current.clear();
+    }
+    if (!current.empty()) current += ' ';
+    current += word;
+  }
+  if (!current.empty()) cells.push_back(current);
+  return cells;
+}
+
+void EmitTextBlock(AnnotatedFileBuilder& builder, const std::string& text,
+                   int label, const FileGenSpec& spec, Rng& values) {
+  if (spec.text_fragmentation_prob > 0.0 &&
+      values.Bernoulli(spec.text_fragmentation_prob)) {
+    builder.AddUniformRow(FragmentText(text, values), label);
+  } else {
+    builder.AddUniformRow({text}, label);
+  }
+}
+
+void EmitMetadata(AnnotatedFileBuilder& builder, const FileGenSpec& spec,
+                  Rng& structure, Rng& values) {
+  const int lines = spec.metadata_lines.Sample(structure);
+  for (int i = 0; i < lines; ++i) {
+    if (i > 0 && values.Bernoulli(spec.metadata_keyvalue_prob)) {
+      // Two-cell "key, value" metadata — a shape close to short data rows.
+      builder.AddUniformRow(
+          {StrFormat("%s:", i % 2 == 0 ? "Coverage" : "Reference"),
+           StrFormat("%s %d",
+                     std::string(Pick(MonthNames(), values)).c_str(),
+                     static_cast<int>(values.UniformInt(2010, 2020)))},
+          kMetadata);
+      continue;
+    }
+    std::string text = i == 0 ? MakeTitle(values)
+                              : StrFormat("Reporting period: %s %d",
+                                          std::string(Pick(MonthNames(),
+                                                           values))
+                                              .c_str(),
+                                          static_cast<int>(
+                                              values.UniformInt(2010, 2020)));
+    EmitTextBlock(builder, text, kMetadata, spec, values);
+  }
+  if (structure.Bernoulli(spec.metadata_small_table_prob)) {
+    // Elaborate metadata organised as a small key-value table — the
+    // "metadata as data" difficult case (§6.3.6).
+    const int rows = static_cast<int>(structure.UniformInt(2, 4));
+    for (int r = 0; r < rows; ++r) {
+      builder.AddUniformRow(
+          {StrFormat("Field %d", r + 1),
+           std::string(Pick(CategoryNames(), values)),
+           FormatValue(SampleValue({ColumnKind::kNumeric}, values), false,
+                       false)},
+          kMetadata);
+    }
+  }
+}
+
+void EmitNotes(AnnotatedFileBuilder& builder, const FileGenSpec& spec,
+               Rng& structure, Rng& values) {
+  const int lines = spec.notes_lines.Sample(structure);
+  for (int i = 0; i < lines; ++i) {
+    EmitTextBlock(builder, MakeNote(values), kNotes, spec, values);
+  }
+  if (structure.Bernoulli(spec.notes_table_prob)) {
+    // Notes organised as a small table — the DeEx "notes as data"
+    // difficult case (§6.3.6).
+    const int rows = static_cast<int>(structure.UniformInt(2, 4));
+    for (int r = 0; r < rows; ++r) {
+      builder.AddUniformRow(
+          {StrFormat("(%d)", r + 1),
+           std::string(Pick(NoteTemplates(), values))},
+          kNotes);
+    }
+  }
+}
+
+void EmitTable(AnnotatedFileBuilder& builder, const TablePlan& plan,
+               const FileGenSpec& spec, Rng& values) {
+  const size_t width = plan.columns.size();
+
+  // Header rows. The first body column(s) often have no header of their
+  // own (the Figure 1 shape where the key column is unlabelled).
+  for (int h = 0; h < plan.header_rows; ++h) {
+    std::vector<std::string> cells(width);
+    std::vector<int> labels(width, kEmptyLabel);
+    for (size_t c = 0; c < width; ++c) {
+      const ColumnKind kind = plan.columns[c].kind;
+      if (kind == ColumnKind::kGroupColumn || kind == ColumnKind::kEntity) {
+        // Leave blank on the last header row with some probability.
+        if (h == plan.header_rows - 1 && values.Bernoulli(0.5)) continue;
+        cells[c] = h == 0 && kind == ColumnKind::kEntity ? "Area" : "";
+      } else if (kind == ColumnKind::kDate) {
+        cells[c] = "Period";
+      } else if (kind == ColumnKind::kDerivedCol) {
+        cells[c] = plan.derived_keyword
+                       ? (plan.derived_mean ? "Average" : "Total")
+                       : MakeHeader(values, false);
+      } else {
+        cells[c] = MakeHeader(values, plan.numeric_headers);
+      }
+      if (!cells[c].empty()) labels[c] = kHeader;
+    }
+    builder.AddRow(std::move(cells), std::move(labels));
+  }
+  if (plan.blank_header_gap) builder.AddBlankRow();
+
+  // Identify the numeric column positions once.
+  std::vector<size_t> numeric_cols;
+  size_t derived_col = width;  // width = none
+  for (size_t c = 0; c < width; ++c) {
+    if (plan.columns[c].kind == ColumnKind::kNumeric) numeric_cols.push_back(c);
+    if (plan.columns[c].kind == ColumnKind::kDerivedCol) derived_col = c;
+  }
+
+  std::vector<double> table_sums(width, 0.0);
+  int table_rows = 0;
+
+  for (int fraction = 0; fraction < plan.fractions; ++fraction) {
+    std::string group_name(Pick(CategoryNames(), values));
+    if (plan.fractions > 1 && plan.group_lines) {
+      std::vector<std::string> cells(width);
+      std::vector<int> labels(width, kEmptyLabel);
+      // Some group headers carry aggregation words ("All private
+      // households:") without being derived — keyword-only detection
+      // cannot tell them from totals.
+      cells[0] = values.Bernoulli(spec.keyword_group_prob)
+                     ? "All " + ToLower(group_name) + ":"
+                     : group_name + ":";
+      labels[0] = kGroup;
+      builder.AddRow(std::move(cells), std::move(labels));
+    }
+
+    std::vector<double> fraction_sums(width, 0.0);
+    const int rows = plan.rows_per_fraction[static_cast<size_t>(fraction)];
+    for (int r = 0; r < rows; ++r) {
+      std::vector<std::string> cells(width);
+      std::vector<int> labels(width, kEmptyLabel);
+      double row_sum = 0.0;
+      bool row_decimal = false;
+      for (size_t c = 0; c < width; ++c) {
+        switch (plan.columns[c].kind) {
+          case ColumnKind::kGroupColumn:
+            // Only the first row of a fraction names the group (spanning
+            // convention: value in the top-left covered cell only).
+            if (r == 0) {
+              cells[c] = c == 0 ? group_name
+                                : std::string(Pick(SubCategoryNames(), values));
+              labels[c] = kGroup;
+            }
+            break;
+          case ColumnKind::kEntity:
+            cells[c] = std::string(Pick(EntityNames(), values));
+            labels[c] = kData;
+            break;
+          case ColumnKind::kDate:
+            cells[c] = MakeDateValue(values);
+            labels[c] = kData;
+            break;
+          case ColumnKind::kCategory:
+            cells[c] = std::string(Pick(SubCategoryNames(), values));
+            labels[c] = kData;
+            break;
+          case ColumnKind::kNumeric: {
+            if (values.Bernoulli(spec.missing_value_prob)) break;
+            const double value = SampleValue(plan.columns[c], values);
+            cells[c] = FormatValue(value, plan.columns[c].decimal,
+                                   plan.columns[c].big);
+            labels[c] = kData;
+            fraction_sums[c] += value;
+            table_sums[c] += value;
+            row_sum += value;
+            row_decimal = row_decimal || plan.columns[c].decimal;
+            break;
+          }
+          case ColumnKind::kDerivedCol:
+            cells[c] = FormatValue(row_sum, plan.columns[c].decimal ||
+                                                row_decimal,
+                                   plan.columns[c].big);
+            labels[c] = kDerived;
+            break;
+        }
+      }
+      builder.AddRow(std::move(cells), std::move(labels));
+      ++table_rows;
+    }
+
+    if (plan.fraction_derived[static_cast<size_t>(fraction)] &&
+        !numeric_cols.empty()) {
+      std::vector<std::string> cells(width);
+      std::vector<int> labels(width, kEmptyLabel);
+      // Leading textual cell: keyword-anchored, the bare group name, or —
+      // hardest — an entity-style name indistinguishable from a data row's
+      // key cell; the paper reforges it as group either way.
+      if (values.Bernoulli(spec.derived_bare_prob)) {
+        cells[0] = std::string(Pick(EntityNames(), values));
+      } else {
+        cells[0] = plan.derived_keyword
+                       ? (plan.derived_mean ? "Average" : "Total")
+                       : group_name;
+      }
+      labels[0] = kGroup;
+      // Some derived lines aggregate sources the detector cannot see
+      // (non-consecutive lines, other tables): perturb the values so the
+      // arithmetic check fails while the ground truth stays derived.
+      const double distortion =
+          values.Bernoulli(spec.derived_unrecoverable_prob)
+              ? values.UniformDouble(1.25, 1.9)
+              : 1.0;
+      double derived_row_sum = 0.0;
+      for (size_t c : numeric_cols) {
+        double value = fraction_sums[c] * distortion;
+        if (plan.derived_mean) value /= std::max(1, rows);
+        cells[c] = FormatValue(value,
+                               plan.columns[c].decimal || plan.derived_mean,
+                               plan.columns[c].big);
+        labels[c] = kDerived;
+        derived_row_sum += value;
+      }
+      if (derived_col < width) {
+        cells[derived_col] =
+            FormatValue(derived_row_sum, true, plan.columns[derived_col].big);
+        labels[derived_col] = kDerived;
+      }
+      builder.AddRow(std::move(cells), std::move(labels));
+    }
+    if (plan.blank_between_fractions && fraction + 1 < plan.fractions) {
+      builder.AddBlankRow();
+    }
+  }
+
+  if (plan.table_total && !numeric_cols.empty()) {
+    std::vector<std::string> cells(width);
+    std::vector<int> labels(width, kEmptyLabel);
+    cells[0] = plan.derived_keyword
+                   ? (plan.derived_mean ? "Average, all groups" : "Total")
+                   : "All areas";
+    labels[0] = kGroup;
+    double grand_sum = 0.0;
+    for (size_t c : numeric_cols) {
+      double value = table_sums[c];
+      if (plan.derived_mean) value /= std::max(1, table_rows);
+      cells[c] = FormatValue(value,
+                             plan.columns[c].decimal || plan.derived_mean,
+                             plan.columns[c].big);
+      labels[c] = kDerived;
+      grand_sum += value;
+    }
+    if (derived_col < width) {
+      cells[derived_col] =
+          FormatValue(grand_sum, true, plan.columns[derived_col].big);
+      labels[derived_col] = kDerived;
+    }
+    builder.AddRow(std::move(cells), std::move(labels));
+  }
+}
+
+}  // namespace
+
+int Range::Sample(Rng& rng) const {
+  if (hi <= lo) return lo;
+  return static_cast<int>(rng.UniformInt(lo, hi));
+}
+
+AnnotatedFile GenerateFile(const FileGenSpec& spec, Rng& rng,
+                           std::string name) {
+  // Split structure vs. value randomness for template support.
+  Rng values = rng.Fork();
+  Rng structure = spec.num_templates > 0
+                      ? Rng(spec.template_seed +
+                            rng.UniformInt(static_cast<uint64_t>(
+                                spec.num_templates)))
+                      : rng.Fork();
+
+  AnnotatedFileBuilder builder;
+  EmitMetadata(builder, spec, structure, values);
+
+  const int tables = spec.tables.Sample(structure);
+  for (int t = 0; t < tables; ++t) {
+    if (structure.Bernoulli(spec.blank_between_sections_prob)) {
+      builder.AddBlankRow();
+    }
+    if (t > 0) {
+      // Stacked tables restate a caption above each body — the "headers
+      // of the tables towards the bottom of the stack have unusual line
+      // positions" difficult case (§6.3.6).
+      EmitTextBlock(builder, MakeTitle(values), kMetadata, spec, values);
+    }
+    TablePlan plan = PlanTable(spec, structure);
+    EmitTable(builder, plan, spec, values);
+  }
+
+  if (structure.Bernoulli(spec.blank_between_sections_prob)) {
+    builder.AddBlankRow();
+  }
+  EmitNotes(builder, spec, structure, values);
+
+  return std::move(builder).Build(std::move(name));
+}
+
+}  // namespace strudel::datagen

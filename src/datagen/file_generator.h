@@ -1,0 +1,100 @@
+// Synthetic verbose CSV file generation with ground-truth line and cell
+// labels.
+//
+// A FileGenSpec describes the layout distribution of one dataset family:
+// how many stacked tables, metadata/notes blocks, header shapes, group
+// organisation (left-only group lines vs. group columns), derived lines /
+// columns and whether they carry anchoring keywords, empty-separator
+// conventions, value formats, and "delimiter damage" (long text split
+// across cells, the Mendeley trait). Derived values are real aggregates
+// (sum or mean) of the generated data so that Algorithm 2 has actual
+// arithmetic to find.
+//
+// Template reuse: with num_templates > 0, all *structural* decisions of a
+// file are drawn from a per-template RNG while the values stay file-
+// specific — this reproduces the CIUS trait of "reports from different
+// years on the same themes with the same templates".
+
+#ifndef STRUDEL_DATAGEN_FILE_GENERATOR_H_
+#define STRUDEL_DATAGEN_FILE_GENERATOR_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "strudel/classes.h"
+
+namespace strudel::datagen {
+
+/// Inclusive integer range with uniform sampling.
+struct Range {
+  int lo = 0;
+  int hi = 0;
+  int Sample(Rng& rng) const;
+};
+
+struct FileGenSpec {
+  // Macro layout.
+  Range tables{1, 1};
+  Range metadata_lines{1, 3};
+  double metadata_small_table_prob = 0.0;
+  Range notes_lines{1, 3};
+  double notes_table_prob = 0.0;
+  double blank_between_sections_prob = 0.8;
+  double blank_between_header_data_prob = 0.1;
+
+  // Header shape.
+  Range header_rows{1, 1};
+  double numeric_header_prob = 0.1;  // year headers (kInt) instead of text
+
+  // Body shape.
+  Range data_columns{3, 8};
+  Range group_fractions{1, 1};  // 1 = ungrouped table
+  Range rows_per_fraction{5, 20};
+  double group_line_prob = 0.8;          // left-only group line...
+  double group_column_prob = 0.15;       // ...or a dedicated group column
+  double multi_level_group_prob = 0.0;   // 2 group columns (DeEx trait)
+  double blank_between_fractions_prob = 0.3;
+  double date_column_prob = 0.1;
+
+  // Derived elements.
+  double fraction_derived_prob = 0.5;  // derived line closing a fraction
+  double table_total_row_prob = 0.3;   // grand-total line closing a table
+  double derived_keyword_prob = 0.9;   // leading "Total"/"Average" cell
+  double derived_column_prob = 0.2;    // rightmost derived column
+  double derived_mean_prob = 0.2;      // aggregate with mean instead of sum
+
+  // Difficulty knobs — each feeds one of the paper's documented confusion
+  // sources (§6.3.6).
+  double string_column_prob = 0.15;  // categorical (string) data columns,
+                                     // making data lines header-like
+  double metadata_keyvalue_prob = 0.25;  // metadata as "key, value" rows
+  double derived_unrecoverable_prob = 0.1;  // derived values aggregating
+                                            // sources outside the scan
+                                            // area (detector must miss)
+  double derived_bare_prob = 0.2;   // derived line with an entity-style
+                                    // leading cell and no keyword anywhere
+                                    // (excluded from Algorithm 2's
+                                    // candidates, paper §6.3.3)
+  double keyword_group_prob = 0.2;  // group lines containing aggregation
+                                    // words ("All households:") that fool
+                                    // keyword-only detectors
+
+  // Value formats.
+  double value_decimal_prob = 0.3;
+  double big_value_prob = 0.3;      // magnitudes with thousands separators
+  double missing_value_prob = 0.05;
+  double text_fragmentation_prob = 0.0;  // split long text across cells
+
+  // Template reuse (CIUS trait); 0 = fully random structure per file.
+  int num_templates = 0;
+  uint64_t template_seed = 0;
+};
+
+/// Generates one annotated verbose CSV file. `rng` supplies all
+/// file-specific randomness.
+AnnotatedFile GenerateFile(const FileGenSpec& spec, Rng& rng,
+                           std::string name);
+
+}  // namespace strudel::datagen
+
+#endif  // STRUDEL_DATAGEN_FILE_GENERATOR_H_

@@ -1,0 +1,216 @@
+#include "datagen/profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace strudel::datagen {
+
+DatasetProfile GovUkProfile() {
+  DatasetProfile profile;
+  profile.name = "GovUK";
+  profile.num_files = 226;
+  FileGenSpec& spec = profile.spec;
+  spec.tables = {1, 2};
+  spec.metadata_lines = {1, 4};
+  spec.notes_lines = {1, 4};
+  spec.header_rows = {1, 2};
+  spec.numeric_header_prob = 0.25;
+  spec.data_columns = {3, 9};
+  spec.group_fractions = {1, 4};
+  spec.rows_per_fraction = {8, 120};
+  spec.group_line_prob = 0.7;
+  spec.group_column_prob = 0.25;
+  spec.fraction_derived_prob = 0.35;
+  spec.table_total_row_prob = 0.3;
+  spec.derived_keyword_prob = 0.75;
+  spec.derived_column_prob = 0.08;
+  spec.derived_mean_prob = 0.15;
+  spec.blank_between_header_data_prob = 0.15;
+  spec.date_column_prob = 0.15;
+  spec.missing_value_prob = 0.06;
+  spec.derived_unrecoverable_prob = 0.2;
+  spec.string_column_prob = 0.2;
+  spec.derived_bare_prob = 0.2;
+  spec.keyword_group_prob = 0.25;
+  return profile;
+}
+
+DatasetProfile SausProfile() {
+  DatasetProfile profile;
+  profile.name = "SAUS";
+  profile.num_files = 223;
+  FileGenSpec& spec = profile.spec;
+  spec.tables = {1, 1};
+  spec.metadata_lines = {1, 3};
+  spec.notes_lines = {1, 4};
+  spec.header_rows = {1, 1};
+  spec.numeric_header_prob = 0.15;
+  spec.data_columns = {4, 8};
+  spec.group_fractions = {1, 2};
+  spec.rows_per_fraction = {8, 40};
+  spec.group_line_prob = 0.95;  // SAUS groups follow the left-only rule
+  spec.group_column_prob = 0.05;
+  spec.fraction_derived_prob = 0.3;
+  spec.table_total_row_prob = 0.35;
+  spec.derived_keyword_prob = 0.35;  // many unanchored derived cells
+  spec.derived_column_prob = 0.1;
+  spec.derived_mean_prob = 0.2;
+  spec.missing_value_prob = 0.04;
+  spec.derived_unrecoverable_prob = 0.3;
+  spec.derived_bare_prob = 0.25;
+  spec.keyword_group_prob = 0.2;
+  return profile;
+}
+
+DatasetProfile CiusProfile() {
+  DatasetProfile profile;
+  profile.name = "CIUS";
+  profile.num_files = 269;
+  FileGenSpec& spec = profile.spec;
+  spec.tables = {1, 1};
+  spec.metadata_lines = {2, 4};
+  spec.notes_lines = {1, 3};
+  spec.header_rows = {1, 2};
+  spec.numeric_header_prob = 0.4;  // year columns
+  spec.data_columns = {4, 9};
+  spec.group_fractions = {2, 5};
+  spec.rows_per_fraction = {6, 30};
+  spec.group_line_prob = 0.85;
+  spec.group_column_prob = 0.1;
+  spec.fraction_derived_prob = 0.3;
+  spec.table_total_row_prob = 0.25;
+  spec.derived_keyword_prob = 0.4;  // schemas without keyword anchors
+  spec.derived_column_prob = 0.15;  // derived-column files (many cells each)
+  spec.derived_mean_prob = 0.1;
+  spec.missing_value_prob = 0.03;
+  // Yearly reports on the same themes with the same templates.
+  spec.num_templates = 12;
+  spec.template_seed = 0xC1C5ULL;
+  spec.derived_unrecoverable_prob = 0.15;
+  spec.string_column_prob = 0.1;
+  spec.derived_bare_prob = 0.25;
+  spec.keyword_group_prob = 0.3;
+  return profile;
+}
+
+DatasetProfile DeExProfile() {
+  DatasetProfile profile;
+  profile.name = "DeEx";
+  profile.num_files = 444;
+  FileGenSpec& spec = profile.spec;
+  spec.tables = {1, 3};
+  spec.metadata_lines = {1, 3};
+  spec.metadata_small_table_prob = 0.25;
+  spec.notes_lines = {1, 3};
+  spec.notes_table_prob = 0.35;
+  spec.header_rows = {1, 2};
+  spec.numeric_header_prob = 0.3;
+  spec.data_columns = {3, 10};
+  spec.group_fractions = {1, 4};
+  spec.rows_per_fraction = {6, 70};
+  spec.group_line_prob = 0.4;
+  spec.group_column_prob = 0.5;        // group columns common
+  spec.multi_level_group_prob = 0.4;   // 'country-state-city' columns
+  spec.fraction_derived_prob = 0.35;
+  spec.table_total_row_prob = 0.3;
+  spec.derived_keyword_prob = 0.6;
+  spec.derived_column_prob = 0.05;
+  spec.derived_mean_prob = 0.2;
+  spec.blank_between_fractions_prob = 0.4;
+  spec.missing_value_prob = 0.08;
+  spec.string_column_prob = 0.3;
+  spec.metadata_keyvalue_prob = 0.35;
+  spec.derived_unrecoverable_prob = 0.25;
+  spec.derived_bare_prob = 0.2;
+  spec.keyword_group_prob = 0.25;
+  return profile;
+}
+
+DatasetProfile MendeleyProfile() {
+  DatasetProfile profile;
+  profile.name = "Mendeley";
+  profile.num_files = 62;
+  FileGenSpec& spec = profile.spec;
+  spec.tables = {1, 1};
+  spec.metadata_lines = {1, 6};
+  spec.notes_lines = {0, 2};
+  spec.header_rows = {1, 1};
+  spec.numeric_header_prob = 0.2;
+  spec.data_columns = {3, 7};
+  spec.group_fractions = {1, 1};
+  spec.rows_per_fraction = {800, 5000};  // experiment logs, not reports
+  spec.group_line_prob = 0.1;
+  spec.fraction_derived_prob = 0.02;
+  spec.table_total_row_prob = 0.03;
+  spec.derived_keyword_prob = 0.5;
+  spec.derived_column_prob = 0.02;
+  spec.value_decimal_prob = 0.8;  // measurements
+  spec.big_value_prob = 0.1;
+  spec.date_column_prob = 0.3;
+  spec.missing_value_prob = 0.02;
+  spec.text_fragmentation_prob = 0.6;  // delimiter dilemma on prose lines
+  spec.derived_unrecoverable_prob = 0.9;
+  spec.string_column_prob = 0.25;
+  spec.derived_bare_prob = 0.5;
+  return profile;
+}
+
+DatasetProfile TroyProfile() {
+  DatasetProfile profile;
+  profile.name = "Troy";
+  profile.num_files = 200;
+  FileGenSpec& spec = profile.spec;
+  spec.tables = {1, 1};
+  spec.metadata_lines = {1, 3};
+  spec.notes_lines = {2, 4};
+  spec.header_rows = {1, 2};
+  spec.numeric_header_prob = 0.3;
+  spec.data_columns = {3, 7};
+  spec.group_fractions = {1, 2};
+  spec.rows_per_fraction = {4, 14};  // small statistical tables
+  spec.group_line_prob = 0.5;
+  spec.group_column_prob = 0.3;
+  spec.fraction_derived_prob = 0.45;
+  spec.table_total_row_prob = 0.4;
+  spec.derived_keyword_prob = 0.15;  // derived lines without keywords
+  spec.derived_column_prob = 0.2;
+  spec.derived_mean_prob = 0.2;
+  spec.missing_value_prob = 0.05;
+  spec.derived_unrecoverable_prob = 0.5;
+  spec.derived_bare_prob = 0.8;
+  spec.keyword_group_prob = 0.2;
+  return profile;
+}
+
+std::vector<DatasetProfile> AllProfiles() {
+  return {GovUkProfile(), SausProfile(),     CiusProfile(),
+          DeExProfile(),  MendeleyProfile(), TroyProfile()};
+}
+
+DatasetProfile ProfileByName(const std::string& name) {
+  const std::string lower = ToLower(name);
+  for (DatasetProfile& profile : AllProfiles()) {
+    if (ToLower(profile.name) == lower) return profile;
+  }
+  return {};
+}
+
+DatasetProfile ScaledProfile(const DatasetProfile& profile, double file_scale,
+                             double size_scale) {
+  DatasetProfile scaled = profile;
+  scaled.num_files = std::max(
+      4, static_cast<int>(std::lround(profile.num_files * file_scale)));
+  auto scale_range = [size_scale](Range range) {
+    Range out;
+    out.lo = std::max(2, static_cast<int>(std::lround(range.lo * size_scale)));
+    out.hi = std::max(out.lo,
+                      static_cast<int>(std::lround(range.hi * size_scale)));
+    return out;
+  };
+  scaled.spec.rows_per_fraction = scale_range(profile.spec.rows_per_fraction);
+  return scaled;
+}
+
+}  // namespace strudel::datagen

@@ -1,0 +1,59 @@
+// Dataset profiles: one FileGenSpec per corpus of the paper (Table 4),
+// tuned to the qualitative traits the evaluation attributes to each
+// dataset. These are the substitutes for the paper's proprietary annotated
+// corpora (see DESIGN.md §3).
+//
+//  GovUK    — heterogeneous government spreadsheets, occasional stacked
+//             tables, groups common, moderate derived use.
+//  SAUS     — small administrative reports; simple few-line headers;
+//             left-only group lines; many *unanchored* derived cells
+//             (low keyword probability).
+//  CIUS     — yearly reports sharing a handful of templates; derived
+//             *columns* whose schema uses no anchoring keywords.
+//  DeEx     — heterogeneous business sheets: notes organised as tables,
+//             metadata as small tables, multi-level group columns.
+//  Mendeley — huge data-dominated plain-text files; almost no derived
+//             content; prose lines shredded by the table delimiter.
+//  Troy     — small statistical web tables; derived lines mostly without
+//             keywords (held out of training, §6.3.3).
+
+#ifndef STRUDEL_DATAGEN_PROFILES_H_
+#define STRUDEL_DATAGEN_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/file_generator.h"
+
+namespace strudel::datagen {
+
+struct DatasetProfile {
+  std::string name;
+  /// File count at paper scale (Table 4).
+  int num_files = 0;
+  FileGenSpec spec;
+};
+
+DatasetProfile GovUkProfile();
+DatasetProfile SausProfile();
+DatasetProfile CiusProfile();
+DatasetProfile DeExProfile();
+DatasetProfile MendeleyProfile();
+DatasetProfile TroyProfile();
+
+/// All six, in the paper's presentation order.
+std::vector<DatasetProfile> AllProfiles();
+
+/// Profile by name ("govuk", "saus", ...; case-insensitive). Empty profile
+/// with num_files == 0 when unknown.
+DatasetProfile ProfileByName(const std::string& name);
+
+/// Scales a profile down (or up) for bench runtimes: `file_scale`
+/// multiplies the file count (minimum 4 files), `size_scale` the
+/// rows-per-fraction range (minimum 2 rows).
+DatasetProfile ScaledProfile(const DatasetProfile& profile, double file_scale,
+                             double size_scale);
+
+}  // namespace strudel::datagen
+
+#endif  // STRUDEL_DATAGEN_PROFILES_H_

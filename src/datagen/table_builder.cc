@@ -1,0 +1,82 @@
+#include "datagen/table_builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace strudel::datagen {
+
+void AnnotatedFileBuilder::AddRow(std::vector<std::string> cells,
+                                  std::vector<int> labels) {
+  assert(cells.size() == labels.size());
+  cells_.push_back(std::move(cells));
+  labels_.push_back(std::move(labels));
+}
+
+void AnnotatedFileBuilder::AddUniformRow(std::vector<std::string> cells,
+                                         int label) {
+  std::vector<int> labels(cells.size(), kEmptyLabel);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (!TrimView(cells[i]).empty()) labels[i] = label;
+  }
+  AddRow(std::move(cells), std::move(labels));
+}
+
+void AnnotatedFileBuilder::AddBlankRow() {
+  cells_.emplace_back();
+  labels_.emplace_back();
+}
+
+AnnotatedFile AnnotatedFileBuilder::Build(std::string name) && {
+  // Pad every row (cells and labels) to the common width.
+  size_t width = 0;
+  for (const auto& row : cells_) width = std::max(width, row.size());
+  for (size_t r = 0; r < cells_.size(); ++r) {
+    cells_[r].resize(width);
+    labels_[r].resize(width, kEmptyLabel);
+  }
+
+  // Force label/emptiness consistency: empty cells lose any label, and
+  // non-empty cells must carry one (violations downgrade to data, which is
+  // always safe and keeps generators honest without crashing benches).
+  for (size_t r = 0; r < cells_.size(); ++r) {
+    for (size_t c = 0; c < width; ++c) {
+      const bool empty = TrimView(cells_[r][c]).empty();
+      if (empty) {
+        labels_[r][c] = kEmptyLabel;
+      } else if (labels_[r][c] == kEmptyLabel) {
+        labels_[r][c] = static_cast<int>(ElementClass::kData);
+      }
+    }
+  }
+
+  // Crop marginal empty lines (paper §6.1.1: leading/trailing empty lines
+  // are trivial cases removed in data preparation). Interior blanks stay.
+  auto row_is_empty = [](const std::vector<std::string>& row) {
+    for (const std::string& cell : row) {
+      if (!TrimView(cell).empty()) return false;
+    }
+    return true;
+  };
+  size_t first = 0;
+  while (first < cells_.size() && row_is_empty(cells_[first])) ++first;
+  size_t last = cells_.size();
+  while (last > first && row_is_empty(cells_[last - 1])) --last;
+  if (first > 0 || last < cells_.size()) {
+    cells_.erase(cells_.begin() + static_cast<long>(last), cells_.end());
+    labels_.erase(labels_.begin() + static_cast<long>(last), labels_.end());
+    cells_.erase(cells_.begin(), cells_.begin() + static_cast<long>(first));
+    labels_.erase(labels_.begin(), labels_.begin() + static_cast<long>(first));
+  }
+
+  AnnotatedFile file;
+  file.name = std::move(name);
+  file.table = csv::Table(std::move(cells_));
+  file.annotation.cell_labels = std::move(labels_);
+  file.annotation.line_labels =
+      LineLabelsFromCells(file.annotation.cell_labels);
+  return file;
+}
+
+}  // namespace strudel::datagen

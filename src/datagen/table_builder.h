@@ -1,0 +1,44 @@
+// AnnotatedFileBuilder: accumulates (cells, labels) rows and produces an
+// AnnotatedFile whose line labels follow the majority-of-cells convention.
+// All generators write files through this builder so that shape invariants
+// (rectangularity of the label grid, empty/label consistency) hold by
+// construction.
+
+#ifndef STRUDEL_DATAGEN_TABLE_BUILDER_H_
+#define STRUDEL_DATAGEN_TABLE_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "strudel/classes.h"
+
+namespace strudel::datagen {
+
+class AnnotatedFileBuilder {
+ public:
+  /// Appends a row; `labels` must be the same length as `cells`, holding
+  /// kEmptyLabel exactly where the trimmed cell value is empty (checked in
+  /// Build()).
+  void AddRow(std::vector<std::string> cells, std::vector<int> labels);
+
+  /// Appends a row where every non-empty cell takes `label`.
+  void AddUniformRow(std::vector<std::string> cells, int label);
+
+  /// Appends one fully empty separator line.
+  void AddBlankRow();
+
+  int num_rows() const { return static_cast<int>(cells_.size()); }
+
+  /// Builds the file. Pads rows to a common width, derives line labels
+  /// from cell labels, and validates consistency (returns a file with an
+  /// empty table on violation — generators are tested against this).
+  AnnotatedFile Build(std::string name) &&;
+
+ private:
+  std::vector<std::vector<std::string>> cells_;
+  std::vector<std::vector<int>> labels_;
+};
+
+}  // namespace strudel::datagen
+
+#endif  // STRUDEL_DATAGEN_TABLE_BUILDER_H_

@@ -1,0 +1,167 @@
+#include "datagen/vocab.h"
+
+#include <array>
+
+#include "common/string_util.h"
+
+namespace strudel::datagen {
+
+namespace {
+
+constexpr std::array<std::string_view, 24> kTitleSubjects = {
+    "Estimated Population",      "Reported Offenses",
+    "Household Expenditure",     "Energy Consumption",
+    "School Enrollment",         "Hospital Admissions",
+    "Retail Sales",              "Water Quality Measurements",
+    "Air Passenger Traffic",     "Unemployment Claims",
+    "Housing Completions",       "Road Traffic Accidents",
+    "Agricultural Output",       "Business Registrations",
+    "Library Visits",            "Waste Collection",
+    "Tax Receipts",              "Broadband Coverage",
+    "Museum Attendance",         "Vaccination Uptake",
+    "Rental Prices",             "Electricity Generation",
+    "Court Proceedings",         "Apprenticeship Starts",
+};
+
+constexpr std::array<std::string_view, 12> kTitleQualifiers = {
+    "by Region and Year",        "by Category",
+    "by Age Group",              "by Local Authority",
+    "by Quarter",                "by Sector",
+    "by Type of Institution",    "by Size Band",
+    "per Capita",                "by Month",
+    "by Offense Type",           "by Provider",
+};
+
+constexpr std::array<std::string_view, 40> kEntityNames = {
+    "Northfield",  "Eastbrook",  "Southgate",   "Westhaven",  "Lakeview",
+    "Riverton",    "Hillcrest",  "Mapleton",    "Oakridge",   "Pinewood",
+    "Ashford",     "Briarwood",  "Cedarville",  "Dunmore",    "Elmhurst",
+    "Fairview",    "Glenwood",   "Harborview",  "Ironside",   "Juniper",
+    "Kingsport",   "Larkspur",   "Midvale",     "Newbury",    "Ormond",
+    "Pembroke",    "Quarry Bay", "Redfield",    "Stonebridge", "Thornton",
+    "Underwood",   "Vale Royal", "Wexford",     "Yarmouth",   "Zephyr Hills",
+    "Alderton",    "Birchwood",  "Claymont",    "Dovercourt", "Eagleton",
+};
+
+constexpr std::array<std::string_view, 16> kCategoryNames = {
+    "Violent crime",        "Property crime",   "Public services",
+    "Private households",   "Manufacturing",    "Agriculture",
+    "Transport",            "Education",        "Health and care",
+    "Construction",         "Retail trade",     "Financial services",
+    "Accommodation",        "Information",      "Utilities",
+    "Recreation",
+};
+
+constexpr std::array<std::string_view, 16> kSubCategoryNames = {
+    "Murder",        "Robbery",       "Burglary",     "Larceny",
+    "Fraud",         "Arson",         "Assault",      "Vandalism",
+    "Full-time",     "Part-time",     "Seasonal",     "Contract",
+    "Residential",   "Commercial",    "Industrial",   "Mixed use",
+};
+
+constexpr std::array<std::string_view, 16> kHeaderNouns = {
+    "Count", "Rate",    "Share",   "Index",  "Value",  "Amount",
+    "Cases", "Persons", "Units",   "Volume", "Change", "Estimate",
+    "Score", "Density", "Balance", "Ratio",
+};
+
+constexpr std::array<std::string_view, 8> kUnitNames = {
+    "per 100,000", "(thousands)", "(millions)", "(%)",
+    "(GBP)",       "(index)",     "(per km2)",  "(tonnes)",
+};
+
+constexpr std::array<std::string_view, 12> kNoteTemplates = {
+    "Figures are provisional and subject to revision",
+    "Totals may not add due to rounding",
+    "Data collected under the revised methodology",
+    "Excludes institutions with fewer than ten staff",
+    "Estimates are based on a sample survey",
+    "Values below the disclosure threshold are suppressed",
+    "Rates are calculated per resident population",
+    "Includes late registrations received by March",
+    "Comparisons with earlier years should be made with caution",
+    "Counts refer to the position at the end of the period",
+    "Classification follows the 2012 standard",
+    "Missing returns are imputed from the previous year",
+};
+
+constexpr std::array<std::string_view, 8> kSourceNames = {
+    "Office for National Statistics",  "Department of Transport",
+    "Regional Statistical Bureau",     "Census Division",
+    "Ministry of Education",           "National Health Registry",
+    "Environment Agency",              "Survey of Household Finances",
+};
+
+constexpr std::array<std::string_view, 12> kMonthNames = {
+    "January",   "February", "March",    "April",
+    "May",       "June",     "July",     "August",
+    "September", "October",  "November", "December",
+};
+
+}  // namespace
+
+std::span<const std::string_view> TitleSubjects() { return kTitleSubjects; }
+std::span<const std::string_view> TitleQualifiers() {
+  return kTitleQualifiers;
+}
+std::span<const std::string_view> EntityNames() { return kEntityNames; }
+std::span<const std::string_view> CategoryNames() { return kCategoryNames; }
+std::span<const std::string_view> SubCategoryNames() {
+  return kSubCategoryNames;
+}
+std::span<const std::string_view> HeaderNouns() { return kHeaderNouns; }
+std::span<const std::string_view> UnitNames() { return kUnitNames; }
+std::span<const std::string_view> NoteTemplates() { return kNoteTemplates; }
+std::span<const std::string_view> SourceNames() { return kSourceNames; }
+std::span<const std::string_view> MonthNames() { return kMonthNames; }
+
+std::string_view Pick(std::span<const std::string_view> pool, Rng& rng) {
+  return pool[rng.UniformInt(pool.size())];
+}
+
+std::string MakeTitle(Rng& rng) {
+  std::string title(Pick(kTitleSubjects, rng));
+  title += ' ';
+  title += Pick(kTitleQualifiers, rng);
+  if (rng.Bernoulli(0.5)) {
+    const int year = static_cast<int>(rng.UniformInt(2005, 2019));
+    title += StrFormat(", %d-%d", year,
+                       year + static_cast<int>(rng.UniformInt(1, 6)));
+  }
+  return title;
+}
+
+std::string MakeHeader(Rng& rng, bool numeric_year_headers) {
+  if (numeric_year_headers) {
+    return StrFormat("%d", static_cast<int>(rng.UniformInt(2005, 2020)));
+  }
+  std::string header(Pick(kHeaderNouns, rng));
+  if (rng.Bernoulli(0.4)) {
+    header += ' ';
+    header += Pick(kUnitNames, rng);
+  }
+  return header;
+}
+
+std::string MakeNote(Rng& rng) {
+  const double kind = rng.UniformDouble();
+  if (kind < 0.25) {
+    std::string note = "Source: ";
+    note += Pick(kSourceNames, rng);
+    return note;
+  }
+  if (kind < 0.5) {
+    return StrFormat("* %s.",
+                     std::string(Pick(kNoteTemplates, rng)).c_str());
+  }
+  if (kind < 0.65) {
+    return StrFormat("(%d) %s.",
+                     static_cast<int>(rng.UniformInt(1, 5)),
+                     std::string(Pick(kNoteTemplates, rng)).c_str());
+  }
+  std::string note(Pick(kNoteTemplates, rng));
+  note += '.';
+  return note;
+}
+
+}  // namespace strudel::datagen

@@ -1,0 +1,43 @@
+// Word pools for the synthetic corpus generators: table titles, entity
+// names (regions, products, crime categories, ...), column headers, units
+// and note templates. All pools are fixed arrays so generated corpora are
+// fully deterministic given a seed.
+
+#ifndef STRUDEL_DATAGEN_VOCAB_H_
+#define STRUDEL_DATAGEN_VOCAB_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace strudel::datagen {
+
+std::span<const std::string_view> TitleSubjects();
+std::span<const std::string_view> TitleQualifiers();
+std::span<const std::string_view> EntityNames();
+std::span<const std::string_view> CategoryNames();
+std::span<const std::string_view> SubCategoryNames();
+std::span<const std::string_view> HeaderNouns();
+std::span<const std::string_view> UnitNames();
+std::span<const std::string_view> NoteTemplates();
+std::span<const std::string_view> SourceNames();
+std::span<const std::string_view> MonthNames();
+
+/// Uniformly picks one entry of a pool.
+std::string_view Pick(std::span<const std::string_view> pool, Rng& rng);
+
+/// A multi-word table title like
+/// "Estimated Population by Region and Year, 2014-2019".
+std::string MakeTitle(Rng& rng);
+
+/// A plausible column header ("Rate per 100,000", "Count 2017", ...).
+std::string MakeHeader(Rng& rng, bool numeric_year_headers);
+
+/// A note line ("* Figures are provisional.", "Source: ...").
+std::string MakeNote(Rng& rng);
+
+}  // namespace strudel::datagen
+
+#endif  // STRUDEL_DATAGEN_VOCAB_H_

@@ -1,0 +1,176 @@
+// Adapters binding the library's classifiers to the experiment harness
+// (eval/experiment.h). The Strudel adapters cache per-file feature
+// matrices across folds and repetitions — features are file-local, so a
+// corpus is featurised exactly once per experiment regardless of the CV
+// protocol.
+
+#ifndef STRUDEL_EVAL_ALGOS_H_
+#define STRUDEL_EVAL_ALGOS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/crf_line.h"
+#include "baselines/line_cell.h"
+#include "baselines/pytheas_line.h"
+#include "baselines/rnn_cell.h"
+#include "eval/experiment.h"
+#include "ml/normalizer.h"
+#include "strudel/strudel_cell.h"
+#include "strudel/strudel_line.h"
+
+namespace strudel::eval {
+
+/// Strudel^L under CV, with cached per-file features. The backbone is a
+/// random forest unless a prototype is supplied (classifier ablation).
+class StrudelLineAlgo final : public LineAlgo {
+ public:
+  struct Options {
+    std::string display_name = "Strudel^L";
+    LineFeatureOptions features;
+    ml::RandomForestOptions forest;
+    std::shared_ptr<const ml::Classifier> backbone_prototype;
+  };
+  StrudelLineAlgo() : StrudelLineAlgo(Options()) {}
+  explicit StrudelLineAlgo(Options options);
+
+  std::string name() const override { return options_.display_name; }
+  Status Fit(const std::vector<AnnotatedFile>& files,
+             const std::vector<size_t>& train_indices) override;
+  std::vector<int> Predict(const std::vector<AnnotatedFile>& files,
+                           size_t file_index) override;
+
+  /// Per-line class probabilities of one file under the current model.
+  std::vector<std::vector<double>> PredictProba(
+      const std::vector<AnnotatedFile>& files, size_t file_index) const;
+
+ private:
+  void EnsureCache(const std::vector<AnnotatedFile>& files);
+
+  Options options_;
+  const void* cache_key_ = nullptr;
+  std::vector<ml::Matrix> file_features_;
+  std::unique_ptr<ml::Classifier> model_;
+  ml::MinMaxNormalizer normalizer_;
+};
+
+/// CRF^L under CV (delegates to baselines::CrfLine per fold).
+class CrfLineAlgo final : public LineAlgo {
+ public:
+  explicit CrfLineAlgo(baselines::CrfLineOptions options = {});
+  std::string name() const override { return "CRF^L"; }
+  Status Fit(const std::vector<AnnotatedFile>& files,
+             const std::vector<size_t>& train_indices) override;
+  std::vector<int> Predict(const std::vector<AnnotatedFile>& files,
+                           size_t file_index) override;
+
+ private:
+  baselines::CrfLineOptions options_;
+  std::unique_ptr<baselines::CrfLine> model_;
+};
+
+/// Pytheas^L under CV. No derived class (scored accordingly).
+class PytheasLineAlgo final : public LineAlgo {
+ public:
+  explicit PytheasLineAlgo(baselines::PytheasOptions options = {});
+  std::string name() const override { return "Pytheas^L"; }
+  bool predicts_derived() const override { return false; }
+  Status Fit(const std::vector<AnnotatedFile>& files,
+             const std::vector<size_t>& train_indices) override;
+  std::vector<int> Predict(const std::vector<AnnotatedFile>& files,
+                           size_t file_index) override;
+
+ private:
+  baselines::PytheasOptions options_;
+  std::unique_ptr<baselines::PytheasLine> model_;
+};
+
+/// Strudel^C under CV, with cached per-file cell features; the line-
+/// probability block is rewritten per fold from a cross-fitted Strudel^L.
+class StrudelCellAlgo final : public CellAlgo {
+ public:
+  struct Options {
+    std::string display_name = "Strudel^C";
+    CellFeatureOptions features;
+    LineFeatureOptions line_features;
+    ml::RandomForestOptions forest;       // cell-stage forest
+    ml::RandomForestOptions line_forest;  // line-stage forest
+    /// Disable the LineClassProbability block (feature ablation).
+    bool use_line_probabilities = true;
+    /// Use in-sample training probabilities instead of 2-fold cross-fit.
+    bool in_sample_probabilities = false;
+    std::shared_ptr<const ml::Classifier> backbone_prototype;
+    uint64_t seed = 42;
+  };
+  StrudelCellAlgo() : StrudelCellAlgo(Options()) {}
+  explicit StrudelCellAlgo(Options options);
+
+  std::string name() const override { return options_.display_name; }
+  Status Fit(const std::vector<AnnotatedFile>& files,
+             const std::vector<size_t>& train_indices) override;
+  std::vector<std::vector<int>> Predict(
+      const std::vector<AnnotatedFile>& files, size_t file_index) override;
+
+ private:
+  struct FileCache {
+    ml::Matrix line_features;
+    ml::Matrix cell_features;  // probability block zeroed
+    std::vector<std::pair<int, int>> coords;
+  };
+  void EnsureCache(const std::vector<AnnotatedFile>& files);
+  // Writes `probabilities` (per line) into the probability block of
+  // `features` rows (aligned with `coords`).
+  void FillProbabilities(ml::Matrix& features,
+                         const std::vector<std::pair<int, int>>& coords,
+                         const std::vector<std::vector<double>>&
+                             probabilities) const;
+  std::unique_ptr<ml::Classifier> TrainLineModel(
+      const std::vector<AnnotatedFile>& files,
+      const std::vector<size_t>& indices) const;
+  std::vector<std::vector<double>> LineProbabilities(
+      const ml::Classifier& line_model, const AnnotatedFile& file,
+      const ml::Matrix& line_features) const;
+
+  Options options_;
+  const void* cache_key_ = nullptr;
+  std::vector<FileCache> cache_;
+  size_t proba_col_begin_ = 0;
+  std::unique_ptr<ml::Classifier> line_model_;
+  std::unique_ptr<ml::Classifier> cell_model_;
+  ml::MinMaxNormalizer normalizer_;
+};
+
+/// Line^C baseline under CV: extends StrudelLineAlgo predictions to cells.
+class LineCellAlgo final : public CellAlgo {
+ public:
+  LineCellAlgo() : LineCellAlgo(StrudelLineAlgo::Options()) {}
+  explicit LineCellAlgo(StrudelLineAlgo::Options options);
+  std::string name() const override { return "Line^C"; }
+  Status Fit(const std::vector<AnnotatedFile>& files,
+             const std::vector<size_t>& train_indices) override;
+  std::vector<std::vector<int>> Predict(
+      const std::vector<AnnotatedFile>& files, size_t file_index) override;
+
+ private:
+  StrudelLineAlgo line_algo_;
+};
+
+/// RNN^C surrogate under CV (delegates to baselines::RnnCell per fold).
+class RnnCellAlgo final : public CellAlgo {
+ public:
+  explicit RnnCellAlgo(baselines::RnnCellOptions options = {});
+  std::string name() const override { return "RNN^C"; }
+  Status Fit(const std::vector<AnnotatedFile>& files,
+             const std::vector<size_t>& train_indices) override;
+  std::vector<std::vector<int>> Predict(
+      const std::vector<AnnotatedFile>& files, size_t file_index) override;
+
+ private:
+  baselines::RnnCellOptions options_;
+  std::unique_ptr<baselines::RnnCell> model_;
+};
+
+}  // namespace strudel::eval
+
+#endif  // STRUDEL_EVAL_ALGOS_H_

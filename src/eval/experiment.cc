@@ -1,0 +1,307 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+namespace strudel::eval {
+
+namespace {
+
+constexpr int kDerived = static_cast<int>(ElementClass::kDerived);
+
+// Per-element prediction votes across repetitions, for the ensemble
+// confusion matrix.
+using VoteGrid = std::vector<std::vector<std::array<int, kNumElementClasses>>>;
+
+std::vector<long long> CorpusLineClassCounts(
+    const std::vector<AnnotatedFile>& files) {
+  std::vector<long long> counts(kNumElementClasses, 0);
+  for (const AnnotatedFile& file : files) {
+    for (int label : file.annotation.line_labels) {
+      if (label >= 0) ++counts[static_cast<size_t>(label)];
+    }
+  }
+  return counts;
+}
+
+std::vector<long long> CorpusCellClassCounts(
+    const std::vector<AnnotatedFile>& files) {
+  std::vector<long long> counts(kNumElementClasses, 0);
+  for (const AnnotatedFile& file : files) {
+    for (const auto& row : file.annotation.cell_labels) {
+      for (int label : row) {
+        if (label >= 0) ++counts[static_cast<size_t>(label)];
+      }
+    }
+  }
+  return counts;
+}
+
+// Majority vote with ties resolved toward the rarer class (§6.3.1).
+int MajorityVote(const std::array<int, kNumElementClasses>& votes,
+                 const std::vector<long long>& class_counts) {
+  int best = -1;
+  for (int k = 0; k < kNumElementClasses; ++k) {
+    if (votes[static_cast<size_t>(k)] == 0) continue;
+    if (best < 0) {
+      best = k;
+      continue;
+    }
+    const int vk = votes[static_cast<size_t>(k)];
+    const int vb = votes[static_cast<size_t>(best)];
+    if (vk > vb || (vk == vb && class_counts[static_cast<size_t>(k)] <
+                                    class_counts[static_cast<size_t>(best)])) {
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> FileFolds(
+    const std::vector<AnnotatedFile>& files, int folds, Rng& rng) {
+  std::vector<size_t> order(files.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  std::vector<long long> weight(files.size(), 0);
+  for (size_t i = 0; i < files.size(); ++i) {
+    for (int label : files[i].annotation.line_labels) {
+      if (label >= 0) ++weight[i];
+    }
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return weight[a] > weight[b];
+  });
+
+  const int k = std::max(1, std::min<int>(folds,
+                                          static_cast<int>(files.size())));
+  std::vector<std::vector<size_t>> out(static_cast<size_t>(k));
+  std::vector<long long> fold_weight(static_cast<size_t>(k), 0);
+  for (size_t idx : order) {
+    size_t smallest = 0;
+    for (size_t f = 1; f < out.size(); ++f) {
+      if (fold_weight[f] < fold_weight[smallest]) smallest = f;
+    }
+    out[smallest].push_back(idx);
+    fold_weight[smallest] += weight[idx];
+  }
+  for (auto& fold : out) std::sort(fold.begin(), fold.end());
+  return out;
+}
+
+std::vector<EvalResult> RunLineCv(
+    const std::vector<AnnotatedFile>& files,
+    const std::vector<std::shared_ptr<LineAlgo>>& algos,
+    const CvOptions& options) {
+  std::vector<EvalResult> results;
+  results.reserve(algos.size());
+  for (const auto& algo : algos) {
+    EvalResult result;
+    result.algo = algo->name();
+    results.push_back(std::move(result));
+  }
+
+  const std::vector<long long> class_counts = CorpusLineClassCounts(files);
+  // votes[algo][file][line][class]
+  std::vector<std::vector<std::vector<std::array<int, kNumElementClasses>>>>
+      votes(algos.size());
+  for (auto& per_algo : votes) {
+    per_algo.resize(files.size());
+    for (size_t i = 0; i < files.size(); ++i) {
+      per_algo[i].assign(files[i].annotation.line_labels.size(), {});
+    }
+  }
+
+  Rng rng(options.seed);
+  for (int rep = 0; rep < options.repetitions; ++rep) {
+    Rng fold_rng = rng.Fork();
+    const auto folds = FileFolds(files, options.folds, fold_rng);
+    for (const auto& test_fold : folds) {
+      std::vector<size_t> train_indices;
+      for (size_t i = 0; i < files.size(); ++i) {
+        if (!std::binary_search(test_fold.begin(), test_fold.end(), i)) {
+          train_indices.push_back(i);
+        }
+      }
+      for (size_t a = 0; a < algos.size(); ++a) {
+        if (!algos[a]->Fit(files, train_indices).ok()) continue;
+        for (size_t file_idx : test_fold) {
+          const std::vector<int> predicted =
+              algos[a]->Predict(files, file_idx);
+          const auto& actual =
+              files[file_idx].annotation.line_labels;
+          for (size_t r = 0; r < actual.size(); ++r) {
+            if (actual[r] < 0) continue;
+            if (!algos[a]->predicts_derived() && actual[r] == kDerived) {
+              continue;  // paper protocol: leave out derived lines
+            }
+            const int pred = r < predicted.size() ? predicted[r] : -1;
+            if (pred >= 0) {
+              results[a].confusion.Add(actual[r], pred);
+              ++votes[a][file_idx][r][static_cast<size_t>(pred)];
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (size_t a = 0; a < algos.size(); ++a) {
+    results[a].report = ml::Summarize(results[a].confusion);
+    for (size_t i = 0; i < files.size(); ++i) {
+      const auto& actual = files[i].annotation.line_labels;
+      for (size_t r = 0; r < actual.size(); ++r) {
+        if (actual[r] < 0) continue;
+        const int vote = MajorityVote(votes[a][i][r], class_counts);
+        if (vote >= 0) results[a].ensemble.Add(actual[r], vote);
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<EvalResult> RunCellCv(
+    const std::vector<AnnotatedFile>& files,
+    const std::vector<std::shared_ptr<CellAlgo>>& algos,
+    const CvOptions& options) {
+  std::vector<EvalResult> results;
+  results.reserve(algos.size());
+  for (const auto& algo : algos) {
+    EvalResult result;
+    result.algo = algo->name();
+    results.push_back(std::move(result));
+  }
+
+  const std::vector<long long> class_counts = CorpusCellClassCounts(files);
+  // votes[algo][file] is a VoteGrid over (row, col).
+  std::vector<std::vector<VoteGrid>> votes(algos.size());
+  for (auto& per_algo : votes) {
+    per_algo.resize(files.size());
+    for (size_t i = 0; i < files.size(); ++i) {
+      const auto& labels = files[i].annotation.cell_labels;
+      per_algo[i].resize(labels.size());
+      for (size_t r = 0; r < labels.size(); ++r) {
+        per_algo[i][r].assign(labels[r].size(), {});
+      }
+    }
+  }
+
+  Rng rng(options.seed);
+  for (int rep = 0; rep < options.repetitions; ++rep) {
+    Rng fold_rng = rng.Fork();
+    const auto folds = FileFolds(files, options.folds, fold_rng);
+    for (const auto& test_fold : folds) {
+      std::vector<size_t> train_indices;
+      for (size_t i = 0; i < files.size(); ++i) {
+        if (!std::binary_search(test_fold.begin(), test_fold.end(), i)) {
+          train_indices.push_back(i);
+        }
+      }
+      for (size_t a = 0; a < algos.size(); ++a) {
+        if (!algos[a]->Fit(files, train_indices).ok()) continue;
+        for (size_t file_idx : test_fold) {
+          const auto predicted = algos[a]->Predict(files, file_idx);
+          const auto& actual = files[file_idx].annotation.cell_labels;
+          for (size_t r = 0; r < actual.size(); ++r) {
+            for (size_t c = 0; c < actual[r].size(); ++c) {
+              if (actual[r][c] < 0) continue;
+              const int pred = (r < predicted.size() &&
+                                c < predicted[r].size())
+                                   ? predicted[r][c]
+                                   : -1;
+              if (pred >= 0) {
+                results[a].confusion.Add(actual[r][c], pred);
+                ++votes[a][file_idx][r][c][static_cast<size_t>(pred)];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (size_t a = 0; a < algos.size(); ++a) {
+    results[a].report = ml::Summarize(results[a].confusion);
+    for (size_t i = 0; i < files.size(); ++i) {
+      const auto& actual = files[i].annotation.cell_labels;
+      for (size_t r = 0; r < actual.size(); ++r) {
+        for (size_t c = 0; c < actual[r].size(); ++c) {
+          if (actual[r][c] < 0) continue;
+          const int vote = MajorityVote(votes[a][i][r][c], class_counts);
+          if (vote >= 0) results[a].ensemble.Add(actual[r][c], vote);
+        }
+      }
+    }
+  }
+  return results;
+}
+
+EvalResult TrainTestLine(const std::vector<AnnotatedFile>& train,
+                         const std::vector<AnnotatedFile>& test,
+                         LineAlgo& algo) {
+  // Combine into one corpus so the algorithm's per-file caches line up.
+  std::vector<AnnotatedFile> all;
+  all.reserve(train.size() + test.size());
+  for (const auto& f : train) all.push_back(f);
+  for (const auto& f : test) all.push_back(f);
+  std::vector<size_t> train_indices(train.size());
+  std::iota(train_indices.begin(), train_indices.end(), 0);
+
+  EvalResult result;
+  result.algo = algo.name();
+  if (!algo.Fit(all, train_indices).ok()) return result;
+  for (size_t i = train.size(); i < all.size(); ++i) {
+    const std::vector<int> predicted = algo.Predict(all, i);
+    const auto& actual = all[i].annotation.line_labels;
+    for (size_t r = 0; r < actual.size(); ++r) {
+      if (actual[r] < 0) continue;
+      if (!algo.predicts_derived() && actual[r] == kDerived) continue;
+      const int pred = r < predicted.size() ? predicted[r] : -1;
+      if (pred >= 0) {
+        result.confusion.Add(actual[r], pred);
+        result.ensemble.Add(actual[r], pred);
+      }
+    }
+  }
+  result.report = ml::Summarize(result.confusion);
+  return result;
+}
+
+EvalResult TrainTestCell(const std::vector<AnnotatedFile>& train,
+                         const std::vector<AnnotatedFile>& test,
+                         CellAlgo& algo) {
+  std::vector<AnnotatedFile> all;
+  all.reserve(train.size() + test.size());
+  for (const auto& f : train) all.push_back(f);
+  for (const auto& f : test) all.push_back(f);
+  std::vector<size_t> train_indices(train.size());
+  std::iota(train_indices.begin(), train_indices.end(), 0);
+
+  EvalResult result;
+  result.algo = algo.name();
+  if (!algo.Fit(all, train_indices).ok()) return result;
+  for (size_t i = train.size(); i < all.size(); ++i) {
+    const auto predicted = algo.Predict(all, i);
+    const auto& actual = all[i].annotation.cell_labels;
+    for (size_t r = 0; r < actual.size(); ++r) {
+      for (size_t c = 0; c < actual[r].size(); ++c) {
+        if (actual[r][c] < 0) continue;
+        const int pred =
+            (r < predicted.size() && c < predicted[r].size())
+                ? predicted[r][c]
+                : -1;
+        if (pred >= 0) {
+          result.confusion.Add(actual[r][c], pred);
+          result.ensemble.Add(actual[r][c], pred);
+        }
+      }
+    }
+  }
+  result.report = ml::Summarize(result.confusion);
+  return result;
+}
+
+}  // namespace strudel::eval

@@ -1,0 +1,97 @@
+// The experiment harness behind every Table 6-8 / Figure 3 bench:
+// repeated grouped k-fold cross-validation over annotated files, with a
+// uniform algorithm interface for line and cell classifiers, shared fold
+// splits across algorithms, merged confusion matrices, and the paper's
+// ensemble-vote protocol for confusion matrices (§6.3.1: per line/cell,
+// the predictions of all repetitions are combined by majority vote, ties
+// resolved toward the rarer class).
+
+#ifndef STRUDEL_EVAL_EXPERIMENT_H_
+#define STRUDEL_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/metrics.h"
+#include "strudel/classes.h"
+
+namespace strudel::eval {
+
+/// A line-classification algorithm under evaluation.
+class LineAlgo {
+ public:
+  virtual ~LineAlgo() = default;
+  virtual std::string name() const = 0;
+  /// Trains on the files selected by `train_indices` (into `files`).
+  virtual Status Fit(const std::vector<AnnotatedFile>& files,
+                     const std::vector<size_t>& train_indices) = 0;
+  /// Predicts line classes for one file of the same corpus.
+  virtual std::vector<int> Predict(const std::vector<AnnotatedFile>& files,
+                                   size_t file_index) = 0;
+  /// False for algorithms without a derived class (Pytheas): derived
+  /// lines are excluded from their scoring, as in the paper (§6.2.1).
+  virtual bool predicts_derived() const { return true; }
+};
+
+/// A cell-classification algorithm under evaluation.
+class CellAlgo {
+ public:
+  virtual ~CellAlgo() = default;
+  virtual std::string name() const = 0;
+  virtual Status Fit(const std::vector<AnnotatedFile>& files,
+                     const std::vector<size_t>& train_indices) = 0;
+  /// Predicts the cell label grid for one file.
+  virtual std::vector<std::vector<int>> Predict(
+      const std::vector<AnnotatedFile>& files, size_t file_index) = 0;
+};
+
+struct CvOptions {
+  int folds = 10;
+  /// The paper repeats 10-fold CV ten times; benches default to fewer
+  /// repetitions for runtime and expose a flag for the full protocol.
+  int repetitions = 3;
+  uint64_t seed = 42;
+};
+
+struct EvalResult {
+  std::string algo;
+  /// Confusion summed over all repetitions and folds (basis of the F1 /
+  /// accuracy / macro columns).
+  ml::ConfusionMatrix confusion{kNumElementClasses};
+  ml::ClassificationReport report;
+  /// Ensemble-vote confusion (Figure 3 protocol).
+  ml::ConfusionMatrix ensemble{kNumElementClasses};
+};
+
+/// Splits file indices into `folds` balanced folds (by labelled-line
+/// count). Deterministic in `rng`.
+std::vector<std::vector<size_t>> FileFolds(
+    const std::vector<AnnotatedFile>& files, int folds, Rng& rng);
+
+/// Runs repeated grouped k-fold CV of every line algorithm on `files`.
+/// All algorithms see identical splits.
+std::vector<EvalResult> RunLineCv(
+    const std::vector<AnnotatedFile>& files,
+    const std::vector<std::shared_ptr<LineAlgo>>& algos,
+    const CvOptions& options);
+
+/// Same for cell algorithms.
+std::vector<EvalResult> RunCellCv(
+    const std::vector<AnnotatedFile>& files,
+    const std::vector<std::shared_ptr<CellAlgo>>& algos,
+    const CvOptions& options);
+
+/// Train-on-A / test-on-B evaluation (Tables 7 and 8).
+EvalResult TrainTestLine(const std::vector<AnnotatedFile>& train,
+                         const std::vector<AnnotatedFile>& test,
+                         LineAlgo& algo);
+EvalResult TrainTestCell(const std::vector<AnnotatedFile>& train,
+                         const std::vector<AnnotatedFile>& test,
+                         CellAlgo& algo);
+
+}  // namespace strudel::eval
+
+#endif  // STRUDEL_EVAL_EXPERIMENT_H_

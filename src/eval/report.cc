@@ -1,0 +1,145 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+#include "eval/table_printer.h"
+
+namespace strudel::eval {
+
+std::string FormatResultsTable(const std::string& dataset_name,
+                               const std::vector<EvalResult>& results,
+                               const std::string& support_label) {
+  std::vector<std::string> headers = {dataset_name};
+  for (int k = 0; k < kNumElementClasses; ++k) {
+    headers.emplace_back(ElementClassName(k));
+  }
+  headers.emplace_back("accuracy");
+  headers.emplace_back("macro-avg");
+  TablePrinter printer(std::move(headers));
+
+  for (const EvalResult& result : results) {
+    std::vector<std::string> row = {result.algo};
+    for (int k = 0; k < kNumElementClasses; ++k) {
+      // '-' for classes the algorithm never saw or predicted (e.g. the
+      // derived column of Pytheas^L, excluded per the paper's protocol).
+      const bool absent = result.confusion.class_support(k) == 0;
+      row.push_back(
+          TablePrinter::Score(absent ? -1.0
+                                     : result.report.per_class_f1
+                                           [static_cast<size_t>(k)]));
+    }
+    row.push_back(TablePrinter::Score(result.report.accuracy));
+    row.push_back(TablePrinter::Score(result.report.macro_f1));
+    printer.AddRow(std::move(row));
+  }
+
+  if (!results.empty()) {
+    std::vector<std::string> support_row = {support_label};
+    // Supports are per repetition; report the per-element counts from the
+    // ensemble matrix (each element counted once).
+    for (int k = 0; k < kNumElementClasses; ++k) {
+      support_row.push_back(TablePrinter::Count(
+          results.front().ensemble.class_support(k)));
+    }
+    support_row.emplace_back("-");
+    support_row.emplace_back("-");
+    printer.AddSeparator();
+    printer.AddRow(std::move(support_row));
+  }
+  return printer.ToString();
+}
+
+std::string FormatConfusionMatrix(const std::string& title,
+                                  const ml::ConfusionMatrix& matrix) {
+  std::vector<std::string> headers = {title};
+  for (int k = 0; k < kNumElementClasses; ++k) {
+    headers.emplace_back(ElementClassName(k));
+  }
+  TablePrinter printer(std::move(headers));
+  const auto normalized = matrix.Normalized();
+  for (int a = 0; a < kNumElementClasses; ++a) {
+    std::vector<std::string> row = {std::string(ElementClassName(a))};
+    for (int p = 0; p < kNumElementClasses; ++p) {
+      row.push_back(StrFormat(
+          "%.3f",
+          normalized[static_cast<size_t>(a)][static_cast<size_t>(p)]));
+    }
+    printer.AddRow(std::move(row));
+  }
+  return printer.ToString();
+}
+
+void GroupNeighborFeatures(std::vector<std::string>& feature_names,
+                           std::vector<std::vector<double>>& importances) {
+  std::vector<std::string> grouped_names;
+  std::vector<int> mapping(feature_names.size(), -1);
+  int length_group = -1;
+  int type_group = -1;
+  for (size_t i = 0; i < feature_names.size(); ++i) {
+    const std::string& name = feature_names[i];
+    if (name.rfind("NeighborValueLength_", 0) == 0) {
+      if (length_group < 0) {
+        length_group = static_cast<int>(grouped_names.size());
+        grouped_names.emplace_back("NeighborValueLength");
+      }
+      mapping[i] = length_group;
+    } else if (name.rfind("NeighborDataType_", 0) == 0) {
+      if (type_group < 0) {
+        type_group = static_cast<int>(grouped_names.size());
+        grouped_names.emplace_back("NeighborDataType");
+      }
+      mapping[i] = type_group;
+    } else {
+      mapping[i] = static_cast<int>(grouped_names.size());
+      grouped_names.push_back(name);
+    }
+  }
+  for (auto& per_class : importances) {
+    std::vector<double> grouped(grouped_names.size(), 0.0);
+    for (size_t i = 0; i < per_class.size() && i < mapping.size(); ++i) {
+      grouped[static_cast<size_t>(mapping[i])] += per_class[i];
+    }
+    per_class = std::move(grouped);
+  }
+  feature_names = std::move(grouped_names);
+}
+
+std::string FormatFeatureImportance(
+    const std::string& title,
+    const std::vector<std::vector<double>>& importances,
+    const std::vector<std::string>& feature_names, int top_k) {
+  std::string out = title + "\n";
+  for (size_t cls = 0; cls < importances.size(); ++cls) {
+    // Clip negatives (a permutation that *helps* has no share) and
+    // normalise to a 100% stack, as in the figure.
+    std::vector<double> shares = importances[cls];
+    for (double& v : shares) v = std::max(0.0, v);
+    const double total = std::accumulate(shares.begin(), shares.end(), 0.0);
+    if (total > 0.0) {
+      for (double& v : shares) v /= total;
+    }
+    std::vector<size_t> order(shares.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return shares[a] > shares[b]; });
+
+    out += StrFormat("  %-8s : ",
+                     std::string(ElementClassName(static_cast<int>(cls)))
+                         .c_str());
+    int shown = 0;
+    for (size_t idx : order) {
+      if (shown >= top_k || shares[idx] <= 0.0) break;
+      if (shown > 0) out += ", ";
+      out += StrFormat("%s %.0f%%", feature_names[idx].c_str(),
+                       shares[idx] * 100.0);
+      ++shown;
+    }
+    if (shown == 0) out += "(no positive importance)";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace strudel::eval

@@ -1,0 +1,42 @@
+// Report formatting: renders evaluation results in the shape of the
+// paper's tables and figures (per-class F1 rows, row-normalised confusion
+// matrices, 100%-stacked feature importances).
+
+#ifndef STRUDEL_EVAL_REPORT_H_
+#define STRUDEL_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "ml/metrics.h"
+
+namespace strudel::eval {
+
+/// Table 6-style block: one row per algorithm with per-class F1, accuracy
+/// and macro-average, closed by a support row ("# lines" / "# cells").
+std::string FormatResultsTable(const std::string& dataset_name,
+                               const std::vector<EvalResult>& results,
+                               const std::string& support_label);
+
+/// Figure 3-style row-normalised confusion matrix.
+std::string FormatConfusionMatrix(const std::string& title,
+                                  const ml::ConfusionMatrix& matrix);
+
+/// Figure 4-style per-class feature importance: for each class, the
+/// features' share of total (clipped-at-zero) importance, highlighting the
+/// top entries. `importances` is [class][feature].
+std::string FormatFeatureImportance(
+    const std::string& title,
+    const std::vector<std::vector<double>>& importances,
+    const std::vector<std::string>& feature_names, int top_k = 5);
+
+/// Aggregates grouped neighbour-profile features (the paper groups the 16
+/// per-direction features into "neighbor value length" / "neighbor data
+/// type" for Figure 4). Returns new names + summed importances.
+void GroupNeighborFeatures(std::vector<std::string>& feature_names,
+                           std::vector<std::vector<double>>& importances);
+
+}  // namespace strudel::eval
+
+#endif  // STRUDEL_EVAL_REPORT_H_

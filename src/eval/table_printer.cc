@@ -1,0 +1,71 @@
+#include "eval/table_printer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace strudel::eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += cell;
+      if (c + 1 < headers_.size()) {
+        line.append(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    line += '\n';
+    return line;
+  };
+  auto separator = [&]() {
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    }
+    return std::string(total, '-') + "\n";
+  };
+
+  std::string out = render_row(headers_);
+  out += separator();
+  for (const auto& row : rows_) {
+    out += row.empty() ? separator() : render_row(row);
+  }
+  return out;
+}
+
+std::string TablePrinter::Score(double value) {
+  if (value < 0.0) return "-";
+  return StrFormat("%.3f", value);
+}
+
+std::string TablePrinter::Count(long long value) {
+  return StrFormat("%lld", value);
+}
+
+std::string TablePrinter::Percent(double fraction, int decimals) {
+  return StrFormat("%.*f%%", decimals, fraction * 100.0);
+}
+
+}  // namespace strudel::eval

@@ -1,0 +1,36 @@
+// ASCII table printing for bench output: aligned columns, optional
+// separator rows. Benches print the same rows the paper's tables report.
+
+#ifndef STRUDEL_EVAL_TABLE_PRINTER_H_
+#define STRUDEL_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace strudel::eval {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void AddSeparator();
+
+  /// Renders the table with padded columns.
+  std::string ToString() const;
+
+  /// Convenience: formats a double with 3 decimals ("0.734"); '-' for
+  /// negative sentinel values (used for "not applicable" cells, like
+  /// Pytheas' derived column).
+  static std::string Score(double value);
+  static std::string Count(long long value);
+  static std::string Percent(double fraction, int decimals = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = separator
+};
+
+}  // namespace strudel::eval
+
+#endif  // STRUDEL_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,65 @@
+// Classifier: the interface every multi-class learner in the library
+// implements. Strudel's backbone is the random forest, but the evaluation
+// also exercises naive Bayes, k-NN and an MLP through this interface
+// (paper §6.1.2: "We have tested several classification algorithms for
+// Strudel, including Naive Bayes, KNN, SVM, and random forest").
+
+#ifndef STRUDEL_ML_CLASSIFIER_H_
+#define STRUDEL_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace strudel::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on `data`. Re-fitting replaces the previous model.
+  virtual Status Fit(const Dataset& data) = 0;
+
+  /// Class-probability vector of size num_classes. Requires a prior Fit.
+  virtual std::vector<double> PredictProba(
+      std::span<const double> features) const = 0;
+
+  /// Argmax of PredictProba by default.
+  virtual int Predict(std::span<const double> features) const {
+    return static_cast<int>(ArgMax(PredictProba(features)));
+  }
+
+  /// Number of classes seen at Fit time; 0 before fitting.
+  virtual int num_classes() const = 0;
+
+  /// Fresh, untrained copy with identical hyperparameters. Used by the
+  /// cross-validation harness to train one model per fold.
+  virtual std::unique_ptr<Classifier> CloneUntrained() const = 0;
+
+  /// Bulk prediction convenience.
+  std::vector<int> PredictAll(const Matrix& features) const {
+    std::vector<int> out;
+    out.reserve(features.rows());
+    for (size_t i = 0; i < features.rows(); ++i) {
+      out.push_back(Predict(features.row(i)));
+    }
+    return out;
+  }
+  std::vector<std::vector<double>> PredictProbaAll(
+      const Matrix& features) const {
+    std::vector<std::vector<double>> out;
+    out.reserve(features.rows());
+    for (size_t i = 0; i < features.rows(); ++i) {
+      out.push_back(PredictProba(features.row(i)));
+    }
+    return out;
+  }
+};
+
+}  // namespace strudel::ml
+
+#endif  // STRUDEL_ML_CLASSIFIER_H_

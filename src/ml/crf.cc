@@ -1,0 +1,234 @@
+#include "ml/crf.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/math_util.h"
+
+namespace strudel::ml {
+
+namespace {
+
+// log-space forward algorithm. alpha[t][k] = log sum over paths ending in
+// state k at position t.
+void Forward(const std::vector<std::vector<double>>& emissions,
+             const std::vector<std::vector<double>>& transitions,
+             std::vector<std::vector<double>>& alpha) {
+  const size_t T = emissions.size();
+  const size_t K = emissions.empty() ? 0 : emissions[0].size();
+  alpha.assign(T, std::vector<double>(K, 0.0));
+  if (T == 0) return;
+  alpha[0] = emissions[0];
+  std::vector<double> terms(K);
+  for (size_t t = 1; t < T; ++t) {
+    for (size_t k = 0; k < K; ++k) {
+      for (size_t j = 0; j < K; ++j) {
+        terms[j] = alpha[t - 1][j] + transitions[j][k];
+      }
+      alpha[t][k] = LogSumExp(terms) + emissions[t][k];
+    }
+  }
+}
+
+// log-space backward algorithm.
+void Backward(const std::vector<std::vector<double>>& emissions,
+              const std::vector<std::vector<double>>& transitions,
+              std::vector<std::vector<double>>& beta) {
+  const size_t T = emissions.size();
+  const size_t K = emissions.empty() ? 0 : emissions[0].size();
+  beta.assign(T, std::vector<double>(K, 0.0));
+  if (T == 0) return;
+  std::vector<double> terms(K);
+  for (size_t t = T - 1; t-- > 0;) {
+    for (size_t j = 0; j < K; ++j) {
+      for (size_t k = 0; k < K; ++k) {
+        terms[k] = transitions[j][k] + emissions[t + 1][k] + beta[t + 1][k];
+      }
+      beta[t][j] = LogSumExp(terms);
+    }
+  }
+}
+
+}  // namespace
+
+LinearChainCrf::LinearChainCrf(CrfOptions options) : options_(options) {}
+
+std::vector<std::vector<double>> LinearChainCrf::EmissionScores(
+    const Matrix& x) const {
+  const size_t T = x.rows();
+  const size_t K = static_cast<size_t>(num_classes_);
+  std::vector<std::vector<double>> emissions(T, std::vector<double>(K, 0.0));
+  for (size_t t = 0; t < T; ++t) {
+    auto row = x.row(t);
+    for (size_t k = 0; k < K; ++k) {
+      double score = biases_[k];
+      const std::vector<double>& w = state_weights_[k];
+      for (size_t j = 0; j < row.size() && j < w.size(); ++j) {
+        score += w[j] * row[j];
+      }
+      emissions[t][k] = score;
+    }
+  }
+  return emissions;
+}
+
+Status LinearChainCrf::Fit(const std::vector<CrfSequence>& sequences,
+                           int num_classes) {
+  if (sequences.empty()) {
+    return Status::InvalidArgument("crf: no training sequences");
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("crf: need at least two classes");
+  }
+  num_classes_ = num_classes;
+  num_features_ = sequences[0].features.cols();
+  for (const CrfSequence& seq : sequences) {
+    if (seq.features.cols() != num_features_) {
+      return Status::InvalidArgument("crf: inconsistent feature widths");
+    }
+    if (seq.labels.size() != seq.features.rows()) {
+      return Status::InvalidArgument("crf: labels/features size mismatch");
+    }
+    for (int label : seq.labels) {
+      if (label < 0 || label >= num_classes) {
+        return Status::InvalidArgument("crf: label out of range");
+      }
+    }
+  }
+
+  const size_t K = static_cast<size_t>(num_classes_);
+  state_weights_.assign(K, std::vector<double>(num_features_, 0.0));
+  biases_.assign(K, 0.0);
+  transitions_.assign(K, std::vector<double>(K, 0.0));
+
+  Rng rng(options_.seed);
+  std::vector<size_t> order(sequences.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<std::vector<double>> alpha, beta, emissions;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    const double lr =
+        options_.learning_rate / (1.0 + options_.decay * epoch);
+    rng.Shuffle(order);
+    double loss = 0.0;
+
+    for (size_t idx : order) {
+      const CrfSequence& seq = sequences[idx];
+      const size_t T = seq.features.rows();
+      if (T == 0) continue;
+      emissions = EmissionScores(seq.features);
+      Forward(emissions, transitions_, alpha);
+      Backward(emissions, transitions_, beta);
+      const double log_z = LogSumExp(alpha[T - 1]);
+
+      // Log-likelihood of the gold path.
+      double gold = emissions[0][static_cast<size_t>(seq.labels[0])];
+      for (size_t t = 1; t < T; ++t) {
+        gold += transitions_[static_cast<size_t>(seq.labels[t - 1])]
+                            [static_cast<size_t>(seq.labels[t])] +
+                emissions[t][static_cast<size_t>(seq.labels[t])];
+      }
+      loss += log_z - gold;
+
+      // State-feature gradients: (marginal - gold indicator) * x_t.
+      for (size_t t = 0; t < T; ++t) {
+        auto row = seq.features.row(t);
+        for (size_t k = 0; k < K; ++k) {
+          const double marginal =
+              std::exp(alpha[t][k] + beta[t][k] - log_z);
+          const double diff =
+              marginal -
+              (static_cast<size_t>(seq.labels[t]) == k ? 1.0 : 0.0);
+          if (diff == 0.0) continue;
+          std::vector<double>& w = state_weights_[k];
+          for (size_t j = 0; j < num_features_; ++j) {
+            w[j] -= lr * diff * row[j];
+          }
+          biases_[k] -= lr * diff;
+        }
+      }
+      // Transition gradients from pairwise marginals.
+      for (size_t t = 1; t < T; ++t) {
+        for (size_t j = 0; j < K; ++j) {
+          for (size_t k = 0; k < K; ++k) {
+            const double pair_marginal =
+                std::exp(alpha[t - 1][j] + transitions_[j][k] +
+                         emissions[t][k] + beta[t][k] - log_z);
+            double diff = pair_marginal;
+            if (static_cast<size_t>(seq.labels[t - 1]) == j &&
+                static_cast<size_t>(seq.labels[t]) == k) {
+              diff -= 1.0;
+            }
+            transitions_[j][k] -= lr * diff;
+          }
+        }
+      }
+      // L2 shrinkage (applied per sequence, scaled down accordingly).
+      const double shrink =
+          1.0 - lr * options_.l2 / static_cast<double>(sequences.size());
+      if (shrink < 1.0) {
+        for (auto& w : state_weights_) {
+          for (double& v : w) v *= shrink;
+        }
+        for (auto& row : transitions_) {
+          for (double& v : row) v *= shrink;
+        }
+      }
+    }
+    final_loss_ = loss / static_cast<double>(sequences.size());
+  }
+  return Status::OK();
+}
+
+std::vector<int> LinearChainCrf::Predict(const Matrix& features) const {
+  const size_t T = features.rows();
+  const size_t K = static_cast<size_t>(num_classes_);
+  if (T == 0 || K == 0) return {};
+  std::vector<std::vector<double>> emissions = EmissionScores(features);
+
+  std::vector<std::vector<double>> score(T, std::vector<double>(K));
+  std::vector<std::vector<int>> backptr(T, std::vector<int>(K, 0));
+  score[0] = emissions[0];
+  for (size_t t = 1; t < T; ++t) {
+    for (size_t k = 0; k < K; ++k) {
+      double best = -1e300;
+      int best_j = 0;
+      for (size_t j = 0; j < K; ++j) {
+        const double s = score[t - 1][j] + transitions_[j][k];
+        if (s > best) {
+          best = s;
+          best_j = static_cast<int>(j);
+        }
+      }
+      score[t][k] = best + emissions[t][k];
+      backptr[t][k] = best_j;
+    }
+  }
+  std::vector<int> path(T);
+  path[T - 1] = static_cast<int>(ArgMax(score[T - 1]));
+  for (size_t t = T - 1; t-- > 0;) {
+    path[t] = backptr[t + 1][static_cast<size_t>(path[t + 1])];
+  }
+  return path;
+}
+
+std::vector<std::vector<double>> LinearChainCrf::PredictMarginals(
+    const Matrix& features) const {
+  const size_t T = features.rows();
+  const size_t K = static_cast<size_t>(num_classes_);
+  std::vector<std::vector<double>> marginals(T, std::vector<double>(K, 0.0));
+  if (T == 0 || K == 0) return marginals;
+  std::vector<std::vector<double>> emissions = EmissionScores(features);
+  std::vector<std::vector<double>> alpha, beta;
+  Forward(emissions, transitions_, alpha);
+  Backward(emissions, transitions_, beta);
+  const double log_z = LogSumExp(alpha[T - 1]);
+  for (size_t t = 0; t < T; ++t) {
+    for (size_t k = 0; k < K; ++k) {
+      marginals[t][k] = std::exp(alpha[t][k] + beta[t][k] - log_z);
+    }
+  }
+  return marginals;
+}
+
+}  // namespace strudel::ml

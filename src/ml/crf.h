@@ -1,0 +1,74 @@
+// Linear-chain conditional random field over real-valued observation
+// features — the model class behind the CRF^L line-classification baseline
+// (Pinto et al. 2003; Adelfio & Samet 2013).
+//
+// Model: for a sequence of feature vectors x_1..x_T and labels y_1..y_T,
+//   score(y | x) = sum_t [ W[y_t] . x_t + b[y_t] ] + sum_t A[y_{t-1}][y_t]
+//   p(y | x) = exp(score) / Z(x)
+// Training maximises L2-regularised conditional log-likelihood with
+// mini-batch SGD; gradients come from forward-backward marginals.
+// Decoding uses Viterbi; per-position marginals are also exposed.
+
+#ifndef STRUDEL_ML_CRF_H_
+#define STRUDEL_ML_CRF_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace strudel::ml {
+
+/// One training sequence: per-position feature vectors plus labels.
+struct CrfSequence {
+  Matrix features;          // T x d
+  std::vector<int> labels;  // size T (empty at inference time)
+};
+
+struct CrfOptions {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  int epochs = 50;
+  uint64_t seed = 42;
+  /// Learning-rate decay per epoch: lr_e = lr / (1 + decay * e).
+  double decay = 0.05;
+};
+
+class LinearChainCrf {
+ public:
+  explicit LinearChainCrf(CrfOptions options = {});
+
+  /// Trains on labelled sequences. All sequences must share feature width
+  /// and use labels in [0, num_classes).
+  Status Fit(const std::vector<CrfSequence>& sequences, int num_classes);
+
+  /// Viterbi decoding: the most probable label sequence.
+  std::vector<int> Predict(const Matrix& features) const;
+
+  /// Per-position posterior marginals p(y_t = k | x), T x num_classes.
+  std::vector<std::vector<double>> PredictMarginals(
+      const Matrix& features) const;
+
+  /// Mean per-sequence negative log-likelihood of the last epoch.
+  double final_loss() const { return final_loss_; }
+  int num_classes() const { return num_classes_; }
+
+ private:
+  // Emission scores for every position: T x K.
+  std::vector<std::vector<double>> EmissionScores(const Matrix& x) const;
+
+  CrfOptions options_;
+  int num_classes_ = 0;
+  size_t num_features_ = 0;
+  // state_weights_[k] is the weight vector of class k; biases per class;
+  // transitions_[j][k] scores label j followed by label k.
+  std::vector<std::vector<double>> state_weights_;
+  std::vector<double> biases_;
+  std::vector<std::vector<double>> transitions_;
+  double final_loss_ = 0.0;
+};
+
+}  // namespace strudel::ml
+
+#endif  // STRUDEL_ML_CRF_H_

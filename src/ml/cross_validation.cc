@@ -1,0 +1,70 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+#include <map>
+
+namespace strudel::ml {
+
+std::vector<FoldSplit> GroupKFold(const Dataset& data, int k, Rng& rng) {
+  // Collect sample indices per group.
+  std::map<int, std::vector<size_t>> by_group;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const int group = data.groups.empty() ? static_cast<int>(i)
+                                          : data.groups[i];
+    by_group[group].push_back(i);
+  }
+
+  std::vector<std::vector<size_t>> groups;
+  groups.reserve(by_group.size());
+  for (auto& [id, indices] : by_group) groups.push_back(std::move(indices));
+  rng.Shuffle(groups);
+  // Greedy balancing: biggest groups first, into the smallest fold. The
+  // shuffle above randomises tie-breaking between same-sized groups.
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.size() > b.size();
+                   });
+
+  const int folds = std::max(
+      1, std::min(k, static_cast<int>(groups.size())));
+  std::vector<std::vector<size_t>> fold_members(
+      static_cast<size_t>(folds));
+  std::vector<size_t> fold_sizes(static_cast<size_t>(folds), 0);
+  for (auto& group : groups) {
+    size_t smallest = 0;
+    for (size_t f = 1; f < fold_sizes.size(); ++f) {
+      if (fold_sizes[f] < fold_sizes[smallest]) smallest = f;
+    }
+    fold_sizes[smallest] += group.size();
+    auto& members = fold_members[smallest];
+    members.insert(members.end(), group.begin(), group.end());
+  }
+
+  std::vector<FoldSplit> splits(static_cast<size_t>(folds));
+  for (size_t f = 0; f < static_cast<size_t>(folds); ++f) {
+    splits[f].test_indices = fold_members[f];
+    std::sort(splits[f].test_indices.begin(), splits[f].test_indices.end());
+    for (size_t g = 0; g < static_cast<size_t>(folds); ++g) {
+      if (g == f) continue;
+      splits[f].train_indices.insert(splits[f].train_indices.end(),
+                                     fold_members[g].begin(),
+                                     fold_members[g].end());
+    }
+    std::sort(splits[f].train_indices.begin(), splits[f].train_indices.end());
+  }
+  return splits;
+}
+
+std::vector<std::vector<FoldSplit>> RepeatedGroupKFold(const Dataset& data,
+                                                       int k,
+                                                       int repetitions,
+                                                       Rng& rng) {
+  std::vector<std::vector<FoldSplit>> out;
+  out.reserve(static_cast<size_t>(std::max(0, repetitions)));
+  for (int r = 0; r < repetitions; ++r) {
+    out.push_back(GroupKFold(data, k, rng));
+  }
+  return out;
+}
+
+}  // namespace strudel::ml

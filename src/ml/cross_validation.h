@@ -1,0 +1,42 @@
+// Grouped k-fold cross-validation.
+//
+// The paper's protocol (§6.1.2): "Each algorithm is evaluated using
+// 10-fold cross validation. When creating the folds, our process ensures
+// that all elements from a single file appear in either the training or
+// the test set. We repeat the 10-fold cross validation ten times to reduce
+// bias leaning to particular fold splits."
+//
+// Folds are therefore partitions of *groups* (files), balanced by sample
+// count: groups are shuffled, then greedily assigned to the currently
+// smallest fold.
+
+#ifndef STRUDEL_ML_CROSS_VALIDATION_H_
+#define STRUDEL_ML_CROSS_VALIDATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace strudel::ml {
+
+struct FoldSplit {
+  std::vector<size_t> train_indices;
+  std::vector<size_t> test_indices;
+};
+
+/// Partitions `data` into `k` grouped folds. Every sample of a group lands
+/// in exactly one test fold. Groups than folds yields fewer (non-empty)
+/// folds. Deterministic given `rng`.
+std::vector<FoldSplit> GroupKFold(const Dataset& data, int k, Rng& rng);
+
+/// Repeats GroupKFold `repetitions` times with fresh shuffles.
+std::vector<std::vector<FoldSplit>> RepeatedGroupKFold(const Dataset& data,
+                                                       int k,
+                                                       int repetitions,
+                                                       Rng& rng);
+
+}  // namespace strudel::ml
+
+#endif  // STRUDEL_ML_CROSS_VALIDATION_H_

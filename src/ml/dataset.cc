@@ -1,0 +1,59 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+namespace strudel::ml {
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out;
+  out.features = features.select_rows(indices);
+  out.labels.reserve(indices.size());
+  out.groups.reserve(indices.size());
+  for (size_t i : indices) {
+    out.labels.push_back(labels[i]);
+    out.groups.push_back(groups.empty() ? -1 : groups[i]);
+  }
+  out.feature_names = feature_names;
+  out.num_classes = num_classes;
+  return out;
+}
+
+void Dataset::Append(const Dataset& other) {
+  for (size_t i = 0; i < other.size(); ++i) {
+    features.append_row(other.features.row(i));
+    labels.push_back(other.labels[i]);
+    groups.push_back(other.groups.empty() ? -1 : other.groups[i]);
+  }
+  if (feature_names.empty()) feature_names = other.feature_names;
+  num_classes = std::max(num_classes, other.num_classes);
+}
+
+std::vector<int> Dataset::ClassCounts() const {
+  std::vector<int> counts(static_cast<size_t>(std::max(num_classes, 0)), 0);
+  for (int label : labels) {
+    if (label >= 0 && static_cast<size_t>(label) < counts.size()) {
+      ++counts[static_cast<size_t>(label)];
+    }
+  }
+  return counts;
+}
+
+std::vector<int> Dataset::DistinctGroups() const {
+  std::set<int> distinct(groups.begin(), groups.end());
+  return std::vector<int>(distinct.begin(), distinct.end());
+}
+
+bool Dataset::Valid() const {
+  if (labels.size() != features.rows()) return false;
+  if (!groups.empty() && groups.size() != features.rows()) return false;
+  if (!feature_names.empty() && feature_names.size() != features.cols()) {
+    return false;
+  }
+  for (int label : labels) {
+    if (label < 0 || label >= num_classes) return false;
+  }
+  return true;
+}
+
+}  // namespace strudel::ml

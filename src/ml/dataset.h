@@ -1,0 +1,44 @@
+// Dataset: features + integer labels + group ids (the file each sample
+// came from) + feature names. Group ids drive grouped cross-validation:
+// the paper requires that "all elements from a single file appear in
+// either the training or the test set".
+
+#ifndef STRUDEL_ML_DATASET_H_
+#define STRUDEL_ML_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace strudel::ml {
+
+struct Dataset {
+  Matrix features;
+  std::vector<int> labels;            // size == features.rows()
+  std::vector<int> groups;            // size == features.rows(); -1 = none
+  std::vector<std::string> feature_names;  // size == features.cols()
+  int num_classes = 0;
+
+  size_t size() const { return features.rows(); }
+  size_t num_features() const { return features.cols(); }
+
+  /// Subset by sample indices (keeps feature names and num_classes).
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  /// Appends all samples of `other`; shapes and num_classes must agree.
+  void Append(const Dataset& other);
+
+  /// Per-class sample counts (size num_classes).
+  std::vector<int> ClassCounts() const;
+
+  /// Sorted list of distinct group ids.
+  std::vector<int> DistinctGroups() const;
+
+  /// Validation: consistent sizes, labels within [0, num_classes).
+  bool Valid() const;
+};
+
+}  // namespace strudel::ml
+
+#endif  // STRUDEL_ML_DATASET_H_

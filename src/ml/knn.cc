@@ -1,0 +1,63 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace strudel::ml {
+
+KnnClassifier::KnnClassifier(KnnOptions options) : options_(options) {}
+
+Status KnnClassifier::Fit(const Dataset& data) {
+  if (!data.Valid() || data.size() == 0) {
+    return Status::InvalidArgument("knn: invalid or empty dataset");
+  }
+  if (options_.k <= 0) {
+    return Status::InvalidArgument("knn: k must be positive");
+  }
+  train_features_ = data.features;
+  train_labels_ = data.labels;
+  num_classes_ = data.num_classes;
+  return Status::OK();
+}
+
+std::vector<double> KnnClassifier::PredictProba(
+    std::span<const double> features) const {
+  std::vector<double> proba(static_cast<size_t>(num_classes_), 0.0);
+  const size_t n = train_features_.rows();
+  if (n == 0) return proba;
+
+  std::vector<std::pair<double, int>> distances;  // (squared dist, label)
+  distances.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = train_features_.row(i);
+    double dist = 0.0;
+    for (size_t j = 0; j < row.size(); ++j) {
+      const double delta = row[j] - features[j];
+      dist += delta * delta;
+    }
+    distances.emplace_back(dist, train_labels_[i]);
+  }
+  const size_t k = std::min(static_cast<size_t>(options_.k), n);
+  std::partial_sort(distances.begin(), distances.begin() + static_cast<long>(k),
+                    distances.end());
+  double total_weight = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    double weight = 1.0;
+    if (options_.distance_weighted) {
+      weight = 1.0 / (std::sqrt(distances[i].first) + 1e-9);
+    }
+    proba[static_cast<size_t>(distances[i].second)] += weight;
+    total_weight += weight;
+  }
+  if (total_weight > 0.0) {
+    for (double& p : proba) p /= total_weight;
+  }
+  return proba;
+}
+
+std::unique_ptr<Classifier> KnnClassifier::CloneUntrained() const {
+  return std::make_unique<KnnClassifier>(options_);
+}
+
+}  // namespace strudel::ml

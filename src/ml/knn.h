@@ -1,0 +1,40 @@
+// k-nearest-neighbours classifier (brute force, Euclidean). Another of the
+// rejected backbone candidates (§6.1.2); used in the classifier-choice
+// ablation bench on subsampled data.
+
+#ifndef STRUDEL_ML_KNN_H_
+#define STRUDEL_ML_KNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace strudel::ml {
+
+struct KnnOptions {
+  int k = 5;
+  /// Weight votes by inverse distance instead of uniformly.
+  bool distance_weighted = false;
+};
+
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(KnnOptions options = {});
+
+  Status Fit(const Dataset& data) override;
+  std::vector<double> PredictProba(
+      std::span<const double> features) const override;
+  int num_classes() const override { return num_classes_; }
+  std::unique_ptr<Classifier> CloneUntrained() const override;
+
+ private:
+  KnnOptions options_;
+  Matrix train_features_;
+  std::vector<int> train_labels_;
+  int num_classes_ = 0;
+};
+
+}  // namespace strudel::ml
+
+#endif  // STRUDEL_ML_KNN_H_

@@ -1,0 +1,36 @@
+#include "ml/matrix.h"
+
+namespace strudel::ml {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  Matrix m;
+  for (const auto& r : rows) {
+    m.append_row(std::span<const double>(r.data(), r.size()));
+  }
+  return m;
+}
+
+std::vector<double> Matrix::row_copy(size_t r) const {
+  auto view = row(r);
+  return std::vector<double>(view.begin(), view.end());
+}
+
+void Matrix::append_row(std::span<const double> values) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = values.size();
+  }
+  assert(values.size() == cols_);
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+Matrix Matrix::select_rows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    auto src = row(indices[i]);
+    std::copy(src.begin(), src.end(), out.data_.begin() + i * cols_);
+  }
+  return out;
+}
+
+}  // namespace strudel::ml

@@ -1,0 +1,66 @@
+// Matrix: dense row-major double matrix used for feature data throughout
+// the ML substrate. Deliberately minimal — storage, shape, row views and a
+// few bulk helpers; no linear algebra beyond what the learners need.
+
+#ifndef STRUDEL_ML_MATRIX_H_
+#define STRUDEL_ML_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace strudel::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from row vectors; all rows must have equal length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  double& at(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Copies a row into a fresh vector.
+  std::vector<double> row_copy(size_t r) const;
+
+  /// Appends a row; its size must equal cols() (or define cols on first
+  /// append to an empty matrix).
+  void append_row(std::span<const double> values);
+
+  /// Returns a new matrix containing the given rows, in order.
+  Matrix select_rows(const std::vector<size_t>& indices) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace strudel::ml
+
+#endif  // STRUDEL_ML_MATRIX_H_

@@ -1,0 +1,141 @@
+#include "ml/metrics.h"
+
+#include <cassert>
+
+namespace strudel::ml {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<size_t>(num_classes) *
+                  static_cast<size_t>(num_classes),
+              0) {
+  assert(num_classes > 0);
+}
+
+void ConfusionMatrix::Add(int actual, int predicted, int count) {
+  if (actual < 0 || actual >= num_classes_ || predicted < 0 ||
+      predicted >= num_classes_) {
+    return;
+  }
+  counts_[static_cast<size_t>(actual) * static_cast<size_t>(num_classes_) +
+          static_cast<size_t>(predicted)] += count;
+}
+
+void ConfusionMatrix::Merge(const ConfusionMatrix& other) {
+  assert(other.num_classes_ == num_classes_);
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+long long ConfusionMatrix::count(int actual, int predicted) const {
+  if (actual < 0 || actual >= num_classes_ || predicted < 0 ||
+      predicted >= num_classes_) {
+    return 0;
+  }
+  return counts_[static_cast<size_t>(actual) *
+                     static_cast<size_t>(num_classes_) +
+                 static_cast<size_t>(predicted)];
+}
+
+long long ConfusionMatrix::total() const {
+  long long sum = 0;
+  for (long long c : counts_) sum += c;
+  return sum;
+}
+
+long long ConfusionMatrix::class_support(int actual) const {
+  long long sum = 0;
+  for (int p = 0; p < num_classes_; ++p) sum += count(actual, p);
+  return sum;
+}
+
+std::vector<std::vector<double>> ConfusionMatrix::Normalized() const {
+  std::vector<std::vector<double>> out(
+      static_cast<size_t>(num_classes_),
+      std::vector<double>(static_cast<size_t>(num_classes_), 0.0));
+  for (int a = 0; a < num_classes_; ++a) {
+    const long long support = class_support(a);
+    if (support == 0) continue;
+    for (int p = 0; p < num_classes_; ++p) {
+      out[static_cast<size_t>(a)][static_cast<size_t>(p)] =
+          static_cast<double>(count(a, p)) / static_cast<double>(support);
+    }
+  }
+  return out;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const long long all = total();
+  if (all == 0) return 0.0;
+  long long correct = 0;
+  for (int k = 0; k < num_classes_; ++k) correct += count(k, k);
+  return static_cast<double>(correct) / static_cast<double>(all);
+}
+
+double ConfusionMatrix::Precision(int cls) const {
+  long long predicted = 0;
+  for (int a = 0; a < num_classes_; ++a) predicted += count(a, cls);
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::Recall(int cls) const {
+  const long long support = class_support(cls);
+  if (support == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) /
+         static_cast<double>(support);
+}
+
+double ConfusionMatrix::F1(int cls) const {
+  const double p = Precision(cls);
+  const double r = Recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::MacroF1(bool skip_empty_classes) const {
+  double sum = 0.0;
+  int counted = 0;
+  for (int k = 0; k < num_classes_; ++k) {
+    if (skip_empty_classes) {
+      long long predicted = 0;
+      for (int a = 0; a < num_classes_; ++a) predicted += count(a, k);
+      if (class_support(k) == 0 && predicted == 0) continue;
+    }
+    sum += F1(k);
+    ++counted;
+  }
+  return counted > 0 ? sum / counted : 0.0;
+}
+
+ConfusionMatrix BuildConfusion(const std::vector<int>& actual,
+                               const std::vector<int>& predicted,
+                               int num_classes) {
+  ConfusionMatrix matrix(num_classes);
+  const size_t n = std::min(actual.size(), predicted.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (actual[i] < 0 || actual[i] >= num_classes) continue;
+    matrix.Add(actual[i], predicted[i]);
+  }
+  return matrix;
+}
+
+ClassificationReport Summarize(const ConfusionMatrix& matrix) {
+  ClassificationReport report;
+  const int k = matrix.num_classes();
+  report.per_class_f1.resize(static_cast<size_t>(k));
+  report.per_class_precision.resize(static_cast<size_t>(k));
+  report.per_class_recall.resize(static_cast<size_t>(k));
+  report.support.resize(static_cast<size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    report.per_class_f1[static_cast<size_t>(c)] = matrix.F1(c);
+    report.per_class_precision[static_cast<size_t>(c)] = matrix.Precision(c);
+    report.per_class_recall[static_cast<size_t>(c)] = matrix.Recall(c);
+    report.support[static_cast<size_t>(c)] = matrix.class_support(c);
+  }
+  report.accuracy = matrix.Accuracy();
+  report.macro_f1 = matrix.MacroF1();
+  return report;
+}
+
+}  // namespace strudel::ml

@@ -1,0 +1,61 @@
+// Classification metrics: confusion matrix, per-class precision / recall /
+// F1, macro average and accuracy — the measures reported throughout the
+// paper's evaluation (Tables 6-8, Figure 3).
+
+#ifndef STRUDEL_ML_METRICS_H_
+#define STRUDEL_ML_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace strudel::ml {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void Add(int actual, int predicted, int count = 1);
+  void Merge(const ConfusionMatrix& other);
+
+  int num_classes() const { return num_classes_; }
+  long long count(int actual, int predicted) const;
+  long long total() const;
+  long long class_support(int actual) const;
+
+  /// Row-normalised (by actual-class support) matrix, as in Figure 3.
+  std::vector<std::vector<double>> Normalized() const;
+
+  double Accuracy() const;
+  double Precision(int cls) const;
+  double Recall(int cls) const;
+  double F1(int cls) const;
+  /// Unweighted mean of per-class F1. `skip_empty_classes` drops classes
+  /// with zero support and zero predictions from the average.
+  double MacroF1(bool skip_empty_classes = true) const;
+
+ private:
+  int num_classes_;
+  std::vector<long long> counts_;  // row-major [actual][predicted]
+};
+
+/// Builds a confusion matrix from parallel label vectors. Entries where
+/// `actual` is outside [0, num_classes) are skipped (callers use -1 to
+/// exclude elements, e.g. derived lines when scoring Pytheas).
+ConfusionMatrix BuildConfusion(const std::vector<int>& actual,
+                               const std::vector<int>& predicted,
+                               int num_classes);
+
+struct ClassificationReport {
+  std::vector<double> per_class_f1;
+  std::vector<double> per_class_precision;
+  std::vector<double> per_class_recall;
+  std::vector<long long> support;
+  double accuracy = 0.0;
+  double macro_f1 = 0.0;
+};
+
+ClassificationReport Summarize(const ConfusionMatrix& matrix);
+
+}  // namespace strudel::ml
+
+#endif  // STRUDEL_ML_METRICS_H_

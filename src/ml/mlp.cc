@@ -1,0 +1,178 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace strudel::ml {
+
+Mlp::Mlp(MlpOptions options) : options_(options) {}
+
+Status Mlp::Fit(const Dataset& data) {
+  if (!data.Valid() || data.size() == 0) {
+    return Status::InvalidArgument("mlp: invalid or empty dataset");
+  }
+  num_classes_ = data.num_classes;
+  input_size_ = data.num_features();
+
+  // Assemble layer sizes: input -> hidden... -> classes.
+  std::vector<int> sizes;
+  sizes.push_back(static_cast<int>(input_size_));
+  for (int h : options_.hidden_sizes) {
+    if (h > 0) sizes.push_back(h);
+  }
+  sizes.push_back(num_classes_);
+
+  Rng rng(options_.seed);
+  layers_.clear();
+  for (size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Layer layer;
+    layer.in_size = sizes[l];
+    layer.out_size = sizes[l + 1];
+    // He initialisation for ReLU layers.
+    const double scale = std::sqrt(2.0 / static_cast<double>(layer.in_size));
+    layer.weights.assign(static_cast<size_t>(layer.out_size),
+                         std::vector<double>(static_cast<size_t>(layer.in_size)));
+    layer.weight_velocity.assign(
+        static_cast<size_t>(layer.out_size),
+        std::vector<double>(static_cast<size_t>(layer.in_size), 0.0));
+    layer.biases.assign(static_cast<size_t>(layer.out_size), 0.0);
+    layer.bias_velocity.assign(static_cast<size_t>(layer.out_size), 0.0);
+    for (auto& row : layer.weights) {
+      for (double& w : row) w = rng.Gaussian(0.0, scale);
+    }
+    layers_.push_back(std::move(layer));
+  }
+
+  const size_t n = data.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  double prev_loss = 1e30;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+
+    // Gradient accumulators, reused across batches.
+    std::vector<std::vector<std::vector<double>>> grad_w(layers_.size());
+    std::vector<std::vector<double>> grad_b(layers_.size());
+    for (size_t l = 0; l < layers_.size(); ++l) {
+      grad_w[l].assign(static_cast<size_t>(layers_[l].out_size),
+                       std::vector<double>(
+                           static_cast<size_t>(layers_[l].in_size), 0.0));
+      grad_b[l].assign(static_cast<size_t>(layers_[l].out_size), 0.0);
+    }
+
+    size_t batch_start = 0;
+    while (batch_start < n) {
+      const size_t batch_end =
+          std::min(batch_start + static_cast<size_t>(options_.batch_size), n);
+      const double batch_n = static_cast<double>(batch_end - batch_start);
+      for (auto& lw : grad_w) {
+        for (auto& row : lw) std::fill(row.begin(), row.end(), 0.0);
+      }
+      for (auto& lb : grad_b) std::fill(lb.begin(), lb.end(), 0.0);
+
+      std::vector<std::vector<double>> activations;
+      for (size_t bi = batch_start; bi < batch_end; ++bi) {
+        const size_t i = order[bi];
+        Forward(data.features.row(i), activations);
+        const std::vector<double>& output = activations.back();
+        const size_t label = static_cast<size_t>(data.labels[i]);
+        epoch_loss += -std::log(std::max(output[label], 1e-12));
+
+        // Backward pass. delta starts as softmax cross-entropy gradient.
+        std::vector<double> delta = output;
+        delta[label] -= 1.0;
+        for (size_t l = layers_.size(); l-- > 0;) {
+          const Layer& layer = layers_[l];
+          const std::vector<double>& input = activations[l];
+          for (size_t o = 0; o < static_cast<size_t>(layer.out_size); ++o) {
+            grad_b[l][o] += delta[o];
+            for (size_t in = 0; in < static_cast<size_t>(layer.in_size);
+                 ++in) {
+              grad_w[l][o][in] += delta[o] * input[in];
+            }
+          }
+          if (l == 0) break;
+          std::vector<double> prev_delta(
+              static_cast<size_t>(layer.in_size), 0.0);
+          for (size_t in = 0; in < static_cast<size_t>(layer.in_size); ++in) {
+            double sum = 0.0;
+            for (size_t o = 0; o < static_cast<size_t>(layer.out_size); ++o) {
+              sum += layer.weights[o][in] * delta[o];
+            }
+            // ReLU derivative on the (post-activation) hidden input.
+            prev_delta[in] = input[in] > 0.0 ? sum : 0.0;
+          }
+          delta = std::move(prev_delta);
+        }
+      }
+
+      // SGD with momentum + L2.
+      const double lr = options_.learning_rate;
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        for (size_t o = 0; o < static_cast<size_t>(layer.out_size); ++o) {
+          for (size_t in = 0; in < static_cast<size_t>(layer.in_size); ++in) {
+            const double g = grad_w[l][o][in] / batch_n +
+                             options_.l2 * layer.weights[o][in];
+            layer.weight_velocity[o][in] =
+                options_.momentum * layer.weight_velocity[o][in] - lr * g;
+            layer.weights[o][in] += layer.weight_velocity[o][in];
+          }
+          const double g = grad_b[l][o] / batch_n;
+          layer.bias_velocity[o] =
+              options_.momentum * layer.bias_velocity[o] - lr * g;
+          layer.biases[o] += layer.bias_velocity[o];
+        }
+      }
+      batch_start = batch_end;
+    }
+
+    epoch_loss /= static_cast<double>(n);
+    final_loss_ = epoch_loss;
+    if (std::fabs(prev_loss - epoch_loss) < options_.tolerance) break;
+    prev_loss = epoch_loss;
+  }
+  return Status::OK();
+}
+
+void Mlp::Forward(std::span<const double> input,
+                  std::vector<std::vector<double>>& activations) const {
+  activations.clear();
+  activations.emplace_back(input.begin(), input.end());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> out(static_cast<size_t>(layer.out_size));
+    const std::vector<double>& in = activations.back();
+    for (size_t o = 0; o < static_cast<size_t>(layer.out_size); ++o) {
+      double sum = layer.biases[o];
+      const std::vector<double>& w = layer.weights[o];
+      for (size_t j = 0; j < w.size(); ++j) sum += w[j] * in[j];
+      out[o] = sum;
+    }
+    const bool is_output = (l + 1 == layers_.size());
+    if (is_output) {
+      SoftmaxInPlace(out);
+    } else {
+      for (double& v : out) v = std::max(0.0, v);  // ReLU
+    }
+    activations.push_back(std::move(out));
+  }
+}
+
+std::vector<double> Mlp::PredictProba(
+    std::span<const double> features) const {
+  if (layers_.empty()) {
+    return std::vector<double>(static_cast<size_t>(num_classes_), 0.0);
+  }
+  std::vector<std::vector<double>> activations;
+  Forward(features, activations);
+  return activations.back();
+}
+
+std::unique_ptr<Classifier> Mlp::CloneUntrained() const {
+  return std::make_unique<Mlp>(options_);
+}
+
+}  // namespace strudel::ml

@@ -1,0 +1,69 @@
+// Multi-layer perceptron with ReLU hidden layers and a softmax output,
+// trained by mini-batch SGD with momentum on cross-entropy loss.
+//
+// This is the neural backbone of the RNN^C surrogate baseline
+// (baselines/rnn_cell.h): the original paper's competitor is a recursive
+// network over pre-trained cell embeddings, which we replace by a trained
+// feed-forward network over content+context representations (see
+// DESIGN.md, substitutions).
+
+#ifndef STRUDEL_ML_MLP_H_
+#define STRUDEL_ML_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+
+namespace strudel::ml {
+
+struct MlpOptions {
+  std::vector<int> hidden_sizes = {64, 32};
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  double l2 = 1e-4;
+  int epochs = 30;
+  int batch_size = 64;
+  uint64_t seed = 42;
+  /// Stop early when the epoch loss improves by less than this.
+  double tolerance = 1e-5;
+};
+
+class Mlp final : public Classifier {
+ public:
+  explicit Mlp(MlpOptions options = {});
+
+  Status Fit(const Dataset& data) override;
+  std::vector<double> PredictProba(
+      std::span<const double> features) const override;
+  int num_classes() const override { return num_classes_; }
+  std::unique_ptr<Classifier> CloneUntrained() const override;
+
+  /// Mean cross-entropy of the final training epoch (diagnostics).
+  double final_loss() const { return final_loss_; }
+
+ private:
+  struct Layer {
+    // weights[out][in], biases[out]; velocity buffers for momentum.
+    std::vector<std::vector<double>> weights;
+    std::vector<double> biases;
+    std::vector<std::vector<double>> weight_velocity;
+    std::vector<double> bias_velocity;
+    int in_size = 0;
+    int out_size = 0;
+  };
+
+  void Forward(std::span<const double> input,
+               std::vector<std::vector<double>>& activations) const;
+
+  MlpOptions options_;
+  std::vector<Layer> layers_;
+  int num_classes_ = 0;
+  size_t input_size_ = 0;
+  double final_loss_ = 0.0;
+};
+
+}  // namespace strudel::ml
+
+#endif  // STRUDEL_ML_MLP_H_

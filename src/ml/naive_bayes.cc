@@ -1,0 +1,84 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+namespace strudel::ml {
+
+GaussianNaiveBayes::GaussianNaiveBayes(NaiveBayesOptions options)
+    : options_(options) {}
+
+Status GaussianNaiveBayes::Fit(const Dataset& data) {
+  if (!data.Valid() || data.size() == 0) {
+    return Status::InvalidArgument("naive bayes: invalid or empty dataset");
+  }
+  num_classes_ = data.num_classes;
+  const size_t d = data.num_features();
+  const size_t k = static_cast<size_t>(num_classes_);
+
+  std::vector<double> counts(k, 0.0);
+  means_.assign(k, std::vector<double>(d, 0.0));
+  variances_.assign(k, std::vector<double>(d, 0.0));
+
+  for (size_t i = 0; i < data.size(); ++i) {
+    const size_t c = static_cast<size_t>(data.labels[i]);
+    ++counts[c];
+    auto row = data.features.row(i);
+    for (size_t j = 0; j < d; ++j) means_[c][j] += row[j];
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0) {
+      for (size_t j = 0; j < d; ++j) means_[c][j] /= counts[c];
+    }
+  }
+  double max_var = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const size_t c = static_cast<size_t>(data.labels[i]);
+    auto row = data.features.row(i);
+    for (size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - means_[c][j];
+      variances_[c][j] += delta * delta;
+    }
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0) {
+      for (size_t j = 0; j < d; ++j) {
+        variances_[c][j] /= counts[c];
+        max_var = std::max(max_var, variances_[c][j]);
+      }
+    }
+  }
+  const double epsilon = options_.var_smoothing * std::max(max_var, 1e-12);
+  for (auto& row : variances_) {
+    for (double& v : row) v += epsilon;
+  }
+
+  log_priors_.assign(k, -1e30);
+  const double n = static_cast<double>(data.size());
+  for (size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0) log_priors_[c] = std::log(counts[c] / n);
+  }
+  return Status::OK();
+}
+
+std::vector<double> GaussianNaiveBayes::PredictProba(
+    std::span<const double> features) const {
+  const size_t k = static_cast<size_t>(num_classes_);
+  std::vector<double> log_likelihood(k, 0.0);
+  for (size_t c = 0; c < k; ++c) {
+    double ll = log_priors_[c];
+    for (size_t j = 0; j < features.size(); ++j) {
+      const double var = variances_[c][j];
+      const double delta = features[j] - means_[c][j];
+      ll += -0.5 * std::log(2.0 * M_PI * var) - delta * delta / (2.0 * var);
+    }
+    log_likelihood[c] = ll;
+  }
+  SoftmaxInPlace(log_likelihood);
+  return log_likelihood;
+}
+
+std::unique_ptr<Classifier> GaussianNaiveBayes::CloneUntrained() const {
+  return std::make_unique<GaussianNaiveBayes>(options_);
+}
+
+}  // namespace strudel::ml

@@ -1,0 +1,41 @@
+// Gaussian naive Bayes. One of the backbone candidates the paper rejected
+// in favour of the random forest (§6.1.2); kept here to power the
+// classifier-choice ablation bench.
+
+#ifndef STRUDEL_ML_NAIVE_BAYES_H_
+#define STRUDEL_ML_NAIVE_BAYES_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace strudel::ml {
+
+struct NaiveBayesOptions {
+  /// Portion of the largest per-feature variance added to every variance
+  /// for numerical stability (sklearn's var_smoothing).
+  double var_smoothing = 1e-9;
+};
+
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  explicit GaussianNaiveBayes(NaiveBayesOptions options = {});
+
+  Status Fit(const Dataset& data) override;
+  std::vector<double> PredictProba(
+      std::span<const double> features) const override;
+  int num_classes() const override { return num_classes_; }
+  std::unique_ptr<Classifier> CloneUntrained() const override;
+
+ private:
+  NaiveBayesOptions options_;
+  int num_classes_ = 0;
+  std::vector<double> log_priors_;              // [class]
+  std::vector<std::vector<double>> means_;      // [class][feature]
+  std::vector<std::vector<double>> variances_;  // [class][feature]
+};
+
+}  // namespace strudel::ml
+
+#endif  // STRUDEL_ML_NAIVE_BAYES_H_

@@ -1,0 +1,71 @@
+#include "ml/normalizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "common/math_util.h"
+
+namespace strudel::ml {
+
+void MinMaxNormalizer::Fit(const Matrix& features) {
+  const size_t d = features.cols();
+  mins_.assign(d, std::numeric_limits<double>::infinity());
+  maxs_.assign(d, -std::numeric_limits<double>::infinity());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    auto row = features.row(r);
+    for (size_t c = 0; c < d; ++c) {
+      mins_[c] = std::min(mins_[c], row[c]);
+      maxs_[c] = std::max(maxs_[c], row[c]);
+    }
+  }
+  if (features.rows() == 0) {
+    mins_.assign(d, 0.0);
+    maxs_.assign(d, 0.0);
+  }
+}
+
+void MinMaxNormalizer::Transform(Matrix& features) const {
+  const size_t d = std::min(features.cols(), mins_.size());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    auto row = features.row(r);
+    for (size_t c = 0; c < d; ++c) {
+      const double span = maxs_[c] - mins_[c];
+      row[c] = span > 0.0 ? Clamp((row[c] - mins_[c]) / span, 0.0, 1.0) : 0.0;
+    }
+  }
+}
+
+void MinMaxNormalizer::FitTransform(Matrix& features) {
+  Fit(features);
+  Transform(features);
+}
+
+Status MinMaxNormalizer::Save(std::ostream& out) const {
+  out.precision(17);
+  out << "minmax v1 " << mins_.size() << '\n';
+  for (size_t i = 0; i < mins_.size(); ++i) {
+    out << mins_[i] << ' ' << maxs_[i] << '\n';
+  }
+  if (!out) return Status::IOError("normalizer: write failed");
+  return Status::OK();
+}
+
+Status MinMaxNormalizer::Load(std::istream& in) {
+  std::string magic, version;
+  size_t size = 0;
+  in >> magic >> version >> size;
+  if (!in || magic != "minmax" || version != "v1") {
+    return Status::ParseError("normalizer: bad header");
+  }
+  if (size > 100'000'000) {
+    return Status::ParseError("normalizer: implausible size");
+  }
+  mins_.resize(size);
+  maxs_.resize(size);
+  for (size_t i = 0; i < size; ++i) in >> mins_[i] >> maxs_[i];
+  if (!in) return Status::ParseError("normalizer: truncated stream");
+  return Status::OK();
+}
+
+}  // namespace strudel::ml

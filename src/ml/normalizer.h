@@ -1,0 +1,42 @@
+// Per-column min-max normalisation, fit on training data and applied to
+// held-out data. Strudel normalises all features to [0, 1] (paper §4).
+
+#ifndef STRUDEL_ML_NORMALIZER_H_
+#define STRUDEL_ML_NORMALIZER_H_
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace strudel::ml {
+
+class MinMaxNormalizer {
+ public:
+  /// Learns per-column min/max from `features`.
+  void Fit(const Matrix& features);
+
+  /// Maps every column into [0, 1] by the fitted ranges; out-of-range
+  /// held-out values are clamped. Constant columns map to 0.
+  void Transform(Matrix& features) const;
+
+  void FitTransform(Matrix& features);
+
+  /// Serialises / restores the fitted ranges ("minmax v1" format).
+  Status Save(std::ostream& out) const;
+  Status Load(std::istream& in);
+
+  bool fitted() const { return !mins_.empty(); }
+  const std::vector<double>& mins() const { return mins_; }
+  const std::vector<double>& maxs() const { return maxs_; }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace strudel::ml
+
+#endif  // STRUDEL_ML_NORMALIZER_H_

@@ -1,0 +1,90 @@
+#include "ml/permutation_importance.h"
+
+#include <algorithm>
+
+#include "ml/metrics.h"
+
+namespace strudel::ml {
+
+namespace {
+
+double BinaryF1(const std::vector<int>& actual,
+                const std::vector<int>& predicted) {
+  ConfusionMatrix matrix = BuildConfusion(actual, predicted, 2);
+  return matrix.F1(1);
+}
+
+}  // namespace
+
+std::vector<double> PermutationImportance(
+    const Classifier& model, const Dataset& eval_data,
+    const std::function<double(const std::vector<int>&,
+                               const std::vector<int>&)>& score,
+    const PermutationImportanceOptions& options) {
+  const size_t n = eval_data.size();
+  const size_t d = eval_data.num_features();
+  std::vector<double> importances(d, 0.0);
+  if (n == 0 || d == 0) return importances;
+
+  const double baseline =
+      score(eval_data.labels, model.PredictAll(eval_data.features));
+
+  Rng rng(options.seed);
+  Matrix permuted = eval_data.features;
+  std::vector<double> original_column(n);
+  std::vector<size_t> order(n);
+
+  for (size_t f = 0; f < d; ++f) {
+    for (size_t i = 0; i < n; ++i) {
+      original_column[i] = permuted.at(i, f);
+    }
+    double drop_sum = 0.0;
+    for (int rep = 0; rep < std::max(1, options.repeats); ++rep) {
+      for (size_t i = 0; i < n; ++i) order[i] = i;
+      rng.Shuffle(order);
+      for (size_t i = 0; i < n; ++i) {
+        permuted.at(i, f) = original_column[order[i]];
+      }
+      const double permuted_score =
+          score(eval_data.labels, model.PredictAll(permuted));
+      drop_sum += baseline - permuted_score;
+    }
+    importances[f] = drop_sum / std::max(1, options.repeats);
+    for (size_t i = 0; i < n; ++i) {
+      permuted.at(i, f) = original_column[i];
+    }
+  }
+  return importances;
+}
+
+std::vector<std::vector<double>> PerClassPermutationImportance(
+    const Classifier& prototype, const Dataset& train_data,
+    const Dataset& eval_data, const PermutationImportanceOptions& options) {
+  const int num_classes = train_data.num_classes;
+  std::vector<std::vector<double>> out(
+      static_cast<size_t>(std::max(0, num_classes)));
+
+  Rng seed_rng(options.seed);
+  for (int cls = 0; cls < num_classes; ++cls) {
+    // Relabel one-vs-rest.
+    Dataset binary_train = train_data;
+    binary_train.num_classes = 2;
+    for (int& label : binary_train.labels) label = (label == cls) ? 1 : 0;
+    Dataset binary_eval = eval_data;
+    binary_eval.num_classes = 2;
+    for (int& label : binary_eval.labels) label = (label == cls) ? 1 : 0;
+
+    std::unique_ptr<Classifier> model = prototype.CloneUntrained();
+    if (!model->Fit(binary_train).ok()) {
+      out[static_cast<size_t>(cls)].assign(train_data.num_features(), 0.0);
+      continue;
+    }
+    PermutationImportanceOptions per_class = options;
+    per_class.seed = seed_rng.Next();
+    out[static_cast<size_t>(cls)] =
+        PermutationImportance(*model, binary_eval, BinaryF1, per_class);
+  }
+  return out;
+}
+
+}  // namespace strudel::ml

@@ -1,0 +1,46 @@
+// Permutation feature importance (Breiman 2001), as used for Figure 4.
+//
+// The paper's protocol (§6.3.5): importance is measured per class by
+// training a one-vs-rest binary model and computing the permutation
+// importance of each feature; each permutation is repeated five times and
+// averaged. The paper chose this technique "because it does not favor
+// high cardinality features".
+
+#ifndef STRUDEL_ML_PERMUTATION_IMPORTANCE_H_
+#define STRUDEL_ML_PERMUTATION_IMPORTANCE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+
+namespace strudel::ml {
+
+struct PermutationImportanceOptions {
+  int repeats = 5;
+  uint64_t seed = 42;
+};
+
+/// Importance of each feature on `eval_data` for an already-trained
+/// `model`: baseline_score - mean(score after permuting the column).
+/// `score` maps (actual labels, predictions) to a quality measure (higher
+/// = better), e.g. accuracy or macro-F1.
+std::vector<double> PermutationImportance(
+    const Classifier& model, const Dataset& eval_data,
+    const std::function<double(const std::vector<int>& actual,
+                               const std::vector<int>& predicted)>& score,
+    const PermutationImportanceOptions& options = {});
+
+/// One-vs-rest per-class importances, Figure 4 style: for class `k`, train
+/// `prototype`-cloned binary models on relabelled data (1 = class k,
+/// 0 = rest), then measure permutation importance with binary F1.
+/// Returns [class][feature].
+std::vector<std::vector<double>> PerClassPermutationImportance(
+    const Classifier& prototype, const Dataset& train_data,
+    const Dataset& eval_data,
+    const PermutationImportanceOptions& options = {});
+
+}  // namespace strudel::ml
+
+#endif  // STRUDEL_ML_PERMUTATION_IMPORTANCE_H_

@@ -1,0 +1,181 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace strudel::ml {
+
+RandomForest::RandomForest(RandomForestOptions options) : options_(options) {}
+
+Status RandomForest::Fit(const Dataset& data) {
+  if (!data.Valid()) {
+    return Status::InvalidArgument("random forest: invalid dataset");
+  }
+  if (data.size() == 0) {
+    return Status::InvalidArgument("random forest: no training samples");
+  }
+  num_classes_ = data.num_classes;
+
+  DecisionTreeOptions tree_options;
+  tree_options.max_depth = options_.max_depth;
+  tree_options.min_samples_split = options_.min_samples_split;
+  tree_options.min_samples_leaf = options_.min_samples_leaf;
+  tree_options.max_features = options_.max_features;
+
+  const int num_trees = std::max(1, options_.num_trees);
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(num_trees));
+
+  // Pre-draw per-tree seeds and bootstrap samples from the master RNG so
+  // results do not depend on thread scheduling.
+  Rng master(options_.seed);
+  std::vector<uint64_t> tree_seeds;
+  std::vector<std::vector<size_t>> samples;
+  tree_seeds.reserve(static_cast<size_t>(num_trees));
+  samples.reserve(static_cast<size_t>(num_trees));
+  const size_t n = data.size();
+  for (int t = 0; t < num_trees; ++t) {
+    tree_seeds.push_back(master.Next());
+    std::vector<size_t> indices;
+    indices.reserve(n);
+    if (options_.bootstrap) {
+      Rng boot(master.Next());
+      for (size_t i = 0; i < n; ++i) {
+        indices.push_back(static_cast<size_t>(boot.UniformInt(n)));
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) indices.push_back(i);
+    }
+    samples.push_back(std::move(indices));
+    tree_options.seed = tree_seeds.back();
+    trees_.emplace_back(tree_options);
+  }
+
+  int threads = options_.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min(threads, num_trees);
+
+  std::atomic<int> next_tree{0};
+  std::atomic<bool> failed{false};
+  auto worker = [&]() {
+    for (;;) {
+      int t = next_tree.fetch_add(1);
+      if (t >= num_trees || failed.load()) return;
+      Status st =
+          trees_[static_cast<size_t>(t)].FitIndices(data,
+                                                    samples[static_cast<size_t>(t)]);
+      if (!st.ok()) failed.store(true);
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  if (failed.load()) {
+    return Status::Internal("random forest: tree training failed");
+  }
+
+  // Out-of-bag estimate: every sample is scored only by the trees whose
+  // bootstrap missed it; the aggregated vote approximates held-out
+  // accuracy (Breiman 2001).
+  oob_score_ = -1.0;
+  if (options_.compute_oob_score && options_.bootstrap) {
+    std::vector<std::vector<double>> votes(
+        n, std::vector<double>(static_cast<size_t>(num_classes_), 0.0));
+    std::vector<char> in_bag(n);
+    for (int t = 0; t < num_trees; ++t) {
+      std::fill(in_bag.begin(), in_bag.end(), 0);
+      for (size_t idx : samples[static_cast<size_t>(t)]) in_bag[idx] = 1;
+      for (size_t i = 0; i < n; ++i) {
+        if (in_bag[i]) continue;
+        std::vector<double> proba =
+            trees_[static_cast<size_t>(t)].PredictProba(data.features.row(i));
+        for (size_t k = 0; k < proba.size(); ++k) votes[i][k] += proba[k];
+      }
+    }
+    long long scored = 0, correct = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double total = 0.0;
+      for (double v : votes[i]) total += v;
+      if (total <= 0.0) continue;  // sample was in every bag
+      ++scored;
+      if (static_cast<int>(ArgMax(votes[i])) == data.labels[i]) ++correct;
+    }
+    if (scored > 0) {
+      oob_score_ = static_cast<double>(correct) /
+                   static_cast<double>(scored);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> RandomForest::PredictProba(
+    std::span<const double> features) const {
+  std::vector<double> proba(static_cast<size_t>(num_classes_), 0.0);
+  if (trees_.empty()) return proba;
+  for (const DecisionTree& tree : trees_) {
+    std::vector<double> p = tree.PredictProba(features);
+    for (size_t k = 0; k < proba.size(); ++k) proba[k] += p[k];
+  }
+  const double scale = 1.0 / static_cast<double>(trees_.size());
+  for (double& p : proba) p *= scale;
+  return proba;
+}
+
+std::unique_ptr<Classifier> RandomForest::CloneUntrained() const {
+  return std::make_unique<RandomForest>(options_);
+}
+
+Status RandomForest::Save(std::ostream& out) const {
+  out << "forest v1 " << num_classes_ << ' ' << trees_.size() << '\n';
+  for (const DecisionTree& tree : trees_) {
+    STRUDEL_RETURN_IF_ERROR(tree.Save(out));
+  }
+  if (!out) return Status::IOError("random forest: write failed");
+  return Status::OK();
+}
+
+Status RandomForest::Load(std::istream& in) {
+  std::string magic, version;
+  size_t tree_count = 0;
+  in >> magic >> version >> num_classes_ >> tree_count;
+  if (!in || magic != "forest" || version != "v1") {
+    return Status::ParseError("random forest: bad header");
+  }
+  if (tree_count > 1'000'000) {
+    return Status::ParseError("random forest: implausible tree count");
+  }
+  trees_.assign(tree_count, DecisionTree());
+  for (DecisionTree& tree : trees_) {
+    STRUDEL_RETURN_IF_ERROR(tree.Load(in));
+  }
+  return Status::OK();
+}
+
+std::vector<double> RandomForest::FeatureImportances() const {
+  if (trees_.empty()) return {};
+  std::vector<double> total = trees_[0].FeatureImportances();
+  for (size_t t = 1; t < trees_.size(); ++t) {
+    std::vector<double> imp = trees_[t].FeatureImportances();
+    for (size_t i = 0; i < total.size(); ++i) total[i] += imp[i];
+  }
+  double sum = 0.0;
+  for (double v : total) sum += v;
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+}  // namespace strudel::ml

@@ -1,0 +1,66 @@
+// Random forest classifier — the backbone of both Strudel^L and Strudel^C.
+//
+// Defaults match scikit-learn's RandomForestClassifier defaults (the
+// setting the paper uses): 100 trees, bootstrap sampling, sqrt(d) features
+// per split, unlimited depth. PredictProba averages the per-tree leaf
+// class distributions. Training parallelises across trees.
+
+#ifndef STRUDEL_ML_RANDOM_FOREST_H_
+#define STRUDEL_ML_RANDOM_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace strudel::ml {
+
+struct RandomForestOptions {
+  int num_trees = 100;
+  /// Per-tree options; max_features = -1 means sqrt(d).
+  int max_depth = 0;
+  int min_samples_split = 2;
+  int min_samples_leaf = 1;
+  int max_features = -1;
+  bool bootstrap = true;
+  uint64_t seed = 42;
+  /// 0 = use hardware_concurrency().
+  int num_threads = 0;
+  /// Estimate generalisation accuracy from out-of-bag samples during
+  /// Fit (requires bootstrap). Costs one prediction pass per tree.
+  bool compute_oob_score = false;
+};
+
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(RandomForestOptions options = {});
+
+  Status Fit(const Dataset& data) override;
+  std::vector<double> PredictProba(
+      std::span<const double> features) const override;
+  int num_classes() const override { return num_classes_; }
+  std::unique_ptr<Classifier> CloneUntrained() const override;
+
+  /// Mean decrease in impurity, averaged over trees, normalised to sum 1.
+  std::vector<double> FeatureImportances() const;
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+  /// Out-of-bag accuracy estimate; -1 when not computed (option off,
+  /// bootstrap off, or no sample was ever out of bag).
+  double oob_score() const { return oob_score_; }
+
+  /// Serialises the trained forest / restores it ("forest v1" format).
+  Status Save(std::ostream& out) const;
+  Status Load(std::istream& in);
+
+ private:
+  RandomForestOptions options_;
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+  double oob_score_ = -1.0;
+};
+
+}  // namespace strudel::ml
+
+#endif  // STRUDEL_ML_RANDOM_FOREST_H_

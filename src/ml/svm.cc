@@ -1,0 +1,103 @@
+#include "ml/svm.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace strudel::ml {
+
+LinearSvm::LinearSvm(SvmOptions options) : options_(options) {}
+
+Status LinearSvm::Fit(const Dataset& data) {
+  if (!data.Valid() || data.size() == 0) {
+    return Status::InvalidArgument("svm: invalid or empty dataset");
+  }
+  num_classes_ = data.num_classes;
+  const size_t n = data.size();
+  const size_t d = data.num_features();
+  const size_t k = static_cast<size_t>(num_classes_);
+  weights_.assign(k, std::vector<double>(d, 0.0));
+  biases_.assign(k, 0.0);
+
+  Rng rng(options_.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  // Balanced one-vs-rest example weights: n / (2 * n_pos) for positives,
+  // n / (2 * n_neg) for negatives.
+  std::vector<double> positive_weight(k, 1.0);
+  std::vector<double> negative_weight(k, 1.0);
+  if (options_.balance_classes) {
+    std::vector<long long> counts(k, 0);
+    for (int label : data.labels) ++counts[static_cast<size_t>(label)];
+    for (size_t c = 0; c < k; ++c) {
+      const double n_pos = std::max<double>(1.0, counts[c]);
+      const double n_neg =
+          std::max<double>(1.0, static_cast<double>(n) - n_pos);
+      positive_weight[c] = static_cast<double>(n) / (2.0 * n_pos);
+      negative_weight[c] = static_cast<double>(n) / (2.0 * n_neg);
+    }
+  }
+
+  const double lambda = options_.regularization;
+  long long step = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t i : order) {
+      ++step;
+      // Damped Pegasos schedule: eta_t = 1 / (lambda * t + 1). Avoids the
+      // pure 1/(lambda*t) schedule's enormous first steps, which wreck
+      // the weights on small-lambda problems.
+      const double eta = 1.0 / (lambda * static_cast<double>(step) + 1.0);
+      auto x = data.features.row(i);
+      for (size_t c = 0; c < k; ++c) {
+        const double y =
+            static_cast<size_t>(data.labels[i]) == c ? 1.0 : -1.0;
+        double margin = biases_[c];
+        std::vector<double>& w = weights_[c];
+        for (size_t j = 0; j < d; ++j) margin += w[j] * x[j];
+        // L2 shrinkage on the weights (bias unregularised).
+        const double shrink = 1.0 - eta * lambda;
+        for (double& wj : w) wj *= shrink;
+        if (y * margin < 1.0) {  // hinge subgradient
+          const double weight =
+              y > 0 ? positive_weight[c] : negative_weight[c];
+          for (size_t j = 0; j < d; ++j) w[j] += eta * weight * y * x[j];
+          biases_[c] += eta * weight * y;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> LinearSvm::DecisionFunction(
+    std::span<const double> features) const {
+  const size_t k = static_cast<size_t>(num_classes_);
+  std::vector<double> margins(k, 0.0);
+  for (size_t c = 0; c < k; ++c) {
+    double margin = biases_[c];
+    const std::vector<double>& w = weights_[c];
+    for (size_t j = 0; j < features.size() && j < w.size(); ++j) {
+      margin += w[j] * features[j];
+    }
+    margins[c] = margin;
+  }
+  return margins;
+}
+
+std::vector<double> LinearSvm::PredictProba(
+    std::span<const double> features) const {
+  std::vector<double> margins = DecisionFunction(features);
+  SoftmaxInPlace(margins);
+  return margins;
+}
+
+int LinearSvm::Predict(std::span<const double> features) const {
+  return static_cast<int>(ArgMax(DecisionFunction(features)));
+}
+
+std::unique_ptr<Classifier> LinearSvm::CloneUntrained() const {
+  return std::make_unique<LinearSvm>(options_);
+}
+
+}  // namespace strudel::ml

@@ -1,0 +1,56 @@
+// Linear multi-class SVM (one-vs-rest, L2-regularised hinge loss, SGD
+// with the Pegasos-style learning-rate schedule). The last of the four
+// backbone candidates the paper evaluated (§6.1.2: "Naive Bayes, KNN,
+// SVM, and random forest"); exercised by bench_ablation_classifier.
+//
+// PredictProba returns a softmax over the per-class margins — SVMs are
+// not probabilistic, but Strudel's pipeline consumes probability vectors,
+// so the margins are calibrated the simple way.
+
+#ifndef STRUDEL_ML_SVM_H_
+#define STRUDEL_ML_SVM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+
+namespace strudel::ml {
+
+struct SvmOptions {
+  double regularization = 1e-3;  // lambda of the Pegasos objective
+  int epochs = 30;
+  uint64_t seed = 42;
+  /// Weight hinge updates inversely to class frequency (sklearn's
+  /// class_weight="balanced"): without it, one-vs-rest SVMs on the
+  /// heavily imbalanced line/cell data collapse to all-negative for the
+  /// minority classes.
+  bool balance_classes = true;
+};
+
+class LinearSvm final : public Classifier {
+ public:
+  explicit LinearSvm(SvmOptions options = {});
+
+  Status Fit(const Dataset& data) override;
+  std::vector<double> PredictProba(
+      std::span<const double> features) const override;
+  int Predict(std::span<const double> features) const override;
+  int num_classes() const override { return num_classes_; }
+  std::unique_ptr<Classifier> CloneUntrained() const override;
+
+  /// Raw one-vs-rest margins (w_k . x + b_k).
+  std::vector<double> DecisionFunction(
+      std::span<const double> features) const;
+
+ private:
+  SvmOptions options_;
+  int num_classes_ = 0;
+  std::vector<std::vector<double>> weights_;  // [class][feature]
+  std::vector<double> biases_;
+};
+
+}  // namespace strudel::ml
+
+#endif  // STRUDEL_ML_SVM_H_

@@ -1,0 +1,67 @@
+#include "strudel/block_size.h"
+
+#include <utility>
+
+namespace strudel {
+
+BlockSizeResult ComputeBlockSizes(const csv::Table& table) {
+  const int rows = table.num_rows();
+  const int cols = table.num_cols();
+  BlockSizeResult result;
+  result.normalized_size.assign(static_cast<size_t>(rows),
+                                std::vector<double>(
+                                    static_cast<size_t>(cols), 0.0));
+  result.component_id.assign(static_cast<size_t>(rows),
+                             std::vector<int>(static_cast<size_t>(cols), -1));
+  const int total_non_empty = table.non_empty_count();
+  if (total_non_empty == 0) return result;
+
+  std::vector<std::pair<int, int>> stack;
+  std::vector<std::pair<int, int>> members;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (table.cell_empty(r, c)) continue;
+      if (result.component_id[static_cast<size_t>(r)]
+                             [static_cast<size_t>(c)] >= 0) {
+        continue;
+      }
+      // Depth-first expansion of a new component (Algorithm 1, line 8-13).
+      const int id = static_cast<int>(result.component_sizes.size());
+      stack.clear();
+      members.clear();
+      stack.emplace_back(r, c);
+      result.component_id[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+          id;
+      while (!stack.empty()) {
+        auto [cr, cc] = stack.back();
+        stack.pop_back();
+        members.emplace_back(cr, cc);
+        constexpr int kDr[] = {-1, 1, 0, 0};
+        constexpr int kDc[] = {0, 0, -1, 1};
+        for (int dir = 0; dir < 4; ++dir) {
+          const int nr = cr + kDr[dir];
+          const int nc = cc + kDc[dir];
+          if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
+          if (table.cell_empty(nr, nc)) continue;
+          int& neighbor_id =
+              result.component_id[static_cast<size_t>(nr)]
+                                 [static_cast<size_t>(nc)];
+          if (neighbor_id >= 0) continue;
+          neighbor_id = id;
+          stack.emplace_back(nr, nc);
+        }
+      }
+      result.component_sizes.push_back(static_cast<int>(members.size()));
+      const double normalized =
+          static_cast<double>(members.size()) /
+          static_cast<double>(total_non_empty);
+      for (auto [mr, mc] : members) {
+        result.normalized_size[static_cast<size_t>(mr)]
+                              [static_cast<size_t>(mc)] = normalized;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace strudel

@@ -1,0 +1,35 @@
+// Algorithm 1 (paper §5.2): block size of every non-empty cell.
+//
+// A block is a connected component of non-empty cells under 4-adjacency.
+// "In our datasets, non-data regions are usually smaller than tables", so
+// the size of a cell's component — normalised by the number of non-empty
+// cells in the file — separates small metadata/notes islands from large
+// data regions. The traversal visits every non-empty cell exactly once
+// and checks its four neighbours: O(n).
+
+#ifndef STRUDEL_STRUDEL_BLOCK_SIZE_H_
+#define STRUDEL_STRUDEL_BLOCK_SIZE_H_
+
+#include <vector>
+
+#include "csv/table.h"
+
+namespace strudel {
+
+struct BlockSizeResult {
+  /// Normalised block size per cell in [0, 1]; 0 for empty cells.
+  std::vector<std::vector<double>> normalized_size;
+  /// Component id per cell; -1 for empty cells.
+  std::vector<std::vector<int>> component_id;
+  /// Raw size (cell count) per component.
+  std::vector<int> component_sizes;
+};
+
+/// Computes connected components of non-empty cells and their sizes.
+/// Sizes are normalised by the total number of non-empty cells (the
+/// algorithm's normalize() step).
+BlockSizeResult ComputeBlockSizes(const csv::Table& table);
+
+}  // namespace strudel
+
+#endif  // STRUDEL_STRUDEL_BLOCK_SIZE_H_

@@ -1,0 +1,217 @@
+#include "strudel/cell_features.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "strudel/classes.h"
+#include "strudel/keywords.h"
+
+namespace strudel {
+
+namespace {
+
+// Neighbour offsets in a fixed order: NW, N, NE, W, E, SW, S, SE.
+constexpr int kNeighborDr[8] = {-1, -1, -1, 0, 0, 1, 1, 1};
+constexpr int kNeighborDc[8] = {-1, 0, 1, -1, 1, -1, 0, 1};
+constexpr const char* kNeighborNames[8] = {"NW", "N",  "NE", "W",
+                                           "E",  "SW", "S",  "SE"};
+
+double CellLength(const csv::Table& table, int row, int col) {
+  return static_cast<double>(TrimView(table.cell(row, col)).size());
+}
+
+}  // namespace
+
+std::vector<std::string> CellFeatureNames(const CellFeatureOptions& options) {
+  std::vector<std::string> names = {
+      // Content features.
+      "ValueLength",
+      "DataType",
+      "HasDerivedKeywords",
+      "RowHasDerivedKeywords",
+      "ColumnHasDerivedKeywords",
+      "RowPosition",
+      "ColumnPosition",
+  };
+  // LineClassProbability block.
+  for (int k = 0; k < kNumElementClasses; ++k) {
+    names.push_back(std::string("LineClassProbability_") +
+                    std::string(ElementClassName(k)));
+  }
+  // Contextual features.
+  names.insert(names.end(), {
+                                "IsEmptyRowBefore",
+                                "IsEmptyRowAfter",
+                                "IsEmptyColumnLeft",
+                                "IsEmptyColumnRight",
+                                "RowEmptyCellRatio",
+                                "ColumnEmptyCellRatio",
+                                "BlockSize",
+                            });
+  for (const char* dir : kNeighborNames) {
+    names.push_back(std::string("NeighborValueLength_") + dir);
+  }
+  for (const char* dir : kNeighborNames) {
+    names.push_back(std::string("NeighborDataType_") + dir);
+  }
+  // Computational feature.
+  names.push_back("IsAggregation");
+  if (options.include_column_probabilities) {
+    for (int k = 0; k < kNumElementClasses; ++k) {
+      names.push_back(std::string("ColumnClassProbability_") +
+                      std::string(ElementClassName(k)));
+    }
+  }
+  return names;
+}
+
+std::vector<std::pair<int, int>> NonEmptyCellCoordinates(
+    const csv::Table& table) {
+  std::vector<std::pair<int, int>> coords;
+  coords.reserve(static_cast<size_t>(table.non_empty_count()));
+  for (int r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_cols(); ++c) {
+      if (!table.cell_empty(r, c)) coords.emplace_back(r, c);
+    }
+  }
+  return coords;
+}
+
+ml::Matrix ExtractCellFeatures(
+    const csv::Table& table,
+    const std::vector<std::vector<double>>& line_probabilities,
+    const CellFeatureOptions& options) {
+  DerivedDetectionResult detection =
+      DetectDerivedCells(table, options.derived_options);
+  BlockSizeResult blocks = ComputeBlockSizes(table);
+  return ExtractCellFeatures(table, line_probabilities, detection, blocks,
+                             options);
+}
+
+ml::Matrix ExtractCellFeatures(
+    const csv::Table& table,
+    const std::vector<std::vector<double>>& line_probabilities,
+    const DerivedDetectionResult& detection, const BlockSizeResult& blocks,
+    const CellFeatureOptions& options) {
+  static const std::vector<std::vector<double>> kNoColumnProbabilities;
+  return ExtractCellFeatures(table, line_probabilities,
+                             kNoColumnProbabilities, detection, blocks,
+                             options);
+}
+
+ml::Matrix ExtractCellFeatures(
+    const csv::Table& table,
+    const std::vector<std::vector<double>>& line_probabilities,
+    const std::vector<std::vector<double>>& column_probabilities,
+    const DerivedDetectionResult& detection, const BlockSizeResult& blocks,
+    const CellFeatureOptions& options) {
+  const int rows = table.num_rows();
+  const int cols = table.num_cols();
+  const size_t num_features = CellFeatureNames(options).size();
+  const auto coords = NonEmptyCellCoordinates(table);
+  ml::Matrix features(coords.size(), num_features);
+  if (coords.empty()) return features;
+
+  // Per-file maximum value length normalises ValueLength and the neighbour
+  // lengths into [0, 1].
+  double max_length = 1.0;
+  for (auto [r, c] : coords) {
+    max_length = std::max(max_length, CellLength(table, r, c));
+  }
+
+  // Row/column keyword flags, computed once.
+  std::vector<char> row_keyword(static_cast<size_t>(rows), 0);
+  std::vector<char> col_keyword(static_cast<size_t>(cols), 0);
+  for (int r = 0; r < rows; ++r) {
+    row_keyword[static_cast<size_t>(r)] =
+        RowHasAggregationKeyword(table, r) ? 1 : 0;
+  }
+  for (int c = 0; c < cols; ++c) {
+    col_keyword[static_cast<size_t>(c)] =
+        ColumnHasAggregationKeyword(table, c) ? 1 : 0;
+  }
+
+  for (size_t i = 0; i < coords.size(); ++i) {
+    const auto [r, c] = coords[i];
+    auto row = features.row(i);
+    size_t f = 0;
+
+    // Content features.
+    row[f++] = CellLength(table, r, c) / max_length;
+    row[f++] = static_cast<double>(table.cell_type(r, c));
+    row[f++] = HasAggregationKeyword(table.cell(r, c)) ? 1.0 : 0.0;
+    row[f++] = row_keyword[static_cast<size_t>(r)];
+    row[f++] = col_keyword[static_cast<size_t>(c)];
+    row[f++] = rows > 1 ? static_cast<double>(r) /
+                              static_cast<double>(rows - 1)
+                        : 0.0;
+    row[f++] = cols > 1 ? static_cast<double>(c) /
+                              static_cast<double>(cols - 1)
+                        : 0.0;
+
+    // LineClassProbability.
+    const bool have_proba =
+        static_cast<size_t>(r) < line_probabilities.size() &&
+        line_probabilities[static_cast<size_t>(r)].size() ==
+            static_cast<size_t>(kNumElementClasses);
+    for (int k = 0; k < kNumElementClasses; ++k) {
+      row[f++] = have_proba
+                     ? line_probabilities[static_cast<size_t>(r)]
+                                         [static_cast<size_t>(k)]
+                     : 0.0;
+    }
+
+    // Contextual features.
+    row[f++] = (r == 0 || table.row_empty(r - 1)) ? 1.0 : 0.0;
+    row[f++] = (r == rows - 1 || table.row_empty(r + 1)) ? 1.0 : 0.0;
+    row[f++] = (c == 0 || table.col_empty(c - 1)) ? 1.0 : 0.0;
+    row[f++] = (c == cols - 1 || table.col_empty(c + 1)) ? 1.0 : 0.0;
+    row[f++] = 1.0 - static_cast<double>(table.row_non_empty_count(r)) /
+                         static_cast<double>(cols);
+    row[f++] = 1.0 - static_cast<double>(table.col_non_empty_count(c)) /
+                         static_cast<double>(rows);
+    row[f++] = blocks.normalized_size[static_cast<size_t>(r)]
+                                     [static_cast<size_t>(c)];
+
+    // Neighbour profile: value lengths then data types, -1 defaults for
+    // cells beyond the table margin (paper §5.3).
+    for (int n = 0; n < 8; ++n) {
+      const int nr = r + kNeighborDr[n];
+      const int nc = c + kNeighborDc[n];
+      if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) {
+        row[f++] = -1.0;
+      } else {
+        row[f++] = CellLength(table, nr, nc) / max_length;
+      }
+    }
+    for (int n = 0; n < 8; ++n) {
+      const int nr = r + kNeighborDr[n];
+      const int nc = c + kNeighborDc[n];
+      if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) {
+        row[f++] = -1.0;
+      } else {
+        row[f++] = static_cast<double>(table.cell_type(nr, nc));
+      }
+    }
+
+    // Computational feature.
+    row[f++] = detection.at(r, c) ? 1.0 : 0.0;
+
+    // Optional extension block: column class probabilities.
+    if (options.include_column_probabilities) {
+      const bool have_column_proba =
+          static_cast<size_t>(c) < column_probabilities.size() &&
+          column_probabilities[static_cast<size_t>(c)].size() ==
+              static_cast<size_t>(kNumElementClasses);
+      for (int k = 0; k < kNumElementClasses; ++k) {
+        row[f++] = have_column_proba
+                       ? column_probabilities[static_cast<size_t>(c)]
+                                             [static_cast<size_t>(k)]
+                       : 0.0;
+      }
+    }
+  }
+  return features;
+}
+
+}  // namespace strudel

@@ -1,0 +1,68 @@
+// Strudel^C feature extraction — the complete feature set of paper
+// Table 2: content features (ValueLength, DataType, HasDerivedKeywords,
+// Row/ColumnHasDerivedKeywords, Row/ColumnPosition), the 6-dimensional
+// LineClassProbability vector from a previously-executed Strudel^L,
+// contextual features (IsEmptyRowBefore/After, IsEmptyColumnLeft/Right,
+// Row/ColumnEmptyCellRatio, BlockSize from Algorithm 1, and the neighbour
+// profile: value length and data type of each of the eight surrounding
+// cells, with -1 defaults beyond the table margin), and the computational
+// IsAggregation flag from Algorithm 2.
+
+#ifndef STRUDEL_STRUDEL_CELL_FEATURES_H_
+#define STRUDEL_STRUDEL_CELL_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "csv/table.h"
+#include "ml/matrix.h"
+#include "strudel/block_size.h"
+#include "strudel/derived_detector.h"
+
+namespace strudel {
+
+struct CellFeatureOptions {
+  DerivedDetectorOptions derived_options;
+  /// Extension (paper future work iii): append a 6-dim
+  /// ColumnClassProbability block fed from strudel/strudel_column.h.
+  bool include_column_probabilities = false;
+};
+
+/// Feature names in column order.
+std::vector<std::string> CellFeatureNames(
+    const CellFeatureOptions& options = {});
+
+/// Coordinates of the cells a feature matrix row corresponds to: features
+/// are extracted for *non-empty* cells only, in row-major order. The
+/// caller uses this to align labels / map predictions back to the grid.
+std::vector<std::pair<int, int>> NonEmptyCellCoordinates(
+    const csv::Table& table);
+
+/// Extracts one feature row per non-empty cell. `line_probabilities` holds
+/// one 6-vector per table line (from Strudel^L's PredictProba); pass an
+/// empty vector to fill the probability block with zeros (used by
+/// ablations).
+ml::Matrix ExtractCellFeatures(
+    const csv::Table& table,
+    const std::vector<std::vector<double>>& line_probabilities,
+    const CellFeatureOptions& options = {});
+
+/// Same, with a shared derived-cell detection and block-size computation.
+ml::Matrix ExtractCellFeatures(
+    const csv::Table& table,
+    const std::vector<std::vector<double>>& line_probabilities,
+    const DerivedDetectionResult& detection, const BlockSizeResult& blocks,
+    const CellFeatureOptions& options = {});
+
+/// Full variant with the optional per-column probability vectors
+/// (column c -> 6-vector); used when include_column_probabilities is on.
+ml::Matrix ExtractCellFeatures(
+    const csv::Table& table,
+    const std::vector<std::vector<double>>& line_probabilities,
+    const std::vector<std::vector<double>>& column_probabilities,
+    const DerivedDetectionResult& detection, const BlockSizeResult& blocks,
+    const CellFeatureOptions& options = {});
+
+}  // namespace strudel
+
+#endif  // STRUDEL_STRUDEL_CELL_FEATURES_H_

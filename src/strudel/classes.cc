@@ -1,0 +1,121 @@
+#include "strudel/classes.h"
+
+#include <algorithm>
+
+namespace strudel {
+
+std::string_view ElementClassName(ElementClass cls) {
+  switch (cls) {
+    case ElementClass::kMetadata:
+      return "metadata";
+    case ElementClass::kHeader:
+      return "header";
+    case ElementClass::kGroup:
+      return "group";
+    case ElementClass::kData:
+      return "data";
+    case ElementClass::kDerived:
+      return "derived";
+    case ElementClass::kNotes:
+      return "notes";
+  }
+  return "unknown";
+}
+
+std::string_view ElementClassName(int cls) {
+  if (cls < 0 || cls >= kNumElementClasses) return "empty";
+  return ElementClassName(static_cast<ElementClass>(cls));
+}
+
+int ElementClassFromName(std::string_view name) {
+  for (int k = 0; k < kNumElementClasses; ++k) {
+    if (ElementClassName(k) == name) return k;
+  }
+  return kEmptyLabel;
+}
+
+std::vector<const AnnotatedFile*> FilePointers(
+    const std::vector<AnnotatedFile>& files) {
+  std::vector<const AnnotatedFile*> out;
+  out.reserve(files.size());
+  for (const AnnotatedFile& file : files) out.push_back(&file);
+  return out;
+}
+
+std::vector<const AnnotatedFile*> FilePointers(
+    const std::vector<AnnotatedFile>& files,
+    const std::vector<size_t>& indices) {
+  std::vector<const AnnotatedFile*> out;
+  out.reserve(indices.size());
+  for (size_t i : indices) out.push_back(&files[i]);
+  return out;
+}
+
+bool AnnotationConsistent(const csv::Table& table,
+                          const FileAnnotation& annotation) {
+  if (annotation.line_labels.size() !=
+      static_cast<size_t>(table.num_rows())) {
+    return false;
+  }
+  if (annotation.cell_labels.size() !=
+      static_cast<size_t>(table.num_rows())) {
+    return false;
+  }
+  for (int r = 0; r < table.num_rows(); ++r) {
+    const auto& row_labels = annotation.cell_labels[static_cast<size_t>(r)];
+    if (row_labels.size() != static_cast<size_t>(table.num_cols())) {
+      return false;
+    }
+    const int line_label = annotation.line_labels[static_cast<size_t>(r)];
+    if (line_label < kEmptyLabel || line_label >= kNumElementClasses) {
+      return false;
+    }
+    if (table.row_empty(r) != (line_label == kEmptyLabel)) return false;
+    for (int c = 0; c < table.num_cols(); ++c) {
+      const int cell_label = row_labels[static_cast<size_t>(c)];
+      if (cell_label < kEmptyLabel || cell_label >= kNumElementClasses) {
+        return false;
+      }
+      if (table.cell_empty(r, c) != (cell_label == kEmptyLabel)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> LineLabelsFromCells(
+    const std::vector<std::vector<int>>& cell_labels,
+    const std::vector<long long>* class_counts) {
+  std::vector<int> line_labels;
+  line_labels.reserve(cell_labels.size());
+  for (const auto& row : cell_labels) {
+    std::vector<int> counts(kNumElementClasses, 0);
+    for (int label : row) {
+      if (label >= 0 && label < kNumElementClasses) {
+        ++counts[static_cast<size_t>(label)];
+      }
+    }
+    int best = kEmptyLabel;
+    for (int k = 0; k < kNumElementClasses; ++k) {
+      if (counts[static_cast<size_t>(k)] == 0) continue;
+      if (best == kEmptyLabel) {
+        best = k;
+        continue;
+      }
+      const int ck = counts[static_cast<size_t>(k)];
+      const int cb = counts[static_cast<size_t>(best)];
+      if (ck > cb) {
+        best = k;
+      } else if (ck == cb && class_counts != nullptr &&
+                 (*class_counts)[static_cast<size_t>(k)] <
+                     (*class_counts)[static_cast<size_t>(best)]) {
+        // Tie: prefer the globally rarer class, mirroring the paper's
+        // tie-break convention for ensemble votes (§6.3.1).
+        best = k;
+      }
+    }
+    line_labels.push_back(best);
+  }
+  return line_labels;
+}
+
+}  // namespace strudel

@@ -1,0 +1,82 @@
+// The six-class taxonomy of verbose CSV file elements (paper §3.2) plus
+// the annotated-file containers shared by the feature extractors, the
+// corpus generators and the evaluation harness.
+
+#ifndef STRUDEL_STRUDEL_CLASSES_H_
+#define STRUDEL_STRUDEL_CLASSES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "csv/table.h"
+
+namespace strudel {
+
+/// Semantic classes for both lines and cells. Values index probability
+/// vectors and confusion matrices, in the paper's presentation order.
+enum class ElementClass {
+  kMetadata = 0,
+  kHeader = 1,
+  kGroup = 2,
+  kData = 3,
+  kDerived = 4,
+  kNotes = 5,
+};
+
+inline constexpr int kNumElementClasses = 6;
+
+/// Label value for empty lines/cells, which carry no class (paper: "an
+/// element is either a non-empty cell or a line that includes at least one
+/// non-empty cell"). Excluded from training and scoring.
+inline constexpr int kEmptyLabel = -1;
+
+std::string_view ElementClassName(ElementClass cls);
+std::string_view ElementClassName(int cls);
+
+/// Parses a class name ("data", "derived", ...); returns kEmptyLabel for
+/// unknown names.
+int ElementClassFromName(std::string_view name);
+
+/// Ground-truth (or predicted) labels for one file. Lines use one label
+/// per table row; cells use one label per (row, col). Empty elements hold
+/// kEmptyLabel.
+struct FileAnnotation {
+  std::vector<int> line_labels;
+  std::vector<std::vector<int>> cell_labels;
+};
+
+/// A parsed table with its annotation — the unit all corpora consist of.
+struct AnnotatedFile {
+  std::string name;
+  csv::Table table;
+  FileAnnotation annotation;
+};
+
+/// Borrowed view over a corpus: non-owning pointers into someone else's
+/// vector<AnnotatedFile>. All Fit() entry points accept this form so that
+/// cross-validation folds never copy file contents.
+std::vector<const AnnotatedFile*> FilePointers(
+    const std::vector<AnnotatedFile>& files);
+
+/// Subset of FilePointers selected by index.
+std::vector<const AnnotatedFile*> FilePointers(
+    const std::vector<AnnotatedFile>& files,
+    const std::vector<size_t>& indices);
+
+/// Validates that `annotation` is shape-consistent with `table` and that
+/// labels are either kEmptyLabel or valid classes on non-empty elements.
+bool AnnotationConsistent(const csv::Table& table,
+                          const FileAnnotation& annotation);
+
+/// Derives line labels from cell labels by majority vote over non-empty
+/// cells (the convention in Figure 1: "the line-class is determined by the
+/// majority of its cell classes"). Ties break toward the rarer class in
+/// `class_counts` when provided, else the lower class index.
+std::vector<int> LineLabelsFromCells(
+    const std::vector<std::vector<int>>& cell_labels,
+    const std::vector<long long>* class_counts = nullptr);
+
+}  // namespace strudel
+
+#endif  // STRUDEL_STRUDEL_CLASSES_H_

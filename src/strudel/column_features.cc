@@ -1,0 +1,127 @@
+#include "strudel/column_features.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "strudel/classes.h"
+#include "strudel/keywords.h"
+
+namespace strudel {
+
+std::vector<std::string> ColumnFeatureNames() {
+  return {
+      "ColEmptyRatio",      "ColNumericRatio",  "ColStringRatio",
+      "ColDateRatio",       "ColPosition",      "ColHasKeyword",
+      "ColTopCellIsString", "ColMeanValueLength",
+      "ColValueLengthStd",  "ColDistinctValueRatio",
+      "ColTypeHomogeneity",
+  };
+}
+
+ml::Matrix ExtractColumnFeatures(const csv::Table& table) {
+  const int rows = table.num_rows();
+  const int cols = table.num_cols();
+  ml::Matrix features(static_cast<size_t>(std::max(cols, 0)),
+                      ColumnFeatureNames().size());
+  if (rows == 0 || cols == 0) return features;
+
+  // Per-file value-length scale for normalisation.
+  double max_length = 1.0;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      max_length = std::max(
+          max_length,
+          static_cast<double>(TrimView(table.cell(r, c)).size()));
+    }
+  }
+
+  for (int c = 0; c < cols; ++c) {
+    auto row = features.row(static_cast<size_t>(c));
+    int numeric = 0, strings = 0, dates = 0, non_empty = 0;
+    std::vector<double> lengths;
+    std::set<std::string, std::less<>> distinct;
+    std::array<int, kNumDataTypes> type_counts{};
+    int top_row = -1;
+    for (int r = 0; r < rows; ++r) {
+      const DataType type = table.cell_type(r, c);
+      ++type_counts[static_cast<size_t>(type)];
+      if (type == DataType::kEmpty) continue;
+      if (top_row < 0) top_row = r;
+      ++non_empty;
+      if (IsNumericType(type)) ++numeric;
+      if (type == DataType::kString) ++strings;
+      if (type == DataType::kDate) ++dates;
+      std::string_view value = TrimView(table.cell(r, c));
+      lengths.push_back(static_cast<double>(value.size()));
+      distinct.insert(std::string(value));
+    }
+
+    size_t f = 0;
+    row[f++] = 1.0 - static_cast<double>(non_empty) /
+                         static_cast<double>(rows);
+    row[f++] = non_empty > 0 ? static_cast<double>(numeric) / non_empty : 0.0;
+    row[f++] = non_empty > 0 ? static_cast<double>(strings) / non_empty : 0.0;
+    row[f++] = non_empty > 0 ? static_cast<double>(dates) / non_empty : 0.0;
+    row[f++] = cols > 1 ? static_cast<double>(c) /
+                              static_cast<double>(cols - 1)
+                        : 0.0;
+    row[f++] = ColumnHasAggregationKeyword(table, c) ? 1.0 : 0.0;
+    row[f++] = (top_row >= 0 &&
+                table.cell_type(top_row, c) == DataType::kString)
+                   ? 1.0
+                   : 0.0;
+    row[f++] = Clamp(Mean(lengths) / max_length, 0.0, 1.0);
+    row[f++] = Clamp(StdDev(lengths) / max_length, 0.0, 1.0);
+    row[f++] = non_empty > 0 ? static_cast<double>(distinct.size()) /
+                                   static_cast<double>(non_empty)
+                             : 0.0;
+    // Share of the dominant non-empty type among non-empty cells.
+    int dominant = 0;
+    for (int t = 1; t < kNumDataTypes; ++t) {
+      dominant = std::max(dominant, type_counts[static_cast<size_t>(t)]);
+    }
+    row[f++] = non_empty > 0 ? static_cast<double>(dominant) / non_empty : 0.0;
+  }
+  return features;
+}
+
+std::vector<int> ColumnLabelsFromCells(
+    const std::vector<std::vector<int>>& cell_labels, int num_cols,
+    const std::vector<long long>* class_counts) {
+  std::vector<int> labels(static_cast<size_t>(std::max(num_cols, 0)),
+                          kEmptyLabel);
+  for (int c = 0; c < num_cols; ++c) {
+    std::array<long long, kNumElementClasses> counts{};
+    for (const auto& row : cell_labels) {
+      if (static_cast<size_t>(c) >= row.size()) continue;
+      const int label = row[static_cast<size_t>(c)];
+      if (label >= 0 && label < kNumElementClasses) {
+        ++counts[static_cast<size_t>(label)];
+      }
+    }
+    int best = kEmptyLabel;
+    for (int k = 0; k < kNumElementClasses; ++k) {
+      if (counts[static_cast<size_t>(k)] == 0) continue;
+      if (best == kEmptyLabel) {
+        best = k;
+        continue;
+      }
+      const long long ck = counts[static_cast<size_t>(k)];
+      const long long cb = counts[static_cast<size_t>(best)];
+      if (ck > cb ||
+          (ck == cb && class_counts != nullptr &&
+           (*class_counts)[static_cast<size_t>(k)] <
+               (*class_counts)[static_cast<size_t>(best)])) {
+        best = k;
+      }
+    }
+    labels[static_cast<size_t>(c)] = best;
+  }
+  return labels;
+}
+
+}  // namespace strudel

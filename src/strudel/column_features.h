@@ -1,0 +1,39 @@
+// Column classification — an implementation of the paper's future-work
+// direction iii ("whether column classification can help boost the
+// classification quality", §7).
+//
+// Columns get their own feature vectors (type composition, emptiness,
+// position, keyword anchoring, value-length statistics, block structure)
+// and their own majority-class ground truth; strudel/strudel_column.h
+// trains a forest on them, and Strudel^C can optionally consume the
+// resulting per-column class probabilities as additional cell features
+// (StrudelCellOptions::use_column_probabilities).
+
+#ifndef STRUDEL_STRUDEL_COLUMN_FEATURES_H_
+#define STRUDEL_STRUDEL_COLUMN_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "csv/table.h"
+#include "ml/matrix.h"
+
+namespace strudel {
+
+/// Feature names, in column order.
+std::vector<std::string> ColumnFeatureNames();
+
+/// Extracts one feature row per table column (including empty columns,
+/// which callers exclude by their labels).
+ml::Matrix ExtractColumnFeatures(const csv::Table& table);
+
+/// Ground-truth column labels: the majority class of the column's
+/// non-empty cells (ties toward the globally rarer class when counts are
+/// provided); kEmptyLabel for empty columns.
+std::vector<int> ColumnLabelsFromCells(
+    const std::vector<std::vector<int>>& cell_labels, int num_cols,
+    const std::vector<long long>* class_counts = nullptr);
+
+}  // namespace strudel
+
+#endif  // STRUDEL_STRUDEL_COLUMN_FEATURES_H_

@@ -1,0 +1,40 @@
+#include "strudel/keywords.h"
+
+#include <array>
+
+#include "common/string_util.h"
+
+namespace strudel {
+
+namespace {
+constexpr std::array<std::string_view, 7> kKeywords = {
+    "total", "all", "sum", "average", "avg", "mean", "median"};
+}  // namespace
+
+std::span<const std::string_view> AggregationKeywords() {
+  return {kKeywords.data(), kKeywords.size()};
+}
+
+bool HasAggregationKeyword(std::string_view value) {
+  if (value.empty()) return false;
+  for (std::string_view keyword : kKeywords) {
+    if (HasWordIgnoreCase(value, keyword)) return true;
+  }
+  return false;
+}
+
+bool RowHasAggregationKeyword(const csv::Table& table, int row) {
+  for (int c = 0; c < table.num_cols(); ++c) {
+    if (HasAggregationKeyword(table.cell(row, c))) return true;
+  }
+  return false;
+}
+
+bool ColumnHasAggregationKeyword(const csv::Table& table, int col) {
+  for (int r = 0; r < table.num_rows(); ++r) {
+    if (HasAggregationKeyword(table.cell(r, col))) return true;
+  }
+  return false;
+}
+
+}  // namespace strudel

@@ -1,0 +1,31 @@
+// The aggregation keyword dictionary (paper §4, AggregationWord feature):
+// "total, all, sum, average, avg, mean, and median", matched
+// case-insensitively on whole words. Used by the AggregationWord line
+// feature, the derived-keyword cell features, and as the anchoring-cell
+// test of the derived cell detection Algorithm 2.
+
+#ifndef STRUDEL_STRUDEL_KEYWORDS_H_
+#define STRUDEL_STRUDEL_KEYWORDS_H_
+
+#include <span>
+#include <string_view>
+
+#include "csv/table.h"
+
+namespace strudel {
+
+/// The dictionary itself, exposed for tests and documentation.
+std::span<const std::string_view> AggregationKeywords();
+
+/// True if `value` contains any dictionary keyword as a whole word.
+bool HasAggregationKeyword(std::string_view value);
+
+/// True if any cell of row `row` contains a keyword.
+bool RowHasAggregationKeyword(const csv::Table& table, int row);
+
+/// True if any cell of column `col` contains a keyword.
+bool ColumnHasAggregationKeyword(const csv::Table& table, int col);
+
+}  // namespace strudel
+
+#endif  // STRUDEL_STRUDEL_KEYWORDS_H_

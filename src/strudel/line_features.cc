@@ -1,0 +1,209 @@
+#include "strudel/line_features.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "strudel/keywords.h"
+
+namespace strudel {
+
+namespace {
+
+// Fraction of cells in `row` whose data type equals the type of the cell
+// in the same column of `other_row` (DataTypeMatching). Compared over the
+// full table width: matching emptiness patterns are part of the signal.
+double DataTypeMatching(const csv::Table& table, int row, int other_row) {
+  if (other_row < 0) return 0.0;
+  const int cols = table.num_cols();
+  if (cols == 0) return 0.0;
+  int matches = 0;
+  for (int c = 0; c < cols; ++c) {
+    if (table.cell_type(row, c) == table.cell_type(other_row, c)) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(cols);
+}
+
+// Fraction of empty lines among the `window` lines above (step = -1) or
+// below (step = +1). Truncated at the file border; a line at the border
+// with no neighbours scores 0.
+double EmptyNeighboringLines(const csv::Table& table, int row, int step,
+                             int window) {
+  int available = 0;
+  int empty = 0;
+  for (int i = 1; i <= window; ++i) {
+    const int r = row + step * i;
+    if (r < 0 || r >= table.num_rows()) break;
+    ++available;
+    if (table.row_empty(r)) ++empty;
+  }
+  if (available == 0) return 0.0;
+  return static_cast<double>(empty) / static_cast<double>(available);
+}
+
+// Value lengths of the non-empty cells of a row.
+std::vector<double> NonEmptyCellLengths(const csv::Table& table, int row) {
+  std::vector<double> lengths;
+  for (int c = 0; c < table.num_cols(); ++c) {
+    if (table.cell_empty(row, c)) continue;
+    lengths.push_back(
+        static_cast<double>(TrimView(table.cell(row, c)).size()));
+  }
+  return lengths;
+}
+
+double CellLengthDifference(const csv::Table& table, int row, int other_row,
+                            int bins) {
+  if (other_row < 0) return 1.0;
+  std::vector<double> a = NonEmptyCellLengths(table, row);
+  std::vector<double> b = NonEmptyCellLengths(table, other_row);
+  return BhattacharyyaHistogramDistance(a, b, bins);
+}
+
+int CountEmptyLineBlocks(const csv::Table& table) {
+  int blocks = 0;
+  bool in_block = false;
+  for (int r = 0; r < table.num_rows(); ++r) {
+    if (table.row_empty(r)) {
+      if (!in_block) ++blocks;
+      in_block = true;
+    } else {
+      in_block = false;
+    }
+  }
+  return blocks;
+}
+
+}  // namespace
+
+std::vector<std::string> LineFeatureNames(const LineFeatureOptions& options) {
+  std::vector<std::string> names = {
+      // Content features.
+      "EmptyCellRatio",
+      "DiscountedCumulativeGain",
+      "AggregationWord",
+      "WordAmount",
+      "NumericalCellRatio",
+      "StringCellRatio",
+      "LinePosition",
+      // Contextual features, above then below.
+      "DataTypeMatchingAbove",
+      "DataTypeMatchingBelow",
+      "EmptyNeighboringLinesAbove",
+      "EmptyNeighboringLinesBelow",
+      "CellLengthDifferenceAbove",
+      "CellLengthDifferenceBelow",
+      // Computational feature.
+      "DerivedCoverage",
+  };
+  if (options.include_global_features) {
+    names.push_back("GlobalEmptyLineRatio");
+    names.push_back("GlobalFileWidth");
+    names.push_back("GlobalFileLength");
+    names.push_back("GlobalEmptyLineBlocks");
+  }
+  return names;
+}
+
+ml::Matrix ExtractLineFeatures(const csv::Table& table,
+                               const LineFeatureOptions& options) {
+  DerivedDetectionResult detection =
+      DetectDerivedCells(table, options.derived_options);
+  return ExtractLineFeatures(table, detection, options);
+}
+
+ml::Matrix ExtractLineFeatures(const csv::Table& table,
+                               const DerivedDetectionResult& detection,
+                               const LineFeatureOptions& options) {
+  const int rows = table.num_rows();
+  const int cols = table.num_cols();
+  const size_t num_features = LineFeatureNames(options).size();
+  ml::Matrix features(static_cast<size_t>(std::max(rows, 0)), num_features);
+  if (rows == 0 || cols == 0) return features;
+
+  // WordAmount is min-max normalised per file (paper §4), so compute the
+  // raw counts first.
+  std::vector<double> word_counts(static_cast<size_t>(rows), 0.0);
+  for (int r = 0; r < rows; ++r) {
+    int words = 0;
+    for (int c = 0; c < cols; ++c) words += CountWords(table.cell(r, c));
+    word_counts[static_cast<size_t>(r)] = static_cast<double>(words);
+  }
+  MinMaxNormalize(word_counts);
+
+  // Global features are shared by every line of the file.
+  double global_empty_ratio = 0.0;
+  double global_blocks = 0.0;
+  if (options.include_global_features) {
+    int empty_lines = 0;
+    for (int r = 0; r < rows; ++r) {
+      if (table.row_empty(r)) ++empty_lines;
+    }
+    global_empty_ratio =
+        static_cast<double>(empty_lines) / static_cast<double>(rows);
+    global_blocks = static_cast<double>(CountEmptyLineBlocks(table));
+  }
+
+  std::vector<int> relevance(static_cast<size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    auto row = features.row(static_cast<size_t>(r));
+    size_t f = 0;
+
+    // EmptyCellRatio.
+    const int non_empty = table.row_non_empty_count(r);
+    row[f++] = 1.0 - static_cast<double>(non_empty) /
+                         static_cast<double>(cols);
+
+    // DiscountedCumulativeGain over the non-empty indicator vector.
+    for (int c = 0; c < cols; ++c) {
+      relevance[static_cast<size_t>(c)] = table.cell_empty(r, c) ? 0 : 1;
+    }
+    row[f++] = NormalizedDcg(relevance);
+
+    // AggregationWord.
+    row[f++] = RowHasAggregationKeyword(table, r) ? 1.0 : 0.0;
+
+    // WordAmount (per-file normalised).
+    row[f++] = word_counts[static_cast<size_t>(r)];
+
+    // NumericalCellRatio / StringCellRatio.
+    int numeric = 0, strings = 0;
+    for (int c = 0; c < cols; ++c) {
+      const DataType type = table.cell_type(r, c);
+      if (IsNumericType(type)) ++numeric;
+      if (type == DataType::kString) ++strings;
+    }
+    row[f++] = static_cast<double>(numeric) / static_cast<double>(cols);
+    row[f++] = static_cast<double>(strings) / static_cast<double>(cols);
+
+    // LinePosition.
+    row[f++] = rows > 1 ? static_cast<double>(r) /
+                              static_cast<double>(rows - 1)
+                        : 0.0;
+
+    // Contextual features against the closest non-empty neighbours.
+    const int above = table.PrevNonEmptyRow(r);
+    const int below = table.NextNonEmptyRow(r);
+    row[f++] = DataTypeMatching(table, r, above);
+    row[f++] = DataTypeMatching(table, r, below);
+    row[f++] = EmptyNeighboringLines(table, r, -1, options.neighbor_window);
+    row[f++] = EmptyNeighboringLines(table, r, +1, options.neighbor_window);
+    row[f++] = CellLengthDifference(table, r, above,
+                                    options.length_histogram_bins);
+    row[f++] = CellLengthDifference(table, r, below,
+                                    options.length_histogram_bins);
+
+    // DerivedCoverage.
+    row[f++] = DerivedCoverageOfRow(table, detection, r);
+
+    if (options.include_global_features) {
+      row[f++] = global_empty_ratio;
+      row[f++] = static_cast<double>(cols);
+      row[f++] = static_cast<double>(rows);
+      row[f++] = global_blocks;
+    }
+  }
+  return features;
+}
+
+}  // namespace strudel

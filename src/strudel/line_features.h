@@ -1,0 +1,53 @@
+// Strudel^L feature extraction — the complete feature set of paper
+// Table 1: content features (EmptyCellRatio, DiscountedCumulativeGain,
+// AggregationWord, WordAmount, NumericalCellRatio, StringCellRatio,
+// LinePosition), contextual features applied against both the closest
+// non-empty line above and below (DataTypeMatching, EmptyNeighboringLines,
+// CellLengthDifference), and the computational DerivedCoverage feature
+// from Algorithm 2.
+//
+// Four optional global features (percentage of empty lines, width, length
+// and the number of empty line blocks of the file) are available behind a
+// flag for the §4 ablation; the paper found "no positive impact".
+
+#ifndef STRUDEL_STRUDEL_LINE_FEATURES_H_
+#define STRUDEL_STRUDEL_LINE_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "csv/table.h"
+#include "ml/matrix.h"
+#include "strudel/derived_detector.h"
+
+namespace strudel {
+
+struct LineFeatureOptions {
+  /// Window for the EmptyNeighboringLines feature (paper: five lines).
+  int neighbor_window = 5;
+  /// Bins of the Bhattacharyya histogram for CellLengthDifference.
+  int length_histogram_bins = 8;
+  /// Include the four global file-level features (ablation only).
+  bool include_global_features = false;
+  DerivedDetectorOptions derived_options;
+};
+
+/// Names of the extracted features, in column order.
+std::vector<std::string> LineFeatureNames(const LineFeatureOptions& options = {});
+
+/// Extracts one feature row per table line (including empty lines, whose
+/// rows are computed but later excluded from learning by their labels).
+/// Per-file normalisations (WordAmount) are applied here; global [0,1]
+/// normalisation across files is the caller's job (ml::MinMaxNormalizer).
+ml::Matrix ExtractLineFeatures(const csv::Table& table,
+                               const LineFeatureOptions& options = {});
+
+/// Same, reusing an externally computed derived-cell detection (so that
+/// Strudel^C can share one detection pass between line and cell features).
+ml::Matrix ExtractLineFeatures(const csv::Table& table,
+                               const DerivedDetectionResult& detection,
+                               const LineFeatureOptions& options = {});
+
+}  // namespace strudel
+
+#endif  // STRUDEL_STRUDEL_LINE_FEATURES_H_

@@ -1,0 +1,65 @@
+#include "strudel/model_io.h"
+
+#include <fstream>
+
+namespace strudel {
+
+namespace {
+
+Result<std::ifstream> OpenForRead(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open model file: " + path);
+  return in;
+}
+
+}  // namespace
+
+Status SaveModel(const StrudelLine& model, std::ostream& out) {
+  return model.SaveTo(out);
+}
+
+Status SaveModelToFile(const StrudelLine& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open model file: " + path);
+  STRUDEL_RETURN_IF_ERROR(model.SaveTo(out));
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<StrudelLine> LoadLineModel(std::istream& in) {
+  StrudelLine model;
+  STRUDEL_RETURN_IF_ERROR(model.LoadFrom(in));
+  return model;
+}
+
+Result<StrudelLine> LoadLineModelFromFile(const std::string& path) {
+  STRUDEL_ASSIGN_OR_RETURN(std::ifstream in, OpenForRead(path));
+  return LoadLineModel(in);
+}
+
+Status SaveModel(const StrudelCell& model, std::ostream& out) {
+  return model.SaveTo(out);
+}
+
+Status SaveModelToFile(const StrudelCell& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open model file: " + path);
+  STRUDEL_RETURN_IF_ERROR(model.SaveTo(out));
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<StrudelCell> LoadCellModel(std::istream& in) {
+  StrudelCell model;
+  STRUDEL_RETURN_IF_ERROR(model.LoadFrom(in));
+  return model;
+}
+
+Result<StrudelCell> LoadCellModelFromFile(const std::string& path) {
+  STRUDEL_ASSIGN_OR_RETURN(std::ifstream in, OpenForRead(path));
+  return LoadCellModel(in);
+}
+
+}  // namespace strudel

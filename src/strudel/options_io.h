@@ -1,0 +1,52 @@
+// Internal helpers for serialising feature-extraction options inside the
+// model persistence format (strudel/model_io.h). Not part of the public
+// API.
+
+#ifndef STRUDEL_STRUDEL_OPTIONS_IO_H_
+#define STRUDEL_STRUDEL_OPTIONS_IO_H_
+
+#include <istream>
+#include <ostream>
+
+#include "strudel/derived_detector.h"
+#include "strudel/line_features.h"
+
+namespace strudel::internal_model_io {
+
+inline void SaveDerivedOptions(std::ostream& out,
+                               const DerivedDetectorOptions& options) {
+  out << options.delta << ' ' << options.coverage << ' '
+      << (options.detect_sum ? 1 : 0) << ' '
+      << (options.detect_mean ? 1 : 0) << ' ' << options.min_aggregated
+      << ' ' << options.max_scan;
+}
+
+inline bool LoadDerivedOptions(std::istream& in,
+                               DerivedDetectorOptions& options) {
+  int sum = 1, mean = 1;
+  in >> options.delta >> options.coverage >> sum >> mean >>
+      options.min_aggregated >> options.max_scan;
+  options.detect_sum = sum != 0;
+  options.detect_mean = mean != 0;
+  return static_cast<bool>(in);
+}
+
+inline void SaveLineFeatureOptions(std::ostream& out,
+                                   const LineFeatureOptions& options) {
+  out << options.neighbor_window << ' ' << options.length_histogram_bins
+      << ' ' << (options.include_global_features ? 1 : 0) << ' ';
+  SaveDerivedOptions(out, options.derived_options);
+}
+
+inline bool LoadLineFeatureOptions(std::istream& in,
+                                   LineFeatureOptions& options) {
+  int global = 0;
+  in >> options.neighbor_window >> options.length_histogram_bins >> global;
+  options.include_global_features = global != 0;
+  return static_cast<bool>(in) &&
+         LoadDerivedOptions(in, options.derived_options);
+}
+
+}  // namespace strudel::internal_model_io
+
+#endif  // STRUDEL_STRUDEL_OPTIONS_IO_H_

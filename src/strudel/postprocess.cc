@@ -1,0 +1,151 @@
+#include "strudel/postprocess.h"
+
+#include <algorithm>
+
+namespace strudel {
+
+namespace {
+
+constexpr int kHeader = static_cast<int>(ElementClass::kHeader);
+constexpr int kGroup = static_cast<int>(ElementClass::kGroup);
+constexpr int kData = static_cast<int>(ElementClass::kData);
+constexpr int kDerived = static_cast<int>(ElementClass::kDerived);
+constexpr int kMetadata = static_cast<int>(ElementClass::kMetadata);
+constexpr int kNotes = static_cast<int>(ElementClass::kNotes);
+
+int RepairIsolatedCells(const csv::Table& table,
+                        std::vector<std::vector<int>>& labels,
+                        int min_line_support) {
+  int repaired = 0;
+  for (int r = 0; r < table.num_rows(); ++r) {
+    auto& row = labels[static_cast<size_t>(r)];
+    // Count labels in the line.
+    std::vector<int> counts(kNumElementClasses, 0);
+    int labelled = 0;
+    for (int label : row) {
+      if (label >= 0) {
+        ++counts[static_cast<size_t>(label)];
+        ++labelled;
+      }
+    }
+    if (labelled < min_line_support + 1) continue;
+    // Find the majority class and check the "uniform except one" shape.
+    int majority = 0;
+    for (int k = 1; k < kNumElementClasses; ++k) {
+      if (counts[static_cast<size_t>(k)] >
+          counts[static_cast<size_t>(majority)]) {
+        majority = k;
+      }
+    }
+    if (counts[static_cast<size_t>(majority)] != labelled - 1) continue;
+    // Locate the island.
+    for (size_t c = 0; c < row.size(); ++c) {
+      const int label = row[c];
+      if (label < 0 || label == majority) continue;
+      // Protected patterns: a group cell leading a derived line, and a
+      // derived cell inside a data line (derived columns) are legitimate
+      // mixed lines (§6.2.2) — leave them alone.
+      if (label == kGroup && majority == kDerived) break;
+      if (label == kDerived && majority == kData) break;
+      if (label == kGroup && majority == kData) break;
+      row[c] = majority;
+      ++repaired;
+      break;
+    }
+  }
+  return repaired;
+}
+
+int RepairHeaderBelowData(const csv::Table& table,
+                          std::vector<std::vector<int>>& labels) {
+  int repaired = 0;
+  for (int c = 0; c < table.num_cols(); ++c) {
+    int last_data_row = -1;
+    for (int r = 0; r < table.num_rows(); ++r) {
+      if (labels[static_cast<size_t>(r)][static_cast<size_t>(c)] == kData) {
+        last_data_row = r;
+      }
+    }
+    if (last_data_row < 0) continue;
+    // A header strictly below every data cell of its column contradicts
+    // the taxonomy (§3.2) unless it opens a new stacked table — require
+    // that no data follows anywhere below it in the whole file.
+    for (int r = last_data_row + 1; r < table.num_rows(); ++r) {
+      int& label = labels[static_cast<size_t>(r)][static_cast<size_t>(c)];
+      if (label != kHeader) continue;
+      bool data_below = false;
+      for (int rr = r + 1; rr < table.num_rows() && !data_below; ++rr) {
+        for (int cc = 0; cc < table.num_cols(); ++cc) {
+          if (labels[static_cast<size_t>(rr)][static_cast<size_t>(cc)] ==
+              kData) {
+            data_below = true;
+            break;
+          }
+        }
+      }
+      if (!data_below) {
+        label = kData;
+        ++repaired;
+      }
+    }
+  }
+  return repaired;
+}
+
+int RepairMetadataAfterNotes(const csv::Table& table,
+                             std::vector<std::vector<int>>& labels) {
+  // Find the first notes-majority line.
+  int first_notes_line = -1;
+  for (int r = 0; r < table.num_rows() && first_notes_line < 0; ++r) {
+    int notes = 0, other = 0;
+    for (int label : labels[static_cast<size_t>(r)]) {
+      if (label == kNotes) ++notes;
+      if (label >= 0 && label != kNotes) ++other;
+    }
+    if (notes > 0 && notes >= other) first_notes_line = r;
+  }
+  if (first_notes_line < 0) return 0;
+  // Any data below the notes region means the notes sit between stacked
+  // tables; skip the repair then.
+  for (int r = first_notes_line + 1; r < table.num_rows(); ++r) {
+    for (int label : labels[static_cast<size_t>(r)]) {
+      if (label == kData) return 0;
+    }
+  }
+  int repaired = 0;
+  for (int r = first_notes_line + 1; r < table.num_rows(); ++r) {
+    for (int& label : labels[static_cast<size_t>(r)]) {
+      if (label == kMetadata) {
+        label = kNotes;
+        ++repaired;
+      }
+    }
+  }
+  return repaired;
+}
+
+}  // namespace
+
+PostprocessStats PostprocessCellPredictions(
+    const csv::Table& table, std::vector<std::vector<int>>& labels,
+    const PostprocessOptions& options) {
+  PostprocessStats stats;
+  if (labels.size() != static_cast<size_t>(table.num_rows())) return stats;
+  for (const auto& row : labels) {
+    if (row.size() != static_cast<size_t>(table.num_cols())) return stats;
+  }
+  if (options.repair_isolated_cells) {
+    stats.isolated_repaired =
+        RepairIsolatedCells(table, labels, options.min_line_support);
+  }
+  if (options.repair_header_below_data) {
+    stats.header_below_data_repaired = RepairHeaderBelowData(table, labels);
+  }
+  if (options.repair_metadata_after_notes) {
+    stats.metadata_after_notes_repaired =
+        RepairMetadataAfterNotes(table, labels);
+  }
+  return stats;
+}
+
+}  // namespace strudel

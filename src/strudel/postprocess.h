@@ -1,0 +1,60 @@
+// Post-processing of cell classifications, in the spirit of Koci et
+// al.'s repair component (IC3K 2016; discussed in paper §2.2): certain
+// label patterns in a predicted cell grid are near-certain
+// misclassifications and can be repaired by local majority rules.
+//
+// Implemented repairs (each individually switchable):
+//  * kIsolatedCell  — a single cell whose label differs from every other
+//    labelled cell in its line, where the line is otherwise uniform with
+//    at least `min_line_support` cells, takes the line majority. The
+//    leading group cell of a derived line and derived cells inside data
+//    lines are *protected*: group/derived islands are legitimate (paper
+//    §6.2.2), so islands of those classes are kept.
+//  * kHeaderBelowData — header-labelled cells strictly below the last
+//    data cell of their column flip to data (headers live above data,
+//    §3.2).
+//  * kMetadataAfterNotes — metadata-labelled lines after the first
+//    notes-majority line flip to notes (reading convention: metadata
+//    precedes, notes follow the table).
+//
+// This is an optional extension; Strudel's published pipeline does not
+// post-process. The ablation bench bench_ablation_postprocess measures
+// its effect.
+
+#ifndef STRUDEL_STRUDEL_POSTPROCESS_H_
+#define STRUDEL_STRUDEL_POSTPROCESS_H_
+
+#include <vector>
+
+#include "csv/table.h"
+#include "strudel/classes.h"
+
+namespace strudel {
+
+struct PostprocessOptions {
+  bool repair_isolated_cells = true;
+  bool repair_header_below_data = true;
+  bool repair_metadata_after_notes = true;
+  /// Minimum uniform cells in a line before an island is repaired.
+  int min_line_support = 3;
+};
+
+struct PostprocessStats {
+  int isolated_repaired = 0;
+  int header_below_data_repaired = 0;
+  int metadata_after_notes_repaired = 0;
+  int total() const {
+    return isolated_repaired + header_below_data_repaired +
+           metadata_after_notes_repaired;
+  }
+};
+
+/// Applies the repair rules to a predicted cell label grid in place.
+/// `table` supplies the emptiness structure. Returns repair counts.
+PostprocessStats PostprocessCellPredictions(
+    const csv::Table& table, std::vector<std::vector<int>>& labels,
+    const PostprocessOptions& options = {});
+
+}  // namespace strudel
+
+#endif  // STRUDEL_STRUDEL_POSTPROCESS_H_

@@ -1,0 +1,129 @@
+#include "strudel/segmentation.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace strudel {
+
+namespace {
+
+constexpr int kMetadata = static_cast<int>(ElementClass::kMetadata);
+constexpr int kHeader = static_cast<int>(ElementClass::kHeader);
+constexpr int kGroup = static_cast<int>(ElementClass::kGroup);
+constexpr int kData = static_cast<int>(ElementClass::kData);
+constexpr int kDerived = static_cast<int>(ElementClass::kDerived);
+constexpr int kNotes = static_cast<int>(ElementClass::kNotes);
+
+std::string CleanGroupLabel(std::string_view raw) {
+  std::string label = Trim(raw);
+  while (!label.empty() && (label.back() == ':' || label.back() == '-')) {
+    label.pop_back();
+  }
+  return Trim(label);
+}
+
+}  // namespace
+
+FileSegmentation SegmentFile(const csv::Table& table,
+                             const std::vector<int>& line_classes) {
+  FileSegmentation segmentation;
+  TableSegment current;
+  bool seen_body = false;  // current segment has data/derived content
+
+  auto flush = [&]() {
+    if (!current.empty() || !current.header_rows.empty()) {
+      segmentation.tables.push_back(std::move(current));
+    }
+    current = TableSegment{};
+    seen_body = false;
+  };
+
+  const int rows = std::min<int>(table.num_rows(),
+                                 static_cast<int>(line_classes.size()));
+  for (int r = 0; r < rows; ++r) {
+    switch (line_classes[static_cast<size_t>(r)]) {
+      case kMetadata:
+        if (seen_body || !current.header_rows.empty()) flush();
+        segmentation.metadata_rows.push_back(r);
+        break;
+      case kNotes:
+        if (seen_body || !current.header_rows.empty()) flush();
+        segmentation.notes_rows.push_back(r);
+        break;
+      case kHeader:
+        // A header after body content opens the next stacked table.
+        if (seen_body) flush();
+        current.header_rows.push_back(r);
+        break;
+      case kGroup:
+        current.group_lines.emplace_back(
+            r, CleanGroupLabel(table.cell(r, 0)));
+        break;
+      case kData:
+        current.data_rows.push_back(r);
+        seen_body = true;
+        break;
+      case kDerived:
+        current.derived_rows.push_back(r);
+        seen_body = true;
+        break;
+      default:
+        break;  // empty line: no segment boundary by itself
+    }
+  }
+  flush();
+  return segmentation;
+}
+
+std::vector<RelationalTable> ExtractRelationalTables(
+    const csv::Table& table, const FileSegmentation& segmentation,
+    const ExtractionOptions& options) {
+  std::vector<RelationalTable> out;
+  for (const TableSegment& segment : segmentation.tables) {
+    if (segment.empty()) continue;
+    RelationalTable relation;
+
+    // Header: the last header line of the block carries the column
+    // labels (earlier ones are spanning super-headers).
+    relation.header.assign(static_cast<size_t>(table.num_cols()), "");
+    if (!segment.header_rows.empty()) {
+      const int header_row = segment.header_rows.back();
+      for (int c = 0; c < table.num_cols(); ++c) {
+        relation.header[static_cast<size_t>(c)] =
+            std::string(table.cell(header_row, c));
+      }
+    }
+    if (options.include_group_column) {
+      relation.header.insert(relation.header.begin(), "group");
+    }
+
+    // Body rows in original order, with the governing group label.
+    std::vector<int> body = segment.data_rows;
+    if (!options.drop_derived) {
+      body.insert(body.end(), segment.derived_rows.begin(),
+                  segment.derived_rows.end());
+      std::sort(body.begin(), body.end());
+    }
+    size_t group_idx = 0;
+    std::string current_group;
+    for (int r : body) {
+      while (group_idx < segment.group_lines.size() &&
+             segment.group_lines[group_idx].first < r) {
+        current_group = segment.group_lines[group_idx].second;
+        ++group_idx;
+      }
+      std::vector<std::string> row;
+      row.reserve(static_cast<size_t>(table.num_cols()) + 1);
+      if (options.include_group_column) row.push_back(current_group);
+      for (int c = 0; c < table.num_cols(); ++c) {
+        row.emplace_back(table.cell(r, c));
+      }
+      relation.rows.push_back(std::move(row));
+    }
+    out.push_back(std::move(relation));
+  }
+  return out;
+}
+
+}  // namespace strudel

@@ -1,0 +1,68 @@
+// File segmentation and relational-table extraction on top of line
+// classification — the downstream task the paper's introduction motivates
+// ("This file cannot be directly ingested by common RDBMS tools").
+//
+// Given per-line classes (from Strudel^L or ground truth), SegmentFile
+// groups the lines into metadata, a sequence of table segments (header
+// block + body of data/derived lines with group context) and notes;
+// ExtractRelationalTables then flattens each segment into a clean
+// relational table: group labels become a leading column, derived lines
+// are dropped (they are redundant aggregates).
+
+#ifndef STRUDEL_STRUDEL_SEGMENTATION_H_
+#define STRUDEL_STRUDEL_SEGMENTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "csv/table.h"
+#include "strudel/classes.h"
+
+namespace strudel {
+
+struct TableSegment {
+  /// Header line indices (possibly empty for headerless tables).
+  std::vector<int> header_rows;
+  /// Data line indices, in order.
+  std::vector<int> data_rows;
+  /// Derived line indices, in order.
+  std::vector<int> derived_rows;
+  /// (line index, cleaned label) of the group lines governing this body.
+  std::vector<std::pair<int, std::string>> group_lines;
+
+  bool empty() const { return data_rows.empty() && derived_rows.empty(); }
+};
+
+struct FileSegmentation {
+  std::vector<int> metadata_rows;
+  std::vector<int> notes_rows;
+  std::vector<TableSegment> tables;
+};
+
+/// Splits a classified file into segments. A new table starts at a header
+/// line following body content, or at body content following
+/// metadata/notes. `line_classes` uses kEmptyLabel for empty lines.
+FileSegmentation SegmentFile(const csv::Table& table,
+                             const std::vector<int>& line_classes);
+
+struct RelationalTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct ExtractionOptions {
+  /// Prepend the governing group label as a first column.
+  bool include_group_column = true;
+  /// Drop derived lines from the relational output (they are redundant);
+  /// when false they are emitted as ordinary rows.
+  bool drop_derived = true;
+};
+
+/// Flattens every non-empty segment into a relational table.
+std::vector<RelationalTable> ExtractRelationalTables(
+    const csv::Table& table, const FileSegmentation& segmentation,
+    const ExtractionOptions& options = {});
+
+}  // namespace strudel
+
+#endif  // STRUDEL_STRUDEL_SEGMENTATION_H_

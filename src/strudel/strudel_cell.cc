@@ -1,0 +1,221 @@
+#include "strudel/strudel_cell.h"
+
+#include <numeric>
+#include <string>
+
+#include "common/rng.h"
+#include "strudel/options_io.h"
+
+namespace strudel {
+
+StrudelCell::StrudelCell(StrudelCellOptions options)
+    : options_(std::move(options)), line_model_(options_.line) {
+  // Keep the feature layout in sync with the column-probability switch.
+  options_.features.include_column_probabilities =
+      options_.use_column_probabilities;
+}
+
+ml::Dataset StrudelCell::BuildDataset(
+    const std::vector<AnnotatedFile>& files,
+    const std::vector<std::vector<std::vector<double>>>& line_probabilities,
+    const CellFeatureOptions& options) {
+  return BuildDataset(FilePointers(files), line_probabilities, options);
+}
+
+ml::Dataset StrudelCell::BuildDataset(
+    const std::vector<const AnnotatedFile*>& files,
+    const std::vector<std::vector<std::vector<double>>>& line_probabilities,
+    const CellFeatureOptions& options) {
+  return BuildDataset(files, line_probabilities, {}, options);
+}
+
+ml::Dataset StrudelCell::BuildDataset(
+    const std::vector<const AnnotatedFile*>& files,
+    const std::vector<std::vector<std::vector<double>>>& line_probabilities,
+    const std::vector<std::vector<std::vector<double>>>&
+        column_probabilities,
+    const CellFeatureOptions& options) {
+  ml::Dataset data;
+  data.num_classes = kNumElementClasses;
+  data.feature_names = CellFeatureNames(options);
+  static const std::vector<std::vector<double>> kNoProbabilities;
+  for (size_t file_idx = 0; file_idx < files.size(); ++file_idx) {
+    const AnnotatedFile& file = *files[file_idx];
+    const auto& probabilities = file_idx < line_probabilities.size()
+                                    ? line_probabilities[file_idx]
+                                    : kNoProbabilities;
+    const auto& col_probabilities =
+        file_idx < column_probabilities.size()
+            ? column_probabilities[file_idx]
+            : kNoProbabilities;
+    DerivedDetectionResult detection =
+        DetectDerivedCells(file.table, options.derived_options);
+    BlockSizeResult blocks = ComputeBlockSizes(file.table);
+    ml::Matrix features =
+        ExtractCellFeatures(file.table, probabilities, col_probabilities,
+                            detection, blocks, options);
+    const auto coords = NonEmptyCellCoordinates(file.table);
+    for (size_t i = 0; i < coords.size(); ++i) {
+      const auto [r, c] = coords[i];
+      const int label = file.annotation.cell_labels[static_cast<size_t>(r)]
+                                                   [static_cast<size_t>(c)];
+      if (label == kEmptyLabel) continue;
+      data.features.append_row(features.row(i));
+      data.labels.push_back(label);
+      data.groups.push_back(static_cast<int>(file_idx));
+    }
+  }
+  return data;
+}
+
+Status StrudelCell::Fit(const std::vector<AnnotatedFile>& files) {
+  return Fit(FilePointers(files));
+}
+
+Status StrudelCell::Fit(const std::vector<const AnnotatedFile*>& files) {
+  if (files.empty()) {
+    return Status::InvalidArgument("strudel_cell: no training files");
+  }
+
+  // Stage 1: the line model used at prediction time sees all files.
+  STRUDEL_RETURN_IF_ERROR(line_model_.Fit(files));
+
+  // Training-time line probabilities, cross-fitted over files.
+  std::vector<std::vector<std::vector<double>>> probabilities(files.size());
+  const int folds =
+      std::min<int>(options_.line_cross_fit_folds,
+                    static_cast<int>(files.size()));
+  if (folds >= 2) {
+    Rng rng(options_.seed);
+    std::vector<size_t> order(files.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(order);
+    for (int fold = 0; fold < folds; ++fold) {
+      std::vector<const AnnotatedFile*> train_files;
+      std::vector<size_t> held_out;
+      for (size_t i = 0; i < order.size(); ++i) {
+        if (static_cast<int>(i % static_cast<size_t>(folds)) == fold) {
+          held_out.push_back(order[i]);
+        } else {
+          train_files.push_back(files[order[i]]);
+        }
+      }
+      StrudelLine fold_model(options_.line);
+      STRUDEL_RETURN_IF_ERROR(fold_model.Fit(train_files));
+      for (size_t idx : held_out) {
+        probabilities[idx] =
+            fold_model.Predict(files[idx]->table).probabilities;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < files.size(); ++i) {
+      probabilities[i] = line_model_.Predict(files[i]->table).probabilities;
+    }
+  }
+
+  // Optional column stage (extension): trained on all training files;
+  // training-time column probabilities are in-sample — columns aggregate
+  // over whole files, so leakage pressure is much lower than at line
+  // level.
+  std::vector<std::vector<std::vector<double>>> column_probabilities;
+  if (options_.use_column_probabilities) {
+    STRUDEL_RETURN_IF_ERROR(column_model_.Fit(files));
+    column_probabilities.resize(files.size());
+    for (size_t i = 0; i < files.size(); ++i) {
+      column_probabilities[i] =
+          column_model_.Predict(files[i]->table).probabilities;
+    }
+  }
+
+  // Stage 2: the cell forest.
+  ml::Dataset data = BuildDataset(files, probabilities,
+                                  column_probabilities, options_.features);
+  if (data.size() == 0) {
+    return Status::InvalidArgument(
+        "strudel_cell: no labelled non-empty cells in training files");
+  }
+  normalizer_.FitTransform(data.features);
+  if (options_.backbone_prototype != nullptr) {
+    model_ = options_.backbone_prototype->CloneUntrained();
+  } else {
+    model_ = std::make_unique<ml::RandomForest>(options_.forest);
+  }
+  return model_->Fit(data);
+}
+
+std::vector<std::vector<double>> StrudelCell::ColumnProbabilities(
+    const csv::Table& table) const {
+  if (!options_.use_column_probabilities || !column_model_.fitted()) {
+    return {};
+  }
+  return column_model_.Predict(table).probabilities;
+}
+
+Status StrudelCell::SaveTo(std::ostream& out) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("strudel_cell: model not fitted");
+  }
+  if (options_.use_column_probabilities) {
+    return Status::Unimplemented(
+        "strudel_cell: column-probability models are not serialisable");
+  }
+  const auto* forest = dynamic_cast<const ml::RandomForest*>(model_.get());
+  if (forest == nullptr) {
+    return Status::Unimplemented(
+        "strudel_cell: only random-forest backbones are serialisable");
+  }
+  out.precision(17);
+  out << "strudel_cell v1 ";
+  internal_model_io::SaveDerivedOptions(out,
+                                        options_.features.derived_options);
+  out << '\n';
+  STRUDEL_RETURN_IF_ERROR(line_model_.SaveTo(out));
+  STRUDEL_RETURN_IF_ERROR(normalizer_.Save(out));
+  return forest->Save(out);
+}
+
+Status StrudelCell::LoadFrom(std::istream& in) {
+  std::string magic, version;
+  in >> magic >> version;
+  if (!in || magic != "strudel_cell" || version != "v1") {
+    return Status::ParseError("strudel_cell: bad header");
+  }
+  if (!internal_model_io::LoadDerivedOptions(
+          in, options_.features.derived_options)) {
+    return Status::ParseError("strudel_cell: bad feature options");
+  }
+  options_.backbone_prototype = nullptr;
+  STRUDEL_RETURN_IF_ERROR(line_model_.LoadFrom(in));
+  STRUDEL_RETURN_IF_ERROR(normalizer_.Load(in));
+  auto forest = std::make_unique<ml::RandomForest>(options_.forest);
+  STRUDEL_RETURN_IF_ERROR(forest->Load(in));
+  model_ = std::move(forest);
+  return Status::OK();
+}
+
+CellPrediction StrudelCell::Predict(const csv::Table& table) const {
+  CellPrediction prediction;
+  prediction.classes.assign(
+      static_cast<size_t>(std::max(table.num_rows(), 0)),
+      std::vector<int>(static_cast<size_t>(std::max(table.num_cols(), 0)),
+                       kEmptyLabel));
+  if (model_ == nullptr) return prediction;
+
+  prediction.line_prediction = line_model_.Predict(table);
+  DerivedDetectionResult detection =
+      DetectDerivedCells(table, options_.features.derived_options);
+  BlockSizeResult blocks = ComputeBlockSizes(table);
+  ml::Matrix features = ExtractCellFeatures(
+      table, prediction.line_prediction.probabilities,
+      ColumnProbabilities(table), detection, blocks, options_.features);
+  normalizer_.Transform(features);
+  const auto coords = NonEmptyCellCoordinates(table);
+  for (size_t i = 0; i < coords.size(); ++i) {
+    const auto [r, c] = coords[i];
+    prediction.classes[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+        model_->Predict(features.row(i));
+  }
+  return prediction;
+}
+
+}  // namespace strudel

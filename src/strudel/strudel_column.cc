@@ -1,0 +1,71 @@
+#include "strudel/strudel_column.h"
+
+namespace strudel {
+
+StrudelColumn::StrudelColumn(StrudelColumnOptions options)
+    : options_(options) {}
+
+ml::Dataset StrudelColumn::BuildDataset(
+    const std::vector<const AnnotatedFile*>& files) {
+  ml::Dataset data;
+  data.num_classes = kNumElementClasses;
+  data.feature_names = ColumnFeatureNames();
+  for (size_t file_idx = 0; file_idx < files.size(); ++file_idx) {
+    const AnnotatedFile& file = *files[file_idx];
+    ml::Matrix features = ExtractColumnFeatures(file.table);
+    const std::vector<int> labels = ColumnLabelsFromCells(
+        file.annotation.cell_labels, file.table.num_cols());
+    for (int c = 0; c < file.table.num_cols(); ++c) {
+      if (labels[static_cast<size_t>(c)] == kEmptyLabel) continue;
+      data.features.append_row(features.row(static_cast<size_t>(c)));
+      data.labels.push_back(labels[static_cast<size_t>(c)]);
+      data.groups.push_back(static_cast<int>(file_idx));
+    }
+  }
+  return data;
+}
+
+ml::Dataset StrudelColumn::BuildDataset(
+    const std::vector<AnnotatedFile>& files) {
+  return BuildDataset(FilePointers(files));
+}
+
+Status StrudelColumn::Fit(const std::vector<const AnnotatedFile*>& files) {
+  ml::Dataset data = BuildDataset(files);
+  if (data.size() == 0) {
+    return Status::InvalidArgument(
+        "strudel_column: no labelled columns in training files");
+  }
+  normalizer_.FitTransform(data.features);
+  model_ = std::make_unique<ml::RandomForest>(options_.forest);
+  return model_->Fit(data);
+}
+
+Status StrudelColumn::Fit(const std::vector<AnnotatedFile>& files) {
+  return Fit(FilePointers(files));
+}
+
+ColumnPrediction StrudelColumn::Predict(const csv::Table& table) const {
+  ColumnPrediction prediction;
+  const int cols = table.num_cols();
+  prediction.classes.assign(static_cast<size_t>(std::max(cols, 0)),
+                            kEmptyLabel);
+  prediction.probabilities.assign(
+      static_cast<size_t>(std::max(cols, 0)),
+      std::vector<double>(kNumElementClasses, 0.0));
+  if (model_ == nullptr || cols == 0) return prediction;
+
+  ml::Matrix features = ExtractColumnFeatures(table);
+  normalizer_.Transform(features);
+  for (int c = 0; c < cols; ++c) {
+    if (table.col_empty(c)) continue;
+    std::vector<double> proba =
+        model_->PredictProba(features.row(static_cast<size_t>(c)));
+    prediction.classes[static_cast<size_t>(c)] =
+        static_cast<int>(ArgMax(proba));
+    prediction.probabilities[static_cast<size_t>(c)] = std::move(proba);
+  }
+  return prediction;
+}
+
+}  // namespace strudel

@@ -1,0 +1,57 @@
+// Strudel^Col — column classification (extension; paper future work iii).
+// A multi-class random forest over the column features of
+// strudel/column_features.h, structured like Strudel^L.
+
+#ifndef STRUDEL_STRUDEL_STRUDEL_COLUMN_H_
+#define STRUDEL_STRUDEL_STRUDEL_COLUMN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/classifier.h"
+#include "ml/normalizer.h"
+#include "ml/random_forest.h"
+#include "strudel/classes.h"
+#include "strudel/column_features.h"
+
+namespace strudel {
+
+struct StrudelColumnOptions {
+  ml::RandomForestOptions forest;
+};
+
+/// Per-column predictions for one file; empty columns carry kEmptyLabel
+/// and an all-zero probability vector.
+struct ColumnPrediction {
+  std::vector<int> classes;
+  std::vector<std::vector<double>> probabilities;
+};
+
+class StrudelColumn {
+ public:
+  explicit StrudelColumn(StrudelColumnOptions options = {});
+
+  /// Builds the supervised column dataset: one sample per non-empty
+  /// column, labels = column majority class, group id = file index.
+  static ml::Dataset BuildDataset(
+      const std::vector<const AnnotatedFile*>& files);
+  static ml::Dataset BuildDataset(const std::vector<AnnotatedFile>& files);
+
+  Status Fit(const std::vector<const AnnotatedFile*>& files);
+  Status Fit(const std::vector<AnnotatedFile>& files);
+
+  ColumnPrediction Predict(const csv::Table& table) const;
+
+  bool fitted() const { return model_ != nullptr; }
+  const ml::Classifier& model() const { return *model_; }
+
+ private:
+  StrudelColumnOptions options_;
+  std::unique_ptr<ml::Classifier> model_;
+  ml::MinMaxNormalizer normalizer_;
+};
+
+}  // namespace strudel
+
+#endif  // STRUDEL_STRUDEL_STRUDEL_COLUMN_H_

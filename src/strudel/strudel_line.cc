@@ -1,0 +1,113 @@
+#include "strudel/strudel_line.h"
+
+#include <string>
+
+#include "strudel/options_io.h"
+
+namespace strudel {
+
+StrudelLine::StrudelLine(StrudelLineOptions options)
+    : options_(std::move(options)) {}
+
+ml::Dataset StrudelLine::BuildDataset(
+    const std::vector<const AnnotatedFile*>& files,
+    const LineFeatureOptions& options) {
+  ml::Dataset data;
+  data.num_classes = kNumElementClasses;
+  data.feature_names = LineFeatureNames(options);
+  for (size_t file_idx = 0; file_idx < files.size(); ++file_idx) {
+    const AnnotatedFile& file = *files[file_idx];
+    ml::Matrix features = ExtractLineFeatures(file.table, options);
+    for (int r = 0; r < file.table.num_rows(); ++r) {
+      const int label = file.annotation.line_labels[static_cast<size_t>(r)];
+      if (label == kEmptyLabel) continue;  // empty lines carry no class
+      data.features.append_row(features.row(static_cast<size_t>(r)));
+      data.labels.push_back(label);
+      data.groups.push_back(static_cast<int>(file_idx));
+    }
+  }
+  return data;
+}
+
+ml::Dataset StrudelLine::BuildDataset(const std::vector<AnnotatedFile>& files,
+                                      const LineFeatureOptions& options) {
+  return BuildDataset(FilePointers(files), options);
+}
+
+Status StrudelLine::Fit(const std::vector<AnnotatedFile>& files) {
+  return Fit(FilePointers(files));
+}
+
+Status StrudelLine::Fit(const std::vector<const AnnotatedFile*>& files) {
+  ml::Dataset data = BuildDataset(files, options_.features);
+  if (data.size() == 0) {
+    return Status::InvalidArgument(
+        "strudel_line: no labelled non-empty lines in training files");
+  }
+  normalizer_.FitTransform(data.features);
+  if (options_.backbone_prototype != nullptr) {
+    model_ = options_.backbone_prototype->CloneUntrained();
+  } else {
+    model_ = std::make_unique<ml::RandomForest>(options_.forest);
+  }
+  return model_->Fit(data);
+}
+
+Status StrudelLine::SaveTo(std::ostream& out) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("strudel_line: model not fitted");
+  }
+  const auto* forest = dynamic_cast<const ml::RandomForest*>(model_.get());
+  if (forest == nullptr) {
+    return Status::Unimplemented(
+        "strudel_line: only random-forest backbones are serialisable");
+  }
+  out.precision(17);
+  out << "strudel_line v1 ";
+  internal_model_io::SaveLineFeatureOptions(out, options_.features);
+  out << '\n';
+  STRUDEL_RETURN_IF_ERROR(normalizer_.Save(out));
+  return forest->Save(out);
+}
+
+Status StrudelLine::LoadFrom(std::istream& in) {
+  std::string magic, version;
+  in >> magic >> version;
+  if (!in || magic != "strudel_line" || version != "v1") {
+    return Status::ParseError("strudel_line: bad header");
+  }
+  if (!internal_model_io::LoadLineFeatureOptions(in, options_.features)) {
+    return Status::ParseError("strudel_line: bad feature options");
+  }
+  options_.backbone_prototype = nullptr;
+  STRUDEL_RETURN_IF_ERROR(normalizer_.Load(in));
+  auto forest = std::make_unique<ml::RandomForest>(options_.forest);
+  STRUDEL_RETURN_IF_ERROR(forest->Load(in));
+  model_ = std::move(forest);
+  return Status::OK();
+}
+
+LinePrediction StrudelLine::Predict(const csv::Table& table) const {
+  LinePrediction prediction;
+  const int rows = table.num_rows();
+  prediction.classes.assign(static_cast<size_t>(std::max(rows, 0)),
+                            kEmptyLabel);
+  prediction.probabilities.assign(
+      static_cast<size_t>(std::max(rows, 0)),
+      std::vector<double>(kNumElementClasses, 0.0));
+  if (model_ == nullptr || rows == 0) return prediction;
+
+  ml::Matrix features = ExtractLineFeatures(table, options_.features);
+  normalizer_.Transform(features);
+  for (int r = 0; r < rows; ++r) {
+    if (table.row_empty(r)) continue;
+    std::vector<double> proba =
+        model_->PredictProba(features.row(static_cast<size_t>(r)));
+    prediction.classes[static_cast<size_t>(r)] =
+        static_cast<int>(ArgMax(proba));
+    prediction.probabilities[static_cast<size_t>(r)] = std::move(proba);
+  }
+  return prediction;
+}
+
+}  // namespace strudel

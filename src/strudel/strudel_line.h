@@ -1,0 +1,76 @@
+// Strudel^L — line classification (paper §4).
+//
+// A multi-class random forest over the Table 1 feature set. The forest's
+// probability output doubles as the LineClassProbability feature block of
+// Strudel^C (paper §5.4).
+
+#ifndef STRUDEL_STRUDEL_STRUDEL_LINE_H_
+#define STRUDEL_STRUDEL_STRUDEL_LINE_H_
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/classifier.h"
+#include "ml/normalizer.h"
+#include "ml/random_forest.h"
+#include "strudel/classes.h"
+#include "strudel/line_features.h"
+
+namespace strudel {
+
+struct StrudelLineOptions {
+  LineFeatureOptions features;
+  ml::RandomForestOptions forest;
+  /// Optional backbone override for the classifier-choice ablation
+  /// (§6.1.2). When set, CloneUntrained() of this prototype is trained
+  /// instead of a random forest.
+  std::shared_ptr<const ml::Classifier> backbone_prototype;
+};
+
+/// Per-line predictions for one file. Empty lines carry kEmptyLabel and an
+/// all-zero probability vector.
+struct LinePrediction {
+  std::vector<int> classes;
+  std::vector<std::vector<double>> probabilities;
+};
+
+class StrudelLine {
+ public:
+  explicit StrudelLine(StrudelLineOptions options = {});
+
+  /// Builds the supervised line dataset for `files`: one sample per
+  /// non-empty line, group id = file index, labels from the annotations.
+  static ml::Dataset BuildDataset(
+      const std::vector<const AnnotatedFile*>& files,
+      const LineFeatureOptions& options = {});
+  static ml::Dataset BuildDataset(const std::vector<AnnotatedFile>& files,
+                                  const LineFeatureOptions& options = {});
+
+  /// Trains on annotated files.
+  Status Fit(const std::vector<const AnnotatedFile*>& files);
+  Status Fit(const std::vector<AnnotatedFile>& files);
+
+  /// Classifies every line of a table.
+  LinePrediction Predict(const csv::Table& table) const;
+
+  bool fitted() const { return model_ != nullptr; }
+  const ml::Classifier& model() const { return *model_; }
+  const StrudelLineOptions& options() const { return options_; }
+
+  /// Serialises the trained model (random-forest backbone only) /
+  /// restores it. See strudel/model_io.h for file-level helpers.
+  Status SaveTo(std::ostream& out) const;
+  Status LoadFrom(std::istream& in);
+
+ private:
+  StrudelLineOptions options_;
+  std::unique_ptr<ml::Classifier> model_;
+  ml::MinMaxNormalizer normalizer_;
+};
+
+}  // namespace strudel
+
+#endif  // STRUDEL_STRUDEL_STRUDEL_LINE_H_

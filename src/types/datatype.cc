@@ -1,0 +1,39 @@
+#include "types/datatype.h"
+
+#include "common/string_util.h"
+#include "types/date_parser.h"
+#include "types/value_parser.h"
+
+namespace strudel {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kEmpty:
+      return "empty";
+    case DataType::kInt:
+      return "int";
+    case DataType::kFloat:
+      return "float";
+    case DataType::kDate:
+      return "date";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+DataType InferDataType(std::string_view value) {
+  std::string_view s = TrimView(value);
+  if (s.empty()) return DataType::kEmpty;
+  if (auto number = ParseNumber(s)) {
+    return number->is_integer ? DataType::kInt : DataType::kFloat;
+  }
+  if (IsDate(s)) return DataType::kDate;
+  return DataType::kString;
+}
+
+bool IsNumericType(DataType type) {
+  return type == DataType::kInt || type == DataType::kFloat;
+}
+
+}  // namespace strudel

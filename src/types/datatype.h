@@ -1,0 +1,39 @@
+// Cell data types as used by the Strudel feature extractors (paper §5.1:
+// "DataType in this work has four possible values, corresponding to four
+// data types: int, float, string, and date"). We add kEmpty for empty
+// cells, which several contextual features need to recognise.
+
+#ifndef STRUDEL_TYPES_DATATYPE_H_
+#define STRUDEL_TYPES_DATATYPE_H_
+
+#include <string>
+#include <string_view>
+
+namespace strudel {
+
+enum class DataType {
+  kEmpty = 0,
+  kInt = 1,
+  kFloat = 2,
+  kDate = 3,
+  kString = 4,
+};
+
+inline constexpr int kNumDataTypes = 5;
+
+/// Canonical lowercase name ("empty", "int", ...).
+std::string_view DataTypeName(DataType type);
+
+/// Infers the data type of a raw cell value. Whitespace-only values are
+/// kEmpty. Numeric detection understands thousands separators, leading
+/// currency symbols, trailing '%', and accounting-style parenthesised
+/// negatives; date detection covers the common numeric and month-name
+/// layouts (see types/date_parser.h).
+DataType InferDataType(std::string_view value);
+
+/// True for kInt and kFloat.
+bool IsNumericType(DataType type);
+
+}  // namespace strudel
+
+#endif  // STRUDEL_TYPES_DATATYPE_H_

@@ -1,0 +1,198 @@
+#include "types/date_parser.h"
+
+#include <array>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace strudel {
+
+namespace {
+
+constexpr std::array<std::string_view, 12> kMonthNames = {
+    "january", "february", "march",     "april",   "may",      "june",
+    "july",    "august",   "september", "october", "november", "december"};
+
+// Returns 1-12 for a full or 3-letter-abbreviated month name, 0 otherwise.
+int MonthFromName(std::string_view word) {
+  std::string lower = ToLower(word);
+  if (lower.size() < 3) return 0;
+  for (size_t m = 0; m < kMonthNames.size(); ++m) {
+    std::string_view name = kMonthNames[m];
+    if (lower == name) return static_cast<int>(m) + 1;
+    if (lower.size() == 3 && name.substr(0, 3) == lower) {
+      return static_cast<int>(m) + 1;
+    }
+  }
+  return 0;
+}
+
+bool AllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!IsDigitAscii(c)) return false;
+  }
+  return true;
+}
+
+int ToInt(std::string_view s) {
+  int v = 0;
+  for (char c : s) v = v * 10 + (c - '0');
+  return v;
+}
+
+bool ValidYear(int y) { return y >= 1000 && y <= 2999; }
+bool ValidMonth(int m) { return m >= 1 && m <= 12; }
+bool ValidDay(int d) { return d >= 1 && d <= 31; }
+
+// Splits on a single separator char that appears consistently.
+bool SplitThree(std::string_view s, char sep, std::string_view out[3]) {
+  size_t p1 = s.find(sep);
+  if (p1 == std::string_view::npos) return false;
+  size_t p2 = s.find(sep, p1 + 1);
+  if (p2 == std::string_view::npos) return false;
+  if (s.find(sep, p2 + 1) != std::string_view::npos) return false;
+  out[0] = s.substr(0, p1);
+  out[1] = s.substr(p1 + 1, p2 - p1 - 1);
+  out[2] = s.substr(p2 + 1);
+  return !out[0].empty() && !out[1].empty() && !out[2].empty();
+}
+
+std::optional<ParsedDate> TryNumericTriple(std::string_view s, char sep) {
+  std::string_view parts[3];
+  if (!SplitThree(s, sep, parts)) return std::nullopt;
+  for (const auto& p : parts) {
+    if (!AllDigits(p) || p.size() > 4) return std::nullopt;
+  }
+  int a = ToInt(parts[0]), b = ToInt(parts[1]), c = ToInt(parts[2]);
+  ParsedDate d;
+  if (parts[0].size() == 4 && ValidYear(a)) {  // ISO: Y-M-D
+    if (ValidMonth(b) && ValidDay(c)) {
+      d.year = a;
+      d.month = b;
+      d.day = c;
+      return d;
+    }
+    return std::nullopt;
+  }
+  if (parts[2].size() == 4 && ValidYear(c)) {
+    d.year = c;
+    if (ValidDay(a) && ValidMonth(b)) {  // D/M/Y
+      d.day = a;
+      d.month = b;
+      return d;
+    }
+    if (ValidMonth(a) && ValidDay(b)) {  // M/D/Y
+      d.month = a;
+      d.day = b;
+      return d;
+    }
+  }
+  // Two-digit years (26/03/19): accept only for '/'-separated values where
+  // day and month are unambiguous in at least one order.
+  if (sep == '/' && parts[2].size() == 2) {
+    if (ValidDay(a) && ValidMonth(b)) {
+      d.year = 2000 + c;
+      d.day = a;
+      d.month = b;
+      return d;
+    }
+    if (ValidMonth(a) && ValidDay(b)) {
+      d.year = 2000 + c;
+      d.month = a;
+      d.day = b;
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+// "2019/20" fiscal-year span.
+std::optional<ParsedDate> TryYearSpan(std::string_view s) {
+  size_t slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  std::string_view a = s.substr(0, slash), b = s.substr(slash + 1);
+  if (a.size() != 4 || !AllDigits(a)) return std::nullopt;
+  if ((b.size() != 2 && b.size() != 4) || !AllDigits(b)) return std::nullopt;
+  int year = ToInt(a);
+  if (!ValidYear(year)) return std::nullopt;
+  ParsedDate d;
+  d.year = year;
+  return d;
+}
+
+// "Q1 2019", "FY2019".
+std::optional<ParsedDate> TryPeriod(std::string_view s) {
+  std::string lower = ToLower(s);
+  if (lower.size() >= 2 && lower[0] == 'q' && lower[1] >= '1' &&
+      lower[1] <= '4') {
+    std::string_view rest = TrimView(std::string_view(lower).substr(2));
+    if (rest.size() == 4 && AllDigits(rest) && ValidYear(ToInt(rest))) {
+      ParsedDate d;
+      d.year = ToInt(rest);
+      d.month = (lower[1] - '1') * 3 + 1;
+      return d;
+    }
+  }
+  if (StartsWith(lower, "fy")) {
+    std::string_view rest = TrimView(std::string_view(lower).substr(2));
+    if (rest.size() == 4 && AllDigits(rest) && ValidYear(ToInt(rest))) {
+      ParsedDate d;
+      d.year = ToInt(rest);
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+// Month-name forms: "March 2019", "26 March 2019", "March 26, 2019",
+// "Mar-19", plain "March".
+std::optional<ParsedDate> TryMonthName(std::string_view s) {
+  std::vector<std::string> words = Words(s);
+  if (words.empty() || words.size() > 3) return std::nullopt;
+  ParsedDate d;
+  bool saw_month = false;
+  for (const std::string& w : words) {
+    int m = MonthFromName(w);
+    if (m != 0 && !saw_month) {
+      d.month = m;
+      saw_month = true;
+      continue;
+    }
+    if (AllDigits(w)) {
+      int v = ToInt(w);
+      if (w.size() == 4 && ValidYear(v) && d.year == 0) {
+        d.year = v;
+        continue;
+      }
+      if (w.size() <= 2 && ValidDay(v) && d.day == 0) {
+        // A 2-digit number after an abbreviated month ("Mar-19") could be a
+        // year; prefer day for values <= 31 as both readings mark a date.
+        d.day = v;
+        continue;
+      }
+    }
+    return std::nullopt;
+  }
+  if (!saw_month) return std::nullopt;
+  return d;
+}
+
+}  // namespace
+
+std::optional<ParsedDate> ParseDate(std::string_view value) {
+  std::string_view s = TrimView(value);
+  if (s.empty() || s.size() > 32) return std::nullopt;
+
+  for (char sep : {'-', '/', '.'}) {
+    if (auto d = TryNumericTriple(s, sep)) return d;
+  }
+  if (auto d = TryYearSpan(s)) return d;
+  if (auto d = TryPeriod(s)) return d;
+  if (auto d = TryMonthName(s)) return d;
+  return std::nullopt;
+}
+
+bool IsDate(std::string_view value) { return ParseDate(value).has_value(); }
+
+}  // namespace strudel

@@ -1,0 +1,34 @@
+// Date recognition for table cells.
+//
+// Covers the layouts that occur in statistical/administrative tables:
+//   2019-03-26     26/03/2019    03/26/2019   26.03.2019
+//   March 2019     Mar 2019      26 March 2019   March 26, 2019
+//   2019/20        Q1 2019       FY2019
+// Pure 4-digit years ("2019") are deliberately *not* dates: year columns in
+// data areas behave numerically and the paper discusses numeric headers
+// (years) confusing classifiers — we keep them kInt so that behaviour is
+// reproducible.
+
+#ifndef STRUDEL_TYPES_DATE_PARSER_H_
+#define STRUDEL_TYPES_DATE_PARSER_H_
+
+#include <optional>
+#include <string_view>
+
+namespace strudel {
+
+struct ParsedDate {
+  int year = 0;    // 0 when absent
+  int month = 0;   // 1-12, 0 when absent
+  int day = 0;     // 1-31, 0 when absent
+};
+
+/// Parses `value` as a date; nullopt when the value does not look like one.
+std::optional<ParsedDate> ParseDate(std::string_view value);
+
+/// True if ParseDate succeeds.
+bool IsDate(std::string_view value);
+
+}  // namespace strudel
+
+#endif  // STRUDEL_TYPES_DATE_PARSER_H_

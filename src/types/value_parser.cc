@@ -1,0 +1,147 @@
+#include "types/value_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace strudel {
+
+namespace {
+
+// Strips one leading currency marker ($, €, £ as UTF-8, or a 1-3 letter
+// all-caps code like "USD" followed by a space). Returns the remainder.
+std::string_view StripCurrencyPrefix(std::string_view s) {
+  if (!s.empty() && s.front() == '$') return s.substr(1);
+  // UTF-8 Euro sign (E2 82 AC) and Pound sign (C2 A3).
+  if (s.size() >= 3 && static_cast<unsigned char>(s[0]) == 0xE2 &&
+      static_cast<unsigned char>(s[1]) == 0x82 &&
+      static_cast<unsigned char>(s[2]) == 0xAC) {
+    return s.substr(3);
+  }
+  if (s.size() >= 2 && static_cast<unsigned char>(s[0]) == 0xC2 &&
+      static_cast<unsigned char>(s[1]) == 0xA3) {
+    return s.substr(2);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<ParsedNumber> ParseNumber(std::string_view value) {
+  std::string_view s = TrimView(value);
+  if (s.empty()) return std::nullopt;
+
+  bool negative = false;
+  // Accounting-style negative: "(1,234)".
+  if (s.size() >= 2 && s.front() == '(' && s.back() == ')') {
+    negative = true;
+    s = TrimView(s.substr(1, s.size() - 2));
+    if (s.empty()) return std::nullopt;
+  }
+
+  s = TrimView(StripCurrencyPrefix(s));
+  if (s.empty()) return std::nullopt;
+
+  bool percent = false;
+  if (s.back() == '%') {
+    percent = true;
+    s = TrimView(s.substr(0, s.size() - 1));
+    if (s.empty()) return std::nullopt;
+  }
+
+  if (s.front() == '+' || s.front() == '-') {
+    if (s.front() == '-') negative = !negative;
+    s = s.substr(1);
+    if (s.empty()) return std::nullopt;
+  }
+
+  // Validate the remaining shape: digits with optional well-formed
+  // thousands grouping, optional decimal part, optional exponent.
+  std::string digits;
+  digits.reserve(s.size());
+  size_t i = 0;
+  bool saw_digit = false;
+  bool saw_separator = false;
+  int group_len = 0;
+  while (i < s.size() && (IsDigitAscii(s[i]) || s[i] == ',')) {
+    if (s[i] == ',') {
+      // Separator must follow 1-3 leading digits and then exactly 3-digit
+      // groups; a trailing or doubled comma disqualifies the value.
+      if (group_len == 0) return std::nullopt;
+      if (saw_separator && group_len != 3) return std::nullopt;
+      saw_separator = true;
+      group_len = 0;
+    } else {
+      digits += s[i];
+      saw_digit = true;
+      ++group_len;
+      if (saw_separator && group_len > 3) return std::nullopt;
+    }
+    ++i;
+  }
+  if (saw_separator && group_len != 3) return std::nullopt;
+
+  bool is_integer = true;
+  if (i < s.size() && s[i] == '.') {
+    is_integer = false;
+    digits += '.';
+    ++i;
+    size_t frac_start = i;
+    while (i < s.size() && IsDigitAscii(s[i])) {
+      digits += s[i];
+      ++i;
+    }
+    if (i == frac_start && !saw_digit) return std::nullopt;  // lone "."
+    saw_digit = saw_digit || i > frac_start;
+  }
+  if (!saw_digit) return std::nullopt;
+
+  // Optional exponent.
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    size_t exp_start = i;
+    std::string exp_part;
+    exp_part += 'e';
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) {
+      exp_part += s[i];
+      ++i;
+    }
+    size_t exp_digits = 0;
+    while (i < s.size() && IsDigitAscii(s[i])) {
+      exp_part += s[i];
+      ++i;
+      ++exp_digits;
+    }
+    if (exp_digits == 0) {
+      i = exp_start;  // "12e" -> not an exponent, and trailing junk below
+    } else {
+      digits += exp_part;
+      is_integer = false;
+    }
+  }
+
+  if (i != s.size()) return std::nullopt;  // trailing junk
+
+  double magnitude = std::strtod(digits.c_str(), nullptr);
+  ParsedNumber out;
+  out.value = negative ? -magnitude : magnitude;
+  if (percent) {
+    out.value /= 100.0;
+    out.is_integer = false;
+  } else {
+    out.is_integer = is_integer;
+  }
+  return out;
+}
+
+std::optional<double> ParseDouble(std::string_view value) {
+  auto parsed = ParseNumber(value);
+  if (!parsed) return std::nullopt;
+  return parsed->value;
+}
+
+bool IsNumeric(std::string_view value) { return ParseNumber(value).has_value(); }
+
+}  // namespace strudel

@@ -1,0 +1,36 @@
+// Numeric value parsing for table cells.
+//
+// Statistical tables encode numbers with many surface quirks: thousands
+// separators ("1,234,567"), accounting negatives ("(123)"), percent signs,
+// currency prefixes, and footnote daggers. The derived-cell detector
+// (Algorithm 2) must read the numeric value behind these decorations, so
+// parsing is centralised here.
+
+#ifndef STRUDEL_TYPES_VALUE_PARSER_H_
+#define STRUDEL_TYPES_VALUE_PARSER_H_
+
+#include <optional>
+#include <string_view>
+
+namespace strudel {
+
+struct ParsedNumber {
+  double value = 0.0;
+  bool is_integer = false;  // no fractional part in the source text
+};
+
+/// Parses a cell value as a number, tolerating the decorations above.
+/// Returns nullopt when the value is not numeric. A value qualifies as
+/// numeric only if, after stripping decorations, the remainder is entirely
+/// a number — "12 apples" is not numeric.
+std::optional<ParsedNumber> ParseNumber(std::string_view value);
+
+/// Convenience: the numeric value or nullopt.
+std::optional<double> ParseDouble(std::string_view value);
+
+/// True if ParseNumber succeeds.
+bool IsNumeric(std::string_view value);
+
+}  // namespace strudel
+
+#endif  // STRUDEL_TYPES_VALUE_PARSER_H_

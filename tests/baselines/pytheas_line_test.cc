@@ -1,0 +1,94 @@
+#include "baselines/pytheas_line.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+#include "testing/test_tables.h"
+
+namespace strudel::baselines {
+namespace {
+
+std::vector<AnnotatedFile> SmallCorpus(uint64_t seed = 21) {
+  datagen::DatasetProfile profile =
+      datagen::ScaledProfile(datagen::SausProfile(), 0.08, 0.5);
+  return datagen::GenerateCorpus(profile, seed);
+}
+
+TEST(PytheasLineTest, RuleWeightsLearnedFromData) {
+  PytheasLine model;
+  EXPECT_FALSE(model.fitted());
+  ASSERT_TRUE(model.Fit(SmallCorpus()).ok());
+  EXPECT_TRUE(model.fitted());
+  const auto& weights = model.rule_weights();
+  EXPECT_EQ(weights.size(), PytheasLine::RuleNames().size());
+  // At least the strong rules (numeric majority) must carry weight.
+  double max_weight = 0.0;
+  for (double w : weights) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 1.0);
+    max_weight = std::max(max_weight, w);
+  }
+  EXPECT_GT(max_weight, 0.3);
+}
+
+TEST(PytheasLineTest, NeverPredictsDerived) {
+  PytheasLine model;
+  std::vector<AnnotatedFile> corpus = SmallCorpus(22);
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  for (const AnnotatedFile& file : corpus) {
+    for (int label : model.Predict(file.table)) {
+      EXPECT_NE(label, static_cast<int>(ElementClass::kDerived));
+    }
+  }
+}
+
+TEST(PytheasLineTest, EmptyLinesStayEmpty) {
+  PytheasLine model;
+  ASSERT_TRUE(model.Fit(SmallCorpus(23)).ok());
+  AnnotatedFile file = testing::Figure1File();
+  std::vector<int> predicted = model.Predict(file.table);
+  EXPECT_EQ(predicted[1], kEmptyLabel);
+  EXPECT_EQ(predicted[8], kEmptyLabel);
+}
+
+TEST(PytheasLineTest, RecognisesBasicLayout) {
+  std::vector<AnnotatedFile> corpus = SmallCorpus(24);
+  PytheasLine model;
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  AnnotatedFile file = testing::Figure1File();
+  std::vector<int> predicted = model.Predict(file.table);
+  // The title line before the table body must be metadata.
+  EXPECT_EQ(predicted[0], static_cast<int>(ElementClass::kMetadata));
+  // Data lines inside the body are data.
+  EXPECT_EQ(predicted[5], static_cast<int>(ElementClass::kData));
+  // The trailing footnote is notes.
+  EXPECT_EQ(predicted[9], static_cast<int>(ElementClass::kNotes));
+}
+
+TEST(PytheasLineTest, DataAccuracyReasonableOnCorpus) {
+  std::vector<AnnotatedFile> corpus = SmallCorpus(25);
+  PytheasLine model;
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  long long correct = 0, total = 0;
+  const int kData = static_cast<int>(ElementClass::kData);
+  for (const AnnotatedFile& file : corpus) {
+    std::vector<int> predicted = model.Predict(file.table);
+    for (int r = 0; r < file.table.num_rows(); ++r) {
+      if (file.annotation.line_labels[r] != kData) continue;
+      ++total;
+      if (predicted[r] == kData) ++correct;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(correct) / total, 0.85);
+}
+
+TEST(PytheasLineTest, EmptyTablePrediction) {
+  PytheasLine model;
+  ASSERT_TRUE(model.Fit(SmallCorpus(26)).ok());
+  csv::Table empty;
+  EXPECT_TRUE(model.Predict(empty).empty());
+}
+
+}  // namespace
+}  // namespace strudel::baselines

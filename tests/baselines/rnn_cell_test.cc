@@ -1,0 +1,91 @@
+#include "baselines/rnn_cell.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+#include "testing/test_tables.h"
+
+namespace strudel::baselines {
+namespace {
+
+RnnCellOptions FastOptions() {
+  RnnCellOptions options;
+  options.embedding_dim = 16;
+  options.mlp.hidden_sizes = {24};
+  options.mlp.epochs = 15;
+  return options;
+}
+
+std::vector<AnnotatedFile> SmallCorpus(uint64_t seed = 51) {
+  datagen::DatasetProfile profile =
+      datagen::ScaledProfile(datagen::SausProfile(), 0.05, 0.35);
+  return datagen::GenerateCorpus(profile, seed);
+}
+
+TEST(RnnCellTest, EmbeddingIsDeterministicAndNonTrivial) {
+  RnnCell model(FastOptions());
+  auto a = model.EmbedValue("Total");
+  auto b = model.EmbedValue("Total");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 16u);
+  double norm = 0.0;
+  for (double v : a) norm += v * v;
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(RnnCellTest, EmbeddingIsCaseInsensitive) {
+  RnnCell model(FastOptions());
+  EXPECT_EQ(model.EmbedValue("Total"), model.EmbedValue("TOTAL"));
+}
+
+TEST(RnnCellTest, DifferentValuesUsuallyDiffer) {
+  RnnCell model(FastOptions());
+  EXPECT_NE(model.EmbedValue("Total"), model.EmbedValue("Northfield"));
+}
+
+TEST(RnnCellTest, EmptyValueEmbedsToZero) {
+  RnnCell model(FastOptions());
+  auto e = model.EmbedValue("   ");
+  for (double v : e) EXPECT_EQ(v, 0.0);
+}
+
+TEST(RnnCellTest, TrainsAndPredictsGrid) {
+  std::vector<AnnotatedFile> corpus = SmallCorpus();
+  RnnCell model(FastOptions());
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  EXPECT_TRUE(model.fitted());
+  const AnnotatedFile& file = corpus[0];
+  auto grid = model.Predict(file.table);
+  ASSERT_EQ(grid.size(), static_cast<size_t>(file.table.num_rows()));
+  long long correct = 0, total = 0;
+  for (int r = 0; r < file.table.num_rows(); ++r) {
+    for (int c = 0; c < file.table.num_cols(); ++c) {
+      const int actual = file.annotation.cell_labels[r][c];
+      if (actual == kEmptyLabel) {
+        EXPECT_EQ(grid[r][c], kEmptyLabel);
+        continue;
+      }
+      ++total;
+      if (grid[r][c] == actual) ++correct;
+    }
+  }
+  // In-sample accuracy must beat blind guessing by a wide margin.
+  EXPECT_GT(static_cast<double>(correct) / total, 0.6);
+}
+
+TEST(RnnCellTest, UnfittedPredictReturnsEmptyLabels) {
+  RnnCell model(FastOptions());
+  AnnotatedFile file = testing::Figure1File();
+  auto grid = model.Predict(file.table);
+  for (const auto& row : grid) {
+    for (int label : row) EXPECT_EQ(label, kEmptyLabel);
+  }
+}
+
+TEST(RnnCellTest, FitFailsOnEmptyCorpus) {
+  RnnCell model(FastOptions());
+  EXPECT_FALSE(model.Fit(std::vector<AnnotatedFile>{}).ok());
+}
+
+}  // namespace
+}  // namespace strudel::baselines

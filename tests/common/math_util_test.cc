@@ -1,0 +1,115 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace strudel {
+namespace {
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_EQ(Clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(2.0, 0.0, 1.0), 1.0);
+}
+
+TEST(MathUtilTest, MeanVarianceMedian) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(1.25));
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+  EXPECT_DOUBLE_EQ(Median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Variance({2.0}), 0.0);
+  EXPECT_EQ(Median({}), 0.0);
+}
+
+TEST(MathUtilTest, MinMaxNormalizeMapsToUnitInterval) {
+  std::vector<double> v = {2.0, 4.0, 6.0};
+  MinMaxNormalize(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.5);
+  EXPECT_DOUBLE_EQ(v[2], 1.0);
+}
+
+TEST(MathUtilTest, MinMaxNormalizeConstantVectorBecomesZero) {
+  std::vector<double> v = {3.0, 3.0, 3.0};
+  MinMaxNormalize(v);
+  for (double x : v) EXPECT_EQ(x, 0.0);
+}
+
+TEST(MathUtilTest, NormalizedDcgAllOnesIsOne) {
+  EXPECT_DOUBLE_EQ(NormalizedDcg({1, 1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedDcg({0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedDcg({}), 0.0);
+}
+
+TEST(MathUtilTest, NormalizedDcgWeighsLeftPositionsMore) {
+  // A value in the leftmost cell outweighs the same value further right —
+  // the paper's "users laying out data from left to right" model.
+  double left = NormalizedDcg({1, 0, 0, 0});
+  double right = NormalizedDcg({0, 0, 0, 1});
+  EXPECT_GT(left, right);
+  EXPECT_GT(left, 0.0);
+  EXPECT_LT(left, 1.0);
+}
+
+TEST(MathUtilTest, BhattacharyyaIdenticalDistributionsIsZero) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(BhattacharyyaHistogramDistance(a, a), 0.0, 1e-12);
+}
+
+TEST(MathUtilTest, BhattacharyyaDisjointDistributionsIsOne) {
+  std::vector<double> a = {1.0, 1.1, 1.2};
+  std::vector<double> b = {100.0, 100.1, 100.2};
+  EXPECT_NEAR(BhattacharyyaHistogramDistance(a, b), 1.0, 1e-9);
+}
+
+TEST(MathUtilTest, BhattacharyyaEmptyInputIsMaxDistance) {
+  EXPECT_EQ(BhattacharyyaHistogramDistance({}, {1.0}), 1.0);
+  EXPECT_EQ(BhattacharyyaHistogramDistance({1.0}, {}), 1.0);
+}
+
+TEST(MathUtilTest, BhattacharyyaSymmetric) {
+  std::vector<double> a = {1.0, 5.0, 9.0};
+  std::vector<double> b = {2.0, 2.0, 8.0, 8.0};
+  EXPECT_DOUBLE_EQ(BhattacharyyaHistogramDistance(a, b),
+                   BhattacharyyaHistogramDistance(b, a));
+}
+
+TEST(MathUtilTest, SoftmaxSumsToOneAndOrders) {
+  std::vector<double> logits = {1.0, 2.0, 3.0};
+  SoftmaxInPlace(logits);
+  EXPECT_NEAR(logits[0] + logits[1] + logits[2], 1.0, 1e-12);
+  EXPECT_LT(logits[0], logits[1]);
+  EXPECT_LT(logits[1], logits[2]);
+}
+
+TEST(MathUtilTest, SoftmaxStableForLargeLogits) {
+  std::vector<double> logits = {1000.0, 1001.0};
+  SoftmaxInPlace(logits);
+  EXPECT_TRUE(std::isfinite(logits[0]));
+  EXPECT_NEAR(logits[0] + logits[1], 1.0, 1e-12);
+}
+
+TEST(MathUtilTest, LogSumExp) {
+  EXPECT_NEAR(LogSumExp({0.0, 0.0}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogSumExp({1000.0, 1000.0}), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathUtilTest, ArgMax) {
+  EXPECT_EQ(ArgMax({1.0, 3.0, 2.0}), 1u);
+  EXPECT_EQ(ArgMax({5.0}), 0u);
+  EXPECT_EQ(ArgMax({2.0, 2.0}), 0u);  // ties to lowest index
+  EXPECT_EQ(ArgMax({}), 0u);
+}
+
+TEST(MathUtilTest, NearlyEqual) {
+  EXPECT_TRUE(NearlyEqual(1.0, 1.05, 0.1));
+  EXPECT_FALSE(NearlyEqual(1.0, 1.2, 0.1));
+}
+
+}  // namespace
+}  // namespace strudel

@@ -1,0 +1,101 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace strudel {
+namespace {
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("AbC123xY"), "abc123xy");
+  EXPECT_EQ(ToUpper("AbC123xY"), "ABC123XY");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, WordsSplitsOnNonAlnum) {
+  EXPECT_EQ(Words("Total (EU-27)"),
+            (std::vector<std::string>{"Total", "EU", "27"}));
+  EXPECT_EQ(Words("  "), (std::vector<std::string>{}));
+  EXPECT_EQ(Words("one"), (std::vector<std::string>{"one"}));
+}
+
+TEST(StringUtilTest, CountWordsMatchesWords) {
+  for (std::string_view s :
+       {"Total (EU-27)", "", "   ", "a b c", "x,y;z", "hello"}) {
+    EXPECT_EQ(static_cast<size_t>(CountWords(s)), Words(s).size()) << s;
+  }
+}
+
+TEST(StringUtilTest, JoinConcatenatesWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StringUtilTest, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("Grand Total", "total"));
+  EXPECT_TRUE(ContainsIgnoreCase("TOTALS", "total"));
+  EXPECT_FALSE(ContainsIgnoreCase("subtle", "total"));
+  EXPECT_TRUE(ContainsIgnoreCase("anything", ""));
+  EXPECT_FALSE(ContainsIgnoreCase("", "x"));
+}
+
+TEST(StringUtilTest, HasWordIgnoreCaseMatchesWholeWordsOnly) {
+  EXPECT_TRUE(HasWordIgnoreCase("Grand Total:", "total"));
+  EXPECT_TRUE(HasWordIgnoreCase("TOTAL", "total"));
+  // "totally" must not match the aggregation keyword "total".
+  EXPECT_FALSE(HasWordIgnoreCase("totally fine", "total"));
+  EXPECT_FALSE(HasWordIgnoreCase("subtotal", "total"));
+  EXPECT_TRUE(HasWordIgnoreCase("sum-of-parts", "sum"));
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a,b,c", ",", ";"), "a;b;c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // non-overlapping
+  EXPECT_EQ(ReplaceAll("none", "x", "y"), "none");
+  EXPECT_EQ(ReplaceAll("abc", "", "y"), "abc");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.3f", 0.5), "0.500");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(StringUtilTest, CharPredicates) {
+  EXPECT_TRUE(IsDigitAscii('0'));
+  EXPECT_TRUE(IsDigitAscii('9'));
+  EXPECT_FALSE(IsDigitAscii('a'));
+  EXPECT_TRUE(IsAlphaAscii('z'));
+  EXPECT_TRUE(IsAlphaAscii('A'));
+  EXPECT_FALSE(IsAlphaAscii('1'));
+  EXPECT_TRUE(IsAlnumAscii('5'));
+  EXPECT_TRUE(IsSpaceAscii('\t'));
+  EXPECT_FALSE(IsSpaceAscii('x'));
+}
+
+}  // namespace
+}  // namespace strudel

@@ -1,0 +1,71 @@
+#include "csv/crop.h"
+
+#include <gtest/gtest.h>
+
+namespace strudel::csv {
+namespace {
+
+TEST(CropTest, RemovesMarginalEmptyRowsAndColumns) {
+  Table table({
+      {"", "", "", ""},
+      {"", "a", "b", ""},
+      {"", "c", "", ""},
+      {"", "", "", ""},
+  });
+  CropExtent extent;
+  Table cropped = CropMargins(table, &extent);
+  EXPECT_EQ(cropped.num_rows(), 2);
+  EXPECT_EQ(cropped.num_cols(), 2);
+  EXPECT_EQ(cropped.cell(0, 0), "a");
+  EXPECT_EQ(cropped.cell(1, 0), "c");
+  EXPECT_EQ(extent.first_row, 1);
+  EXPECT_EQ(extent.last_row, 2);
+  EXPECT_EQ(extent.first_col, 1);
+  EXPECT_EQ(extent.last_col, 2);
+}
+
+TEST(CropTest, PreservesInteriorEmptyRows) {
+  Table table({{"a"}, {""}, {"b"}});
+  Table cropped = CropMargins(table);
+  EXPECT_EQ(cropped.num_rows(), 3);
+  EXPECT_TRUE(cropped.row_empty(1));
+}
+
+TEST(CropTest, PreservesInteriorEmptyColumns) {
+  Table table({{"a", "", "b"}});
+  Table cropped = CropMargins(table);
+  EXPECT_EQ(cropped.num_cols(), 3);
+  EXPECT_TRUE(cropped.col_empty(1));
+}
+
+TEST(CropTest, AllEmptyTableCropsToEmpty) {
+  Table table({{"", ""}, {"", ""}});
+  Table cropped = CropMargins(table);
+  EXPECT_EQ(cropped.num_rows(), 0);
+  EXPECT_EQ(cropped.num_cols(), 0);
+}
+
+TEST(CropTest, AlreadyTightTableUnchanged) {
+  Table table({{"a", "b"}, {"c", "d"}});
+  Table cropped = CropMargins(table);
+  EXPECT_EQ(cropped.num_rows(), 2);
+  EXPECT_EQ(cropped.num_cols(), 2);
+  EXPECT_EQ(cropped.cell(1, 1), "d");
+}
+
+TEST(CropTest, WhitespaceOnlyCellsCountAsEmpty) {
+  Table table({{"  ", "  "}, {"  ", "x"}});
+  Table cropped = CropMargins(table);
+  EXPECT_EQ(cropped.num_rows(), 1);
+  EXPECT_EQ(cropped.num_cols(), 1);
+  EXPECT_EQ(cropped.cell(0, 0), "x");
+}
+
+TEST(CropTest, EmptyInputTable) {
+  Table table;
+  Table cropped = CropMargins(table);
+  EXPECT_EQ(cropped.num_rows(), 0);
+}
+
+}  // namespace
+}  // namespace strudel::csv

@@ -1,0 +1,117 @@
+#include "csv/dialect_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "csv/writer.h"
+
+namespace strudel::csv {
+namespace {
+
+struct DialectCase {
+  const char* text;
+  char expected_delimiter;
+};
+
+class DetectDelimiterTest : public ::testing::TestWithParam<DialectCase> {};
+
+TEST_P(DetectDelimiterTest, FindsDelimiter) {
+  auto dialect = DetectDialect(GetParam().text);
+  ASSERT_TRUE(dialect.ok());
+  EXPECT_EQ(dialect->delimiter, GetParam().expected_delimiter)
+      << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Delimiters, DetectDelimiterTest,
+    ::testing::Values(
+        DialectCase{"a,b,c\n1,2,3\n4,5,6\n", ','},
+        DialectCase{"a;b;c\n1;2;3\n4;5;6\n", ';'},
+        DialectCase{"a\tb\tc\n1\t2\t3\n4\t5\t6\n", '\t'},
+        DialectCase{"a|b|c\n1|2|3\n4|5|6\n", '|'},
+        // Values containing commas but semicolon-delimited columns.
+        DialectCase{"x;1,5;2\ny;2,5;3\nz;3,5;4\n", ';'}));
+
+TEST(DialectDetectorTest, EmptyInputFails) {
+  EXPECT_FALSE(DetectDialect("").ok());
+  EXPECT_FALSE(DetectDialect("   \n  ").ok());
+}
+
+TEST(DialectDetectorTest, SingleColumnFallsBackToPreferredDelimiter) {
+  // No delimiter occurs at all: all candidates score equally, and the
+  // tie-break prefers the first configured delimiter (comma).
+  auto dialect = DetectDialect("justonecolumn\nanother\n");
+  ASSERT_TRUE(dialect.ok());
+  EXPECT_EQ(dialect->delimiter, ',');
+}
+
+TEST(DialectDetectorTest, ConsistencyPrefersStableRowPattern) {
+  // Comma splits rows into inconsistent widths; semicolon gives a stable
+  // 3-column pattern.
+  const char* text =
+      "name;amount, approx;date\n"
+      "a;1,2;2019-01-01\n"
+      "b;3;2019-01-02\n"
+      "c;4,5;2019-01-03\n";
+  auto scores = ScoreDialects(text);
+  const DialectScore* comma = nullptr;
+  const DialectScore* semicolon = nullptr;
+  for (const auto& s : scores) {
+    if (s.dialect.quote != '"') continue;
+    if (s.dialect.delimiter == ',') comma = &s;
+    if (s.dialect.delimiter == ';') semicolon = &s;
+  }
+  ASSERT_NE(comma, nullptr);
+  ASSERT_NE(semicolon, nullptr);
+  EXPECT_GT(semicolon->consistency, comma->consistency);
+}
+
+TEST(DialectDetectorTest, QuotedFieldsDetected) {
+  const char* text =
+      "\"a,1\",b,c\n"
+      "\"d,2\",e,f\n"
+      "\"g,3\",h,i\n";
+  auto dialect = DetectDialect(text);
+  ASSERT_TRUE(dialect.ok());
+  EXPECT_EQ(dialect->delimiter, ',');
+  EXPECT_EQ(dialect->quote, '"');
+}
+
+TEST(DialectDetectorTest, RoundTripThroughWriter) {
+  std::vector<std::vector<std::string>> rows = {
+      {"id", "name", "value"},
+      {"1", "alpha", "10.5"},
+      {"2", "beta", "11.5"},
+      {"3", "gamma", "12.5"},
+  };
+  for (char delimiter : {',', ';', '\t', '|'}) {
+    Dialect dialect{delimiter, '"', '\0'};
+    std::string text = WriteCsv(rows, dialect);
+    auto detected = DetectDialect(text);
+    ASSERT_TRUE(detected.ok());
+    EXPECT_EQ(detected->delimiter, delimiter);
+  }
+}
+
+TEST(DialectDetectorTest, MaxLinesLimitsWork) {
+  std::string text = "a,b,c\n1,2,3\n";
+  for (int i = 0; i < 100; ++i) text += "4,5,6\n";
+  DetectorOptions options;
+  options.max_lines = 5;
+  auto dialect = DetectDialect(text, options);
+  ASSERT_TRUE(dialect.ok());
+  EXPECT_EQ(dialect->delimiter, ',');
+}
+
+TEST(DialectDetectorTest, ScoresCoverAllCandidates) {
+  DetectorOptions options;
+  auto scores = ScoreDialects("a,b\n1,2\n", options);
+  EXPECT_EQ(scores.size(),
+            options.delimiters.size() * options.quotes.size());
+  for (const auto& s : scores) {
+    EXPECT_GE(s.consistency, 0.0);
+    EXPECT_EQ(s.consistency, s.pattern_score * s.type_score);
+  }
+}
+
+}  // namespace
+}  // namespace strudel::csv

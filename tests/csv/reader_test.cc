@@ -1,0 +1,155 @@
+#include "csv/reader.h"
+
+#include <gtest/gtest.h>
+
+namespace strudel::csv {
+namespace {
+
+std::vector<std::vector<std::string>> MustParse(
+    std::string_view text, const ReaderOptions& options = {}) {
+  auto rows = ParseCsv(text, options);
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  return rows.ok() ? *rows : std::vector<std::vector<std::string>>{};
+}
+
+TEST(ReaderTest, SimpleRows) {
+  auto rows = MustParse("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(ReaderTest, MissingTrailingNewline) {
+  auto rows = MustParse("a,b\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ReaderTest, TrailingNewlineDoesNotAddPhantomRow) {
+  EXPECT_EQ(MustParse("a\n").size(), 1u);
+  EXPECT_EQ(MustParse("a\nb\n").size(), 2u);
+}
+
+TEST(ReaderTest, EmptyInput) { EXPECT_TRUE(MustParse("").empty()); }
+
+TEST(ReaderTest, EmptyFieldsPreserved) {
+  auto rows = MustParse(",,\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(ReaderTest, QuotedFieldWithDelimiter) {
+  auto rows = MustParse("\"a,b\",c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(ReaderTest, QuoteDoublingInsideQuotedField) {
+  auto rows = MustParse("\"he said \"\"hi\"\"\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "he said \"hi\"");
+}
+
+TEST(ReaderTest, EmbeddedNewlineInQuotedField) {
+  auto rows = MustParse("\"line1\nline2\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(ReaderTest, CrLfLineEndings) {
+  auto rows = MustParse("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ReaderTest, BareCrLineEnding) {
+  auto rows = MustParse("a\rb\r");
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST(ReaderTest, SemicolonDialect) {
+  ReaderOptions options;
+  options.dialect = Dialect{';', '"', '\0'};
+  auto rows = MustParse("a;b,c;d\n", options);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b,c", "d"}));
+}
+
+TEST(ReaderTest, TabDialect) {
+  ReaderOptions options;
+  options.dialect = Dialect{'\t', '"', '\0'};
+  auto rows = MustParse("a\tb\n", options);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ReaderTest, EscapeCharacterDialect) {
+  ReaderOptions options;
+  options.dialect = Dialect{',', '"', '\\'};
+  auto rows = MustParse("\"a\\\"b\",c\n", options);
+  EXPECT_EQ(rows[0][0], "a\"b");
+}
+
+TEST(ReaderTest, NoQuoteDialectTreatsQuotesLiterally) {
+  ReaderOptions options;
+  options.dialect = Dialect{',', '\0', '\0'};
+  auto rows = MustParse("\"a\",b\n", options);
+  EXPECT_EQ(rows[0][0], "\"a\"");
+}
+
+TEST(ReaderTest, LenientModeKeepsMidFieldQuotes) {
+  auto rows = MustParse("5\" pipe,x\n");
+  EXPECT_EQ(rows[0][0], "5\" pipe");
+}
+
+TEST(ReaderTest, StrictModeRejectsMidFieldQuotes) {
+  ReaderOptions options;
+  options.lenient = false;
+  auto rows = ParseCsv("5\" pipe,x\n", options);
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+}
+
+TEST(ReaderTest, StrictModeRejectsUnterminatedQuote) {
+  ReaderOptions options;
+  options.lenient = false;
+  auto rows = ParseCsv("\"abc\n", options);
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST(ReaderTest, LenientModeFlushesUnterminatedQuote) {
+  auto rows = MustParse("\"abc");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "abc");
+}
+
+TEST(ReaderTest, TextAfterClosingQuoteLenient) {
+  auto rows = MustParse("\"a\"bc,d\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "abc");
+  EXPECT_EQ(rows[0][1], "d");
+}
+
+TEST(ReaderTest, MaxCellsLimit) {
+  ReaderOptions options;
+  options.max_cells = 3;
+  auto rows = ParseCsv("a,b\nc,d\n", options);
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ReaderTest, ReadTableBuildsGrid) {
+  auto table = ReadTable("a,b\nc\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2);
+  EXPECT_EQ(table->num_cols(), 2);
+  EXPECT_EQ(table->cell(1, 0), "c");
+}
+
+TEST(ReaderTest, ReadTableFromMissingFileFails) {
+  auto table = ReadTableFromFile("/nonexistent/path/x.csv");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace strudel::csv

@@ -1,0 +1,95 @@
+#include "csv/table.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_tables.h"
+
+namespace strudel::csv {
+namespace {
+
+TEST(TableTest, EmptyTable) {
+  Table table;
+  EXPECT_EQ(table.num_rows(), 0);
+  EXPECT_EQ(table.num_cols(), 0);
+  EXPECT_EQ(table.non_empty_count(), 0);
+  EXPECT_EQ(table.cell(0, 0), "");
+  EXPECT_TRUE(table.row_empty(0));
+  EXPECT_TRUE(table.col_empty(0));
+}
+
+TEST(TableTest, RaggedRowsPadToWidestRow) {
+  Table table({{"a", "b", "c"}, {"d"}});
+  EXPECT_EQ(table.num_rows(), 2);
+  EXPECT_EQ(table.num_cols(), 3);
+  EXPECT_EQ(table.cell(1, 0), "d");
+  EXPECT_EQ(table.cell(1, 2), "");
+  EXPECT_TRUE(table.cell_empty(1, 2));
+}
+
+TEST(TableTest, OutOfRangeAccessIsSafe) {
+  Table table(std::vector<std::vector<std::string>>{{"x"}});
+  EXPECT_EQ(table.cell(-1, 0), "");
+  EXPECT_EQ(table.cell(0, -1), "");
+  EXPECT_EQ(table.cell(5, 5), "");
+  EXPECT_EQ(table.cell_type(9, 9), DataType::kEmpty);
+}
+
+TEST(TableTest, TypesAreCached) {
+  Table table({{"12", "3.5", "hi", "2019-01-02", "  "}});
+  EXPECT_EQ(table.cell_type(0, 0), DataType::kInt);
+  EXPECT_EQ(table.cell_type(0, 1), DataType::kFloat);
+  EXPECT_EQ(table.cell_type(0, 2), DataType::kString);
+  EXPECT_EQ(table.cell_type(0, 3), DataType::kDate);
+  EXPECT_EQ(table.cell_type(0, 4), DataType::kEmpty);
+}
+
+TEST(TableTest, WhitespaceOnlyCellsAreEmpty) {
+  Table table(std::vector<std::vector<std::string>>{{"  ", "x"}});
+  EXPECT_TRUE(table.cell_empty(0, 0));
+  EXPECT_FALSE(table.cell_empty(0, 1));
+  EXPECT_EQ(table.row_non_empty_count(0), 1);
+}
+
+TEST(TableTest, RowAndColCounts) {
+  Table table({{"a", "", "b"}, {"", "", ""}, {"c", "d", ""}});
+  EXPECT_EQ(table.row_non_empty_count(0), 2);
+  EXPECT_EQ(table.row_non_empty_count(1), 0);
+  EXPECT_TRUE(table.row_empty(1));
+  EXPECT_EQ(table.col_non_empty_count(0), 2);
+  EXPECT_EQ(table.col_non_empty_count(1), 1);
+  EXPECT_EQ(table.col_non_empty_count(2), 1);
+  EXPECT_FALSE(table.col_empty(1));
+  EXPECT_EQ(table.non_empty_count(), 4);
+}
+
+TEST(TableTest, SetCellUpdatesCaches) {
+  Table table({{"a", ""}, {"", ""}});
+  EXPECT_EQ(table.non_empty_count(), 1);
+  table.set_cell(1, 1, "42");
+  EXPECT_EQ(table.non_empty_count(), 2);
+  EXPECT_EQ(table.cell_type(1, 1), DataType::kInt);
+  EXPECT_FALSE(table.row_empty(1));
+  table.set_cell(0, 0, "");
+  EXPECT_EQ(table.non_empty_count(), 1);
+  EXPECT_TRUE(table.row_empty(0));
+}
+
+TEST(TableTest, PrevNextNonEmptyRowSkipEmptyLines) {
+  Table table({{"a"}, {""}, {""}, {"b"}, {""}});
+  EXPECT_EQ(table.PrevNonEmptyRow(3), 0);
+  EXPECT_EQ(table.NextNonEmptyRow(0), 3);
+  EXPECT_EQ(table.PrevNonEmptyRow(0), -1);
+  EXPECT_EQ(table.NextNonEmptyRow(3), -1);
+  EXPECT_EQ(table.NextNonEmptyRow(4), -1);
+  EXPECT_EQ(table.PrevNonEmptyRow(4), 3);
+}
+
+TEST(TableTest, Figure1FixtureIsConsistent) {
+  AnnotatedFile file = strudel::testing::Figure1File();
+  EXPECT_TRUE(AnnotationConsistent(file.table, file.annotation));
+  EXPECT_EQ(file.table.num_rows(), 10);
+  EXPECT_EQ(file.table.num_cols(), 4);
+}
+
+}  // namespace
+}  // namespace strudel::csv

@@ -1,0 +1,80 @@
+#include "csv/writer.h"
+
+#include <gtest/gtest.h>
+
+#include "csv/reader.h"
+
+namespace strudel::csv {
+namespace {
+
+TEST(WriterTest, PlainFieldsUnquoted) {
+  EXPECT_EQ(WriteCsv({{"a", "b"}, {"1", "2"}}), "a,b\n1,2\n");
+}
+
+TEST(WriterTest, FieldsWithDelimiterAreQuoted) {
+  EXPECT_EQ(EscapeField("a,b", Rfc4180Dialect()), "\"a,b\"");
+}
+
+TEST(WriterTest, QuotesAreDoubled) {
+  EXPECT_EQ(EscapeField("say \"hi\"", Rfc4180Dialect()),
+            "\"say \"\"hi\"\"\"");
+}
+
+TEST(WriterTest, NewlinesForceQuoting) {
+  EXPECT_EQ(EscapeField("a\nb", Rfc4180Dialect()), "\"a\nb\"");
+}
+
+TEST(WriterTest, EscapeDialectUsesEscapeCharacter) {
+  Dialect dialect{',', '"', '\\'};
+  EXPECT_EQ(EscapeField("a\"b", dialect), "\"a\\\"b\"");
+}
+
+TEST(WriterTest, NoQuoteDialectWritesVerbatim) {
+  Dialect dialect{',', '\0', '\0'};
+  EXPECT_EQ(EscapeField("a,b", dialect), "a,b");
+}
+
+TEST(WriterTest, RoundTripThroughReader) {
+  std::vector<std::vector<std::string>> original = {
+      {"plain", "with,comma", "with \"quote\""},
+      {"line\nbreak", "", "3.14"},
+  };
+  std::string text = WriteCsv(original);
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(WriterTest, RoundTripSemicolonDialect) {
+  Dialect dialect{';', '"', '\0'};
+  std::vector<std::vector<std::string>> original = {{"a;b", "c"}};
+  std::string text = WriteCsv(original, dialect);
+  ReaderOptions options;
+  options.dialect = dialect;
+  auto parsed = ParseCsv(text, options);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(WriterTest, WriteTablePreservesShortRows) {
+  Table table({{"a", "b"}, {"c"}});
+  EXPECT_EQ(WriteTable(table), "a,b\nc\n");
+}
+
+TEST(WriterTest, FileRoundTrip) {
+  Table table({{"x", "1"}, {"y", "2"}});
+  const std::string path = ::testing::TempDir() + "/writer_test.csv";
+  ASSERT_TRUE(WriteTableToFile(table, path).ok());
+  auto loaded = ReadTableFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 2);
+  EXPECT_EQ(loaded->cell(1, 1), "2");
+}
+
+TEST(WriterTest, WriteToUnwritablePathFails) {
+  Table table({{"x"}});
+  EXPECT_FALSE(WriteTableToFile(table, "/nonexistent/dir/out.csv").ok());
+}
+
+}  // namespace
+}  // namespace strudel::csv

@@ -1,0 +1,121 @@
+#include "datagen/annotated_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "csv/writer.h"
+#include "datagen/corpus.h"
+#include "strudel/strudel_line.h"
+#include "testing/test_tables.h"
+
+using strudel::StrudelLine;
+using strudel::StrudelLineOptions;
+
+namespace strudel::datagen {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(AnnotatedIoTest, SingleFileRoundTrip) {
+  const std::string dir = FreshDir("annotated_io_single");
+  AnnotatedFile original = testing::Figure1File();
+  const std::string path = dir + "/figure1.csv";
+  ASSERT_TRUE(SaveAnnotatedFile(original, path).ok());
+
+  auto loaded = LoadAnnotatedFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->table.num_rows(), original.table.num_rows());
+  EXPECT_EQ(loaded->table.num_cols(), original.table.num_cols());
+  EXPECT_EQ(loaded->annotation.line_labels,
+            original.annotation.line_labels);
+  EXPECT_EQ(loaded->annotation.cell_labels,
+            original.annotation.cell_labels);
+  for (int r = 0; r < original.table.num_rows(); ++r) {
+    for (int c = 0; c < original.table.num_cols(); ++c) {
+      EXPECT_EQ(loaded->table.cell(r, c), original.table.cell(r, c));
+    }
+  }
+}
+
+TEST(AnnotatedIoTest, CorpusRoundTrip) {
+  const std::string dir = FreshDir("annotated_io_corpus");
+  DatasetProfile profile = ScaledProfile(SausProfile(), 0.03, 0.3);
+  auto corpus = GenerateCorpus(profile, 17);
+  ASSERT_TRUE(SaveAnnotatedCorpus(corpus, dir).ok());
+
+  auto loaded = LoadAnnotatedCorpus(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), corpus.size());
+  // Loaded sorted by name, generated names are already sorted.
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].name, corpus[i].name);
+    EXPECT_EQ((*loaded)[i].annotation.line_labels,
+              corpus[i].annotation.line_labels);
+  }
+}
+
+TEST(AnnotatedIoTest, MissingLabelsSidecarFails) {
+  const std::string dir = FreshDir("annotated_io_missing");
+  AnnotatedFile file = testing::Figure1File();
+  ASSERT_TRUE(csv::WriteTableToFile(file.table, dir + "/x.csv").ok());
+  EXPECT_FALSE(LoadAnnotatedFile(dir + "/x.csv").ok());
+}
+
+TEST(AnnotatedIoTest, InconsistentSidecarRejected) {
+  const std::string dir = FreshDir("annotated_io_bad");
+  AnnotatedFile file = testing::Figure1File();
+  const std::string path = dir + "/x.csv";
+  ASSERT_TRUE(SaveAnnotatedFile(file, path).ok());
+  // Corrupt: mark an empty line as data.
+  std::ifstream in(path + ".labels");
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  const size_t pos = content.find("empty");
+  ASSERT_NE(pos, std::string::npos);
+  content.replace(pos, 5, "data");
+  std::ofstream out(path + ".labels");
+  out << content;
+  out.close();
+  auto loaded = LoadAnnotatedFile(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(AnnotatedIoTest, FilesWithoutSidecarSkippedInCorpusLoad) {
+  const std::string dir = FreshDir("annotated_io_skip");
+  AnnotatedFile file = testing::Figure1File();
+  ASSERT_TRUE(SaveAnnotatedFile(file, dir + "/a.csv").ok());
+  ASSERT_TRUE(csv::WriteTableToFile(file.table, dir + "/orphan.csv").ok());
+  auto loaded = LoadAnnotatedCorpus(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+}
+
+TEST(AnnotatedIoTest, MissingDirectoryFails) {
+  EXPECT_FALSE(LoadAnnotatedCorpus("/nonexistent/corpus/dir").ok());
+}
+
+TEST(AnnotatedIoTest, LoadedCorpusTrainsAModel) {
+  const std::string dir = FreshDir("annotated_io_train");
+  DatasetProfile profile = ScaledProfile(SausProfile(), 0.03, 0.3);
+  ASSERT_TRUE(SaveAnnotatedCorpus(GenerateCorpus(profile, 23), dir).ok());
+  auto corpus = LoadAnnotatedCorpus(dir);
+  ASSERT_TRUE(corpus.ok());
+  StrudelLineOptions options;
+  options.forest.num_trees = 8;
+  StrudelLine model(options);
+  EXPECT_TRUE(model.Fit(*corpus).ok());
+}
+
+}  // namespace
+}  // namespace strudel::datagen

@@ -1,0 +1,118 @@
+#include "datagen/corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace strudel::datagen {
+namespace {
+
+DatasetProfile TestProfile() {
+  return ScaledProfile(SausProfile(), 0.06, 0.4);
+}
+
+TEST(CorpusTest, GeneratesRequestedFileCount) {
+  DatasetProfile profile = TestProfile();
+  auto corpus = GenerateCorpus(profile, 1);
+  EXPECT_EQ(corpus.size(), static_cast<size_t>(profile.num_files));
+  for (const auto& file : corpus) {
+    EXPECT_FALSE(file.name.empty());
+    EXPECT_TRUE(AnnotationConsistent(file.table, file.annotation));
+  }
+}
+
+TEST(CorpusTest, DeterministicGivenSeed) {
+  DatasetProfile profile = TestProfile();
+  auto a = GenerateCorpus(profile, 7);
+  auto b = GenerateCorpus(profile, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].annotation.line_labels, b[i].annotation.line_labels);
+  }
+  auto c = GenerateCorpus(profile, 8);
+  bool differs = false;
+  for (size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].annotation.line_labels != c[i].annotation.line_labels ||
+              a[i].table.num_rows() != c[i].table.num_rows();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(CorpusTest, StatsCountOnlyNonEmptyElements) {
+  auto corpus = GenerateCorpus(TestProfile(), 2);
+  CorpusStats stats = ComputeStats(corpus);
+  EXPECT_EQ(stats.num_files, static_cast<int>(corpus.size()));
+  long long lines = 0, cells = 0;
+  for (const auto& file : corpus) {
+    for (int r = 0; r < file.table.num_rows(); ++r) {
+      if (!file.table.row_empty(r)) ++lines;
+    }
+    cells += file.table.non_empty_count();
+  }
+  EXPECT_EQ(stats.num_lines, lines);
+  EXPECT_EQ(stats.num_cells, cells);
+}
+
+TEST(CorpusTest, PerClassCountsSumToTotals) {
+  auto corpus = GenerateCorpus(TestProfile(), 3);
+  CorpusStats stats = ComputeStats(corpus);
+  long long line_sum = 0, cell_sum = 0;
+  for (int k = 0; k < kNumElementClasses; ++k) {
+    line_sum += stats.lines_per_class[k];
+    cell_sum += stats.cells_per_class[k];
+  }
+  EXPECT_EQ(line_sum, stats.num_lines);
+  EXPECT_EQ(cell_sum, stats.num_cells);
+}
+
+TEST(CorpusTest, DiversityDegreesSumToLines) {
+  auto corpus = GenerateCorpus(TestProfile(), 4);
+  CorpusStats stats = ComputeStats(corpus);
+  long long diversity_sum = 0;
+  for (long long d : stats.diversity_degree) diversity_sum += d;
+  EXPECT_EQ(diversity_sum, stats.num_lines);
+  // Most lines are homogeneous (Table 3: >= 85% degree 1).
+  EXPECT_GT(stats.DiversityShare(1), 0.8);
+  // Shares sum to 1.
+  double share_sum = 0.0;
+  for (int d = 1; d <= kNumElementClasses; ++d) {
+    share_sum += stats.DiversityShare(d);
+  }
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
+}
+
+TEST(CorpusTest, CellsPerLineOrdering) {
+  // Data lines are wide; metadata/notes lines are narrow (Table 5 shape).
+  auto corpus = GenerateCorpus(TestProfile(), 5);
+  CorpusStats stats = ComputeStats(corpus);
+  const int kMetadata = static_cast<int>(ElementClass::kMetadata);
+  const int kData = static_cast<int>(ElementClass::kData);
+  EXPECT_GT(stats.CellsPerLine(kData), stats.CellsPerLine(kMetadata));
+  EXPECT_LT(stats.CellsPerLine(kMetadata), 3.0);
+}
+
+TEST(CorpusTest, DataDominatesClassDistribution) {
+  auto corpus = GenerateCorpus(TestProfile(), 6);
+  CorpusStats stats = ComputeStats(corpus);
+  const int kData = static_cast<int>(ElementClass::kData);
+  EXPECT_GT(static_cast<double>(stats.lines_per_class[kData]) /
+                stats.num_lines,
+            0.5);
+}
+
+TEST(CorpusTest, ConcatCorporaMergesAll) {
+  auto a = GenerateCorpus(TestProfile(), 7);
+  auto b = GenerateCorpus(TestProfile(), 8);
+  const size_t total = a.size() + b.size();
+  auto merged = ConcatCorpora({std::move(a), std::move(b)});
+  EXPECT_EQ(merged.size(), total);
+}
+
+TEST(CorpusTest, StatsHandleEmptyCorpus) {
+  CorpusStats stats = ComputeStats({});
+  EXPECT_EQ(stats.num_files, 0);
+  EXPECT_EQ(stats.num_lines, 0);
+  EXPECT_EQ(stats.DiversityShare(1), 0.0);
+  EXPECT_EQ(stats.CellsPerLine(0), 0.0);
+}
+
+}  // namespace
+}  // namespace strudel::datagen

@@ -1,0 +1,208 @@
+#include "datagen/file_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/table_builder.h"
+#include "strudel/derived_detector.h"
+#include "types/value_parser.h"
+
+namespace strudel::datagen {
+namespace {
+
+FileGenSpec BasicSpec() {
+  FileGenSpec spec;
+  spec.rows_per_fraction = {4, 8};
+  spec.derived_unrecoverable_prob = 0.0;
+  return spec;
+}
+
+TEST(RangeTest, SampleStaysInBounds) {
+  Rng rng(1);
+  Range range{2, 5};
+  for (int i = 0; i < 200; ++i) {
+    int v = range.Sample(rng);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+  }
+  Range degenerate{3, 3};
+  EXPECT_EQ(degenerate.Sample(rng), 3);
+  Range inverted{5, 2};
+  EXPECT_EQ(inverted.Sample(rng), 5);
+}
+
+TEST(FileGeneratorTest, ProducesConsistentAnnotations) {
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    AnnotatedFile file = GenerateFile(BasicSpec(), rng, "f.csv");
+    EXPECT_TRUE(AnnotationConsistent(file.table, file.annotation))
+        << "file " << i;
+    EXPECT_GT(file.table.non_empty_count(), 0);
+  }
+}
+
+TEST(FileGeneratorTest, DeterministicGivenSeed) {
+  Rng a(9), b(9);
+  AnnotatedFile fa = GenerateFile(BasicSpec(), a, "x");
+  AnnotatedFile fb = GenerateFile(BasicSpec(), b, "x");
+  ASSERT_EQ(fa.table.num_rows(), fb.table.num_rows());
+  for (int r = 0; r < fa.table.num_rows(); ++r) {
+    for (int c = 0; c < fa.table.num_cols(); ++c) {
+      EXPECT_EQ(fa.table.cell(r, c), fb.table.cell(r, c));
+    }
+  }
+  EXPECT_EQ(fa.annotation.line_labels, fb.annotation.line_labels);
+}
+
+TEST(FileGeneratorTest, ContainsAllMajorClasses) {
+  FileGenSpec spec = BasicSpec();
+  spec.group_fractions = {2, 3};
+  spec.fraction_derived_prob = 1.0;
+  spec.derived_keyword_prob = 1.0;
+  spec.group_line_prob = 1.0;   // force left-only group lines...
+  spec.group_column_prob = 0.0;  // ...not group columns
+  Rng rng(11);
+  AnnotatedFile file = GenerateFile(spec, rng, "x");
+  std::set<int> classes;
+  for (const auto& row : file.annotation.cell_labels) {
+    for (int label : row) {
+      if (label >= 0) classes.insert(label);
+    }
+  }
+  EXPECT_TRUE(classes.count(static_cast<int>(ElementClass::kMetadata)));
+  EXPECT_TRUE(classes.count(static_cast<int>(ElementClass::kHeader)));
+  EXPECT_TRUE(classes.count(static_cast<int>(ElementClass::kGroup)));
+  EXPECT_TRUE(classes.count(static_cast<int>(ElementClass::kData)));
+  EXPECT_TRUE(classes.count(static_cast<int>(ElementClass::kDerived)));
+  EXPECT_TRUE(classes.count(static_cast<int>(ElementClass::kNotes)));
+}
+
+TEST(FileGeneratorTest, DerivedValuesAreRealAggregates) {
+  // With keyword anchors and no distortion, the derived detector must find
+  // most labelled derived cells — the arithmetic is real by construction.
+  FileGenSpec spec = BasicSpec();
+  spec.group_fractions = {1, 1};
+  spec.fraction_derived_prob = 0.0;
+  spec.table_total_row_prob = 1.0;
+  spec.derived_keyword_prob = 1.0;
+  spec.derived_column_prob = 0.0;
+  spec.derived_mean_prob = 0.0;
+  spec.missing_value_prob = 0.0;
+
+  int detected = 0, labelled = 0;
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    AnnotatedFile file = GenerateFile(spec, rng, "x");
+    DerivedDetectionResult detection = DetectDerivedCells(file.table);
+    for (int r = 0; r < file.table.num_rows(); ++r) {
+      for (int c = 0; c < file.table.num_cols(); ++c) {
+        if (file.annotation.cell_labels[r][c] ==
+            static_cast<int>(ElementClass::kDerived)) {
+          ++labelled;
+          if (detection.at(r, c)) ++detected;
+        }
+      }
+    }
+  }
+  ASSERT_GT(labelled, 0);
+  EXPECT_GT(static_cast<double>(detected) / labelled, 0.9);
+}
+
+TEST(FileGeneratorTest, UnrecoverableDerivedEvadesDetector) {
+  FileGenSpec spec = BasicSpec();
+  spec.group_fractions = {2, 2};
+  spec.fraction_derived_prob = 1.0;
+  spec.table_total_row_prob = 0.0;
+  spec.derived_keyword_prob = 1.0;
+  spec.derived_column_prob = 0.0;
+  spec.derived_unrecoverable_prob = 1.0;  // every derived line distorted
+  spec.missing_value_prob = 0.0;
+
+  int detected = 0, labelled = 0;
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    AnnotatedFile file = GenerateFile(spec, rng, "x");
+    DerivedDetectionResult detection = DetectDerivedCells(file.table);
+    for (int r = 0; r < file.table.num_rows(); ++r) {
+      for (int c = 0; c < file.table.num_cols(); ++c) {
+        if (file.annotation.cell_labels[r][c] ==
+            static_cast<int>(ElementClass::kDerived)) {
+          ++labelled;
+          if (detection.at(r, c)) ++detected;
+        }
+      }
+    }
+  }
+  ASSERT_GT(labelled, 0);
+  EXPECT_LT(static_cast<double>(detected) / labelled, 0.3);
+}
+
+TEST(FileGeneratorTest, TemplatesShareStructure) {
+  FileGenSpec spec = BasicSpec();
+  spec.num_templates = 1;
+  spec.template_seed = 1234;
+  Rng rng(19);
+  AnnotatedFile a = GenerateFile(spec, rng, "a");
+  AnnotatedFile b = GenerateFile(spec, rng, "b");
+  // Same single template: identical line-class sequences, different values.
+  EXPECT_EQ(a.annotation.line_labels, b.annotation.line_labels);
+  bool any_difference = false;
+  for (int r = 0; r < a.table.num_rows() && !any_difference; ++r) {
+    for (int c = 0; c < a.table.num_cols(); ++c) {
+      if (a.table.cell(r, c) != b.table.cell(r, c)) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FileGeneratorTest, FragmentationSplitsProse) {
+  FileGenSpec spec = BasicSpec();
+  spec.text_fragmentation_prob = 1.0;
+  Rng rng(23);
+  // Fragmented metadata/notes lines occupy several cells.
+  int multi_cell_text_lines = 0;
+  for (int i = 0; i < 10; ++i) {
+    AnnotatedFile file = GenerateFile(spec, rng, "x");
+    for (int r = 0; r < file.table.num_rows(); ++r) {
+      const int label = file.annotation.line_labels[r];
+      if (label == static_cast<int>(ElementClass::kMetadata) ||
+          label == static_cast<int>(ElementClass::kNotes)) {
+        if (file.table.row_non_empty_count(r) > 1) ++multi_cell_text_lines;
+      }
+    }
+  }
+  EXPECT_GT(multi_cell_text_lines, 0);
+}
+
+TEST(AnnotatedFileBuilderTest, PadsAndDerivesLineLabels) {
+  AnnotatedFileBuilder builder;
+  builder.AddUniformRow({"title"}, static_cast<int>(ElementClass::kMetadata));
+  builder.AddBlankRow();
+  builder.AddUniformRow({"a", "1", "2"},
+                        static_cast<int>(ElementClass::kData));
+  AnnotatedFile file = std::move(builder).Build("built.csv");
+  EXPECT_EQ(file.table.num_cols(), 3);
+  EXPECT_TRUE(AnnotationConsistent(file.table, file.annotation));
+  EXPECT_EQ(file.annotation.line_labels[0],
+            static_cast<int>(ElementClass::kMetadata));
+  EXPECT_EQ(file.annotation.line_labels[1], kEmptyLabel);
+  EXPECT_EQ(file.annotation.line_labels[2],
+            static_cast<int>(ElementClass::kData));
+}
+
+TEST(AnnotatedFileBuilderTest, MislabeledEmptyCellIsRepaired) {
+  AnnotatedFileBuilder builder;
+  builder.AddRow({"", "x"},
+                 {static_cast<int>(ElementClass::kData),
+                  static_cast<int>(ElementClass::kData)});
+  AnnotatedFile file = std::move(builder).Build("r.csv");
+  EXPECT_TRUE(AnnotationConsistent(file.table, file.annotation));
+  EXPECT_EQ(file.annotation.cell_labels[0][0], kEmptyLabel);
+}
+
+}  // namespace
+}  // namespace strudel::datagen

@@ -1,0 +1,69 @@
+#include "datagen/profiles.h"
+
+#include <gtest/gtest.h>
+
+namespace strudel::datagen {
+namespace {
+
+TEST(ProfilesTest, AllSixDatasetsPresent) {
+  auto profiles = AllProfiles();
+  ASSERT_EQ(profiles.size(), 6u);
+  EXPECT_EQ(profiles[0].name, "GovUK");
+  EXPECT_EQ(profiles[1].name, "SAUS");
+  EXPECT_EQ(profiles[2].name, "CIUS");
+  EXPECT_EQ(profiles[3].name, "DeEx");
+  EXPECT_EQ(profiles[4].name, "Mendeley");
+  EXPECT_EQ(profiles[5].name, "Troy");
+}
+
+TEST(ProfilesTest, FileCountsMatchTable4) {
+  EXPECT_EQ(GovUkProfile().num_files, 226);
+  EXPECT_EQ(SausProfile().num_files, 223);
+  EXPECT_EQ(CiusProfile().num_files, 269);
+  EXPECT_EQ(DeExProfile().num_files, 444);
+  EXPECT_EQ(MendeleyProfile().num_files, 62);
+  EXPECT_EQ(TroyProfile().num_files, 200);
+}
+
+TEST(ProfilesTest, ByNameIsCaseInsensitive) {
+  EXPECT_EQ(ProfileByName("saus").name, "SAUS");
+  EXPECT_EQ(ProfileByName("CIUS").name, "CIUS");
+  EXPECT_EQ(ProfileByName("deex").name, "DeEx");
+  EXPECT_EQ(ProfileByName("nope").num_files, 0);
+}
+
+TEST(ProfilesTest, QualitativeTraitsEncoded) {
+  // SAUS: many unanchored derived cells.
+  EXPECT_LT(SausProfile().spec.derived_keyword_prob, 0.5);
+  // CIUS: templated, derived columns more common than anywhere else.
+  EXPECT_GT(CiusProfile().spec.num_templates, 0);
+  EXPECT_GT(CiusProfile().spec.derived_column_prob,
+            DeExProfile().spec.derived_column_prob);
+  // DeEx: note tables and multi-level group columns.
+  EXPECT_GT(DeExProfile().spec.notes_table_prob, 0.0);
+  EXPECT_GT(DeExProfile().spec.multi_level_group_prob, 0.0);
+  // Mendeley: huge files, heavy fragmentation, nearly no derived.
+  EXPECT_GE(MendeleyProfile().spec.rows_per_fraction.lo, 500);
+  EXPECT_GT(MendeleyProfile().spec.text_fragmentation_prob, 0.0);
+  EXPECT_LT(MendeleyProfile().spec.fraction_derived_prob, 0.1);
+  // Troy: keyword-less derived lines.
+  EXPECT_LT(TroyProfile().spec.derived_keyword_prob, 0.2);
+}
+
+TEST(ProfilesTest, ScaledProfileShrinksFilesAndRows) {
+  DatasetProfile scaled = ScaledProfile(SausProfile(), 0.1, 0.5);
+  EXPECT_EQ(scaled.num_files, 22);
+  EXPECT_EQ(scaled.spec.rows_per_fraction.lo, 4);
+  EXPECT_EQ(scaled.spec.rows_per_fraction.hi, 20);
+}
+
+TEST(ProfilesTest, ScaledProfileEnforcesMinimums) {
+  DatasetProfile scaled = ScaledProfile(SausProfile(), 0.001, 0.001);
+  EXPECT_GE(scaled.num_files, 4);
+  EXPECT_GE(scaled.spec.rows_per_fraction.lo, 2);
+  EXPECT_GE(scaled.spec.rows_per_fraction.hi,
+            scaled.spec.rows_per_fraction.lo);
+}
+
+}  // namespace
+}  // namespace strudel::datagen

@@ -1,0 +1,219 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/corpus.h"
+
+namespace strudel::eval {
+namespace {
+
+std::vector<AnnotatedFile> SmallCorpus(uint64_t seed = 61) {
+  datagen::DatasetProfile profile =
+      datagen::ScaledProfile(datagen::SausProfile(), 0.06, 0.4);
+  return datagen::GenerateCorpus(profile, seed);
+}
+
+// A deterministic mock: predicts the gold label for every line of files
+// whose index is even, and data for the others. Lets us verify harness
+// bookkeeping exactly.
+class MockLineAlgo final : public LineAlgo {
+ public:
+  std::string name() const override { return "mock"; }
+  Status Fit(const std::vector<AnnotatedFile>& files,
+             const std::vector<size_t>& train_indices) override {
+    ++fit_calls;
+    last_train = train_indices;
+    (void)files;
+    return Status::OK();
+  }
+  std::vector<int> Predict(const std::vector<AnnotatedFile>& files,
+                           size_t file_index) override {
+    predicted_files.insert(file_index);
+    const auto& gold = files[file_index].annotation.line_labels;
+    if (file_index % 2 == 0) return gold;
+    std::vector<int> out = gold;
+    for (int& label : out) {
+      if (label >= 0) label = static_cast<int>(ElementClass::kData);
+    }
+    return out;
+  }
+
+  int fit_calls = 0;
+  std::vector<size_t> last_train;
+  std::set<size_t> predicted_files;
+};
+
+TEST(FileFoldsTest, PartitionIsCompleteAndDisjoint) {
+  auto corpus = SmallCorpus();
+  Rng rng(1);
+  auto folds = FileFolds(corpus, 5, rng);
+  EXPECT_EQ(folds.size(), 5u);
+  std::vector<int> seen(corpus.size(), 0);
+  for (const auto& fold : folds) {
+    for (size_t i : fold) ++seen[i];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(FileFoldsTest, MoreFoldsThanFilesClamped) {
+  auto corpus = SmallCorpus();
+  std::vector<AnnotatedFile> two(corpus.begin(), corpus.begin() + 2);
+  Rng rng(2);
+  auto folds = FileFolds(two, 10, rng);
+  EXPECT_EQ(folds.size(), 2u);
+}
+
+TEST(RunLineCvTest, EveryFileTestedEachRepetition) {
+  auto corpus = SmallCorpus(62);
+  auto mock = std::make_shared<MockLineAlgo>();
+  CvOptions options;
+  options.folds = 4;
+  options.repetitions = 2;
+  auto results = RunLineCv(corpus, {mock}, options);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(mock->fit_calls, 8);  // folds x repetitions
+  EXPECT_EQ(mock->predicted_files.size(), corpus.size());
+  // Total scored elements = labelled lines x repetitions.
+  long long labelled = 0;
+  for (const auto& file : corpus) {
+    for (int label : file.annotation.line_labels) {
+      if (label >= 0) ++labelled;
+    }
+  }
+  EXPECT_EQ(results[0].confusion.total(), labelled * 2);
+  // Ensemble counts each line once.
+  EXPECT_EQ(results[0].ensemble.total(), labelled);
+}
+
+TEST(RunLineCvTest, MockAccuracyMatchesConstruction) {
+  auto corpus = SmallCorpus(63);
+  auto mock = std::make_shared<MockLineAlgo>();
+  CvOptions options;
+  options.folds = 3;
+  options.repetitions = 1;
+  auto results = RunLineCv(corpus, {mock}, options);
+  // Even-indexed files perfect, odd-indexed all-data: recall of data must
+  // be 1.0 and every error lands in the data column.
+  const int kData = static_cast<int>(ElementClass::kData);
+  EXPECT_DOUBLE_EQ(results[0].confusion.Recall(kData), 1.0);
+  for (int actual = 0; actual < kNumElementClasses; ++actual) {
+    for (int predicted = 0; predicted < kNumElementClasses; ++predicted) {
+      if (actual == predicted || predicted == kData) continue;
+      EXPECT_EQ(results[0].confusion.count(actual, predicted), 0);
+    }
+  }
+}
+
+TEST(RunLineCvTest, DerivedExcludedWhenAlgoLacksClass) {
+  auto corpus = SmallCorpus(64);
+
+  class NoDerivedAlgo final : public LineAlgo {
+   public:
+    std::string name() const override { return "noderived"; }
+    bool predicts_derived() const override { return false; }
+    Status Fit(const std::vector<AnnotatedFile>&,
+               const std::vector<size_t>&) override {
+      return Status::OK();
+    }
+    std::vector<int> Predict(const std::vector<AnnotatedFile>& files,
+                             size_t file_index) override {
+      return files[file_index].annotation.line_labels;
+    }
+  };
+
+  auto algo = std::make_shared<NoDerivedAlgo>();
+  CvOptions options;
+  options.folds = 3;
+  options.repetitions = 1;
+  auto results = RunLineCv(corpus, {algo}, options);
+  const int kDerived = static_cast<int>(ElementClass::kDerived);
+  EXPECT_EQ(results[0].confusion.class_support(kDerived), 0);
+}
+
+// Deterministic cell mock: gold labels on even files, data elsewhere.
+class MockCellAlgo final : public CellAlgo {
+ public:
+  std::string name() const override { return "mock-cell"; }
+  Status Fit(const std::vector<AnnotatedFile>&,
+             const std::vector<size_t>&) override {
+    ++fit_calls;
+    return Status::OK();
+  }
+  std::vector<std::vector<int>> Predict(
+      const std::vector<AnnotatedFile>& files, size_t file_index) override {
+    auto out = files[file_index].annotation.cell_labels;
+    if (file_index % 2 == 1) {
+      for (auto& row : out) {
+        for (int& label : row) {
+          if (label >= 0) label = static_cast<int>(ElementClass::kData);
+        }
+      }
+    }
+    return out;
+  }
+  int fit_calls = 0;
+};
+
+TEST(RunCellCvTest, BookkeepingMatchesLabelledCellCount) {
+  auto corpus = SmallCorpus(66);
+  auto mock = std::make_shared<MockCellAlgo>();
+  CvOptions options;
+  options.folds = 3;
+  options.repetitions = 2;
+  auto results = RunCellCv(corpus, {mock}, options);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(mock->fit_calls, 6);
+  long long labelled = 0;
+  for (const auto& file : corpus) {
+    for (const auto& row : file.annotation.cell_labels) {
+      for (int label : row) {
+        if (label >= 0) ++labelled;
+      }
+    }
+  }
+  EXPECT_EQ(results[0].confusion.total(), labelled * 2);
+  EXPECT_EQ(results[0].ensemble.total(), labelled);
+  // Data recall is perfect by construction of the mock.
+  EXPECT_DOUBLE_EQ(results[0].confusion.Recall(
+                       static_cast<int>(ElementClass::kData)),
+                   1.0);
+}
+
+TEST(TrainTestCellTest, ScoresOnlyTestFiles) {
+  auto corpus = SmallCorpus(67);
+  std::vector<AnnotatedFile> train(corpus.begin(), corpus.end() - 2);
+  std::vector<AnnotatedFile> test(corpus.end() - 2, corpus.end());
+  MockCellAlgo mock;
+  EvalResult result = TrainTestCell(train, test, mock);
+  long long labelled_test = 0;
+  for (const auto& file : test) {
+    for (const auto& row : file.annotation.cell_labels) {
+      for (int label : row) {
+        if (label >= 0) ++labelled_test;
+      }
+    }
+  }
+  EXPECT_EQ(result.confusion.total(), labelled_test);
+}
+
+TEST(TrainTestLineTest, ScoresOnlyTestFiles) {
+  auto corpus = SmallCorpus(65);
+  std::vector<AnnotatedFile> train(corpus.begin(), corpus.end() - 2);
+  std::vector<AnnotatedFile> test(corpus.end() - 2, corpus.end());
+  MockLineAlgo mock;
+  EvalResult result = TrainTestLine(train, test, mock);
+  long long labelled_test = 0;
+  for (const auto& file : test) {
+    for (int label : file.annotation.line_labels) {
+      if (label >= 0) ++labelled_test;
+    }
+  }
+  EXPECT_EQ(result.confusion.total(), labelled_test);
+  // Training set is exactly the train files.
+  EXPECT_EQ(mock.last_train.size(), train.size());
+}
+
+}  // namespace
+}  // namespace strudel::eval

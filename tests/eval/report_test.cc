@@ -1,0 +1,86 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+namespace strudel::eval {
+namespace {
+
+EvalResult MakeResult() {
+  EvalResult result;
+  result.algo = "Strudel^L";
+  result.confusion.Add(3, 3, 90);  // data correct
+  result.confusion.Add(3, 4, 10);  // data as derived
+  result.confusion.Add(4, 4, 5);
+  result.confusion.Add(4, 3, 5);
+  result.confusion.Add(0, 0, 10);
+  result.report = ml::Summarize(result.confusion);
+  result.ensemble.Add(3, 3, 50);
+  result.ensemble.Add(4, 4, 5);
+  result.ensemble.Add(0, 0, 5);
+  return result;
+}
+
+TEST(ReportTest, ResultsTableContainsAlgoAndScores) {
+  std::string out = FormatResultsTable("SAUS", {MakeResult()}, "# lines");
+  EXPECT_NE(out.find("Strudel^L"), std::string::npos);
+  EXPECT_NE(out.find("metadata"), std::string::npos);
+  EXPECT_NE(out.find("accuracy"), std::string::npos);
+  EXPECT_NE(out.find("macro-avg"), std::string::npos);
+  EXPECT_NE(out.find("# lines"), std::string::npos);
+  // Classes with no support show '-'.
+  EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+TEST(ReportTest, ConfusionMatrixIsRowNormalised) {
+  EvalResult result = MakeResult();
+  std::string out = FormatConfusionMatrix("SAUS", result.confusion);
+  // data row: 0.900 / 0.100 split.
+  EXPECT_NE(out.find("0.900"), std::string::npos);
+  EXPECT_NE(out.find("0.100"), std::string::npos);
+  EXPECT_NE(out.find("derived"), std::string::npos);
+}
+
+TEST(ReportTest, GroupNeighborFeaturesCollapsesSixteenColumns) {
+  std::vector<std::string> names = {"A", "NeighborValueLength_N",
+                                    "NeighborValueLength_S",
+                                    "NeighborDataType_N",
+                                    "NeighborDataType_S", "B"};
+  std::vector<std::vector<double>> importances = {
+      {1.0, 0.5, 0.5, 0.25, 0.25, 2.0}};
+  GroupNeighborFeatures(names, importances);
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "A");
+  EXPECT_EQ(names[1], "NeighborValueLength");
+  EXPECT_EQ(names[2], "NeighborDataType");
+  EXPECT_EQ(names[3], "B");
+  ASSERT_EQ(importances[0].size(), 4u);
+  EXPECT_DOUBLE_EQ(importances[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(importances[0][2], 0.5);
+  EXPECT_DOUBLE_EQ(importances[0][3], 2.0);
+}
+
+TEST(ReportTest, FeatureImportanceShowsTopShares) {
+  std::vector<std::vector<double>> importances(
+      kNumElementClasses, std::vector<double>{0.0, 0.0});
+  importances[0] = {0.75, 0.25};
+  std::vector<std::string> names = {"big", "small"};
+  std::string out = FormatFeatureImportance("title", importances, names, 2);
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("big 75%"), std::string::npos);
+  EXPECT_NE(out.find("small 25%"), std::string::npos);
+  // Classes with no positive importance are flagged.
+  EXPECT_NE(out.find("(no positive importance)"), std::string::npos);
+}
+
+TEST(ReportTest, FeatureImportanceClipsNegatives) {
+  std::vector<std::vector<double>> importances(
+      kNumElementClasses, std::vector<double>{0.0, 0.0});
+  importances[0] = {0.5, -0.5};
+  std::vector<std::string> names = {"good", "bad"};
+  std::string out = FormatFeatureImportance("t", importances, names, 5);
+  EXPECT_NE(out.find("good 100%"), std::string::npos);
+  EXPECT_EQ(out.find("bad"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace strudel::eval

@@ -1,0 +1,56 @@
+#include "eval/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace strudel::eval {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"name", "value"});
+  printer.AddRow({"x", "1"});
+  printer.AddRow({"longer-name", "22"});
+  std::string out = printer.ToString();
+  // Header, separator, two rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Every line of the column block starts at the same offset: the second
+  // column must begin after the widest first-column entry.
+  size_t value_pos = out.find("value");
+  size_t one_pos = out.find("1\n");
+  EXPECT_EQ(out.rfind('\n', value_pos) + 1 + 13, value_pos);
+  (void)one_pos;
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter printer({"a", "b", "c"});
+  printer.AddRow({"only"});
+  std::string out = printer.ToString();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorRendersDashes) {
+  TablePrinter printer({"alpha"});
+  printer.AddRow({"1"});
+  printer.AddSeparator();
+  printer.AddRow({"2"});
+  std::string out = printer.ToString();
+  // Header separator + explicit separator = at least two dash lines.
+  size_t first = out.find("---");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(out.find("---", first + 3), std::string::npos);
+}
+
+TEST(TablePrinterTest, ScoreFormatting) {
+  EXPECT_EQ(TablePrinter::Score(0.7344), "0.734");
+  EXPECT_EQ(TablePrinter::Score(1.0), "1.000");
+  EXPECT_EQ(TablePrinter::Score(-1.0), "-");
+}
+
+TEST(TablePrinterTest, CountAndPercent) {
+  EXPECT_EQ(TablePrinter::Count(93584), "93584");
+  EXPECT_EQ(TablePrinter::Percent(0.863), "86.3%");
+  EXPECT_EQ(TablePrinter::Percent(0.0011, 2), "0.11%");
+}
+
+}  // namespace
+}  // namespace strudel::eval

@@ -1,0 +1,154 @@
+#include "ml/crf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace strudel::ml {
+namespace {
+
+// Sequences where the observation alone identifies the state.
+std::vector<CrfSequence> EmissionDrivenSequences(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CrfSequence> sequences;
+  for (int s = 0; s < n; ++s) {
+    CrfSequence seq;
+    const int length = 5 + static_cast<int>(rng.UniformInt(uint64_t{10}));
+    for (int t = 0; t < length; ++t) {
+      const int label = static_cast<int>(rng.UniformInt(uint64_t{2}));
+      seq.features.append_row(std::vector<double>{
+          label == 0 ? 1.0 + rng.Gaussian(0.0, 0.1)
+                     : -1.0 + rng.Gaussian(0.0, 0.1)});
+      seq.labels.push_back(label);
+    }
+    sequences.push_back(std::move(seq));
+  }
+  return sequences;
+}
+
+// Sequences where transitions carry the signal: the state flips only
+// rarely and observations are weak.
+std::vector<CrfSequence> TransitionDrivenSequences(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CrfSequence> sequences;
+  for (int s = 0; s < n; ++s) {
+    CrfSequence seq;
+    int state = static_cast<int>(rng.UniformInt(uint64_t{2}));
+    for (int t = 0; t < 30; ++t) {
+      if (rng.Bernoulli(0.05)) state = 1 - state;
+      // Noisy observation: right 70% of the time.
+      const double obs = rng.Bernoulli(0.7) ? (state == 0 ? 1.0 : -1.0)
+                                            : (state == 0 ? -1.0 : 1.0);
+      seq.features.append_row(std::vector<double>{obs});
+      seq.labels.push_back(state);
+    }
+    sequences.push_back(std::move(seq));
+  }
+  return sequences;
+}
+
+double SequenceAccuracy(const LinearChainCrf& crf,
+                        const std::vector<CrfSequence>& sequences) {
+  long long correct = 0, total = 0;
+  for (const CrfSequence& seq : sequences) {
+    std::vector<int> path = crf.Predict(seq.features);
+    for (size_t t = 0; t < seq.labels.size(); ++t) {
+      ++total;
+      if (path[t] == seq.labels[t]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+TEST(CrfTest, LearnsEmissionDrivenLabels) {
+  auto train = EmissionDrivenSequences(30, 1);
+  auto test = EmissionDrivenSequences(10, 2);
+  LinearChainCrf crf;
+  ASSERT_TRUE(crf.Fit(train, 2).ok());
+  EXPECT_GT(SequenceAccuracy(crf, test), 0.95);
+}
+
+TEST(CrfTest, TransitionsImproveOverPointwise) {
+  auto train = TransitionDrivenSequences(60, 3);
+  auto test = TransitionDrivenSequences(20, 4);
+  LinearChainCrf crf;
+  ASSERT_TRUE(crf.Fit(train, 2).ok());
+  // Pointwise decisions from noisy observations top out around 0.7; the
+  // learned transition structure must lift Viterbi decoding above that.
+  EXPECT_GT(SequenceAccuracy(crf, test), 0.74);
+}
+
+TEST(CrfTest, MarginalsSumToOnePerPosition) {
+  auto train = EmissionDrivenSequences(20, 5);
+  LinearChainCrf crf;
+  ASSERT_TRUE(crf.Fit(train, 2).ok());
+  auto marginals = crf.PredictMarginals(train[0].features);
+  ASSERT_EQ(marginals.size(), train[0].features.rows());
+  for (const auto& m : marginals) {
+    double sum = 0.0;
+    for (double p : m) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(CrfTest, ViterbiAgreesWithMarginalsOnStrongSignal) {
+  auto train = EmissionDrivenSequences(20, 6);
+  LinearChainCrf crf;
+  ASSERT_TRUE(crf.Fit(train, 2).ok());
+  const CrfSequence& seq = train[1];
+  std::vector<int> path = crf.Predict(seq.features);
+  auto marginals = crf.PredictMarginals(seq.features);
+  for (size_t t = 0; t < path.size(); ++t) {
+    const int marginal_argmax = marginals[t][0] > marginals[t][1] ? 0 : 1;
+    EXPECT_EQ(path[t], marginal_argmax);
+  }
+}
+
+TEST(CrfTest, RejectsBadInput) {
+  LinearChainCrf crf;
+  EXPECT_FALSE(crf.Fit({}, 2).ok());
+
+  CrfSequence bad_labels;
+  bad_labels.features = Matrix::FromRows({{1.0}});
+  bad_labels.labels = {5};
+  EXPECT_FALSE(crf.Fit({bad_labels}, 2).ok());
+
+  CrfSequence size_mismatch;
+  size_mismatch.features = Matrix::FromRows({{1.0}, {2.0}});
+  size_mismatch.labels = {0};
+  EXPECT_FALSE(crf.Fit({size_mismatch}, 2).ok());
+
+  CrfSequence ok_seq;
+  ok_seq.features = Matrix::FromRows({{1.0}});
+  ok_seq.labels = {0};
+  EXPECT_FALSE(crf.Fit({ok_seq}, 1).ok());  // need >= 2 classes
+
+  CrfSequence width_mismatch;
+  width_mismatch.features = Matrix::FromRows({{1.0, 2.0}});
+  width_mismatch.labels = {0};
+  EXPECT_FALSE(crf.Fit({ok_seq, width_mismatch}, 2).ok());
+}
+
+TEST(CrfTest, EmptySequencePredictionIsEmpty) {
+  auto train = EmissionDrivenSequences(10, 7);
+  LinearChainCrf crf;
+  ASSERT_TRUE(crf.Fit(train, 2).ok());
+  Matrix empty(0, 1);
+  EXPECT_TRUE(crf.Predict(empty).empty());
+  EXPECT_TRUE(crf.PredictMarginals(empty).empty());
+}
+
+TEST(CrfTest, DeterministicGivenSeed) {
+  auto train = EmissionDrivenSequences(15, 8);
+  LinearChainCrf a, b;
+  ASSERT_TRUE(a.Fit(train, 2).ok());
+  ASSERT_TRUE(b.Fit(train, 2).ok());
+  EXPECT_EQ(a.Predict(train[0].features), b.Predict(train[0].features));
+  EXPECT_DOUBLE_EQ(a.final_loss(), b.final_loss());
+}
+
+}  // namespace
+}  // namespace strudel::ml

@@ -1,0 +1,117 @@
+#include "ml/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace strudel::ml {
+namespace {
+
+Dataset GroupedDataset(int groups, int samples_per_group) {
+  Dataset data;
+  data.num_classes = 2;
+  for (int g = 0; g < groups; ++g) {
+    for (int s = 0; s < samples_per_group; ++s) {
+      data.features.append_row(std::vector<double>{static_cast<double>(g)});
+      data.labels.push_back(g % 2);
+      data.groups.push_back(g);
+    }
+  }
+  return data;
+}
+
+TEST(GroupKFoldTest, EverySampleTestedExactlyOnce) {
+  Dataset data = GroupedDataset(10, 5);
+  Rng rng(1);
+  auto folds = GroupKFold(data, 5, rng);
+  EXPECT_EQ(folds.size(), 5u);
+  std::vector<int> tested(data.size(), 0);
+  for (const auto& fold : folds) {
+    for (size_t i : fold.test_indices) ++tested[i];
+  }
+  for (int count : tested) EXPECT_EQ(count, 1);
+}
+
+TEST(GroupKFoldTest, GroupsNeverSplitAcrossTrainAndTest) {
+  Dataset data = GroupedDataset(12, 4);
+  Rng rng(2);
+  auto folds = GroupKFold(data, 4, rng);
+  for (const auto& fold : folds) {
+    std::set<int> test_groups;
+    for (size_t i : fold.test_indices) test_groups.insert(data.groups[i]);
+    for (size_t i : fold.train_indices) {
+      EXPECT_FALSE(test_groups.count(data.groups[i]))
+          << "group " << data.groups[i] << " leaks across the split";
+    }
+  }
+}
+
+TEST(GroupKFoldTest, TrainPlusTestCoversAll) {
+  Dataset data = GroupedDataset(8, 3);
+  Rng rng(3);
+  auto folds = GroupKFold(data, 4, rng);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train_indices.size() + fold.test_indices.size(),
+              data.size());
+  }
+}
+
+TEST(GroupKFoldTest, FoldsAreRoughlyBalanced) {
+  Dataset data = GroupedDataset(20, 5);
+  Rng rng(4);
+  auto folds = GroupKFold(data, 5, rng);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.test_indices.size(), 20u);  // 4 groups x 5 samples
+  }
+}
+
+TEST(GroupKFoldTest, FewerGroupsThanFolds) {
+  Dataset data = GroupedDataset(3, 2);
+  Rng rng(5);
+  auto folds = GroupKFold(data, 10, rng);
+  EXPECT_EQ(folds.size(), 3u);
+}
+
+TEST(GroupKFoldTest, MissingGroupsTreatedAsSingletons) {
+  Dataset data;
+  data.num_classes = 2;
+  for (int i = 0; i < 6; ++i) {
+    data.features.append_row(std::vector<double>{0.0});
+    data.labels.push_back(0);
+  }
+  // groups empty -> each sample its own group.
+  Rng rng(6);
+  auto folds = GroupKFold(data, 3, rng);
+  size_t total_test = 0;
+  for (const auto& fold : folds) total_test += fold.test_indices.size();
+  EXPECT_EQ(total_test, 6u);
+}
+
+TEST(GroupKFoldTest, DeterministicGivenSeed) {
+  Dataset data = GroupedDataset(9, 3);
+  Rng rng_a(7), rng_b(7);
+  auto folds_a = GroupKFold(data, 3, rng_a);
+  auto folds_b = GroupKFold(data, 3, rng_b);
+  ASSERT_EQ(folds_a.size(), folds_b.size());
+  for (size_t f = 0; f < folds_a.size(); ++f) {
+    EXPECT_EQ(folds_a[f].test_indices, folds_b[f].test_indices);
+  }
+}
+
+TEST(RepeatedGroupKFoldTest, ProducesRequestedRepetitions) {
+  Dataset data = GroupedDataset(10, 2);
+  Rng rng(8);
+  auto reps = RepeatedGroupKFold(data, 5, 3, rng);
+  EXPECT_EQ(reps.size(), 3u);
+  // Different repetitions should generally shuffle groups differently.
+  bool any_difference = false;
+  for (size_t r = 1; r < reps.size(); ++r) {
+    if (reps[r][0].test_indices != reps[0][0].test_indices) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace strudel::ml

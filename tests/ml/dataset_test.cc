@@ -1,0 +1,73 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace strudel::ml {
+namespace {
+
+Dataset MakeDataset() {
+  Dataset data;
+  data.features = Matrix::FromRows({{0.0}, {1.0}, {2.0}, {3.0}});
+  data.labels = {0, 1, 0, 1};
+  data.groups = {10, 10, 20, 30};
+  data.feature_names = {"f"};
+  data.num_classes = 2;
+  return data;
+}
+
+TEST(DatasetTest, ValidAcceptsConsistentData) {
+  EXPECT_TRUE(MakeDataset().Valid());
+}
+
+TEST(DatasetTest, ValidRejectsSizeMismatch) {
+  Dataset data = MakeDataset();
+  data.labels.pop_back();
+  EXPECT_FALSE(data.Valid());
+}
+
+TEST(DatasetTest, ValidRejectsLabelOutOfRange) {
+  Dataset data = MakeDataset();
+  data.labels[0] = 5;
+  EXPECT_FALSE(data.Valid());
+  data.labels[0] = -1;
+  EXPECT_FALSE(data.Valid());
+}
+
+TEST(DatasetTest, ValidRejectsFeatureNameMismatch) {
+  Dataset data = MakeDataset();
+  data.feature_names = {"a", "b"};
+  EXPECT_FALSE(data.Valid());
+}
+
+TEST(DatasetTest, SubsetSelectsSamples) {
+  Dataset data = MakeDataset();
+  Dataset subset = data.Subset({1, 3});
+  EXPECT_EQ(subset.size(), 2u);
+  EXPECT_EQ(subset.labels, (std::vector<int>{1, 1}));
+  EXPECT_EQ(subset.groups, (std::vector<int>{10, 30}));
+  EXPECT_EQ(subset.features.at(0, 0), 1.0);
+  EXPECT_EQ(subset.num_classes, 2);
+  EXPECT_EQ(subset.feature_names, data.feature_names);
+}
+
+TEST(DatasetTest, AppendConcatenates) {
+  Dataset a = MakeDataset();
+  Dataset b = MakeDataset();
+  a.Append(b);
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_EQ(a.labels.size(), 8u);
+  EXPECT_EQ(a.groups.size(), 8u);
+}
+
+TEST(DatasetTest, ClassCounts) {
+  Dataset data = MakeDataset();
+  EXPECT_EQ(data.ClassCounts(), (std::vector<int>{2, 2}));
+}
+
+TEST(DatasetTest, DistinctGroupsSorted) {
+  Dataset data = MakeDataset();
+  EXPECT_EQ(data.DistinctGroups(), (std::vector<int>{10, 20, 30}));
+}
+
+}  // namespace
+}  // namespace strudel::ml

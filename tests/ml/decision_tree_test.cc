@@ -1,0 +1,172 @@
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace strudel::ml {
+namespace {
+
+// Two well-separated blobs in 1-D.
+Dataset TwoBlobDataset(int per_class, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.num_classes = 2;
+  for (int i = 0; i < per_class; ++i) {
+    data.features.append_row(std::vector<double>{rng.Gaussian(0.0, 0.3)});
+    data.labels.push_back(0);
+    data.features.append_row(std::vector<double>{rng.Gaussian(5.0, 0.3)});
+    data.labels.push_back(1);
+  }
+  data.groups.assign(data.labels.size(), -1);
+  return data;
+}
+
+// XOR pattern: not linearly separable, needs depth >= 2.
+Dataset XorDataset(int n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.num_classes = 2;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.UniformDouble();
+    double y = rng.UniformDouble();
+    data.features.append_row(std::vector<double>{x, y});
+    data.labels.push_back((x > 0.5) != (y > 0.5) ? 1 : 0);
+  }
+  data.groups.assign(data.labels.size(), -1);
+  return data;
+}
+
+TEST(DecisionTreeTest, SeparatesTwoBlobs) {
+  Dataset data = TwoBlobDataset(50, 1);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  EXPECT_EQ(tree.Predict(std::vector<double>{0.0}), 0);
+  EXPECT_EQ(tree.Predict(std::vector<double>{5.0}), 1);
+}
+
+TEST(DecisionTreeTest, LearnsXor) {
+  Dataset data = XorDataset(400, 2);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  int correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (tree.Predict(data.features.row(i)) == data.labels[i]) ++correct;
+  }
+  EXPECT_GT(correct, static_cast<int>(data.size() * 0.95));
+}
+
+TEST(DecisionTreeTest, PureLeafGivesCertainProbability) {
+  Dataset data = TwoBlobDataset(30, 3);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  std::vector<double> proba = tree.PredictProba(std::vector<double>{0.0});
+  ASSERT_EQ(proba.size(), 2u);
+  EXPECT_NEAR(proba[0], 1.0, 1e-12);
+  EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-12);
+}
+
+TEST(DecisionTreeTest, MaxDepthLimitsDepth) {
+  Dataset data = XorDataset(300, 4);
+  DecisionTreeOptions options;
+  options.max_depth = 1;
+  DecisionTree stump(options);
+  ASSERT_TRUE(stump.Fit(data).ok());
+  EXPECT_LE(stump.depth(), 1);
+  // A stump cannot learn XOR.
+  int correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (stump.Predict(data.features.row(i)) == data.labels[i]) ++correct;
+  }
+  EXPECT_LT(correct, static_cast<int>(data.size() * 0.8));
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+  Dataset data = TwoBlobDataset(20, 5);
+  DecisionTreeOptions options;
+  options.min_samples_leaf = 10;
+  DecisionTree tree(options);
+  ASSERT_TRUE(tree.Fit(data).ok());
+  EXPECT_GT(tree.node_count(), 0);
+}
+
+TEST(DecisionTreeTest, ConstantFeaturesYieldSingleLeaf) {
+  Dataset data;
+  data.num_classes = 2;
+  for (int i = 0; i < 10; ++i) {
+    data.features.append_row(std::vector<double>{1.0});
+    data.labels.push_back(i % 2);
+  }
+  data.groups.assign(10, -1);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  EXPECT_EQ(tree.node_count(), 1);
+  std::vector<double> proba = tree.PredictProba(std::vector<double>{1.0});
+  EXPECT_NEAR(proba[0], 0.5, 1e-12);
+}
+
+TEST(DecisionTreeTest, EmptyDatasetRejected) {
+  Dataset data;
+  data.num_classes = 2;
+  DecisionTree tree;
+  EXPECT_FALSE(tree.Fit(data).ok());
+}
+
+TEST(DecisionTreeTest, FitIndicesUsesOnlySelectedSamples) {
+  Dataset data;
+  data.num_classes = 2;
+  data.features = Matrix::FromRows({{0.0}, {1.0}, {10.0}, {11.0}});
+  data.labels = {0, 0, 1, 1};
+  data.groups = {-1, -1, -1, -1};
+  DecisionTree tree;
+  // Train only on class-0 samples: every prediction must be class 0.
+  ASSERT_TRUE(tree.FitIndices(data, {0, 1}).ok());
+  EXPECT_EQ(tree.Predict(std::vector<double>{10.0}), 0);
+}
+
+TEST(DecisionTreeTest, FeatureImportancesSumToOneAndPickSignal) {
+  // Feature 1 is pure noise; feature 0 carries the signal.
+  Rng rng(6);
+  Dataset data;
+  data.num_classes = 2;
+  for (int i = 0; i < 200; ++i) {
+    double signal = rng.Bernoulli(0.5) ? 0.0 : 1.0;
+    data.features.append_row(
+        std::vector<double>{signal, rng.UniformDouble()});
+    data.labels.push_back(static_cast<int>(signal));
+  }
+  data.groups.assign(200, -1);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  std::vector<double> importances = tree.FeatureImportances();
+  ASSERT_EQ(importances.size(), 2u);
+  EXPECT_NEAR(importances[0] + importances[1], 1.0, 1e-9);
+  EXPECT_GT(importances[0], 0.9);
+}
+
+TEST(DecisionTreeTest, DeterministicGivenSeed) {
+  Dataset data = XorDataset(200, 7);
+  DecisionTreeOptions options;
+  options.max_features = 1;
+  options.seed = 99;
+  DecisionTree a(options), b(options);
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(a.Predict(data.features.row(i)),
+              b.Predict(data.features.row(i)));
+  }
+}
+
+TEST(DecisionTreeTest, CloneUntrainedIsUnfitted) {
+  Dataset data = TwoBlobDataset(20, 8);
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(data).ok());
+  auto clone = tree.CloneUntrained();
+  EXPECT_EQ(clone->num_classes(), 0);
+  ASSERT_TRUE(clone->Fit(data).ok());
+  EXPECT_EQ(clone->Predict(std::vector<double>{5.0}), 1);
+}
+
+}  // namespace
+}  // namespace strudel::ml

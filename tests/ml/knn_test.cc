@@ -1,0 +1,86 @@
+#include "ml/knn.h"
+
+#include <gtest/gtest.h>
+
+namespace strudel::ml {
+namespace {
+
+Dataset GridDataset() {
+  Dataset data;
+  data.num_classes = 2;
+  data.features = Matrix::FromRows({{0.0, 0.0},
+                                    {0.1, 0.0},
+                                    {0.0, 0.1},
+                                    {5.0, 5.0},
+                                    {5.1, 5.0},
+                                    {5.0, 5.1}});
+  data.labels = {0, 0, 0, 1, 1, 1};
+  data.groups.assign(6, -1);
+  return data;
+}
+
+TEST(KnnTest, NearestClusterWins) {
+  KnnClassifier knn(KnnOptions{3, false});
+  ASSERT_TRUE(knn.Fit(GridDataset()).ok());
+  EXPECT_EQ(knn.Predict(std::vector<double>{0.05, 0.05}), 0);
+  EXPECT_EQ(knn.Predict(std::vector<double>{5.05, 5.05}), 1);
+}
+
+TEST(KnnTest, ProbabilityIsVoteFraction) {
+  KnnClassifier knn(KnnOptions{4, false});
+  ASSERT_TRUE(knn.Fit(GridDataset()).ok());
+  // The 4 nearest to the class-0 cluster are 3 zeros and one distant one.
+  std::vector<double> proba =
+      knn.PredictProba(std::vector<double>{0.0, 0.0});
+  EXPECT_NEAR(proba[0], 0.75, 1e-12);
+  EXPECT_NEAR(proba[1], 0.25, 1e-12);
+}
+
+TEST(KnnTest, DistanceWeightingFavorsCloserNeighbours) {
+  KnnClassifier knn(KnnOptions{4, true});
+  ASSERT_TRUE(knn.Fit(GridDataset()).ok());
+  std::vector<double> proba =
+      knn.PredictProba(std::vector<double>{0.0, 0.0});
+  // With inverse-distance weights the far neighbour barely counts.
+  EXPECT_GT(proba[0], 0.95);
+}
+
+TEST(KnnTest, KLargerThanTrainingSetIsClamped) {
+  KnnClassifier knn(KnnOptions{100, false});
+  ASSERT_TRUE(knn.Fit(GridDataset()).ok());
+  std::vector<double> proba =
+      knn.PredictProba(std::vector<double>{0.0, 0.0});
+  EXPECT_NEAR(proba[0], 0.5, 1e-12);  // all 6 points vote
+}
+
+TEST(KnnTest, InvalidKRejected) {
+  KnnClassifier knn(KnnOptions{0, false});
+  EXPECT_FALSE(knn.Fit(GridDataset()).ok());
+}
+
+TEST(KnnTest, EmptyDatasetRejected) {
+  Dataset data;
+  data.num_classes = 2;
+  KnnClassifier knn;
+  EXPECT_FALSE(knn.Fit(data).ok());
+}
+
+TEST(KnnTest, ExactMatchWithDistanceWeighting) {
+  KnnClassifier knn(KnnOptions{1, true});
+  ASSERT_TRUE(knn.Fit(GridDataset()).ok());
+  // Querying a training point exactly: guarded 1/(0 + eps) must not blow
+  // up.
+  EXPECT_EQ(knn.Predict(std::vector<double>{5.0, 5.0}), 1);
+}
+
+TEST(KnnTest, CloneUntrained) {
+  KnnClassifier knn(KnnOptions{3, false});
+  ASSERT_TRUE(knn.Fit(GridDataset()).ok());
+  auto clone = knn.CloneUntrained();
+  EXPECT_EQ(clone->num_classes(), 0);
+  ASSERT_TRUE(clone->Fit(GridDataset()).ok());
+  EXPECT_EQ(clone->Predict(std::vector<double>{5.0, 5.0}), 1);
+}
+
+}  // namespace
+}  // namespace strudel::ml

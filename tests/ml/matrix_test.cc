@@ -1,0 +1,75 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace strudel::ml {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.empty());
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(m.at(r, c), 1.5);
+    }
+  }
+}
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(MatrixTest, AtIsMutable) {
+  Matrix m(2, 2);
+  m.at(1, 0) = 7.0;
+  EXPECT_EQ(m.at(1, 0), 7.0);
+  EXPECT_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(MatrixTest, RowViewAliasesStorage) {
+  Matrix m(2, 2);
+  auto row = m.row(1);
+  row[1] = 9.0;
+  EXPECT_EQ(m.at(1, 1), 9.0);
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.at(1, 0), 3.0);
+}
+
+TEST(MatrixTest, AppendRowDefinesWidthOnFirstAppend) {
+  Matrix m;
+  std::vector<double> row = {1.0, 2.0, 3.0};
+  m.append_row(row);
+  EXPECT_EQ(m.cols(), 3u);
+  m.append_row(std::vector<double>{4.0, 5.0, 6.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.at(1, 2), 6.0);
+}
+
+TEST(MatrixTest, RowCopyIsIndependent) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}});
+  std::vector<double> copy = m.row_copy(0);
+  copy[0] = 99.0;
+  EXPECT_EQ(m.at(0, 0), 1.0);
+}
+
+TEST(MatrixTest, SelectRows) {
+  Matrix m = Matrix::FromRows({{1.0}, {2.0}, {3.0}});
+  Matrix selected = m.select_rows({2, 0, 2});
+  EXPECT_EQ(selected.rows(), 3u);
+  EXPECT_EQ(selected.at(0, 0), 3.0);
+  EXPECT_EQ(selected.at(1, 0), 1.0);
+  EXPECT_EQ(selected.at(2, 0), 3.0);
+}
+
+}  // namespace
+}  // namespace strudel::ml

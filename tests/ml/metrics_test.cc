@@ -1,0 +1,118 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace strudel::ml {
+namespace {
+
+TEST(ConfusionMatrixTest, CountsAndTotals) {
+  ConfusionMatrix m(3);
+  m.Add(0, 0, 5);
+  m.Add(0, 1, 2);
+  m.Add(1, 1, 3);
+  m.Add(2, 0, 1);
+  EXPECT_EQ(m.count(0, 0), 5);
+  EXPECT_EQ(m.count(0, 1), 2);
+  EXPECT_EQ(m.total(), 11);
+  EXPECT_EQ(m.class_support(0), 7);
+  EXPECT_EQ(m.class_support(2), 1);
+}
+
+TEST(ConfusionMatrixTest, OutOfRangeAddIsIgnored) {
+  ConfusionMatrix m(2);
+  m.Add(-1, 0);
+  m.Add(0, 5);
+  m.Add(2, 0);
+  EXPECT_EQ(m.total(), 0);
+  EXPECT_EQ(m.count(-1, 0), 0);
+}
+
+TEST(ConfusionMatrixTest, PerfectPredictionMetrics) {
+  ConfusionMatrix m(2);
+  m.Add(0, 0, 10);
+  m.Add(1, 1, 20);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Precision(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.Recall(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.F1(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.MacroF1(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, KnownValues) {
+  // class 0: tp=8, fn=2, fp=3 -> P=8/11, R=0.8.
+  ConfusionMatrix m(2);
+  m.Add(0, 0, 8);
+  m.Add(0, 1, 2);
+  m.Add(1, 0, 3);
+  m.Add(1, 1, 7);
+  EXPECT_NEAR(m.Precision(0), 8.0 / 11.0, 1e-12);
+  EXPECT_NEAR(m.Recall(0), 0.8, 1e-12);
+  const double p = 8.0 / 11.0, r = 0.8;
+  EXPECT_NEAR(m.F1(0), 2 * p * r / (p + r), 1e-12);
+  EXPECT_NEAR(m.Accuracy(), 15.0 / 20.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, EmptyClassHandling) {
+  ConfusionMatrix m(3);
+  m.Add(0, 0, 5);
+  m.Add(1, 1, 5);
+  // Class 2 has no support and no predictions.
+  EXPECT_EQ(m.F1(2), 0.0);
+  // Skipped from the macro average by default...
+  EXPECT_DOUBLE_EQ(m.MacroF1(true), 1.0);
+  // ...but included when asked.
+  EXPECT_NEAR(m.MacroF1(false), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, NormalizedRowsSumToOne) {
+  ConfusionMatrix m(2);
+  m.Add(0, 0, 3);
+  m.Add(0, 1, 1);
+  m.Add(1, 1, 5);
+  auto normalized = m.Normalized();
+  EXPECT_NEAR(normalized[0][0], 0.75, 1e-12);
+  EXPECT_NEAR(normalized[0][1], 0.25, 1e-12);
+  EXPECT_NEAR(normalized[1][0] + normalized[1][1], 1.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, MergeAddsCounts) {
+  ConfusionMatrix a(2), b(2);
+  a.Add(0, 0, 1);
+  b.Add(0, 0, 2);
+  b.Add(1, 0, 4);
+  a.Merge(b);
+  EXPECT_EQ(a.count(0, 0), 3);
+  EXPECT_EQ(a.count(1, 0), 4);
+}
+
+TEST(BuildConfusionTest, SkipsNegativeActuals) {
+  ConfusionMatrix m = BuildConfusion({0, -1, 1, 1}, {0, 0, 1, 0}, 2);
+  EXPECT_EQ(m.total(), 3);
+  EXPECT_EQ(m.count(0, 0), 1);
+  EXPECT_EQ(m.count(1, 1), 1);
+  EXPECT_EQ(m.count(1, 0), 1);
+}
+
+TEST(SummarizeTest, FillsAllFields) {
+  ConfusionMatrix m(2);
+  m.Add(0, 0, 8);
+  m.Add(0, 1, 2);
+  m.Add(1, 1, 10);
+  ClassificationReport report = Summarize(m);
+  ASSERT_EQ(report.per_class_f1.size(), 2u);
+  EXPECT_EQ(report.support[0], 10);
+  EXPECT_EQ(report.support[1], 10);
+  EXPECT_NEAR(report.accuracy, 0.9, 1e-12);
+  EXPECT_GT(report.macro_f1, 0.0);
+  EXPECT_EQ(report.per_class_recall[0], 0.8);
+  EXPECT_EQ(report.per_class_precision[0], 1.0);
+}
+
+TEST(ConfusionMatrixTest, AccuracyOfEmptyMatrixIsZero) {
+  ConfusionMatrix m(2);
+  EXPECT_EQ(m.Accuracy(), 0.0);
+  EXPECT_EQ(m.MacroF1(), 0.0);
+}
+
+}  // namespace
+}  // namespace strudel::ml

@@ -1,0 +1,132 @@
+#include "ml/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace strudel::ml {
+namespace {
+
+Dataset XorDataset(int n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.num_classes = 2;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.UniformDouble();
+    double y = rng.UniformDouble();
+    data.features.append_row(std::vector<double>{x, y});
+    data.labels.push_back((x > 0.5) != (y > 0.5) ? 1 : 0);
+  }
+  data.groups.assign(data.labels.size(), -1);
+  return data;
+}
+
+MlpOptions SmallMlp() {
+  MlpOptions options;
+  options.hidden_sizes = {16};
+  options.epochs = 80;
+  options.learning_rate = 0.05;
+  options.seed = 3;
+  return options;
+}
+
+TEST(MlpTest, LearnsXor) {
+  Dataset data = XorDataset(500, 1);
+  Mlp mlp(SmallMlp());
+  ASSERT_TRUE(mlp.Fit(data).ok());
+  int correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (mlp.Predict(data.features.row(i)) == data.labels[i]) ++correct;
+  }
+  EXPECT_GT(correct, static_cast<int>(data.size() * 0.9));
+}
+
+TEST(MlpTest, ProbabilitiesSumToOne) {
+  Dataset data = XorDataset(100, 2);
+  Mlp mlp(SmallMlp());
+  ASSERT_TRUE(mlp.Fit(data).ok());
+  std::vector<double> proba =
+      mlp.PredictProba(std::vector<double>{0.3, 0.7});
+  double sum = 0.0;
+  for (double p : proba) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MlpTest, MultiClassSoftmax) {
+  Rng rng(4);
+  Dataset data;
+  data.num_classes = 3;
+  for (int i = 0; i < 300; ++i) {
+    const int cls = static_cast<int>(rng.UniformInt(uint64_t{3}));
+    data.features.append_row(std::vector<double>{
+        cls == 0 ? 1.0 : 0.0, cls == 1 ? 1.0 : 0.0});
+    data.labels.push_back(cls);
+  }
+  data.groups.assign(300, -1);
+  Mlp mlp(SmallMlp());
+  ASSERT_TRUE(mlp.Fit(data).ok());
+  EXPECT_EQ(mlp.Predict(std::vector<double>{1.0, 0.0}), 0);
+  EXPECT_EQ(mlp.Predict(std::vector<double>{0.0, 1.0}), 1);
+  EXPECT_EQ(mlp.Predict(std::vector<double>{0.0, 0.0}), 2);
+}
+
+TEST(MlpTest, DeterministicGivenSeed) {
+  Dataset data = XorDataset(200, 5);
+  Mlp a(SmallMlp()), b(SmallMlp());
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> x = {i * 0.1, 1.0 - i * 0.1};
+    EXPECT_EQ(a.PredictProba(x), b.PredictProba(x));
+  }
+}
+
+TEST(MlpTest, LossDecreasesDuringTraining) {
+  Dataset data = XorDataset(300, 6);
+  MlpOptions one_epoch = SmallMlp();
+  one_epoch.epochs = 1;
+  Mlp short_run(one_epoch);
+  ASSERT_TRUE(short_run.Fit(data).ok());
+  Mlp long_run(SmallMlp());
+  ASSERT_TRUE(long_run.Fit(data).ok());
+  EXPECT_LT(long_run.final_loss(), short_run.final_loss());
+}
+
+TEST(MlpTest, NoHiddenLayersIsLogisticRegression) {
+  MlpOptions options = SmallMlp();
+  options.hidden_sizes = {};
+  Rng rng(7);
+  Dataset data;
+  data.num_classes = 2;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.UniformDouble(-1.0, 1.0);
+    data.features.append_row(std::vector<double>{x});
+    data.labels.push_back(x > 0 ? 1 : 0);
+  }
+  data.groups.assign(200, -1);
+  Mlp mlp(options);
+  ASSERT_TRUE(mlp.Fit(data).ok());
+  EXPECT_EQ(mlp.Predict(std::vector<double>{0.9}), 1);
+  EXPECT_EQ(mlp.Predict(std::vector<double>{-0.9}), 0);
+}
+
+TEST(MlpTest, EmptyDatasetRejected) {
+  Dataset data;
+  data.num_classes = 2;
+  Mlp mlp(SmallMlp());
+  EXPECT_FALSE(mlp.Fit(data).ok());
+}
+
+TEST(MlpTest, CloneUntrained) {
+  Dataset data = XorDataset(100, 8);
+  Mlp mlp(SmallMlp());
+  ASSERT_TRUE(mlp.Fit(data).ok());
+  auto clone = mlp.CloneUntrained();
+  EXPECT_EQ(clone->num_classes(), 0);
+}
+
+}  // namespace
+}  // namespace strudel::ml

@@ -1,0 +1,97 @@
+#include "ml/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace strudel::ml {
+namespace {
+
+Dataset GaussianBlobs(int per_class, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.num_classes = 3;
+  const double centers[3][2] = {{0.0, 0.0}, {4.0, 0.0}, {0.0, 4.0}};
+  for (int cls = 0; cls < 3; ++cls) {
+    for (int i = 0; i < per_class; ++i) {
+      data.features.append_row(std::vector<double>{
+          rng.Gaussian(centers[cls][0], 0.5),
+          rng.Gaussian(centers[cls][1], 0.5)});
+      data.labels.push_back(cls);
+    }
+  }
+  data.groups.assign(data.labels.size(), -1);
+  return data;
+}
+
+TEST(NaiveBayesTest, ClassifiesGaussianBlobs) {
+  Dataset data = GaussianBlobs(100, 1);
+  GaussianNaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(data).ok());
+  EXPECT_EQ(nb.Predict(std::vector<double>{0.0, 0.0}), 0);
+  EXPECT_EQ(nb.Predict(std::vector<double>{4.0, 0.0}), 1);
+  EXPECT_EQ(nb.Predict(std::vector<double>{0.0, 4.0}), 2);
+}
+
+TEST(NaiveBayesTest, ProbabilitiesSumToOne) {
+  Dataset data = GaussianBlobs(50, 2);
+  GaussianNaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(data).ok());
+  std::vector<double> proba = nb.PredictProba(std::vector<double>{2.0, 2.0});
+  double sum = 0.0;
+  for (double p : proba) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(NaiveBayesTest, PriorsInfluencePrediction) {
+  // Heavily imbalanced data at an ambiguous point: the majority class
+  // should win.
+  Rng rng(3);
+  Dataset data;
+  data.num_classes = 2;
+  for (int i = 0; i < 190; ++i) {
+    data.features.append_row(std::vector<double>{rng.Gaussian(0.0, 2.0)});
+    data.labels.push_back(0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    data.features.append_row(std::vector<double>{rng.Gaussian(1.0, 2.0)});
+    data.labels.push_back(1);
+  }
+  data.groups.assign(200, -1);
+  GaussianNaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(data).ok());
+  EXPECT_EQ(nb.Predict(std::vector<double>{0.5}), 0);
+}
+
+TEST(NaiveBayesTest, HandlesZeroVarianceFeature) {
+  Dataset data;
+  data.num_classes = 2;
+  data.features = Matrix::FromRows(
+      {{1.0, 0.0}, {1.0, 0.1}, {1.0, 5.0}, {1.0, 5.1}});
+  data.labels = {0, 0, 1, 1};
+  data.groups = {-1, -1, -1, -1};
+  GaussianNaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(data).ok());
+  EXPECT_EQ(nb.Predict(std::vector<double>{1.0, 0.05}), 0);
+  EXPECT_EQ(nb.Predict(std::vector<double>{1.0, 5.05}), 1);
+}
+
+TEST(NaiveBayesTest, EmptyDatasetRejected) {
+  Dataset data;
+  data.num_classes = 2;
+  GaussianNaiveBayes nb;
+  EXPECT_FALSE(nb.Fit(data).ok());
+}
+
+TEST(NaiveBayesTest, CloneUntrained) {
+  Dataset data = GaussianBlobs(30, 4);
+  GaussianNaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(data).ok());
+  auto clone = nb.CloneUntrained();
+  EXPECT_EQ(clone->num_classes(), 0);
+  ASSERT_TRUE(clone->Fit(data).ok());
+  EXPECT_EQ(clone->Predict(std::vector<double>{4.0, 0.0}), 1);
+}
+
+}  // namespace
+}  // namespace strudel::ml

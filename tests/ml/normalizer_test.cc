@@ -1,0 +1,66 @@
+#include "ml/normalizer.h"
+
+#include <gtest/gtest.h>
+
+namespace strudel::ml {
+namespace {
+
+TEST(NormalizerTest, MapsColumnsToUnitInterval) {
+  Matrix m = Matrix::FromRows({{0.0, 10.0}, {5.0, 20.0}, {10.0, 30.0}});
+  MinMaxNormalizer normalizer;
+  normalizer.FitTransform(m);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 1.0);
+}
+
+TEST(NormalizerTest, ConstantColumnsMapToZero) {
+  Matrix m = Matrix::FromRows({{7.0}, {7.0}});
+  MinMaxNormalizer normalizer;
+  normalizer.FitTransform(m);
+  EXPECT_EQ(m.at(0, 0), 0.0);
+  EXPECT_EQ(m.at(1, 0), 0.0);
+}
+
+TEST(NormalizerTest, HeldOutValuesClamped) {
+  Matrix train = Matrix::FromRows({{0.0}, {10.0}});
+  MinMaxNormalizer normalizer;
+  normalizer.Fit(train);
+  Matrix test = Matrix::FromRows({{-5.0}, {15.0}, {5.0}});
+  normalizer.Transform(test);
+  EXPECT_EQ(test.at(0, 0), 0.0);
+  EXPECT_EQ(test.at(1, 0), 1.0);
+  EXPECT_EQ(test.at(2, 0), 0.5);
+}
+
+TEST(NormalizerTest, FittedFlag) {
+  MinMaxNormalizer normalizer;
+  EXPECT_FALSE(normalizer.fitted());
+  Matrix m = Matrix::FromRows({{1.0}});
+  normalizer.Fit(m);
+  EXPECT_TRUE(normalizer.fitted());
+  EXPECT_EQ(normalizer.mins()[0], 1.0);
+  EXPECT_EQ(normalizer.maxs()[0], 1.0);
+}
+
+TEST(NormalizerTest, EmptyMatrixFitIsSafe) {
+  MinMaxNormalizer normalizer;
+  Matrix empty(0, 3);
+  normalizer.Fit(empty);
+  Matrix m = Matrix::FromRows({{1.0, 2.0, 3.0}});
+  normalizer.Transform(m);  // ranges are zero -> all zeros
+  EXPECT_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(NormalizerTest, TransformPreservesShape) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  MinMaxNormalizer normalizer;
+  normalizer.FitTransform(m);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+}
+
+}  // namespace
+}  // namespace strudel::ml

@@ -1,0 +1,119 @@
+#include "ml/permutation_importance.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+
+namespace strudel::ml {
+namespace {
+
+double Accuracy(const std::vector<int>& actual,
+                const std::vector<int>& predicted) {
+  if (actual.empty()) return 0.0;
+  int correct = 0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(actual.size());
+}
+
+// Feature 0 carries the label; features 1-2 are noise.
+Dataset SignalPlusNoise(int n, uint64_t seed, int num_classes = 2) {
+  Rng rng(seed);
+  Dataset data;
+  data.num_classes = num_classes;
+  for (int i = 0; i < n; ++i) {
+    const int cls =
+        static_cast<int>(rng.UniformInt(static_cast<uint64_t>(num_classes)));
+    data.features.append_row(std::vector<double>{
+        static_cast<double>(cls) + rng.Gaussian(0.0, 0.1),
+        rng.UniformDouble(), rng.UniformDouble()});
+    data.labels.push_back(cls);
+  }
+  data.groups.assign(data.labels.size(), -1);
+  return data;
+}
+
+RandomForestOptions SmallForest() {
+  RandomForestOptions options;
+  options.num_trees = 20;
+  options.num_threads = 2;
+  return options;
+}
+
+TEST(PermutationImportanceTest, SignalFeatureDominates) {
+  Dataset train = SignalPlusNoise(400, 1);
+  Dataset eval = SignalPlusNoise(200, 2);
+  RandomForest forest(SmallForest());
+  ASSERT_TRUE(forest.Fit(train).ok());
+  std::vector<double> importances =
+      PermutationImportance(forest, eval, Accuracy);
+  ASSERT_EQ(importances.size(), 3u);
+  EXPECT_GT(importances[0], 0.3);
+  EXPECT_LT(std::abs(importances[1]), 0.1);
+  EXPECT_LT(std::abs(importances[2]), 0.1);
+}
+
+TEST(PermutationImportanceTest, DeterministicGivenSeed) {
+  Dataset train = SignalPlusNoise(200, 3);
+  Dataset eval = SignalPlusNoise(100, 4);
+  RandomForest forest(SmallForest());
+  ASSERT_TRUE(forest.Fit(train).ok());
+  PermutationImportanceOptions options;
+  options.seed = 11;
+  auto a = PermutationImportance(forest, eval, Accuracy, options);
+  auto b = PermutationImportance(forest, eval, Accuracy, options);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PermutationImportanceTest, EmptyEvalGivesZeros) {
+  Dataset train = SignalPlusNoise(100, 5);
+  RandomForest forest(SmallForest());
+  ASSERT_TRUE(forest.Fit(train).ok());
+  Dataset empty;
+  empty.num_classes = 2;
+  empty.features = Matrix(0, 3);
+  auto importances = PermutationImportance(forest, empty, Accuracy);
+  EXPECT_TRUE(importances.empty() ||
+              std::all_of(importances.begin(), importances.end(),
+                          [](double v) { return v == 0.0; }));
+}
+
+TEST(PerClassPermutationImportanceTest, ShapeAndSignal) {
+  Dataset train = SignalPlusNoise(500, 6, 3);
+  Dataset eval = SignalPlusNoise(200, 7, 3);
+  RandomForest prototype(SmallForest());
+  PermutationImportanceOptions options;
+  options.repeats = 3;
+  auto importances =
+      PerClassPermutationImportance(prototype, train, eval, options);
+  ASSERT_EQ(importances.size(), 3u);  // one row per class
+  for (const auto& per_class : importances) {
+    ASSERT_EQ(per_class.size(), 3u);  // one entry per feature
+    // The signal feature must dominate the noise features for each class.
+    EXPECT_GT(per_class[0], per_class[1]);
+    EXPECT_GT(per_class[0], per_class[2]);
+  }
+}
+
+TEST(PermutationImportanceTest, EvalMatrixRestoredAfterRun) {
+  Dataset train = SignalPlusNoise(100, 8);
+  Dataset eval = SignalPlusNoise(50, 9);
+  Matrix before = eval.features;
+  RandomForest forest(SmallForest());
+  ASSERT_TRUE(forest.Fit(train).ok());
+  PermutationImportance(forest, eval, Accuracy);
+  for (size_t r = 0; r < before.rows(); ++r) {
+    for (size_t c = 0; c < before.cols(); ++c) {
+      EXPECT_EQ(eval.features.at(r, c), before.at(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace strudel::ml

@@ -1,0 +1,109 @@
+#include "ml/svm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace strudel::ml {
+namespace {
+
+Dataset LinearlySeparable(int per_class, int num_classes, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.num_classes = num_classes;
+  for (int cls = 0; cls < num_classes; ++cls) {
+    for (int i = 0; i < per_class; ++i) {
+      // Classes along orthogonal axes, well separated.
+      std::vector<double> x(static_cast<size_t>(num_classes), 0.0);
+      x[static_cast<size_t>(cls)] = 2.0 + rng.Gaussian(0.0, 0.3);
+      data.features.append_row(x);
+      data.labels.push_back(cls);
+    }
+  }
+  data.groups.assign(data.labels.size(), -1);
+  return data;
+}
+
+TEST(SvmTest, SeparatesLinearClasses) {
+  Dataset train = LinearlySeparable(80, 3, 1);
+  Dataset test = LinearlySeparable(30, 3, 2);
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(train).ok());
+  int correct = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    if (svm.Predict(test.features.row(i)) == test.labels[i]) ++correct;
+  }
+  EXPECT_GT(correct, static_cast<int>(test.size() * 0.95));
+}
+
+TEST(SvmTest, BinaryDecisionMargins) {
+  Dataset data = LinearlySeparable(60, 2, 3);
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(data).ok());
+  // A point deep in class-0 territory gets a larger class-0 margin.
+  std::vector<double> x0 = {3.0, 0.0};
+  std::vector<double> margins = svm.DecisionFunction(x0);
+  EXPECT_GT(margins[0], margins[1]);
+}
+
+TEST(SvmTest, ProbabilitiesAreSoftmaxOfMargins) {
+  Dataset data = LinearlySeparable(50, 3, 4);
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(data).ok());
+  std::vector<double> proba =
+      svm.PredictProba(std::vector<double>{2.0, 0.0, 0.0});
+  double sum = 0.0;
+  for (double p : proba) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(ArgMax(proba), 0u);
+}
+
+TEST(SvmTest, DeterministicGivenSeed) {
+  Dataset data = LinearlySeparable(50, 2, 5);
+  LinearSvm a, b;
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> x = {i * 0.3, 1.0};
+    EXPECT_EQ(a.DecisionFunction(x), b.DecisionFunction(x));
+  }
+}
+
+TEST(SvmTest, EmptyDatasetRejected) {
+  Dataset data;
+  data.num_classes = 2;
+  LinearSvm svm;
+  EXPECT_FALSE(svm.Fit(data).ok());
+}
+
+TEST(SvmTest, CloneUntrained) {
+  Dataset data = LinearlySeparable(40, 2, 6);
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Fit(data).ok());
+  auto clone = svm.CloneUntrained();
+  EXPECT_EQ(clone->num_classes(), 0);
+  ASSERT_TRUE(clone->Fit(data).ok());
+  EXPECT_EQ(clone->Predict(std::vector<double>{2.0, 0.0}), 0);
+}
+
+TEST(SvmTest, RegularizationShrinksWeights) {
+  Dataset data = LinearlySeparable(60, 2, 7);
+  SvmOptions strong;
+  strong.regularization = 1.0;
+  LinearSvm heavy(strong);
+  ASSERT_TRUE(heavy.Fit(data).ok());
+  SvmOptions weak;
+  weak.regularization = 1e-4;
+  LinearSvm light(weak);
+  ASSERT_TRUE(light.Fit(data).ok());
+  std::vector<double> x = {2.0, 0.0};
+  const auto margins_heavy = heavy.DecisionFunction(x);
+  const auto margins_light = light.DecisionFunction(x);
+  EXPECT_LT(std::abs(margins_heavy[0]), std::abs(margins_light[0]));
+}
+
+}  // namespace
+}  // namespace strudel::ml

@@ -1,0 +1,191 @@
+// Property-based tests: invariants that must hold for every dataset
+// profile and for randomly generated content, swept with parameterised
+// gtest suites.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "csv/dialect_detector.h"
+#include "csv/reader.h"
+#include "csv/writer.h"
+#include "datagen/corpus.h"
+#include "strudel/block_size.h"
+#include "strudel/cell_features.h"
+#include "strudel/derived_detector.h"
+#include "strudel/line_features.h"
+
+namespace strudel {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-profile invariants.
+
+class ProfilePropertyTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::vector<AnnotatedFile> Corpus(uint64_t seed) {
+    datagen::DatasetProfile profile =
+        datagen::ProfileByName(GetParam());
+    // Small but non-trivial; Mendeley gets an extra shrink.
+    const double size_scale = profile.name == "Mendeley" ? 0.02 : 0.25;
+    profile = datagen::ScaledProfile(profile, 0.03, size_scale);
+    return datagen::GenerateCorpus(profile, seed);
+  }
+};
+
+TEST_P(ProfilePropertyTest, AnnotationsAlwaysConsistent) {
+  for (const AnnotatedFile& file : Corpus(101)) {
+    EXPECT_TRUE(AnnotationConsistent(file.table, file.annotation))
+        << GetParam() << " " << file.name;
+  }
+}
+
+TEST_P(ProfilePropertyTest, EveryFileHasDataAndNoMarginalEmptyLines) {
+  for (const AnnotatedFile& file : Corpus(102)) {
+    const auto& labels = file.annotation.line_labels;
+    ASSERT_FALSE(labels.empty());
+    // Generated files are already cropped: first/last lines non-empty.
+    EXPECT_NE(labels.front(), kEmptyLabel) << file.name;
+    EXPECT_NE(labels.back(), kEmptyLabel) << file.name;
+    bool has_data = false;
+    for (int label : labels) {
+      if (label == static_cast<int>(ElementClass::kData)) has_data = true;
+    }
+    EXPECT_TRUE(has_data) << file.name;
+  }
+}
+
+TEST_P(ProfilePropertyTest, LineFeaturesStayInUnitRange) {
+  for (const AnnotatedFile& file : Corpus(103)) {
+    ml::Matrix features = ExtractLineFeatures(file.table);
+    for (size_t r = 0; r < features.rows(); ++r) {
+      for (size_t c = 0; c < features.cols(); ++c) {
+        ASSERT_GE(features.at(r, c), 0.0)
+            << GetParam() << " feature " << c;
+        ASSERT_LE(features.at(r, c), 1.0)
+            << GetParam() << " feature " << c;
+      }
+    }
+  }
+}
+
+TEST_P(ProfilePropertyTest, CellFeatureRowCountMatchesNonEmptyCells) {
+  for (const AnnotatedFile& file : Corpus(104)) {
+    ml::Matrix features = ExtractCellFeatures(file.table, {});
+    EXPECT_EQ(features.rows(),
+              static_cast<size_t>(file.table.non_empty_count()));
+  }
+}
+
+TEST_P(ProfilePropertyTest, CsvRoundTripIsLossless) {
+  for (const AnnotatedFile& file : Corpus(105)) {
+    const std::string text = csv::WriteTable(file.table);
+    auto parsed = csv::ReadTable(text);
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(parsed->num_rows(), file.table.num_rows());
+    for (int r = 0; r < file.table.num_rows(); ++r) {
+      for (int c = 0; c < file.table.num_cols(); ++c) {
+        ASSERT_EQ(parsed->cell(r, c), file.table.cell(r, c));
+      }
+    }
+  }
+}
+
+TEST_P(ProfilePropertyTest, DerivedDetectorOnlyMarksNumericCells) {
+  for (const AnnotatedFile& file : Corpus(106)) {
+    DerivedDetectionResult detection = DetectDerivedCells(file.table);
+    for (int r = 0; r < file.table.num_rows(); ++r) {
+      for (int c = 0; c < file.table.num_cols(); ++c) {
+        if (detection.at(r, c)) {
+          EXPECT_TRUE(IsNumericType(file.table.cell_type(r, c)))
+              << GetParam() << " (" << r << "," << c << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ProfilePropertyTest, BlockSizesPartitionNonEmptyCells) {
+  for (const AnnotatedFile& file : Corpus(107)) {
+    BlockSizeResult blocks = ComputeBlockSizes(file.table);
+    long long total = 0;
+    for (int size : blocks.component_sizes) total += size;
+    EXPECT_EQ(total, file.table.non_empty_count()) << file.name;
+  }
+}
+
+TEST_P(ProfilePropertyTest, GenerationIsDeterministic) {
+  auto a = Corpus(108);
+  auto b = Corpus(108);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].annotation.line_labels, b[i].annotation.line_labels);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfilePropertyTest,
+                         ::testing::Values("GovUK", "SAUS", "CIUS", "DeEx",
+                                           "Mendeley", "Troy"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Fuzz-style round trips of the CSV layer with random content.
+
+class CsvFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsvFuzzTest, WriterReaderRoundTripRandomTables) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  static const std::string kAlphabet =
+      "abcXYZ019 ,;\t|\"'\n()%$.-:\\";
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    // Random ragged grid with adversarial characters.
+    std::vector<std::vector<std::string>> rows(
+        static_cast<size_t>(rng.UniformInt(int64_t{1}, int64_t{8})));
+    for (auto& row : rows) {
+      row.resize(static_cast<size_t>(rng.UniformInt(int64_t{1}, int64_t{6})));
+      for (auto& cell : row) {
+        const int length =
+            static_cast<int>(rng.UniformInt(int64_t{0}, int64_t{12}));
+        for (int i = 0; i < length; ++i) {
+          cell += kAlphabet[rng.UniformInt(kAlphabet.size())];
+        }
+      }
+    }
+    for (char delimiter : {',', ';', '|'}) {
+      csv::Dialect dialect{delimiter, '"', '\0'};
+      const std::string text = csv::WriteCsv(rows, dialect);
+      csv::ReaderOptions options;
+      options.dialect = dialect;
+      auto parsed = csv::ParseCsv(text, options);
+      ASSERT_TRUE(parsed.ok()) << "iter " << iteration;
+      ASSERT_EQ(*parsed, rows)
+          << "delimiter '" << delimiter << "' iter " << iteration;
+    }
+  }
+}
+
+TEST_P(CsvFuzzTest, ParserNeverCrashesOnRandomBytes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    std::string text;
+    const int length =
+        static_cast<int>(rng.UniformInt(int64_t{0}, int64_t{300}));
+    for (int i = 0; i < length; ++i) {
+      text += static_cast<char>(rng.UniformInt(uint64_t{256}));
+    }
+    // Lenient parsing of arbitrary bytes must never fail or crash.
+    auto parsed = csv::ParseCsv(text);
+    EXPECT_TRUE(parsed.ok());
+    // And dialect detection must stay well-defined.
+    auto scores = csv::ScoreDialects(text);
+    EXPECT_FALSE(scores.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace strudel

@@ -1,0 +1,95 @@
+#include "strudel/block_size.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_tables.h"
+
+namespace strudel {
+namespace {
+
+TEST(BlockSizeTest, SingleBlockCoversWholeTable) {
+  csv::Table table = testing::MakeTable({{"a", "b"}, {"c", "d"}});
+  BlockSizeResult result = ComputeBlockSizes(table);
+  ASSERT_EQ(result.component_sizes.size(), 1u);
+  EXPECT_EQ(result.component_sizes[0], 4);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(result.normalized_size[r][c], 1.0);
+      EXPECT_EQ(result.component_id[r][c], 0);
+    }
+  }
+}
+
+TEST(BlockSizeTest, SeparatedBlocksGetDistinctIdsAndSizes) {
+  csv::Table table = testing::MakeTable({
+      {"a", "", "x"},
+      {"b", "", ""},
+      {"", "", ""},
+      {"c", "c", ""},
+  });
+  BlockSizeResult result = ComputeBlockSizes(table);
+  // Blocks: {a,b} (size 2), {x} (size 1), {c,c} (size 2).
+  ASSERT_EQ(result.component_sizes.size(), 3u);
+  EXPECT_EQ(result.component_id[0][0], result.component_id[1][0]);
+  EXPECT_NE(result.component_id[0][0], result.component_id[0][2]);
+  EXPECT_NE(result.component_id[0][0], result.component_id[3][0]);
+  const int total = table.non_empty_count();
+  EXPECT_DOUBLE_EQ(result.normalized_size[0][0], 2.0 / total);
+  EXPECT_DOUBLE_EQ(result.normalized_size[0][2], 1.0 / total);
+}
+
+TEST(BlockSizeTest, DiagonalAdjacencyDoesNotConnect) {
+  csv::Table table = testing::MakeTable({
+      {"a", ""},
+      {"", "b"},
+  });
+  BlockSizeResult result = ComputeBlockSizes(table);
+  EXPECT_EQ(result.component_sizes.size(), 2u);
+  EXPECT_NE(result.component_id[0][0], result.component_id[1][1]);
+}
+
+TEST(BlockSizeTest, EmptyCellsHaveNoComponent) {
+  csv::Table table = testing::MakeTable({{"a", ""}});
+  BlockSizeResult result = ComputeBlockSizes(table);
+  EXPECT_EQ(result.component_id[0][1], -1);
+  EXPECT_EQ(result.normalized_size[0][1], 0.0);
+}
+
+TEST(BlockSizeTest, AllEmptyTable) {
+  csv::Table table = testing::MakeTable({{"", ""}, {"", ""}});
+  BlockSizeResult result = ComputeBlockSizes(table);
+  EXPECT_TRUE(result.component_sizes.empty());
+}
+
+TEST(BlockSizeTest, SnakeShapedComponentIsOneBlock) {
+  csv::Table table = testing::MakeTable({
+      {"a", "a", "a"},
+      {"", "", "a"},
+      {"a", "a", "a"},
+  });
+  BlockSizeResult result = ComputeBlockSizes(table);
+  ASSERT_EQ(result.component_sizes.size(), 1u);
+  EXPECT_EQ(result.component_sizes[0], 7);
+}
+
+TEST(BlockSizeTest, ComponentSizesSumToNonEmptyCount) {
+  AnnotatedFile file = testing::Figure1File();
+  BlockSizeResult result = ComputeBlockSizes(file.table);
+  int sum = 0;
+  for (int size : result.component_sizes) sum += size;
+  EXPECT_EQ(sum, file.table.non_empty_count());
+}
+
+TEST(BlockSizeTest, LargeGridLinearTraversal) {
+  // 100x100 fully populated grid: one component of 10,000 cells.
+  std::vector<std::vector<std::string>> rows(
+      100, std::vector<std::string>(100, "x"));
+  csv::Table table(std::move(rows));
+  BlockSizeResult result = ComputeBlockSizes(table);
+  ASSERT_EQ(result.component_sizes.size(), 1u);
+  EXPECT_EQ(result.component_sizes[0], 10000);
+  EXPECT_DOUBLE_EQ(result.normalized_size[50][50], 1.0);
+}
+
+}  // namespace
+}  // namespace strudel

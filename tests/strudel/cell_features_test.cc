@@ -1,0 +1,196 @@
+#include "strudel/cell_features.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "testing/test_tables.h"
+
+namespace strudel {
+namespace {
+
+// Returns the feature map of the cell at (row, col).
+std::map<std::string, double> CellRow(
+    const csv::Table& table, int row, int col,
+    const std::vector<std::vector<double>>& probabilities = {}) {
+  ml::Matrix features = ExtractCellFeatures(table, probabilities);
+  auto coords = NonEmptyCellCoordinates(table);
+  std::vector<std::string> names = CellFeatureNames();
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (coords[i] == std::make_pair(row, col)) {
+      std::map<std::string, double> out;
+      auto r = features.row(i);
+      for (size_t f = 0; f < names.size(); ++f) out[names[f]] = r[f];
+      return out;
+    }
+  }
+  ADD_FAILURE() << "cell (" << row << "," << col << ") not found";
+  return {};
+}
+
+TEST(CellFeaturesTest, OneRowPerNonEmptyCell) {
+  AnnotatedFile file = testing::Figure1File();
+  ml::Matrix features = ExtractCellFeatures(file.table, {});
+  EXPECT_EQ(features.rows(),
+            static_cast<size_t>(file.table.non_empty_count()));
+  EXPECT_EQ(features.cols(), CellFeatureNames().size());
+}
+
+TEST(CellFeaturesTest, CoordinatesAreRowMajorNonEmpty) {
+  csv::Table table = testing::MakeTable({{"a", ""}, {"", "b"}});
+  auto coords = NonEmptyCellCoordinates(table);
+  ASSERT_EQ(coords.size(), 2u);
+  EXPECT_EQ(coords[0], std::make_pair(0, 0));
+  EXPECT_EQ(coords[1], std::make_pair(1, 1));
+}
+
+TEST(CellFeaturesTest, ValueLengthNormalizedByFileMax) {
+  csv::Table table = testing::MakeTable({{"abcd", "ab"}});
+  EXPECT_DOUBLE_EQ(CellRow(table, 0, 0)["ValueLength"], 1.0);
+  EXPECT_DOUBLE_EQ(CellRow(table, 0, 1)["ValueLength"], 0.5);
+}
+
+TEST(CellFeaturesTest, DataTypeEncoded) {
+  csv::Table table = testing::MakeTable({{"text", "12", "3.5"}});
+  EXPECT_EQ(CellRow(table, 0, 0)["DataType"],
+            static_cast<double>(DataType::kString));
+  EXPECT_EQ(CellRow(table, 0, 1)["DataType"],
+            static_cast<double>(DataType::kInt));
+  EXPECT_EQ(CellRow(table, 0, 2)["DataType"],
+            static_cast<double>(DataType::kFloat));
+}
+
+TEST(CellFeaturesTest, DerivedKeywordFlags) {
+  AnnotatedFile file = testing::Figure1File();
+  auto total_cell = CellRow(file.table, 7, 0);
+  EXPECT_EQ(total_cell["HasDerivedKeywords"], 1.0);
+  EXPECT_EQ(total_cell["RowHasDerivedKeywords"], 1.0);
+  EXPECT_EQ(total_cell["ColumnHasDerivedKeywords"], 1.0);
+  auto data_cell = CellRow(file.table, 4, 1);
+  EXPECT_EQ(data_cell["HasDerivedKeywords"], 0.0);
+  EXPECT_EQ(data_cell["RowHasDerivedKeywords"], 0.0);
+}
+
+TEST(CellFeaturesTest, PositionsNormalized) {
+  AnnotatedFile file = testing::Figure1File();
+  auto first = CellRow(file.table, 0, 0);
+  EXPECT_DOUBLE_EQ(first["RowPosition"], 0.0);
+  EXPECT_DOUBLE_EQ(first["ColumnPosition"], 0.0);
+  auto last = CellRow(file.table, 9, 0);
+  EXPECT_DOUBLE_EQ(last["RowPosition"], 1.0);
+}
+
+TEST(CellFeaturesTest, LineProbabilityBlockFilled) {
+  csv::Table table = testing::MakeTable({{"a"}});
+  std::vector<std::vector<double>> probabilities = {
+      {0.1, 0.2, 0.3, 0.25, 0.05, 0.1}};
+  auto cell = CellRow(table, 0, 0, probabilities);
+  EXPECT_DOUBLE_EQ(cell["LineClassProbability_metadata"], 0.1);
+  EXPECT_DOUBLE_EQ(cell["LineClassProbability_group"], 0.3);
+  EXPECT_DOUBLE_EQ(cell["LineClassProbability_notes"], 0.1);
+}
+
+TEST(CellFeaturesTest, MissingProbabilitiesAreZero) {
+  csv::Table table = testing::MakeTable({{"a"}});
+  auto cell = CellRow(table, 0, 0);
+  EXPECT_EQ(cell["LineClassProbability_data"], 0.0);
+}
+
+TEST(CellFeaturesTest, EmptyRowColumnFlags) {
+  csv::Table table = testing::MakeTable({
+      {"", "", ""},
+      {"", "x", ""},
+      {"", "", ""},
+  });
+  auto cell = CellRow(table, 1, 1);
+  EXPECT_EQ(cell["IsEmptyRowBefore"], 1.0);
+  EXPECT_EQ(cell["IsEmptyRowAfter"], 1.0);
+  EXPECT_EQ(cell["IsEmptyColumnLeft"], 1.0);
+  EXPECT_EQ(cell["IsEmptyColumnRight"], 1.0);
+}
+
+TEST(CellFeaturesTest, FileMarginsCountAsEmptyNeighbours) {
+  csv::Table table = testing::MakeTable({{"x"}});
+  auto cell = CellRow(table, 0, 0);
+  EXPECT_EQ(cell["IsEmptyRowBefore"], 1.0);
+  EXPECT_EQ(cell["IsEmptyRowAfter"], 1.0);
+  EXPECT_EQ(cell["IsEmptyColumnLeft"], 1.0);
+  EXPECT_EQ(cell["IsEmptyColumnRight"], 1.0);
+}
+
+TEST(CellFeaturesTest, EmptyCellRatios) {
+  csv::Table table = testing::MakeTable({
+      {"a", "b"},
+      {"c", ""},
+  });
+  auto cell = CellRow(table, 1, 0);
+  EXPECT_DOUBLE_EQ(cell["RowEmptyCellRatio"], 0.5);
+  EXPECT_DOUBLE_EQ(cell["ColumnEmptyCellRatio"], 0.0);
+}
+
+TEST(CellFeaturesTest, BlockSizeFeature) {
+  csv::Table table = testing::MakeTable({
+      {"a", "", "x"},
+      {"b", "", ""},
+  });
+  auto big = CellRow(table, 0, 0);
+  auto small = CellRow(table, 0, 2);
+  EXPECT_DOUBLE_EQ(big["BlockSize"], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(small["BlockSize"], 1.0 / 3.0);
+}
+
+TEST(CellFeaturesTest, NeighborProfileDefaultsAtMargins) {
+  csv::Table table = testing::MakeTable({{"x"}});
+  auto cell = CellRow(table, 0, 0);
+  for (const char* direction :
+       {"NW", "N", "NE", "W", "E", "SW", "S", "SE"}) {
+    EXPECT_EQ(cell[std::string("NeighborValueLength_") + direction], -1.0)
+        << direction;
+    EXPECT_EQ(cell[std::string("NeighborDataType_") + direction], -1.0)
+        << direction;
+  }
+}
+
+TEST(CellFeaturesTest, NeighborProfileReadsSurroundingCells) {
+  csv::Table table = testing::MakeTable({
+      {"aa", "bbb", "c"},
+      {"dd", "x", "12"},
+      {"e", "ff", "ggg"},
+  });
+  auto cell = CellRow(table, 1, 1);
+  EXPECT_DOUBLE_EQ(cell["NeighborValueLength_N"], 1.0);  // "bbb" / max 3
+  EXPECT_DOUBLE_EQ(cell["NeighborValueLength_W"], 2.0 / 3.0);
+  EXPECT_EQ(cell["NeighborDataType_E"],
+            static_cast<double>(DataType::kInt));
+  EXPECT_EQ(cell["NeighborDataType_SE"],
+            static_cast<double>(DataType::kString));
+}
+
+TEST(CellFeaturesTest, IsAggregationFlagOnDerivedCells) {
+  AnnotatedFile file = testing::Figure1File();
+  EXPECT_EQ(CellRow(file.table, 7, 2)["IsAggregation"], 1.0);
+  EXPECT_EQ(CellRow(file.table, 4, 2)["IsAggregation"], 0.0);
+}
+
+TEST(CellFeaturesTest, SharedDetectionOverloadMatches) {
+  AnnotatedFile file = testing::Figure1File();
+  DerivedDetectionResult detection = DetectDerivedCells(file.table);
+  BlockSizeResult blocks = ComputeBlockSizes(file.table);
+  ml::Matrix a = ExtractCellFeatures(file.table, {});
+  ml::Matrix b = ExtractCellFeatures(file.table, {}, detection, blocks);
+  ASSERT_EQ(a.rows(), b.rows());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(a.at(r, c), b.at(r, c));
+    }
+  }
+}
+
+TEST(CellFeaturesTest, EmptyTableGivesNoRows) {
+  csv::Table table;
+  ml::Matrix features = ExtractCellFeatures(table, {});
+  EXPECT_EQ(features.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace strudel

@@ -1,0 +1,91 @@
+#include "strudel/classes.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_tables.h"
+
+namespace strudel {
+namespace {
+
+TEST(ClassesTest, NamesRoundTrip) {
+  for (int k = 0; k < kNumElementClasses; ++k) {
+    EXPECT_EQ(ElementClassFromName(ElementClassName(k)), k);
+  }
+  EXPECT_EQ(ElementClassFromName("bogus"), kEmptyLabel);
+  EXPECT_EQ(ElementClassName(-1), "empty");
+  EXPECT_EQ(ElementClassName(99), "empty");
+}
+
+TEST(ClassesTest, PaperOrder) {
+  EXPECT_EQ(ElementClassName(0), "metadata");
+  EXPECT_EQ(ElementClassName(1), "header");
+  EXPECT_EQ(ElementClassName(2), "group");
+  EXPECT_EQ(ElementClassName(3), "data");
+  EXPECT_EQ(ElementClassName(4), "derived");
+  EXPECT_EQ(ElementClassName(5), "notes");
+}
+
+TEST(ClassesTest, LineLabelsFromCellsMajority) {
+  const int kG = static_cast<int>(ElementClass::kGroup);
+  const int kD = static_cast<int>(ElementClass::kData);
+  std::vector<std::vector<int>> cells = {
+      {kD, kD, kG},               // majority data
+      {kEmptyLabel, kEmptyLabel}, // empty line
+      {kG},                       // single group cell
+  };
+  std::vector<int> labels = LineLabelsFromCells(cells);
+  EXPECT_EQ(labels[0], kD);
+  EXPECT_EQ(labels[1], kEmptyLabel);
+  EXPECT_EQ(labels[2], kG);
+}
+
+TEST(ClassesTest, LineLabelsTieBreakPrefersRarerClass) {
+  const int kG = static_cast<int>(ElementClass::kGroup);
+  const int kD = static_cast<int>(ElementClass::kData);
+  std::vector<std::vector<int>> cells = {{kD, kG}};
+  // Globally, group is much rarer than data.
+  std::vector<long long> class_counts = {0, 0, 5, 1000, 0, 0};
+  std::vector<int> labels = LineLabelsFromCells(cells, &class_counts);
+  EXPECT_EQ(labels[0], kG);
+  // Without counts, ties resolve to the lower class index.
+  EXPECT_EQ(LineLabelsFromCells(cells)[0], kG);  // group (2) < data (3)
+}
+
+TEST(ClassesTest, AnnotationConsistentAcceptsFixture) {
+  AnnotatedFile file = testing::Figure1File();
+  EXPECT_TRUE(AnnotationConsistent(file.table, file.annotation));
+}
+
+TEST(ClassesTest, AnnotationConsistentRejectsShapeMismatch) {
+  AnnotatedFile file = testing::Figure1File();
+  file.annotation.line_labels.pop_back();
+  EXPECT_FALSE(AnnotationConsistent(file.table, file.annotation));
+}
+
+TEST(ClassesTest, AnnotationConsistentRejectsLabelOnEmptyCell) {
+  AnnotatedFile file = testing::Figure1File();
+  // Row 1 is entirely empty; giving it a label must fail.
+  file.annotation.cell_labels[1][0] = static_cast<int>(ElementClass::kData);
+  EXPECT_FALSE(AnnotationConsistent(file.table, file.annotation));
+}
+
+TEST(ClassesTest, AnnotationConsistentRejectsMissingLabelOnContent) {
+  AnnotatedFile file = testing::Figure1File();
+  file.annotation.cell_labels[0][0] = kEmptyLabel;  // title cell
+  EXPECT_FALSE(AnnotationConsistent(file.table, file.annotation));
+}
+
+TEST(ClassesTest, FilePointersSelectsByIndex) {
+  std::vector<AnnotatedFile> files;
+  files.push_back(testing::Figure1File());
+  files.push_back(testing::StackedTablesFile());
+  auto all = FilePointers(files);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], &files[0]);
+  auto subset = FilePointers(files, {1});
+  ASSERT_EQ(subset.size(), 1u);
+  EXPECT_EQ(subset[0], &files[1]);
+}
+
+}  // namespace
+}  // namespace strudel

@@ -1,0 +1,111 @@
+#include "strudel/column_features.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "testing/test_tables.h"
+
+namespace strudel {
+namespace {
+
+std::map<std::string, double> ColumnRow(const csv::Table& table, int col) {
+  ml::Matrix features = ExtractColumnFeatures(table);
+  std::vector<std::string> names = ColumnFeatureNames();
+  std::map<std::string, double> out;
+  auto row = features.row(static_cast<size_t>(col));
+  for (size_t i = 0; i < names.size(); ++i) out[names[i]] = row[i];
+  return out;
+}
+
+TEST(ColumnFeaturesTest, OneRowPerColumn) {
+  AnnotatedFile file = testing::Figure1File();
+  ml::Matrix features = ExtractColumnFeatures(file.table);
+  EXPECT_EQ(features.rows(), static_cast<size_t>(file.table.num_cols()));
+  EXPECT_EQ(features.cols(), ColumnFeatureNames().size());
+}
+
+TEST(ColumnFeaturesTest, TypeRatios) {
+  csv::Table table = testing::MakeTable({
+      {"a", "1", "2019-01-01"},
+      {"b", "2", "x"},
+  });
+  auto col0 = ColumnRow(table, 0);
+  EXPECT_DOUBLE_EQ(col0["ColStringRatio"], 1.0);
+  EXPECT_DOUBLE_EQ(col0["ColNumericRatio"], 0.0);
+  auto col1 = ColumnRow(table, 1);
+  EXPECT_DOUBLE_EQ(col1["ColNumericRatio"], 1.0);
+  auto col2 = ColumnRow(table, 2);
+  EXPECT_DOUBLE_EQ(col2["ColDateRatio"], 0.5);
+  EXPECT_DOUBLE_EQ(col2["ColTypeHomogeneity"], 0.5);
+}
+
+TEST(ColumnFeaturesTest, EmptyRatioAndKeyword) {
+  AnnotatedFile file = testing::Figure1File();
+  auto col0 = ColumnRow(file.table, 0);  // sparse, contains "Total"
+  EXPECT_GT(col0["ColEmptyRatio"], 0.5);
+  EXPECT_EQ(col0["ColHasKeyword"], 1.0);
+  auto col2 = ColumnRow(file.table, 2);
+  EXPECT_EQ(col2["ColHasKeyword"], 0.0);
+}
+
+TEST(ColumnFeaturesTest, PositionNormalized) {
+  csv::Table table = testing::MakeTable({{"a", "b", "c"}});
+  EXPECT_DOUBLE_EQ(ColumnRow(table, 0)["ColPosition"], 0.0);
+  EXPECT_DOUBLE_EQ(ColumnRow(table, 2)["ColPosition"], 1.0);
+}
+
+TEST(ColumnFeaturesTest, DistinctValueRatio) {
+  csv::Table table = testing::MakeTable({
+      {"x"}, {"x"}, {"x"}, {"y"},
+  });
+  EXPECT_DOUBLE_EQ(ColumnRow(table, 0)["ColDistinctValueRatio"], 0.5);
+}
+
+TEST(ColumnFeaturesTest, TopCellIsString) {
+  csv::Table table = testing::MakeTable({
+      {"", "Header"},
+      {"1", "2"},
+  });
+  EXPECT_EQ(ColumnRow(table, 1)["ColTopCellIsString"], 1.0);
+  EXPECT_EQ(ColumnRow(table, 0)["ColTopCellIsString"], 0.0);  // top is "1"
+}
+
+TEST(ColumnFeaturesTest, ValuesInUnitRange) {
+  AnnotatedFile file = testing::StackedTablesFile();
+  ml::Matrix features = ExtractColumnFeatures(file.table);
+  for (size_t r = 0; r < features.rows(); ++r) {
+    for (size_t c = 0; c < features.cols(); ++c) {
+      EXPECT_GE(features.at(r, c), 0.0);
+      EXPECT_LE(features.at(r, c), 1.0);
+    }
+  }
+}
+
+TEST(ColumnLabelsTest, MajorityPerColumn) {
+  AnnotatedFile file = testing::Figure1File();
+  std::vector<int> labels = ColumnLabelsFromCells(
+      file.annotation.cell_labels, file.table.num_cols());
+  // Column 0: metadata, group, group, notes -> group (majority 2).
+  EXPECT_EQ(labels[0], static_cast<int>(ElementClass::kGroup));
+  // Column 2: header + 3 data + derived -> data.
+  EXPECT_EQ(labels[2], static_cast<int>(ElementClass::kData));
+}
+
+TEST(ColumnLabelsTest, EmptyColumnGetsEmptyLabel) {
+  std::vector<std::vector<int>> cells = {{0, kEmptyLabel}};
+  std::vector<int> labels = ColumnLabelsFromCells(cells, 2);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], kEmptyLabel);
+}
+
+TEST(ColumnLabelsTest, TieBreaksTowardRarerClass) {
+  const int kG = static_cast<int>(ElementClass::kGroup);
+  const int kD = static_cast<int>(ElementClass::kData);
+  std::vector<std::vector<int>> cells = {{kD}, {kG}};
+  std::vector<long long> counts = {0, 0, 10, 1000, 0, 0};
+  EXPECT_EQ(ColumnLabelsFromCells(cells, 1, &counts)[0], kG);
+}
+
+}  // namespace
+}  // namespace strudel

@@ -1,0 +1,59 @@
+#include "strudel/keywords.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/test_tables.h"
+
+namespace strudel {
+namespace {
+
+TEST(KeywordsTest, DictionaryMatchesPaper) {
+  auto keywords = AggregationKeywords();
+  ASSERT_EQ(keywords.size(), 7u);
+  const std::vector<std::string_view> expected = {
+      "total", "all", "sum", "average", "avg", "mean", "median"};
+  for (std::string_view k : expected) {
+    EXPECT_NE(std::find(keywords.begin(), keywords.end(), k),
+              keywords.end())
+        << k;
+  }
+}
+
+TEST(KeywordsTest, CaseInsensitiveWholeWordMatch) {
+  EXPECT_TRUE(HasAggregationKeyword("Total"));
+  EXPECT_TRUE(HasAggregationKeyword("GRAND TOTAL"));
+  EXPECT_TRUE(HasAggregationKeyword("average rate"));
+  EXPECT_TRUE(HasAggregationKeyword("Avg."));
+  EXPECT_TRUE(HasAggregationKeyword("All areas"));
+  EXPECT_TRUE(HasAggregationKeyword("Total:"));
+}
+
+TEST(KeywordsTest, SubstringsDoNotMatch) {
+  EXPECT_FALSE(HasAggregationKeyword("totally"));
+  EXPECT_FALSE(HasAggregationKeyword("subtotal"));
+  EXPECT_FALSE(HasAggregationKeyword("summary"));
+  EXPECT_FALSE(HasAggregationKeyword("meaning"));
+  EXPECT_FALSE(HasAggregationKeyword("allocated"));
+  EXPECT_FALSE(HasAggregationKeyword(""));
+}
+
+TEST(KeywordsTest, RowAndColumnScans) {
+  AnnotatedFile file = testing::Figure1File();
+  // Row 7 is the "Total" derived line.
+  EXPECT_TRUE(RowHasAggregationKeyword(file.table, 7));
+  EXPECT_FALSE(RowHasAggregationKeyword(file.table, 4));
+  // Column 0 contains "Total".
+  EXPECT_TRUE(ColumnHasAggregationKeyword(file.table, 0));
+  EXPECT_FALSE(ColumnHasAggregationKeyword(file.table, 1));
+}
+
+TEST(KeywordsTest, OutOfRangeRowIsFalse) {
+  AnnotatedFile file = testing::Figure1File();
+  EXPECT_FALSE(RowHasAggregationKeyword(file.table, 100));
+  EXPECT_FALSE(ColumnHasAggregationKeyword(file.table, 100));
+}
+
+}  // namespace
+}  // namespace strudel

@@ -1,0 +1,163 @@
+#include "strudel/line_features.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "testing/test_tables.h"
+
+namespace strudel {
+namespace {
+
+std::map<std::string, double> FeatureRow(const csv::Table& table, int row,
+                                         const LineFeatureOptions& options =
+                                             {}) {
+  ml::Matrix features = ExtractLineFeatures(table, options);
+  std::vector<std::string> names = LineFeatureNames(options);
+  std::map<std::string, double> out;
+  auto r = features.row(static_cast<size_t>(row));
+  for (size_t i = 0; i < names.size(); ++i) out[names[i]] = r[i];
+  return out;
+}
+
+TEST(LineFeaturesTest, ShapeMatchesNames) {
+  AnnotatedFile file = testing::Figure1File();
+  ml::Matrix features = ExtractLineFeatures(file.table);
+  EXPECT_EQ(features.rows(), static_cast<size_t>(file.table.num_rows()));
+  EXPECT_EQ(features.cols(), LineFeatureNames().size());
+}
+
+TEST(LineFeaturesTest, EmptyCellRatio) {
+  AnnotatedFile file = testing::Figure1File();
+  // Row 0: one non-empty of four cells.
+  auto row0 = FeatureRow(file.table, 0);
+  EXPECT_DOUBLE_EQ(row0["EmptyCellRatio"], 0.75);
+  // Row 4 (data): three of four.
+  auto row4 = FeatureRow(file.table, 4);
+  EXPECT_DOUBLE_EQ(row4["EmptyCellRatio"], 0.25);
+}
+
+TEST(LineFeaturesTest, DcgWeighsLeftContentHigher) {
+  csv::Table left = testing::MakeTable({{"x", "", "", ""}});
+  csv::Table right = testing::MakeTable({{"", "", "", "x"}});
+  EXPECT_GT(FeatureRow(left, 0)["DiscountedCumulativeGain"],
+            FeatureRow(right, 0)["DiscountedCumulativeGain"]);
+}
+
+TEST(LineFeaturesTest, AggregationWordFlag) {
+  AnnotatedFile file = testing::Figure1File();
+  EXPECT_EQ(FeatureRow(file.table, 7)["AggregationWord"], 1.0);  // Total
+  EXPECT_EQ(FeatureRow(file.table, 4)["AggregationWord"], 0.0);
+}
+
+TEST(LineFeaturesTest, WordAmountIsPerFileNormalized) {
+  AnnotatedFile file = testing::Figure1File();
+  ml::Matrix features = ExtractLineFeatures(file.table);
+  std::vector<std::string> names = LineFeatureNames();
+  size_t idx = 0;
+  while (names[idx] != "WordAmount") ++idx;
+  double min_v = 1e9, max_v = -1e9;
+  for (size_t r = 0; r < features.rows(); ++r) {
+    min_v = std::min(min_v, features.at(r, idx));
+    max_v = std::max(max_v, features.at(r, idx));
+  }
+  EXPECT_DOUBLE_EQ(min_v, 0.0);
+  EXPECT_DOUBLE_EQ(max_v, 1.0);
+}
+
+TEST(LineFeaturesTest, TypeRatios) {
+  csv::Table table =
+      testing::MakeTable({{"a", "1", "2.5", ""}});
+  auto row = FeatureRow(table, 0);
+  EXPECT_DOUBLE_EQ(row["NumericalCellRatio"], 0.5);   // 2 of 4
+  EXPECT_DOUBLE_EQ(row["StringCellRatio"], 0.25);     // 1 of 4
+}
+
+TEST(LineFeaturesTest, LinePositionSpansZeroToOne) {
+  AnnotatedFile file = testing::Figure1File();
+  EXPECT_DOUBLE_EQ(FeatureRow(file.table, 0)["LinePosition"], 0.0);
+  EXPECT_DOUBLE_EQ(FeatureRow(file.table, 9)["LinePosition"], 1.0);
+}
+
+TEST(LineFeaturesTest, DataTypeMatchingUsesClosestNonEmptyLine) {
+  // Rows 4 and 6 are identical in type; row 5 is empty and must be
+  // skipped when computing row 4's "below" context.
+  csv::Table table = testing::MakeTable({
+      {"a", "1"},
+      {"", ""},
+      {"b", "2"},
+  });
+  auto row0 = FeatureRow(table, 0);
+  EXPECT_DOUBLE_EQ(row0["DataTypeMatchingBelow"], 1.0);
+  EXPECT_DOUBLE_EQ(row0["DataTypeMatchingAbove"], 0.0);  // no line above
+}
+
+TEST(LineFeaturesTest, EmptyNeighboringLinesWindow) {
+  csv::Table table = testing::MakeTable({
+      {"a"}, {""}, {""}, {"b"}, {"c"},
+  });
+  // Row 3 ("b"): window above = rows 2,1,0 -> 2 empty of 3.
+  auto row3 = FeatureRow(table, 3);
+  EXPECT_DOUBLE_EQ(row3["EmptyNeighboringLinesAbove"], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(row3["EmptyNeighboringLinesBelow"], 0.0);
+  // First row has no lines above.
+  auto row0 = FeatureRow(table, 0);
+  EXPECT_DOUBLE_EQ(row0["EmptyNeighboringLinesAbove"], 0.0);
+}
+
+TEST(LineFeaturesTest, CellLengthDifferenceHighForDissimilarLines) {
+  csv::Table table = testing::MakeTable({
+      {"aa", "bb", "cc"},
+      {"aa", "bb", "cc"},
+      {"a very long natural language sentence", "", ""},
+  });
+  auto row0 = FeatureRow(table, 0);
+  EXPECT_NEAR(row0["CellLengthDifferenceBelow"], 0.0, 1e-9);
+  auto row1 = FeatureRow(table, 1);
+  EXPECT_GT(row1["CellLengthDifferenceBelow"], 0.9);
+}
+
+TEST(LineFeaturesTest, DerivedCoverageOnFigure1TotalRow) {
+  AnnotatedFile file = testing::Figure1File();
+  auto row7 = FeatureRow(file.table, 7);
+  EXPECT_DOUBLE_EQ(row7["DerivedCoverage"], 1.0);
+  auto row4 = FeatureRow(file.table, 4);
+  EXPECT_DOUBLE_EQ(row4["DerivedCoverage"], 0.0);
+}
+
+TEST(LineFeaturesTest, GlobalFeaturesOnlyWhenEnabled) {
+  LineFeatureOptions with_global;
+  with_global.include_global_features = true;
+  EXPECT_EQ(LineFeatureNames().size() + 4,
+            LineFeatureNames(with_global).size());
+  AnnotatedFile file = testing::Figure1File();
+  ml::Matrix features = ExtractLineFeatures(file.table, with_global);
+  EXPECT_EQ(features.cols(), LineFeatureNames(with_global).size());
+  // Global features identical across lines.
+  std::vector<std::string> names = LineFeatureNames(with_global);
+  size_t idx = 0;
+  while (names[idx] != "GlobalEmptyLineRatio") ++idx;
+  for (size_t r = 1; r < features.rows(); ++r) {
+    EXPECT_EQ(features.at(r, idx), features.at(0, idx));
+  }
+}
+
+TEST(LineFeaturesTest, EmptyTableGivesEmptyMatrix) {
+  csv::Table table;
+  ml::Matrix features = ExtractLineFeatures(table);
+  EXPECT_EQ(features.rows(), 0u);
+}
+
+TEST(LineFeaturesTest, AllValuesInExpectedRange) {
+  AnnotatedFile file = testing::StackedTablesFile();
+  ml::Matrix features = ExtractLineFeatures(file.table);
+  for (size_t r = 0; r < features.rows(); ++r) {
+    for (size_t c = 0; c < features.cols(); ++c) {
+      EXPECT_GE(features.at(r, c), 0.0) << "feature " << c;
+      EXPECT_LE(features.at(r, c), 1.0) << "feature " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace strudel

@@ -1,0 +1,186 @@
+#include "strudel/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "datagen/corpus.h"
+#include "ml/naive_bayes.h"
+#include "testing/test_tables.h"
+
+namespace strudel {
+namespace {
+
+std::vector<AnnotatedFile> SmallCorpus(uint64_t seed = 91) {
+  datagen::DatasetProfile profile =
+      datagen::ScaledProfile(datagen::SausProfile(), 0.05, 0.35);
+  return datagen::GenerateCorpus(profile, seed);
+}
+
+StrudelLineOptions FastLine() {
+  StrudelLineOptions options;
+  options.forest.num_trees = 10;
+  options.forest.num_threads = 1;
+  return options;
+}
+
+StrudelCellOptions FastCell() {
+  StrudelCellOptions options;
+  options.forest.num_trees = 8;
+  options.line.forest.num_trees = 8;
+  options.line_cross_fit_folds = 0;
+  return options;
+}
+
+TEST(ModelIoTest, ForestRoundTripPreservesPredictions) {
+  ml::Dataset data;
+  data.num_classes = 3;
+  Rng rng(1);
+  for (int i = 0; i < 150; ++i) {
+    const int cls = static_cast<int>(rng.UniformInt(uint64_t{3}));
+    data.features.append_row(std::vector<double>{
+        cls + rng.Gaussian(0.0, 0.2), rng.UniformDouble()});
+    data.labels.push_back(cls);
+  }
+  data.groups.assign(150, -1);
+  ml::RandomForestOptions options;
+  options.num_trees = 7;
+  ml::RandomForest original(options);
+  ASSERT_TRUE(original.Fit(data).ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(original.Save(stream).ok());
+  ml::RandomForest loaded;
+  ASSERT_TRUE(loaded.Load(stream).ok());
+  EXPECT_EQ(loaded.num_trees(), 7);
+  EXPECT_EQ(loaded.num_classes(), 3);
+  for (int i = 0; i < 30; ++i) {
+    std::vector<double> x = {i * 0.1, 0.5};
+    EXPECT_EQ(original.PredictProba(x), loaded.PredictProba(x)) << i;
+  }
+}
+
+TEST(ModelIoTest, NormalizerRoundTrip) {
+  ml::Matrix m = ml::Matrix::FromRows({{1.0, -3.0}, {5.0, 7.0}});
+  ml::MinMaxNormalizer original;
+  original.Fit(m);
+  std::stringstream stream;
+  ASSERT_TRUE(original.Save(stream).ok());
+  ml::MinMaxNormalizer loaded;
+  ASSERT_TRUE(loaded.Load(stream).ok());
+  EXPECT_EQ(loaded.mins(), original.mins());
+  EXPECT_EQ(loaded.maxs(), original.maxs());
+}
+
+TEST(ModelIoTest, LineModelRoundTripPreservesPredictions) {
+  auto corpus = SmallCorpus();
+  StrudelLine original(FastLine());
+  ASSERT_TRUE(original.Fit(corpus).ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveModel(original, stream).ok());
+  auto loaded = LoadLineModel(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const AnnotatedFile& file : corpus) {
+    EXPECT_EQ(original.Predict(file.table).classes,
+              loaded->Predict(file.table).classes);
+  }
+}
+
+TEST(ModelIoTest, CellModelRoundTripPreservesPredictions) {
+  auto corpus = SmallCorpus(92);
+  StrudelCell original(FastCell());
+  ASSERT_TRUE(original.Fit(corpus).ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveModel(original, stream).ok());
+  auto loaded = LoadCellModel(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(original.Predict(corpus[0].table).classes,
+            loaded->Predict(corpus[0].table).classes);
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  auto corpus = SmallCorpus(93);
+  StrudelLine original(FastLine());
+  ASSERT_TRUE(original.Fit(corpus).ok());
+  const std::string path = ::testing::TempDir() + "/strudel_line.model";
+  ASSERT_TRUE(SaveModelToFile(original, path).ok());
+  auto loaded = LoadLineModelFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(original.Predict(corpus[0].table).classes,
+            loaded->Predict(corpus[0].table).classes);
+}
+
+TEST(ModelIoTest, FeatureOptionsSurviveRoundTrip) {
+  auto corpus = SmallCorpus(94);
+  StrudelLineOptions options = FastLine();
+  options.features.neighbor_window = 7;
+  options.features.derived_options.delta = 0.25;
+  StrudelLine original(options);
+  ASSERT_TRUE(original.Fit(corpus).ok());
+  std::stringstream stream;
+  ASSERT_TRUE(SaveModel(original, stream).ok());
+  auto loaded = LoadLineModel(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->options().features.neighbor_window, 7);
+  EXPECT_DOUBLE_EQ(loaded->options().features.derived_options.delta, 0.25);
+}
+
+TEST(ModelIoTest, UnfittedModelCannotBeSaved) {
+  StrudelLine unfitted(FastLine());
+  std::stringstream stream;
+  EXPECT_EQ(SaveModel(unfitted, stream).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ModelIoTest, CorruptStreamRejected) {
+  std::stringstream garbage("not a model at all");
+  auto loaded = LoadLineModel(garbage);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+
+  std::stringstream truncated("strudel_line v1 5 8 0 0.1 0.5 1 1 2 0\n");
+  EXPECT_FALSE(LoadLineModel(truncated).ok());
+}
+
+TEST(ModelIoTest, ForestLoadRejectsCorruptStreams) {
+  ml::RandomForest forest;
+  std::stringstream wrong_magic("woods v1 2 1\n");
+  EXPECT_FALSE(forest.Load(wrong_magic).ok());
+  std::stringstream implausible("forest v1 2 99999999\n");
+  EXPECT_FALSE(forest.Load(implausible).ok());
+  // Tree with an out-of-range child index.
+  std::stringstream bad_child(
+      "forest v1 2 1\n"
+      "tree v1 2 1 1\n"
+      "0 0.5 7 8 0.5 10 0 2 0.5 0.5\n");
+  EXPECT_FALSE(forest.Load(bad_child).ok());
+}
+
+TEST(ModelIoTest, NormalizerLoadRejectsCorruptStreams) {
+  ml::MinMaxNormalizer normalizer;
+  std::stringstream wrong("maxmin v1 1\n0 1\n");
+  EXPECT_FALSE(normalizer.Load(wrong).ok());
+  std::stringstream truncated("minmax v1 3\n0 1\n");
+  EXPECT_FALSE(normalizer.Load(truncated).ok());
+}
+
+TEST(ModelIoTest, MissingFileRejected) {
+  EXPECT_FALSE(LoadLineModelFromFile("/nonexistent/x.model").ok());
+  EXPECT_FALSE(LoadCellModelFromFile("/nonexistent/x.model").ok());
+}
+
+TEST(ModelIoTest, NonForestBackboneRejected) {
+  auto corpus = SmallCorpus(95);
+  StrudelLineOptions options = FastLine();
+  options.backbone_prototype = std::make_shared<ml::GaussianNaiveBayes>();
+  StrudelLine model(options);
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  std::stringstream stream;
+  EXPECT_EQ(SaveModel(model, stream).code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace strudel

@@ -1,0 +1,137 @@
+#include "strudel/postprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_tables.h"
+
+namespace strudel {
+namespace {
+
+constexpr int kM = static_cast<int>(ElementClass::kMetadata);
+constexpr int kH = static_cast<int>(ElementClass::kHeader);
+constexpr int kG = static_cast<int>(ElementClass::kGroup);
+constexpr int kD = static_cast<int>(ElementClass::kData);
+constexpr int kV = static_cast<int>(ElementClass::kDerived);
+constexpr int kN = static_cast<int>(ElementClass::kNotes);
+constexpr int kE = kEmptyLabel;
+
+TEST(PostprocessTest, IsolatedCellTakesLineMajority) {
+  csv::Table table = testing::MakeTable({{"a", "b", "c", "d"}});
+  std::vector<std::vector<int>> labels = {{kD, kD, kN, kD}};
+  PostprocessStats stats = PostprocessCellPredictions(table, labels);
+  EXPECT_EQ(stats.isolated_repaired, 1);
+  EXPECT_EQ(labels[0], (std::vector<int>{kD, kD, kD, kD}));
+}
+
+TEST(PostprocessTest, GroupIslandInDerivedLineProtected) {
+  // A "Total" group cell leading a derived line is legitimate (§6.2.2).
+  csv::Table table = testing::MakeTable({{"Total", "1", "2", "3"}});
+  std::vector<std::vector<int>> labels = {{kG, kV, kV, kV}};
+  PostprocessStats stats = PostprocessCellPredictions(table, labels);
+  EXPECT_EQ(stats.isolated_repaired, 0);
+  EXPECT_EQ(labels[0][0], kG);
+}
+
+TEST(PostprocessTest, DerivedIslandInDataLineProtected) {
+  // Derived columns place one derived cell inside data lines.
+  csv::Table table = testing::MakeTable({{"x", "1", "2", "3"}});
+  std::vector<std::vector<int>> labels = {{kD, kD, kD, kV}};
+  PostprocessStats stats = PostprocessCellPredictions(table, labels);
+  EXPECT_EQ(stats.isolated_repaired, 0);
+  EXPECT_EQ(labels[0][3], kV);
+}
+
+TEST(PostprocessTest, ShortLinesNotTouched) {
+  csv::Table table = testing::MakeTable({{"a", "b"}});
+  std::vector<std::vector<int>> labels = {{kD, kN}};
+  PostprocessStats stats = PostprocessCellPredictions(table, labels);
+  EXPECT_EQ(stats.isolated_repaired, 0);
+}
+
+TEST(PostprocessTest, MixedLinesWithoutMajorityNotTouched) {
+  csv::Table table = testing::MakeTable({{"a", "b", "c", "d"}});
+  std::vector<std::vector<int>> labels = {{kD, kD, kN, kN}};
+  PostprocessStats stats = PostprocessCellPredictions(table, labels);
+  EXPECT_EQ(stats.isolated_repaired, 0);
+}
+
+TEST(PostprocessTest, HeaderBelowAllDataBecomesData) {
+  csv::Table table = testing::MakeTable({
+      {"Count"},
+      {"1"},
+      {"2"},
+      {"2019"},  // numeric header misprediction at the bottom
+  });
+  std::vector<std::vector<int>> labels = {{kH}, {kD}, {kD}, {kH}};
+  PostprocessStats stats = PostprocessCellPredictions(table, labels);
+  EXPECT_EQ(stats.header_below_data_repaired, 1);
+  EXPECT_EQ(labels[3][0], kD);
+  EXPECT_EQ(labels[0][0], kH);  // the real header is untouched
+}
+
+TEST(PostprocessTest, HeaderOfStackedTableKept) {
+  // A header followed by more data opens the next stacked table.
+  csv::Table table = testing::MakeTable({
+      {"Count"},
+      {"1"},
+      {"Rate"},
+      {"2"},
+  });
+  std::vector<std::vector<int>> labels = {{kH}, {kD}, {kH}, {kD}};
+  PostprocessStats stats = PostprocessCellPredictions(table, labels);
+  EXPECT_EQ(stats.header_below_data_repaired, 0);
+  EXPECT_EQ(labels[2][0], kH);
+}
+
+TEST(PostprocessTest, MetadataAfterNotesBecomesNotes) {
+  csv::Table table = testing::MakeTable({
+      {"title"},
+      {"1"},
+      {"* note"},
+      {"stray"},
+  });
+  std::vector<std::vector<int>> labels = {{kM}, {kD}, {kN}, {kM}};
+  PostprocessStats stats = PostprocessCellPredictions(table, labels);
+  EXPECT_EQ(stats.metadata_after_notes_repaired, 1);
+  EXPECT_EQ(labels[3][0], kN);
+  EXPECT_EQ(labels[0][0], kM);
+}
+
+TEST(PostprocessTest, NotesBetweenStackedTablesNotRepaired) {
+  csv::Table table = testing::MakeTable({
+      {"* note"},
+      {"title2"},
+      {"5"},
+  });
+  std::vector<std::vector<int>> labels = {{kN}, {kM}, {kD}};
+  PostprocessStats stats = PostprocessCellPredictions(table, labels);
+  EXPECT_EQ(stats.metadata_after_notes_repaired, 0);
+  EXPECT_EQ(labels[1][0], kM);
+}
+
+TEST(PostprocessTest, RulesCanBeDisabledIndividually) {
+  csv::Table table = testing::MakeTable({{"a", "b", "c", "d"}});
+  std::vector<std::vector<int>> labels = {{kD, kD, kN, kD}};
+  PostprocessOptions options;
+  options.repair_isolated_cells = false;
+  PostprocessStats stats = PostprocessCellPredictions(table, labels, options);
+  EXPECT_EQ(stats.total(), 0);
+  EXPECT_EQ(labels[0][2], kN);
+}
+
+TEST(PostprocessTest, ShapeMismatchIsSafeNoOp) {
+  csv::Table table = testing::MakeTable({{"a", "b"}});
+  std::vector<std::vector<int>> labels = {{kD}};  // too narrow
+  PostprocessStats stats = PostprocessCellPredictions(table, labels);
+  EXPECT_EQ(stats.total(), 0);
+}
+
+TEST(PostprocessTest, EmptyCellsNeverGainLabels) {
+  csv::Table table = testing::MakeTable({{"a", "", "c", "d", "e"}});
+  std::vector<std::vector<int>> labels = {{kD, kE, kN, kD, kD}};
+  PostprocessCellPredictions(table, labels);
+  EXPECT_EQ(labels[0][1], kE);
+}
+
+}  // namespace
+}  // namespace strudel

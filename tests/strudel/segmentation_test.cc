@@ -1,0 +1,129 @@
+#include "strudel/segmentation.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_tables.h"
+
+namespace strudel {
+namespace {
+
+TEST(SegmentationTest, Figure1GroundTruthSegments) {
+  AnnotatedFile file = testing::Figure1File();
+  FileSegmentation segmentation =
+      SegmentFile(file.table, file.annotation.line_labels);
+
+  EXPECT_EQ(segmentation.metadata_rows, (std::vector<int>{0}));
+  EXPECT_EQ(segmentation.notes_rows, (std::vector<int>{9}));
+  ASSERT_EQ(segmentation.tables.size(), 1u);
+  const TableSegment& segment = segmentation.tables[0];
+  EXPECT_EQ(segment.header_rows, (std::vector<int>{2}));
+  EXPECT_EQ(segment.data_rows, (std::vector<int>{4, 5, 6}));
+  EXPECT_EQ(segment.derived_rows, (std::vector<int>{7}));
+  ASSERT_EQ(segment.group_lines.size(), 1u);
+  EXPECT_EQ(segment.group_lines[0].first, 3);
+  EXPECT_EQ(segment.group_lines[0].second, "Sale/Manufacturing");
+}
+
+TEST(SegmentationTest, StackedTablesSplitAtSecondHeader) {
+  AnnotatedFile file = testing::StackedTablesFile();
+  FileSegmentation segmentation =
+      SegmentFile(file.table, file.annotation.line_labels);
+  ASSERT_EQ(segmentation.tables.size(), 2u);
+  EXPECT_EQ(segmentation.tables[0].data_rows, (std::vector<int>{2, 3}));
+  EXPECT_EQ(segmentation.tables[1].data_rows, (std::vector<int>{8, 9}));
+  EXPECT_EQ(segmentation.metadata_rows.size(), 2u);
+  EXPECT_EQ(segmentation.notes_rows.size(), 1u);
+}
+
+TEST(SegmentationTest, ExtractionDropsDerivedAndAddsGroupColumn) {
+  AnnotatedFile file = testing::Figure1File();
+  FileSegmentation segmentation =
+      SegmentFile(file.table, file.annotation.line_labels);
+  auto tables = ExtractRelationalTables(file.table, segmentation);
+  ASSERT_EQ(tables.size(), 1u);
+  const RelationalTable& relation = tables[0];
+  EXPECT_EQ(relation.header[0], "group");
+  EXPECT_EQ(relation.header[2], "Offense");
+  ASSERT_EQ(relation.rows.size(), 3u);  // derived line dropped
+  EXPECT_EQ(relation.rows[0][0], "Sale/Manufacturing");
+  EXPECT_EQ(relation.rows[0][2], "Heroin");
+  EXPECT_EQ(relation.rows[2][3], "650");
+}
+
+TEST(SegmentationTest, ExtractionKeepingDerivedRows) {
+  AnnotatedFile file = testing::Figure1File();
+  FileSegmentation segmentation =
+      SegmentFile(file.table, file.annotation.line_labels);
+  ExtractionOptions options;
+  options.drop_derived = false;
+  auto tables = ExtractRelationalTables(file.table, segmentation, options);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].rows.size(), 4u);
+}
+
+TEST(SegmentationTest, ExtractionWithoutGroupColumn) {
+  AnnotatedFile file = testing::Figure1File();
+  FileSegmentation segmentation =
+      SegmentFile(file.table, file.annotation.line_labels);
+  ExtractionOptions options;
+  options.include_group_column = false;
+  auto tables = ExtractRelationalTables(file.table, segmentation, options);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].header.size(),
+            static_cast<size_t>(file.table.num_cols()));
+  EXPECT_EQ(tables[0].rows[0][1], "Heroin");
+}
+
+TEST(SegmentationTest, GroupLabelFollowsFractions) {
+  csv::Table table = testing::MakeTable({
+      {"Region", "Count"},
+      {"North:", ""},
+      {"a", "1"},
+      {"South:", ""},
+      {"b", "2"},
+  });
+  const int kH = static_cast<int>(ElementClass::kHeader);
+  const int kG = static_cast<int>(ElementClass::kGroup);
+  const int kD = static_cast<int>(ElementClass::kData);
+  std::vector<int> lines = {kH, kG, kD, kG, kD};
+  auto tables = ExtractRelationalTables(table, SegmentFile(table, lines));
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].rows[0][0], "North");
+  EXPECT_EQ(tables[0].rows[1][0], "South");
+}
+
+TEST(SegmentationTest, HeaderlessDataStillExtracted) {
+  csv::Table table = testing::MakeTable({{"a", "1"}, {"b", "2"}});
+  const int kD = static_cast<int>(ElementClass::kData);
+  std::vector<int> lines = {kD, kD};
+  FileSegmentation segmentation = SegmentFile(table, lines);
+  ASSERT_EQ(segmentation.tables.size(), 1u);
+  EXPECT_TRUE(segmentation.tables[0].header_rows.empty());
+  auto tables = ExtractRelationalTables(table, segmentation);
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].rows.size(), 2u);
+}
+
+TEST(SegmentationTest, EmptyInputs) {
+  csv::Table table;
+  FileSegmentation segmentation = SegmentFile(table, {});
+  EXPECT_TRUE(segmentation.tables.empty());
+  EXPECT_TRUE(ExtractRelationalTables(table, segmentation).empty());
+}
+
+TEST(SegmentationTest, MultiRowHeaderUsesLastHeaderLine) {
+  csv::Table table = testing::MakeTable({
+      {"Super", ""},
+      {"Sub1", "Sub2"},
+      {"1", "2"},
+  });
+  const int kH = static_cast<int>(ElementClass::kHeader);
+  const int kD = static_cast<int>(ElementClass::kData);
+  std::vector<int> lines = {kH, kH, kD};
+  auto tables = ExtractRelationalTables(table, SegmentFile(table, lines));
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].header[1], "Sub1");
+}
+
+}  // namespace
+}  // namespace strudel

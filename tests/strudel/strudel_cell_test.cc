@@ -1,0 +1,117 @@
+#include "strudel/strudel_cell.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+#include "testing/test_tables.h"
+
+namespace strudel {
+namespace {
+
+std::vector<AnnotatedFile> SmallCorpus(uint64_t seed = 5) {
+  datagen::DatasetProfile profile =
+      datagen::ScaledProfile(datagen::SausProfile(), 0.06, 0.4);
+  return datagen::GenerateCorpus(profile, seed);
+}
+
+StrudelCellOptions FastOptions() {
+  StrudelCellOptions options;
+  options.forest.num_trees = 12;
+  options.forest.num_threads = 2;
+  options.line.forest.num_trees = 12;
+  options.line.forest.num_threads = 2;
+  options.line_cross_fit_folds = 2;
+  return options;
+}
+
+TEST(StrudelCellTest, BuildDatasetSkipsEmptyCells) {
+  std::vector<AnnotatedFile> files = {testing::Figure1File()};
+  ml::Dataset data = StrudelCell::BuildDataset(files, {});
+  EXPECT_EQ(data.size(),
+            static_cast<size_t>(files[0].table.non_empty_count()));
+  EXPECT_TRUE(data.Valid());
+  EXPECT_EQ(data.feature_names.size(), CellFeatureNames().size());
+}
+
+TEST(StrudelCellTest, FitFailsOnEmptyInput) {
+  StrudelCell model(FastOptions());
+  EXPECT_FALSE(model.Fit(std::vector<AnnotatedFile>{}).ok());
+  EXPECT_FALSE(model.fitted());
+}
+
+TEST(StrudelCellTest, TrainAndPredictShapes) {
+  std::vector<AnnotatedFile> corpus = SmallCorpus();
+  StrudelCell model(FastOptions());
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  EXPECT_TRUE(model.fitted());
+  EXPECT_TRUE(model.line_model().fitted());
+
+  const AnnotatedFile& file = corpus[0];
+  CellPrediction prediction = model.Predict(file.table);
+  ASSERT_EQ(prediction.classes.size(),
+            static_cast<size_t>(file.table.num_rows()));
+  for (int r = 0; r < file.table.num_rows(); ++r) {
+    ASSERT_EQ(prediction.classes[r].size(),
+              static_cast<size_t>(file.table.num_cols()));
+    for (int c = 0; c < file.table.num_cols(); ++c) {
+      if (file.table.cell_empty(r, c)) {
+        EXPECT_EQ(prediction.classes[r][c], kEmptyLabel);
+      } else {
+        EXPECT_GE(prediction.classes[r][c], 0);
+        EXPECT_LT(prediction.classes[r][c], kNumElementClasses);
+      }
+    }
+  }
+  // The line stage prediction is carried along.
+  EXPECT_EQ(prediction.line_prediction.classes.size(),
+            static_cast<size_t>(file.table.num_rows()));
+}
+
+TEST(StrudelCellTest, InSampleAccuracyIsHigh) {
+  std::vector<AnnotatedFile> corpus = SmallCorpus(6);
+  StrudelCell model(FastOptions());
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  long long correct = 0, total = 0;
+  for (const AnnotatedFile& file : corpus) {
+    CellPrediction prediction = model.Predict(file.table);
+    for (int r = 0; r < file.table.num_rows(); ++r) {
+      for (int c = 0; c < file.table.num_cols(); ++c) {
+        const int actual = file.annotation.cell_labels[r][c];
+        if (actual == kEmptyLabel) continue;
+        ++total;
+        if (prediction.classes[r][c] == actual) ++correct;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+TEST(StrudelCellTest, InSampleProbabilityModeAlsoTrains) {
+  std::vector<AnnotatedFile> corpus = SmallCorpus(7);
+  StrudelCellOptions options = FastOptions();
+  options.line_cross_fit_folds = 0;  // in-sample probabilities
+  StrudelCell model(options);
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  EXPECT_TRUE(model.fitted());
+}
+
+TEST(StrudelCellTest, PredictOnUnfittedModelIsEmptyLabels) {
+  StrudelCell model(FastOptions());
+  AnnotatedFile file = testing::Figure1File();
+  CellPrediction prediction = model.Predict(file.table);
+  for (const auto& row : prediction.classes) {
+    for (int label : row) EXPECT_EQ(label, kEmptyLabel);
+  }
+}
+
+TEST(StrudelCellTest, DeterministicGivenSeed) {
+  std::vector<AnnotatedFile> corpus = SmallCorpus(8);
+  StrudelCell a(FastOptions()), b(FastOptions());
+  ASSERT_TRUE(a.Fit(corpus).ok());
+  ASSERT_TRUE(b.Fit(corpus).ok());
+  EXPECT_EQ(a.Predict(corpus[1].table).classes,
+            b.Predict(corpus[1].table).classes);
+}
+
+}  // namespace
+}  // namespace strudel

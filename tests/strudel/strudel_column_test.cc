@@ -1,0 +1,109 @@
+#include "strudel/strudel_column.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+#include "strudel/strudel_cell.h"
+#include "testing/test_tables.h"
+
+namespace strudel {
+namespace {
+
+std::vector<AnnotatedFile> SmallCorpus(uint64_t seed = 111) {
+  datagen::DatasetProfile profile =
+      datagen::ScaledProfile(datagen::CiusProfile(), 0.04, 0.35);
+  return datagen::GenerateCorpus(profile, seed);
+}
+
+StrudelColumnOptions FastOptions() {
+  StrudelColumnOptions options;
+  options.forest.num_trees = 12;
+  options.forest.num_threads = 1;
+  return options;
+}
+
+TEST(StrudelColumnTest, BuildDatasetSkipsEmptyColumns) {
+  std::vector<AnnotatedFile> files = {testing::Figure1File()};
+  ml::Dataset data = StrudelColumn::BuildDataset(files);
+  EXPECT_EQ(data.size(), 4u);  // all four columns are non-empty
+  EXPECT_TRUE(data.Valid());
+  EXPECT_EQ(data.feature_names.size(), ColumnFeatureNames().size());
+}
+
+TEST(StrudelColumnTest, TrainsAndPredicts) {
+  auto corpus = SmallCorpus();
+  StrudelColumn model(FastOptions());
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  EXPECT_TRUE(model.fitted());
+
+  long long correct = 0, total = 0;
+  for (const AnnotatedFile& file : corpus) {
+    const std::vector<int> actual = ColumnLabelsFromCells(
+        file.annotation.cell_labels, file.table.num_cols());
+    const ColumnPrediction prediction = model.Predict(file.table);
+    ASSERT_EQ(prediction.classes.size(), actual.size());
+    for (size_t c = 0; c < actual.size(); ++c) {
+      if (actual[c] == kEmptyLabel) {
+        EXPECT_EQ(prediction.classes[c], kEmptyLabel);
+        continue;
+      }
+      ++total;
+      if (prediction.classes[c] == actual[c]) ++correct;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+TEST(StrudelColumnTest, ProbabilitiesAreDistributions) {
+  auto corpus = SmallCorpus(112);
+  StrudelColumn model(FastOptions());
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  ColumnPrediction prediction = model.Predict(corpus[0].table);
+  for (size_t c = 0; c < prediction.probabilities.size(); ++c) {
+    double sum = 0.0;
+    for (double p : prediction.probabilities[c]) sum += p;
+    if (corpus[0].table.col_empty(static_cast<int>(c))) {
+      EXPECT_EQ(sum, 0.0);
+    } else {
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(StrudelColumnTest, UnfittedPredictIsEmptyLabels) {
+  StrudelColumn model(FastOptions());
+  AnnotatedFile file = testing::Figure1File();
+  for (int label : model.Predict(file.table).classes) {
+    EXPECT_EQ(label, kEmptyLabel);
+  }
+}
+
+TEST(StrudelColumnTest, CellPipelineWithColumnProbabilitiesTrains) {
+  auto corpus = SmallCorpus(113);
+  StrudelCellOptions options;
+  options.forest.num_trees = 10;
+  options.line.forest.num_trees = 10;
+  options.line_cross_fit_folds = 0;
+  options.use_column_probabilities = true;
+  StrudelCell model(options);
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  EXPECT_TRUE(model.column_model().fitted());
+  CellPrediction prediction = model.Predict(corpus[0].table);
+  EXPECT_EQ(prediction.classes.size(),
+            static_cast<size_t>(corpus[0].table.num_rows()));
+  // Column-probability models refuse serialisation.
+  std::stringstream stream;
+  EXPECT_EQ(model.SaveTo(stream).code(), StatusCode::kUnimplemented);
+}
+
+TEST(StrudelColumnTest, CellFeatureNamesGrowWithColumnBlock) {
+  CellFeatureOptions plain;
+  CellFeatureOptions with_columns;
+  with_columns.include_column_probabilities = true;
+  EXPECT_EQ(CellFeatureNames(plain).size() + kNumElementClasses,
+            CellFeatureNames(with_columns).size());
+}
+
+}  // namespace
+}  // namespace strudel

@@ -1,0 +1,91 @@
+#include "testing/test_tables.h"
+
+namespace strudel::testing {
+
+namespace {
+constexpr int kM = static_cast<int>(ElementClass::kMetadata);
+constexpr int kH = static_cast<int>(ElementClass::kHeader);
+constexpr int kG = static_cast<int>(ElementClass::kGroup);
+constexpr int kD = static_cast<int>(ElementClass::kData);
+constexpr int kV = static_cast<int>(ElementClass::kDerived);
+constexpr int kN = static_cast<int>(ElementClass::kNotes);
+constexpr int kE = kEmptyLabel;
+}  // namespace
+
+csv::Table MakeTable(std::vector<std::vector<std::string>> rows) {
+  return csv::Table(std::move(rows));
+}
+
+AnnotatedFile Figure1File() {
+  AnnotatedFile file;
+  file.name = "figure1.csv";
+  std::vector<std::vector<std::string>> cells = {
+      {"Arrests for drug abuse violations, 2016", "", "", ""},
+      {"", "", "", ""},
+      {"", "Offense", "Count", "Rate"},
+      {"Sale/Manufacturing:", "", "", ""},
+      {"", "Heroin", "100", "10.5"},
+      {"", "Cocaine", "250", "12.0"},
+      {"", "Marijuana", "650", "30.5"},
+      {"Total", "", "1000", "53.0"},
+      {"", "", "", ""},
+      {"* Rates are per 100,000 inhabitants.", "", "", ""},
+  };
+  std::vector<std::vector<int>> labels = {
+      {kM, kE, kE, kE},
+      {kE, kE, kE, kE},
+      {kE, kH, kH, kH},
+      {kG, kE, kE, kE},
+      {kE, kD, kD, kD},
+      {kE, kD, kD, kD},
+      {kE, kD, kD, kD},
+      {kG, kE, kV, kV},
+      {kE, kE, kE, kE},
+      {kN, kE, kE, kE},
+  };
+  file.table = csv::Table(std::move(cells));
+  file.annotation.cell_labels = std::move(labels);
+  file.annotation.line_labels =
+      LineLabelsFromCells(file.annotation.cell_labels);
+  return file;
+}
+
+AnnotatedFile StackedTablesFile() {
+  AnnotatedFile file;
+  file.name = "stacked.csv";
+  std::vector<std::vector<std::string>> cells = {
+      {"Enrollment by school", "", ""},
+      {"School", "2018", "2019"},
+      {"Northfield", "120", "130"},
+      {"Eastbrook", "80", "90"},
+      {"Total", "200", "220"},
+      {"", "", ""},
+      {"Staff by school", "", ""},
+      {"School", "2018", "2019"},
+      {"Northfield", "12", "14"},
+      {"Eastbrook", "8", "9"},
+      {"", "", ""},
+      {"Source: Ministry of Education", "", ""},
+  };
+  std::vector<std::vector<int>> labels = {
+      {kM, kE, kE},
+      {kH, kH, kH},
+      {kD, kD, kD},
+      {kD, kD, kD},
+      {kG, kV, kV},
+      {kE, kE, kE},
+      {kM, kE, kE},
+      {kH, kH, kH},
+      {kD, kD, kD},
+      {kD, kD, kD},
+      {kE, kE, kE},
+      {kN, kE, kE},
+  };
+  file.table = csv::Table(std::move(cells));
+  file.annotation.cell_labels = std::move(labels);
+  file.annotation.line_labels =
+      LineLabelsFromCells(file.annotation.cell_labels);
+  return file;
+}
+
+}  // namespace strudel::testing

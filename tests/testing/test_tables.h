@@ -1,0 +1,36 @@
+// Shared fixtures: hand-written verbose tables with known annotations,
+// mirroring the Figure 1 shape, plus helpers to build tables from string
+// grids.
+
+#ifndef STRUDEL_TESTS_TESTING_TEST_TABLES_H_
+#define STRUDEL_TESTS_TESTING_TEST_TABLES_H_
+
+#include <string>
+#include <vector>
+
+#include "csv/table.h"
+#include "strudel/classes.h"
+
+namespace strudel::testing {
+
+/// Builds a Table from rows of cells.
+csv::Table MakeTable(std::vector<std::vector<std::string>> rows);
+
+/// A small Figure 1-style verbose file:
+///   metadata title
+///   (blank)
+///   header line
+///   group line ("Sale/Manufacturing:")
+///   3 data lines (entity + numbers)
+///   derived line ("Total" + sums)
+///   (blank)
+///   notes line
+/// with consistent cell annotations and real sums.
+AnnotatedFile Figure1File();
+
+/// A two-table stacked file exercising the multi-table difficult case.
+AnnotatedFile StackedTablesFile();
+
+}  // namespace strudel::testing
+
+#endif  // STRUDEL_TESTS_TESTING_TEST_TABLES_H_

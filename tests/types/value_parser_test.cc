@@ -1,0 +1,89 @@
+#include "types/value_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace strudel {
+namespace {
+
+struct NumberCase {
+  const char* input;
+  double expected;
+  bool is_integer;
+};
+
+class ParseNumberValidTest : public ::testing::TestWithParam<NumberCase> {};
+
+TEST_P(ParseNumberValidTest, ParsesToExpectedValue) {
+  const NumberCase& param = GetParam();
+  auto parsed = ParseNumber(param.input);
+  ASSERT_TRUE(parsed.has_value()) << param.input;
+  EXPECT_NEAR(parsed->value, param.expected, 1e-9) << param.input;
+  EXPECT_EQ(parsed->is_integer, param.is_integer) << param.input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plain, ParseNumberValidTest,
+    ::testing::Values(NumberCase{"0", 0.0, true},
+                      NumberCase{"42", 42.0, true},
+                      NumberCase{"-17", -17.0, true},
+                      NumberCase{"+8", 8.0, true},
+                      NumberCase{"3.14", 3.14, false},
+                      NumberCase{"-0.5", -0.5, false},
+                      NumberCase{".5", 0.5, false},
+                      NumberCase{"  12  ", 12.0, true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ThousandsSeparators, ParseNumberValidTest,
+    ::testing::Values(NumberCase{"1,234", 1234.0, true},
+                      NumberCase{"1,234,567", 1234567.0, true},
+                      NumberCase{"12,345.67", 12345.67, false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    AccountingAndUnits, ParseNumberValidTest,
+    ::testing::Values(NumberCase{"(123)", -123.0, true},
+                      NumberCase{"( 45.5 )", -45.5, false},
+                      NumberCase{"$99", 99.0, true},
+                      NumberCase{"$1,200.50", 1200.50, false},
+                      NumberCase{"50%", 0.5, false},
+                      NumberCase{"12.5 %", 0.125, false},
+                      NumberCase{"($20)", -20.0, true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Exponents, ParseNumberValidTest,
+    ::testing::Values(NumberCase{"1e3", 1000.0, false},
+                      NumberCase{"2.5E-2", 0.025, false},
+                      NumberCase{"1e+2", 100.0, false}));
+
+class ParseNumberInvalidTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(ParseNumberInvalidTest, Rejects) {
+  EXPECT_FALSE(ParseNumber(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NotNumbers, ParseNumberInvalidTest,
+    ::testing::Values("", "   ", "abc", "12 apples", "1,23", "1,2345",
+                      ",123", "12,", "--5", "1.2.3", "()", "%", "$",
+                      "one", "12e", "N/A", "-", "1 2"));
+
+TEST(ParseDoubleTest, MatchesParseNumber) {
+  EXPECT_EQ(ParseDouble("1,000").value(), 1000.0);
+  EXPECT_FALSE(ParseDouble("x").has_value());
+}
+
+TEST(IsNumericTest, Basic) {
+  EXPECT_TRUE(IsNumeric("7"));
+  EXPECT_TRUE(IsNumeric("(7.5)"));
+  EXPECT_FALSE(IsNumeric("seven"));
+}
+
+TEST(ParseNumberTest, PercentIsNeverInteger) {
+  auto parsed = ParseNumber("100%");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->is_integer);
+  EXPECT_NEAR(parsed->value, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace strudel

@@ -1,0 +1,221 @@
+// strudel — command-line front end for the library.
+//
+//   strudel gen <dataset> <dir> [files] [seed]   generate an annotated corpus
+//   strudel train <corpus-dir> <model-file>      train Strudel^C, save model
+//   strudel classify <model-file> <input.csv>    per-line/cell classes
+//   strudel extract <model-file> <input.csv>     relational tables (CSV)
+//   strudel inspect <input.csv>                  dialect + shape report
+//
+// A full round trip:
+//   strudel gen saus /tmp/corpus 20
+//   strudel train /tmp/corpus /tmp/strudel.model
+//   strudel classify /tmp/strudel.model some_portal_file.csv
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "csv/crop.h"
+#include "csv/dialect_detector.h"
+#include "csv/reader.h"
+#include "csv/writer.h"
+#include "datagen/annotated_io.h"
+#include "datagen/corpus.h"
+#include "strudel/model_io.h"
+#include "strudel/segmentation.h"
+
+using namespace strudel;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  strudel gen <govuk|saus|cius|deex|mendeley|troy> <dir> [files] "
+      "[seed]\n"
+      "  strudel train <corpus-dir> <model-file>\n"
+      "  strudel classify <model-file> <input.csv>\n"
+      "  strudel extract <model-file> <input.csv>\n"
+      "  strudel inspect <input.csv>\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<csv::Table> ParseWithDetectedDialect(const std::string& path,
+                                            csv::Dialect* dialect_out) {
+  STRUDEL_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  STRUDEL_ASSIGN_OR_RETURN(csv::Dialect dialect,
+                           csv::DetectDialect(text));
+  if (dialect_out != nullptr) *dialect_out = dialect;
+  csv::ReaderOptions options;
+  options.dialect = dialect;
+  return csv::ReadTable(text, options);
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  datagen::DatasetProfile profile = datagen::ProfileByName(argv[2]);
+  if (profile.num_files == 0) {
+    std::fprintf(stderr, "unknown dataset: %s\n", argv[2]);
+    return 2;
+  }
+  const int files = argc > 4 ? std::atoi(argv[4]) : 20;
+  const uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 42;
+  profile = datagen::ScaledProfile(
+      profile, static_cast<double>(files) / profile.num_files, 0.5);
+  profile.num_files = files;
+  auto corpus = datagen::GenerateCorpus(profile, seed);
+  Status status = datagen::SaveAnnotatedCorpus(corpus, argv[3]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto stats = datagen::ComputeStats(corpus);
+  std::printf("wrote %d files (%lld lines, %lld cells) to %s\n",
+              stats.num_files, stats.num_lines, stats.num_cells, argv[3]);
+  return 0;
+}
+
+int CmdTrain(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto corpus = datagen::LoadAnnotatedCorpus(argv[2]);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("training on %zu annotated files...\n", corpus->size());
+  StrudelCellOptions options;
+  options.forest.num_trees = 50;
+  options.line.forest.num_trees = 50;
+  StrudelCell model(options);
+  Status status = model.Fit(*corpus);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  status = SaveModelToFile(model, argv[3]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("model saved to %s\n", argv[3]);
+  return 0;
+}
+
+int CmdClassify(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto model = LoadCellModelFromFile(argv[2]);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  csv::Dialect dialect;
+  auto table = ParseWithDetectedDialect(argv[3], &dialect);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dialect: %s\n", dialect.ToString().c_str());
+  CellPrediction prediction = model->Predict(*table);
+  for (int r = 0; r < table->num_rows(); ++r) {
+    std::printf("%4d %-8s |", r,
+                std::string(ElementClassName(
+                                prediction.line_prediction.classes
+                                    [static_cast<size_t>(r)]))
+                    .c_str());
+    for (int c = 0; c < table->num_cols(); ++c) {
+      if (table->cell_empty(r, c)) continue;
+      std::printf(" %s:%c", std::string(table->cell(r, c)).c_str(),
+                  ElementClassName(
+                      prediction.classes[static_cast<size_t>(r)]
+                                        [static_cast<size_t>(c)])[0]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdExtract(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto model = LoadCellModelFromFile(argv[2]);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  auto table = ParseWithDetectedDialect(argv[3], nullptr);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  LinePrediction lines = model->line_model().Predict(*table);
+  FileSegmentation segmentation = SegmentFile(*table, lines.classes);
+  auto tables = ExtractRelationalTables(*table, segmentation);
+  for (size_t t = 0; t < tables.size(); ++t) {
+    std::printf("# table %zu\n", t + 1);
+    std::vector<std::vector<std::string>> out;
+    out.push_back(tables[t].header);
+    for (const auto& row : tables[t].rows) out.push_back(row);
+    std::printf("%s\n", csv::WriteCsv(out).c_str());
+  }
+  return 0;
+}
+
+int CmdInspect(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto text_result = ReadFile(argv[2]);
+  if (!text_result.ok()) {
+    std::fprintf(stderr, "%s\n", text_result.status().ToString().c_str());
+    return 1;
+  }
+  const std::string& text = *text_result;
+  auto scores = csv::ScoreDialects(text);
+  std::printf("dialect candidates (best first by consistency):\n");
+  std::sort(scores.begin(), scores.end(),
+            [](const csv::DialectScore& a, const csv::DialectScore& b) {
+              return a.consistency > b.consistency;
+            });
+  for (size_t i = 0; i < scores.size() && i < 5; ++i) {
+    std::printf("  %-34s consistency=%.4f (pattern %.3f, type %.3f)\n",
+                scores[i].dialect.ToString().c_str(),
+                scores[i].consistency, scores[i].pattern_score,
+                scores[i].type_score);
+  }
+  csv::ReaderOptions options;
+  options.dialect = scores.front().dialect;
+  auto table = csv::ReadTable(text, options);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  csv::CropExtent extent;
+  csv::Table cropped = csv::CropMargins(*table, &extent);
+  std::printf("shape: %d x %d (%d non-empty cells); cropped to %d x %d\n",
+              table->num_rows(), table->num_cols(),
+              table->non_empty_count(), cropped.num_rows(),
+              cropped.num_cols());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "gen") return CmdGen(argc, argv);
+  if (command == "train") return CmdTrain(argc, argv);
+  if (command == "classify") return CmdClassify(argc, argv);
+  if (command == "extract") return CmdExtract(argc, argv);
+  if (command == "inspect") return CmdInspect(argc, argv);
+  return Usage();
+}
