@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_postprocess.dir/bench_ablation_postprocess.cc.o"
+  "CMakeFiles/bench_ablation_postprocess.dir/bench_ablation_postprocess.cc.o.d"
+  "bench_ablation_postprocess"
+  "bench_ablation_postprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_postprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

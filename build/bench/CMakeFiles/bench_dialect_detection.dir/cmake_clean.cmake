@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dialect_detection.dir/bench_dialect_detection.cc.o"
+  "CMakeFiles/bench_dialect_detection.dir/bench_dialect_detection.cc.o.d"
+  "bench_dialect_detection"
+  "bench_dialect_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dialect_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

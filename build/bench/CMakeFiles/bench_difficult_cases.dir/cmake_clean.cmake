@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_difficult_cases.dir/bench_difficult_cases.cc.o"
+  "CMakeFiles/bench_difficult_cases.dir/bench_difficult_cases.cc.o.d"
+  "bench_difficult_cases"
+  "bench_difficult_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_difficult_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_confusion_cell.dir/bench_fig3_confusion_cell.cc.o"
+  "CMakeFiles/bench_fig3_confusion_cell.dir/bench_fig3_confusion_cell.cc.o.d"
+  "bench_fig3_confusion_cell"
+  "bench_fig3_confusion_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_confusion_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_confusion_line.dir/bench_fig3_confusion_line.cc.o"
+  "CMakeFiles/bench_fig3_confusion_line.dir/bench_fig3_confusion_line.cc.o.d"
+  "bench_fig3_confusion_line"
+  "bench_fig3_confusion_line.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_confusion_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_troy.dir/bench_table7_troy.cc.o"
+  "CMakeFiles/bench_table7_troy.dir/bench_table7_troy.cc.o.d"
+  "bench_table7_troy"
+  "bench_table7_troy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_troy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_mendeley.dir/bench_table8_mendeley.cc.o"
+  "CMakeFiles/bench_table8_mendeley.dir/bench_table8_mendeley.cc.o.d"
+  "bench_table8_mendeley"
+  "bench_table8_mendeley.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_mendeley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotate_corpus.dir/annotate_corpus.cpp.o"
+  "CMakeFiles/annotate_corpus.dir/annotate_corpus.cpp.o.d"
+  "annotate_corpus"
+  "annotate_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotate_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

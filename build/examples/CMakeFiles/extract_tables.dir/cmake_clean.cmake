@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_tables.dir/extract_tables.cpp.o"
+  "CMakeFiles/extract_tables.dir/extract_tables.cpp.o.d"
+  "extract_tables"
+  "extract_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

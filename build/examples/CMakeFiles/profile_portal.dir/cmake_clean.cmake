@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_portal.dir/profile_portal.cpp.o"
+  "CMakeFiles/profile_portal.dir/profile_portal.cpp.o.d"
+  "profile_portal"
+  "profile_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/crf_line.cc" "src/CMakeFiles/strudel.dir/baselines/crf_line.cc.o" "gcc" "src/CMakeFiles/strudel.dir/baselines/crf_line.cc.o.d"
+  "/root/repo/src/baselines/line_cell.cc" "src/CMakeFiles/strudel.dir/baselines/line_cell.cc.o" "gcc" "src/CMakeFiles/strudel.dir/baselines/line_cell.cc.o.d"
+  "/root/repo/src/baselines/pytheas_line.cc" "src/CMakeFiles/strudel.dir/baselines/pytheas_line.cc.o" "gcc" "src/CMakeFiles/strudel.dir/baselines/pytheas_line.cc.o.d"
+  "/root/repo/src/baselines/rnn_cell.cc" "src/CMakeFiles/strudel.dir/baselines/rnn_cell.cc.o" "gcc" "src/CMakeFiles/strudel.dir/baselines/rnn_cell.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/strudel.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/strudel.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/math_util.cc" "src/CMakeFiles/strudel.dir/common/math_util.cc.o" "gcc" "src/CMakeFiles/strudel.dir/common/math_util.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/strudel.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/strudel.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/strudel.dir/common/status.cc.o" "gcc" "src/CMakeFiles/strudel.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/strudel.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/strudel.dir/common/string_util.cc.o.d"
+  "/root/repo/src/csv/crop.cc" "src/CMakeFiles/strudel.dir/csv/crop.cc.o" "gcc" "src/CMakeFiles/strudel.dir/csv/crop.cc.o.d"
+  "/root/repo/src/csv/dialect.cc" "src/CMakeFiles/strudel.dir/csv/dialect.cc.o" "gcc" "src/CMakeFiles/strudel.dir/csv/dialect.cc.o.d"
+  "/root/repo/src/csv/dialect_detector.cc" "src/CMakeFiles/strudel.dir/csv/dialect_detector.cc.o" "gcc" "src/CMakeFiles/strudel.dir/csv/dialect_detector.cc.o.d"
+  "/root/repo/src/csv/reader.cc" "src/CMakeFiles/strudel.dir/csv/reader.cc.o" "gcc" "src/CMakeFiles/strudel.dir/csv/reader.cc.o.d"
+  "/root/repo/src/csv/table.cc" "src/CMakeFiles/strudel.dir/csv/table.cc.o" "gcc" "src/CMakeFiles/strudel.dir/csv/table.cc.o.d"
+  "/root/repo/src/csv/writer.cc" "src/CMakeFiles/strudel.dir/csv/writer.cc.o" "gcc" "src/CMakeFiles/strudel.dir/csv/writer.cc.o.d"
+  "/root/repo/src/datagen/annotated_io.cc" "src/CMakeFiles/strudel.dir/datagen/annotated_io.cc.o" "gcc" "src/CMakeFiles/strudel.dir/datagen/annotated_io.cc.o.d"
+  "/root/repo/src/datagen/corpus.cc" "src/CMakeFiles/strudel.dir/datagen/corpus.cc.o" "gcc" "src/CMakeFiles/strudel.dir/datagen/corpus.cc.o.d"
+  "/root/repo/src/datagen/file_generator.cc" "src/CMakeFiles/strudel.dir/datagen/file_generator.cc.o" "gcc" "src/CMakeFiles/strudel.dir/datagen/file_generator.cc.o.d"
+  "/root/repo/src/datagen/profiles.cc" "src/CMakeFiles/strudel.dir/datagen/profiles.cc.o" "gcc" "src/CMakeFiles/strudel.dir/datagen/profiles.cc.o.d"
+  "/root/repo/src/datagen/table_builder.cc" "src/CMakeFiles/strudel.dir/datagen/table_builder.cc.o" "gcc" "src/CMakeFiles/strudel.dir/datagen/table_builder.cc.o.d"
+  "/root/repo/src/datagen/vocab.cc" "src/CMakeFiles/strudel.dir/datagen/vocab.cc.o" "gcc" "src/CMakeFiles/strudel.dir/datagen/vocab.cc.o.d"
+  "/root/repo/src/eval/algos.cc" "src/CMakeFiles/strudel.dir/eval/algos.cc.o" "gcc" "src/CMakeFiles/strudel.dir/eval/algos.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/strudel.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/strudel.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/strudel.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/strudel.dir/eval/report.cc.o.d"
+  "/root/repo/src/eval/table_printer.cc" "src/CMakeFiles/strudel.dir/eval/table_printer.cc.o" "gcc" "src/CMakeFiles/strudel.dir/eval/table_printer.cc.o.d"
+  "/root/repo/src/ml/crf.cc" "src/CMakeFiles/strudel.dir/ml/crf.cc.o" "gcc" "src/CMakeFiles/strudel.dir/ml/crf.cc.o.d"
+  "/root/repo/src/ml/cross_validation.cc" "src/CMakeFiles/strudel.dir/ml/cross_validation.cc.o" "gcc" "src/CMakeFiles/strudel.dir/ml/cross_validation.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/CMakeFiles/strudel.dir/ml/dataset.cc.o" "gcc" "src/CMakeFiles/strudel.dir/ml/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/strudel.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/strudel.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/CMakeFiles/strudel.dir/ml/knn.cc.o" "gcc" "src/CMakeFiles/strudel.dir/ml/knn.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/CMakeFiles/strudel.dir/ml/matrix.cc.o" "gcc" "src/CMakeFiles/strudel.dir/ml/matrix.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/strudel.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/strudel.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/CMakeFiles/strudel.dir/ml/mlp.cc.o" "gcc" "src/CMakeFiles/strudel.dir/ml/mlp.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/strudel.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/strudel.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/normalizer.cc" "src/CMakeFiles/strudel.dir/ml/normalizer.cc.o" "gcc" "src/CMakeFiles/strudel.dir/ml/normalizer.cc.o.d"
+  "/root/repo/src/ml/permutation_importance.cc" "src/CMakeFiles/strudel.dir/ml/permutation_importance.cc.o" "gcc" "src/CMakeFiles/strudel.dir/ml/permutation_importance.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/strudel.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/strudel.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/ml/svm.cc" "src/CMakeFiles/strudel.dir/ml/svm.cc.o" "gcc" "src/CMakeFiles/strudel.dir/ml/svm.cc.o.d"
+  "/root/repo/src/strudel/block_size.cc" "src/CMakeFiles/strudel.dir/strudel/block_size.cc.o" "gcc" "src/CMakeFiles/strudel.dir/strudel/block_size.cc.o.d"
+  "/root/repo/src/strudel/cell_features.cc" "src/CMakeFiles/strudel.dir/strudel/cell_features.cc.o" "gcc" "src/CMakeFiles/strudel.dir/strudel/cell_features.cc.o.d"
+  "/root/repo/src/strudel/classes.cc" "src/CMakeFiles/strudel.dir/strudel/classes.cc.o" "gcc" "src/CMakeFiles/strudel.dir/strudel/classes.cc.o.d"
+  "/root/repo/src/strudel/column_features.cc" "src/CMakeFiles/strudel.dir/strudel/column_features.cc.o" "gcc" "src/CMakeFiles/strudel.dir/strudel/column_features.cc.o.d"
+  "/root/repo/src/strudel/derived_detector.cc" "src/CMakeFiles/strudel.dir/strudel/derived_detector.cc.o" "gcc" "src/CMakeFiles/strudel.dir/strudel/derived_detector.cc.o.d"
+  "/root/repo/src/strudel/keywords.cc" "src/CMakeFiles/strudel.dir/strudel/keywords.cc.o" "gcc" "src/CMakeFiles/strudel.dir/strudel/keywords.cc.o.d"
+  "/root/repo/src/strudel/line_features.cc" "src/CMakeFiles/strudel.dir/strudel/line_features.cc.o" "gcc" "src/CMakeFiles/strudel.dir/strudel/line_features.cc.o.d"
+  "/root/repo/src/strudel/model_io.cc" "src/CMakeFiles/strudel.dir/strudel/model_io.cc.o" "gcc" "src/CMakeFiles/strudel.dir/strudel/model_io.cc.o.d"
+  "/root/repo/src/strudel/postprocess.cc" "src/CMakeFiles/strudel.dir/strudel/postprocess.cc.o" "gcc" "src/CMakeFiles/strudel.dir/strudel/postprocess.cc.o.d"
+  "/root/repo/src/strudel/segmentation.cc" "src/CMakeFiles/strudel.dir/strudel/segmentation.cc.o" "gcc" "src/CMakeFiles/strudel.dir/strudel/segmentation.cc.o.d"
+  "/root/repo/src/strudel/strudel_cell.cc" "src/CMakeFiles/strudel.dir/strudel/strudel_cell.cc.o" "gcc" "src/CMakeFiles/strudel.dir/strudel/strudel_cell.cc.o.d"
+  "/root/repo/src/strudel/strudel_column.cc" "src/CMakeFiles/strudel.dir/strudel/strudel_column.cc.o" "gcc" "src/CMakeFiles/strudel.dir/strudel/strudel_column.cc.o.d"
+  "/root/repo/src/strudel/strudel_line.cc" "src/CMakeFiles/strudel.dir/strudel/strudel_line.cc.o" "gcc" "src/CMakeFiles/strudel.dir/strudel/strudel_line.cc.o.d"
+  "/root/repo/src/types/datatype.cc" "src/CMakeFiles/strudel.dir/types/datatype.cc.o" "gcc" "src/CMakeFiles/strudel.dir/types/datatype.cc.o.d"
+  "/root/repo/src/types/date_parser.cc" "src/CMakeFiles/strudel.dir/types/date_parser.cc.o" "gcc" "src/CMakeFiles/strudel.dir/types/date_parser.cc.o.d"
+  "/root/repo/src/types/value_parser.cc" "src/CMakeFiles/strudel.dir/types/value_parser.cc.o" "gcc" "src/CMakeFiles/strudel.dir/types/value_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

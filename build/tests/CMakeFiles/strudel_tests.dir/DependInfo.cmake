@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/crf_line_test.cc" "tests/CMakeFiles/strudel_tests.dir/baselines/crf_line_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/baselines/crf_line_test.cc.o.d"
+  "/root/repo/tests/baselines/line_cell_test.cc" "tests/CMakeFiles/strudel_tests.dir/baselines/line_cell_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/baselines/line_cell_test.cc.o.d"
+  "/root/repo/tests/baselines/pytheas_line_test.cc" "tests/CMakeFiles/strudel_tests.dir/baselines/pytheas_line_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/baselines/pytheas_line_test.cc.o.d"
+  "/root/repo/tests/baselines/rnn_cell_test.cc" "tests/CMakeFiles/strudel_tests.dir/baselines/rnn_cell_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/baselines/rnn_cell_test.cc.o.d"
+  "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/strudel_tests.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/common/logging_test.cc.o.d"
+  "/root/repo/tests/common/math_util_test.cc" "tests/CMakeFiles/strudel_tests.dir/common/math_util_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/common/math_util_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/strudel_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/strudel_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/string_util_test.cc" "tests/CMakeFiles/strudel_tests.dir/common/string_util_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/common/string_util_test.cc.o.d"
+  "/root/repo/tests/csv/crop_test.cc" "tests/CMakeFiles/strudel_tests.dir/csv/crop_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/csv/crop_test.cc.o.d"
+  "/root/repo/tests/csv/dialect_detector_test.cc" "tests/CMakeFiles/strudel_tests.dir/csv/dialect_detector_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/csv/dialect_detector_test.cc.o.d"
+  "/root/repo/tests/csv/reader_test.cc" "tests/CMakeFiles/strudel_tests.dir/csv/reader_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/csv/reader_test.cc.o.d"
+  "/root/repo/tests/csv/table_test.cc" "tests/CMakeFiles/strudel_tests.dir/csv/table_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/csv/table_test.cc.o.d"
+  "/root/repo/tests/csv/writer_test.cc" "tests/CMakeFiles/strudel_tests.dir/csv/writer_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/csv/writer_test.cc.o.d"
+  "/root/repo/tests/datagen/annotated_io_test.cc" "tests/CMakeFiles/strudel_tests.dir/datagen/annotated_io_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/datagen/annotated_io_test.cc.o.d"
+  "/root/repo/tests/datagen/corpus_test.cc" "tests/CMakeFiles/strudel_tests.dir/datagen/corpus_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/datagen/corpus_test.cc.o.d"
+  "/root/repo/tests/datagen/file_generator_test.cc" "tests/CMakeFiles/strudel_tests.dir/datagen/file_generator_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/datagen/file_generator_test.cc.o.d"
+  "/root/repo/tests/datagen/profiles_test.cc" "tests/CMakeFiles/strudel_tests.dir/datagen/profiles_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/datagen/profiles_test.cc.o.d"
+  "/root/repo/tests/eval/algos_test.cc" "tests/CMakeFiles/strudel_tests.dir/eval/algos_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/eval/algos_test.cc.o.d"
+  "/root/repo/tests/eval/experiment_test.cc" "tests/CMakeFiles/strudel_tests.dir/eval/experiment_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/eval/experiment_test.cc.o.d"
+  "/root/repo/tests/eval/report_test.cc" "tests/CMakeFiles/strudel_tests.dir/eval/report_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/eval/report_test.cc.o.d"
+  "/root/repo/tests/eval/table_printer_test.cc" "tests/CMakeFiles/strudel_tests.dir/eval/table_printer_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/eval/table_printer_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/strudel_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/ml/crf_test.cc" "tests/CMakeFiles/strudel_tests.dir/ml/crf_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/ml/crf_test.cc.o.d"
+  "/root/repo/tests/ml/cross_validation_test.cc" "tests/CMakeFiles/strudel_tests.dir/ml/cross_validation_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/ml/cross_validation_test.cc.o.d"
+  "/root/repo/tests/ml/dataset_test.cc" "tests/CMakeFiles/strudel_tests.dir/ml/dataset_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/ml/dataset_test.cc.o.d"
+  "/root/repo/tests/ml/decision_tree_test.cc" "tests/CMakeFiles/strudel_tests.dir/ml/decision_tree_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/ml/decision_tree_test.cc.o.d"
+  "/root/repo/tests/ml/knn_test.cc" "tests/CMakeFiles/strudel_tests.dir/ml/knn_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/ml/knn_test.cc.o.d"
+  "/root/repo/tests/ml/matrix_test.cc" "tests/CMakeFiles/strudel_tests.dir/ml/matrix_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/ml/matrix_test.cc.o.d"
+  "/root/repo/tests/ml/metrics_test.cc" "tests/CMakeFiles/strudel_tests.dir/ml/metrics_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/ml/metrics_test.cc.o.d"
+  "/root/repo/tests/ml/mlp_test.cc" "tests/CMakeFiles/strudel_tests.dir/ml/mlp_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/ml/mlp_test.cc.o.d"
+  "/root/repo/tests/ml/naive_bayes_test.cc" "tests/CMakeFiles/strudel_tests.dir/ml/naive_bayes_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/ml/naive_bayes_test.cc.o.d"
+  "/root/repo/tests/ml/normalizer_test.cc" "tests/CMakeFiles/strudel_tests.dir/ml/normalizer_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/ml/normalizer_test.cc.o.d"
+  "/root/repo/tests/ml/permutation_importance_test.cc" "tests/CMakeFiles/strudel_tests.dir/ml/permutation_importance_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/ml/permutation_importance_test.cc.o.d"
+  "/root/repo/tests/ml/random_forest_test.cc" "tests/CMakeFiles/strudel_tests.dir/ml/random_forest_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/ml/random_forest_test.cc.o.d"
+  "/root/repo/tests/ml/svm_test.cc" "tests/CMakeFiles/strudel_tests.dir/ml/svm_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/ml/svm_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/strudel_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/strudel/block_size_test.cc" "tests/CMakeFiles/strudel_tests.dir/strudel/block_size_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/strudel/block_size_test.cc.o.d"
+  "/root/repo/tests/strudel/cell_features_test.cc" "tests/CMakeFiles/strudel_tests.dir/strudel/cell_features_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/strudel/cell_features_test.cc.o.d"
+  "/root/repo/tests/strudel/classes_test.cc" "tests/CMakeFiles/strudel_tests.dir/strudel/classes_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/strudel/classes_test.cc.o.d"
+  "/root/repo/tests/strudel/column_features_test.cc" "tests/CMakeFiles/strudel_tests.dir/strudel/column_features_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/strudel/column_features_test.cc.o.d"
+  "/root/repo/tests/strudel/derived_detector_test.cc" "tests/CMakeFiles/strudel_tests.dir/strudel/derived_detector_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/strudel/derived_detector_test.cc.o.d"
+  "/root/repo/tests/strudel/keywords_test.cc" "tests/CMakeFiles/strudel_tests.dir/strudel/keywords_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/strudel/keywords_test.cc.o.d"
+  "/root/repo/tests/strudel/line_features_test.cc" "tests/CMakeFiles/strudel_tests.dir/strudel/line_features_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/strudel/line_features_test.cc.o.d"
+  "/root/repo/tests/strudel/model_io_test.cc" "tests/CMakeFiles/strudel_tests.dir/strudel/model_io_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/strudel/model_io_test.cc.o.d"
+  "/root/repo/tests/strudel/postprocess_test.cc" "tests/CMakeFiles/strudel_tests.dir/strudel/postprocess_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/strudel/postprocess_test.cc.o.d"
+  "/root/repo/tests/strudel/segmentation_test.cc" "tests/CMakeFiles/strudel_tests.dir/strudel/segmentation_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/strudel/segmentation_test.cc.o.d"
+  "/root/repo/tests/strudel/strudel_cell_test.cc" "tests/CMakeFiles/strudel_tests.dir/strudel/strudel_cell_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/strudel/strudel_cell_test.cc.o.d"
+  "/root/repo/tests/strudel/strudel_column_test.cc" "tests/CMakeFiles/strudel_tests.dir/strudel/strudel_column_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/strudel/strudel_column_test.cc.o.d"
+  "/root/repo/tests/strudel/strudel_line_test.cc" "tests/CMakeFiles/strudel_tests.dir/strudel/strudel_line_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/strudel/strudel_line_test.cc.o.d"
+  "/root/repo/tests/testing/test_tables.cc" "tests/CMakeFiles/strudel_tests.dir/testing/test_tables.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/testing/test_tables.cc.o.d"
+  "/root/repo/tests/types/datatype_test.cc" "tests/CMakeFiles/strudel_tests.dir/types/datatype_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/types/datatype_test.cc.o.d"
+  "/root/repo/tests/types/date_parser_test.cc" "tests/CMakeFiles/strudel_tests.dir/types/date_parser_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/types/date_parser_test.cc.o.d"
+  "/root/repo/tests/types/value_parser_test.cc" "tests/CMakeFiles/strudel_tests.dir/types/value_parser_test.cc.o" "gcc" "tests/CMakeFiles/strudel_tests.dir/types/value_parser_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/strudel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

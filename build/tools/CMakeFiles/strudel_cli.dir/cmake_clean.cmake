@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strudel_cli.dir/strudel_cli.cpp.o"
+  "CMakeFiles/strudel_cli.dir/strudel_cli.cpp.o.d"
+  "strudel"
+  "strudel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strudel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
