@@ -1,0 +1,118 @@
+#include "csv/diagnostics.h"
+
+#include "common/string_util.h"
+
+namespace strudel::csv {
+
+std::string_view DiagnosticSeverityName(DiagnosticSeverity severity) {
+  switch (severity) {
+    case DiagnosticSeverity::kInfo:
+      return "info";
+    case DiagnosticSeverity::kWarning:
+      return "warning";
+    case DiagnosticSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string_view DiagnosticCategoryName(DiagnosticCategory category) {
+  switch (category) {
+    case DiagnosticCategory::kUnterminatedQuote:
+      return "unterminated_quote";
+    case DiagnosticCategory::kStrayQuote:
+      return "stray_quote";
+    case DiagnosticCategory::kRaggedRow:
+      return "ragged_row";
+    case DiagnosticCategory::kOversizeLine:
+      return "oversize_line";
+    case DiagnosticCategory::kCellBudget:
+      return "cell_budget";
+    case DiagnosticCategory::kTruncatedInput:
+      return "truncated_input";
+    case DiagnosticCategory::kNulByte:
+      return "nul_byte";
+    case DiagnosticCategory::kEncodingRepair:
+      return "encoding_repair";
+    case DiagnosticCategory::kBomRemoved:
+      return "bom_removed";
+    case DiagnosticCategory::kNewlineNormalized:
+      return "newline_normalized";
+    case DiagnosticCategory::kDialectFallback:
+      return "dialect_fallback";
+    case DiagnosticCategory::kRecoveryFallback:
+      return "recovery_fallback";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string location;
+  if (line > 0) {
+    location = column > 0 ? StrFormat(" at %zu:%zu", line, column)
+                          : StrFormat(" at line %zu", line);
+  }
+  return StrFormat("%s%s [%s]: %s",
+                   std::string(DiagnosticSeverityName(severity)).c_str(),
+                   location.c_str(),
+                   std::string(DiagnosticCategoryName(category)).c_str(),
+                   message.c_str());
+}
+
+ParseDiagnostics::ParseDiagnostics(size_t max_entries)
+    : max_entries_(max_entries) {}
+
+void ParseDiagnostics::Add(DiagnosticSeverity severity,
+                           DiagnosticCategory category, size_t line,
+                           size_t column, std::string message) {
+  ++total_;
+  ++category_counts_[static_cast<size_t>(category)];
+  ++severity_counts_[static_cast<size_t>(severity)];
+  if (entries_.size() < max_entries_) {
+    entries_.push_back(
+        Diagnostic{severity, category, line, column, std::move(message)});
+  }
+}
+
+void ParseDiagnostics::Clear() {
+  total_ = 0;
+  entries_.clear();
+  category_counts_.fill(0);
+  severity_counts_.fill(0);
+}
+
+std::string ParseDiagnostics::Summary() const {
+  if (empty()) return "clean";
+  std::vector<std::string> severities;
+  const size_t infos = count(DiagnosticSeverity::kInfo);
+  const size_t warnings = count(DiagnosticSeverity::kWarning);
+  const size_t errors = count(DiagnosticSeverity::kError);
+  if (errors > 0) severities.push_back(StrFormat("%zu errors", errors));
+  if (warnings > 0) severities.push_back(StrFormat("%zu warnings", warnings));
+  if (infos > 0) severities.push_back(StrFormat("%zu infos", infos));
+  std::vector<std::string> categories;
+  for (size_t i = 0; i < kNumDiagnosticCategories; ++i) {
+    if (category_counts_[i] == 0) continue;
+    categories.push_back(StrFormat(
+        "%s x%zu",
+        std::string(DiagnosticCategoryName(static_cast<DiagnosticCategory>(i)))
+            .c_str(),
+        category_counts_[i]));
+  }
+  return Join(severities, ", ") + " (" + Join(categories, ", ") + ")";
+}
+
+std::string ParseDiagnostics::Report() const {
+  std::string out = Summary();
+  for (const Diagnostic& entry : entries_) {
+    out += "\n  ";
+    out += entry.ToString();
+  }
+  if (dropped_count() > 0) {
+    out += StrFormat("\n  ... %zu further diagnostics not retained",
+                     dropped_count());
+  }
+  return out;
+}
+
+}  // namespace strudel::csv

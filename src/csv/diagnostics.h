@@ -1,0 +1,103 @@
+// Structured parse diagnostics: every anomaly the ingestion layer
+// tolerates (sanitizer repairs, recovery-mode parser fixups, dialect
+// fallbacks) is recorded here instead of being silently swallowed or
+// turned into a hard failure.
+//
+// A ParseDiagnostics sink keeps a bounded list of detailed entries plus
+// exact per-category counts, so a pathological file with millions of
+// anomalies costs O(cap) memory while the summary stays accurate.
+
+#ifndef STRUDEL_CSV_DIAGNOSTICS_H_
+#define STRUDEL_CSV_DIAGNOSTICS_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace strudel::csv {
+
+enum class DiagnosticSeverity {
+  kInfo = 0,     // cosmetic repair, no information lost
+  kWarning = 1,  // content was reinterpreted or repaired
+  kError = 2,    // content was dropped or truncated
+};
+
+enum class DiagnosticCategory {
+  kUnterminatedQuote = 0,  // quote open at EOF, force-closed in recovery
+  kStrayQuote,             // quote inside an unquoted field / after close
+  kRaggedRow,              // row padded/truncated against the modal width
+  kOversizeLine,           // physical line exceeded the per-line budget
+  kCellBudget,             // cell count exceeded max_cells, parse stopped
+  kTruncatedInput,         // input exceeded the total byte budget
+  kNulByte,                // embedded NUL replaced/removed
+  kEncodingRepair,         // invalid UTF-8 replaced with U+FFFD
+  kBomRemoved,             // UTF-8/UTF-16 byte-order mark stripped
+  kNewlineNormalized,      // CR / CRLF endings normalized to LF
+  kDialectFallback,        // dialect detection fell back down the chain
+  kRecoveryFallback,       // primary parse failed, recovery retry used
+};
+inline constexpr size_t kNumDiagnosticCategories = 12;
+
+std::string_view DiagnosticSeverityName(DiagnosticSeverity severity);
+std::string_view DiagnosticCategoryName(DiagnosticCategory category);
+
+struct Diagnostic {
+  DiagnosticSeverity severity = DiagnosticSeverity::kInfo;
+  DiagnosticCategory category = DiagnosticCategory::kStrayQuote;
+  /// 1-based source line; 0 when the diagnostic is not tied to a line.
+  size_t line = 0;
+  /// 1-based byte column within the line; 0 when not applicable.
+  size_t column = 0;
+  std::string message;
+
+  /// "warning at 12:34 [stray_quote]: ..." (location omitted when 0).
+  std::string ToString() const;
+};
+
+/// Bounded sink for Diagnostic entries. Not thread-safe; one sink per
+/// parse. Copyable so results can embed their diagnostics.
+class ParseDiagnostics {
+ public:
+  /// `max_entries` caps the retained detailed entries; counts keep exact
+  /// totals past the cap.
+  explicit ParseDiagnostics(size_t max_entries = 256);
+
+  void Add(DiagnosticSeverity severity, DiagnosticCategory category,
+           size_t line, size_t column, std::string message);
+
+  const std::vector<Diagnostic>& entries() const { return entries_; }
+  /// Total diagnostics recorded, including entries dropped at the cap.
+  size_t total_count() const { return total_; }
+  size_t dropped_count() const {
+    return total_ - entries_.size();
+  }
+  size_t count(DiagnosticCategory category) const {
+    return category_counts_[static_cast<size_t>(category)];
+  }
+  size_t count(DiagnosticSeverity severity) const {
+    return severity_counts_[static_cast<size_t>(severity)];
+  }
+  bool empty() const { return total_ == 0; }
+  size_t max_entries() const { return max_entries_; }
+
+  void Clear();
+
+  /// Multi-line human-readable report: per-category counts followed by
+  /// the retained entries (and a note about dropped ones).
+  std::string Report() const;
+  /// One-line summary like "3 warnings, 1 error (stray_quote x2, ...)".
+  std::string Summary() const;
+
+ private:
+  size_t max_entries_;
+  size_t total_ = 0;
+  std::vector<Diagnostic> entries_;
+  std::array<size_t, kNumDiagnosticCategories> category_counts_{};
+  std::array<size_t, 3> severity_counts_{};
+};
+
+}  // namespace strudel::csv
+
+#endif  // STRUDEL_CSV_DIAGNOSTICS_H_

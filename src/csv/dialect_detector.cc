@@ -88,6 +88,98 @@ std::vector<DialectScore> ScoreDialects(std::string_view text,
   return scores;
 }
 
+std::string_view DialectSourceName(DialectSource source) {
+  switch (source) {
+    case DialectSource::kConsistency:
+      return "consistency";
+    case DialectSource::kSniff:
+      return "sniff";
+    case DialectSource::kDefault:
+      return "default";
+  }
+  return "unknown";
+}
+
+DialectDetection DetectDialectWithFallback(std::string_view text,
+                                           const DetectorOptions& options) {
+  DialectDetection result;
+  result.dialect = Rfc4180Dialect();
+
+  // Blank input (empty or whitespace-only) carries no dialect signal at
+  // all; without this guard the space delimiter would "win" stage 1 by
+  // splitting runs of spaces into consistent rows of empty cells.
+  if (TrimView(text).empty()) {
+    result.source = DialectSource::kDefault;
+    return result;
+  }
+
+  // Stage 1: the consistency measure.
+  std::vector<DialectScore> scores = ScoreDialects(text, options);
+  const DialectScore* best = nullptr;
+  for (const DialectScore& s : scores) {
+    if (best == nullptr || s.consistency > best->consistency) best = &s;
+  }
+  if (best != nullptr && best->consistency > 0.0) {
+    // Margin over the best-scoring *other* delimiter: 1 when no other
+    // delimiter comes close, ~0 when the decision was a coin toss.
+    double runner_up = 0.0;
+    for (const DialectScore& s : scores) {
+      if (s.dialect.delimiter == best->dialect.delimiter) continue;
+      runner_up = std::max(runner_up, s.consistency);
+    }
+    result.dialect = best->dialect;
+    result.confidence = (best->consistency - runner_up) / best->consistency;
+    result.source = DialectSource::kConsistency;
+    result.best_score = *best;
+    return result;
+  }
+
+  // Stage 2: per-line delimiter frequency sniff, quote-blind. The
+  // delimiter whose per-line occurrence count is most stable (and
+  // non-zero) wins; its agreement fraction is the confidence.
+  const std::vector<std::string> lines =
+      Split(std::string(Prefix(text, options.max_lines)), '\n');
+  char sniffed = '\0';
+  double sniff_confidence = 0.0;
+  for (char delim : options.delimiters) {
+    std::map<size_t, int> count_freq;
+    int counted_lines = 0;
+    for (const std::string& ln : lines) {
+      if (TrimView(ln).empty()) continue;
+      ++counted_lines;
+      ++count_freq[static_cast<size_t>(
+          std::count(ln.begin(), ln.end(), delim))];
+    }
+    if (counted_lines == 0) continue;
+    size_t modal_count = 0;
+    int modal_lines = 0;
+    for (const auto& [cnt, freq] : count_freq) {
+      if (freq > modal_lines) {
+        modal_count = cnt;
+        modal_lines = freq;
+      }
+    }
+    if (modal_count == 0) continue;  // delimiter mostly absent
+    const double agreement =
+        static_cast<double>(modal_lines) / static_cast<double>(counted_lines);
+    if (agreement > sniff_confidence) {
+      sniff_confidence = agreement;
+      sniffed = delim;
+    }
+  }
+  if (sniffed != '\0') {
+    result.dialect = Dialect{sniffed, '"', '\0'};
+    result.confidence = sniff_confidence;
+    result.source = DialectSource::kSniff;
+    return result;
+  }
+
+  // Stage 3: nothing informative — assume RFC 4180.
+  result.confidence = 0.0;
+  result.source = DialectSource::kDefault;
+  return result;
+}
+
 Result<Dialect> DetectDialect(std::string_view text,
                               const DetectorOptions& options) {
   if (TrimView(text).empty()) {

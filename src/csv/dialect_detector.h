@@ -51,6 +51,38 @@ std::vector<DialectScore> ScoreDialects(std::string_view text,
 Result<Dialect> DetectDialect(std::string_view text,
                               const DetectorOptions& options = {});
 
+/// How DetectDialectWithFallback arrived at its answer, in decreasing
+/// order of trust.
+enum class DialectSource {
+  /// The consistency measure produced a positive score.
+  kConsistency = 0,
+  /// Consistency was uninformative; a frequency sniff over the candidate
+  /// delimiters picked the one with the most stable per-line count.
+  kSniff = 1,
+  /// Nothing was informative; the RFC 4180 default was assumed.
+  kDefault = 2,
+};
+
+std::string_view DialectSourceName(DialectSource source);
+
+struct DialectDetection {
+  Dialect dialect;
+  /// Confidence in [0, 1]: the margin of the winning candidate over the
+  /// runner-up with a different delimiter (consistency stage), the
+  /// fraction of lines agreeing with the modal delimiter count (sniff
+  /// stage), or 0 for the assumed default.
+  double confidence = 0.0;
+  DialectSource source = DialectSource::kDefault;
+  /// Winning consistency score (0 unless source == kConsistency).
+  DialectScore best_score;
+};
+
+/// Graceful-degradation detection chain: consistency measure -> delimiter
+/// frequency sniff -> RFC 4180 default. Never fails, even on empty or
+/// binary input — degraded stages are reflected in `source`/`confidence`.
+DialectDetection DetectDialectWithFallback(std::string_view text,
+                                           const DetectorOptions& options = {});
+
 }  // namespace strudel::csv
 
 #endif  // STRUDEL_CSV_DIALECT_DETECTOR_H_

@@ -1,26 +1,129 @@
 #include "csv/reader.h"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
-#include <sstream>
+#include <map>
 
 #include "common/string_util.h"
 
 namespace strudel::csv {
 
+namespace {
+
+// Recover-mode post-pass: pad/truncate ragged rows against the modal row
+// width so a corrupted file still yields a coherent grid. Each adjusted
+// row is reported; padding is lossless (Table reads missing cells as
+// empty anyway), truncation drops cells and is flagged as a warning.
+void NormalizeRaggedRows(std::vector<std::vector<std::string>>& rows,
+                         ParseDiagnostics* diags) {
+  if (rows.size() < 2) return;
+  std::map<size_t, size_t> width_counts;
+  for (const auto& row : rows) ++width_counts[row.size()];
+  if (width_counts.size() < 2) return;
+  size_t modal_width = 0, modal_count = 0;
+  for (const auto& [width, count] : width_counts) {
+    // >= prefers the wider pattern on ties: padding beats truncation.
+    if (count >= modal_count) {
+      modal_width = width;
+      modal_count = count;
+    }
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    auto& row = rows[r];
+    if (row.size() == modal_width) continue;
+    if (row.size() < modal_width) {
+      if (diags != nullptr) {
+        diags->Add(DiagnosticSeverity::kInfo, DiagnosticCategory::kRaggedRow,
+                   r + 1, 0,
+                   StrFormat("row padded from %zu to the modal %zu cells",
+                             row.size(), modal_width));
+      }
+      row.resize(modal_width);
+    } else {
+      // Only non-empty dropped cells constitute data loss.
+      size_t dropped = 0;
+      for (size_t c = modal_width; c < row.size(); ++c) {
+        if (!TrimView(row[c]).empty()) ++dropped;
+      }
+      if (diags != nullptr) {
+        diags->Add(dropped > 0 ? DiagnosticSeverity::kWarning
+                               : DiagnosticSeverity::kInfo,
+                   DiagnosticCategory::kRaggedRow, r + 1, 0,
+                   StrFormat("row truncated from %zu to the modal %zu cells "
+                             "(%zu non-empty cells dropped)",
+                             row.size(), modal_width, dropped));
+      }
+      row.resize(modal_width);
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view RecoveryPolicyName(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kStrict:
+      return "strict";
+    case RecoveryPolicy::kLenient:
+      return "lenient";
+    case RecoveryPolicy::kRecover:
+      return "recover";
+  }
+  return "unknown";
+}
+
 Result<std::vector<std::vector<std::string>>> ParseCsv(
     std::string_view text, const ReaderOptions& options) {
   const Dialect& d = options.dialect;
+  ParseDiagnostics* diags = options.diagnostics;
+  const bool strict = options.policy == RecoveryPolicy::kStrict;
+  const bool recover = options.policy == RecoveryPolicy::kRecover;
+
+  if (options.max_total_bytes > 0 && text.size() > options.max_total_bytes) {
+    if (!recover) {
+      return Status::OutOfRange(StrFormat(
+          "input size %zu exceeds ReaderOptions::max_total_bytes limit (%zu)",
+          text.size(), options.max_total_bytes));
+    }
+    if (diags != nullptr) {
+      diags->Add(DiagnosticSeverity::kError,
+                 DiagnosticCategory::kTruncatedInput, 0, 0,
+                 StrFormat("input truncated from %zu to the "
+                           "ReaderOptions::max_total_bytes limit (%zu)",
+                           text.size(), options.max_total_bytes));
+    }
+    text = text.substr(0, options.max_total_bytes);
+  }
+
   std::vector<std::vector<std::string>> rows;
   std::vector<std::string> row;
   std::string field;
   size_t cell_count = 0;
+  size_t line = 1;        // 1-based physical line for diagnostics
+  size_t line_start = 0;  // byte offset where the current line begins
+  bool stopped = false;   // recover mode hit max_cells
 
   enum class State { kFieldStart, kUnquoted, kQuoted, kQuoteInQuoted };
   State state = State::kFieldStart;
 
   auto end_field = [&]() -> Status {
     if (++cell_count > options.max_cells) {
-      return Status::OutOfRange("csv input exceeds max_cells");
+      if (!recover) {
+        return Status::OutOfRange(
+            StrFormat("csv input exceeds ReaderOptions::max_cells limit "
+                      "(%zu cells)",
+                      options.max_cells));
+      }
+      stopped = true;
+      if (diags != nullptr) {
+        diags->Add(DiagnosticSeverity::kError,
+                   DiagnosticCategory::kCellBudget, line, 0,
+                   StrFormat("parsing stopped at the ReaderOptions::max_cells "
+                             "limit (%zu cells); complete rows are kept",
+                             options.max_cells));
+      }
+      return Status::OK();
     }
     row.push_back(std::move(field));
     field.clear();
@@ -28,15 +131,43 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
   };
   auto end_row = [&]() -> Status {
     STRUDEL_RETURN_IF_ERROR(end_field());
+    if (stopped) return Status::OK();
     rows.push_back(std::move(row));
     row.clear();
     return Status::OK();
   };
+  auto diagnose = [&](DiagnosticSeverity severity,
+                      DiagnosticCategory category, size_t column,
+                      const char* message) {
+    if (diags != nullptr) diags->Add(severity, category, line, column, message);
+  };
 
   size_t i = 0;
   const size_t n = text.size();
-  while (i < n) {
-    char c = text[i];
+  while (i < n && !stopped) {
+    if (options.max_line_bytes > 0 && i - line_start > options.max_line_bytes) {
+      if (!recover) {
+        return Status::OutOfRange(StrFormat(
+            "line %zu exceeds ReaderOptions::max_line_bytes limit (%zu)",
+            line, options.max_line_bytes));
+      }
+      if (diags != nullptr) {
+        diags->Add(DiagnosticSeverity::kError,
+                   DiagnosticCategory::kOversizeLine, line, 0,
+                   StrFormat("line exceeds ReaderOptions::max_line_bytes "
+                             "limit (%zu); rest of line dropped",
+                             options.max_line_bytes));
+      }
+      STRUDEL_RETURN_IF_ERROR(end_row());
+      while (i < n && text[i] != '\n') ++i;
+      if (i < n) ++i;  // consume the newline itself
+      ++line;
+      line_start = i;
+      state = State::kFieldStart;
+      continue;
+    }
+    const char c = text[i];
+    const size_t col = i - line_start + 1;
     switch (state) {
       case State::kFieldStart:
         if (d.quote != '\0' && c == d.quote) {
@@ -45,9 +176,13 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
           STRUDEL_RETURN_IF_ERROR(end_field());
         } else if (c == '\n') {
           STRUDEL_RETURN_IF_ERROR(end_row());
+          ++line;
+          line_start = i + 1;
         } else if (c == '\r') {
           if (i + 1 < n && text[i + 1] == '\n') ++i;
           STRUDEL_RETURN_IF_ERROR(end_row());
+          ++line;
+          line_start = i + 1;
         } else {
           field += c;
           state = State::kUnquoted;
@@ -60,13 +195,26 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
         } else if (c == '\n') {
           STRUDEL_RETURN_IF_ERROR(end_row());
           state = State::kFieldStart;
+          ++line;
+          line_start = i + 1;
         } else if (c == '\r') {
           if (i + 1 < n && text[i + 1] == '\n') ++i;
           STRUDEL_RETURN_IF_ERROR(end_row());
           state = State::kFieldStart;
-        } else if (d.quote != '\0' && c == d.quote && !options.lenient) {
-          return Status::ParseError(StrFormat(
-              "quote character inside unquoted field at offset %zu", i));
+          ++line;
+          line_start = i + 1;
+        } else if (d.quote != '\0' && c == d.quote) {
+          if (strict) {
+            return Status::ParseError(StrFormat(
+                "quote character inside unquoted field at %zu:%zu", line,
+                col));
+          }
+          // Real-world verbose files are full of such lines; keep the
+          // quote verbatim.
+          diagnose(DiagnosticSeverity::kWarning,
+                   DiagnosticCategory::kStrayQuote, col,
+                   "quote character inside unquoted field kept verbatim");
+          field += c;
         } else {
           field += c;
         }
@@ -78,6 +226,10 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
         } else if (c == d.quote) {
           state = State::kQuoteInQuoted;
         } else {
+          if (c == '\n') {
+            ++line;
+            line_start = i + 1;
+          }
           field += c;
         }
         break;
@@ -92,17 +244,25 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
         } else if (c == '\n') {
           STRUDEL_RETURN_IF_ERROR(end_row());
           state = State::kFieldStart;
+          ++line;
+          line_start = i + 1;
         } else if (c == '\r') {
           if (i + 1 < n && text[i + 1] == '\n') ++i;
           STRUDEL_RETURN_IF_ERROR(end_row());
           state = State::kFieldStart;
-        } else if (options.lenient) {
+          ++line;
+          line_start = i + 1;
+        } else if (!strict) {
           // Text after a closing quote: keep it verbatim.
+          diagnose(DiagnosticSeverity::kWarning,
+                   DiagnosticCategory::kStrayQuote, col,
+                   "text after closing quote kept verbatim");
           field += c;
           state = State::kUnquoted;
         } else {
           return Status::ParseError(StrFormat(
-              "unexpected character after closing quote at offset %zu", i));
+              "unexpected character after closing quote at %zu:%zu", line,
+              col));
         }
         break;
     }
@@ -111,15 +271,23 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
 
   // Flush the trailing record (no newline at EOF). An input ending in a
   // newline has already flushed; avoid emitting a phantom empty row.
-  if (state == State::kQuoted) {
-    if (!options.lenient) {
+  if (stopped) {
+    row.clear();
+    field.clear();
+  } else if (state == State::kQuoted) {
+    if (strict) {
       return Status::ParseError("unterminated quoted field at end of input");
     }
+    diagnose(DiagnosticSeverity::kWarning,
+             DiagnosticCategory::kUnterminatedQuote, 0,
+             "unterminated quoted field force-closed at end of input");
     STRUDEL_RETURN_IF_ERROR(end_row());
   } else if (!field.empty() || !row.empty() ||
              (n > 0 && text[n - 1] != '\n' && text[n - 1] != '\r')) {
     if (n > 0) STRUDEL_RETURN_IF_ERROR(end_row());
   }
+
+  if (recover) NormalizeRaggedRows(rows, diags);
 
   return rows;
 }
@@ -129,18 +297,47 @@ Result<Table> ReadTable(std::string_view text, const ReaderOptions& options) {
   return Table(std::move(rows));
 }
 
-Result<Table> ReadTableFromFile(const std::string& path,
-                                const ReaderOptions& options) {
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::error_code ec;
+  const std::filesystem::file_status file_status =
+      std::filesystem::status(path, ec);
+  if (!ec && std::filesystem::is_directory(file_status)) {
+    return Status::IOError("is a directory, not a file: " + path);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IOError("cannot open file: " + path);
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) {
-    return Status::IOError("error while reading file: " + path);
+  std::string data;
+  char buffer[1 << 16];
+  while (true) {
+    in.read(buffer, sizeof(buffer));
+    data.append(buffer, static_cast<size_t>(in.gcount()));
+    if (in.bad()) {
+      return Status::IOError("I/O error while reading file: " + path);
+    }
+    if (in.eof()) break;
+    if (in.fail()) {
+      return Status::IOError("read failed before end of file: " + path);
+    }
   }
-  return ReadTable(buffer.str(), options);
+  // A short read (device error, concurrent truncation) must not be
+  // silently parsed as a complete file.
+  if (!ec && std::filesystem::is_regular_file(file_status)) {
+    const auto expected = std::filesystem::file_size(path, ec);
+    if (!ec && expected != data.size()) {
+      return Status::IOError(
+          StrFormat("short read: got %zu of %zu bytes from %s", data.size(),
+                    static_cast<size_t>(expected), path.c_str()));
+    }
+  }
+  return data;
+}
+
+Result<Table> ReadTableFromFile(const std::string& path,
+                                const ReaderOptions& options) {
+  STRUDEL_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ReadTable(text, options);
 }
 
 }  // namespace strudel::csv

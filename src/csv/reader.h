@@ -3,6 +3,13 @@
 // The parser is a single-pass state machine handling quoted fields, quote
 // doubling, an optional escape character, embedded newlines inside quoted
 // fields, and both \n and \r\n line endings.
+//
+// Malformed structure is governed by a RecoveryPolicy: strict mode turns
+// the first anomaly into a ParseError, lenient mode (the default) keeps
+// the bytes verbatim, and recover mode additionally force-closes
+// unterminated quotes, normalizes ragged rows against the modal width and
+// enforces size budgets by truncating instead of failing. Every tolerated
+// anomaly can be observed through an optional ParseDiagnostics sink.
 
 #ifndef STRUDEL_CSV_READER_H_
 #define STRUDEL_CSV_READER_H_
@@ -13,21 +20,44 @@
 
 #include "common/result.h"
 #include "csv/dialect.h"
+#include "csv/diagnostics.h"
 #include "csv/table.h"
 
 namespace strudel::csv {
 
-struct ReaderOptions {
-  Dialect dialect = Rfc4180Dialect();
-  /// When true (lenient mode, the default), a quote appearing in the middle
-  /// of an unquoted field is treated as a literal character — real-world
-  /// verbose files are full of such lines. Strict mode reports ParseError.
-  bool lenient = true;
-  /// Hard cap against pathological inputs.
-  size_t max_cells = 100'000'000;
+enum class RecoveryPolicy {
+  /// Any structural anomaly is a ParseError.
+  kStrict = 0,
+  /// Anomalous bytes are kept verbatim (mid-field quotes, text after a
+  /// closing quote, unterminated quote at EOF). Budget overruns still
+  /// fail. This matches real-world verbose files and is the default.
+  kLenient = 1,
+  /// Never fails on content: like lenient, plus budget overruns truncate
+  /// instead of erroring, parsing stops gracefully at max_cells, and
+  /// ragged rows are padded/truncated against the modal row width.
+  kRecover = 2,
 };
 
-/// Parses CSV text into rows of cell values.
+std::string_view RecoveryPolicyName(RecoveryPolicy policy);
+
+struct ReaderOptions {
+  Dialect dialect = Rfc4180Dialect();
+  RecoveryPolicy policy = RecoveryPolicy::kLenient;
+  /// Hard cap against pathological inputs.
+  size_t max_cells = 100'000'000;
+  /// Budget for a single physical line (bytes between newlines). Guards
+  /// against a dropped quote swallowing the rest of the file into one
+  /// cell. 0 disables the check.
+  size_t max_line_bytes = 16u << 20;
+  /// Budget for the whole input. 0 disables the check.
+  size_t max_total_bytes = size_t{1} << 30;
+  /// Optional diagnostics sink (not owned). Populated in lenient and
+  /// recover mode with every tolerated anomaly.
+  ParseDiagnostics* diagnostics = nullptr;
+};
+
+/// Parses CSV text into rows of cell values. Under
+/// RecoveryPolicy::kRecover this never returns an error.
 Result<std::vector<std::vector<std::string>>> ParseCsv(
     std::string_view text, const ReaderOptions& options = {});
 
@@ -38,6 +68,12 @@ Result<Table> ReadTable(std::string_view text,
 /// Reads a file from disk and parses it.
 Result<Table> ReadTableFromFile(const std::string& path,
                                 const ReaderOptions& options = {});
+
+/// Reads a whole file into memory. Rejects directories, distinguishes
+/// open failures from mid-read I/O errors, and verifies the byte count
+/// against the file size so short reads surface as IOError instead of
+/// silently parsing a truncated buffer.
+Result<std::string> ReadFileToString(const std::string& path);
 
 }  // namespace strudel::csv
 

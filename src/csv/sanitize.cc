@@ -1,0 +1,301 @@
+#include "csv/sanitize.h"
+
+#include <cstdint>
+
+#include "common/string_util.h"
+
+namespace strudel::csv {
+
+namespace {
+
+// U+FFFD REPLACEMENT CHARACTER in UTF-8.
+constexpr const char kReplacement[] = "\xEF\xBF\xBD";
+
+// At most this many per-occurrence entries are emitted per category from
+// one sanitizer pass; past that a single summary entry is added. The
+// ParseDiagnostics cap would bound memory anyway, but building messages
+// for millions of NUL bytes would still cost time.
+constexpr size_t kMaxPerOccurrence = 16;
+
+void AppendUtf8(std::string& out, uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+// Decodes UTF-16 payload bytes (after the BOM) into UTF-8. Lone
+// surrogates and an odd trailing byte decode to U+FFFD.
+std::string DecodeUtf16(std::string_view bytes, bool little_endian,
+                        SanitizeReport& report) {
+  std::string out;
+  out.reserve(bytes.size() / 2 + 8);
+  auto unit = [&](size_t i) -> uint32_t {
+    const auto lo = static_cast<uint8_t>(bytes[little_endian ? i : i + 1]);
+    const auto hi = static_cast<uint8_t>(bytes[little_endian ? i + 1 : i]);
+    return static_cast<uint32_t>(hi) << 8 | lo;
+  };
+  size_t i = 0;
+  while (i + 1 < bytes.size()) {
+    uint32_t u = unit(i);
+    i += 2;
+    if (u >= 0xD800 && u <= 0xDBFF) {
+      if (i + 1 < bytes.size()) {
+        const uint32_t low = unit(i);
+        if (low >= 0xDC00 && low <= 0xDFFF) {
+          i += 2;
+          AppendUtf8(out, 0x10000 + ((u - 0xD800) << 10) + (low - 0xDC00));
+          continue;
+        }
+      }
+      ++report.utf16_decode_errors;
+      out += kReplacement;
+    } else if (u >= 0xDC00 && u <= 0xDFFF) {
+      ++report.utf16_decode_errors;
+      out += kReplacement;
+    } else {
+      AppendUtf8(out, u);
+    }
+  }
+  if (i < bytes.size()) {
+    // Odd trailing byte: cannot form a code unit.
+    ++report.utf16_decode_errors;
+    out += kReplacement;
+  }
+  return out;
+}
+
+// Length of the valid UTF-8 sequence starting at `i`, or 0 if the bytes
+// do not form one (invalid lead, bad continuation, overlong, surrogate,
+// or out-of-range).
+size_t ValidUtf8SequenceLength(std::string_view s, size_t i) {
+  const auto b0 = static_cast<uint8_t>(s[i]);
+  if (b0 < 0x80) return 1;
+  size_t len;
+  uint8_t lo = 0x80, hi = 0xBF;  // bounds for the first continuation byte
+  if (b0 >= 0xC2 && b0 <= 0xDF) {
+    len = 2;
+  } else if (b0 >= 0xE0 && b0 <= 0xEF) {
+    len = 3;
+    if (b0 == 0xE0) lo = 0xA0;        // reject overlong
+    if (b0 == 0xED) hi = 0x9F;        // reject surrogates
+  } else if (b0 >= 0xF0 && b0 <= 0xF4) {
+    len = 4;
+    if (b0 == 0xF0) lo = 0x90;        // reject overlong
+    if (b0 == 0xF4) hi = 0x8F;        // reject > U+10FFFF
+  } else {
+    return 0;  // 0x80..0xC1 and 0xF5..0xFF are never valid leads
+  }
+  if (i + len > s.size()) return 0;
+  auto b1 = static_cast<uint8_t>(s[i + 1]);
+  if (b1 < lo || b1 > hi) return 0;
+  for (size_t k = 2; k < len; ++k) {
+    auto bk = static_cast<uint8_t>(s[i + k]);
+    if (bk < 0x80 || bk > 0xBF) return 0;
+  }
+  return len;
+}
+
+}  // namespace
+
+std::string SanitizeReport::Summary() const {
+  std::string out = source_encoding;
+  if (clean()) return out + "; no repairs";
+  std::vector<std::string> parts;
+  if (bom_stripped) parts.push_back("stripped BOM");
+  if (crlf_normalized > 0)
+    parts.push_back(StrFormat("%zu CRLF endings", crlf_normalized));
+  if (cr_normalized > 0)
+    parts.push_back(StrFormat("%zu bare-CR endings", cr_normalized));
+  if (nul_replaced > 0)
+    parts.push_back(StrFormat("%zu NULs replaced", nul_replaced));
+  if (nul_dropped > 0)
+    parts.push_back(StrFormat("%zu NULs dropped", nul_dropped));
+  if (invalid_utf8_repairs > 0)
+    parts.push_back(
+        StrFormat("%zu invalid UTF-8 sequences", invalid_utf8_repairs));
+  if (utf16_decode_errors > 0)
+    parts.push_back(
+        StrFormat("%zu UTF-16 decode errors", utf16_decode_errors));
+  return out + "; " + Join(parts, ", ");
+}
+
+std::string Sanitize(std::string_view bytes, const SanitizerOptions& options,
+                     SanitizeReport* report, ParseDiagnostics* diagnostics) {
+  SanitizeReport local_report;
+  SanitizeReport& rep = report != nullptr ? *report : local_report;
+  rep = SanitizeReport{};
+
+  auto diagnose = [&](DiagnosticSeverity severity, DiagnosticCategory category,
+                      size_t line, std::string message) {
+    if (diagnostics != nullptr) {
+      diagnostics->Add(severity, category, line, 0, std::move(message));
+    }
+  };
+
+  // Stage 1: byte-order marks / UTF-16 transcoding.
+  std::string decoded;
+  std::string_view text = bytes;
+  if (options.transcode_utf16 && bytes.size() >= 2) {
+    const auto b0 = static_cast<uint8_t>(bytes[0]);
+    const auto b1 = static_cast<uint8_t>(bytes[1]);
+    const bool le = b0 == 0xFF && b1 == 0xFE;
+    const bool be = b0 == 0xFE && b1 == 0xFF;
+    if (le || be) {
+      rep.source_encoding = le ? "utf-16le" : "utf-16be";
+      rep.bom_stripped = true;
+      decoded = DecodeUtf16(bytes.substr(2), le, rep);
+      text = decoded;
+      diagnose(DiagnosticSeverity::kInfo, DiagnosticCategory::kBomRemoved, 0,
+               "decoded " + rep.source_encoding + " input to UTF-8");
+      if (rep.utf16_decode_errors > 0) {
+        diagnose(DiagnosticSeverity::kWarning,
+                 DiagnosticCategory::kEncodingRepair, 0,
+                 StrFormat("%zu malformed UTF-16 units replaced with U+FFFD",
+                           rep.utf16_decode_errors));
+      }
+    }
+  }
+  if (text.size() >= 3 && options.strip_bom &&
+      static_cast<uint8_t>(text[0]) == 0xEF &&
+      static_cast<uint8_t>(text[1]) == 0xBB &&
+      static_cast<uint8_t>(text[2]) == 0xBF && rep.source_encoding == "utf-8") {
+    text = text.substr(3);
+    rep.bom_stripped = true;
+    diagnose(DiagnosticSeverity::kInfo, DiagnosticCategory::kBomRemoved, 1,
+             "stripped UTF-8 byte-order mark");
+  }
+
+  // Stage 2: NUL bytes and line endings, one pass. A high NUL density
+  // means UTF-16 content without a BOM; dropping the NULs then recovers
+  // the ASCII payload, whereas replacing them would shred every cell.
+  size_t nul_count = 0;
+  for (char c : text) {
+    if (c == '\0') ++nul_count;
+  }
+  const bool drop_nuls =
+      options.replace_nul && !text.empty() &&
+      static_cast<double>(nul_count) / static_cast<double>(text.size()) >
+          options.nul_utf16_threshold;
+  if (drop_nuls) {
+    diagnose(DiagnosticSeverity::kWarning, DiagnosticCategory::kNulByte, 0,
+             StrFormat("NUL density %.0f%% suggests UTF-16 without BOM; "
+                       "dropping %zu NUL bytes",
+                       100.0 * static_cast<double>(nul_count) /
+                           static_cast<double>(text.size()),
+                       nul_count));
+  }
+
+  std::string out;
+  out.reserve(text.size());
+  size_t line = 1;
+  size_t nul_entries = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\0' && options.replace_nul) {
+      if (drop_nuls) {
+        ++rep.nul_dropped;
+      } else {
+        ++rep.nul_replaced;
+        out += ' ';
+        if (nul_entries < kMaxPerOccurrence) {
+          ++nul_entries;
+          diagnose(DiagnosticSeverity::kWarning, DiagnosticCategory::kNulByte,
+                   line, "embedded NUL byte replaced with space");
+        }
+      }
+      continue;
+    }
+    if (options.normalize_newlines && c == '\r') {
+      if (i + 1 < text.size() && text[i + 1] == '\n') {
+        ++i;
+        ++rep.crlf_normalized;
+      } else {
+        ++rep.cr_normalized;
+      }
+      out += '\n';
+      ++line;
+      continue;
+    }
+    if (c == '\n') ++line;
+    out += c;
+  }
+  if (nul_entries == kMaxPerOccurrence && rep.nul_replaced > nul_entries) {
+    diagnose(DiagnosticSeverity::kWarning, DiagnosticCategory::kNulByte, 0,
+             StrFormat("... %zu further NUL bytes replaced",
+                       rep.nul_replaced - nul_entries));
+  }
+  if (rep.crlf_normalized + rep.cr_normalized > 0) {
+    diagnose(DiagnosticSeverity::kInfo,
+             DiagnosticCategory::kNewlineNormalized, 0,
+             StrFormat("normalized %zu CRLF and %zu bare-CR line endings",
+                       rep.crlf_normalized, rep.cr_normalized));
+  }
+
+  // Stage 3: UTF-8 validation. Each invalid byte run is replaced with a
+  // single U+FFFD, resynchronizing at the next valid lead byte.
+  if (options.repair_utf8 && rep.source_encoding == "utf-8") {
+    bool all_valid = true;
+    for (size_t i = 0; i < out.size();) {
+      const size_t len = ValidUtf8SequenceLength(out, i);
+      if (len == 0) {
+        all_valid = false;
+        break;
+      }
+      i += len;
+    }
+    if (!all_valid) {
+      std::string repaired;
+      repaired.reserve(out.size() + 8);
+      size_t utf8_entries = 0;
+      line = 1;
+      for (size_t i = 0; i < out.size();) {
+        if (out[i] == '\n') ++line;
+        const size_t len = ValidUtf8SequenceLength(out, i);
+        if (len > 0) {
+          repaired.append(out, i, len);
+          i += len;
+          continue;
+        }
+        ++rep.invalid_utf8_repairs;
+        repaired += kReplacement;
+        ++i;
+        // Skip the orphaned continuation bytes of the broken sequence so
+        // one mangled character yields one replacement, not several.
+        while (i < out.size() &&
+               (static_cast<uint8_t>(out[i]) & 0xC0) == 0x80) {
+          ++i;
+        }
+        if (utf8_entries < kMaxPerOccurrence) {
+          ++utf8_entries;
+          diagnose(DiagnosticSeverity::kWarning,
+                   DiagnosticCategory::kEncodingRepair, line,
+                   "invalid UTF-8 sequence replaced with U+FFFD");
+        }
+      }
+      if (utf8_entries == kMaxPerOccurrence &&
+          rep.invalid_utf8_repairs > utf8_entries) {
+        diagnose(DiagnosticSeverity::kWarning,
+                 DiagnosticCategory::kEncodingRepair, 0,
+                 StrFormat("... %zu further invalid UTF-8 sequences replaced",
+                           rep.invalid_utf8_repairs - utf8_entries));
+      }
+      out = std::move(repaired);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace strudel::csv

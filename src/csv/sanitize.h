@@ -1,0 +1,73 @@
+// Byte-level input sanitization, the first stage of the hardened
+// ingestion pipeline (sanitize -> detect -> parse -> segment).
+//
+// Portal files arrive with UTF-8/UTF-16 byte-order marks, CR-only or
+// mixed line endings, embedded NUL bytes (often the footprint of a
+// UTF-16 file read as bytes) and invalid UTF-8 sequences. Sanitize()
+// repairs all of these up front so the parser only ever sees clean
+// LF-terminated UTF-8, and reports every repair: aggregate counts in a
+// SanitizeReport plus per-occurrence entries in an optional
+// ParseDiagnostics sink. Sanitization never fails — arbitrary bytes in,
+// valid UTF-8 out.
+
+#ifndef STRUDEL_CSV_SANITIZE_H_
+#define STRUDEL_CSV_SANITIZE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "csv/diagnostics.h"
+
+namespace strudel::csv {
+
+struct SanitizerOptions {
+  /// Strip a leading UTF-8 BOM (EF BB BF).
+  bool strip_bom = true;
+  /// Decode UTF-16LE/BE input (detected by its BOM) to UTF-8.
+  bool transcode_utf16 = true;
+  /// Rewrite CRLF and bare-CR line endings to LF.
+  bool normalize_newlines = true;
+  /// Repair embedded NUL bytes. When more than `nul_utf16_threshold` of
+  /// the bytes are NUL the file is almost certainly UTF-16 read as bytes
+  /// and the NULs are dropped; otherwise each NUL becomes a space.
+  bool replace_nul = true;
+  double nul_utf16_threshold = 0.30;
+  /// Replace invalid UTF-8 sequences with U+FFFD.
+  bool repair_utf8 = true;
+};
+
+struct SanitizeReport {
+  /// Source encoding implied by the BOM: "utf-8" (with or without BOM),
+  /// "utf-16le" or "utf-16be".
+  std::string source_encoding = "utf-8";
+  bool bom_stripped = false;
+  size_t crlf_normalized = 0;   // \r\n -> \n
+  size_t cr_normalized = 0;     // bare \r -> \n
+  size_t nul_replaced = 0;      // NUL -> ' '
+  size_t nul_dropped = 0;       // NUL removed (UTF-16-like density)
+  size_t invalid_utf8_repairs = 0;  // invalid sequences -> U+FFFD
+  size_t utf16_decode_errors = 0;   // lone surrogates / odd tail -> U+FFFD
+
+  /// Total number of individual repairs performed.
+  size_t total_repairs() const {
+    return (bom_stripped ? 1 : 0) + crlf_normalized + cr_normalized +
+           nul_replaced + nul_dropped + invalid_utf8_repairs +
+           utf16_decode_errors;
+  }
+  bool clean() const { return total_repairs() == 0; }
+
+  /// One-line summary like "utf-8; stripped BOM, 3 CR endings, 2 NULs".
+  std::string Summary() const;
+};
+
+/// Repairs `bytes` into parseable LF-terminated UTF-8 text. Never fails.
+/// `report` and `diagnostics` may be null.
+std::string Sanitize(std::string_view bytes,
+                     const SanitizerOptions& options = {},
+                     SanitizeReport* report = nullptr,
+                     ParseDiagnostics* diagnostics = nullptr);
+
+}  // namespace strudel::csv
+
+#endif  // STRUDEL_CSV_SANITIZE_H_

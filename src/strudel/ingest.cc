@@ -1,0 +1,76 @@
+#include "strudel/ingest.h"
+
+#include "common/string_util.h"
+
+namespace strudel {
+
+using csv::DiagnosticCategory;
+using csv::DiagnosticSeverity;
+
+std::string IngestResult::Report() const {
+  std::string out;
+  out += "encoding: " + sanitize.Summary() + "\n";
+  out += StrFormat("dialect:  %s (source=%s, confidence=%.2f)\n",
+                   dialect.ToString().c_str(),
+                   std::string(csv::DialectSourceName(dialect_source)).c_str(),
+                   dialect_confidence);
+  out += StrFormat("shape:    %d x %d (%d non-empty cells)%s\n",
+                   table.num_rows(), table.num_cols(),
+                   table.non_empty_count(),
+                   recovered ? ", via recovery mode" : "");
+  out += "diagnostics: " + diagnostics.Report();
+  return out;
+}
+
+Result<IngestResult> IngestText(std::string_view bytes,
+                                const IngestOptions& options) {
+  IngestResult result;
+  result.diagnostics = csv::ParseDiagnostics(options.max_diagnostics);
+
+  const std::string text = csv::Sanitize(bytes, options.sanitizer,
+                                         &result.sanitize,
+                                         &result.diagnostics);
+
+  csv::DialectDetection detection =
+      csv::DetectDialectWithFallback(text, options.detector);
+  result.dialect = detection.dialect;
+  result.dialect_confidence = detection.confidence;
+  result.dialect_source = detection.source;
+  if (detection.source != csv::DialectSource::kConsistency) {
+    result.diagnostics.Add(
+        DiagnosticSeverity::kWarning, DiagnosticCategory::kDialectFallback, 0,
+        0,
+        StrFormat("dialect detection fell back to %s (confidence %.2f)",
+                  std::string(csv::DialectSourceName(detection.source))
+                      .c_str(),
+                  detection.confidence));
+  }
+
+  csv::ReaderOptions reader = options.reader;
+  reader.dialect = detection.dialect;
+  reader.diagnostics = &result.diagnostics;
+  auto table = csv::ReadTable(text, reader);
+  if (!table.ok()) {
+    if (!options.fallback_to_recover) return table.status();
+    result.diagnostics.Add(
+        DiagnosticSeverity::kError, DiagnosticCategory::kRecoveryFallback, 0,
+        0,
+        StrFormat("%s parse failed (%s); retrying in recovery mode",
+                  std::string(RecoveryPolicyName(reader.policy)).c_str(),
+                  table.status().ToString().c_str()));
+    reader.policy = csv::RecoveryPolicy::kRecover;
+    table = csv::ReadTable(text, reader);
+    if (!table.ok()) return table.status();  // cannot happen by contract
+    result.recovered = true;
+  }
+  result.table = *std::move(table);
+  return result;
+}
+
+Result<IngestResult> IngestFile(const std::string& path,
+                                const IngestOptions& options) {
+  STRUDEL_ASSIGN_OR_RETURN(std::string bytes, csv::ReadFileToString(path));
+  return IngestText(bytes, options);
+}
+
+}  // namespace strudel

@@ -1,0 +1,65 @@
+// Hardened ingestion: the graceful-degradation front door that every
+// consumer of raw portal files (CLI commands, tests, services) goes
+// through. Runs sanitize -> dialect detection with fallback -> parse,
+// first under the configured policy and, when that fails, once more in
+// recovery mode — so parseable-ish input always yields a Table plus a
+// full account of what had to be repaired, instead of a hard failure.
+
+#ifndef STRUDEL_STRUDEL_INGEST_H_
+#define STRUDEL_STRUDEL_INGEST_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "csv/dialect_detector.h"
+#include "csv/diagnostics.h"
+#include "csv/reader.h"
+#include "csv/sanitize.h"
+#include "csv/table.h"
+
+namespace strudel {
+
+struct IngestOptions {
+  csv::SanitizerOptions sanitizer;
+  csv::DetectorOptions detector;
+  /// Primary parse attempt; `reader.dialect` is overridden by detection
+  /// and `reader.diagnostics` by the ingest-owned sink.
+  csv::ReaderOptions reader;
+  /// Retry in RecoveryPolicy::kRecover when the primary attempt fails.
+  /// With this set (the default) ingestion only fails on I/O errors.
+  bool fallback_to_recover = true;
+  /// Cap on retained diagnostic entries.
+  size_t max_diagnostics = 256;
+};
+
+struct IngestResult {
+  csv::Table table;
+  csv::Dialect dialect;
+  double dialect_confidence = 0.0;
+  csv::DialectSource dialect_source = csv::DialectSource::kDefault;
+  csv::SanitizeReport sanitize;
+  csv::ParseDiagnostics diagnostics;
+  /// True when the primary parse failed and the recovery retry produced
+  /// the table. The primary failure is recorded in `diagnostics`.
+  bool recovered = false;
+
+  /// True when the file needed no repairs and no diagnostics at all.
+  bool clean() const { return sanitize.clean() && diagnostics.empty(); }
+
+  /// Multi-line human-readable report (encoding, dialect, diagnostics).
+  std::string Report() const;
+};
+
+/// Ingests raw bytes. Fails only when the parse fails and
+/// `fallback_to_recover` is disabled (recovery mode itself never fails).
+Result<IngestResult> IngestText(std::string_view bytes,
+                                const IngestOptions& options = {});
+
+/// Reads and ingests a file; additionally fails on I/O errors.
+Result<IngestResult> IngestFile(const std::string& path,
+                                const IngestOptions& options = {});
+
+}  // namespace strudel
+
+#endif  // STRUDEL_STRUDEL_INGEST_H_

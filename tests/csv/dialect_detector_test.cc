@@ -102,6 +102,59 @@ TEST(DialectDetectorTest, MaxLinesLimitsWork) {
   EXPECT_EQ(dialect->delimiter, ',');
 }
 
+// --- Degenerate inputs: the fallback chain must stay well-defined. -------
+
+TEST(DialectFallbackTest, EmptyInputFallsBackToRfc4180Default) {
+  for (const char* text : {"", "   \n  ", "\n\n\n"}) {
+    auto detection = DetectDialectWithFallback(text);
+    EXPECT_EQ(detection.source, DialectSource::kDefault) << '"' << text << '"';
+    EXPECT_EQ(detection.dialect, Rfc4180Dialect()) << '"' << text << '"';
+    EXPECT_EQ(detection.confidence, 0.0) << '"' << text << '"';
+  }
+}
+
+TEST(DialectFallbackTest, SingleCellFileGetsADialectWithoutFailing) {
+  auto detection = DetectDialectWithFallback("lonely");
+  // One cell, no delimiters: nothing informative, the default applies
+  // (a single unsplit cell parses identically under every dialect).
+  EXPECT_EQ(detection.dialect.delimiter, ',');
+  // And the strict API pins its historical behavior: non-empty input
+  // always yields a dialect.
+  auto strict = DetectDialect("lonely");
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->delimiter, ',');
+}
+
+TEST(DialectFallbackTest, AllQuoteFileDoesNotCrashOrFail) {
+  const std::string text(64, '"');
+  auto detection = DetectDialectWithFallback(text);
+  EXPECT_GE(detection.confidence, 0.0);
+  EXPECT_LE(detection.confidence, 1.0);
+  // The scoring path stays well-defined too.
+  EXPECT_FALSE(ScoreDialects(text).empty());
+}
+
+TEST(DialectFallbackTest, OneLineFileDetectsItsDelimiter) {
+  auto detection = DetectDialectWithFallback("a;b;c\n");
+  EXPECT_EQ(detection.dialect.delimiter, ';');
+  EXPECT_GT(detection.confidence, 0.0);
+}
+
+TEST(DialectFallbackTest, ConsistentInputUsesConsistencySource) {
+  auto detection = DetectDialectWithFallback("a;b;c\n1;2;3\n4;5;6\n");
+  EXPECT_EQ(detection.source, DialectSource::kConsistency);
+  EXPECT_EQ(detection.dialect.delimiter, ';');
+  EXPECT_GT(detection.confidence, 0.0);
+  EXPECT_LE(detection.confidence, 1.0);
+  EXPECT_GT(detection.best_score.consistency, 0.0);
+}
+
+TEST(DialectFallbackTest, SourceNamesAreStable) {
+  EXPECT_EQ(DialectSourceName(DialectSource::kConsistency), "consistency");
+  EXPECT_EQ(DialectSourceName(DialectSource::kSniff), "sniff");
+  EXPECT_EQ(DialectSourceName(DialectSource::kDefault), "default");
+}
+
 TEST(DialectDetectorTest, ScoresCoverAllCandidates) {
   DetectorOptions options;
   auto scores = ScoreDialects("a,b\n1,2\n", options);

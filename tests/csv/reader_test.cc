@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 namespace strudel::csv {
 namespace {
 
@@ -103,7 +106,7 @@ TEST(ReaderTest, LenientModeKeepsMidFieldQuotes) {
 
 TEST(ReaderTest, StrictModeRejectsMidFieldQuotes) {
   ReaderOptions options;
-  options.lenient = false;
+  options.policy = RecoveryPolicy::kStrict;
   auto rows = ParseCsv("5\" pipe,x\n", options);
   EXPECT_FALSE(rows.ok());
   EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
@@ -111,7 +114,7 @@ TEST(ReaderTest, StrictModeRejectsMidFieldQuotes) {
 
 TEST(ReaderTest, StrictModeRejectsUnterminatedQuote) {
   ReaderOptions options;
-  options.lenient = false;
+  options.policy = RecoveryPolicy::kStrict;
   auto rows = ParseCsv("\"abc\n", options);
   EXPECT_FALSE(rows.ok());
 }
@@ -137,6 +140,128 @@ TEST(ReaderTest, MaxCellsLimit) {
   EXPECT_EQ(rows.status().code(), StatusCode::kOutOfRange);
 }
 
+TEST(ReaderTest, MaxCellsTripsOnPathologicalInputAndNamesTheLimit) {
+  // A wide pathological row: 10k delimiters make 10k+1 cells on one line.
+  std::string text(10'000, ',');
+  text += '\n';
+  ReaderOptions options;
+  options.max_cells = 1'000;
+  auto rows = ParseCsv(text, options);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kOutOfRange);
+  // The status must name the limit that tripped, so operators can tune it.
+  EXPECT_NE(rows.status().message().find("max_cells"), std::string::npos)
+      << rows.status().ToString();
+  EXPECT_NE(rows.status().message().find("1000"), std::string::npos)
+      << rows.status().ToString();
+}
+
+TEST(ReaderTest, RecoverModeStopsGracefullyAtMaxCells) {
+  ReaderOptions options;
+  options.policy = RecoveryPolicy::kRecover;
+  options.max_cells = 3;
+  ParseDiagnostics diags;
+  options.diagnostics = &diags;
+  auto rows = ParseCsv("a,b\nc,d\ne,f\n", options);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // Complete rows parsed before the budget tripped are kept.
+  ASSERT_GE(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_GE(diags.count(DiagnosticCategory::kCellBudget), 1u);
+}
+
+TEST(ReaderTest, RecoverModeClosesUnterminatedQuoteWithDiagnostic) {
+  ReaderOptions options;
+  options.policy = RecoveryPolicy::kRecover;
+  ParseDiagnostics diags;
+  options.diagnostics = &diags;
+  auto rows = ParseCsv("\"abc", options);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "abc");
+  EXPECT_EQ(diags.count(DiagnosticCategory::kUnterminatedQuote), 1u);
+}
+
+TEST(ReaderTest, RecoverModePadsAndTruncatesAgainstModalWidth) {
+  ReaderOptions options;
+  options.policy = RecoveryPolicy::kRecover;
+  ParseDiagnostics diags;
+  options.diagnostics = &diags;
+  // Modal width is 3 (two rows); the short row is padded, the long row
+  // truncated.
+  auto rows = ParseCsv("a,b,c\n1,2,3\nshort\nx,y,z,extra\n", options);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);
+  for (const auto& row : *rows) EXPECT_EQ(row.size(), 3u);
+  EXPECT_EQ((*rows)[2], (std::vector<std::string>{"short", "", ""}));
+  EXPECT_EQ((*rows)[3], (std::vector<std::string>{"x", "y", "z"}));
+  EXPECT_EQ(diags.count(DiagnosticCategory::kRaggedRow), 2u);
+}
+
+TEST(ReaderTest, LenientModeLeavesRaggedRowsAlone) {
+  auto rows = MustParse("a,b,c\n1,2,3\nshort\n");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2].size(), 1u);
+}
+
+TEST(ReaderTest, LineBudgetFailsOutsideRecoverMode) {
+  ReaderOptions options;
+  options.max_line_bytes = 8;
+  auto rows = ParseCsv("0123456789ABCDEF,x\nok,row\n", options);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(rows.status().message().find("max_line_bytes"),
+            std::string::npos);
+}
+
+TEST(ReaderTest, LineBudgetTruncatesInRecoverMode) {
+  ReaderOptions options;
+  options.policy = RecoveryPolicy::kRecover;
+  options.max_line_bytes = 8;
+  ParseDiagnostics diags;
+  options.diagnostics = &diags;
+  auto rows = ParseCsv("0123456789ABCDEF,x\nok,row\n", options);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_GE(diags.count(DiagnosticCategory::kOversizeLine), 1u);
+  // The clean second line survives intact (modulo ragged normalization).
+  bool found_ok_row = false;
+  for (const auto& row : *rows) {
+    if (!row.empty() && row[0] == "ok") found_ok_row = true;
+  }
+  EXPECT_TRUE(found_ok_row);
+}
+
+TEST(ReaderTest, TotalBudgetFailsOutsideRecoverModeAndTruncatesWithin) {
+  ReaderOptions options;
+  options.max_total_bytes = 4;
+  auto rows = ParseCsv("a,b\nc,d\n", options);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(rows.status().message().find("max_total_bytes"),
+            std::string::npos);
+
+  options.policy = RecoveryPolicy::kRecover;
+  ParseDiagnostics diags;
+  options.diagnostics = &diags;
+  auto recovered = ParseCsv("a,b\nc,d\n", options);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered->size(), 1u);
+  EXPECT_EQ((*recovered)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(diags.count(DiagnosticCategory::kTruncatedInput), 1u);
+}
+
+TEST(ReaderTest, DiagnosticsRecordStrayQuotesInLenientMode) {
+  ReaderOptions options;
+  ParseDiagnostics diags;
+  options.diagnostics = &diags;
+  auto rows = ParseCsv("5\" pipe,x\n\"a\"bc,d\n", options);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(diags.count(DiagnosticCategory::kStrayQuote), 2u);
+  ASSERT_FALSE(diags.entries().empty());
+  EXPECT_EQ(diags.entries()[0].line, 1u);
+  EXPECT_EQ(diags.entries()[0].column, 2u);
+}
+
 TEST(ReaderTest, ReadTableBuildsGrid) {
   auto table = ReadTable("a,b\nc\n");
   ASSERT_TRUE(table.ok());
@@ -149,6 +274,39 @@ TEST(ReaderTest, ReadTableFromMissingFileFails) {
   auto table = ReadTableFromFile("/nonexistent/path/x.csv");
   EXPECT_FALSE(table.ok());
   EXPECT_EQ(table.status().code(), StatusCode::kIOError);
+}
+
+TEST(ReaderTest, ReadFileRejectsDirectories) {
+  auto result = ReadFileToString(::testing::TempDir());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_NE(result.status().message().find("directory"), std::string::npos);
+
+  auto table = ReadTableFromFile(::testing::TempDir());
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIOError);
+}
+
+TEST(ReaderTest, ReadFileRoundTripsBinaryContent) {
+  const std::string path = ::testing::TempDir() + "/reader_test_binary.csv";
+  const std::string payload = std::string("a,\0b\r\nc,\xFF\n", 10);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << payload;
+  }
+  auto result = ReadFileToString(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, payload);
+  std::remove(path.c_str());
+}
+
+TEST(ReaderTest, ReadFileHandlesEmptyFile) {
+  const std::string path = ::testing::TempDir() + "/reader_test_empty.csv";
+  { std::ofstream out(path, std::ios::binary); }
+  auto result = ReadFileToString(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->empty());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+#include "csv/sanitize.h"
+
+#include <gtest/gtest.h>
+
+#include "csv/reader.h"
+
+namespace strudel::csv {
+namespace {
+
+TEST(SanitizeTest, CleanInputPassesThroughUntouched) {
+  SanitizeReport report;
+  const std::string text = "a,b,c\n1,2,3\n";
+  EXPECT_EQ(Sanitize(text, {}, &report), text);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.source_encoding, "utf-8");
+  EXPECT_EQ(report.Summary(), "utf-8; no repairs");
+}
+
+TEST(SanitizeTest, StripsUtf8Bom) {
+  SanitizeReport report;
+  EXPECT_EQ(Sanitize("\xEF\xBB\xBF" "a,b\n", {}, &report), "a,b\n");
+  EXPECT_TRUE(report.bom_stripped);
+  EXPECT_EQ(report.total_repairs(), 1u);
+}
+
+TEST(SanitizeTest, DecodesUtf16LittleEndian) {
+  // "a,b\n" in UTF-16LE with BOM.
+  const std::string bytes("\xFF\xFE" "a\0,\0b\0\n\0", 10);
+  SanitizeReport report;
+  EXPECT_EQ(Sanitize(bytes, {}, &report), "a,b\n");
+  EXPECT_EQ(report.source_encoding, "utf-16le");
+  EXPECT_TRUE(report.bom_stripped);
+}
+
+TEST(SanitizeTest, DecodesUtf16BigEndianWithNonAscii) {
+  // "é\n" in UTF-16BE with BOM (U+00E9).
+  const std::string bytes("\xFE\xFF\x00\xE9\x00\n", 6);
+  SanitizeReport report;
+  EXPECT_EQ(Sanitize(bytes, {}, &report), "\xC3\xA9\n");
+  EXPECT_EQ(report.source_encoding, "utf-16be");
+}
+
+TEST(SanitizeTest, Utf16SurrogatePairsDecode) {
+  // U+1F600 in UTF-16LE: D83D DE00.
+  const std::string bytes("\xFF\xFE\x3D\xD8\x00\xDE", 6);
+  SanitizeReport report;
+  EXPECT_EQ(Sanitize(bytes, {}, &report), "\xF0\x9F\x98\x80");
+  EXPECT_EQ(report.utf16_decode_errors, 0u);
+}
+
+TEST(SanitizeTest, LoneSurrogateBecomesReplacementChar) {
+  const std::string bytes("\xFF\xFE\x3D\xD8" "a\0", 6);
+  SanitizeReport report;
+  EXPECT_EQ(Sanitize(bytes, {}, &report), "\xEF\xBF\xBD" "a");
+  EXPECT_EQ(report.utf16_decode_errors, 1u);
+}
+
+TEST(SanitizeTest, NormalizesCrAndCrLfEndings) {
+  SanitizeReport report;
+  EXPECT_EQ(Sanitize("a\rb\r\nc\n", {}, &report), "a\nb\nc\n");
+  EXPECT_EQ(report.cr_normalized, 1u);
+  EXPECT_EQ(report.crlf_normalized, 1u);
+}
+
+TEST(SanitizeTest, SparseNulBytesBecomeSpaces) {
+  const std::string bytes("a,\0b\nc,d\n", 9);
+  SanitizeReport report;
+  ParseDiagnostics diags;
+  EXPECT_EQ(Sanitize(bytes, {}, &report, &diags), "a, b\nc,d\n");
+  EXPECT_EQ(report.nul_replaced, 1u);
+  EXPECT_EQ(report.nul_dropped, 0u);
+  EXPECT_EQ(diags.count(DiagnosticCategory::kNulByte), 1u);
+}
+
+TEST(SanitizeTest, DenseNulBytesAreDroppedAsUtf16Footprint) {
+  // UTF-16LE content without a BOM: every other byte is NUL.
+  const std::string bytes("a\0,\0b\0\n\0", 8);
+  SanitizeReport report;
+  EXPECT_EQ(Sanitize(bytes, {}, &report), "a,b\n");
+  EXPECT_EQ(report.nul_dropped, 4u);
+  EXPECT_EQ(report.nul_replaced, 0u);
+}
+
+TEST(SanitizeTest, RepairsInvalidUtf8) {
+  SanitizeReport report;
+  // 0xFF is never a valid UTF-8 byte.
+  EXPECT_EQ(Sanitize("a\xFF" "b\n", {}, &report), "a\xEF\xBF\xBD" "b\n");
+  EXPECT_EQ(report.invalid_utf8_repairs, 1u);
+}
+
+TEST(SanitizeTest, TruncatedMultibyteSequenceRepairsToOneReplacement) {
+  SanitizeReport report;
+  // Lead byte of a 3-byte sequence followed by only one continuation.
+  EXPECT_EQ(Sanitize("x\xE2\x82\n", {}, &report), "x\xEF\xBF\xBD\n");
+  EXPECT_EQ(report.invalid_utf8_repairs, 1u);
+}
+
+TEST(SanitizeTest, OverlongAndSurrogateUtf8Rejected) {
+  SanitizeReport report;
+  // C0 80 is the classic overlong NUL; ED A0 80 encodes a surrogate.
+  Sanitize("\xC0\x80", {}, &report);
+  EXPECT_GT(report.invalid_utf8_repairs, 0u);
+  report = {};
+  Sanitize("\xED\xA0\x80", {}, &report);
+  EXPECT_GT(report.invalid_utf8_repairs, 0u);
+}
+
+TEST(SanitizeTest, ValidMultibyteUtf8Preserved) {
+  SanitizeReport report;
+  const std::string text = "naïve,\xE2\x82\xAC,\xF0\x9F\x98\x80\n";
+  EXPECT_EQ(Sanitize(text, {}, &report), text);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(SanitizeTest, OptionsDisableIndividualRepairs) {
+  SanitizerOptions options;
+  options.strip_bom = false;
+  options.normalize_newlines = false;
+  options.replace_nul = false;
+  options.repair_utf8 = false;
+  options.transcode_utf16 = false;
+  const std::string bytes("\xEF\xBB\xBF" "a\r\n\xFF\0", 8);
+  SanitizeReport report;
+  EXPECT_EQ(Sanitize(bytes, options, &report), bytes);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(SanitizeTest, SanitizedOutputAlwaysParsesInRecoverMode) {
+  // Adversarial byte soup: BOM + NULs + mixed endings + broken UTF-8.
+  const std::string bytes("\xEF\xBB\xBF" "a,\"b\r\nc\0d\xC3,e\rf\xFF\n", 19);
+  ParseDiagnostics diags;
+  const std::string text = Sanitize(bytes, {}, nullptr, &diags);
+  ReaderOptions options;
+  options.policy = RecoveryPolicy::kRecover;
+  auto rows = ParseCsv(text, options);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_GT(diags.total_count(), 0u);
+}
+
+TEST(DiagnosticsTest, CapsRetainedEntriesButCountsAll) {
+  ParseDiagnostics diags(4);
+  for (int i = 0; i < 10; ++i) {
+    diags.Add(DiagnosticSeverity::kWarning, DiagnosticCategory::kStrayQuote,
+              static_cast<size_t>(i + 1), 1, "stray");
+  }
+  EXPECT_EQ(diags.entries().size(), 4u);
+  EXPECT_EQ(diags.total_count(), 10u);
+  EXPECT_EQ(diags.dropped_count(), 6u);
+  EXPECT_EQ(diags.count(DiagnosticCategory::kStrayQuote), 10u);
+  EXPECT_EQ(diags.count(DiagnosticSeverity::kWarning), 10u);
+  EXPECT_NE(diags.Report().find("6 further diagnostics"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, SummaryAndToStringFormats) {
+  ParseDiagnostics diags;
+  EXPECT_EQ(diags.Summary(), "clean");
+  diags.Add(DiagnosticSeverity::kError, DiagnosticCategory::kOversizeLine, 7,
+            3, "too long");
+  const std::string summary = diags.Summary();
+  EXPECT_NE(summary.find("1 errors"), std::string::npos);
+  EXPECT_NE(summary.find("oversize_line x1"), std::string::npos);
+  EXPECT_EQ(diags.entries()[0].ToString(),
+            "error at 7:3 [oversize_line]: too long");
+  diags.Clear();
+  EXPECT_TRUE(diags.empty());
+  EXPECT_EQ(diags.Summary(), "clean");
+}
+
+}  // namespace
+}  // namespace strudel::csv

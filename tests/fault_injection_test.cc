@@ -1,0 +1,219 @@
+// Fault-injection property suite: >= 500 deterministically corrupted
+// corpus files are pushed through the full hardened pipeline
+// (sanitize -> dialect detection -> parse -> classify -> segment) and
+// must never crash the process. Every failure has to surface as a
+// Status, and recovery mode must always yield a Table.
+//
+// Runs under the `faultinjection` ctest label so it can be exercised as
+// its own tier (e.g. in an ASan/UBSan build via -DSTRUDEL_SANITIZE=...).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "csv/dialect_detector.h"
+#include "csv/reader.h"
+#include "csv/sanitize.h"
+#include "csv/writer.h"
+#include "datagen/corpus.h"
+#include "strudel/ingest.h"
+#include "strudel/segmentation.h"
+#include "strudel/strudel_line.h"
+#include "testing/corruptor.h"
+#include "testing/test_tables.h"
+
+namespace strudel {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bases_ = new std::vector<std::string>;
+    bases_->push_back(csv::WriteTable(testing::Figure1File().table));
+    bases_->push_back(csv::WriteTable(testing::StackedTablesFile().table));
+
+    // A slice of generated verbose files from two differently shaped
+    // profiles; also the training set for the line model driving the
+    // segmentation stage.
+    std::vector<AnnotatedFile> corpus = datagen::GenerateCorpus(
+        datagen::ScaledProfile(datagen::SausProfile(), 0.05, 0.3), 2024);
+    std::vector<AnnotatedFile> govuk = datagen::GenerateCorpus(
+        datagen::ScaledProfile(datagen::GovUkProfile(), 0.03, 0.3), 2025);
+    for (auto& file : govuk) corpus.push_back(std::move(file));
+    for (size_t i = 0; i < corpus.size() && bases_->size() < 12; ++i) {
+      bases_->push_back(csv::WriteTable(corpus[i].table));
+    }
+
+    StrudelLineOptions options;
+    options.forest.num_trees = 5;
+    options.forest.num_threads = 2;
+    model_ = new StrudelLine(options);
+    ASSERT_TRUE(model_->Fit(corpus).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete bases_;
+    bases_ = nullptr;
+    delete model_;
+    model_ = nullptr;
+  }
+
+  /// Runs one corrupted byte string through the full pipeline, checking
+  /// the robustness contract at every stage. Returns the number of
+  /// diagnostics observed (so callers can assert damage was noticed).
+  static void RunPipeline(const std::string& bytes, const std::string& label) {
+    SCOPED_TRACE(label);
+
+    // Stage 1: sanitize never fails and yields NUL- and CR-free text.
+    csv::SanitizeReport report;
+    csv::ParseDiagnostics sanitize_diags;
+    const std::string text =
+        csv::Sanitize(bytes, {}, &report, &sanitize_diags);
+    EXPECT_EQ(text.find('\0'), std::string::npos);
+    EXPECT_EQ(text.find('\r'), std::string::npos);
+
+    // Stage 2: dialect detection never fails; confidence stays in range.
+    const csv::DialectDetection detection =
+        csv::DetectDialectWithFallback(text);
+    EXPECT_GE(detection.confidence, 0.0);
+    EXPECT_LE(detection.confidence, 1.0);
+
+    // Stage 3a: strict and lenient parses may reject the input, but any
+    // failure must be a well-formed Status, never a crash or a throw.
+    for (csv::RecoveryPolicy policy :
+         {csv::RecoveryPolicy::kStrict, csv::RecoveryPolicy::kLenient}) {
+      csv::ReaderOptions options;
+      options.dialect = detection.dialect;
+      options.policy = policy;
+      auto parsed = csv::ParseCsv(text, options);
+      if (!parsed.ok()) {
+        EXPECT_NE(parsed.status().code(), StatusCode::kOk);
+        EXPECT_FALSE(parsed.status().message().empty());
+      }
+    }
+
+    // Stage 3b: recovery mode must always yield a Table.
+    csv::ReaderOptions recover;
+    recover.dialect = detection.dialect;
+    recover.policy = csv::RecoveryPolicy::kRecover;
+    csv::ParseDiagnostics parse_diags;
+    recover.diagnostics = &parse_diags;
+    auto table = csv::ReadTable(text, recover);
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+
+    // And so must the one-call ingestion API, straight from raw bytes.
+    auto ingest = IngestText(bytes);
+    ASSERT_TRUE(ingest.ok()) << ingest.status().ToString();
+
+    // Stage 4: classification + segmentation on whatever was recovered.
+    if (table->num_rows() == 0) return;
+    const LinePrediction lines = model_->Predict(*table);
+    ASSERT_EQ(lines.classes.size(), static_cast<size_t>(table->num_rows()));
+    const FileSegmentation segmentation =
+        SegmentFile(*table, lines.classes);
+    auto check_row = [&](int row) {
+      EXPECT_GE(row, 0);
+      EXPECT_LT(row, table->num_rows());
+    };
+    for (int row : segmentation.metadata_rows) check_row(row);
+    for (int row : segmentation.notes_rows) check_row(row);
+    for (const TableSegment& segment : segmentation.tables) {
+      for (int row : segment.header_rows) check_row(row);
+      for (int row : segment.data_rows) check_row(row);
+      for (int row : segment.derived_rows) check_row(row);
+    }
+    const auto extracted = ExtractRelationalTables(*table, segmentation);
+    for (const RelationalTable& rel : extracted) {
+      for (const auto& row : rel.rows) {
+        EXPECT_EQ(row.size(), rel.header.size());
+      }
+    }
+  }
+
+  static std::vector<std::string>* bases_;
+  static StrudelLine* model_;
+};
+
+std::vector<std::string>* FaultInjectionTest::bases_ = nullptr;
+StrudelLine* FaultInjectionTest::model_ = nullptr;
+
+TEST_F(FaultInjectionTest, BaseCorpusIsBigEnough) {
+  // 12 bases x 8 kinds x 6 seeds = 576 single-mutation runs (>= 500 as
+  // required), before the compound-mutation sweep.
+  ASSERT_GE(bases_->size(), 12u);
+}
+
+TEST_F(FaultInjectionTest, SingleMutationSweepNeverCrashesThePipeline) {
+  int runs = 0;
+  for (size_t b = 0; b < bases_->size(); ++b) {
+    for (testing::CorruptionKind kind : testing::kAllCorruptionKinds) {
+      for (uint64_t seed = 0; seed < 6; ++seed) {
+        Rng rng(seed * 7919 + b * 104729 +
+                static_cast<uint64_t>(kind) * 31 + 1);
+        const std::string corrupted =
+            testing::Corrupt((*bases_)[b], kind, rng);
+        RunPipeline(corrupted,
+                    StrFormat("base=%zu kind=%s seed=%llu", b,
+                              std::string(testing::CorruptionKindName(kind))
+                                  .c_str(),
+                              static_cast<unsigned long long>(seed)));
+        ++runs;
+      }
+    }
+  }
+  EXPECT_GE(runs, 500);
+}
+
+TEST_F(FaultInjectionTest, CompoundMutationsNeverCrashThePipeline) {
+  for (size_t b = 0; b < bases_->size(); ++b) {
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+      Rng rng(seed * 6007 + b * 509 + 3);
+      const std::string corrupted =
+          testing::CorruptRandomly((*bases_)[b], rng, 4);
+      RunPipeline(corrupted,
+                  StrFormat("compound base=%zu seed=%llu", b,
+                            static_cast<unsigned long long>(seed)));
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, CorruptorIsDeterministic) {
+  for (testing::CorruptionKind kind : testing::kAllCorruptionKinds) {
+    Rng rng_a(99);
+    Rng rng_b(99);
+    EXPECT_EQ(testing::Corrupt((*bases_)[0], kind, rng_a),
+              testing::Corrupt((*bases_)[0], kind, rng_b))
+        << testing::CorruptionKindName(kind);
+  }
+}
+
+TEST_F(FaultInjectionTest, ClassifyStyleFlowSurvivesEveryKindOfDamage) {
+  // The CLI contract: a corrupted file classifies what it can — ingestion
+  // succeeds and reports the damage instead of aborting.
+  for (testing::CorruptionKind kind : testing::kAllCorruptionKinds) {
+    Rng rng(static_cast<uint64_t>(kind) + 17);
+    const std::string corrupted = testing::Corrupt((*bases_)[0], kind, rng);
+    auto ingest = IngestText(corrupted);
+    ASSERT_TRUE(ingest.ok()) << testing::CorruptionKindName(kind);
+    if (ingest->table.num_rows() > 0) {
+      const LinePrediction lines = model_->Predict(ingest->table);
+      EXPECT_EQ(lines.classes.size(),
+                static_cast<size_t>(ingest->table.num_rows()));
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, PristineBasesIngestClean) {
+  for (size_t b = 0; b < bases_->size(); ++b) {
+    auto ingest = IngestText((*bases_)[b]);
+    ASSERT_TRUE(ingest.ok());
+    EXPECT_FALSE(ingest->recovered) << "base " << b;
+    EXPECT_GT(ingest->table.num_rows(), 0) << "base " << b;
+  }
+}
+
+}  // namespace
+}  // namespace strudel

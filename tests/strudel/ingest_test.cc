@@ -1,0 +1,121 @@
+#include "strudel/ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "csv/writer.h"
+#include "testing/test_tables.h"
+
+namespace strudel {
+namespace {
+
+TEST(IngestTest, CleanFilePassesThroughWithConsistencyDialect) {
+  auto result = IngestText("id,name,value\n1,alpha,10.5\n2,beta,11.5\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->clean());
+  EXPECT_FALSE(result->recovered);
+  EXPECT_EQ(result->dialect.delimiter, ',');
+  EXPECT_EQ(result->dialect_source, csv::DialectSource::kConsistency);
+  EXPECT_GT(result->dialect_confidence, 0.0);
+  EXPECT_EQ(result->table.num_rows(), 3);
+  EXPECT_EQ(result->table.num_cols(), 3);
+}
+
+TEST(IngestTest, BomNulAndBrokenUtf8AreRepairedNotFatal) {
+  const std::string bytes(
+      "\xEF\xBB\xBF" "id;na\0me;value\n1;al\xFFpha;10\n2;beta;11\n", 40);
+  auto result = IngestText(bytes);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->clean());
+  EXPECT_TRUE(result->sanitize.bom_stripped);
+  EXPECT_EQ(result->sanitize.nul_replaced, 1u);
+  EXPECT_EQ(result->sanitize.invalid_utf8_repairs, 1u);
+  EXPECT_EQ(result->dialect.delimiter, ';');
+  EXPECT_EQ(result->table.num_rows(), 3);
+}
+
+TEST(IngestTest, Utf16FileIngestsLikeItsUtf8Twin) {
+  const std::string utf8 = "a,b\n1,2\n3,4\n";
+  std::string utf16le = "\xFF\xFE";
+  for (char c : utf8) {
+    utf16le += c;
+    utf16le += '\0';
+  }
+  auto result = IngestText(utf16le);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sanitize.source_encoding, "utf-16le");
+  EXPECT_EQ(result->table.num_rows(), 3);
+  EXPECT_EQ(result->table.num_cols(), 2);
+  EXPECT_EQ(result->table.cell(2, 1), "4");
+}
+
+TEST(IngestTest, BudgetOverrunFallsBackToRecovery) {
+  IngestOptions options;
+  options.reader.max_cells = 4;
+  auto result = IngestText("a,b\nc,d\ne,f\ng,h\n", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->recovered);
+  EXPECT_GE(result->diagnostics.count(
+                csv::DiagnosticCategory::kRecoveryFallback),
+            1u);
+  EXPECT_GE(result->table.num_rows(), 1);
+}
+
+TEST(IngestTest, RecoveryFallbackCanBeDisabled) {
+  IngestOptions options;
+  options.reader.max_cells = 4;
+  options.fallback_to_recover = false;
+  auto result = IngestText("a,b\nc,d\ne,f\ng,h\n", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(IngestTest, EmptyInputYieldsEmptyTableWithDefaultDialect) {
+  auto result = IngestText("");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->table.num_rows(), 0);
+  EXPECT_EQ(result->dialect_source, csv::DialectSource::kDefault);
+}
+
+TEST(IngestTest, FigureOneFileSurvivesIngestionUnchanged) {
+  const AnnotatedFile file = testing::Figure1File();
+  const std::string text = csv::WriteTable(file.table);
+  auto result = IngestText(text);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->table.num_rows(), file.table.num_rows());
+  for (int r = 0; r < file.table.num_rows(); ++r) {
+    for (int c = 0; c < file.table.num_cols(); ++c) {
+      EXPECT_EQ(result->table.cell(r, c), file.table.cell(r, c))
+          << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(IngestTest, IngestFileReadsFromDiskAndRejectsDirectories) {
+  const std::string path = ::testing::TempDir() + "/ingest_test.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "x,y\n1,2\n";
+  }
+  auto result = IngestFile(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->table.num_rows(), 2);
+  std::remove(path.c_str());
+
+  auto dir = IngestFile(::testing::TempDir());
+  ASSERT_FALSE(dir.ok());
+  EXPECT_EQ(dir.status().code(), StatusCode::kIOError);
+}
+
+TEST(IngestTest, ReportMentionsEncodingDialectAndDiagnostics) {
+  auto result = IngestText("a,b\n1,2\n");
+  ASSERT_TRUE(result.ok());
+  const std::string report = result->Report();
+  EXPECT_NE(report.find("encoding:"), std::string::npos);
+  EXPECT_NE(report.find("dialect:"), std::string::npos);
+  EXPECT_NE(report.find("diagnostics:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace strudel

@@ -1,0 +1,186 @@
+#include "testing/corruptor.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace strudel::testing {
+
+namespace {
+
+// Offsets are drawn in [0, size]; counts scale with input size but stay
+// bounded so huge inputs do not make the suite quadratic.
+size_t RandomOffset(Rng& rng, size_t size) {
+  return static_cast<size_t>(rng.UniformInt(size + 1));
+}
+
+size_t RandomCount(Rng& rng, size_t size, size_t lo, size_t hi) {
+  const size_t cap = std::max(lo, std::min(hi, size / 8 + 1));
+  return lo + static_cast<size_t>(rng.UniformInt(cap - lo + 1));
+}
+
+std::string Truncate(std::string input, Rng& rng) {
+  if (input.empty()) return input;
+  input.resize(static_cast<size_t>(rng.UniformInt(input.size())));
+  return input;
+}
+
+std::string BitFlip(std::string input, Rng& rng) {
+  if (input.empty()) return input;
+  const size_t flips = RandomCount(rng, input.size(), 1, 16);
+  for (size_t k = 0; k < flips; ++k) {
+    const size_t pos = static_cast<size_t>(rng.UniformInt(input.size()));
+    input[pos] = static_cast<char>(
+        static_cast<unsigned char>(input[pos]) ^ (1u << rng.UniformInt(8)));
+  }
+  return input;
+}
+
+std::string DropChar(std::string input, Rng& rng, char victim) {
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (input[i] == victim) positions.push_back(i);
+  }
+  if (positions.empty()) return input;
+  const size_t drops = RandomCount(rng, positions.size(), 1, 4);
+  rng.Shuffle(positions);
+  positions.resize(std::min(drops, positions.size()));
+  std::sort(positions.begin(), positions.end());
+  std::string out;
+  out.reserve(input.size());
+  size_t next = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (next < positions.size() && positions[next] == i) {
+      ++next;
+      continue;
+    }
+    out += input[i];
+  }
+  return out;
+}
+
+std::string InsertChars(std::string input, Rng& rng, std::string_view what,
+                        size_t max_insertions) {
+  const size_t insertions = RandomCount(rng, input.size(), 1, max_insertions);
+  for (size_t k = 0; k < insertions; ++k) {
+    input.insert(RandomOffset(rng, input.size()), what);
+  }
+  return input;
+}
+
+std::string DelimiterSwap(std::string input, Rng& rng) {
+  constexpr char kDelims[] = {',', ';', '\t', '|'};
+  const char from = kDelims[rng.UniformInt(4)];
+  char to = from;
+  while (to == from) to = kDelims[rng.UniformInt(4)];
+  // Swap each occurrence with probability 1/2: partial swaps are nastier
+  // than clean ones because the file ends up mixing two dialects.
+  for (char& c : input) {
+    if (c == from && rng.Bernoulli(0.5)) c = to;
+  }
+  return input;
+}
+
+std::string BomInjection(std::string input, Rng& rng) {
+  switch (rng.UniformInt(uint64_t{3})) {
+    case 0:
+      return "\xEF\xBB\xBF" + input;
+    case 1:
+      return "\xFF\xFE" + input;  // UTF-16LE BOM on UTF-8 bytes
+    default:
+      return "\xFE\xFF" + input;  // UTF-16BE BOM on UTF-8 bytes
+  }
+}
+
+std::string LineSplice(std::string input, Rng& rng) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : input) {
+    current += c;
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  if (lines.empty()) return input;
+  const size_t pos = static_cast<size_t>(rng.UniformInt(lines.size()));
+  switch (rng.UniformInt(uint64_t{3})) {
+    case 0:  // duplicate a line
+      lines.insert(lines.begin() + static_cast<ptrdiff_t>(pos), lines[pos]);
+      break;
+    case 1:  // delete a line
+      lines.erase(lines.begin() + static_cast<ptrdiff_t>(pos));
+      break;
+    default:  // join a line with its successor (drop the newline)
+      if (pos + 1 < lines.size()) {
+        while (!lines[pos].empty() &&
+               (lines[pos].back() == '\n' || lines[pos].back() == '\r')) {
+          lines[pos].pop_back();
+        }
+        lines[pos] += lines[pos + 1];
+        lines.erase(lines.begin() + static_cast<ptrdiff_t>(pos) + 1);
+      }
+      break;
+  }
+  std::string out;
+  for (const std::string& ln : lines) out += ln;
+  return out;
+}
+
+}  // namespace
+
+std::string_view CorruptionKindName(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kTruncate:
+      return "truncate";
+    case CorruptionKind::kBitFlip:
+      return "bit_flip";
+    case CorruptionKind::kQuoteDrop:
+      return "quote_drop";
+    case CorruptionKind::kQuoteInsert:
+      return "quote_insert";
+    case CorruptionKind::kDelimiterSwap:
+      return "delimiter_swap";
+    case CorruptionKind::kNulInjection:
+      return "nul_injection";
+    case CorruptionKind::kBomInjection:
+      return "bom_injection";
+    case CorruptionKind::kLineSplice:
+      return "line_splice";
+  }
+  return "unknown";
+}
+
+std::string Corrupt(std::string input, CorruptionKind kind, Rng& rng) {
+  switch (kind) {
+    case CorruptionKind::kTruncate:
+      return Truncate(std::move(input), rng);
+    case CorruptionKind::kBitFlip:
+      return BitFlip(std::move(input), rng);
+    case CorruptionKind::kQuoteDrop:
+      return DropChar(std::move(input), rng, '"');
+    case CorruptionKind::kQuoteInsert:
+      return InsertChars(std::move(input), rng, "\"", 6);
+    case CorruptionKind::kDelimiterSwap:
+      return DelimiterSwap(std::move(input), rng);
+    case CorruptionKind::kNulInjection:
+      return InsertChars(std::move(input), rng, std::string_view("\0", 1), 8);
+    case CorruptionKind::kBomInjection:
+      return BomInjection(std::move(input), rng);
+    case CorruptionKind::kLineSplice:
+      return LineSplice(std::move(input), rng);
+  }
+  return input;
+}
+
+std::string CorruptRandomly(std::string input, Rng& rng, int mutations) {
+  constexpr size_t kNumKinds =
+      sizeof(kAllCorruptionKinds) / sizeof(kAllCorruptionKinds[0]);
+  for (int k = 0; k < mutations; ++k) {
+    input = Corrupt(std::move(input),
+                    kAllCorruptionKinds[rng.UniformInt(kNumKinds)], rng);
+  }
+  return input;
+}
+
+}  // namespace strudel::testing

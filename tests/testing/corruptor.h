@@ -1,0 +1,49 @@
+// Deterministic byte-level fault injection for the robustness suite.
+//
+// Each mutator takes a well-formed CSV byte string and a seeded
+// common/rng generator and returns a corrupted variant modelling a
+// real-world failure: truncated downloads, bit rot, mangled quoting,
+// wrong export delimiters, binary garbage, encoding marks and spliced
+// lines. Everything is a pure function of (input, rng state), so any
+// failing case reproduces exactly from its seed.
+
+#ifndef STRUDEL_TESTS_TESTING_CORRUPTOR_H_
+#define STRUDEL_TESTS_TESTING_CORRUPTOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace strudel::testing {
+
+enum class CorruptionKind {
+  kTruncate = 0,     // cut off at a random byte offset
+  kBitFlip,          // flip random bits in random bytes
+  kQuoteDrop,        // remove random quote characters
+  kQuoteInsert,      // insert quotes at random offsets
+  kDelimiterSwap,    // rewrite random delimiters to another candidate
+  kNulInjection,     // insert NUL bytes at random offsets
+  kBomInjection,     // prepend a UTF-8 or UTF-16 byte-order mark
+  kLineSplice,       // duplicate, delete or join random lines
+};
+
+inline constexpr CorruptionKind kAllCorruptionKinds[] = {
+    CorruptionKind::kTruncate,      CorruptionKind::kBitFlip,
+    CorruptionKind::kQuoteDrop,     CorruptionKind::kQuoteInsert,
+    CorruptionKind::kDelimiterSwap, CorruptionKind::kNulInjection,
+    CorruptionKind::kBomInjection,  CorruptionKind::kLineSplice,
+};
+
+std::string_view CorruptionKindName(CorruptionKind kind);
+
+/// Applies one mutation of the given kind. Deterministic in `rng`.
+std::string Corrupt(std::string input, CorruptionKind kind, Rng& rng);
+
+/// Applies `mutations` randomly chosen mutation kinds in sequence —
+/// compound damage, the usual shape of a really broken portal file.
+std::string CorruptRandomly(std::string input, Rng& rng, int mutations = 3);
+
+}  // namespace strudel::testing
+
+#endif  // STRUDEL_TESTS_TESTING_CORRUPTOR_H_

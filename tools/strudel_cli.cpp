@@ -5,17 +5,21 @@
 //   strudel classify <model-file> <input.csv>    per-line/cell classes
 //   strudel extract <model-file> <input.csv>     relational tables (CSV)
 //   strudel inspect <input.csv>                  dialect + shape report
+//   strudel doctor <input.csv>                   ingestion health report
 //
 // A full round trip:
 //   strudel gen saus /tmp/corpus 20
 //   strudel train /tmp/corpus /tmp/strudel.model
 //   strudel classify /tmp/strudel.model some_portal_file.csv
+//
+// classify/extract/inspect go through the hardened ingestion pipeline
+// (strudel/ingest.h): corrupt-ish input is sanitized and recovered rather
+// than aborting, and anything that had to be repaired is summarized on
+// stderr. Only I/O errors are fatal.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 #include "csv/crop.h"
@@ -24,6 +28,7 @@
 #include "csv/writer.h"
 #include "datagen/annotated_io.h"
 #include "datagen/corpus.h"
+#include "strudel/ingest.h"
 #include "strudel/model_io.h"
 #include "strudel/segmentation.h"
 
@@ -40,27 +45,24 @@ int Usage() {
       "  strudel train <corpus-dir> <model-file>\n"
       "  strudel classify <model-file> <input.csv>\n"
       "  strudel extract <model-file> <input.csv>\n"
-      "  strudel inspect <input.csv>\n");
+      "  strudel inspect <input.csv>\n"
+      "  strudel doctor <input.csv>\n");
   return 2;
 }
 
-Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-Result<csv::Table> ParseWithDetectedDialect(const std::string& path,
-                                            csv::Dialect* dialect_out) {
-  STRUDEL_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
-  STRUDEL_ASSIGN_OR_RETURN(csv::Dialect dialect,
-                           csv::DetectDialect(text));
-  if (dialect_out != nullptr) *dialect_out = dialect;
-  csv::ReaderOptions options;
-  options.dialect = dialect;
-  return csv::ReadTable(text, options);
+/// Ingests `path` through the hardened pipeline; on success prints any
+/// repair/diagnostic summary to stderr so the primary output stays clean.
+Result<IngestResult> IngestWithSummary(const std::string& path) {
+  auto ingest = IngestFile(path);
+  if (ingest.ok() && !ingest->clean()) {
+    std::fprintf(stderr, "note: input needed repairs (%s)\n",
+                 ingest->sanitize.clean()
+                     ? ingest->diagnostics.Summary().c_str()
+                     : (ingest->sanitize.Summary() + "; " +
+                        ingest->diagnostics.Summary())
+                           .c_str());
+  }
+  return ingest;
 }
 
 int CmdGen(int argc, char** argv) {
@@ -120,23 +122,23 @@ int CmdClassify(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
     return 1;
   }
-  csv::Dialect dialect;
-  auto table = ParseWithDetectedDialect(argv[3], &dialect);
-  if (!table.ok()) {
-    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+  auto ingest = IngestWithSummary(argv[3]);
+  if (!ingest.ok()) {
+    std::fprintf(stderr, "%s\n", ingest.status().ToString().c_str());
     return 1;
   }
-  std::printf("dialect: %s\n", dialect.ToString().c_str());
-  CellPrediction prediction = model->Predict(*table);
-  for (int r = 0; r < table->num_rows(); ++r) {
+  const csv::Table& table = ingest->table;
+  std::printf("dialect: %s\n", ingest->dialect.ToString().c_str());
+  CellPrediction prediction = model->Predict(table);
+  for (int r = 0; r < table.num_rows(); ++r) {
     std::printf("%4d %-8s |", r,
                 std::string(ElementClassName(
                                 prediction.line_prediction.classes
                                     [static_cast<size_t>(r)]))
                     .c_str());
-    for (int c = 0; c < table->num_cols(); ++c) {
-      if (table->cell_empty(r, c)) continue;
-      std::printf(" %s:%c", std::string(table->cell(r, c)).c_str(),
+    for (int c = 0; c < table.num_cols(); ++c) {
+      if (table.cell_empty(r, c)) continue;
+      std::printf(" %s:%c", std::string(table.cell(r, c)).c_str(),
                   ElementClassName(
                       prediction.classes[static_cast<size_t>(r)]
                                         [static_cast<size_t>(c)])[0]);
@@ -153,14 +155,15 @@ int CmdExtract(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
     return 1;
   }
-  auto table = ParseWithDetectedDialect(argv[3], nullptr);
-  if (!table.ok()) {
-    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+  auto ingest = IngestWithSummary(argv[3]);
+  if (!ingest.ok()) {
+    std::fprintf(stderr, "%s\n", ingest.status().ToString().c_str());
     return 1;
   }
-  LinePrediction lines = model->line_model().Predict(*table);
-  FileSegmentation segmentation = SegmentFile(*table, lines.classes);
-  auto tables = ExtractRelationalTables(*table, segmentation);
+  const csv::Table& table = ingest->table;
+  LinePrediction lines = model->line_model().Predict(table);
+  FileSegmentation segmentation = SegmentFile(table, lines.classes);
+  auto tables = ExtractRelationalTables(table, segmentation);
   for (size_t t = 0; t < tables.size(); ++t) {
     std::printf("# table %zu\n", t + 1);
     std::vector<std::vector<std::string>> out;
@@ -173,13 +176,14 @@ int CmdExtract(int argc, char** argv) {
 
 int CmdInspect(int argc, char** argv) {
   if (argc < 3) return Usage();
-  auto text_result = ReadFile(argv[2]);
-  if (!text_result.ok()) {
-    std::fprintf(stderr, "%s\n", text_result.status().ToString().c_str());
+  auto ingest = IngestWithSummary(argv[2]);
+  if (!ingest.ok()) {
+    std::fprintf(stderr, "%s\n", ingest.status().ToString().c_str());
     return 1;
   }
-  const std::string& text = *text_result;
-  auto scores = csv::ScoreDialects(text);
+  auto text = csv::ReadFileToString(argv[2]);
+  auto scores = csv::ScoreDialects(
+      csv::Sanitize(text.ok() ? *text : std::string()));
   std::printf("dialect candidates (best first by consistency):\n");
   std::sort(scores.begin(), scores.end(),
             [](const csv::DialectScore& a, const csv::DialectScore& b) {
@@ -191,19 +195,34 @@ int CmdInspect(int argc, char** argv) {
                 scores[i].consistency, scores[i].pattern_score,
                 scores[i].type_score);
   }
-  csv::ReaderOptions options;
-  options.dialect = scores.front().dialect;
-  auto table = csv::ReadTable(text, options);
-  if (!table.ok()) {
-    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+  std::printf("chosen: %s (source=%s, confidence=%.2f)\n",
+              ingest->dialect.ToString().c_str(),
+              std::string(csv::DialectSourceName(ingest->dialect_source))
+                  .c_str(),
+              ingest->dialect_confidence);
+  const csv::Table& table = ingest->table;
+  csv::CropExtent extent;
+  csv::Table cropped = csv::CropMargins(table, &extent);
+  std::printf("shape: %d x %d (%d non-empty cells); cropped to %d x %d\n",
+              table.num_rows(), table.num_cols(), table.non_empty_count(),
+              cropped.num_rows(), cropped.num_cols());
+  return 0;
+}
+
+int CmdDoctor(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto ingest = IngestFile(argv[2]);
+  if (!ingest.ok()) {
+    std::fprintf(stderr, "%s\n", ingest.status().ToString().c_str());
     return 1;
   }
-  csv::CropExtent extent;
-  csv::Table cropped = csv::CropMargins(*table, &extent);
-  std::printf("shape: %d x %d (%d non-empty cells); cropped to %d x %d\n",
-              table->num_rows(), table->num_cols(),
-              table->non_empty_count(), cropped.num_rows(),
-              cropped.num_cols());
+  std::printf("%s\n", ingest->Report().c_str());
+  std::printf("verdict:  %s\n",
+              ingest->clean()
+                  ? "clean — parses without repairs"
+                  : (ingest->recovered
+                         ? "recovered — parse needed recovery mode"
+                         : "repaired — parses after tolerated repairs"));
   return 0;
 }
 
@@ -217,5 +236,6 @@ int main(int argc, char** argv) {
   if (command == "classify") return CmdClassify(argc, argv);
   if (command == "extract") return CmdExtract(argc, argv);
   if (command == "inspect") return CmdInspect(argc, argv);
+  if (command == "doctor") return CmdDoctor(argc, argv);
   return Usage();
 }
