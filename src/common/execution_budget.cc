@@ -1,0 +1,130 @@
+#include "common/execution_budget.h"
+
+#include <cstdio>
+
+namespace strudel {
+
+namespace {
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  return buf;
+}
+
+}  // namespace
+
+std::string BudgetReport::ToString() const {
+  std::string out = "elapsed=" + FormatSeconds(elapsed_seconds) +
+                    " work=" + std::to_string(total_work);
+  if (cancelled) out += " cancelled";
+  if (exhausted && !exhausted_stage.empty()) {
+    out += " exhausted_at=" + exhausted_stage;
+  }
+  if (!stages.empty()) {
+    out += " stages:";
+    for (const BudgetStageStats& s : stages) {
+      out += ' ' + s.stage + '=' + std::to_string(s.work_units);
+    }
+  }
+  return out;
+}
+
+ExecutionBudget::ExecutionBudget(ExecutionBudgetOptions options)
+    : options_(options), start_(std::chrono::steady_clock::now()) {}
+
+std::shared_ptr<ExecutionBudget> ExecutionBudget::Limited(
+    double max_wall_seconds, uint64_t max_work_units) {
+  ExecutionBudgetOptions options;
+  options.max_wall_seconds = max_wall_seconds;
+  options.max_work_units = max_work_units;
+  return std::make_shared<ExecutionBudget>(options);
+}
+
+void ExecutionBudget::Cancel() {
+  cancelled_.store(true, std::memory_order_relaxed);
+}
+
+double ExecutionBudget::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+Status ExecutionBudget::StickyStatus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Status(exhausted_code_, exhausted_message_);
+}
+
+Status ExecutionBudget::Trip(StatusCode code, std::string_view stage,
+                             std::string detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // First tripper wins; later limit violations report the original cause.
+  if (exhausted_code_ == StatusCode::kOk) {
+    exhausted_code_ = code;
+    exhausted_stage_ = std::string(stage);
+    BudgetReport report;
+    report.elapsed_seconds = elapsed_seconds();
+    report.total_work = work_.load(std::memory_order_relaxed);
+    report.cancelled = cancelled();
+    report.exhausted = true;
+    report.exhausted_stage = exhausted_stage_;
+    report.stages = stages_;
+    exhausted_message_ = "stage '" + exhausted_stage_ + "': " +
+                         std::move(detail) + " [" + report.ToString() + "]";
+    exhausted_.store(true, std::memory_order_release);
+  }
+  return Status(exhausted_code_, exhausted_message_);
+}
+
+Status ExecutionBudget::Charge(std::string_view stage, uint64_t units) {
+  const uint64_t total =
+      work_.fetch_add(units, std::memory_order_relaxed) + units;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool found = false;
+    for (BudgetStageStats& s : stages_) {
+      if (s.stage == stage) {
+        s.work_units += units;
+        ++s.charges;
+        found = true;
+        break;
+      }
+    }
+    if (!found) stages_.push_back({std::string(stage), units, 1});
+  }
+
+  if (exhausted_.load(std::memory_order_acquire)) return StickyStatus();
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return Trip(StatusCode::kCancelled, stage, "execution cancelled");
+  }
+  if (options_.max_work_units > 0 && total > options_.max_work_units) {
+    return Trip(StatusCode::kResourceExhausted, stage,
+                "work budget of " + std::to_string(options_.max_work_units) +
+                    " units exceeded (charged " + std::to_string(total) +
+                    ")");
+  }
+  if (options_.max_wall_seconds > 0.0) {
+    const double elapsed = elapsed_seconds();
+    if (elapsed > options_.max_wall_seconds) {
+      return Trip(StatusCode::kDeadlineExceeded, stage,
+                  "wall budget of " + FormatSeconds(options_.max_wall_seconds) +
+                      " exceeded after " + FormatSeconds(elapsed));
+    }
+  }
+  return Status::OK();
+}
+
+BudgetReport ExecutionBudget::Report() const {
+  BudgetReport report;
+  report.elapsed_seconds = elapsed_seconds();
+  report.total_work = work_.load(std::memory_order_relaxed);
+  report.cancelled = cancelled();
+  report.exhausted = exhausted();
+  std::lock_guard<std::mutex> lock(mu_);
+  report.exhausted_stage = exhausted_stage_;
+  report.stages = stages_;
+  return report;
+}
+
+}  // namespace strudel

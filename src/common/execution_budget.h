@@ -1,0 +1,113 @@
+// ExecutionBudget: failure containment for the compute stages past the
+// parser. Featurisation, forest/CRF training and inference all run under
+// an optional budget — a wall-clock deadline plus a cap on abstract work
+// units (cells featurised, node samples scanned, sequence positions) and
+// a cooperative cancellation flag. Stages call Charge() at natural loop
+// boundaries; once any limit trips, every subsequent checkpoint returns
+// the same non-OK Status (kDeadlineExceeded / kResourceExhausted /
+// kCancelled) carrying a structured per-stage report, so a pathological
+// input degrades into a clean error instead of a hang or an OOM.
+//
+// A budget may be shared across threads (forest training workers charge
+// concurrently); all mutating entry points are thread-safe.
+
+#ifndef STRUDEL_COMMON_EXECUTION_BUDGET_H_
+#define STRUDEL_COMMON_EXECUTION_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace strudel {
+
+struct ExecutionBudgetOptions {
+  /// Wall-clock deadline in seconds, measured from construction.
+  /// 0 = unlimited.
+  double max_wall_seconds = 0.0;
+  /// Cap on total charged work units. A unit is deliberately abstract —
+  /// roughly "one cell touched" — so the cap also bounds memory-shaped
+  /// blowups (feature matrices grow with charged work). 0 = unlimited.
+  uint64_t max_work_units = 0;
+};
+
+/// Work charged against one named stage, in first-charge order.
+struct BudgetStageStats {
+  std::string stage;
+  uint64_t work_units = 0;
+  uint64_t charges = 0;
+};
+
+/// Snapshot of a budget's consumption, embedded in exhaustion Statuses.
+struct BudgetReport {
+  double elapsed_seconds = 0.0;
+  uint64_t total_work = 0;
+  bool exhausted = false;
+  bool cancelled = false;
+  /// Stage whose checkpoint first observed exhaustion; empty otherwise.
+  std::string exhausted_stage;
+  std::vector<BudgetStageStats> stages;
+
+  /// One line: "elapsed=0.102s work=5321 stages: featurize=4000 fit=1321".
+  std::string ToString() const;
+};
+
+class ExecutionBudget {
+ public:
+  /// An unlimited budget: Charge never fails (but still keeps the report).
+  ExecutionBudget() : ExecutionBudget(ExecutionBudgetOptions{}) {}
+  explicit ExecutionBudget(ExecutionBudgetOptions options);
+
+  /// Convenience factory for the common "deadline plus optional work cap".
+  static std::shared_ptr<ExecutionBudget> Limited(double max_wall_seconds,
+                                                  uint64_t max_work_units = 0);
+
+  /// Requests cooperative cancellation; the next checkpoint on any thread
+  /// returns kCancelled. Safe to call from another thread.
+  void Cancel();
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  /// True once any checkpoint has tripped (deadline, work cap or cancel).
+  /// Lock-free; inner loops may poll this instead of calling Charge.
+  bool exhausted() const { return exhausted_.load(std::memory_order_acquire); }
+
+  /// Cooperative checkpoint: records `units` of work against `stage`,
+  /// then fails if the budget is (or was already) exhausted. The returned
+  /// Status names the stage and embeds the report. Thread-safe.
+  Status Charge(std::string_view stage, uint64_t units);
+  Status Check(std::string_view stage) { return Charge(stage, 0); }
+
+  double elapsed_seconds() const;
+  uint64_t total_work() const { return work_.load(std::memory_order_relaxed); }
+  BudgetReport Report() const;
+
+  const ExecutionBudgetOptions& options() const { return options_; }
+
+ private:
+  /// Marks the budget exhausted (first caller wins) and returns the
+  /// sticky Status. Callers hold no lock.
+  Status Trip(StatusCode code, std::string_view stage, std::string detail);
+  Status StickyStatus() const;
+
+  ExecutionBudgetOptions options_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<uint64_t> work_{0};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> exhausted_{false};
+
+  mutable std::mutex mu_;  // guards stages_ and the sticky status fields
+  std::vector<BudgetStageStats> stages_;
+  StatusCode exhausted_code_ = StatusCode::kOk;
+  std::string exhausted_message_;
+  std::string exhausted_stage_;
+};
+
+}  // namespace strudel
+
+#endif  // STRUDEL_COMMON_EXECUTION_BUDGET_H_

@@ -22,6 +22,14 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "unimplemented";
     case StatusCode::kIOError:
       return "io_error";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kCorruptModel:
+      return "corrupt_model";
   }
   return "unknown";
 }

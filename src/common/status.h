@@ -25,6 +25,10 @@ enum class StatusCode {
   kInternal = 6,
   kUnimplemented = 7,
   kIOError = 8,
+  kDeadlineExceeded = 9,
+  kResourceExhausted = 10,
+  kCancelled = 11,
+  kCorruptModel = 12,
 };
 
 /// Returns the canonical lowercase name of a status code ("ok",
@@ -68,6 +72,18 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status CorruptModel(std::string msg) {
+    return Status(StatusCode::kCorruptModel, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <numeric>
+#include <string>
 
 #include "common/math_util.h"
+#include "ml/dataset.h"
 
 namespace strudel::ml {
 
@@ -82,7 +84,8 @@ Status LinearChainCrf::Fit(const std::vector<CrfSequence>& sequences,
   }
   num_classes_ = num_classes;
   num_features_ = sequences[0].features.cols();
-  for (const CrfSequence& seq : sequences) {
+  for (size_t s = 0; s < sequences.size(); ++s) {
+    const CrfSequence& seq = sequences[s];
     if (seq.features.cols() != num_features_) {
       return Status::InvalidArgument("crf: inconsistent feature widths");
     }
@@ -93,6 +96,11 @@ Status LinearChainCrf::Fit(const std::vector<CrfSequence>& sequences,
       if (label < 0 || label >= num_classes) {
         return Status::InvalidArgument("crf: label out of range");
       }
+    }
+    NonFiniteReport finite = ScanNonFinite(seq.features);
+    if (!finite.clean()) {
+      return Status::InvalidArgument("crf: sequence " + std::to_string(s) +
+                                     " features contain " + finite.Summary());
     }
   }
 
@@ -116,6 +124,9 @@ Status LinearChainCrf::Fit(const std::vector<CrfSequence>& sequences,
       const CrfSequence& seq = sequences[idx];
       const size_t T = seq.features.rows();
       if (T == 0) continue;
+      if (options_.budget != nullptr) {
+        STRUDEL_RETURN_IF_ERROR(options_.budget->Charge("crf_fit", T));
+      }
       emissions = EmissionScores(seq.features);
       Forward(emissions, transitions_, alpha);
       Backward(emissions, transitions_, beta);

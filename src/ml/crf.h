@@ -12,8 +12,10 @@
 #ifndef STRUDEL_ML_CRF_H_
 #define STRUDEL_ML_CRF_H_
 
+#include <memory>
 #include <vector>
 
+#include "common/execution_budget.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "ml/matrix.h"
@@ -33,6 +35,9 @@ struct CrfOptions {
   uint64_t seed = 42;
   /// Learning-rate decay per epoch: lr_e = lr / (1 + decay * e).
   double decay = 0.05;
+  /// Optional execution budget; Fit charges per sequence position and
+  /// returns the budget's Status once exhausted.
+  std::shared_ptr<ExecutionBudget> budget;
 };
 
 class LinearChainCrf {

@@ -1,9 +1,66 @@
 #include "ml/dataset.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 namespace strudel::ml {
+
+std::string NonFiniteReport::Summary(
+    const std::vector<std::string>& names) const {
+  if (clean()) return "no non-finite values";
+  std::string out = std::to_string(total) + " non-finite value" +
+                    (total == 1 ? "" : "s") + " in " +
+                    std::to_string(columns.size()) + " column" +
+                    (columns.size() == 1 ? "" : "s") + ":";
+  const size_t shown = std::min<size_t>(columns.size(), 8);
+  for (size_t i = 0; i < shown; ++i) {
+    out += ' ' + std::to_string(columns[i]);
+    if (columns[i] < names.size()) out += " (" + names[columns[i]] + ")";
+    out += " x" + std::to_string(column_counts[i]);
+    if (i + 1 < shown) out += ',';
+  }
+  if (shown < columns.size()) {
+    out += " and " + std::to_string(columns.size() - shown) + " more";
+  }
+  return out;
+}
+
+NonFiniteReport ScanNonFinite(const Matrix& features) {
+  NonFiniteReport report;
+  std::vector<uint64_t> per_column(features.cols(), 0);
+  for (size_t r = 0; r < features.rows(); ++r) {
+    auto row = features.row(r);
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (!std::isfinite(row[c])) {
+        ++per_column[c];
+        ++report.total;
+      }
+    }
+  }
+  for (size_t c = 0; c < per_column.size(); ++c) {
+    if (per_column[c] > 0) {
+      report.columns.push_back(c);
+      report.column_counts.push_back(per_column[c]);
+    }
+  }
+  return report;
+}
+
+NonFiniteReport QuarantineNonFiniteColumns(Matrix& features) {
+  NonFiniteReport report = ScanNonFinite(features);
+  for (size_t c : report.columns) {
+    for (size_t r = 0; r < features.rows(); ++r) features.at(r, c) = 0.0;
+  }
+  return report;
+}
+
+Status CheckFeaturesFinite(const Dataset& data, std::string_view who) {
+  NonFiniteReport report = ScanNonFinite(data.features);
+  if (report.clean()) return Status::OK();
+  return Status::InvalidArgument(std::string(who) + ": features contain " +
+                                 report.Summary(data.feature_names));
+}
 
 Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
   Dataset out;

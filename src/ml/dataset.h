@@ -6,12 +6,38 @@
 #ifndef STRUDEL_ML_DATASET_H_
 #define STRUDEL_ML_DATASET_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "ml/matrix.h"
 
 namespace strudel::ml {
+
+/// Where NaN/Inf values live in a feature matrix, by column. Produced by
+/// ScanNonFinite / QuarantineNonFiniteColumns so callers can either fail
+/// with a precise diagnostic or quarantine the poisoned columns.
+struct NonFiniteReport {
+  uint64_t total = 0;                   // non-finite values seen
+  std::vector<size_t> columns;          // affected columns, ascending
+  std::vector<uint64_t> column_counts;  // parallel to `columns`
+  bool clean() const { return total == 0; }
+
+  /// "3 non-finite values in 2 columns: 4 (WordAmount, 2), 7 (..., 1)".
+  /// `names` is optional; pass feature names when available.
+  std::string Summary(const std::vector<std::string>& names = {}) const;
+};
+
+/// Scans every value for NaN/Inf. O(rows * cols), allocation-light.
+NonFiniteReport ScanNonFinite(const Matrix& features);
+
+/// Zeroes every value of each column that contains any NaN/Inf — the
+/// column is unusable as a split signal either way, and a constant zero
+/// column is inert for every learner. Returns what was quarantined.
+NonFiniteReport QuarantineNonFiniteColumns(Matrix& features);
+
 
 struct Dataset {
   Matrix features;
@@ -38,6 +64,10 @@ struct Dataset {
   /// Validation: consistent sizes, labels within [0, num_classes).
   bool Valid() const;
 };
+
+/// Guard for classifier Fit implementations: kInvalidArgument naming the
+/// poisoned columns when `data.features` contains NaN/Inf.
+Status CheckFeaturesFinite(const Dataset& data, std::string_view who);
 
 }  // namespace strudel::ml
 

@@ -22,6 +22,7 @@ DecisionTree::DecisionTree(DecisionTreeOptions options)
     : options_(options) {}
 
 Status DecisionTree::Fit(const Dataset& data) {
+  STRUDEL_RETURN_IF_ERROR(CheckFeaturesFinite(data, "decision tree"));
   std::vector<size_t> indices(data.size());
   std::iota(indices.begin(), indices.end(), 0);
   return FitIndices(data, indices);
@@ -38,15 +39,26 @@ Status DecisionTree::FitIndices(const Dataset& data,
   nodes_.clear();
   num_classes_ = data.num_classes;
   num_features_ = data.num_features();
+  build_status_ = Status::OK();
   Rng rng(options_.seed);
   std::vector<size_t> work = indices;
   BuildNode(data, work, 0, work.size(), 0, rng);
+  if (!build_status_.ok()) {
+    nodes_.clear();  // never leave a partially-built tree behind
+    return build_status_;
+  }
   return Status::OK();
 }
 
 int DecisionTree::BuildNode(const Dataset& data, std::vector<size_t>& indices,
                             size_t begin, size_t end, int depth, Rng& rng) {
   const size_t n = end - begin;
+  // Cooperative budget checkpoint, charged with the samples this node
+  // scans. Once exhausted, the recursion collapses to leaves and
+  // FitIndices reports the violation.
+  if (options_.budget != nullptr && build_status_.ok()) {
+    build_status_ = options_.budget->Charge("tree_build", n);
+  }
   std::vector<double> counts(static_cast<size_t>(num_classes_), 0.0);
   for (size_t i = begin; i < end; ++i) {
     ++counts[static_cast<size_t>(data.labels[indices[i]])];
@@ -67,7 +79,7 @@ int DecisionTree::BuildNode(const Dataset& data, std::vector<size_t>& indices,
 
   const bool depth_reached =
       options_.max_depth > 0 && depth >= options_.max_depth;
-  if (impurity <= 0.0 || depth_reached ||
+  if (!build_status_.ok() || impurity <= 0.0 || depth_reached ||
       n < static_cast<size_t>(options_.min_samples_split)) {
     return node_id;
   }
@@ -225,30 +237,81 @@ Status DecisionTree::Save(std::ostream& out) const {
 
 Status DecisionTree::Load(std::istream& in) {
   std::string magic, version;
+  int num_classes = 0;
+  size_t num_features = 0;
   size_t node_count = 0;
-  in >> magic >> version >> num_classes_ >> num_features_ >> node_count;
+  in >> magic >> version >> num_classes >> num_features >> node_count;
   if (!in || magic != "tree" || version != "v1") {
-    return Status::ParseError("decision tree: bad header");
+    return Status::CorruptModel("decision tree: bad header");
   }
-  if (node_count > 100'000'000) {
-    return Status::ParseError("decision tree: implausible node count");
+  if (num_classes < 1 || num_classes > 1'000'000) {
+    return Status::CorruptModel("decision tree: implausible class count " +
+                                std::to_string(num_classes));
   }
-  nodes_.assign(node_count, {});
-  for (Node& node : nodes_) {
+  if (num_features < 1 || num_features > 10'000'000) {
+    return Status::CorruptModel("decision tree: implausible feature count " +
+                                std::to_string(num_features));
+  }
+  if (node_count < 1 || node_count > 10'000'000) {
+    return Status::CorruptModel("decision tree: implausible node count " +
+                                std::to_string(node_count));
+  }
+  // Grow incrementally instead of trusting the claimed count up front, so
+  // an inflated header cannot force a huge allocation before the stream
+  // runs dry.
+  std::vector<Node> nodes;
+  nodes.reserve(std::min<size_t>(node_count, 4096));
+  const int count = static_cast<int>(node_count);
+  for (size_t id = 0; id < node_count; ++id) {
+    Node node;
     size_t dist_size = 0;
     in >> node.feature >> node.threshold >> node.left >> node.right >>
         node.impurity >> node.samples >> node.node_depth >> dist_size;
-    if (!in || dist_size > static_cast<size_t>(num_classes_)) {
-      return Status::ParseError("decision tree: truncated node");
+    if (!in) return Status::CorruptModel("decision tree: truncated node");
+    if (dist_size != static_cast<size_t>(num_classes)) {
+      return Status::CorruptModel(
+          "decision tree: node distribution size mismatch");
     }
     node.distribution.resize(dist_size);
-    for (double& p : node.distribution) in >> p;
-    const int count = static_cast<int>(node_count);
-    if (node.left >= count || node.right >= count) {
-      return Status::ParseError("decision tree: child index out of range");
+    for (double& p : node.distribution) {
+      in >> p;
+      if (!in || !std::isfinite(p) || p < 0.0 || p > 1.0 + 1e-9) {
+        return Status::CorruptModel(
+            "decision tree: invalid class distribution");
+      }
     }
+    if (!std::isfinite(node.threshold) || !std::isfinite(node.impurity) ||
+        node.samples < 0 || node.node_depth < 0) {
+      return Status::CorruptModel("decision tree: invalid node payload");
+    }
+    const int node_id = static_cast<int>(id);
+    const bool leaf = node.left < 0;
+    if (leaf) {
+      // Leaves carry no split; enforce the canonical encoding so a child
+      // index cannot hide in `right`.
+      if (node.left != -1 || node.right != -1 || node.feature != -1) {
+        return Status::CorruptModel("decision tree: malformed leaf node");
+      }
+    } else {
+      // BuildNode appends children strictly after their parent, so valid
+      // trees are topologically ordered; enforcing it makes traversal
+      // provably acyclic (PredictProba can never loop).
+      if (node.feature < 0 ||
+          static_cast<size_t>(node.feature) >= num_features) {
+        return Status::CorruptModel(
+            "decision tree: split feature out of range");
+      }
+      if (node.left <= node_id || node.left >= count ||
+          node.right <= node_id || node.right >= count) {
+        return Status::CorruptModel(
+            "decision tree: child index out of range");
+      }
+    }
+    nodes.push_back(std::move(node));
   }
-  if (!in) return Status::ParseError("decision tree: truncated stream");
+  nodes_ = std::move(nodes);
+  num_classes_ = num_classes;
+  num_features_ = num_features;
   return Status::OK();
 }
 

@@ -16,6 +16,7 @@
 #include <ostream>
 #include <vector>
 
+#include "common/execution_budget.h"
 #include "common/rng.h"
 #include "ml/classifier.h"
 
@@ -30,6 +31,9 @@ struct DecisionTreeOptions {
   /// (the random-forest setting).
   int max_features = 0;
   uint64_t seed = 42;
+  /// Optional execution budget; node construction charges the samples it
+  /// scans and Fit fails with the budget's Status once exhausted.
+  std::shared_ptr<ExecutionBudget> budget;
 };
 
 class DecisionTree final : public Classifier {
@@ -58,6 +62,7 @@ class DecisionTree final : public Classifier {
 
   int node_count() const { return static_cast<int>(nodes_.size()); }
   int depth() const;
+  size_t num_features() const { return num_features_; }
 
  private:
   struct Node {
@@ -81,6 +86,9 @@ class DecisionTree final : public Classifier {
   std::vector<Node> nodes_;
   int num_classes_ = 0;
   size_t num_features_ = 0;
+  // First budget violation observed during BuildNode; construction stops
+  // splitting once set and FitIndices returns it.
+  Status build_status_;
 };
 
 }  // namespace strudel::ml

@@ -15,6 +15,7 @@ Status KnnClassifier::Fit(const Dataset& data) {
   if (options_.k <= 0) {
     return Status::InvalidArgument("knn: k must be positive");
   }
+  STRUDEL_RETURN_IF_ERROR(CheckFeaturesFinite(data, "knn"));
   train_features_ = data.features;
   train_labels_ = data.labels;
   num_classes_ = data.num_classes;

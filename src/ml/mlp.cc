@@ -11,6 +11,7 @@ Status Mlp::Fit(const Dataset& data) {
   if (!data.Valid() || data.size() == 0) {
     return Status::InvalidArgument("mlp: invalid or empty dataset");
   }
+  STRUDEL_RETURN_IF_ERROR(CheckFeaturesFinite(data, "mlp"));
   num_classes_ = data.num_classes;
   input_size_ = data.num_features();
 

@@ -11,6 +11,7 @@ Status GaussianNaiveBayes::Fit(const Dataset& data) {
   if (!data.Valid() || data.size() == 0) {
     return Status::InvalidArgument("naive bayes: invalid or empty dataset");
   }
+  STRUDEL_RETURN_IF_ERROR(CheckFeaturesFinite(data, "naive bayes"));
   num_classes_ = data.num_classes;
   const size_t d = data.num_features();
   const size_t k = static_cast<size_t>(num_classes_);

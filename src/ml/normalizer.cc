@@ -1,6 +1,7 @@
 #include "ml/normalizer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <string>
 
@@ -12,16 +13,23 @@ void MinMaxNormalizer::Fit(const Matrix& features) {
   const size_t d = features.cols();
   mins_.assign(d, std::numeric_limits<double>::infinity());
   maxs_.assign(d, -std::numeric_limits<double>::infinity());
+  // Non-finite values carry no range information and must not poison the
+  // fitted ranges; they are ignored here and mapped to 0 by Transform.
   for (size_t r = 0; r < features.rows(); ++r) {
     auto row = features.row(r);
     for (size_t c = 0; c < d; ++c) {
+      if (!std::isfinite(row[c])) continue;
       mins_[c] = std::min(mins_[c], row[c]);
       maxs_[c] = std::max(maxs_[c], row[c]);
     }
   }
-  if (features.rows() == 0) {
-    mins_.assign(d, 0.0);
-    maxs_.assign(d, 0.0);
+  // Columns that never saw a finite value (and the zero-row case) get the
+  // degenerate range [0, 0], which Transform maps to constant 0.
+  for (size_t c = 0; c < d; ++c) {
+    if (mins_[c] > maxs_[c]) {
+      mins_[c] = 0.0;
+      maxs_[c] = 0.0;
+    }
   }
 }
 
@@ -31,7 +39,14 @@ void MinMaxNormalizer::Transform(Matrix& features) const {
     auto row = features.row(r);
     for (size_t c = 0; c < d; ++c) {
       const double span = maxs_[c] - mins_[c];
-      row[c] = span > 0.0 ? Clamp((row[c] - mins_[c]) / span, 0.0, 1.0) : 0.0;
+      // Degenerate columns (constant, all-non-finite) and non-finite
+      // held-out values normalise deterministically to 0 — never a
+      // division by zero, never a NaN reaching the forest.
+      if (!std::isfinite(row[c]) || !(span > 0.0)) {
+        row[c] = 0.0;
+      } else {
+        row[c] = Clamp((row[c] - mins_[c]) / span, 0.0, 1.0);
+      }
     }
   }
 }
@@ -56,15 +71,30 @@ Status MinMaxNormalizer::Load(std::istream& in) {
   size_t size = 0;
   in >> magic >> version >> size;
   if (!in || magic != "minmax" || version != "v1") {
-    return Status::ParseError("normalizer: bad header");
+    return Status::CorruptModel("normalizer: bad header");
   }
-  if (size > 100'000'000) {
-    return Status::ParseError("normalizer: implausible size");
+  if (size > 10'000'000) {
+    return Status::CorruptModel("normalizer: implausible size " +
+                                std::to_string(size));
   }
-  mins_.resize(size);
-  maxs_.resize(size);
-  for (size_t i = 0; i < size; ++i) in >> mins_[i] >> maxs_[i];
-  if (!in) return Status::ParseError("normalizer: truncated stream");
+  // Parse into temporaries and commit only on success, so a corrupt
+  // stream cannot leave a half-loaded normalizer behind.
+  std::vector<double> mins, maxs;
+  mins.reserve(std::min<size_t>(size, 4096));
+  maxs.reserve(std::min<size_t>(size, 4096));
+  for (size_t i = 0; i < size; ++i) {
+    double lo = 0.0, hi = 0.0;
+    in >> lo >> hi;
+    if (!in) return Status::CorruptModel("normalizer: truncated stream");
+    if (!std::isfinite(lo) || !std::isfinite(hi) || lo > hi) {
+      return Status::CorruptModel("normalizer: invalid range at column " +
+                                  std::to_string(i));
+    }
+    mins.push_back(lo);
+    maxs.push_back(hi);
+  }
+  mins_ = std::move(mins);
+  maxs_ = std::move(maxs);
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -9,7 +10,8 @@
 
 namespace strudel::ml {
 
-RandomForest::RandomForest(RandomForestOptions options) : options_(options) {}
+RandomForest::RandomForest(RandomForestOptions options)
+    : options_(std::move(options)) {}
 
 Status RandomForest::Fit(const Dataset& data) {
   if (!data.Valid()) {
@@ -18,6 +20,10 @@ Status RandomForest::Fit(const Dataset& data) {
   if (data.size() == 0) {
     return Status::InvalidArgument("random forest: no training samples");
   }
+  STRUDEL_RETURN_IF_ERROR(CheckFeaturesFinite(data, "random forest"));
+  if (options_.budget != nullptr) {
+    STRUDEL_RETURN_IF_ERROR(options_.budget->Check("forest_fit"));
+  }
   num_classes_ = data.num_classes;
 
   DecisionTreeOptions tree_options;
@@ -25,6 +31,7 @@ Status RandomForest::Fit(const Dataset& data) {
   tree_options.min_samples_split = options_.min_samples_split;
   tree_options.min_samples_leaf = options_.min_samples_leaf;
   tree_options.max_features = options_.max_features;
+  tree_options.budget = options_.budget;
 
   const int num_trees = std::max(1, options_.num_trees);
   trees_.clear();
@@ -64,6 +71,9 @@ Status RandomForest::Fit(const Dataset& data) {
 
   std::atomic<int> next_tree{0};
   std::atomic<bool> failed{false};
+  std::mutex failure_mu;
+  Status first_failure;  // first tree failure, verbatim (budget Statuses
+                         // must reach the caller, not an opaque kInternal)
   auto worker = [&]() {
     for (;;) {
       int t = next_tree.fetch_add(1);
@@ -71,7 +81,11 @@ Status RandomForest::Fit(const Dataset& data) {
       Status st =
           trees_[static_cast<size_t>(t)].FitIndices(data,
                                                     samples[static_cast<size_t>(t)]);
-      if (!st.ok()) failed.store(true);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(failure_mu);
+        if (first_failure.ok()) first_failure = std::move(st);
+        failed.store(true);
+      }
     }
   };
   if (threads == 1) {
@@ -83,6 +97,8 @@ Status RandomForest::Fit(const Dataset& data) {
     for (auto& th : pool) th.join();
   }
   if (failed.load()) {
+    trees_.clear();  // no partially-trained forest
+    if (!first_failure.ok()) return first_failure;
     return Status::Internal("random forest: tree training failed");
   }
 
@@ -148,18 +164,39 @@ Status RandomForest::Save(std::ostream& out) const {
 
 Status RandomForest::Load(std::istream& in) {
   std::string magic, version;
+  int num_classes = 0;
   size_t tree_count = 0;
-  in >> magic >> version >> num_classes_ >> tree_count;
+  in >> magic >> version >> num_classes >> tree_count;
   if (!in || magic != "forest" || version != "v1") {
-    return Status::ParseError("random forest: bad header");
+    return Status::CorruptModel("random forest: bad header");
   }
-  if (tree_count > 1'000'000) {
-    return Status::ParseError("random forest: implausible tree count");
+  if (num_classes < 1 || num_classes > 1'000'000) {
+    return Status::CorruptModel("random forest: implausible class count " +
+                                std::to_string(num_classes));
   }
-  trees_.assign(tree_count, DecisionTree());
-  for (DecisionTree& tree : trees_) {
+  if (tree_count < 1 || tree_count > 100'000) {
+    return Status::CorruptModel("random forest: implausible tree count " +
+                                std::to_string(tree_count));
+  }
+  std::vector<DecisionTree> trees;
+  trees.reserve(std::min<size_t>(tree_count, 1024));
+  for (size_t t = 0; t < tree_count; ++t) {
+    DecisionTree tree;
     STRUDEL_RETURN_IF_ERROR(tree.Load(in));
+    // Every tree must agree with the forest header; a count mismatch means
+    // spliced or corrupted sections.
+    if (tree.num_classes() != num_classes) {
+      return Status::CorruptModel(
+          "random forest: tree/forest class count mismatch");
+    }
+    if (!trees.empty() && tree.num_features() != trees[0].num_features()) {
+      return Status::CorruptModel(
+          "random forest: inconsistent feature counts across trees");
+    }
+    trees.push_back(std::move(tree));
   }
+  trees_ = std::move(trees);
+  num_classes_ = num_classes;
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/execution_budget.h"
 #include "ml/decision_tree.h"
 
 namespace strudel::ml {
@@ -29,6 +30,9 @@ struct RandomForestOptions {
   /// Estimate generalisation accuracy from out-of-bag samples during
   /// Fit (requires bootstrap). Costs one prediction pass per tree.
   bool compute_oob_score = false;
+  /// Optional execution budget, shared by all training workers; Fit
+  /// returns the budget's Status (kDeadlineExceeded etc.) once exhausted.
+  std::shared_ptr<ExecutionBudget> budget;
 };
 
 class RandomForest final : public Classifier {
@@ -45,6 +49,12 @@ class RandomForest final : public Classifier {
   std::vector<double> FeatureImportances() const;
 
   int num_trees() const { return static_cast<int>(trees_.size()); }
+
+  /// Feature count shared by every tree (Load enforces consistency);
+  /// 0 when unfitted.
+  size_t num_features() const {
+    return trees_.empty() ? 0 : trees_.front().num_features();
+  }
 
   /// Out-of-bag accuracy estimate; -1 when not computed (option off,
   /// bootstrap off, or no sample was ever out of bag).

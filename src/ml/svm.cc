@@ -11,6 +11,7 @@ Status LinearSvm::Fit(const Dataset& data) {
   if (!data.Valid() || data.size() == 0) {
     return Status::InvalidArgument("svm: invalid or empty dataset");
   }
+  STRUDEL_RETURN_IF_ERROR(CheckFeaturesFinite(data, "svm"));
   num_classes_ = data.num_classes;
   const size_t n = data.size();
   const size_t d = data.num_features();

@@ -99,18 +99,21 @@ ml::Matrix ExtractCellFeatures(
                              options);
 }
 
-ml::Matrix ExtractCellFeatures(
+namespace {
+
+Status ExtractCellFeaturesImpl(
     const csv::Table& table,
     const std::vector<std::vector<double>>& line_probabilities,
     const std::vector<std::vector<double>>& column_probabilities,
     const DerivedDetectionResult& detection, const BlockSizeResult& blocks,
-    const CellFeatureOptions& options) {
+    const CellFeatureOptions& options, ExecutionBudget* budget,
+    ml::Matrix& features) {
   const int rows = table.num_rows();
   const int cols = table.num_cols();
   const size_t num_features = CellFeatureNames(options).size();
   const auto coords = NonEmptyCellCoordinates(table);
-  ml::Matrix features(coords.size(), num_features);
-  if (coords.empty()) return features;
+  features = ml::Matrix(coords.size(), num_features);
+  if (coords.empty()) return Status::OK();
 
   // Per-file maximum value length normalises ValueLength and the neighbour
   // lengths into [0, 1].
@@ -132,6 +135,9 @@ ml::Matrix ExtractCellFeatures(
   }
 
   for (size_t i = 0; i < coords.size(); ++i) {
+    if (budget != nullptr) {
+      STRUDEL_RETURN_IF_ERROR(budget->Charge("cell_featurize", 1));
+    }
     const auto [r, c] = coords[i];
     auto row = features.row(i);
     size_t f = 0;
@@ -211,6 +217,35 @@ ml::Matrix ExtractCellFeatures(
       }
     }
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+ml::Matrix ExtractCellFeatures(
+    const csv::Table& table,
+    const std::vector<std::vector<double>>& line_probabilities,
+    const std::vector<std::vector<double>>& column_probabilities,
+    const DerivedDetectionResult& detection, const BlockSizeResult& blocks,
+    const CellFeatureOptions& options) {
+  ml::Matrix features;
+  // Cannot fail without a budget.
+  (void)ExtractCellFeaturesImpl(table, line_probabilities,
+                                column_probabilities, detection, blocks,
+                                options, nullptr, features);
+  return features;
+}
+
+Result<ml::Matrix> ExtractCellFeatures(
+    const csv::Table& table,
+    const std::vector<std::vector<double>>& line_probabilities,
+    const std::vector<std::vector<double>>& column_probabilities,
+    const DerivedDetectionResult& detection, const BlockSizeResult& blocks,
+    const CellFeatureOptions& options, ExecutionBudget* budget) {
+  ml::Matrix features;
+  STRUDEL_RETURN_IF_ERROR(ExtractCellFeaturesImpl(
+      table, line_probabilities, column_probabilities, detection, blocks,
+      options, budget, features));
   return features;
 }
 

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/execution_budget.h"
+#include "common/result.h"
 #include "csv/table.h"
 #include "ml/matrix.h"
 #include "strudel/block_size.h"
@@ -62,6 +64,16 @@ ml::Matrix ExtractCellFeatures(
     const std::vector<std::vector<double>>& column_probabilities,
     const DerivedDetectionResult& detection, const BlockSizeResult& blocks,
     const CellFeatureOptions& options = {});
+
+/// Budgeted variant: charges one work unit per non-empty cell against
+/// stage "cell_featurize" and aborts with the budget's sticky Status once
+/// any limit trips. A null budget never fails.
+Result<ml::Matrix> ExtractCellFeatures(
+    const csv::Table& table,
+    const std::vector<std::vector<double>>& line_probabilities,
+    const std::vector<std::vector<double>>& column_probabilities,
+    const DerivedDetectionResult& detection, const BlockSizeResult& blocks,
+    const CellFeatureOptions& options, ExecutionBudget* budget);
 
 }  // namespace strudel
 

@@ -112,14 +112,18 @@ ml::Matrix ExtractLineFeatures(const csv::Table& table,
   return ExtractLineFeatures(table, detection, options);
 }
 
-ml::Matrix ExtractLineFeatures(const csv::Table& table,
+namespace {
+
+Status ExtractLineFeaturesImpl(const csv::Table& table,
                                const DerivedDetectionResult& detection,
-                               const LineFeatureOptions& options) {
+                               const LineFeatureOptions& options,
+                               ExecutionBudget* budget,
+                               ml::Matrix& features) {
   const int rows = table.num_rows();
   const int cols = table.num_cols();
   const size_t num_features = LineFeatureNames(options).size();
-  ml::Matrix features(static_cast<size_t>(std::max(rows, 0)), num_features);
-  if (rows == 0 || cols == 0) return features;
+  features = ml::Matrix(static_cast<size_t>(std::max(rows, 0)), num_features);
+  if (rows == 0 || cols == 0) return Status::OK();
 
   // WordAmount is min-max normalised per file (paper §4), so compute the
   // raw counts first.
@@ -146,6 +150,9 @@ ml::Matrix ExtractLineFeatures(const csv::Table& table,
 
   std::vector<int> relevance(static_cast<size_t>(cols));
   for (int r = 0; r < rows; ++r) {
+    if (budget != nullptr) {
+      STRUDEL_RETURN_IF_ERROR(budget->Charge("line_featurize", 1));
+    }
     auto row = features.row(static_cast<size_t>(r));
     size_t f = 0;
 
@@ -203,6 +210,27 @@ ml::Matrix ExtractLineFeatures(const csv::Table& table,
       row[f++] = global_blocks;
     }
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+ml::Matrix ExtractLineFeatures(const csv::Table& table,
+                               const DerivedDetectionResult& detection,
+                               const LineFeatureOptions& options) {
+  ml::Matrix features;
+  // Cannot fail without a budget.
+  (void)ExtractLineFeaturesImpl(table, detection, options, nullptr, features);
+  return features;
+}
+
+Result<ml::Matrix> ExtractLineFeatures(const csv::Table& table,
+                                       const DerivedDetectionResult& detection,
+                                       const LineFeatureOptions& options,
+                                       ExecutionBudget* budget) {
+  ml::Matrix features;
+  STRUDEL_RETURN_IF_ERROR(
+      ExtractLineFeaturesImpl(table, detection, options, budget, features));
   return features;
 }
 

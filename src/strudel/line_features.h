@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "common/execution_budget.h"
+#include "common/result.h"
 #include "csv/table.h"
 #include "ml/matrix.h"
 #include "strudel/derived_detector.h"
@@ -47,6 +49,14 @@ ml::Matrix ExtractLineFeatures(const csv::Table& table,
 ml::Matrix ExtractLineFeatures(const csv::Table& table,
                                const DerivedDetectionResult& detection,
                                const LineFeatureOptions& options = {});
+
+/// Budgeted variant: charges one work unit per line against stage
+/// "line_featurize" and aborts with the budget's sticky Status once any
+/// limit trips. A null budget never fails.
+Result<ml::Matrix> ExtractLineFeatures(const csv::Table& table,
+                                       const DerivedDetectionResult& detection,
+                                       const LineFeatureOptions& options,
+                                       ExecutionBudget* budget);
 
 }  // namespace strudel
 

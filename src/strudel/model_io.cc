@@ -12,6 +12,20 @@ Result<std::ifstream> OpenForRead(const std::string& path) {
   return in;
 }
 
+/// Model loading promises callers a small set of failure codes: anything
+/// that is not an I/O problem or an invalid call is a corrupt model.
+Status AsLoadStatus(Status status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+    case StatusCode::kIOError:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kCorruptModel:
+      return status;
+    default:
+      return Status::CorruptModel(std::string(status.message()));
+  }
+}
+
 }  // namespace
 
 Status SaveModel(const StrudelLine& model, std::ostream& out) {
@@ -29,7 +43,7 @@ Status SaveModelToFile(const StrudelLine& model, const std::string& path) {
 
 Result<StrudelLine> LoadLineModel(std::istream& in) {
   StrudelLine model;
-  STRUDEL_RETURN_IF_ERROR(model.LoadFrom(in));
+  STRUDEL_RETURN_IF_ERROR(AsLoadStatus(model.LoadFrom(in)));
   return model;
 }
 
@@ -53,7 +67,7 @@ Status SaveModelToFile(const StrudelCell& model, const std::string& path) {
 
 Result<StrudelCell> LoadCellModel(std::istream& in) {
   StrudelCell model;
-  STRUDEL_RETURN_IF_ERROR(model.LoadFrom(in));
+  STRUDEL_RETURN_IF_ERROR(AsLoadStatus(model.LoadFrom(in)));
   return model;
 }
 

@@ -1,10 +1,13 @@
 #include "strudel/strudel_cell.h"
 
 #include <numeric>
+#include <sstream>
 #include <string>
+#include <utility>
 
 #include "common/rng.h"
 #include "strudel/options_io.h"
+#include "strudel/section_io.h"
 
 namespace strudel {
 
@@ -13,6 +16,12 @@ StrudelCell::StrudelCell(StrudelCellOptions options)
   // Keep the feature layout in sync with the column-probability switch.
   options_.features.include_column_probabilities =
       options_.use_column_probabilities;
+  // The line stage shares the cell model's budget unless it carries its
+  // own. The member was initialised before this propagation, so rebuild.
+  if (options_.budget != nullptr && options_.line.budget == nullptr) {
+    options_.line.budget = options_.budget;
+    line_model_ = StrudelLine(options_.line);
+  }
 }
 
 ml::Dataset StrudelCell::BuildDataset(
@@ -35,6 +44,18 @@ ml::Dataset StrudelCell::BuildDataset(
     const std::vector<std::vector<std::vector<double>>>&
         column_probabilities,
     const CellFeatureOptions& options) {
+  // Cannot fail without a budget.
+  return std::move(BuildDataset(files, line_probabilities,
+                                column_probabilities, options, nullptr))
+      .value();
+}
+
+Result<ml::Dataset> StrudelCell::BuildDataset(
+    const std::vector<const AnnotatedFile*>& files,
+    const std::vector<std::vector<std::vector<double>>>& line_probabilities,
+    const std::vector<std::vector<std::vector<double>>>&
+        column_probabilities,
+    const CellFeatureOptions& options, ExecutionBudget* budget) {
   ml::Dataset data;
   data.num_classes = kNumElementClasses;
   data.feature_names = CellFeatureNames(options);
@@ -51,9 +72,10 @@ ml::Dataset StrudelCell::BuildDataset(
     DerivedDetectionResult detection =
         DetectDerivedCells(file.table, options.derived_options);
     BlockSizeResult blocks = ComputeBlockSizes(file.table);
-    ml::Matrix features =
+    STRUDEL_ASSIGN_OR_RETURN(
+        ml::Matrix features,
         ExtractCellFeatures(file.table, probabilities, col_probabilities,
-                            detection, blocks, options);
+                            detection, blocks, options, budget));
     const auto coords = NonEmptyCellCoordinates(file.table);
     for (size_t i = 0; i < coords.size(); ++i) {
       const auto [r, c] = coords[i];
@@ -103,13 +125,18 @@ Status StrudelCell::Fit(const std::vector<const AnnotatedFile*>& files) {
       StrudelLine fold_model(options_.line);
       STRUDEL_RETURN_IF_ERROR(fold_model.Fit(train_files));
       for (size_t idx : held_out) {
-        probabilities[idx] =
-            fold_model.Predict(files[idx]->table).probabilities;
+        STRUDEL_ASSIGN_OR_RETURN(
+            LinePrediction fold_prediction,
+            fold_model.TryPredict(files[idx]->table, options_.budget.get()));
+        probabilities[idx] = std::move(fold_prediction.probabilities);
       }
     }
   } else {
     for (size_t i = 0; i < files.size(); ++i) {
-      probabilities[i] = line_model_.Predict(files[i]->table).probabilities;
+      STRUDEL_ASSIGN_OR_RETURN(
+          LinePrediction line_prediction,
+          line_model_.TryPredict(files[i]->table, options_.budget.get()));
+      probabilities[i] = std::move(line_prediction.probabilities);
     }
   }
 
@@ -128,19 +155,29 @@ Status StrudelCell::Fit(const std::vector<const AnnotatedFile*>& files) {
   }
 
   // Stage 2: the cell forest.
-  ml::Dataset data = BuildDataset(files, probabilities,
-                                  column_probabilities, options_.features);
+  STRUDEL_ASSIGN_OR_RETURN(
+      ml::Dataset data,
+      BuildDataset(files, probabilities, column_probabilities,
+                   options_.features, options_.budget.get()));
   if (data.size() == 0) {
     return Status::InvalidArgument(
         "strudel_cell: no labelled non-empty cells in training files");
   }
+  // Quarantine non-finite feature columns before normalisation/training.
+  fit_quarantine_ = ml::QuarantineNonFiniteColumns(data.features);
   normalizer_.FitTransform(data.features);
   if (options_.backbone_prototype != nullptr) {
     model_ = options_.backbone_prototype->CloneUntrained();
   } else {
-    model_ = std::make_unique<ml::RandomForest>(options_.forest);
+    ml::RandomForestOptions forest_options = options_.forest;
+    forest_options.budget = options_.budget;
+    model_ = std::make_unique<ml::RandomForest>(std::move(forest_options));
   }
-  return model_->Fit(data);
+  Status status = model_->Fit(data);
+  // A failed training run (budget exhaustion, invalid features) must not
+  // leave a half-trained model claiming to be fitted.
+  if (!status.ok()) model_.reset();
+  return status;
 }
 
 std::vector<std::vector<double>> StrudelCell::ColumnProbabilities(
@@ -164,36 +201,114 @@ Status StrudelCell::SaveTo(std::ostream& out) const {
     return Status::Unimplemented(
         "strudel_cell: only random-forest backbones are serialisable");
   }
-  out.precision(17);
-  out << "strudel_cell v1 ";
-  internal_model_io::SaveDerivedOptions(out,
+  out << "strudel_cell v2\n";
+  std::ostringstream options_payload;
+  options_payload.precision(17);
+  internal_model_io::SaveDerivedOptions(options_payload,
                                         options_.features.derived_options);
-  out << '\n';
-  STRUDEL_RETURN_IF_ERROR(line_model_.SaveTo(out));
-  STRUDEL_RETURN_IF_ERROR(normalizer_.Save(out));
-  return forest->Save(out);
+  internal_model_io::WriteSection(out, "options", options_payload.str());
+
+  // The nested line model is one section whose payload is its own full
+  // v2 serialisation (header plus sections).
+  std::ostringstream line_payload;
+  STRUDEL_RETURN_IF_ERROR(line_model_.SaveTo(line_payload));
+  internal_model_io::WriteSection(out, "line", line_payload.str());
+
+  std::ostringstream normalizer_payload;
+  normalizer_payload.precision(17);
+  STRUDEL_RETURN_IF_ERROR(normalizer_.Save(normalizer_payload));
+  internal_model_io::WriteSection(out, "normalizer",
+                                  normalizer_payload.str());
+
+  std::ostringstream forest_payload;
+  forest_payload.precision(17);
+  STRUDEL_RETURN_IF_ERROR(forest->Save(forest_payload));
+  internal_model_io::WriteSection(out, "forest", forest_payload.str());
+  if (!out) return Status::IOError("strudel_cell: write failed");
+  return Status::OK();
 }
 
 Status StrudelCell::LoadFrom(std::istream& in) {
   std::string magic, version;
   in >> magic >> version;
-  if (!in || magic != "strudel_cell" || version != "v1") {
-    return Status::ParseError("strudel_cell: bad header");
+  if (!in || magic != "strudel_cell") {
+    return Status::CorruptModel("strudel_cell: bad header");
   }
-  if (!internal_model_io::LoadDerivedOptions(
-          in, options_.features.derived_options)) {
-    return Status::ParseError("strudel_cell: bad feature options");
+  if (version != "v2") {
+    return Status::CorruptModel("strudel_cell: unsupported format version '" +
+                                version + "'");
   }
-  options_.backbone_prototype = nullptr;
-  STRUDEL_RETURN_IF_ERROR(line_model_.LoadFrom(in));
-  STRUDEL_RETURN_IF_ERROR(normalizer_.Load(in));
+
+  // Parse every section into temporaries and commit only once the whole
+  // stream has validated — a corrupt tail cannot leave a half-loaded
+  // model behind.
+  STRUDEL_ASSIGN_OR_RETURN(
+      const std::string options_payload,
+      internal_model_io::ReadSection(in, "options",
+                                     internal_model_io::kOptionsSectionCap));
+  CellFeatureOptions features_options = options_.features;
+  features_options.include_column_probabilities = false;
+  {
+    std::istringstream section(options_payload);
+    if (!internal_model_io::LoadDerivedOptions(
+            section, features_options.derived_options)) {
+      return Status::CorruptModel("strudel_cell: bad feature options");
+    }
+  }
+
+  STRUDEL_ASSIGN_OR_RETURN(
+      const std::string line_payload,
+      internal_model_io::ReadSection(in, "line",
+                                     internal_model_io::kForestSectionCap));
+  StrudelLine line_model(options_.line);
+  {
+    std::istringstream section(line_payload);
+    STRUDEL_RETURN_IF_ERROR(line_model.LoadFrom(section));
+  }
+
+  STRUDEL_ASSIGN_OR_RETURN(
+      const std::string normalizer_payload,
+      internal_model_io::ReadSection(
+          in, "normalizer", internal_model_io::kNormalizerSectionCap));
+  ml::MinMaxNormalizer normalizer;
+  {
+    std::istringstream section(normalizer_payload);
+    STRUDEL_RETURN_IF_ERROR(normalizer.Load(section));
+  }
+
+  STRUDEL_ASSIGN_OR_RETURN(
+      const std::string forest_payload,
+      internal_model_io::ReadSection(in, "forest",
+                                     internal_model_io::kForestSectionCap));
   auto forest = std::make_unique<ml::RandomForest>(options_.forest);
-  STRUDEL_RETURN_IF_ERROR(forest->Load(in));
+  {
+    std::istringstream section(forest_payload);
+    STRUDEL_RETURN_IF_ERROR(forest->Load(section));
+  }
+
+  const size_t expected = CellFeatureNames(features_options).size();
+  if (forest->num_features() != expected ||
+      normalizer.mins().size() != expected) {
+    return Status::CorruptModel(
+        "strudel_cell: feature count mismatch across sections");
+  }
+
+  options_.features = features_options;
+  options_.use_column_probabilities = false;
+  options_.backbone_prototype = nullptr;
+  line_model_ = std::move(line_model);
+  normalizer_ = std::move(normalizer);
   model_ = std::move(forest);
   return Status::OK();
 }
 
 CellPrediction StrudelCell::Predict(const csv::Table& table) const {
+  // Cannot fail without a budget.
+  return std::move(TryPredict(table, nullptr)).value();
+}
+
+Result<CellPrediction> StrudelCell::TryPredict(const csv::Table& table,
+                                               ExecutionBudget* budget) const {
   CellPrediction prediction;
   prediction.classes.assign(
       static_cast<size_t>(std::max(table.num_rows(), 0)),
@@ -201,16 +316,22 @@ CellPrediction StrudelCell::Predict(const csv::Table& table) const {
                        kEmptyLabel));
   if (model_ == nullptr) return prediction;
 
-  prediction.line_prediction = line_model_.Predict(table);
+  STRUDEL_ASSIGN_OR_RETURN(prediction.line_prediction,
+                           line_model_.TryPredict(table, budget));
   DerivedDetectionResult detection =
       DetectDerivedCells(table, options_.features.derived_options);
   BlockSizeResult blocks = ComputeBlockSizes(table);
-  ml::Matrix features = ExtractCellFeatures(
-      table, prediction.line_prediction.probabilities,
-      ColumnProbabilities(table), detection, blocks, options_.features);
+  STRUDEL_ASSIGN_OR_RETURN(
+      ml::Matrix features,
+      ExtractCellFeatures(table, prediction.line_prediction.probabilities,
+                          ColumnProbabilities(table), detection, blocks,
+                          options_.features, budget));
   normalizer_.Transform(features);
   const auto coords = NonEmptyCellCoordinates(table);
   for (size_t i = 0; i < coords.size(); ++i) {
+    if (budget != nullptr) {
+      STRUDEL_RETURN_IF_ERROR(budget->Charge("cell_predict", 1));
+    }
     const auto [r, c] = coords[i];
     prediction.classes[static_cast<size_t>(r)][static_cast<size_t>(c)] =
         model_->Predict(features.row(i));

@@ -40,6 +40,10 @@ struct StrudelCellOptions {
   /// feed its per-column probabilities as additional cell features. Not
   /// serialisable via model_io.
   bool use_column_probabilities = false;
+  /// Optional execution budget for Fit: both stages' featurisation and
+  /// forest training charge against it and abort with its sticky Status
+  /// once exhausted.
+  std::shared_ptr<ExecutionBudget> budget;
 };
 
 /// Per-cell predictions for one file: a label grid (kEmptyLabel on empty
@@ -70,6 +74,13 @@ class StrudelCell {
       const std::vector<AnnotatedFile>& files,
       const std::vector<std::vector<std::vector<double>>>& line_probabilities,
       const CellFeatureOptions& options = {});
+  /// Budgeted variant; featurisation charges against `budget` (nullable).
+  static Result<ml::Dataset> BuildDataset(
+      const std::vector<const AnnotatedFile*>& files,
+      const std::vector<std::vector<std::vector<double>>>& line_probabilities,
+      const std::vector<std::vector<std::vector<double>>>&
+          column_probabilities,
+      const CellFeatureOptions& options, ExecutionBudget* budget);
 
   /// Trains the full two-stage pipeline on annotated files.
   Status Fit(const std::vector<const AnnotatedFile*>& files);
@@ -77,6 +88,18 @@ class StrudelCell {
 
   /// Classifies every cell of a table (runs the line stage internally).
   CellPrediction Predict(const csv::Table& table) const;
+
+  /// Budget-aware prediction: both stages run under `budget` (may be
+  /// null) and return its sticky Status once exhausted, instead of
+  /// silently degrading to empty predictions.
+  Result<CellPrediction> TryPredict(const csv::Table& table,
+                                    ExecutionBudget* budget = nullptr) const;
+
+  /// Non-finite cell-feature columns quarantined (zeroed) by the last
+  /// Fit; the line stage keeps its own report.
+  const ml::NonFiniteReport& fit_quarantine() const {
+    return fit_quarantine_;
+  }
 
   bool fitted() const { return model_ != nullptr; }
   const StrudelLine& line_model() const { return line_model_; }
@@ -99,6 +122,7 @@ class StrudelCell {
   StrudelColumn column_model_;
   std::unique_ptr<ml::Classifier> model_;
   ml::MinMaxNormalizer normalizer_;
+  ml::NonFiniteReport fit_quarantine_;
 };
 
 }  // namespace strudel

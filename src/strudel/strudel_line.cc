@@ -1,23 +1,30 @@
 #include "strudel/strudel_line.h"
 
+#include <sstream>
 #include <string>
+#include <utility>
 
 #include "strudel/options_io.h"
+#include "strudel/section_io.h"
 
 namespace strudel {
 
 StrudelLine::StrudelLine(StrudelLineOptions options)
     : options_(std::move(options)) {}
 
-ml::Dataset StrudelLine::BuildDataset(
+Result<ml::Dataset> StrudelLine::BuildDataset(
     const std::vector<const AnnotatedFile*>& files,
-    const LineFeatureOptions& options) {
+    const LineFeatureOptions& options, ExecutionBudget* budget) {
   ml::Dataset data;
   data.num_classes = kNumElementClasses;
   data.feature_names = LineFeatureNames(options);
   for (size_t file_idx = 0; file_idx < files.size(); ++file_idx) {
     const AnnotatedFile& file = *files[file_idx];
-    ml::Matrix features = ExtractLineFeatures(file.table, options);
+    DerivedDetectionResult detection =
+        DetectDerivedCells(file.table, options.derived_options);
+    STRUDEL_ASSIGN_OR_RETURN(
+        ml::Matrix features,
+        ExtractLineFeatures(file.table, detection, options, budget));
     for (int r = 0; r < file.table.num_rows(); ++r) {
       const int label = file.annotation.line_labels[static_cast<size_t>(r)];
       if (label == kEmptyLabel) continue;  // empty lines carry no class
@@ -27,6 +34,13 @@ ml::Dataset StrudelLine::BuildDataset(
     }
   }
   return data;
+}
+
+ml::Dataset StrudelLine::BuildDataset(
+    const std::vector<const AnnotatedFile*>& files,
+    const LineFeatureOptions& options) {
+  // Cannot fail without a budget.
+  return std::move(BuildDataset(files, options, nullptr)).value();
 }
 
 ml::Dataset StrudelLine::BuildDataset(const std::vector<AnnotatedFile>& files,
@@ -39,18 +53,30 @@ Status StrudelLine::Fit(const std::vector<AnnotatedFile>& files) {
 }
 
 Status StrudelLine::Fit(const std::vector<const AnnotatedFile*>& files) {
-  ml::Dataset data = BuildDataset(files, options_.features);
+  STRUDEL_ASSIGN_OR_RETURN(
+      ml::Dataset data,
+      BuildDataset(files, options_.features, options_.budget.get()));
   if (data.size() == 0) {
     return Status::InvalidArgument(
         "strudel_line: no labelled non-empty lines in training files");
   }
+  // Quarantine (zero out) feature columns carrying NaN/Inf instead of
+  // letting them poison the normaliser and the forest; the report stays
+  // available for diagnostics.
+  fit_quarantine_ = ml::QuarantineNonFiniteColumns(data.features);
   normalizer_.FitTransform(data.features);
   if (options_.backbone_prototype != nullptr) {
     model_ = options_.backbone_prototype->CloneUntrained();
   } else {
-    model_ = std::make_unique<ml::RandomForest>(options_.forest);
+    ml::RandomForestOptions forest_options = options_.forest;
+    forest_options.budget = options_.budget;
+    model_ = std::make_unique<ml::RandomForest>(std::move(forest_options));
   }
-  return model_->Fit(data);
+  Status status = model_->Fit(data);
+  // A failed training run (budget exhaustion, invalid features) must not
+  // leave a half-trained model claiming to be fitted.
+  if (!status.ok()) model_.reset();
+  return status;
 }
 
 Status StrudelLine::SaveTo(std::ostream& out) const {
@@ -62,32 +88,97 @@ Status StrudelLine::SaveTo(std::ostream& out) const {
     return Status::Unimplemented(
         "strudel_line: only random-forest backbones are serialisable");
   }
-  out.precision(17);
-  out << "strudel_line v1 ";
-  internal_model_io::SaveLineFeatureOptions(out, options_.features);
-  out << '\n';
-  STRUDEL_RETURN_IF_ERROR(normalizer_.Save(out));
-  return forest->Save(out);
+  out << "strudel_line v2\n";
+  std::ostringstream options_payload;
+  options_payload.precision(17);
+  internal_model_io::SaveLineFeatureOptions(options_payload,
+                                            options_.features);
+  internal_model_io::WriteSection(out, "options", options_payload.str());
+
+  std::ostringstream normalizer_payload;
+  normalizer_payload.precision(17);
+  STRUDEL_RETURN_IF_ERROR(normalizer_.Save(normalizer_payload));
+  internal_model_io::WriteSection(out, "normalizer",
+                                  normalizer_payload.str());
+
+  std::ostringstream forest_payload;
+  forest_payload.precision(17);
+  STRUDEL_RETURN_IF_ERROR(forest->Save(forest_payload));
+  internal_model_io::WriteSection(out, "forest", forest_payload.str());
+  if (!out) return Status::IOError("strudel_line: write failed");
+  return Status::OK();
 }
 
 Status StrudelLine::LoadFrom(std::istream& in) {
   std::string magic, version;
   in >> magic >> version;
-  if (!in || magic != "strudel_line" || version != "v1") {
-    return Status::ParseError("strudel_line: bad header");
+  if (!in || magic != "strudel_line") {
+    return Status::CorruptModel("strudel_line: bad header");
   }
-  if (!internal_model_io::LoadLineFeatureOptions(in, options_.features)) {
-    return Status::ParseError("strudel_line: bad feature options");
+  if (version != "v2") {
+    return Status::CorruptModel("strudel_line: unsupported format version '" +
+                                version + "'");
   }
-  options_.backbone_prototype = nullptr;
-  STRUDEL_RETURN_IF_ERROR(normalizer_.Load(in));
+
+  // Parse every section into temporaries; this model is only mutated once
+  // the whole stream has validated, so a corrupt tail cannot leave a
+  // half-loaded model behind.
+  STRUDEL_ASSIGN_OR_RETURN(
+      const std::string options_payload,
+      internal_model_io::ReadSection(in, "options",
+                                     internal_model_io::kOptionsSectionCap));
+  LineFeatureOptions features_options = options_.features;
+  {
+    std::istringstream section(options_payload);
+    if (!internal_model_io::LoadLineFeatureOptions(section,
+                                                   features_options)) {
+      return Status::CorruptModel("strudel_line: bad feature options");
+    }
+  }
+
+  STRUDEL_ASSIGN_OR_RETURN(
+      const std::string normalizer_payload,
+      internal_model_io::ReadSection(
+          in, "normalizer", internal_model_io::kNormalizerSectionCap));
+  ml::MinMaxNormalizer normalizer;
+  {
+    std::istringstream section(normalizer_payload);
+    STRUDEL_RETURN_IF_ERROR(normalizer.Load(section));
+  }
+
+  STRUDEL_ASSIGN_OR_RETURN(
+      const std::string forest_payload,
+      internal_model_io::ReadSection(in, "forest",
+                                     internal_model_io::kForestSectionCap));
   auto forest = std::make_unique<ml::RandomForest>(options_.forest);
-  STRUDEL_RETURN_IF_ERROR(forest->Load(in));
+  {
+    std::istringstream section(forest_payload);
+    STRUDEL_RETURN_IF_ERROR(forest->Load(section));
+  }
+
+  // Cross-section consistency: the forest, the normaliser and the feature
+  // schema implied by the options must agree on the feature count.
+  const size_t expected = LineFeatureNames(features_options).size();
+  if (forest->num_features() != expected ||
+      normalizer.mins().size() != expected) {
+    return Status::CorruptModel(
+        "strudel_line: feature count mismatch across sections");
+  }
+
+  options_.features = features_options;
+  options_.backbone_prototype = nullptr;
+  normalizer_ = std::move(normalizer);
   model_ = std::move(forest);
   return Status::OK();
 }
 
 LinePrediction StrudelLine::Predict(const csv::Table& table) const {
+  // Cannot fail without a budget.
+  return std::move(TryPredict(table, nullptr)).value();
+}
+
+Result<LinePrediction> StrudelLine::TryPredict(const csv::Table& table,
+                                               ExecutionBudget* budget) const {
   LinePrediction prediction;
   const int rows = table.num_rows();
   prediction.classes.assign(static_cast<size_t>(std::max(rows, 0)),
@@ -97,10 +188,17 @@ LinePrediction StrudelLine::Predict(const csv::Table& table) const {
       std::vector<double>(kNumElementClasses, 0.0));
   if (model_ == nullptr || rows == 0) return prediction;
 
-  ml::Matrix features = ExtractLineFeatures(table, options_.features);
+  DerivedDetectionResult detection =
+      DetectDerivedCells(table, options_.features.derived_options);
+  STRUDEL_ASSIGN_OR_RETURN(
+      ml::Matrix features,
+      ExtractLineFeatures(table, detection, options_.features, budget));
   normalizer_.Transform(features);
   for (int r = 0; r < rows; ++r) {
     if (table.row_empty(r)) continue;
+    if (budget != nullptr) {
+      STRUDEL_RETURN_IF_ERROR(budget->Charge("line_predict", 1));
+    }
     std::vector<double> proba =
         model_->PredictProba(features.row(static_cast<size_t>(r)));
     prediction.classes[static_cast<size_t>(r)] =

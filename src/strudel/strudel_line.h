@@ -12,8 +12,11 @@
 #include <ostream>
 #include <vector>
 
+#include "common/execution_budget.h"
+#include "common/result.h"
 #include "common/status.h"
 #include "ml/classifier.h"
+#include "ml/dataset.h"
 #include "ml/normalizer.h"
 #include "ml/random_forest.h"
 #include "strudel/classes.h"
@@ -28,6 +31,9 @@ struct StrudelLineOptions {
   /// (§6.1.2). When set, CloneUntrained() of this prototype is trained
   /// instead of a random forest.
   std::shared_ptr<const ml::Classifier> backbone_prototype;
+  /// Optional execution budget for Fit: featurisation and forest training
+  /// charge against it and abort with its sticky Status once exhausted.
+  std::shared_ptr<ExecutionBudget> budget;
 };
 
 /// Per-line predictions for one file. Empty lines carry kEmptyLabel and an
@@ -48,6 +54,10 @@ class StrudelLine {
       const LineFeatureOptions& options = {});
   static ml::Dataset BuildDataset(const std::vector<AnnotatedFile>& files,
                                   const LineFeatureOptions& options = {});
+  /// Budgeted variant; featurisation charges against `budget` (nullable).
+  static Result<ml::Dataset> BuildDataset(
+      const std::vector<const AnnotatedFile*>& files,
+      const LineFeatureOptions& options, ExecutionBudget* budget);
 
   /// Trains on annotated files.
   Status Fit(const std::vector<const AnnotatedFile*>& files);
@@ -55,6 +65,17 @@ class StrudelLine {
 
   /// Classifies every line of a table.
   LinePrediction Predict(const csv::Table& table) const;
+
+  /// Budget-aware prediction: featurisation and per-line inference run
+  /// under `budget` (may be null) and return its sticky Status once
+  /// exhausted, instead of silently degrading to empty predictions.
+  Result<LinePrediction> TryPredict(const csv::Table& table,
+                                    ExecutionBudget* budget = nullptr) const;
+
+  /// Non-finite feature columns quarantined (zeroed) by the last Fit.
+  const ml::NonFiniteReport& fit_quarantine() const {
+    return fit_quarantine_;
+  }
 
   bool fitted() const { return model_ != nullptr; }
   const ml::Classifier& model() const { return *model_; }
@@ -69,6 +90,7 @@ class StrudelLine {
   StrudelLineOptions options_;
   std::unique_ptr<ml::Classifier> model_;
   ml::MinMaxNormalizer normalizer_;
+  ml::NonFiniteReport fit_quarantine_;
 };
 
 }  // namespace strudel

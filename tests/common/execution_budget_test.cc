@@ -1,0 +1,137 @@
+#include "common/execution_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace strudel {
+namespace {
+
+TEST(ExecutionBudgetTest, UnlimitedBudgetNeverTrips) {
+  ExecutionBudget budget;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(budget.Charge("stage", 1000).ok());
+  }
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_EQ(budget.total_work(), 1'000'000u);
+}
+
+TEST(ExecutionBudgetTest, WorkCapTripsWithResourceExhausted) {
+  ExecutionBudgetOptions options;
+  options.max_work_units = 100;
+  ExecutionBudget budget(options);
+  EXPECT_TRUE(budget.Charge("featurize", 100).ok());
+  Status status = budget.Charge("featurize", 1);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(budget.exhausted());
+  // The status names the stage that tripped the cap.
+  EXPECT_NE(status.message().find("featurize"), std::string_view::npos)
+      << status.message();
+}
+
+TEST(ExecutionBudgetTest, DeadlineTripsWithDeadlineExceeded) {
+  ExecutionBudgetOptions options;
+  options.max_wall_seconds = 0.01;
+  ExecutionBudget budget(options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  Status status = budget.Charge("fit", 1);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.message().find("fit"), std::string_view::npos)
+      << status.message();
+}
+
+TEST(ExecutionBudgetTest, ExhaustionIsSticky) {
+  ExecutionBudgetOptions options;
+  options.max_work_units = 10;
+  ExecutionBudget budget(options);
+  ASSERT_EQ(budget.Charge("first", 11).code(),
+            StatusCode::kResourceExhausted);
+  // Later checkpoints — even zero-cost ones on other stages — observe the
+  // original trip, with the original stage name.
+  Status later = budget.Check("second");
+  EXPECT_EQ(later.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(later.message().find("first"), std::string_view::npos)
+      << later.message();
+}
+
+TEST(ExecutionBudgetTest, CancelTripsNextCheckpoint) {
+  ExecutionBudget budget;
+  EXPECT_TRUE(budget.Check("stage").ok());
+  budget.Cancel();
+  EXPECT_TRUE(budget.cancelled());
+  EXPECT_EQ(budget.Check("stage").code(), StatusCode::kCancelled);
+  EXPECT_TRUE(budget.exhausted());
+}
+
+TEST(ExecutionBudgetTest, ReportAccumulatesPerStage) {
+  ExecutionBudget budget;
+  ASSERT_TRUE(budget.Charge("line_featurize", 40).ok());
+  ASSERT_TRUE(budget.Charge("forest_fit", 2).ok());
+  ASSERT_TRUE(budget.Charge("line_featurize", 60).ok());
+  BudgetReport report = budget.Report();
+  EXPECT_EQ(report.total_work, 102u);
+  ASSERT_EQ(report.stages.size(), 2u);
+  // Stages appear in first-charge order.
+  EXPECT_EQ(report.stages[0].stage, "line_featurize");
+  EXPECT_EQ(report.stages[0].work_units, 100u);
+  EXPECT_EQ(report.stages[0].charges, 2u);
+  EXPECT_EQ(report.stages[1].stage, "forest_fit");
+  EXPECT_EQ(report.stages[1].work_units, 2u);
+  EXPECT_FALSE(report.exhausted);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(ExecutionBudgetTest, LimitedFactoryMatchesOptions) {
+  auto budget = ExecutionBudget::Limited(1.5, 42);
+  ASSERT_NE(budget, nullptr);
+  EXPECT_DOUBLE_EQ(budget->options().max_wall_seconds, 1.5);
+  EXPECT_EQ(budget->options().max_work_units, 42u);
+}
+
+TEST(ExecutionBudgetTest, ConcurrentChargesAreCounted) {
+  ExecutionBudget budget;
+  constexpr int kThreads = 4;
+  constexpr int kChargesPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&budget] {
+      for (int i = 0; i < kChargesPerThread; ++i) {
+        ASSERT_TRUE(budget.Charge("worker", 1).ok());
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(budget.total_work(),
+            static_cast<uint64_t>(kThreads) * kChargesPerThread);
+  BudgetReport report = budget.Report();
+  ASSERT_EQ(report.stages.size(), 1u);
+  EXPECT_EQ(report.stages[0].work_units,
+            static_cast<uint64_t>(kThreads) * kChargesPerThread);
+}
+
+TEST(ExecutionBudgetTest, ConcurrentTripIsConsistent) {
+  ExecutionBudgetOptions options;
+  options.max_work_units = 500;
+  ExecutionBudget budget(options);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (!budget.Charge("race", 1).ok()) {
+          ++failures;
+          break;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  // Every thread eventually observed the trip, and all agree on the code.
+  EXPECT_EQ(failures.load(), 4);
+  EXPECT_EQ(budget.Check("after").code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace strudel

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace strudel::ml {
 namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 Dataset MakeDataset() {
   Dataset data;
@@ -67,6 +72,65 @@ TEST(DatasetTest, ClassCounts) {
 TEST(DatasetTest, DistinctGroupsSorted) {
   Dataset data = MakeDataset();
   EXPECT_EQ(data.DistinctGroups(), (std::vector<int>{10, 20, 30}));
+}
+
+TEST(NonFiniteTest, ScanCleanMatrix) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  NonFiniteReport report = ScanNonFinite(m);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.total, 0u);
+  EXPECT_TRUE(report.columns.empty());
+}
+
+TEST(NonFiniteTest, ScanLocatesPoisonedColumns) {
+  Matrix m = Matrix::FromRows(
+      {{1.0, kNan, 3.0, kInf}, {1.0, kNan, 3.0, 4.0}, {1.0, 2.0, 3.0, -kInf}});
+  NonFiniteReport report = ScanNonFinite(m);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.total, 4u);
+  EXPECT_EQ(report.columns, (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(report.column_counts, (std::vector<uint64_t>{2, 2}));
+}
+
+TEST(NonFiniteTest, SummaryNamesColumns) {
+  Matrix m = Matrix::FromRows({{kNan, 1.0}});
+  NonFiniteReport report = ScanNonFinite(m);
+  const std::string summary = report.Summary({"alpha", "beta"});
+  EXPECT_NE(summary.find("alpha"), std::string::npos);
+  EXPECT_EQ(summary.find("beta"), std::string::npos);
+}
+
+TEST(NonFiniteTest, QuarantineZeroesPoisonedColumnsOnly) {
+  Matrix m = Matrix::FromRows({{1.0, kNan, 3.0}, {4.0, 5.0, kInf}});
+  NonFiniteReport report = QuarantineNonFiniteColumns(m);
+  EXPECT_EQ(report.columns, (std::vector<size_t>{1, 2}));
+  // Poisoned columns become constant zero; clean columns are untouched.
+  EXPECT_EQ(m.at(0, 0), 1.0);
+  EXPECT_EQ(m.at(1, 0), 4.0);
+  for (size_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(m.at(r, 1), 0.0);
+    EXPECT_EQ(m.at(r, 2), 0.0);
+  }
+  EXPECT_TRUE(ScanNonFinite(m).clean());
+}
+
+TEST(NonFiniteTest, QuarantineOnCleanMatrixIsNoOp) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}});
+  NonFiniteReport report = QuarantineNonFiniteColumns(m);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(m.at(0, 0), 1.0);
+  EXPECT_EQ(m.at(0, 1), 2.0);
+}
+
+TEST(NonFiniteTest, CheckFeaturesFiniteGuard) {
+  Dataset data = MakeDataset();
+  EXPECT_TRUE(CheckFeaturesFinite(data, "test").ok());
+  data.features.at(2, 0) = kNan;
+  Status status = CheckFeaturesFinite(data, "test");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The diagnostic names the caller and the poisoned feature.
+  EXPECT_NE(status.message().find("test"), std::string_view::npos);
+  EXPECT_NE(status.message().find("f"), std::string_view::npos);
 }
 
 }  // namespace

@@ -1,0 +1,88 @@
+// Every classifier must refuse to train on NaN/Inf features with a
+// kInvalidArgument naming the poisoned columns, instead of silently
+// folding garbage into split thresholds or weights.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "ml/crf.h"
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+#include "ml/mlp.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "ml/svm.h"
+
+namespace strudel::ml {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+Dataset CleanDataset() {
+  Dataset data;
+  data.features = Matrix::FromRows({{0.0, 1.0},
+                                    {0.1, 0.9},
+                                    {0.2, 0.8},
+                                    {1.0, 0.0},
+                                    {0.9, 0.1},
+                                    {0.8, 0.2}});
+  data.labels = {0, 0, 0, 1, 1, 1};
+  data.groups.assign(6, -1);
+  data.feature_names = {"left", "right"};
+  data.num_classes = 2;
+  return data;
+}
+
+Dataset PoisonedDataset() {
+  Dataset data = CleanDataset();
+  data.features.at(3, 1) = kNan;
+  return data;
+}
+
+std::vector<std::unique_ptr<Classifier>> AllClassifiers() {
+  std::vector<std::unique_ptr<Classifier>> out;
+  out.push_back(std::make_unique<GaussianNaiveBayes>());
+  out.push_back(std::make_unique<KnnClassifier>());
+  out.push_back(std::make_unique<Mlp>());
+  out.push_back(std::make_unique<LinearSvm>());
+  out.push_back(std::make_unique<DecisionTree>());
+  RandomForestOptions forest;
+  forest.num_trees = 3;
+  forest.num_threads = 1;
+  out.push_back(std::make_unique<RandomForest>(forest));
+  return out;
+}
+
+TEST(FiniteGuardTest, EveryClassifierRejectsNonFiniteFeatures) {
+  const Dataset poisoned = PoisonedDataset();
+  for (auto& classifier : AllClassifiers()) {
+    Status status = classifier->Fit(poisoned);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << status.ToString();
+    // Diagnostic must name the poisoned feature column.
+    EXPECT_NE(status.message().find("right"), std::string_view::npos)
+        << status.message();
+  }
+}
+
+TEST(FiniteGuardTest, EveryClassifierAcceptsCleanFeatures) {
+  const Dataset clean = CleanDataset();
+  for (auto& classifier : AllClassifiers()) {
+    EXPECT_TRUE(classifier->Fit(clean).ok());
+  }
+}
+
+TEST(FiniteGuardTest, CrfRejectsNonFiniteSequenceFeatures) {
+  CrfSequence seq;
+  seq.features = Matrix::FromRows({{0.0, 1.0}, {kNan, 0.5}, {1.0, 0.0}});
+  seq.labels = {0, 1, 0};
+  LinearChainCrf crf;
+  Status status = crf.Fit({seq}, 2);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << status.ToString();
+}
+
+}  // namespace
+}  // namespace strudel::ml

@@ -2,8 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <sstream>
+
 namespace strudel::ml {
 namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 TEST(NormalizerTest, MapsColumnsToUnitInterval) {
   Matrix m = Matrix::FromRows({{0.0, 10.0}, {5.0, 20.0}, {10.0, 30.0}});
@@ -60,6 +67,63 @@ TEST(NormalizerTest, TransformPreservesShape) {
   normalizer.FitTransform(m);
   EXPECT_EQ(m.rows(), 2u);
   EXPECT_EQ(m.cols(), 2u);
+}
+
+TEST(NormalizerTest, NonFiniteValuesIgnoredDuringFit) {
+  Matrix m = Matrix::FromRows({{kNan, 0.0}, {2.0, kInf}, {4.0, 10.0}});
+  MinMaxNormalizer normalizer;
+  normalizer.Fit(m);
+  EXPECT_EQ(normalizer.mins()[0], 2.0);
+  EXPECT_EQ(normalizer.maxs()[0], 4.0);
+  EXPECT_EQ(normalizer.mins()[1], 0.0);
+  EXPECT_EQ(normalizer.maxs()[1], 10.0);
+}
+
+TEST(NormalizerTest, AllNonFiniteColumnNormalizesToZero) {
+  Matrix m = Matrix::FromRows({{kNan, 1.0}, {kInf, 2.0}});
+  MinMaxNormalizer normalizer;
+  normalizer.FitTransform(m);
+  EXPECT_EQ(m.at(0, 0), 0.0);
+  EXPECT_EQ(m.at(1, 0), 0.0);
+  EXPECT_EQ(normalizer.mins()[0], 0.0);
+  EXPECT_EQ(normalizer.maxs()[0], 0.0);
+}
+
+TEST(NormalizerTest, NonFiniteHeldOutValuesScrubbedToZero) {
+  Matrix train = Matrix::FromRows({{0.0}, {10.0}});
+  MinMaxNormalizer normalizer;
+  normalizer.Fit(train);
+  Matrix test = Matrix::FromRows({{kNan}, {kInf}, {-kInf}, {5.0}});
+  normalizer.Transform(test);
+  EXPECT_EQ(test.at(0, 0), 0.0);
+  EXPECT_EQ(test.at(1, 0), 0.0);
+  EXPECT_EQ(test.at(2, 0), 0.0);
+  EXPECT_EQ(test.at(3, 0), 0.5);
+}
+
+TEST(NormalizerTest, TransformedOutputIsAlwaysFinite) {
+  Matrix m = Matrix::FromRows(
+      {{kNan, kInf, 7.0, 1.0}, {3.0, -kInf, 7.0, 2.0}, {5.0, 4.0, 7.0, 3.0}});
+  MinMaxNormalizer normalizer;
+  normalizer.FitTransform(m);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_TRUE(std::isfinite(m.at(r, c))) << r << "," << c;
+      EXPECT_GE(m.at(r, c), 0.0);
+      EXPECT_LE(m.at(r, c), 1.0);
+    }
+  }
+}
+
+TEST(NormalizerTest, LoadRejectsCorruptAndOversizedStreams) {
+  MinMaxNormalizer normalizer;
+  std::stringstream inflated("minmax v1 99999999999\n");
+  EXPECT_EQ(normalizer.Load(inflated).code(), StatusCode::kCorruptModel);
+  std::stringstream inverted("minmax v1 1\n5 2\n");
+  EXPECT_EQ(normalizer.Load(inverted).code(), StatusCode::kCorruptModel);
+  std::stringstream non_finite("minmax v1 1\nnan 1\n");
+  EXPECT_EQ(normalizer.Load(non_finite).code(), StatusCode::kCorruptModel);
+  EXPECT_FALSE(normalizer.fitted());
 }
 
 }  // namespace

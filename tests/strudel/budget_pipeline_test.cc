@@ -1,0 +1,141 @@
+// End-to-end failure containment: the pipeline stages past the parser
+// all run under an optional ExecutionBudget, so training or inference on
+// a pathological input degrades into a clean kDeadlineExceeded /
+// kResourceExhausted naming the stage that tripped, never a hang.
+
+#include <gtest/gtest.h>
+
+#include "common/execution_budget.h"
+#include "datagen/corpus.h"
+#include "strudel/strudel_cell.h"
+#include "strudel/strudel_line.h"
+
+namespace strudel {
+namespace {
+
+std::vector<AnnotatedFile> SmallCorpus(uint64_t seed = 41) {
+  datagen::DatasetProfile profile =
+      datagen::ScaledProfile(datagen::SausProfile(), 0.05, 0.35);
+  return datagen::GenerateCorpus(profile, seed);
+}
+
+StrudelLineOptions FastLine() {
+  StrudelLineOptions options;
+  options.forest.num_trees = 8;
+  options.forest.num_threads = 1;
+  return options;
+}
+
+StrudelCellOptions FastCell() {
+  StrudelCellOptions options;
+  options.forest.num_trees = 6;
+  options.line.forest.num_trees = 6;
+  options.line_cross_fit_folds = 0;
+  return options;
+}
+
+TEST(BudgetPipelineTest, ExpiredDeadlineFailsLineFitNamingStage) {
+  auto corpus = SmallCorpus();
+  StrudelLineOptions options = FastLine();
+  // A deadline in the past: the very first checkpoint must trip.
+  options.budget = ExecutionBudget::Limited(1e-9);
+  StrudelLine model(options);
+  Status status = model.Fit(corpus);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded)
+      << status.ToString();
+  EXPECT_NE(status.message().find("stage '"), std::string_view::npos)
+      << status.message();
+  EXPECT_FALSE(model.fitted());
+}
+
+TEST(BudgetPipelineTest, WorkCapFailsLineFitInFeaturization) {
+  auto corpus = SmallCorpus(42);
+  StrudelLineOptions options = FastLine();
+  // Far fewer units than the corpus has lines: featurisation trips first.
+  options.budget = ExecutionBudget::Limited(0.0, 5);
+  StrudelLine model(options);
+  Status status = model.Fit(corpus);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+      << status.ToString();
+  EXPECT_NE(status.message().find("line_featurize"), std::string_view::npos)
+      << status.message();
+  EXPECT_FALSE(model.fitted());
+}
+
+TEST(BudgetPipelineTest, WorkCapCanTripInsideForestTraining) {
+  auto corpus = SmallCorpus(43);
+  // Generous enough for featurisation of this small corpus, far too small
+  // for tree construction, which charges per node sample scanned.
+  size_t lines = 0;
+  for (const AnnotatedFile& file : corpus) {
+    lines += static_cast<size_t>(file.table.num_rows());
+  }
+  StrudelLineOptions options = FastLine();
+  options.budget = ExecutionBudget::Limited(0.0, lines + 10);
+  StrudelLine model(options);
+  Status status = model.Fit(corpus);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+      << status.ToString();
+  EXPECT_NE(status.message().find("tree_build"), std::string_view::npos)
+      << status.message();
+  EXPECT_FALSE(model.fitted());
+}
+
+TEST(BudgetPipelineTest, ExpiredDeadlineFailsCellFit) {
+  auto corpus = SmallCorpus(44);
+  StrudelCellOptions options = FastCell();
+  options.budget = ExecutionBudget::Limited(1e-9);
+  StrudelCell model(options);
+  Status status = model.Fit(corpus);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded)
+      << status.ToString();
+  EXPECT_FALSE(model.fitted());
+}
+
+TEST(BudgetPipelineTest, PredictUnbudgetedStillWorksAfterBudgetedFitPlan) {
+  auto corpus = SmallCorpus(45);
+  StrudelLineOptions options = FastLine();
+  // A roomy budget that Fit completes within.
+  options.budget = ExecutionBudget::Limited(300.0);
+  StrudelLine model(options);
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  // Plain Predict never fails; budgeted TryPredict succeeds under a fresh
+  // roomy budget and fails cleanly under an expired one.
+  LinePrediction baseline = model.Predict(corpus[0].table);
+  auto roomy = ExecutionBudget::Limited(300.0);
+  auto budgeted = model.TryPredict(corpus[0].table, roomy.get());
+  ASSERT_TRUE(budgeted.ok()) << budgeted.status().ToString();
+  EXPECT_EQ(budgeted->classes, baseline.classes);
+
+  auto expired = ExecutionBudget::Limited(1e-9);
+  auto failed = model.TryPredict(corpus[0].table, expired.get());
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(BudgetPipelineTest, CellTryPredictHonoursBudget) {
+  auto corpus = SmallCorpus(46);
+  StrudelCell model(FastCell());
+  ASSERT_TRUE(model.Fit(corpus).ok());
+  CellPrediction baseline = model.Predict(corpus[0].table);
+  auto expired = ExecutionBudget::Limited(1e-9);
+  auto failed = model.TryPredict(corpus[0].table, expired.get());
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kDeadlineExceeded);
+  // The model itself is untouched by the failed attempt.
+  EXPECT_EQ(model.Predict(corpus[0].table).classes, baseline.classes);
+}
+
+TEST(BudgetPipelineTest, CancellationStopsTraining) {
+  auto corpus = SmallCorpus(47);
+  StrudelLineOptions options = FastLine();
+  options.budget = std::make_shared<ExecutionBudget>();
+  options.budget->Cancel();
+  StrudelLine model(options);
+  Status status = model.Fit(corpus);
+  EXPECT_EQ(status.code(), StatusCode::kCancelled) << status.ToString();
+  EXPECT_FALSE(model.fitted());
+}
+
+}  // namespace
+}  // namespace strudel

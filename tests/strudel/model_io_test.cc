@@ -139,10 +139,63 @@ TEST(ModelIoTest, CorruptStreamRejected) {
   std::stringstream garbage("not a model at all");
   auto loaded = LoadLineModel(garbage);
   EXPECT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptModel);
 
-  std::stringstream truncated("strudel_line v1 5 8 0 0.1 0.5 1 1 2 0\n");
-  EXPECT_FALSE(LoadLineModel(truncated).ok());
+  // Old v1 headers are refused rather than misparsed.
+  std::stringstream old_version("strudel_line v1 5 8 0 0.1 0.5 1 1 2 0\n");
+  auto old_loaded = LoadLineModel(old_version);
+  EXPECT_FALSE(old_loaded.ok());
+  EXPECT_EQ(old_loaded.status().code(), StatusCode::kCorruptModel);
+
+  std::stringstream truncated("strudel_line v2\nsection options 4");
+  auto trunc_loaded = LoadLineModel(truncated);
+  EXPECT_FALSE(trunc_loaded.ok());
+  EXPECT_EQ(trunc_loaded.status().code(), StatusCode::kCorruptModel);
+}
+
+TEST(ModelIoTest, ChecksumDamageRejected) {
+  auto corpus = SmallCorpus(96);
+  StrudelLine original(FastLine());
+  ASSERT_TRUE(original.Fit(corpus).ok());
+  std::stringstream stream;
+  ASSERT_TRUE(SaveModel(original, stream).ok());
+  std::string bytes = stream.str();
+
+  // Flip one payload byte deep inside the forest section; the framing
+  // stays intact, so only the checksum can catch it.
+  const size_t victim = bytes.size() - bytes.size() / 4;
+  bytes[victim] = bytes[victim] == '7' ? '3' : '7';
+  std::stringstream damaged(bytes);
+  auto loaded = LoadLineModel(damaged);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptModel);
+}
+
+TEST(ModelIoTest, TruncatedModelLeavesNoPartialState) {
+  auto corpus = SmallCorpus(97);
+  StrudelLine original(FastLine());
+  ASSERT_TRUE(original.Fit(corpus).ok());
+  std::stringstream stream;
+  ASSERT_TRUE(SaveModel(original, stream).ok());
+  const std::string bytes = stream.str();
+
+  for (const double fraction : {0.1, 0.5, 0.9}) {
+    std::stringstream truncated(
+        bytes.substr(0, static_cast<size_t>(bytes.size() * fraction)));
+    StrudelLine model;
+    EXPECT_EQ(model.LoadFrom(truncated).code(), StatusCode::kCorruptModel);
+    EXPECT_FALSE(model.fitted());
+  }
+}
+
+TEST(ModelIoTest, InflatedSectionSizeRejected) {
+  // A section header claiming more bytes than the cap must be refused
+  // before any allocation happens.
+  std::stringstream huge(
+      "strudel_line v2\nsection options 99999999999 deadbeef\n");
+  auto loaded = LoadLineModel(huge);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptModel);
 }
 
 TEST(ModelIoTest, ForestLoadRejectsCorruptStreams) {

@@ -4,6 +4,7 @@
 //   strudel train <corpus-dir> <model-file>      train Strudel^C, save model
 //   strudel classify <model-file> <input.csv>    per-line/cell classes
 //   strudel extract <model-file> <input.csv>     relational tables (CSV)
+//   strudel batch <model-file> <in-dir> <out-dir> classify a directory
 //   strudel inspect <input.csv>                  dialect + shape report
 //   strudel doctor <input.csv>                   ingestion health report
 //
@@ -15,13 +16,34 @@
 // classify/extract/inspect go through the hardened ingestion pipeline
 // (strudel/ingest.h): corrupt-ish input is sanitized and recovered rather
 // than aborting, and anything that had to be repaired is summarized on
-// stderr. Only I/O errors are fatal.
+// stderr. The global --budget-ms flag puts training and inference under a
+// wall-clock ExecutionBudget; `batch` applies a fresh budget per file and
+// quarantines failures instead of aborting the run.
+//
+// Exit codes distinguish failure classes so scripts can branch without
+// scraping stderr:
+//   0  success
+//   1  generic failure / batch finished with quarantined files
+//   2  usage error
+//   3  input ingestion failed
+//   4  model load failed (missing or corrupt model)
+//   5  execution budget exhausted (deadline / work cap / cancelled)
+//   6  training failed
+//   7  output write failed
+// Every failure additionally emits one structured stderr record:
+//   strudel: error stage=<stage> code=<status-code> file="..." msg="..."
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "common/execution_budget.h"
 #include "csv/crop.h"
 #include "csv/dialect_detector.h"
 #include "csv/reader.h"
@@ -36,18 +58,95 @@ using namespace strudel;
 
 namespace {
 
+constexpr int kExitOk = 0;
+constexpr int kExitGeneric = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIngest = 3;
+constexpr int kExitModelLoad = 4;
+constexpr int kExitBudget = 5;
+constexpr int kExitTrain = 6;
+constexpr int kExitOutput = 7;
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage:\n"
+      "usage: strudel [--budget-ms <n>] <command> ...\n"
       "  strudel gen <govuk|saus|cius|deex|mendeley|troy> <dir> [files] "
       "[seed]\n"
       "  strudel train <corpus-dir> <model-file>\n"
       "  strudel classify <model-file> <input.csv>\n"
       "  strudel extract <model-file> <input.csv>\n"
+      "  strudel batch <model-file> <input-dir> <output-dir>\n"
       "  strudel inspect <input.csv>\n"
-      "  strudel doctor <input.csv>\n");
-  return 2;
+      "  strudel doctor <input.csv>\n"
+      "exit codes: 0 ok, 1 generic/partial batch, 2 usage, 3 ingest,\n"
+      "            4 model load, 5 budget exhausted, 6 train, 7 output\n");
+  return kExitUsage;
+}
+
+/// Escapes a string for embedding in double quotes (stderr records and the
+/// batch JSON report share the same rules).
+std::string Escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One-line structured error record on stderr.
+void PrintError(std::string_view stage, const Status& status,
+                std::string_view file = {}) {
+  std::fprintf(stderr, "strudel: error stage=%s code=%s file=\"%s\" msg=\"%s\"\n",
+               std::string(stage).c_str(),
+               std::string(StatusCodeToString(status.code())).c_str(),
+               Escape(file).c_str(), Escape(status.message()).c_str());
+}
+
+/// Maps a Status to the exit code of its failure class; `fallback` is the
+/// command's own class for statuses that don't carry one.
+int ExitCodeFor(const Status& status, int fallback) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kCancelled:
+      return kExitBudget;
+    case StatusCode::kCorruptModel:
+      return kExitModelLoad;
+    default:
+      return fallback;
+  }
+}
+
+std::shared_ptr<ExecutionBudget> MakeBudget(double budget_ms) {
+  if (budget_ms <= 0.0) return nullptr;
+  return ExecutionBudget::Limited(budget_ms / 1000.0);
 }
 
 /// Ingests `path` through the hardened pipeline; on success prints any
@@ -65,104 +164,117 @@ Result<IngestResult> IngestWithSummary(const std::string& path) {
   return ingest;
 }
 
-int CmdGen(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  datagen::DatasetProfile profile = datagen::ProfileByName(argv[2]);
+int CmdGen(const std::vector<std::string>& args) {
+  if (args.size() < 3) return Usage();
+  datagen::DatasetProfile profile = datagen::ProfileByName(args[1]);
   if (profile.num_files == 0) {
-    std::fprintf(stderr, "unknown dataset: %s\n", argv[2]);
-    return 2;
+    PrintError("gen", Status::InvalidArgument("unknown dataset: " + args[1]));
+    return kExitUsage;
   }
-  const int files = argc > 4 ? std::atoi(argv[4]) : 20;
-  const uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 42;
+  const int files = args.size() > 3 ? std::atoi(args[3].c_str()) : 20;
+  const uint64_t seed =
+      args.size() > 4 ? std::strtoull(args[4].c_str(), nullptr, 10) : 42;
   profile = datagen::ScaledProfile(
       profile, static_cast<double>(files) / profile.num_files, 0.5);
   profile.num_files = files;
   auto corpus = datagen::GenerateCorpus(profile, seed);
-  Status status = datagen::SaveAnnotatedCorpus(corpus, argv[3]);
+  Status status = datagen::SaveAnnotatedCorpus(corpus, args[2]);
   if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
+    PrintError("gen", status, args[2]);
+    return kExitOutput;
   }
   auto stats = datagen::ComputeStats(corpus);
   std::printf("wrote %d files (%lld lines, %lld cells) to %s\n",
-              stats.num_files, stats.num_lines, stats.num_cells, argv[3]);
-  return 0;
+              stats.num_files, stats.num_lines, stats.num_cells,
+              args[2].c_str());
+  return kExitOk;
 }
 
-int CmdTrain(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  auto corpus = datagen::LoadAnnotatedCorpus(argv[2]);
+int CmdTrain(const std::vector<std::string>& args, double budget_ms) {
+  if (args.size() < 3) return Usage();
+  auto corpus = datagen::LoadAnnotatedCorpus(args[1]);
   if (!corpus.ok()) {
-    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
-    return 1;
+    PrintError("ingest", corpus.status(), args[1]);
+    return kExitIngest;
   }
   std::printf("training on %zu annotated files...\n", corpus->size());
   StrudelCellOptions options;
   options.forest.num_trees = 50;
   options.line.forest.num_trees = 50;
+  options.budget = MakeBudget(budget_ms);
   StrudelCell model(options);
   Status status = model.Fit(*corpus);
   if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
+    PrintError("train", status, args[1]);
+    return ExitCodeFor(status, kExitTrain);
   }
-  status = SaveModelToFile(model, argv[3]);
+  status = SaveModelToFile(model, args[2]);
   if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
+    PrintError("output", status, args[2]);
+    return kExitOutput;
   }
-  std::printf("model saved to %s\n", argv[3]);
-  return 0;
+  std::printf("model saved to %s\n", args[2].c_str());
+  return kExitOk;
 }
 
-int CmdClassify(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  auto model = LoadCellModelFromFile(argv[2]);
+int CmdClassify(const std::vector<std::string>& args, double budget_ms) {
+  if (args.size() < 3) return Usage();
+  auto model = LoadCellModelFromFile(args[1]);
   if (!model.ok()) {
-    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
-    return 1;
+    PrintError("model_load", model.status(), args[1]);
+    return kExitModelLoad;
   }
-  auto ingest = IngestWithSummary(argv[3]);
+  auto ingest = IngestWithSummary(args[2]);
   if (!ingest.ok()) {
-    std::fprintf(stderr, "%s\n", ingest.status().ToString().c_str());
-    return 1;
+    PrintError("ingest", ingest.status(), args[2]);
+    return kExitIngest;
   }
   const csv::Table& table = ingest->table;
   std::printf("dialect: %s\n", ingest->dialect.ToString().c_str());
-  CellPrediction prediction = model->Predict(table);
+  auto budget = MakeBudget(budget_ms);
+  auto prediction = model->TryPredict(table, budget.get());
+  if (!prediction.ok()) {
+    PrintError("predict", prediction.status(), args[2]);
+    return ExitCodeFor(prediction.status(), kExitGeneric);
+  }
   for (int r = 0; r < table.num_rows(); ++r) {
     std::printf("%4d %-8s |", r,
                 std::string(ElementClassName(
-                                prediction.line_prediction.classes
+                                prediction->line_prediction.classes
                                     [static_cast<size_t>(r)]))
                     .c_str());
     for (int c = 0; c < table.num_cols(); ++c) {
       if (table.cell_empty(r, c)) continue;
       std::printf(" %s:%c", std::string(table.cell(r, c)).c_str(),
                   ElementClassName(
-                      prediction.classes[static_cast<size_t>(r)]
-                                        [static_cast<size_t>(c)])[0]);
+                      prediction->classes[static_cast<size_t>(r)]
+                                         [static_cast<size_t>(c)])[0]);
     }
     std::printf("\n");
   }
-  return 0;
+  return kExitOk;
 }
 
-int CmdExtract(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  auto model = LoadCellModelFromFile(argv[2]);
+int CmdExtract(const std::vector<std::string>& args, double budget_ms) {
+  if (args.size() < 3) return Usage();
+  auto model = LoadCellModelFromFile(args[1]);
   if (!model.ok()) {
-    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
-    return 1;
+    PrintError("model_load", model.status(), args[1]);
+    return kExitModelLoad;
   }
-  auto ingest = IngestWithSummary(argv[3]);
+  auto ingest = IngestWithSummary(args[2]);
   if (!ingest.ok()) {
-    std::fprintf(stderr, "%s\n", ingest.status().ToString().c_str());
-    return 1;
+    PrintError("ingest", ingest.status(), args[2]);
+    return kExitIngest;
   }
   const csv::Table& table = ingest->table;
-  LinePrediction lines = model->line_model().Predict(table);
-  FileSegmentation segmentation = SegmentFile(table, lines.classes);
+  auto budget = MakeBudget(budget_ms);
+  auto lines = model->line_model().TryPredict(table, budget.get());
+  if (!lines.ok()) {
+    PrintError("predict", lines.status(), args[2]);
+    return ExitCodeFor(lines.status(), kExitGeneric);
+  }
+  FileSegmentation segmentation = SegmentFile(table, lines->classes);
   auto tables = ExtractRelationalTables(table, segmentation);
   for (size_t t = 0; t < tables.size(); ++t) {
     std::printf("# table %zu\n", t + 1);
@@ -171,17 +283,163 @@ int CmdExtract(int argc, char** argv) {
     for (const auto& row : tables[t].rows) out.push_back(row);
     std::printf("%s\n", csv::WriteCsv(out).c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
-int CmdInspect(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  auto ingest = IngestWithSummary(argv[2]);
-  if (!ingest.ok()) {
-    std::fprintf(stderr, "%s\n", ingest.status().ToString().c_str());
-    return 1;
+/// Classifies one batch file end to end; writes the per-line/cell classes
+/// to `output_path` on success. Failures name the stage in `stage_out`.
+Status BatchProcessOne(const StrudelCell& model, const std::string& input,
+                       const std::filesystem::path& output_path,
+                       double budget_ms, std::string& stage_out) {
+  stage_out = "ingest";
+  auto ingest = IngestFile(input);
+  if (!ingest.ok()) return ingest.status();
+
+  stage_out = "predict";
+  auto budget = MakeBudget(budget_ms);
+  auto prediction = model.TryPredict(ingest->table, budget.get());
+  if (!prediction.ok()) return prediction.status();
+
+  stage_out = "output";
+  std::ofstream out(output_path);
+  if (!out) {
+    return Status::IOError("cannot open output file: " +
+                           output_path.string());
   }
-  auto text = csv::ReadFileToString(argv[2]);
+  const csv::Table& table = ingest->table;
+  for (int r = 0; r < table.num_rows(); ++r) {
+    out << r << ' '
+        << ElementClassName(
+               prediction->line_prediction.classes[static_cast<size_t>(r)]);
+    for (int c = 0; c < table.num_cols(); ++c) {
+      if (table.cell_empty(r, c)) continue;
+      out << ' ' << c << ':'
+          << ElementClassName(prediction->classes[static_cast<size_t>(r)]
+                                                 [static_cast<size_t>(c)]);
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::IOError("write failed: " + output_path.string());
+  }
+  return Status::OK();
+}
+
+struct BatchEntry {
+  std::string file;
+  Status status;
+  std::string stage;
+  std::string output;  // relative to the output dir, successes only
+};
+
+int CmdBatch(const std::vector<std::string>& args, double budget_ms) {
+  namespace fs = std::filesystem;
+  if (args.size() < 4) return Usage();
+  auto model = LoadCellModelFromFile(args[1]);
+  if (!model.ok()) {
+    PrintError("model_load", model.status(), args[1]);
+    return kExitModelLoad;
+  }
+
+  const fs::path input_dir = args[2];
+  const fs::path output_dir = args[3];
+  std::error_code ec;
+  if (!fs::is_directory(input_dir, ec)) {
+    PrintError("batch",
+               Status::IOError("input is not a directory: " + args[2]));
+    return kExitIngest;
+  }
+  fs::create_directories(output_dir / "results", ec);
+  fs::create_directories(output_dir / "quarantine", ec);
+  if (ec) {
+    PrintError("batch",
+               Status::IOError("cannot create output directory: " + args[3]));
+    return kExitOutput;
+  }
+
+  std::vector<fs::path> inputs;
+  for (const auto& entry : fs::directory_iterator(input_dir, ec)) {
+    if (entry.is_regular_file()) inputs.push_back(entry.path());
+  }
+  std::sort(inputs.begin(), inputs.end());
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  std::vector<BatchEntry> entries;
+  entries.reserve(inputs.size());
+  size_t succeeded = 0;
+  for (const fs::path& input : inputs) {
+    BatchEntry entry;
+    entry.file = input.filename().string();
+    const fs::path output_path =
+        output_dir / "results" / (entry.file + ".classes");
+    // Each file gets a fresh budget: one pathological input cannot starve
+    // the rest of the batch.
+    entry.status = BatchProcessOne(*model, input.string(), output_path,
+                                   budget_ms, entry.stage);
+    if (entry.status.ok()) {
+      ++succeeded;
+      entry.output = "results/" + entry.file + ".classes";
+    } else {
+      PrintError("batch/" + entry.stage, entry.status, input.string());
+      fs::copy_file(input, output_dir / "quarantine" / entry.file,
+                    fs::copy_options::overwrite_existing, ec);
+      fs::remove(output_path, ec);  // drop any partial output
+    }
+    entries.push_back(std::move(entry));
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    batch_start)
+          .count();
+
+  // JSON error report, hand-rolled (no JSON dependency in the tree).
+  std::ofstream report(output_dir / "report.json");
+  report << "{\n"
+         << "  \"processed\": " << entries.size() << ",\n"
+         << "  \"succeeded\": " << succeeded << ",\n"
+         << "  \"quarantined\": " << entries.size() - succeeded << ",\n"
+         << "  \"elapsed_seconds\": " << elapsed << ",\n"
+         << "  \"files\": [\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const BatchEntry& entry = entries[i];
+    report << "    {\"file\": \"" << Escape(entry.file) << "\", ";
+    if (entry.status.ok()) {
+      report << "\"status\": \"ok\", \"output\": \"" << Escape(entry.output)
+             << "\"}";
+    } else {
+      report << "\"status\": \"quarantined\", \"stage\": \""
+             << Escape(entry.stage) << "\", \"code\": \""
+             << StatusCodeToString(entry.status.code()) << "\", \"message\": \""
+             << Escape(entry.status.message()) << "\"}";
+    }
+    report << (i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  report << "  ]\n}\n";
+  report.flush();
+  const bool report_ok = static_cast<bool>(report);
+  report.close();
+
+  std::printf("batch: %zu processed, %zu succeeded, %zu quarantined "
+              "(%.2fs); report: %s\n",
+              entries.size(), succeeded, entries.size() - succeeded, elapsed,
+              (output_dir / "report.json").string().c_str());
+  if (!report_ok) {
+    PrintError("batch", Status::IOError("failed to write report.json"),
+               (output_dir / "report.json").string());
+    return kExitOutput;
+  }
+  return succeeded == entries.size() ? kExitOk : kExitGeneric;
+}
+
+int CmdInspect(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  auto ingest = IngestWithSummary(args[1]);
+  if (!ingest.ok()) {
+    PrintError("ingest", ingest.status(), args[1]);
+    return kExitIngest;
+  }
+  auto text = csv::ReadFileToString(args[1]);
   auto scores = csv::ScoreDialects(
       csv::Sanitize(text.ok() ? *text : std::string()));
   std::printf("dialect candidates (best first by consistency):\n");
@@ -206,15 +464,15 @@ int CmdInspect(int argc, char** argv) {
   std::printf("shape: %d x %d (%d non-empty cells); cropped to %d x %d\n",
               table.num_rows(), table.num_cols(), table.non_empty_count(),
               cropped.num_rows(), cropped.num_cols());
-  return 0;
+  return kExitOk;
 }
 
-int CmdDoctor(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  auto ingest = IngestFile(argv[2]);
+int CmdDoctor(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  auto ingest = IngestFile(args[1]);
   if (!ingest.ok()) {
-    std::fprintf(stderr, "%s\n", ingest.status().ToString().c_str());
-    return 1;
+    PrintError("ingest", ingest.status(), args[1]);
+    return kExitIngest;
   }
   std::printf("%s\n", ingest->Report().c_str());
   std::printf("verdict:  %s\n",
@@ -223,19 +481,33 @@ int CmdDoctor(int argc, char** argv) {
                   : (ingest->recovered
                          ? "recovered — parse needed recovery mode"
                          : "repaired — parses after tolerated repairs"));
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  if (command == "gen") return CmdGen(argc, argv);
-  if (command == "train") return CmdTrain(argc, argv);
-  if (command == "classify") return CmdClassify(argc, argv);
-  if (command == "extract") return CmdExtract(argc, argv);
-  if (command == "inspect") return CmdInspect(argc, argv);
-  if (command == "doctor") return CmdDoctor(argc, argv);
+  std::vector<std::string> args;
+  double budget_ms = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--budget-ms") {
+      if (i + 1 >= argc) return Usage();
+      budget_ms = std::atof(argv[++i]);
+    } else if (arg.rfind("--budget-ms=", 0) == 0) {
+      budget_ms = std::atof(arg.substr(12).c_str());
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) return Usage();
+  const std::string& command = args[0];
+  if (command == "gen") return CmdGen(args);
+  if (command == "train") return CmdTrain(args, budget_ms);
+  if (command == "classify") return CmdClassify(args, budget_ms);
+  if (command == "extract") return CmdExtract(args, budget_ms);
+  if (command == "batch") return CmdBatch(args, budget_ms);
+  if (command == "inspect") return CmdInspect(args);
+  if (command == "doctor") return CmdDoctor(args);
   return Usage();
 }
