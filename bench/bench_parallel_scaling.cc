@@ -1,0 +1,307 @@
+// Parallel scaling of the thread-pool-backed paths: random-forest fit,
+// bulk prediction, line featurisation, and a batch-style multi-file
+// prediction loop, each at 1/2/4/8 threads. Emits BENCH_parallel.json.
+//
+// Every phase also cross-checks determinism: the 1-thread result is the
+// reference, and any thread count producing different bytes is a failure
+// (the pool hands out chunks in a fixed arithmetic sequence and every
+// task writes only its own output slot, so results must be identical).
+//
+//   bench_parallel_scaling [--quick] [--out <path>] [--min-speedup <x>]
+//
+// --min-speedup enforces a floor on the 4-thread forest-fit speedup; the
+// gate is skipped (with a note) on machines with fewer than 4 hardware
+// threads, where wall-clock scaling is physically impossible.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "datagen/corpus.h"
+#include "ml/random_forest.h"
+#include "strudel/line_features.h"
+#include "strudel/strudel_cell.h"
+#include "strudel/strudel_line.h"
+
+namespace {
+
+using namespace strudel;
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+struct Timing {
+  int threads = 0;
+  double seconds = 0.0;
+};
+
+struct PhaseResult {
+  std::string name;
+  std::vector<Timing> timings;
+};
+
+double SpeedupAt(const PhaseResult& phase, int threads) {
+  double serial = 0.0, at = 0.0;
+  for (const Timing& t : phase.timings) {
+    if (t.threads == 1) serial = t.seconds;
+    if (t.threads == threads) at = t.seconds;
+  }
+  return at > 0.0 ? serial / at : 0.0;
+}
+
+/// Best-of-`reps` wall-clock seconds of `fn()`.
+template <typename Fn>
+double TimeBest(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+std::string ForestBytes(const ml::RandomForest& forest) {
+  std::ostringstream out;
+  out.precision(17);
+  (void)forest.Save(out);
+  return out.str();
+}
+
+[[noreturn]] void FailDeterminism(const char* phase, int threads) {
+  std::fprintf(stderr,
+               "FAIL: %s at %d threads differs from the serial result\n",
+               phase, threads);
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_parallel.json";
+  double min_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--min-speedup" && i + 1 < argc) {
+      min_speedup = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_parallel_scaling [--quick] [--out <path>] "
+                   "[--min-speedup <x>]\n");
+      return 2;
+    }
+  }
+
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const int reps = quick ? 2 : 3;
+  std::printf("== parallel scaling ==\n");
+  std::printf("hardware threads: %u, mode: %s\n\n", hardware,
+              quick ? "quick" : "default");
+
+  // One corpus feeds every phase. The forest phases need enough samples
+  // and trees for per-tree tasks to dominate dispatch overhead.
+  // Even in quick mode the forest-fit phase must run long enough (order
+  // 100ms serial) that the speedup gate measures scaling, not timer noise.
+  datagen::DatasetProfile profile = datagen::ProfileByName("saus");
+  profile = datagen::ScaledProfile(profile, quick ? 0.3 : 0.5,
+                                   quick ? 0.8 : 1.0);
+  const std::vector<AnnotatedFile> corpus =
+      datagen::GenerateCorpus(profile, 42);
+  const ml::Dataset data = StrudelLine::BuildDataset(corpus);
+  std::printf("corpus: %zu files, %zu line samples, %zu features\n\n",
+              corpus.size(), data.size(), data.features.cols());
+  const int num_trees = quick ? 40 : 80;
+
+  std::vector<PhaseResult> phases;
+
+  // Phase 1: forest fit, one tree per task.
+  {
+    PhaseResult phase{"forest_fit", {}};
+    std::string reference;
+    for (const int threads : kThreadCounts) {
+      ml::RandomForestOptions options;
+      options.num_trees = num_trees;
+      options.seed = 42;
+      options.num_threads = threads;
+      ml::RandomForest forest(options);
+      const double seconds =
+          TimeBest(reps, [&] { (void)forest.Fit(data); });
+      const std::string bytes = ForestBytes(forest);
+      if (threads == 1) {
+        reference = bytes;
+      } else if (bytes != reference) {
+        FailDeterminism("forest_fit", threads);
+      }
+      phase.timings.push_back({threads, seconds});
+      std::printf("forest_fit      %2d threads: %8.4fs\n", threads, seconds);
+    }
+    phases.push_back(std::move(phase));
+  }
+
+  // Phase 2: bulk prediction, row-chunked voting.
+  {
+    PhaseResult phase{"forest_predict", {}};
+    std::vector<std::vector<double>> reference;
+    for (const int threads : kThreadCounts) {
+      ml::RandomForestOptions options;
+      options.num_trees = num_trees;
+      options.seed = 42;
+      options.num_threads = threads;
+      ml::RandomForest forest(options);
+      (void)forest.Fit(data);
+      std::vector<std::vector<double>> proba;
+      const double seconds = TimeBest(
+          reps, [&] { proba = forest.PredictProbaAll(data.features); });
+      if (threads == 1) {
+        reference = proba;
+      } else if (proba != reference) {
+        FailDeterminism("forest_predict", threads);
+      }
+      phase.timings.push_back({threads, seconds});
+      std::printf("forest_predict  %2d threads: %8.4fs\n", threads, seconds);
+    }
+    phases.push_back(std::move(phase));
+  }
+
+  // Phase 3: line featurisation, chunked over table lines.
+  {
+    PhaseResult phase{"line_featurize", {}};
+    std::vector<ml::Matrix> reference;
+    for (const int threads : kThreadCounts) {
+      std::vector<ml::Matrix> matrices;
+      const double seconds = TimeBest(reps, [&] {
+        matrices.clear();
+        for (const AnnotatedFile& file : corpus) {
+          LineFeatureOptions options;
+          DerivedDetectionResult detection =
+              DetectDerivedCells(file.table, options.derived_options);
+          auto features = ExtractLineFeatures(file.table, detection, options,
+                                              nullptr, threads);
+          matrices.push_back(std::move(*features));
+        }
+      });
+      if (threads == 1) {
+        reference = std::move(matrices);
+      } else {
+        for (size_t i = 0; i < matrices.size(); ++i) {
+          if (matrices[i].data() != reference[i].data()) {
+            FailDeterminism("line_featurize", threads);
+          }
+        }
+      }
+      phase.timings.push_back({threads, seconds});
+      std::printf("line_featurize  %2d threads: %8.4fs\n", threads, seconds);
+    }
+    phases.push_back(std::move(phase));
+  }
+
+  // Phase 4: batch-style loop — N files in flight, serial inner predict,
+  // mirroring `strudel batch --threads N`.
+  {
+    PhaseResult phase{"batch_predict", {}};
+    StrudelCellOptions options;
+    options.forest.num_trees = quick ? 10 : 20;
+    options.line.forest.num_trees = quick ? 10 : 20;
+    options.line_cross_fit_folds = 0;
+    StrudelCell model(options);
+    model.set_num_threads(1);
+    if (Status status = model.Fit(corpus); !status.ok()) {
+      std::fprintf(stderr, "FAIL: batch model fit: %s\n",
+                   std::string(status.message()).c_str());
+      return 1;
+    }
+    std::vector<std::vector<std::vector<int>>> reference;
+    for (const int threads : kThreadCounts) {
+      std::vector<std::vector<std::vector<int>>> classes(corpus.size());
+      const double seconds = TimeBest(reps, [&] {
+        (void)ParallelFor(threads, 0, corpus.size(), /*grain=*/1,
+                          [&](size_t begin, size_t end) -> Status {
+                            for (size_t i = begin; i < end; ++i) {
+                              auto prediction =
+                                  model.TryPredict(corpus[i].table);
+                              if (!prediction.ok()) {
+                                return prediction.status();
+                              }
+                              classes[i] = std::move(prediction->classes);
+                            }
+                            return Status::OK();
+                          });
+      });
+      if (threads == 1) {
+        reference = std::move(classes);
+      } else if (classes != reference) {
+        FailDeterminism("batch_predict", threads);
+      }
+      phase.timings.push_back({threads, seconds});
+      std::printf("batch_predict   %2d threads: %8.4fs\n", threads, seconds);
+    }
+    phases.push_back(std::move(phase));
+  }
+
+  // The gate phase: forest fit is the dominant cost in practice and the
+  // cleanest one-tree-per-task scaling signal.
+  const double fit_speedup_4t = SpeedupAt(phases[0], 4);
+  const bool gate_enforced = min_speedup > 0.0 && hardware >= 4;
+
+  std::ofstream json(out_path);
+  json.precision(6);
+  json << "{\n"
+       << "  \"bench\": \"parallel_scaling\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"hardware_concurrency\": " << hardware << ",\n"
+       << "  \"min_speedup_required\": " << min_speedup << ",\n"
+       << "  \"gate_enforced\": " << (gate_enforced ? "true" : "false")
+       << ",\n"
+       << "  \"phases\": [\n";
+  for (size_t p = 0; p < phases.size(); ++p) {
+    json << "    {\"name\": \"" << phases[p].name << "\", \"timings\": [";
+    for (size_t t = 0; t < phases[p].timings.size(); ++t) {
+      json << "{\"threads\": " << phases[p].timings[t].threads
+           << ", \"seconds\": " << phases[p].timings[t].seconds << "}"
+           << (t + 1 < phases[p].timings.size() ? ", " : "");
+    }
+    json << "], \"speedup_2t\": " << SpeedupAt(phases[p], 2)
+         << ", \"speedup_4t\": " << SpeedupAt(phases[p], 4)
+         << ", \"speedup_8t\": " << SpeedupAt(phases[p], 8) << "}"
+         << (p + 1 < phases.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  json.flush();
+  if (!json) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (min_speedup > 0.0) {
+    if (!gate_enforced) {
+      std::printf("speedup gate skipped: only %u hardware thread(s)\n",
+                  hardware);
+    } else if (fit_speedup_4t < min_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: forest_fit 4-thread speedup %.2fx below the "
+                   "required %.2fx\n",
+                   fit_speedup_4t, min_speedup);
+      return 1;
+    } else {
+      std::printf("speedup gate passed: forest_fit 4 threads %.2fx >= %.2fx\n",
+                  fit_speedup_4t, min_speedup);
+    }
+  }
+  return 0;
+}

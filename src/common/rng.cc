@@ -20,6 +20,16 @@ inline uint64_t Rotl(uint64_t x, int k) {
 
 }  // namespace
 
+uint64_t SplitMix64Stream(uint64_t root_seed, uint64_t index) {
+  // State after `index` calls is root + (index+1) * gamma; mix it exactly
+  // like one SplitMix64 step so the result matches sequential generation.
+  uint64_t state = root_seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(sm);

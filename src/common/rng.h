@@ -15,6 +15,16 @@
 
 namespace strudel {
 
+/// The `index`-th output of a SplitMix64 generator seeded with
+/// `root_seed`, computed in O(1). SplitMix64 advances its state by a
+/// fixed odd increment, so the whole stream is randomly accessible:
+/// workers can derive the seed for task t without replaying a master
+/// generator t times, and the derived seeds are identical no matter how
+/// tasks are scheduled across threads. Adjacent indices produce
+/// statistically independent values (unlike `root_seed + index`, whose
+/// low bits stay correlated).
+uint64_t SplitMix64Stream(uint64_t root_seed, uint64_t index);
+
 class Rng {
  public:
   /// Seeds the generator deterministically from `seed` via splitmix64.

@@ -1,0 +1,104 @@
+// ThreadPool: the library's one parallel-execution primitive. A fixed set
+// of worker threads and a chunk-based ParallelFor — no work stealing, no
+// futures, no exceptions. Design contract:
+//
+//  * Deterministic. Chunk boundaries depend only on (begin, end, grain),
+//    never on the thread count or scheduling; the chunk function writes to
+//    disjoint, caller-owned output slots, so results are bit-identical to
+//    serial execution at any thread count.
+//  * Status-based. Workers return Status instead of throwing. The first
+//    failure wins, is sticky, and cancels the remaining chunks; ParallelFor
+//    returns it verbatim (budget Statuses reach the caller untranslated).
+//  * Budget-aware. An optional ExecutionBudget is polled between chunks on
+//    every worker, so one thread tripping a deadline/work cap/cancel stops
+//    the whole loop at the next chunk boundary.
+//  * Nesting-safe. A ParallelFor issued from inside a worker (or while the
+//    pool is busy with another loop) degrades to the serial path instead of
+//    deadlocking — the outermost loop owns the pool.
+//
+// `num_threads` convention, used everywhere a thread count is exposed:
+// 0 = hardware concurrency, 1 = exact serial path on the calling thread,
+// n > 1 = at most n workers (the calling thread is one of them).
+
+#ifndef STRUDEL_COMMON_THREAD_POOL_H_
+#define STRUDEL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/execution_budget.h"
+#include "common/status.h"
+
+namespace strudel {
+
+/// fn(chunk_begin, chunk_end): processes one half-open subrange. Must only
+/// write to state owned by indices in the subrange (that is what makes the
+/// loop deterministic) and must not throw.
+using ChunkFunction = std::function<Status(size_t begin, size_t end)>;
+
+class ThreadPool {
+ public:
+  /// Spawns ResolveThreadCount(num_threads) - 1 background workers; the
+  /// calling thread participates in every ParallelFor, so a pool of size 1
+  /// owns no threads at all.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers including the calling thread; always >= 1.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Process-wide pool sized to the hardware, created on first use. All
+  /// library-internal parallel loops share it so thread counts compose
+  /// (a parallel batch running parallel fits does not oversubscribe).
+  static ThreadPool& Shared();
+
+  /// Maps the user-facing option to a concrete count: 0 → hardware
+  /// concurrency (at least 1), otherwise max(1, requested).
+  static int ResolveThreadCount(int requested);
+
+  /// Runs `fn` over [begin, end) in chunks of `grain` indices (the last
+  /// chunk may be short). Blocks until every chunk completed or the loop
+  /// was cancelled by a failure / budget trip; returns OK or the first
+  /// error observed. `max_threads` caps the workers used for this loop
+  /// (<= 0 = whole pool); with an effective count of 1, or when the pool
+  /// is already running a loop, the chunks run serially on the calling
+  /// thread in ascending order — the exact serial path.
+  Status ParallelFor(size_t begin, size_t end, size_t grain,
+                     const ChunkFunction& fn,
+                     ExecutionBudget* budget = nullptr, int max_threads = 0);
+
+ private:
+  struct Job;
+
+  void WorkerLoop();
+  static Status RunChunks(Job& job);
+  static Status SerialFor(size_t begin, size_t end, size_t grain,
+                          const ChunkFunction& fn, ExecutionBudget* budget);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;  // guards job_, generation_, shutdown_ and Job counters
+  std::condition_variable wake_cv_;  // workers wait for a new job
+  std::condition_variable done_cv_;  // the caller waits for workers to drain
+  Job* job_ = nullptr;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Convenience front end used by the library's hot paths: runs on the
+/// shared pool with at most `num_threads` workers (resolved per the 0/1/n
+/// convention above). Serial when the effective count is 1 or the range
+/// fits in one chunk.
+Status ParallelFor(int num_threads, size_t begin, size_t end, size_t grain,
+                   const ChunkFunction& fn, ExecutionBudget* budget = nullptr);
+
+}  // namespace strudel
+
+#endif  // STRUDEL_COMMON_THREAD_POOL_H_

@@ -40,8 +40,14 @@ class Classifier {
   /// cross-validation harness to train one model per fold.
   virtual std::unique_ptr<Classifier> CloneUntrained() const = 0;
 
-  /// Bulk prediction convenience.
-  std::vector<int> PredictAll(const Matrix& features) const {
+  /// Bulk prediction. The base implementation is a serial loop; learners
+  /// with a num_threads option (the random forest) override it with a
+  /// row-chunked parallel loop that produces identical output. Inference
+  /// entry points (`Predict*`) must be safe to call concurrently on a
+  /// const model — no implementation may cache mutable state — which is
+  /// what makes those overrides and the Strudel-level parallel predict
+  /// paths sound.
+  virtual std::vector<int> PredictAll(const Matrix& features) const {
     std::vector<int> out;
     out.reserve(features.rows());
     for (size_t i = 0; i < features.rows(); ++i) {
@@ -49,7 +55,7 @@ class Classifier {
     }
     return out;
   }
-  std::vector<std::vector<double>> PredictProbaAll(
+  virtual std::vector<std::vector<double>> PredictProbaAll(
       const Matrix& features) const {
     std::vector<std::vector<double>> out;
     out.reserve(features.rows());

@@ -1,14 +1,36 @@
 #include "ml/random_forest.h"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
 #include <string>
-#include <thread>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace strudel::ml {
+
+namespace {
+
+// Bootstrap sample (with replacement) for tree `t`, drawn from the tree's
+// own SplitMix64-derived stream. Independent of every other tree's draws,
+// so trees can be built in any order on any number of threads and the
+// forest is still bit-identical to a serial build.
+std::vector<size_t> BootstrapIndices(uint64_t root_seed, int tree_index,
+                                     size_t n, bool bootstrap) {
+  std::vector<size_t> indices;
+  indices.reserve(n);
+  if (bootstrap) {
+    Rng rng(SplitMix64Stream(root_seed,
+                             2 * static_cast<uint64_t>(tree_index) + 1));
+    for (size_t i = 0; i < n; ++i) {
+      indices.push_back(static_cast<size_t>(rng.UniformInt(n)));
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) indices.push_back(i);
+  }
+  return indices;
+}
+
+}  // namespace
 
 RandomForest::RandomForest(RandomForestOptions options)
     : options_(std::move(options)) {}
@@ -34,85 +56,49 @@ Status RandomForest::Fit(const Dataset& data) {
   tree_options.budget = options_.budget;
 
   const int num_trees = std::max(1, options_.num_trees);
+  const size_t n = data.size();
   trees_.clear();
   trees_.reserve(static_cast<size_t>(num_trees));
-
-  // Pre-draw per-tree seeds and bootstrap samples from the master RNG so
-  // results do not depend on thread scheduling.
-  Rng master(options_.seed);
-  std::vector<uint64_t> tree_seeds;
-  std::vector<std::vector<size_t>> samples;
-  tree_seeds.reserve(static_cast<size_t>(num_trees));
-  samples.reserve(static_cast<size_t>(num_trees));
-  const size_t n = data.size();
+  // Every tree draws its seed and its bootstrap sample from its own slot
+  // of a SplitMix64 stream over the root seed (2t for the tree, 2t+1 for
+  // the bootstrap), so per-tree work is fully independent: no serial
+  // master-RNG pass, and the result cannot depend on thread scheduling.
   for (int t = 0; t < num_trees; ++t) {
-    tree_seeds.push_back(master.Next());
-    std::vector<size_t> indices;
-    indices.reserve(n);
-    if (options_.bootstrap) {
-      Rng boot(master.Next());
-      for (size_t i = 0; i < n; ++i) {
-        indices.push_back(static_cast<size_t>(boot.UniformInt(n)));
-      }
-    } else {
-      for (size_t i = 0; i < n; ++i) indices.push_back(i);
-    }
-    samples.push_back(std::move(indices));
-    tree_options.seed = tree_seeds.back();
+    tree_options.seed =
+        SplitMix64Stream(options_.seed, 2 * static_cast<uint64_t>(t));
     trees_.emplace_back(tree_options);
   }
 
-  int threads = options_.num_threads;
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
-  }
-  threads = std::min(threads, num_trees);
-
-  std::atomic<int> next_tree{0};
-  std::atomic<bool> failed{false};
-  std::mutex failure_mu;
-  Status first_failure;  // first tree failure, verbatim (budget Statuses
-                         // must reach the caller, not an opaque kInternal)
-  auto worker = [&]() {
-    for (;;) {
-      int t = next_tree.fetch_add(1);
-      if (t >= num_trees || failed.load()) return;
-      Status st =
-          trees_[static_cast<size_t>(t)].FitIndices(data,
-                                                    samples[static_cast<size_t>(t)]);
-      if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(failure_mu);
-        if (first_failure.ok()) first_failure = std::move(st);
-        failed.store(true);
-      }
-    }
-  };
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(threads));
-    for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
-  }
-  if (failed.load()) {
+  Status status = ParallelFor(
+      options_.num_threads, 0, static_cast<size_t>(num_trees), 1,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t t = begin; t < end; ++t) {
+          std::vector<size_t> indices = BootstrapIndices(
+              options_.seed, static_cast<int>(t), n, options_.bootstrap);
+          STRUDEL_RETURN_IF_ERROR(trees_[t].FitIndices(data, indices));
+        }
+        return Status::OK();
+      },
+      options_.budget.get());
+  if (!status.ok()) {
     trees_.clear();  // no partially-trained forest
-    if (!first_failure.ok()) return first_failure;
-    return Status::Internal("random forest: tree training failed");
+    return status;
   }
 
   // Out-of-bag estimate: every sample is scored only by the trees whose
   // bootstrap missed it; the aggregated vote approximates held-out
-  // accuracy (Breiman 2001).
+  // accuracy (Breiman 2001). The bootstrap indices are regenerated from
+  // the per-tree streams rather than kept alive through training.
   oob_score_ = -1.0;
   if (options_.compute_oob_score && options_.bootstrap) {
     std::vector<std::vector<double>> votes(
         n, std::vector<double>(static_cast<size_t>(num_classes_), 0.0));
     std::vector<char> in_bag(n);
     for (int t = 0; t < num_trees; ++t) {
+      const std::vector<size_t> samples =
+          BootstrapIndices(options_.seed, t, n, /*bootstrap=*/true);
       std::fill(in_bag.begin(), in_bag.end(), 0);
-      for (size_t idx : samples[static_cast<size_t>(t)]) in_bag[idx] = 1;
+      for (size_t idx : samples) in_bag[idx] = 1;
       for (size_t i = 0; i < n; ++i) {
         if (in_bag[i]) continue;
         std::vector<double> proba =
@@ -147,6 +133,37 @@ std::vector<double> RandomForest::PredictProba(
   const double scale = 1.0 / static_cast<double>(trees_.size());
   for (double& p : proba) p *= scale;
   return proba;
+}
+
+std::vector<std::vector<double>> RandomForest::PredictProbaAll(
+    const Matrix& features) const {
+  std::vector<std::vector<double>> out(
+      features.rows(), std::vector<double>(static_cast<size_t>(num_classes_),
+                                           0.0));
+  if (trees_.empty()) return out;
+  // Row-chunked voting: each chunk owns a disjoint slice of the output,
+  // so the result is identical to the serial loop at any thread count.
+  (void)ParallelFor(options_.num_threads, 0, features.rows(),
+                    kPredictChunkRows, [&](size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        out[i] = PredictProba(features.row(i));
+                      }
+                      return Status::OK();
+                    });
+  return out;
+}
+
+std::vector<int> RandomForest::PredictAll(const Matrix& features) const {
+  std::vector<int> out(features.rows(), 0);
+  if (trees_.empty()) return out;
+  (void)ParallelFor(options_.num_threads, 0, features.rows(),
+                    kPredictChunkRows, [&](size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        out[i] = Predict(features.row(i));
+                      }
+                      return Status::OK();
+                    });
+  return out;
 }
 
 std::unique_ptr<Classifier> RandomForest::CloneUntrained() const {

@@ -3,7 +3,13 @@
 // Defaults match scikit-learn's RandomForestClassifier defaults (the
 // setting the paper uses): 100 trees, bootstrap sampling, sqrt(d) features
 // per split, unlimited depth. PredictProba averages the per-tree leaf
-// class distributions. Training parallelises across trees.
+// class distributions.
+//
+// Training runs one tree per ThreadPool task and bulk prediction votes in
+// row chunks. Each tree draws its build seed and its bootstrap sample
+// from its own slot of a SplitMix64 stream over `options.seed`, so the
+// fitted forest — and therefore every prediction — is bit-identical for
+// any `num_threads`, including the exact serial path at 1.
 
 #ifndef STRUDEL_ML_RANDOM_FOREST_H_
 #define STRUDEL_ML_RANDOM_FOREST_H_
@@ -25,7 +31,9 @@ struct RandomForestOptions {
   int max_features = -1;
   bool bootstrap = true;
   uint64_t seed = 42;
-  /// 0 = use hardware_concurrency().
+  /// Workers for Fit and the bulk Predict*All paths; 0 = hardware
+  /// concurrency, 1 = exact serial path. Results are identical at any
+  /// value.
   int num_threads = 0;
   /// Estimate generalisation accuracy from out-of-bag samples during
   /// Fit (requires bootstrap). Costs one prediction pass per tree.
@@ -42,6 +50,11 @@ class RandomForest final : public Classifier {
   Status Fit(const Dataset& data) override;
   std::vector<double> PredictProba(
       std::span<const double> features) const override;
+  /// Row-chunked parallel voting (options.num_threads workers); output is
+  /// identical to the serial base-class loop.
+  std::vector<int> PredictAll(const Matrix& features) const override;
+  std::vector<std::vector<double>> PredictProbaAll(
+      const Matrix& features) const override;
   int num_classes() const override { return num_classes_; }
   std::unique_ptr<Classifier> CloneUntrained() const override;
 
@@ -65,6 +78,10 @@ class RandomForest final : public Classifier {
   Status Load(std::istream& in);
 
  private:
+  /// Rows per prediction chunk: large enough to amortise dispatch, small
+  /// enough to balance load across workers on mid-sized tables.
+  static constexpr size_t kPredictChunkRows = 64;
+
   RandomForestOptions options_;
   std::vector<DecisionTree> trees_;
   int num_classes_ = 0;

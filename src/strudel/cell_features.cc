@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "strudel/classes.h"
 #include "strudel/keywords.h"
 
@@ -101,13 +102,17 @@ ml::Matrix ExtractCellFeatures(
 
 namespace {
 
+/// Cells per chunk of the parallel featurise loop; cell features are
+/// cheaper than line features, so chunks are larger.
+constexpr size_t kCellChunk = 64;
+
 Status ExtractCellFeaturesImpl(
     const csv::Table& table,
     const std::vector<std::vector<double>>& line_probabilities,
     const std::vector<std::vector<double>>& column_probabilities,
     const DerivedDetectionResult& detection, const BlockSizeResult& blocks,
     const CellFeatureOptions& options, ExecutionBudget* budget,
-    ml::Matrix& features) {
+    int num_threads, ml::Matrix& features) {
   const int rows = table.num_rows();
   const int cols = table.num_cols();
   const size_t num_features = CellFeatureNames(options).size();
@@ -134,90 +139,96 @@ Status ExtractCellFeaturesImpl(
         ColumnHasAggregationKeyword(table, c) ? 1 : 0;
   }
 
-  for (size_t i = 0; i < coords.size(); ++i) {
-    if (budget != nullptr) {
-      STRUDEL_RETURN_IF_ERROR(budget->Charge("cell_featurize", 1));
-    }
-    const auto [r, c] = coords[i];
-    auto row = features.row(i);
-    size_t f = 0;
-
-    // Content features.
-    row[f++] = CellLength(table, r, c) / max_length;
-    row[f++] = static_cast<double>(table.cell_type(r, c));
-    row[f++] = HasAggregationKeyword(table.cell(r, c)) ? 1.0 : 0.0;
-    row[f++] = row_keyword[static_cast<size_t>(r)];
-    row[f++] = col_keyword[static_cast<size_t>(c)];
-    row[f++] = rows > 1 ? static_cast<double>(r) /
-                              static_cast<double>(rows - 1)
-                        : 0.0;
-    row[f++] = cols > 1 ? static_cast<double>(c) /
-                              static_cast<double>(cols - 1)
-                        : 0.0;
-
-    // LineClassProbability.
-    const bool have_proba =
-        static_cast<size_t>(r) < line_probabilities.size() &&
-        line_probabilities[static_cast<size_t>(r)].size() ==
-            static_cast<size_t>(kNumElementClasses);
-    for (int k = 0; k < kNumElementClasses; ++k) {
-      row[f++] = have_proba
-                     ? line_probabilities[static_cast<size_t>(r)]
-                                         [static_cast<size_t>(k)]
-                     : 0.0;
-    }
-
-    // Contextual features.
-    row[f++] = (r == 0 || table.row_empty(r - 1)) ? 1.0 : 0.0;
-    row[f++] = (r == rows - 1 || table.row_empty(r + 1)) ? 1.0 : 0.0;
-    row[f++] = (c == 0 || table.col_empty(c - 1)) ? 1.0 : 0.0;
-    row[f++] = (c == cols - 1 || table.col_empty(c + 1)) ? 1.0 : 0.0;
-    row[f++] = 1.0 - static_cast<double>(table.row_non_empty_count(r)) /
-                         static_cast<double>(cols);
-    row[f++] = 1.0 - static_cast<double>(table.col_non_empty_count(c)) /
-                         static_cast<double>(rows);
-    row[f++] = blocks.normalized_size[static_cast<size_t>(r)]
-                                     [static_cast<size_t>(c)];
-
-    // Neighbour profile: value lengths then data types, -1 defaults for
-    // cells beyond the table margin (paper §5.3).
-    for (int n = 0; n < 8; ++n) {
-      const int nr = r + kNeighborDr[n];
-      const int nc = c + kNeighborDc[n];
-      if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) {
-        row[f++] = -1.0;
-      } else {
-        row[f++] = CellLength(table, nr, nc) / max_length;
+  // Each chunk owns a disjoint slice of feature rows, so the extracted
+  // matrix is bit-identical at any thread count.
+  auto featurize_chunk = [&](size_t chunk_begin, size_t chunk_end) -> Status {
+    for (size_t i = chunk_begin; i < chunk_end; ++i) {
+      if (budget != nullptr) {
+        STRUDEL_RETURN_IF_ERROR(budget->Charge("cell_featurize", 1));
       }
-    }
-    for (int n = 0; n < 8; ++n) {
-      const int nr = r + kNeighborDr[n];
-      const int nc = c + kNeighborDc[n];
-      if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) {
-        row[f++] = -1.0;
-      } else {
-        row[f++] = static_cast<double>(table.cell_type(nr, nc));
-      }
-    }
+      const auto [r, c] = coords[i];
+      auto row = features.row(i);
+      size_t f = 0;
 
-    // Computational feature.
-    row[f++] = detection.at(r, c) ? 1.0 : 0.0;
+      // Content features.
+      row[f++] = CellLength(table, r, c) / max_length;
+      row[f++] = static_cast<double>(table.cell_type(r, c));
+      row[f++] = HasAggregationKeyword(table.cell(r, c)) ? 1.0 : 0.0;
+      row[f++] = row_keyword[static_cast<size_t>(r)];
+      row[f++] = col_keyword[static_cast<size_t>(c)];
+      row[f++] = rows > 1 ? static_cast<double>(r) /
+                                static_cast<double>(rows - 1)
+                          : 0.0;
+      row[f++] = cols > 1 ? static_cast<double>(c) /
+                                static_cast<double>(cols - 1)
+                          : 0.0;
 
-    // Optional extension block: column class probabilities.
-    if (options.include_column_probabilities) {
-      const bool have_column_proba =
-          static_cast<size_t>(c) < column_probabilities.size() &&
-          column_probabilities[static_cast<size_t>(c)].size() ==
+      // LineClassProbability.
+      const bool have_proba =
+          static_cast<size_t>(r) < line_probabilities.size() &&
+          line_probabilities[static_cast<size_t>(r)].size() ==
               static_cast<size_t>(kNumElementClasses);
       for (int k = 0; k < kNumElementClasses; ++k) {
-        row[f++] = have_column_proba
-                       ? column_probabilities[static_cast<size_t>(c)]
-                                             [static_cast<size_t>(k)]
+        row[f++] = have_proba
+                       ? line_probabilities[static_cast<size_t>(r)]
+                                           [static_cast<size_t>(k)]
                        : 0.0;
       }
+
+      // Contextual features.
+      row[f++] = (r == 0 || table.row_empty(r - 1)) ? 1.0 : 0.0;
+      row[f++] = (r == rows - 1 || table.row_empty(r + 1)) ? 1.0 : 0.0;
+      row[f++] = (c == 0 || table.col_empty(c - 1)) ? 1.0 : 0.0;
+      row[f++] = (c == cols - 1 || table.col_empty(c + 1)) ? 1.0 : 0.0;
+      row[f++] = 1.0 - static_cast<double>(table.row_non_empty_count(r)) /
+                           static_cast<double>(cols);
+      row[f++] = 1.0 - static_cast<double>(table.col_non_empty_count(c)) /
+                           static_cast<double>(rows);
+      row[f++] = blocks.normalized_size[static_cast<size_t>(r)]
+                                       [static_cast<size_t>(c)];
+
+      // Neighbour profile: value lengths then data types, -1 defaults for
+      // cells beyond the table margin (paper §5.3).
+      for (int n = 0; n < 8; ++n) {
+        const int nr = r + kNeighborDr[n];
+        const int nc = c + kNeighborDc[n];
+        if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) {
+          row[f++] = -1.0;
+        } else {
+          row[f++] = CellLength(table, nr, nc) / max_length;
+        }
+      }
+      for (int n = 0; n < 8; ++n) {
+        const int nr = r + kNeighborDr[n];
+        const int nc = c + kNeighborDc[n];
+        if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) {
+          row[f++] = -1.0;
+        } else {
+          row[f++] = static_cast<double>(table.cell_type(nr, nc));
+        }
+      }
+
+      // Computational feature.
+      row[f++] = detection.at(r, c) ? 1.0 : 0.0;
+
+      // Optional extension block: column class probabilities.
+      if (options.include_column_probabilities) {
+        const bool have_column_proba =
+            static_cast<size_t>(c) < column_probabilities.size() &&
+            column_probabilities[static_cast<size_t>(c)].size() ==
+                static_cast<size_t>(kNumElementClasses);
+        for (int k = 0; k < kNumElementClasses; ++k) {
+          row[f++] = have_column_proba
+                         ? column_probabilities[static_cast<size_t>(c)]
+                                               [static_cast<size_t>(k)]
+                         : 0.0;
+        }
+      }
     }
-  }
-  return Status::OK();
+    return Status::OK();
+  };
+  return ParallelFor(num_threads, 0, coords.size(), kCellChunk,
+                     featurize_chunk, budget);
 }
 
 }  // namespace
@@ -232,7 +243,8 @@ ml::Matrix ExtractCellFeatures(
   // Cannot fail without a budget.
   (void)ExtractCellFeaturesImpl(table, line_probabilities,
                                 column_probabilities, detection, blocks,
-                                options, nullptr, features);
+                                options, nullptr, /*num_threads=*/1,
+                                features);
   return features;
 }
 
@@ -241,11 +253,12 @@ Result<ml::Matrix> ExtractCellFeatures(
     const std::vector<std::vector<double>>& line_probabilities,
     const std::vector<std::vector<double>>& column_probabilities,
     const DerivedDetectionResult& detection, const BlockSizeResult& blocks,
-    const CellFeatureOptions& options, ExecutionBudget* budget) {
+    const CellFeatureOptions& options, ExecutionBudget* budget,
+    int num_threads) {
   ml::Matrix features;
   STRUDEL_RETURN_IF_ERROR(ExtractCellFeaturesImpl(
       table, line_probabilities, column_probabilities, detection, blocks,
-      options, budget, features));
+      options, budget, num_threads, features));
   return features;
 }
 

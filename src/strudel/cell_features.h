@@ -67,13 +67,17 @@ ml::Matrix ExtractCellFeatures(
 
 /// Budgeted variant: charges one work unit per non-empty cell against
 /// stage "cell_featurize" and aborts with the budget's sticky Status once
-/// any limit trips. A null budget never fails.
+/// any limit trips. A null budget never fails. Cells are featurised in
+/// chunks on `num_threads` workers (0 = hardware concurrency, 1 = exact
+/// serial path); every cell writes only its own feature row, so the
+/// matrix is bit-identical at any thread count.
 Result<ml::Matrix> ExtractCellFeatures(
     const csv::Table& table,
     const std::vector<std::vector<double>>& line_probabilities,
     const std::vector<std::vector<double>>& column_probabilities,
     const DerivedDetectionResult& detection, const BlockSizeResult& blocks,
-    const CellFeatureOptions& options, ExecutionBudget* budget);
+    const CellFeatureOptions& options, ExecutionBudget* budget,
+    int num_threads = 1);
 
 }  // namespace strudel
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 #include "common/string_util.h"
 #include "strudel/keywords.h"
 
@@ -114,10 +115,15 @@ ml::Matrix ExtractLineFeatures(const csv::Table& table,
 
 namespace {
 
+/// Lines per chunk of the parallel featurise loop: the per-line work is
+/// tens of microseconds, so a chunk this size amortises dispatch while
+/// still load-balancing files of a few hundred lines.
+constexpr size_t kLineChunk = 16;
+
 Status ExtractLineFeaturesImpl(const csv::Table& table,
                                const DerivedDetectionResult& detection,
                                const LineFeatureOptions& options,
-                               ExecutionBudget* budget,
+                               ExecutionBudget* budget, int num_threads,
                                ml::Matrix& features) {
   const int rows = table.num_rows();
   const int cols = table.num_cols();
@@ -148,69 +154,76 @@ Status ExtractLineFeaturesImpl(const csv::Table& table,
     global_blocks = static_cast<double>(CountEmptyLineBlocks(table));
   }
 
-  std::vector<int> relevance(static_cast<size_t>(cols));
-  for (int r = 0; r < rows; ++r) {
-    if (budget != nullptr) {
-      STRUDEL_RETURN_IF_ERROR(budget->Charge("line_featurize", 1));
+  // Each chunk owns a disjoint slice of feature rows (and its own scratch
+  // vector), so the extracted matrix is bit-identical at any thread count.
+  auto featurize_chunk = [&](size_t chunk_begin, size_t chunk_end) -> Status {
+    std::vector<int> relevance(static_cast<size_t>(cols));
+    for (size_t ri = chunk_begin; ri < chunk_end; ++ri) {
+      const int r = static_cast<int>(ri);
+      if (budget != nullptr) {
+        STRUDEL_RETURN_IF_ERROR(budget->Charge("line_featurize", 1));
+      }
+      auto row = features.row(ri);
+      size_t f = 0;
+
+      // EmptyCellRatio.
+      const int non_empty = table.row_non_empty_count(r);
+      row[f++] = 1.0 - static_cast<double>(non_empty) /
+                           static_cast<double>(cols);
+
+      // DiscountedCumulativeGain over the non-empty indicator vector.
+      for (int c = 0; c < cols; ++c) {
+        relevance[static_cast<size_t>(c)] = table.cell_empty(r, c) ? 0 : 1;
+      }
+      row[f++] = NormalizedDcg(relevance);
+
+      // AggregationWord.
+      row[f++] = RowHasAggregationKeyword(table, r) ? 1.0 : 0.0;
+
+      // WordAmount (per-file normalised).
+      row[f++] = word_counts[ri];
+
+      // NumericalCellRatio / StringCellRatio.
+      int numeric = 0, strings = 0;
+      for (int c = 0; c < cols; ++c) {
+        const DataType type = table.cell_type(r, c);
+        if (IsNumericType(type)) ++numeric;
+        if (type == DataType::kString) ++strings;
+      }
+      row[f++] = static_cast<double>(numeric) / static_cast<double>(cols);
+      row[f++] = static_cast<double>(strings) / static_cast<double>(cols);
+
+      // LinePosition.
+      row[f++] = rows > 1 ? static_cast<double>(r) /
+                                static_cast<double>(rows - 1)
+                          : 0.0;
+
+      // Contextual features against the closest non-empty neighbours.
+      const int above = table.PrevNonEmptyRow(r);
+      const int below = table.NextNonEmptyRow(r);
+      row[f++] = DataTypeMatching(table, r, above);
+      row[f++] = DataTypeMatching(table, r, below);
+      row[f++] = EmptyNeighboringLines(table, r, -1, options.neighbor_window);
+      row[f++] = EmptyNeighboringLines(table, r, +1, options.neighbor_window);
+      row[f++] = CellLengthDifference(table, r, above,
+                                      options.length_histogram_bins);
+      row[f++] = CellLengthDifference(table, r, below,
+                                      options.length_histogram_bins);
+
+      // DerivedCoverage.
+      row[f++] = DerivedCoverageOfRow(table, detection, r);
+
+      if (options.include_global_features) {
+        row[f++] = global_empty_ratio;
+        row[f++] = static_cast<double>(cols);
+        row[f++] = static_cast<double>(rows);
+        row[f++] = global_blocks;
+      }
     }
-    auto row = features.row(static_cast<size_t>(r));
-    size_t f = 0;
-
-    // EmptyCellRatio.
-    const int non_empty = table.row_non_empty_count(r);
-    row[f++] = 1.0 - static_cast<double>(non_empty) /
-                         static_cast<double>(cols);
-
-    // DiscountedCumulativeGain over the non-empty indicator vector.
-    for (int c = 0; c < cols; ++c) {
-      relevance[static_cast<size_t>(c)] = table.cell_empty(r, c) ? 0 : 1;
-    }
-    row[f++] = NormalizedDcg(relevance);
-
-    // AggregationWord.
-    row[f++] = RowHasAggregationKeyword(table, r) ? 1.0 : 0.0;
-
-    // WordAmount (per-file normalised).
-    row[f++] = word_counts[static_cast<size_t>(r)];
-
-    // NumericalCellRatio / StringCellRatio.
-    int numeric = 0, strings = 0;
-    for (int c = 0; c < cols; ++c) {
-      const DataType type = table.cell_type(r, c);
-      if (IsNumericType(type)) ++numeric;
-      if (type == DataType::kString) ++strings;
-    }
-    row[f++] = static_cast<double>(numeric) / static_cast<double>(cols);
-    row[f++] = static_cast<double>(strings) / static_cast<double>(cols);
-
-    // LinePosition.
-    row[f++] = rows > 1 ? static_cast<double>(r) /
-                              static_cast<double>(rows - 1)
-                        : 0.0;
-
-    // Contextual features against the closest non-empty neighbours.
-    const int above = table.PrevNonEmptyRow(r);
-    const int below = table.NextNonEmptyRow(r);
-    row[f++] = DataTypeMatching(table, r, above);
-    row[f++] = DataTypeMatching(table, r, below);
-    row[f++] = EmptyNeighboringLines(table, r, -1, options.neighbor_window);
-    row[f++] = EmptyNeighboringLines(table, r, +1, options.neighbor_window);
-    row[f++] = CellLengthDifference(table, r, above,
-                                    options.length_histogram_bins);
-    row[f++] = CellLengthDifference(table, r, below,
-                                    options.length_histogram_bins);
-
-    // DerivedCoverage.
-    row[f++] = DerivedCoverageOfRow(table, detection, r);
-
-    if (options.include_global_features) {
-      row[f++] = global_empty_ratio;
-      row[f++] = static_cast<double>(cols);
-      row[f++] = static_cast<double>(rows);
-      row[f++] = global_blocks;
-    }
-  }
-  return Status::OK();
+    return Status::OK();
+  };
+  return ParallelFor(num_threads, 0, static_cast<size_t>(rows), kLineChunk,
+                     featurize_chunk, budget);
 }
 
 }  // namespace
@@ -220,17 +233,20 @@ ml::Matrix ExtractLineFeatures(const csv::Table& table,
                                const LineFeatureOptions& options) {
   ml::Matrix features;
   // Cannot fail without a budget.
-  (void)ExtractLineFeaturesImpl(table, detection, options, nullptr, features);
+  (void)ExtractLineFeaturesImpl(table, detection, options, nullptr,
+                                /*num_threads=*/1, features);
   return features;
 }
 
 Result<ml::Matrix> ExtractLineFeatures(const csv::Table& table,
                                        const DerivedDetectionResult& detection,
                                        const LineFeatureOptions& options,
-                                       ExecutionBudget* budget) {
+                                       ExecutionBudget* budget,
+                                       int num_threads) {
   ml::Matrix features;
-  STRUDEL_RETURN_IF_ERROR(
-      ExtractLineFeaturesImpl(table, detection, options, budget, features));
+  STRUDEL_RETURN_IF_ERROR(ExtractLineFeaturesImpl(table, detection, options,
+                                                  budget, num_threads,
+                                                  features));
   return features;
 }
 

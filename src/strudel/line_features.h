@@ -52,11 +52,15 @@ ml::Matrix ExtractLineFeatures(const csv::Table& table,
 
 /// Budgeted variant: charges one work unit per line against stage
 /// "line_featurize" and aborts with the budget's sticky Status once any
-/// limit trips. A null budget never fails.
+/// limit trips. A null budget never fails. Lines are featurised in
+/// chunks on `num_threads` workers (0 = hardware concurrency, 1 = exact
+/// serial path); every line writes only its own feature row, so the
+/// matrix is bit-identical at any thread count.
 Result<ml::Matrix> ExtractLineFeatures(const csv::Table& table,
                                        const DerivedDetectionResult& detection,
                                        const LineFeatureOptions& options,
-                                       ExecutionBudget* budget);
+                                       ExecutionBudget* budget,
+                                       int num_threads = 1);
 
 }  // namespace strudel
 

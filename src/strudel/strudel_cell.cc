@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "strudel/options_io.h"
 #include "strudel/section_io.h"
 
@@ -55,7 +56,8 @@ Result<ml::Dataset> StrudelCell::BuildDataset(
     const std::vector<std::vector<std::vector<double>>>& line_probabilities,
     const std::vector<std::vector<std::vector<double>>>&
         column_probabilities,
-    const CellFeatureOptions& options, ExecutionBudget* budget) {
+    const CellFeatureOptions& options, ExecutionBudget* budget,
+    int num_threads) {
   ml::Dataset data;
   data.num_classes = kNumElementClasses;
   data.feature_names = CellFeatureNames(options);
@@ -75,7 +77,8 @@ Result<ml::Dataset> StrudelCell::BuildDataset(
     STRUDEL_ASSIGN_OR_RETURN(
         ml::Matrix features,
         ExtractCellFeatures(file.table, probabilities, col_probabilities,
-                            detection, blocks, options, budget));
+                            detection, blocks, options, budget,
+                            num_threads));
     const auto coords = NonEmptyCellCoordinates(file.table);
     for (size_t i = 0; i < coords.size(); ++i) {
       const auto [r, c] = coords[i];
@@ -158,7 +161,8 @@ Status StrudelCell::Fit(const std::vector<const AnnotatedFile*>& files) {
   STRUDEL_ASSIGN_OR_RETURN(
       ml::Dataset data,
       BuildDataset(files, probabilities, column_probabilities,
-                   options_.features, options_.budget.get()));
+                   options_.features, options_.budget.get(),
+                   options_.num_threads));
   if (data.size() == 0) {
     return Status::InvalidArgument(
         "strudel_cell: no labelled non-empty cells in training files");
@@ -325,17 +329,26 @@ Result<CellPrediction> StrudelCell::TryPredict(const csv::Table& table,
       ml::Matrix features,
       ExtractCellFeatures(table, prediction.line_prediction.probabilities,
                           ColumnProbabilities(table), detection, blocks,
-                          options_.features, budget));
+                          options_.features, budget, options_.num_threads));
   normalizer_.Transform(features);
   const auto coords = NonEmptyCellCoordinates(table);
-  for (size_t i = 0; i < coords.size(); ++i) {
-    if (budget != nullptr) {
-      STRUDEL_RETURN_IF_ERROR(budget->Charge("cell_predict", 1));
+  // Each cell writes only its own grid slot, so the prediction is
+  // bit-identical at any thread count.
+  constexpr size_t kPredictCellChunk = 64;
+  auto predict_chunk = [&](size_t chunk_begin, size_t chunk_end) -> Status {
+    for (size_t i = chunk_begin; i < chunk_end; ++i) {
+      if (budget != nullptr) {
+        STRUDEL_RETURN_IF_ERROR(budget->Charge("cell_predict", 1));
+      }
+      const auto [r, c] = coords[i];
+      prediction.classes[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+          model_->Predict(features.row(i));
     }
-    const auto [r, c] = coords[i];
-    prediction.classes[static_cast<size_t>(r)][static_cast<size_t>(c)] =
-        model_->Predict(features.row(i));
-  }
+    return Status::OK();
+  };
+  STRUDEL_RETURN_IF_ERROR(ParallelFor(options_.num_threads, 0, coords.size(),
+                                      kPredictCellChunk, predict_chunk,
+                                      budget));
   return prediction;
 }
 

@@ -44,6 +44,12 @@ struct StrudelCellOptions {
   /// forest training charge against it and abort with its sticky Status
   /// once exhausted.
   std::shared_ptr<ExecutionBudget> budget;
+  /// Workers for cell featurisation and the per-cell inference loop (0 =
+  /// hardware concurrency, 1 = exact serial path). Runtime-only — never
+  /// serialised with the model — and results are identical at any value.
+  /// The forest and the line stage carry their own thread counts;
+  /// set_num_threads() sets all of them.
+  int num_threads = 0;
 };
 
 /// Per-cell predictions for one file: a label grid (kEmptyLabel on empty
@@ -74,13 +80,15 @@ class StrudelCell {
       const std::vector<AnnotatedFile>& files,
       const std::vector<std::vector<std::vector<double>>>& line_probabilities,
       const CellFeatureOptions& options = {});
-  /// Budgeted variant; featurisation charges against `budget` (nullable).
+  /// Budgeted variant; featurisation charges against `budget` (nullable)
+  /// and runs on `num_threads` workers (results identical at any value).
   static Result<ml::Dataset> BuildDataset(
       const std::vector<const AnnotatedFile*>& files,
       const std::vector<std::vector<std::vector<double>>>& line_probabilities,
       const std::vector<std::vector<std::vector<double>>>&
           column_probabilities,
-      const CellFeatureOptions& options, ExecutionBudget* budget);
+      const CellFeatureOptions& options, ExecutionBudget* budget,
+      int num_threads = 1);
 
   /// Trains the full two-stage pipeline on annotated files.
   Status Fit(const std::vector<const AnnotatedFile*>& files);
@@ -105,6 +113,18 @@ class StrudelCell {
   const StrudelLine& line_model() const { return line_model_; }
   const ml::Classifier& model() const { return *model_; }
   const StrudelCellOptions& options() const { return options_; }
+
+  /// Sets the worker count for both stages' featurisation, inference and
+  /// forests (0 = hardware concurrency, 1 = serial). Intended for models
+  /// restored via LoadFrom, whose options predate the caller's runtime
+  /// choice.
+  void set_num_threads(int num_threads) {
+    options_.num_threads = num_threads;
+    options_.forest.num_threads = num_threads;
+    options_.line.num_threads = num_threads;
+    options_.line.forest.num_threads = num_threads;
+    line_model_.set_num_threads(num_threads);
+  }
 
   /// Serialises the trained two-stage model (random-forest backbones
   /// only) / restores it. See strudel/model_io.h for file-level helpers.

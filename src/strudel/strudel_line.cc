@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "strudel/options_io.h"
 #include "strudel/section_io.h"
 
@@ -14,7 +15,8 @@ StrudelLine::StrudelLine(StrudelLineOptions options)
 
 Result<ml::Dataset> StrudelLine::BuildDataset(
     const std::vector<const AnnotatedFile*>& files,
-    const LineFeatureOptions& options, ExecutionBudget* budget) {
+    const LineFeatureOptions& options, ExecutionBudget* budget,
+    int num_threads) {
   ml::Dataset data;
   data.num_classes = kNumElementClasses;
   data.feature_names = LineFeatureNames(options);
@@ -24,7 +26,8 @@ Result<ml::Dataset> StrudelLine::BuildDataset(
         DetectDerivedCells(file.table, options.derived_options);
     STRUDEL_ASSIGN_OR_RETURN(
         ml::Matrix features,
-        ExtractLineFeatures(file.table, detection, options, budget));
+        ExtractLineFeatures(file.table, detection, options, budget,
+                            num_threads));
     for (int r = 0; r < file.table.num_rows(); ++r) {
       const int label = file.annotation.line_labels[static_cast<size_t>(r)];
       if (label == kEmptyLabel) continue;  // empty lines carry no class
@@ -55,7 +58,8 @@ Status StrudelLine::Fit(const std::vector<AnnotatedFile>& files) {
 Status StrudelLine::Fit(const std::vector<const AnnotatedFile*>& files) {
   STRUDEL_ASSIGN_OR_RETURN(
       ml::Dataset data,
-      BuildDataset(files, options_.features, options_.budget.get()));
+      BuildDataset(files, options_.features, options_.budget.get(),
+                   options_.num_threads));
   if (data.size() == 0) {
     return Status::InvalidArgument(
         "strudel_line: no labelled non-empty lines in training files");
@@ -192,19 +196,29 @@ Result<LinePrediction> StrudelLine::TryPredict(const csv::Table& table,
       DetectDerivedCells(table, options_.features.derived_options);
   STRUDEL_ASSIGN_OR_RETURN(
       ml::Matrix features,
-      ExtractLineFeatures(table, detection, options_.features, budget));
+      ExtractLineFeatures(table, detection, options_.features, budget,
+                          options_.num_threads));
   normalizer_.Transform(features);
-  for (int r = 0; r < rows; ++r) {
-    if (table.row_empty(r)) continue;
-    if (budget != nullptr) {
-      STRUDEL_RETURN_IF_ERROR(budget->Charge("line_predict", 1));
+  // Each line writes only its own prediction slot, so the output is
+  // bit-identical at any thread count.
+  constexpr size_t kPredictLineChunk = 16;
+  auto predict_chunk = [&](size_t chunk_begin, size_t chunk_end) -> Status {
+    for (size_t ri = chunk_begin; ri < chunk_end; ++ri) {
+      const int r = static_cast<int>(ri);
+      if (table.row_empty(r)) continue;
+      if (budget != nullptr) {
+        STRUDEL_RETURN_IF_ERROR(budget->Charge("line_predict", 1));
+      }
+      std::vector<double> proba = model_->PredictProba(features.row(ri));
+      prediction.classes[ri] = static_cast<int>(ArgMax(proba));
+      prediction.probabilities[ri] = std::move(proba);
     }
-    std::vector<double> proba =
-        model_->PredictProba(features.row(static_cast<size_t>(r)));
-    prediction.classes[static_cast<size_t>(r)] =
-        static_cast<int>(ArgMax(proba));
-    prediction.probabilities[static_cast<size_t>(r)] = std::move(proba);
-  }
+    return Status::OK();
+  };
+  STRUDEL_RETURN_IF_ERROR(ParallelFor(options_.num_threads, 0,
+                                      static_cast<size_t>(rows),
+                                      kPredictLineChunk, predict_chunk,
+                                      budget));
   return prediction;
 }
 

@@ -34,6 +34,12 @@ struct StrudelLineOptions {
   /// Optional execution budget for Fit: featurisation and forest training
   /// charge against it and abort with its sticky Status once exhausted.
   std::shared_ptr<ExecutionBudget> budget;
+  /// Workers for featurisation and the per-line inference loop (0 =
+  /// hardware concurrency, 1 = exact serial path). Runtime-only — never
+  /// serialised with the model — and results are identical at any value.
+  /// The forest has its own `forest.num_threads`; set_num_threads() sets
+  /// both.
+  int num_threads = 0;
 };
 
 /// Per-line predictions for one file. Empty lines carry kEmptyLabel and an
@@ -54,10 +60,12 @@ class StrudelLine {
       const LineFeatureOptions& options = {});
   static ml::Dataset BuildDataset(const std::vector<AnnotatedFile>& files,
                                   const LineFeatureOptions& options = {});
-  /// Budgeted variant; featurisation charges against `budget` (nullable).
+  /// Budgeted variant; featurisation charges against `budget` (nullable)
+  /// and runs on `num_threads` workers (results identical at any value).
   static Result<ml::Dataset> BuildDataset(
       const std::vector<const AnnotatedFile*>& files,
-      const LineFeatureOptions& options, ExecutionBudget* budget);
+      const LineFeatureOptions& options, ExecutionBudget* budget,
+      int num_threads = 1);
 
   /// Trains on annotated files.
   Status Fit(const std::vector<const AnnotatedFile*>& files);
@@ -80,6 +88,14 @@ class StrudelLine {
   bool fitted() const { return model_ != nullptr; }
   const ml::Classifier& model() const { return *model_; }
   const StrudelLineOptions& options() const { return options_; }
+
+  /// Sets the worker count for featurisation, inference and the forest
+  /// (0 = hardware concurrency, 1 = serial). Intended for models restored
+  /// via LoadFrom, whose options predate the caller's runtime choice.
+  void set_num_threads(int num_threads) {
+    options_.num_threads = num_threads;
+    options_.forest.num_threads = num_threads;
+  }
 
   /// Serialises the trained model (random-forest backbone only) /
   /// restores it. See strudel/model_io.h for file-level helpers.

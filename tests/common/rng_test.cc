@@ -98,6 +98,32 @@ TEST(RngTest, ShuffleIsPermutation) {
   EXPECT_EQ(a, b);
 }
 
+TEST(RngTest, SplitMix64StreamMatchesSequentialGenerator) {
+  // Reference: SplitMix64 advanced one step at a time.
+  constexpr uint64_t kSeed = 0x1234abcd5678ef01ULL;
+  uint64_t state = kSeed;
+  for (uint64_t index = 0; index < 64; ++index) {
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    EXPECT_EQ(SplitMix64Stream(kSeed, index), z) << "index " << index;
+  }
+}
+
+TEST(RngTest, SplitMix64StreamOutputsAreDistinct) {
+  // The point of the stream (vs seed + index) is decorrelated task seeds:
+  // adjacent indices and adjacent roots must all map to distinct values.
+  std::set<uint64_t> seen;
+  for (uint64_t root = 0; root < 8; ++root) {
+    for (uint64_t index = 0; index < 256; ++index) {
+      seen.insert(SplitMix64Stream(root, index));
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u * 256u);
+}
+
 TEST(RngTest, ForkProducesIndependentStream) {
   Rng parent(55);
   Rng child = parent.Fork();

@@ -1,0 +1,195 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/execution_budget.h"
+
+namespace strudel {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(5), 5);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(-3), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesFunction) {
+  std::atomic<int> calls{0};
+  Status status = ParallelFor(4, 10, 10, 3, [&](size_t, size_t) {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnceAtAnyThreadCount) {
+  constexpr size_t kBegin = 5, kEnd = 1005, kGrain = 7;
+  for (const int threads : {1, 2, 4, 8}) {
+    std::vector<std::atomic<int>> touched(kEnd);
+    for (auto& t : touched) t.store(0);
+    Status status =
+        ParallelFor(threads, kBegin, kEnd, kGrain,
+                    [&](size_t chunk_begin, size_t chunk_end) {
+                      for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                        touched[i].fetch_add(1);
+                      }
+                      return Status::OK();
+                    });
+    ASSERT_TRUE(status.ok());
+    for (size_t i = 0; i < kEnd; ++i) {
+      EXPECT_EQ(touched[i].load(), i >= kBegin ? 1 : 0)
+          << "index " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesIndependentOfThreadCount) {
+  constexpr size_t kBegin = 3, kEnd = 200, kGrain = 16;
+  auto boundaries_at = [&](int threads) {
+    std::mutex mu;
+    std::set<std::pair<size_t, size_t>> boundaries;
+    Status status = ParallelFor(threads, kBegin, kEnd, kGrain,
+                                [&](size_t chunk_begin, size_t chunk_end) {
+                                  std::lock_guard<std::mutex> lock(mu);
+                                  boundaries.emplace(chunk_begin, chunk_end);
+                                  return Status::OK();
+                                });
+    EXPECT_TRUE(status.ok());
+    return boundaries;
+  };
+  const auto serial = boundaries_at(1);
+  // The serial reference is the arithmetic sequence begin, begin+grain, ...
+  std::set<std::pair<size_t, size_t>> expected;
+  for (size_t b = kBegin; b < kEnd; b += kGrain) {
+    expected.emplace(b, std::min(b + kGrain, kEnd));
+  }
+  EXPECT_EQ(serial, expected);
+  EXPECT_EQ(boundaries_at(4), serial);
+  EXPECT_EQ(boundaries_at(8), serial);
+}
+
+TEST(ThreadPoolTest, SerialPathRunsChunksInAscendingOrder) {
+  std::vector<size_t> begins;
+  Status status = ParallelFor(1, 0, 100, 9,
+                              [&](size_t chunk_begin, size_t) {
+                                begins.push_back(chunk_begin);
+                                return Status::OK();
+                              });
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(std::is_sorted(begins.begin(), begins.end()));
+  EXPECT_EQ(begins.size(), 12u);
+}
+
+TEST(ThreadPoolTest, FirstErrorIsReturnedVerbatim) {
+  for (const int threads : {1, 4}) {
+    Status status = ParallelFor(
+        threads, 0, 1000, 10, [&](size_t chunk_begin, size_t) -> Status {
+          if (chunk_begin == 500) {
+            return Status::InvalidArgument("injected failure");
+          }
+          return Status::OK();
+        });
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << "at " << threads << " threads";
+    EXPECT_EQ(status.message(), "injected failure");
+  }
+}
+
+TEST(ThreadPoolTest, ErrorCancelsRemainingChunks) {
+  std::atomic<size_t> executed{0};
+  constexpr size_t kChunks = 100000;
+  Status status = ParallelFor(
+      4, 0, kChunks, 1, [&](size_t chunk_begin, size_t) -> Status {
+        executed.fetch_add(1);
+        if (chunk_begin == 0) {
+          return Status::Internal("early failure");
+        }
+        return Status::OK();
+      });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  // Cancellation is cooperative (chunk granularity), not instant, but it
+  // must prevent the loop from running to completion.
+  EXPECT_LT(executed.load(), kChunks);
+}
+
+TEST(ThreadPoolTest, BudgetWorkCapStopsTheLoop) {
+  for (const int threads : {1, 4}) {
+    ExecutionBudgetOptions options;
+    options.max_work_units = 50;
+    ExecutionBudget budget(options);
+    std::atomic<size_t> executed{0};
+    Status status = ParallelFor(
+        threads, 0, 100000, 1,
+        [&](size_t, size_t) -> Status {
+          executed.fetch_add(1);
+          return budget.Charge("test_stage", 1);
+        },
+        &budget);
+    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+        << "at " << threads << " threads";
+    EXPECT_LT(executed.load(), 100000u);
+  }
+}
+
+TEST(ThreadPoolTest, CancelledBudgetFailsWithoutRunningToCompletion) {
+  ExecutionBudget budget;
+  budget.Cancel();
+  // The pre-cancelled budget trips at the first checkpoint; the loop must
+  // return kCancelled even though the chunk function itself never fails.
+  std::atomic<size_t> executed{0};
+  Status status = ParallelFor(
+      4, 0, 100000, 1,
+      [&](size_t, size_t) -> Status {
+        executed.fetch_add(1);
+        return budget.Charge("test_stage", 1);
+      },
+      &budget);
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_LT(executed.load(), 100000u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDegradesToSerial) {
+  // The inner loop must complete (no deadlock on the busy pool) and run
+  // its chunks in ascending order — the serial-path signature.
+  std::atomic<int> inner_ok{0};
+  Status status = ParallelFor(4, 0, 8, 1, [&](size_t, size_t) -> Status {
+    std::vector<size_t> begins;
+    Status inner = ParallelFor(4, 0, 50, 5, [&](size_t chunk_begin, size_t) {
+      begins.push_back(chunk_begin);
+      return Status::OK();
+    });
+    if (inner.ok() && begins.size() == 10 &&
+        std::is_sorted(begins.begin(), begins.end())) {
+      inner_ok.fetch_add(1);
+    }
+    return inner;
+  });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(inner_ok.load(), 8);
+}
+
+TEST(ThreadPoolTest, PoolObjectIsReusableAcrossLoops) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> sum{0};
+    Status status = pool.ParallelFor(0, 100, 3, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) sum.fetch_add(i);
+      return Status::OK();
+    });
+    ASSERT_TRUE(status.ok());
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+}  // namespace
+}  // namespace strudel

@@ -1,0 +1,225 @@
+// Determinism under parallelism: every thread-pool-backed path — forest
+// fit, bulk prediction, line/cell featurisation, the Strudel predictors —
+// must produce bit-identical results for num_threads ∈ {1, 2, 8}. The
+// serial path (1) is the reference; 2 and 8 exercise real worker handoff
+// and oversubscription respectively.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/execution_budget.h"
+#include "datagen/corpus.h"
+#include "ml/random_forest.h"
+#include "strudel/cell_features.h"
+#include "strudel/line_features.h"
+#include "strudel/strudel_cell.h"
+#include "strudel/strudel_line.h"
+
+namespace strudel {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+std::vector<AnnotatedFile> SmallCorpus(uint64_t seed = 41) {
+  datagen::DatasetProfile profile =
+      datagen::ScaledProfile(datagen::SausProfile(), 0.05, 0.35);
+  return datagen::GenerateCorpus(profile, seed);
+}
+
+ml::RandomForestOptions FastForest(int num_threads) {
+  ml::RandomForestOptions options;
+  options.num_trees = 12;
+  options.seed = 7;
+  options.num_threads = num_threads;
+  return options;
+}
+
+std::string FitAndSerialize(const ml::Dataset& data, int num_threads) {
+  ml::RandomForest forest(FastForest(num_threads));
+  EXPECT_TRUE(forest.Fit(data).ok());
+  std::ostringstream out;
+  out.precision(17);
+  EXPECT_TRUE(forest.Save(out).ok());
+  return out.str();
+}
+
+TEST(ParallelDeterminismTest, ForestModelBytesIdenticalAcrossThreadCounts) {
+  const ml::Dataset data = StrudelLine::BuildDataset(SmallCorpus());
+  const std::string reference = FitAndSerialize(data, 1);
+  ASSERT_FALSE(reference.empty());
+  for (const int threads : {2, 8}) {
+    EXPECT_EQ(FitAndSerialize(data, threads), reference)
+        << "forest bytes differ at " << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminismTest, ForestBulkPredictionsIdenticalAcrossThreadCounts) {
+  const ml::Dataset data = StrudelLine::BuildDataset(SmallCorpus(43));
+  std::vector<int> reference_classes;
+  std::vector<std::vector<double>> reference_proba;
+  for (const int threads : kThreadCounts) {
+    ml::RandomForest forest(FastForest(threads));
+    ASSERT_TRUE(forest.Fit(data).ok());
+    const std::vector<int> classes = forest.PredictAll(data.features);
+    const std::vector<std::vector<double>> proba =
+        forest.PredictProbaAll(data.features);
+    // The chunked bulk path must agree with the one-row entry point.
+    for (size_t i = 0; i < data.size(); i += 17) {
+      EXPECT_EQ(proba[i], forest.PredictProba(data.features.row(i)));
+    }
+    if (threads == 1) {
+      reference_classes = classes;
+      reference_proba = proba;
+    } else {
+      EXPECT_EQ(classes, reference_classes) << threads << " threads";
+      EXPECT_EQ(proba, reference_proba) << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, LineFeatureMatrixIdenticalAcrossThreadCounts) {
+  const auto corpus = SmallCorpus(44);
+  const LineFeatureOptions options;
+  for (const AnnotatedFile& file : corpus) {
+    DerivedDetectionResult detection =
+        DetectDerivedCells(file.table, options.derived_options);
+    auto reference =
+        ExtractLineFeatures(file.table, detection, options, nullptr, 1);
+    ASSERT_TRUE(reference.ok());
+    for (const int threads : {2, 8}) {
+      auto features = ExtractLineFeatures(file.table, detection, options,
+                                          nullptr, threads);
+      ASSERT_TRUE(features.ok());
+      EXPECT_EQ(features->data(), reference->data())
+          << "line features differ at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, CellFeatureMatrixIdenticalAcrossThreadCounts) {
+  const auto corpus = SmallCorpus(45);
+  const CellFeatureOptions options;
+  const std::vector<std::vector<double>> no_probabilities;
+  for (const AnnotatedFile& file : corpus) {
+    DerivedDetectionResult detection =
+        DetectDerivedCells(file.table, options.derived_options);
+    BlockSizeResult blocks = ComputeBlockSizes(file.table);
+    auto reference =
+        ExtractCellFeatures(file.table, no_probabilities, no_probabilities,
+                            detection, blocks, options, nullptr, 1);
+    ASSERT_TRUE(reference.ok());
+    for (const int threads : {2, 8}) {
+      auto features =
+          ExtractCellFeatures(file.table, no_probabilities, no_probabilities,
+                              detection, blocks, options, nullptr, threads);
+      ASSERT_TRUE(features.ok());
+      EXPECT_EQ(features->data(), reference->data())
+          << "cell features differ at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, LinePredictionsIdenticalAcrossThreadCounts) {
+  const auto corpus = SmallCorpus(46);
+  StrudelLineOptions options;
+  options.forest.num_trees = 10;
+  options.num_threads = 1;
+  options.forest.num_threads = 1;
+  StrudelLine model(options);
+  ASSERT_TRUE(model.Fit(corpus).ok());
+
+  std::vector<LinePrediction> reference;
+  for (const AnnotatedFile& file : corpus) {
+    reference.push_back(model.Predict(file.table));
+  }
+  for (const int threads : {2, 8}) {
+    model.set_num_threads(threads);
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      const LinePrediction prediction = model.Predict(corpus[i].table);
+      EXPECT_EQ(prediction.classes, reference[i].classes)
+          << "line classes differ at " << threads << " threads";
+      EXPECT_EQ(prediction.probabilities, reference[i].probabilities)
+          << "line probabilities differ at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, CellPredictionsIdenticalAcrossThreadCounts) {
+  const auto corpus = SmallCorpus(47);
+  StrudelCellOptions options;
+  options.forest.num_trees = 6;
+  options.line.forest.num_trees = 6;
+  options.line_cross_fit_folds = 0;
+  StrudelCell model(options);
+  model.set_num_threads(1);
+  ASSERT_TRUE(model.Fit(corpus).ok());
+
+  std::vector<CellPrediction> reference;
+  for (const AnnotatedFile& file : corpus) {
+    reference.push_back(model.Predict(file.table));
+  }
+  for (const int threads : {2, 8}) {
+    model.set_num_threads(threads);
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      const CellPrediction prediction = model.Predict(corpus[i].table);
+      EXPECT_EQ(prediction.classes, reference[i].classes)
+          << "cell classes differ at " << threads << " threads";
+      EXPECT_EQ(prediction.line_prediction.classes,
+                reference[i].line_prediction.classes)
+          << "inner line classes differ at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, TrainingIdenticalAcrossThreadCounts) {
+  // End-to-end: the whole two-stage training pipeline (featurise, fit the
+  // line forest, featurise cells, fit the cell forest) must serialise to
+  // the same bytes at any thread count.
+  const auto corpus = SmallCorpus(48);
+  std::string reference;
+  for (const int threads : kThreadCounts) {
+    StrudelCellOptions options;
+    options.forest.num_trees = 6;
+    options.line.forest.num_trees = 6;
+    options.line_cross_fit_folds = 0;
+    StrudelCell model(options);
+    model.set_num_threads(threads);
+    ASSERT_TRUE(model.Fit(corpus).ok());
+    std::ostringstream out;
+    out.precision(17);
+    ASSERT_TRUE(model.SaveTo(out).ok());
+    if (threads == 1) {
+      reference = out.str();
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(out.str(), reference)
+          << "trained model bytes differ at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, BudgetTripMidParallelFitLeavesModelUnfitted) {
+  const auto corpus = SmallCorpus(49);
+  size_t lines = 0;
+  for (const AnnotatedFile& file : corpus) {
+    lines += static_cast<size_t>(file.table.num_rows());
+  }
+  StrudelLineOptions options;
+  options.forest.num_trees = 10;
+  options.num_threads = 8;
+  options.forest.num_threads = 8;
+  // Enough for featurisation, far too little for 10 trees: the cap trips
+  // while the parallel forest fit is in flight on 8 workers.
+  options.budget = ExecutionBudget::Limited(0.0, lines + 10);
+  StrudelLine model(options);
+  Status status = model.Fit(corpus);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+      << status.ToString();
+  EXPECT_FALSE(model.fitted());
+}
+
+}  // namespace
+}  // namespace strudel

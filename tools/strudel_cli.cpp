@@ -18,7 +18,10 @@
 // than aborting, and anything that had to be repaired is summarized on
 // stderr. The global --budget-ms flag puts training and inference under a
 // wall-clock ExecutionBudget; `batch` applies a fresh budget per file and
-// quarantines failures instead of aborting the run.
+// quarantines failures instead of aborting the run. The global --threads
+// flag sets the worker count for training, inference and the batch file
+// loop (0 = hardware concurrency, 1 = serial); outputs are bit-identical
+// at any thread count.
 //
 // Exit codes distinguish failure classes so scripts can branch without
 // scraping stderr:
@@ -44,6 +47,7 @@
 #include <vector>
 
 #include "common/execution_budget.h"
+#include "common/thread_pool.h"
 #include "csv/crop.h"
 #include "csv/dialect_detector.h"
 #include "csv/reader.h"
@@ -70,7 +74,9 @@ constexpr int kExitOutput = 7;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: strudel [--budget-ms <n>] <command> ...\n"
+      "usage: strudel [--budget-ms <n>] [--threads <n>] <command> ...\n"
+      "  --threads <n>: workers for train/classify/extract/batch;\n"
+      "                 0 = hardware concurrency (default), 1 = serial\n"
       "  strudel gen <govuk|saus|cius|deex|mendeley|troy> <dir> [files] "
       "[seed]\n"
       "  strudel train <corpus-dir> <model-file>\n"
@@ -190,7 +196,8 @@ int CmdGen(const std::vector<std::string>& args) {
   return kExitOk;
 }
 
-int CmdTrain(const std::vector<std::string>& args, double budget_ms) {
+int CmdTrain(const std::vector<std::string>& args, double budget_ms,
+             int threads) {
   if (args.size() < 3) return Usage();
   auto corpus = datagen::LoadAnnotatedCorpus(args[1]);
   if (!corpus.ok()) {
@@ -203,6 +210,7 @@ int CmdTrain(const std::vector<std::string>& args, double budget_ms) {
   options.line.forest.num_trees = 50;
   options.budget = MakeBudget(budget_ms);
   StrudelCell model(options);
+  model.set_num_threads(threads);
   Status status = model.Fit(*corpus);
   if (!status.ok()) {
     PrintError("train", status, args[1]);
@@ -217,13 +225,15 @@ int CmdTrain(const std::vector<std::string>& args, double budget_ms) {
   return kExitOk;
 }
 
-int CmdClassify(const std::vector<std::string>& args, double budget_ms) {
+int CmdClassify(const std::vector<std::string>& args, double budget_ms,
+                int threads) {
   if (args.size() < 3) return Usage();
   auto model = LoadCellModelFromFile(args[1]);
   if (!model.ok()) {
     PrintError("model_load", model.status(), args[1]);
     return kExitModelLoad;
   }
+  model->set_num_threads(threads);
   auto ingest = IngestWithSummary(args[2]);
   if (!ingest.ok()) {
     PrintError("ingest", ingest.status(), args[2]);
@@ -255,13 +265,15 @@ int CmdClassify(const std::vector<std::string>& args, double budget_ms) {
   return kExitOk;
 }
 
-int CmdExtract(const std::vector<std::string>& args, double budget_ms) {
+int CmdExtract(const std::vector<std::string>& args, double budget_ms,
+               int threads) {
   if (args.size() < 3) return Usage();
   auto model = LoadCellModelFromFile(args[1]);
   if (!model.ok()) {
     PrintError("model_load", model.status(), args[1]);
     return kExitModelLoad;
   }
+  model->set_num_threads(threads);
   auto ingest = IngestWithSummary(args[2]);
   if (!ingest.ok()) {
     PrintError("ingest", ingest.status(), args[2]);
@@ -333,7 +345,8 @@ struct BatchEntry {
   std::string output;  // relative to the output dir, successes only
 };
 
-int CmdBatch(const std::vector<std::string>& args, double budget_ms) {
+int CmdBatch(const std::vector<std::string>& args, double budget_ms,
+             int threads) {
   namespace fs = std::filesystem;
   if (args.size() < 4) return Usage();
   auto model = LoadCellModelFromFile(args[1]);
@@ -341,6 +354,9 @@ int CmdBatch(const std::vector<std::string>& args, double budget_ms) {
     PrintError("model_load", model.status(), args[1]);
     return kExitModelLoad;
   }
+  // File-level parallelism owns the pool; the per-file prediction loops
+  // detect the nesting and run serial inside each worker.
+  model->set_num_threads(1);
 
   const fs::path input_dir = args[2];
   const fs::path output_dir = args[3];
@@ -365,28 +381,39 @@ int CmdBatch(const std::vector<std::string>& args, double budget_ms) {
   std::sort(inputs.begin(), inputs.end());
 
   const auto batch_start = std::chrono::steady_clock::now();
-  std::vector<BatchEntry> entries;
-  entries.reserve(inputs.size());
-  size_t succeeded = 0;
-  for (const fs::path& input : inputs) {
-    BatchEntry entry;
-    entry.file = input.filename().string();
-    const fs::path output_path =
-        output_dir / "results" / (entry.file + ".classes");
-    // Each file gets a fresh budget: one pathological input cannot starve
-    // the rest of the batch.
-    entry.status = BatchProcessOne(*model, input.string(), output_path,
-                                   budget_ms, entry.stage);
-    if (entry.status.ok()) {
-      ++succeeded;
-      entry.output = "results/" + entry.file + ".classes";
-    } else {
-      PrintError("batch/" + entry.stage, entry.status, input.string());
-      fs::copy_file(input, output_dir / "quarantine" / entry.file,
-                    fs::copy_options::overwrite_existing, ec);
-      fs::remove(output_path, ec);  // drop any partial output
+  std::vector<BatchEntry> entries(inputs.size());
+  // Up to `threads` files in flight, one file per chunk. Each file keeps
+  // its own fresh budget (one pathological input cannot starve the rest
+  // of the batch) and does its own quarantine filesystem work; per-file
+  // failures are recorded, never propagated, so the batch always runs to
+  // completion. Every worker writes only its own entry slot, keyed by the
+  // sorted input order, so the report is identical at any thread count.
+  auto process_chunk = [&](size_t chunk_begin, size_t chunk_end) -> Status {
+    for (size_t i = chunk_begin; i < chunk_end; ++i) {
+      const fs::path& input = inputs[i];
+      BatchEntry& entry = entries[i];
+      entry.file = input.filename().string();
+      const fs::path output_path =
+          output_dir / "results" / (entry.file + ".classes");
+      entry.status = BatchProcessOne(*model, input.string(), output_path,
+                                     budget_ms, entry.stage);
+      if (entry.status.ok()) {
+        entry.output = "results/" + entry.file + ".classes";
+      } else {
+        PrintError("batch/" + entry.stage, entry.status, input.string());
+        std::error_code file_ec;
+        fs::copy_file(input, output_dir / "quarantine" / entry.file,
+                      fs::copy_options::overwrite_existing, file_ec);
+        fs::remove(output_path, file_ec);  // drop any partial output
+      }
     }
-    entries.push_back(std::move(entry));
+    return Status::OK();
+  };
+  // Cannot fail: no shared budget, and the chunk function never errors.
+  (void)ParallelFor(threads, 0, inputs.size(), /*grain=*/1, process_chunk);
+  size_t succeeded = 0;
+  for (const BatchEntry& entry : entries) {
+    if (entry.status.ok()) ++succeeded;
   }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -489,6 +516,7 @@ int CmdDoctor(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   double budget_ms = 0.0;
+  int threads = 0;  // 0 = hardware concurrency
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--budget-ms") {
@@ -496,17 +524,23 @@ int main(int argc, char** argv) {
       budget_ms = std::atof(argv[++i]);
     } else if (arg.rfind("--budget-ms=", 0) == 0) {
       budget_ms = std::atof(arg.substr(12).c_str());
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) return Usage();
+      threads = std::atoi(argv[++i]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.substr(10).c_str());
     } else {
       args.push_back(arg);
     }
   }
+  if (threads < 0) return Usage();
   if (args.empty()) return Usage();
   const std::string& command = args[0];
   if (command == "gen") return CmdGen(args);
-  if (command == "train") return CmdTrain(args, budget_ms);
-  if (command == "classify") return CmdClassify(args, budget_ms);
-  if (command == "extract") return CmdExtract(args, budget_ms);
-  if (command == "batch") return CmdBatch(args, budget_ms);
+  if (command == "train") return CmdTrain(args, budget_ms, threads);
+  if (command == "classify") return CmdClassify(args, budget_ms, threads);
+  if (command == "extract") return CmdExtract(args, budget_ms, threads);
+  if (command == "batch") return CmdBatch(args, budget_ms, threads);
   if (command == "inspect") return CmdInspect(args);
   if (command == "doctor") return CmdDoctor(args);
   return Usage();
