@@ -1,0 +1,278 @@
+// CSV scan throughput: the scalar reference reader vs the two-pass
+// structural-index path (SWAR kernel, and AVX2 when the host has it), on
+// workloads spanning the pruning spectrum — clean numeric tables, verbose
+// portal files with preambles and footnotes, quote-heavy files, and the
+// worst case of every cell quoted with embedded delimiters. Each parse is
+// cross-checked cell-for-cell against the scalar result before timing
+// counts, so the numbers can never come from a wrong parse. Emits
+// BENCH_csv_scan.json.
+//
+//   bench_csv_throughput [--quick] [--out <path>] [--min-speedup <x>]
+//
+// --min-speedup gates the SWAR-vs-scalar throughput ratio on the
+// clean_numeric workload (the steady-state case); CI runs with 1.5.
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "csv/reader.h"
+#include "csv/simd_scan.h"
+
+namespace {
+
+using namespace strudel;
+
+struct Workload {
+  std::string name;
+  std::string text;
+};
+
+/// Best-of-`reps` wall-clock seconds of `fn()`.
+template <typename Fn>
+double TimeBest(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+/// Clean rectangular numeric table: no quotes at all, the steady state of
+/// machine-exported data and the kernel's best case.
+std::string MakeCleanNumeric(Rng& rng, size_t target_bytes) {
+  std::string out = "id,year,region,value,delta,share,rank,flag\n";
+  while (out.size() < target_bytes) {
+    out += StrFormat("%d,%d,%d,%.3f,%.4f,%.2f,%d,%d\n",
+                     static_cast<int>(rng.UniformInt(1000000)),
+                     2000 + static_cast<int>(rng.UniformInt(26)),
+                     static_cast<int>(rng.UniformInt(50)),
+                     rng.UniformDouble() * 1e6, rng.UniformDouble() - 0.5,
+                     rng.UniformDouble() * 100,
+                     static_cast<int>(rng.UniformInt(500)),
+                     static_cast<int>(rng.UniformInt(2)));
+  }
+  return out;
+}
+
+/// Verbose portal shape: preamble notes, a header block, data rows with a
+/// sprinkling of quoted cells, footnotes — the paper's target files.
+std::string MakeVerbosePortal(Rng& rng, size_t target_bytes) {
+  std::string out;
+  out += "Table 7. Household estimates,,,\n";
+  out += "Source: statistics portal,,,\n";
+  out += ",,,\n";
+  out += "area,period,\"estimate, total\",note\n";
+  while (out.size() < target_bytes) {
+    for (int r = 0; r < 40 && out.size() < target_bytes; ++r) {
+      if (rng.UniformDouble() < 0.1) {
+        out += StrFormat("\"region %d, extended\",%d,%.1f,\"see note %d\"\n",
+                         static_cast<int>(rng.UniformInt(100)),
+                         2010 + static_cast<int>(rng.UniformInt(16)),
+                         rng.UniformDouble() * 1e4,
+                         static_cast<int>(rng.UniformInt(9)));
+      } else {
+        out += StrFormat("area%d,%d,%.1f,\n",
+                         static_cast<int>(rng.UniformInt(100)),
+                         2010 + static_cast<int>(rng.UniformInt(16)),
+                         rng.UniformDouble() * 1e4);
+      }
+    }
+    out += "(a) provisional,,,\n";
+  }
+  return out;
+}
+
+/// Every cell quoted, half with embedded delimiters/newlines: maximum
+/// quote-bitmap density and maximum pruning work — the kernel's worst case.
+std::string MakeAllQuoted(Rng& rng, size_t target_bytes) {
+  std::string out;
+  while (out.size() < target_bytes) {
+    for (int c = 0; c < 6; ++c) {
+      if (c > 0) out += ',';
+      out += '"';
+      const int len = 4 + static_cast<int>(rng.UniformInt(12));
+      for (int i = 0; i < len; ++i) {
+        const double p = rng.UniformDouble();
+        if (p < 0.15) {
+          out += ',';
+        } else if (p < 0.18) {
+          out += '\n';
+        } else {
+          out += static_cast<char>('a' + rng.UniformInt(26));
+        }
+      }
+      out += '"';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+struct ModeResult {
+  std::string name;
+  double seconds = 0.0;
+  double mbps = 0.0;
+};
+
+struct WorkloadResult {
+  std::string name;
+  size_t bytes = 0;
+  size_t structural = 0;
+  bool clean_quoting = false;
+  std::vector<ModeResult> modes;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_csv_scan.json";
+  double min_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--min-speedup" && i + 1 < argc) {
+      min_speedup = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_csv_throughput [--quick] [--out <path>] "
+                   "[--min-speedup <x>]\n");
+      return 2;
+    }
+  }
+
+  const size_t target = quick ? (2u << 20) : (16u << 20);
+  const int reps = quick ? 3 : 5;
+  const bool host_avx2 = csv::DetectSimdLevel() == csv::SimdLevel::kAvx2;
+  std::printf("== csv scan throughput ==\n");
+  std::printf("workload size: %zu MiB, reps: %d, host kernel: %s\n\n",
+              target >> 20, reps,
+              std::string(csv::SimdLevelName(csv::DetectSimdLevel())).c_str());
+
+  Rng rng(20260805);
+  std::vector<Workload> workloads;
+  workloads.push_back({"clean_numeric", MakeCleanNumeric(rng, target)});
+  workloads.push_back({"verbose_portal", MakeVerbosePortal(rng, target)});
+  workloads.push_back({"all_quoted_worst", MakeAllQuoted(rng, target / 2)});
+
+  std::vector<WorkloadResult> results;
+  double gate_speedup = 0.0;
+  for (const Workload& w : workloads) {
+    WorkloadResult result;
+    result.name = w.name;
+    result.bytes = w.text.size();
+
+    csv::ReaderOptions scalar_options;
+    scalar_options.scan_mode = csv::ScanMode::kScalar;
+    auto reference = csv::ParseCsv(w.text, scalar_options);
+    if (!reference.ok()) {
+      std::fprintf(stderr, "FAIL: %s scalar parse: %s\n", w.name.c_str(),
+                   reference.status().ToString().c_str());
+      return 1;
+    }
+    const double scalar_seconds =
+        TimeBest(reps, [&] { (void)csv::ParseCsv(w.text, scalar_options); });
+    const double mb = static_cast<double>(w.text.size()) / (1024.0 * 1024.0);
+    result.modes.push_back({"scalar", scalar_seconds, mb / scalar_seconds});
+
+    struct Kernel {
+      const char* name;
+      csv::SimdLevel level;
+    };
+    std::vector<Kernel> kernels = {{"swar", csv::SimdLevel::kSwar}};
+    if (host_avx2) kernels.push_back({"avx2", csv::SimdLevel::kAvx2});
+    for (const Kernel& kernel : kernels) {
+      csv::ForceSimdLevel(kernel.level);
+      csv::ReaderOptions options;
+      options.scan_mode = csv::ScanMode::kSwar;
+      csv::ScanTelemetry telemetry;
+      options.scan_telemetry = &telemetry;
+      auto rows = csv::ParseCsv(w.text, options);
+      if (!rows.ok() || *rows != *reference) {
+        std::fprintf(stderr,
+                     "FAIL: %s %s parse differs from the scalar reader\n",
+                     w.name.c_str(), kernel.name);
+        csv::ResetSimdLevel();
+        return 1;
+      }
+      result.structural = telemetry.structural_count;
+      result.clean_quoting = telemetry.clean_quoting;
+      const double seconds =
+          TimeBest(reps, [&] { (void)csv::ParseCsv(w.text, options); });
+      result.modes.push_back({kernel.name, seconds, mb / seconds});
+      csv::ResetSimdLevel();
+    }
+
+    for (const ModeResult& mode : result.modes) {
+      std::printf("%-18s %-7s %8.4fs  %8.1f MB/s  (%.2fx)\n", w.name.c_str(),
+                  mode.name.c_str(), mode.seconds, mode.mbps,
+                  mode.mbps / result.modes[0].mbps);
+    }
+    std::printf("\n");
+    if (w.name == "clean_numeric") {
+      gate_speedup = result.modes[1].mbps / result.modes[0].mbps;
+    }
+    results.push_back(std::move(result));
+  }
+
+  const bool gate_enforced = min_speedup > 0.0;
+  std::ofstream json(out_path);
+  json.precision(6);
+  json << "{\n"
+       << "  \"bench\": \"csv_scan\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"host_avx2\": " << (host_avx2 ? "true" : "false") << ",\n"
+       << "  \"min_speedup_required\": " << min_speedup << ",\n"
+       << "  \"gate_enforced\": " << (gate_enforced ? "true" : "false")
+       << ",\n"
+       << "  \"swar_speedup_clean_numeric\": " << gate_speedup << ",\n"
+       << "  \"workloads\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& w = results[i];
+    json << "    {\"name\": \"" << w.name << "\", \"bytes\": " << w.bytes
+         << ", \"structural_bytes\": " << w.structural
+         << ", \"clean_quoting\": " << (w.clean_quoting ? "true" : "false")
+         << ", \"modes\": [";
+    for (size_t m = 0; m < w.modes.size(); ++m) {
+      json << "{\"mode\": \"" << w.modes[m].name
+           << "\", \"seconds\": " << w.modes[m].seconds
+           << ", \"mb_per_s\": " << w.modes[m].mbps << "}"
+           << (m + 1 < w.modes.size() ? ", " : "");
+    }
+    json << "]}" << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  json.flush();
+  if (!json) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (gate_enforced) {
+    if (gate_speedup < min_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: swar clean_numeric speedup %.2fx below the "
+                   "required %.2fx\n",
+                   gate_speedup, min_speedup);
+      return 1;
+    }
+    std::printf("speedup gate passed: swar clean_numeric %.2fx >= %.2fx\n",
+                gate_speedup, min_speedup);
+  }
+  return 0;
+}

@@ -31,11 +31,13 @@ run_matrix_cell() {
   cmake --build "$build_dir" -j "$(nproc)"
   # The same per-label steps as CI, so a label failure is attributable.
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-      -LE 'faultinjection|modelfuzz'
+      -LE 'faultinjection|modelfuzz|differential'
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
       -L faultinjection
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
       -L modelfuzz
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+      -L differential
 }
 
 for compiler in "gcc g++" "clang clang++"; do
@@ -55,10 +57,17 @@ echo "=== sanitizer gate ==="
 echo "=== parallel scaling bench smoke ==="
 release_dir="$prefix-gcc-release"
 [ -d "$release_dir" ] || release_dir="$prefix-clang-release"
-cmake --build "$release_dir" -j "$(nproc)" --target bench_parallel_scaling
+cmake --build "$release_dir" -j "$(nproc)" \
+    --target bench_parallel_scaling bench_csv_throughput
 # Matches CI: BENCH_parallel.json plus the 1.5x 4-thread forest-fit gate
 # (skipped automatically on machines with < 4 hardware threads).
 "$release_dir/bench/bench_parallel_scaling" --quick \
     --out "$repo_root/BENCH_parallel.json" --min-speedup 1.5
+
+echo "=== csv scan throughput bench smoke ==="
+# Every timed parse is cross-checked against the scalar reader first;
+# SWAR must be >= 1.5x scalar on the clean-numeric workload.
+"$release_dir/bench/bench_csv_throughput" --quick \
+    --out "$repo_root/BENCH_csv_scan.json" --min-speedup 1.5
 
 echo "=== ci_local: all gates passed ==="

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the robustness tiers: builds with ASan+UBSan and runs
-# the fault-injection (corrupted CSV input) and model-fuzz (corrupted
-# serialised model) suites, where memory errors hide. Usage:
+# the fault-injection (corrupted CSV input), model-fuzz (corrupted
+# serialised model) and differential-scan (SIMD indexer vs scalar reader)
+# suites, where memory errors hide. Usage:
 #
 #   scripts/sanitize_gate.sh [build-dir]
 #
@@ -15,10 +16,11 @@ cmake -B "$build_dir" -S "$repo_root" \
     -DSTRUDEL_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j "$(nproc)" \
-    --target strudel_faultinjection_tests strudel_modelfuzz_tests
+    --target strudel_faultinjection_tests strudel_modelfuzz_tests \
+             strudel_differential_tests
 
 # halt_on_error makes a UBSan finding fail the test instead of just
 # printing; detect_leaks stays on by default under ASan.
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
-ctest --test-dir "$build_dir" -L 'faultinjection|modelfuzz' \
+ctest --test-dir "$build_dir" -L 'faultinjection|modelfuzz|differential' \
     --output-on-failure -j "$(nproc)"

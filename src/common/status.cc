@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "cancelled";
     case StatusCode::kCorruptModel:
       return "corrupt_model";
+    case StatusCode::kUnsupportedDialect:
+      return "unsupported_dialect";
   }
   return "unknown";
 }

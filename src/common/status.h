@@ -29,6 +29,7 @@ enum class StatusCode {
   kResourceExhausted = 10,
   kCancelled = 11,
   kCorruptModel = 12,
+  kUnsupportedDialect = 13,
 };
 
 /// Returns the canonical lowercase name of a status code ("ok",
@@ -84,6 +85,9 @@ class Status {
   }
   static Status CorruptModel(std::string msg) {
     return Status(StatusCode::kCorruptModel, std::move(msg));
+  }
+  static Status UnsupportedDialect(std::string msg) {
+    return Status(StatusCode::kUnsupportedDialect, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

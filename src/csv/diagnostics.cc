@@ -42,6 +42,8 @@ std::string_view DiagnosticCategoryName(DiagnosticCategory category) {
       return "dialect_fallback";
     case DiagnosticCategory::kRecoveryFallback:
       return "recovery_fallback";
+    case DiagnosticCategory::kBudgetExhausted:
+      return "budget_exhausted";
   }
   return "unknown";
 }
@@ -51,6 +53,9 @@ std::string Diagnostic::ToString() const {
   if (line > 0) {
     location = column > 0 ? StrFormat(" at %zu:%zu", line, column)
                           : StrFormat(" at line %zu", line);
+  }
+  if (byte_offset != kNoByteOffset) {
+    location += StrFormat(" (byte %zu)", byte_offset);
   }
   return StrFormat("%s%s [%s]: %s",
                    std::string(DiagnosticSeverityName(severity)).c_str(),
@@ -65,12 +70,19 @@ ParseDiagnostics::ParseDiagnostics(size_t max_entries)
 void ParseDiagnostics::Add(DiagnosticSeverity severity,
                            DiagnosticCategory category, size_t line,
                            size_t column, std::string message) {
+  AddAt(severity, category, line, column, kNoByteOffset, std::move(message));
+}
+
+void ParseDiagnostics::AddAt(DiagnosticSeverity severity,
+                             DiagnosticCategory category, size_t line,
+                             size_t column, size_t byte_offset,
+                             std::string message) {
   ++total_;
   ++category_counts_[static_cast<size_t>(category)];
   ++severity_counts_[static_cast<size_t>(severity)];
   if (entries_.size() < max_entries_) {
-    entries_.push_back(
-        Diagnostic{severity, category, line, column, std::move(message)});
+    entries_.push_back(Diagnostic{severity, category, line, column,
+                                  byte_offset, std::move(message)});
   }
 }
 

@@ -37,11 +37,16 @@ enum class DiagnosticCategory {
   kNewlineNormalized,      // CR / CRLF endings normalized to LF
   kDialectFallback,        // dialect detection fell back down the chain
   kRecoveryFallback,       // primary parse failed, recovery retry used
+  kBudgetExhausted,        // ExecutionBudget tripped, parse stopped early
 };
-inline constexpr size_t kNumDiagnosticCategories = 12;
+inline constexpr size_t kNumDiagnosticCategories = 13;
 
 std::string_view DiagnosticSeverityName(DiagnosticSeverity severity);
 std::string_view DiagnosticCategoryName(DiagnosticCategory category);
+
+/// Sentinel for Diagnostic::byte_offset: the diagnostic carries no byte
+/// position (offset 0 is a valid position, so 0 cannot be the sentinel).
+inline constexpr size_t kNoByteOffset = static_cast<size_t>(-1);
 
 struct Diagnostic {
   DiagnosticSeverity severity = DiagnosticSeverity::kInfo;
@@ -50,9 +55,15 @@ struct Diagnostic {
   size_t line = 0;
   /// 1-based byte column within the line; 0 when not applicable.
   size_t column = 0;
+  /// 0-based byte offset into the parsed text, or kNoByteOffset. For
+  /// anomalies inside multi-line quoted fields this is the load-bearing
+  /// location: line/column alone cannot be mapped back to the input
+  /// without replaying the parse.
+  size_t byte_offset = kNoByteOffset;
   std::string message;
 
-  /// "warning at 12:34 [stray_quote]: ..." (location omitted when 0).
+  /// "warning at 12:34 [stray_quote]: ..." (location omitted when 0;
+  /// "(byte 56)" appended when a byte offset is attached).
   std::string ToString() const;
 };
 
@@ -66,6 +77,12 @@ class ParseDiagnostics {
 
   void Add(DiagnosticSeverity severity, DiagnosticCategory category,
            size_t line, size_t column, std::string message);
+
+  /// Like Add, additionally attaching the 0-based byte offset of the
+  /// anomaly in the parsed text.
+  void AddAt(DiagnosticSeverity severity, DiagnosticCategory category,
+             size_t line, size_t column, size_t byte_offset,
+             std::string message);
 
   const std::vector<Diagnostic>& entries() const { return entries_; }
   /// Total diagnostics recorded, including entries dropped at the cap.

@@ -16,9 +16,22 @@ std::string CharRepr(char c) {
 }  // namespace
 
 std::string Dialect::ToString() const {
-  return StrFormat("delimiter=%s quote=%s escape=%s",
-                   CharRepr(delimiter).c_str(), CharRepr(quote).c_str(),
-                   CharRepr(escape).c_str());
+  std::string delim_repr;
+  if (delimiter_text.empty()) {
+    delim_repr = CharRepr(delimiter);
+  } else {
+    delim_repr = "'";
+    for (const char c : delimiter_text) {
+      if (c == '\t') {
+        delim_repr += "\\t";
+      } else {
+        delim_repr += c;
+      }
+    }
+    delim_repr += "'";
+  }
+  return StrFormat("delimiter=%s quote=%s escape=%s", delim_repr.c_str(),
+                   CharRepr(quote).c_str(), CharRepr(escape).c_str());
 }
 
 Dialect Rfc4180Dialect() { return Dialect{',', '"', '\0'}; }

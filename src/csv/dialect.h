@@ -19,8 +19,22 @@ struct Dialect {
   /// '\0' means "no escape character"; quote doubling ("") is always
   /// understood inside quoted fields when `quote` is set.
   char escape = '\0';
+  /// Multi-character delimiter (e.g. "||" or ", "). Empty (the default)
+  /// means "use `delimiter`". Exports from ad-hoc tooling occasionally
+  /// separate columns with a character sequence; only the scalar scan
+  /// path can express these (see csv/simd_scan.h's fallback matrix).
+  std::string delimiter_text;
 
   bool operator==(const Dialect& other) const = default;
+
+  /// True when the effective delimiter is more than one byte long.
+  bool has_multichar_delimiter() const { return delimiter_text.size() > 1; }
+  /// The delimiter as a string: `delimiter_text` when set, else the
+  /// single-character `delimiter`.
+  std::string effective_delimiter() const {
+    return delimiter_text.empty() ? std::string(1, delimiter)
+                                  : delimiter_text;
+  }
 
   /// Human-readable form like `delimiter=',' quote='"' escape=none`.
   std::string ToString() const;

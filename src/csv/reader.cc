@@ -5,7 +5,9 @@
 #include <fstream>
 #include <map>
 
+#include "common/execution_budget.h"
 #include "common/string_util.h"
+#include "csv/simd_scan.h"
 
 namespace strudel::csv {
 
@@ -59,6 +61,443 @@ void NormalizeRaggedRows(std::vector<std::vector<std::string>>& rows,
   }
 }
 
+/// Budget granularity: one unit per emitted row, charged in batches so the
+/// budget's atomics stay off the per-row hot path. Both scan paths charge
+/// at exactly the same row counts, so they exhaust identically.
+constexpr size_t kRowsPerBudgetCharge = 1024;
+
+/// The CSV state machine, shared by both scan paths. RunScalar() drives it
+/// byte by byte; RunIndexed() replays it over the structural offsets from
+/// pass 1 (csv/simd_scan.h) and bulk-appends the ordinary runs in between.
+/// Every transition, diagnostic and budget charge lives in one method used
+/// by both paths, so they cannot drift apart.
+class ParseEngine {
+ public:
+  using Rows = std::vector<std::vector<std::string>>;
+
+  ParseEngine(std::string_view text, const ReaderOptions& options)
+      : text_(text),
+        n_(text.size()),
+        options_(options),
+        quote_(options.dialect.quote),
+        escape_(options.dialect.escape),
+        delim_(options.dialect.effective_delimiter()),
+        delim0_(delim_[0]),
+        strict_(options.policy == RecoveryPolicy::kStrict),
+        recover_(options.policy == RecoveryPolicy::kRecover),
+        diags_(options.diagnostics),
+        budget_(options.budget) {}
+
+  /// The byte-at-a-time reference loop.
+  Result<Rows> RunScalar() {
+    STRUDEL_RETURN_IF_ERROR(StartBudget());
+    size_t i = 0;
+    while (i < n_ && !stopped_) {
+      if (options_.max_line_bytes > 0 &&
+          i - line_start_ > options_.max_line_bytes) {
+        STRUDEL_RETURN_IF_ERROR(HandleOversizeLine(i));
+        continue;
+      }
+      STRUDEL_RETURN_IF_ERROR(HandleByte(i));
+      ++i;
+    }
+    return Finish();
+  }
+
+  /// Replays the state machine over the structural offsets only. All state
+  /// transitions happen at quote/delimiter/LF/CR bytes — exactly the bytes
+  /// pass 1 indexed — so visiting only those and bulk-appending the runs
+  /// in between reproduces the scalar loop byte for byte.
+  Result<Rows> RunIndexed(const StructuralIndex& index) {
+    STRUDEL_RETURN_IF_ERROR(StartBudget());
+    const std::vector<uint64_t>& pos = index.positions;
+    size_t pi = 0;      // next structural offset not yet consumed
+    size_t cursor = 0;  // next byte not yet consumed
+    while (cursor < n_ && !stopped_) {
+      // Offsets already consumed (e.g. the \n of a \r\n pair, or a line
+      // skipped by the oversize handler) are dropped here.
+      while (pi < pos.size() && pos[pi] < cursor) ++pi;
+      const size_t p = pi < pos.size() ? static_cast<size_t>(pos[pi]) : n_;
+      // The scalar loop's line-budget check fires first at `trip`, the
+      // first byte putting the line over max_line_bytes. Every byte in
+      // [cursor, p) is ordinary, so nothing can end the line earlier.
+      const size_t limit = options_.max_line_bytes;
+      if (limit > 0 && limit < n_ - line_start_) {
+        const size_t trip = line_start_ + limit + 1;
+        if (trip < n_ && trip <= p) {
+          STRUDEL_RETURN_IF_ERROR(AppendRun(cursor, trip));
+          size_t i = trip;
+          STRUDEL_RETURN_IF_ERROR(HandleOversizeLine(i));
+          cursor = i;
+          continue;
+        }
+      }
+      if (p >= n_) {
+        STRUDEL_RETURN_IF_ERROR(AppendRun(cursor, n_));
+        break;
+      }
+      // Fast path for the dominant transitions: an ordinary field ending
+      // at a delimiter or newline. Exactly mirrors the kFieldStart /
+      // kUnquoted branches of HandleByte (which the differential suite
+      // holds it to); quotes and every rarer byte take the shared slow
+      // path below. Indexed dialects always have a one-byte delimiter.
+      const char c = text_[p];
+      if (state_ == State::kFieldStart || state_ == State::kUnquoted) {
+        if (c == delim0_) {
+          STRUDEL_RETURN_IF_ERROR(EmitField(cursor, p));
+          state_ = State::kFieldStart;
+          cursor = p + 1;
+          continue;
+        }
+        if (c == '\n' || c == '\r') {
+          size_t i = p;
+          if (c == '\r' && i + 1 < n_ && text_[i + 1] == '\n') ++i;
+          STRUDEL_RETURN_IF_ERROR(EmitField(cursor, p));
+          if (!stopped_) STRUDEL_RETURN_IF_ERROR(EndRowTail());
+          state_ = State::kFieldStart;
+          ++line_;
+          line_start_ = i + 1;
+          cursor = i + 1;
+          continue;
+        }
+      }
+      STRUDEL_RETURN_IF_ERROR(AppendRun(cursor, p));
+      size_t i = p;
+      STRUDEL_RETURN_IF_ERROR(HandleByte(i));
+      cursor = i + 1;
+    }
+    return Finish();
+  }
+
+ private:
+  enum class State { kFieldStart, kUnquoted, kQuoted, kQuoteInQuoted };
+
+  bool IsDelimiterAt(size_t i) const {
+    if (text_[i] != delim0_) return false;
+    if (delim_.size() == 1) return true;
+    return text_.compare(i, delim_.size(), delim_) == 0;
+  }
+
+  /// The max_cells overflow path, shared by EndField and EmitField so the
+  /// two cannot diverge.
+  Status CellBudgetExceeded() {
+    if (!recover_) {
+      return Status::OutOfRange(
+          StrFormat("csv input exceeds ReaderOptions::max_cells limit "
+                    "(%zu cells)",
+                    options_.max_cells));
+    }
+    stopped_ = true;
+    if (diags_ != nullptr) {
+      diags_->Add(DiagnosticSeverity::kError,
+                  DiagnosticCategory::kCellBudget, line_, 0,
+                  StrFormat("parsing stopped at the ReaderOptions::max_cells "
+                            "limit (%zu cells); complete rows are kept",
+                            options_.max_cells));
+    }
+    return Status::OK();
+  }
+
+  Status EndField() {
+    if (++cell_count_ > options_.max_cells) return CellBudgetExceeded();
+    row_.push_back(std::move(field_));
+    field_.clear();
+    return Status::OK();
+  }
+
+  /// EndField for the indexed fast path: the cell is field_ plus the
+  /// ordinary bytes [begin, end). When the buffer is empty (the common
+  /// case — the whole field is one contiguous run) the cell is built
+  /// straight from the input, skipping the append-then-move round trip.
+  Status EmitField(size_t begin, size_t end) {
+    if (++cell_count_ > options_.max_cells) return CellBudgetExceeded();
+    if (field_.empty()) {
+      row_.emplace_back(text_.data() + begin, end - begin);
+    } else {
+      field_.append(text_.data() + begin, end - begin);
+      row_.push_back(std::move(field_));
+      field_.clear();
+    }
+    return Status::OK();
+  }
+
+  Status EndRow() {
+    STRUDEL_RETURN_IF_ERROR(EndField());
+    if (stopped_) return Status::OK();
+    return EndRowTail();
+  }
+
+  /// Everything EndRow does after the final cell is emitted.
+  Status EndRowTail() {
+    const size_t width = row_.size();
+    rows_.push_back(std::move(row_));
+    row_.clear();
+    // One exact-size allocation for the next row instead of doubling from
+    // scratch; rectangular files (the common case) regrow every row.
+    row_.reserve(width);
+    if (budget_ != nullptr && rows_.size() % kRowsPerBudgetCharge == 0) {
+      const Status status = budget_->Charge("csv_parse", kRowsPerBudgetCharge);
+      if (!status.ok()) {
+        if (!recover_) return status;
+        stopped_ = true;
+        if (diags_ != nullptr) {
+          // Fixed message: the budget's own rendering includes elapsed
+          // times, which would make reruns non-deterministic.
+          diags_->Add(DiagnosticSeverity::kError,
+                      DiagnosticCategory::kBudgetExhausted, line_, 0,
+                      "parsing stopped: execution budget exhausted; "
+                      "complete rows are kept");
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status StartBudget() {
+    if (budget_ == nullptr) return Status::OK();
+    const Status status = budget_->Check("csv_parse");
+    if (status.ok()) return status;
+    if (!recover_) return status;
+    stopped_ = true;
+    if (diags_ != nullptr) {
+      diags_->Add(DiagnosticSeverity::kError,
+                  DiagnosticCategory::kBudgetExhausted, 0, 0,
+                  "parsing stopped before scanning: execution budget "
+                  "exhausted");
+    }
+    return Status::OK();
+  }
+
+  /// Recover-mode handling of a line over max_line_bytes: close the row,
+  /// drop bytes up to and including the next newline. `i` is advanced to
+  /// the first byte of the next line.
+  Status HandleOversizeLine(size_t& i) {
+    if (!recover_) {
+      return Status::OutOfRange(
+          StrFormat("line %zu exceeds ReaderOptions::max_line_bytes limit "
+                    "(%zu)",
+                    line_, options_.max_line_bytes));
+    }
+    if (diags_ != nullptr) {
+      diags_->Add(DiagnosticSeverity::kError,
+                  DiagnosticCategory::kOversizeLine, line_, 0,
+                  StrFormat("line exceeds ReaderOptions::max_line_bytes "
+                            "limit (%zu); rest of line dropped",
+                            options_.max_line_bytes));
+    }
+    STRUDEL_RETURN_IF_ERROR(EndRow());
+    while (i < n_ && text_[i] != '\n') ++i;
+    if (i < n_) ++i;  // consume the newline itself
+    ++line_;
+    line_start_ = i;
+    state_ = State::kFieldStart;
+    return Status::OK();
+  }
+
+  /// One state-machine step at byte `i`. Advances `i` past any extra
+  /// consumed bytes (the \n of \r\n, the escaped byte, the tail of a
+  /// multi-character delimiter); the caller advances past `i` itself.
+  Status HandleByte(size_t& i) {
+    const char c = text_[i];
+    const size_t col = i - line_start_ + 1;
+    switch (state_) {
+      case State::kFieldStart:
+        if (quote_ != '\0' && c == quote_) {
+          state_ = State::kQuoted;
+          // Remember where the quote opened: anomalies inside multi-line
+          // quoted fields are attributed to this position.
+          open_line_ = line_;
+          open_col_ = col;
+          open_offset_ = i;
+        } else if (IsDelimiterAt(i)) {
+          STRUDEL_RETURN_IF_ERROR(EndField());
+          i += delim_.size() - 1;
+        } else if (c == '\n') {
+          STRUDEL_RETURN_IF_ERROR(EndRow());
+          ++line_;
+          line_start_ = i + 1;
+        } else if (c == '\r') {
+          if (i + 1 < n_ && text_[i + 1] == '\n') ++i;
+          STRUDEL_RETURN_IF_ERROR(EndRow());
+          ++line_;
+          line_start_ = i + 1;
+        } else {
+          field_ += c;
+          state_ = State::kUnquoted;
+        }
+        break;
+      case State::kUnquoted:
+        if (IsDelimiterAt(i)) {
+          STRUDEL_RETURN_IF_ERROR(EndField());
+          i += delim_.size() - 1;
+          state_ = State::kFieldStart;
+        } else if (c == '\n') {
+          STRUDEL_RETURN_IF_ERROR(EndRow());
+          state_ = State::kFieldStart;
+          ++line_;
+          line_start_ = i + 1;
+        } else if (c == '\r') {
+          if (i + 1 < n_ && text_[i + 1] == '\n') ++i;
+          STRUDEL_RETURN_IF_ERROR(EndRow());
+          state_ = State::kFieldStart;
+          ++line_;
+          line_start_ = i + 1;
+        } else if (quote_ != '\0' && c == quote_) {
+          if (strict_) {
+            return Status::ParseError(StrFormat(
+                "quote character inside unquoted field at %zu:%zu", line_,
+                col));
+          }
+          // Real-world verbose files are full of such lines; keep the
+          // quote verbatim.
+          if (diags_ != nullptr) {
+            diags_->AddAt(DiagnosticSeverity::kWarning,
+                          DiagnosticCategory::kStrayQuote, line_, col, i,
+                          "quote character inside unquoted field kept "
+                          "verbatim");
+          }
+          field_ += c;
+        } else {
+          field_ += c;
+        }
+        break;
+      case State::kQuoted:
+        if (escape_ != '\0' && c == escape_ && i + 1 < n_) {
+          field_ += text_[i + 1];
+          ++i;
+        } else if (c == quote_) {
+          state_ = State::kQuoteInQuoted;
+        } else {
+          if (c == '\n') {
+            ++line_;
+            line_start_ = i + 1;
+          }
+          field_ += c;
+        }
+        break;
+      case State::kQuoteInQuoted:
+        if (c == quote_) {
+          // Doubled quote: literal quote character.
+          field_ += quote_;
+          state_ = State::kQuoted;
+        } else if (IsDelimiterAt(i)) {
+          STRUDEL_RETURN_IF_ERROR(EndField());
+          i += delim_.size() - 1;
+          state_ = State::kFieldStart;
+        } else if (c == '\n') {
+          STRUDEL_RETURN_IF_ERROR(EndRow());
+          state_ = State::kFieldStart;
+          ++line_;
+          line_start_ = i + 1;
+        } else if (c == '\r') {
+          if (i + 1 < n_ && text_[i + 1] == '\n') ++i;
+          STRUDEL_RETURN_IF_ERROR(EndRow());
+          state_ = State::kFieldStart;
+          ++line_;
+          line_start_ = i + 1;
+        } else if (!strict_) {
+          // Text after a closing quote: keep it verbatim.
+          if (diags_ != nullptr) {
+            diags_->AddAt(DiagnosticSeverity::kWarning,
+                          DiagnosticCategory::kStrayQuote, line_, col, i,
+                          "text after closing quote kept verbatim");
+          }
+          field_ += c;
+          state_ = State::kUnquoted;
+        } else {
+          return Status::ParseError(StrFormat(
+              "unexpected character after closing quote at %zu:%zu", line_,
+              col));
+        }
+        break;
+    }
+    return Status::OK();
+  }
+
+  /// Appends the ordinary bytes [begin, end) to the current field. The
+  /// bytes carry no structural characters (pass 1 indexed those), so the
+  /// only possible state effects are leaving kFieldStart and the
+  /// stray-text-after-closing-quote diagnostic; everything else is a
+  /// straight bulk append. Escape dialects never reach this path.
+  Status AppendRun(size_t begin, size_t end) {
+    if (begin >= end) return Status::OK();
+    switch (state_) {
+      case State::kFieldStart:
+        state_ = State::kUnquoted;
+        [[fallthrough]];
+      case State::kUnquoted:
+      case State::kQuoted:
+        // No newline in an ordinary run, so no line tracking needed even
+        // inside quotes.
+        field_.append(text_.data() + begin, end - begin);
+        return Status::OK();
+      case State::kQuoteInQuoted: {
+        size_t i = begin;
+        STRUDEL_RETURN_IF_ERROR(HandleByte(i));
+        field_.append(text_.data() + begin + 1, end - begin - 1);
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  /// EOF flush plus the recover-mode ragged-row normalization.
+  Result<Rows> Finish() {
+    // Flush the trailing record (no newline at EOF). An input ending in a
+    // newline has already flushed; avoid emitting a phantom empty row.
+    if (stopped_) {
+      row_.clear();
+      field_.clear();
+    } else if (state_ == State::kQuoted) {
+      if (strict_) {
+        return Status::ParseError("unterminated quoted field at end of input");
+      }
+      // Attributed to the opening quote: inputs whose unterminated field
+      // spans many lines would otherwise report the (meaningless) last
+      // line of the file.
+      if (diags_ != nullptr) {
+        diags_->AddAt(DiagnosticSeverity::kWarning,
+                      DiagnosticCategory::kUnterminatedQuote, open_line_,
+                      open_col_, open_offset_,
+                      "unterminated quoted field force-closed at end of "
+                      "input");
+      }
+      STRUDEL_RETURN_IF_ERROR(EndRow());
+    } else if (!field_.empty() || !row_.empty() ||
+               (n_ > 0 && text_[n_ - 1] != '\n' && text_[n_ - 1] != '\r')) {
+      if (n_ > 0) STRUDEL_RETURN_IF_ERROR(EndRow());
+    }
+    if (recover_) NormalizeRaggedRows(rows_, diags_);
+    return std::move(rows_);
+  }
+
+  const std::string_view text_;
+  const size_t n_;
+  const ReaderOptions& options_;
+  const char quote_;
+  const char escape_;
+  const std::string delim_;
+  const char delim0_;
+  const bool strict_;
+  const bool recover_;
+  ParseDiagnostics* const diags_;
+  ExecutionBudget* const budget_;
+
+  Rows rows_;
+  std::vector<std::string> row_;
+  std::string field_;
+  size_t cell_count_ = 0;
+  size_t line_ = 1;        // 1-based physical line for diagnostics
+  size_t line_start_ = 0;  // byte offset where the current line begins
+  bool stopped_ = false;   // recover mode hit a budget; keep what we have
+  State state_ = State::kFieldStart;
+  // Where the current quoted field opened (valid while state_ is kQuoted
+  // or kQuoteInQuoted).
+  size_t open_line_ = 0;
+  size_t open_col_ = 0;
+  size_t open_offset_ = 0;
+};
+
 }  // namespace
 
 std::string_view RecoveryPolicyName(RecoveryPolicy policy) {
@@ -75,9 +514,7 @@ std::string_view RecoveryPolicyName(RecoveryPolicy policy) {
 
 Result<std::vector<std::vector<std::string>>> ParseCsv(
     std::string_view text, const ReaderOptions& options) {
-  const Dialect& d = options.dialect;
   ParseDiagnostics* diags = options.diagnostics;
-  const bool strict = options.policy == RecoveryPolicy::kStrict;
   const bool recover = options.policy == RecoveryPolicy::kRecover;
 
   if (options.max_total_bytes > 0 && text.size() > options.max_total_bytes) {
@@ -96,200 +533,48 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
     text = text.substr(0, options.max_total_bytes);
   }
 
-  std::vector<std::vector<std::string>> rows;
-  std::vector<std::string> row;
-  std::string field;
-  size_t cell_count = 0;
-  size_t line = 1;        // 1-based physical line for diagnostics
-  size_t line_start = 0;  // byte offset where the current line begins
-  bool stopped = false;   // recover mode hit max_cells
-
-  enum class State { kFieldStart, kUnquoted, kQuoted, kQuoteInQuoted };
-  State state = State::kFieldStart;
-
-  auto end_field = [&]() -> Status {
-    if (++cell_count > options.max_cells) {
-      if (!recover) {
-        return Status::OutOfRange(
-            StrFormat("csv input exceeds ReaderOptions::max_cells limit "
-                      "(%zu cells)",
-                      options.max_cells));
-      }
-      stopped = true;
-      if (diags != nullptr) {
-        diags->Add(DiagnosticSeverity::kError,
-                   DiagnosticCategory::kCellBudget, line, 0,
-                   StrFormat("parsing stopped at the ReaderOptions::max_cells "
-                             "limit (%zu cells); complete rows are kept",
-                             options.max_cells));
-      }
-      return Status::OK();
-    }
-    row.push_back(std::move(field));
-    field.clear();
-    return Status::OK();
-  };
-  auto end_row = [&]() -> Status {
-    STRUDEL_RETURN_IF_ERROR(end_field());
-    if (stopped) return Status::OK();
-    rows.push_back(std::move(row));
-    row.clear();
-    return Status::OK();
-  };
-  auto diagnose = [&](DiagnosticSeverity severity,
-                      DiagnosticCategory category, size_t column,
-                      const char* message) {
-    if (diags != nullptr) diags->Add(severity, category, line, column, message);
+  ScanTelemetry telemetry;
+  telemetry.requested = options.scan_mode;
+  const auto publish = [&telemetry, &options] {
+    if (options.scan_telemetry != nullptr) *options.scan_telemetry = telemetry;
   };
 
-  size_t i = 0;
-  const size_t n = text.size();
-  while (i < n && !stopped) {
-    if (options.max_line_bytes > 0 && i - line_start > options.max_line_bytes) {
-      if (!recover) {
-        return Status::OutOfRange(StrFormat(
-            "line %zu exceeds ReaderOptions::max_line_bytes limit (%zu)",
-            line, options.max_line_bytes));
+  ScanMode mode = options.scan_mode;
+  if (mode != ScanMode::kScalar) {
+    const ScanFallbackReason reason = IndexerFallbackReason(options.dialect);
+    if (reason != ScanFallbackReason::kNone) {
+      telemetry.fallback = reason;
+      if (mode == ScanMode::kSwar) {
+        publish();
+        return Status::UnsupportedDialect(StrFormat(
+            "scan_mode=swar cannot express this dialect (%s): %s",
+            std::string(ScanFallbackReasonName(reason)).c_str(),
+            options.dialect.ToString().c_str()));
       }
-      if (diags != nullptr) {
-        diags->Add(DiagnosticSeverity::kError,
-                   DiagnosticCategory::kOversizeLine, line, 0,
-                   StrFormat("line exceeds ReaderOptions::max_line_bytes "
-                             "limit (%zu); rest of line dropped",
-                             options.max_line_bytes));
-      }
-      STRUDEL_RETURN_IF_ERROR(end_row());
-      while (i < n && text[i] != '\n') ++i;
-      if (i < n) ++i;  // consume the newline itself
-      ++line;
-      line_start = i;
-      state = State::kFieldStart;
-      continue;
+      mode = ScanMode::kScalar;
     }
-    const char c = text[i];
-    const size_t col = i - line_start + 1;
-    switch (state) {
-      case State::kFieldStart:
-        if (d.quote != '\0' && c == d.quote) {
-          state = State::kQuoted;
-        } else if (c == d.delimiter) {
-          STRUDEL_RETURN_IF_ERROR(end_field());
-        } else if (c == '\n') {
-          STRUDEL_RETURN_IF_ERROR(end_row());
-          ++line;
-          line_start = i + 1;
-        } else if (c == '\r') {
-          if (i + 1 < n && text[i + 1] == '\n') ++i;
-          STRUDEL_RETURN_IF_ERROR(end_row());
-          ++line;
-          line_start = i + 1;
-        } else {
-          field += c;
-          state = State::kUnquoted;
-        }
-        break;
-      case State::kUnquoted:
-        if (c == d.delimiter) {
-          STRUDEL_RETURN_IF_ERROR(end_field());
-          state = State::kFieldStart;
-        } else if (c == '\n') {
-          STRUDEL_RETURN_IF_ERROR(end_row());
-          state = State::kFieldStart;
-          ++line;
-          line_start = i + 1;
-        } else if (c == '\r') {
-          if (i + 1 < n && text[i + 1] == '\n') ++i;
-          STRUDEL_RETURN_IF_ERROR(end_row());
-          state = State::kFieldStart;
-          ++line;
-          line_start = i + 1;
-        } else if (d.quote != '\0' && c == d.quote) {
-          if (strict) {
-            return Status::ParseError(StrFormat(
-                "quote character inside unquoted field at %zu:%zu", line,
-                col));
-          }
-          // Real-world verbose files are full of such lines; keep the
-          // quote verbatim.
-          diagnose(DiagnosticSeverity::kWarning,
-                   DiagnosticCategory::kStrayQuote, col,
-                   "quote character inside unquoted field kept verbatim");
-          field += c;
-        } else {
-          field += c;
-        }
-        break;
-      case State::kQuoted:
-        if (d.escape != '\0' && c == d.escape && i + 1 < n) {
-          field += text[i + 1];
-          ++i;
-        } else if (c == d.quote) {
-          state = State::kQuoteInQuoted;
-        } else {
-          if (c == '\n') {
-            ++line;
-            line_start = i + 1;
-          }
-          field += c;
-        }
-        break;
-      case State::kQuoteInQuoted:
-        if (c == d.quote) {
-          // Doubled quote: literal quote character.
-          field += d.quote;
-          state = State::kQuoted;
-        } else if (c == d.delimiter) {
-          STRUDEL_RETURN_IF_ERROR(end_field());
-          state = State::kFieldStart;
-        } else if (c == '\n') {
-          STRUDEL_RETURN_IF_ERROR(end_row());
-          state = State::kFieldStart;
-          ++line;
-          line_start = i + 1;
-        } else if (c == '\r') {
-          if (i + 1 < n && text[i + 1] == '\n') ++i;
-          STRUDEL_RETURN_IF_ERROR(end_row());
-          state = State::kFieldStart;
-          ++line;
-          line_start = i + 1;
-        } else if (!strict) {
-          // Text after a closing quote: keep it verbatim.
-          diagnose(DiagnosticSeverity::kWarning,
-                   DiagnosticCategory::kStrayQuote, col,
-                   "text after closing quote kept verbatim");
-          field += c;
-          state = State::kUnquoted;
-        } else {
-          return Status::ParseError(StrFormat(
-              "unexpected character after closing quote at %zu:%zu", line,
-              col));
-        }
-        break;
-    }
-    ++i;
   }
 
-  // Flush the trailing record (no newline at EOF). An input ending in a
-  // newline has already flushed; avoid emitting a phantom empty row.
-  if (stopped) {
-    row.clear();
-    field.clear();
-  } else if (state == State::kQuoted) {
-    if (strict) {
-      return Status::ParseError("unterminated quoted field at end of input");
-    }
-    diagnose(DiagnosticSeverity::kWarning,
-             DiagnosticCategory::kUnterminatedQuote, 0,
-             "unterminated quoted field force-closed at end of input");
-    STRUDEL_RETURN_IF_ERROR(end_row());
-  } else if (!field.empty() || !row.empty() ||
-             (n > 0 && text[n - 1] != '\n' && text[n - 1] != '\r')) {
-    if (n > 0) STRUDEL_RETURN_IF_ERROR(end_row());
+  ParseEngine engine(text, options);
+  if (mode == ScanMode::kScalar) {
+    publish();
+    return engine.RunScalar();
   }
-
-  if (recover) NormalizeRaggedRows(rows, diags);
-
-  return rows;
+  StructuralIndex index;
+  // Oversize-line recovery force-closes open quotes and resyncs at the
+  // next newline, so quote parity no longer predicts the replay's state.
+  // Whenever that recovery can fire for this input, keep every delimiter
+  // in the index; the replay machine resolves them exactly.
+  const bool line_limit_can_trip =
+      options.max_line_bytes > 0 && options.max_line_bytes < text.size();
+  BuildStructuralIndex(text, options.dialect, &index,
+                       /*prune_quoted_delimiters=*/!line_limit_can_trip);
+  telemetry.used_index = true;
+  telemetry.level = index.level;
+  telemetry.structural_count = index.positions.size();
+  telemetry.clean_quoting = index.clean_quoting;
+  publish();
+  return engine.RunIndexed(index);
 }
 
 Result<Table> ReadTable(std::string_view text, const ReaderOptions& options) {

@@ -1,8 +1,17 @@
 // CSV reading: raw text -> rows of cells -> Table, under a given Dialect.
 //
-// The parser is a single-pass state machine handling quoted fields, quote
-// doubling, an optional escape character, embedded newlines inside quoted
-// fields, and both \n and \r\n line endings.
+// The parser is a state machine handling quoted fields, quote doubling, an
+// optional escape character, multi-character delimiters, embedded newlines
+// inside quoted fields, and both \n and \r\n line endings. Two scan paths
+// drive the same state machine (ReaderOptions::scan_mode):
+//
+//  - scalar: the byte-at-a-time reference loop.
+//  - swar:   a branchless two-pass structural indexer (csv/simd_scan.h)
+//    finds every byte the state machine branches on, then the machine is
+//    replayed over just those offsets with the ordinary runs in between
+//    bulk-appended. Byte-equivalent to scalar by construction and enforced
+//    by tests/csv/differential_reader_test.cc.
+//  - auto (default): swar when the dialect supports it, scalar otherwise.
 //
 // Malformed structure is governed by a RecoveryPolicy: strict mode turns
 // the first anomaly into a ParseError, lenient mode (the default) keeps
@@ -21,7 +30,12 @@
 #include "common/result.h"
 #include "csv/dialect.h"
 #include "csv/diagnostics.h"
+#include "csv/simd_scan.h"
 #include "csv/table.h"
+
+namespace strudel {
+class ExecutionBudget;
+}  // namespace strudel
 
 namespace strudel::csv {
 
@@ -51,13 +65,29 @@ struct ReaderOptions {
   size_t max_line_bytes = 16u << 20;
   /// Budget for the whole input. 0 disables the check.
   size_t max_total_bytes = size_t{1} << 30;
+  /// Which scan path parses the input. Both paths produce bit-identical
+  /// results; kAuto routes dialects the indexer cannot express (see
+  /// csv/simd_scan.h) to the scalar loop, while kSwar makes that an
+  /// kUnsupportedDialect error.
+  ScanMode scan_mode = ScanMode::kAuto;
   /// Optional diagnostics sink (not owned). Populated in lenient and
   /// recover mode with every tolerated anomaly.
   ParseDiagnostics* diagnostics = nullptr;
+  /// Optional execution budget (not owned). Checked when parsing starts
+  /// and charged one unit per emitted row, in 1024-row batches, at the
+  /// same points on both scan paths. Exhaustion fails the parse in strict
+  /// and lenient mode; recover mode stops gracefully with a
+  /// kBudgetExhausted diagnostic, keeping complete rows.
+  ExecutionBudget* budget = nullptr;
+  /// Optional telemetry sink (not owned). Records which scan path ran and
+  /// why, since fallbacks are invisible in the (identical) results.
+  ScanTelemetry* scan_telemetry = nullptr;
 };
 
 /// Parses CSV text into rows of cell values. Under
-/// RecoveryPolicy::kRecover this never returns an error.
+/// RecoveryPolicy::kRecover this never returns an error for content;
+/// scan_mode=swar on an unsupported dialect and I/O-level failures are
+/// configuration errors and still surface.
 Result<std::vector<std::vector<std::string>>> ParseCsv(
     std::string_view text, const ReaderOptions& options = {});
 

@@ -1,0 +1,167 @@
+// Branchless two-pass CSV structural indexing (pass 1 of the accelerated
+// scan path).
+//
+// Pass 1 walks the input in 64-byte blocks and builds one bitmap per
+// structural byte class (quote, delimiter, LF, CR) per block, using either
+// a portable 64-bit SWAR kernel or an AVX2 kernel selected by runtime
+// dispatch. Quoted regions are resolved across block boundaries with a
+// carry-propagated prefix-XOR of the quote bitmap, and a cheap adjacency
+// certificate ("clean quoting") is computed at the same time: every quote
+// must open at a field boundary and close into a field boundary, and the
+// quote parity must return to zero at EOF. While the certificate holds,
+// delimiters inside quoted regions are provably field *content* under the
+// reader's state machine and are pruned from the index; the moment a block
+// trips the certificate, pruning stops and every delimiter from that block
+// on is kept, so messy real-world files degrade to a denser index, never
+// to a wrong one.
+//
+// The output is a StructuralIndex: the ascending byte offsets of every
+// byte the reader's state machine branches on. Pass 2 (csv/reader.cc)
+// replays the exact scalar state machine over just those offsets,
+// bulk-appending the ordinary byte runs in between, which makes it
+// byte-equivalent to the scalar reader by construction — same cells, same
+// diagnostics, same statuses. The differential suite
+// (tests/csv/differential_reader_test.cc) enforces that equivalence over
+// the fault-injection corpus and tens of thousands of generated files.
+//
+// Dialects the indexer cannot express (multi-character delimiters,
+// backslash-style escape characters, degenerate combinations) are
+// reported through IndexerFallbackReason; ScanMode::kAuto then routes to
+// the scalar reader and ScanMode::kSwar fails with kUnsupportedDialect.
+
+#ifndef STRUDEL_CSV_SIMD_SCAN_H_
+#define STRUDEL_CSV_SIMD_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "csv/dialect.h"
+
+namespace strudel::csv {
+
+/// How ParseCsv scans the input. kAuto (the default) uses the structural
+/// indexer whenever the dialect supports it and falls back to the scalar
+/// state machine otherwise; kSwar demands the indexer (kUnsupportedDialect
+/// when the dialect cannot be expressed); kScalar forces the byte-at-a-time
+/// reference reader.
+enum class ScanMode {
+  kScalar = 0,
+  kSwar = 1,
+  kAuto = 2,
+};
+
+std::string_view ScanModeName(ScanMode mode);
+/// Parses "scalar" / "swar" / "auto" (as typed at the CLI). Returns false
+/// on anything else, leaving *mode untouched.
+bool ParseScanMode(std::string_view name, ScanMode* mode);
+
+/// Which pass-1 kernel is in use. kSwar is the portable 64-bit
+/// fallback; kAvx2 is selected at runtime on x86-64 hosts with AVX2.
+enum class SimdLevel {
+  kSwar = 0,
+  kAvx2 = 1,
+};
+
+std::string_view SimdLevelName(SimdLevel level);
+
+/// The best kernel the host supports (cached after the first call).
+SimdLevel DetectSimdLevel();
+
+/// Test/bench hook: pin the pass-1 kernel (e.g. to compare kSwar and
+/// kAvx2 head to head). Forcing kAvx2 on a host without AVX2 is ignored.
+void ForceSimdLevel(SimdLevel level);
+/// Undo ForceSimdLevel and return to runtime detection.
+void ResetSimdLevel();
+
+/// Why a dialect is routed to the scalar reader (the fallback matrix).
+enum class ScanFallbackReason {
+  kNone = 0,             // indexer supports this dialect
+  kMultiCharDelimiter,   // delimiter_text longer than one byte
+  kEscapeDialect,        // escape character set (backslash-style quoting)
+  kDegenerateDialect,    // delimiter collides with quote / newline / NUL
+};
+
+std::string_view ScanFallbackReasonName(ScanFallbackReason reason);
+
+/// kNone when the structural indexer can express `dialect`.
+ScanFallbackReason IndexerFallbackReason(const Dialect& dialect);
+inline bool IndexerSupportsDialect(const Dialect& dialect) {
+  return IndexerFallbackReason(dialect) == ScanFallbackReason::kNone;
+}
+
+/// Pass-1 output: the ascending offsets of every structural byte, plus
+/// what the scan learned about the input on the way.
+struct StructuralIndex {
+  /// Offsets of quote / delimiter / LF / CR bytes, ascending. Delimiters
+  /// provably inside quoted fields are pruned while `clean_quoting`
+  /// holds (see file comment).
+  std::vector<uint64_t> positions;
+  /// True when every quote satisfied the adjacency certificate and the
+  /// quote parity closed at EOF. On such inputs the lenient parse is
+  /// guaranteed diagnostic-free for quote anomalies.
+  bool clean_quoting = true;
+  /// Number of 64-byte blocks scanned (including the final partial one).
+  uint64_t num_blocks = 0;
+  /// Kernel that produced the bitmaps.
+  SimdLevel level = SimdLevel::kSwar;
+
+  void Clear() {
+    positions.clear();
+    clean_quoting = true;
+    num_blocks = 0;
+    level = SimdLevel::kSwar;
+  }
+};
+
+/// Pass 1: scans `text` under `dialect` and fills `*index`. The dialect
+/// must be indexer-supported (IndexerSupportsDialect). Deterministic:
+/// identical input and dialect yield identical indexes at every SimdLevel.
+///
+/// `prune_quoted_delimiters` = false keeps every delimiter in the index
+/// even while the certificate holds. Pass 2 needs that whenever its replay
+/// can reset quote state mid-stream — oversize-line recovery force-closes
+/// an open quote and resyncs at the next newline, at which point bytes the
+/// parity scan proved "inside a quote" become structural again. The
+/// certificate itself is still computed and reported.
+void BuildStructuralIndex(std::string_view text, const Dialect& dialect,
+                          StructuralIndex* index,
+                          bool prune_quoted_delimiters = true);
+
+/// One 64-byte block's structural bitmaps; bit i = byte i of the block.
+/// Exposed for the kernel unit tests and the bitmap documentation in
+/// DESIGN.md — production callers use BuildStructuralIndex.
+struct BlockBitmaps {
+  uint64_t quote = 0;
+  uint64_t delim = 0;
+  uint64_t lf = 0;
+  uint64_t cr = 0;
+};
+
+/// Scans exactly 64 bytes at `block` with the requested kernel. `quote`
+/// may be '\0' (no quoting), which leaves the quote bitmap empty.
+BlockBitmaps ScanBlock(const char* block, char delimiter, char quote,
+                       SimdLevel level);
+
+/// Prefix XOR over the 64 bits of `bits`: result bit i is the XOR of bits
+/// 0..i. The carry-propagation primitive for quoted-region resolution.
+uint64_t PrefixXor(uint64_t bits);
+
+/// Telemetry sink for one ParseCsv call (set ReaderOptions::scan_telemetry
+/// to observe which path actually ran — the fallback decisions are
+/// otherwise invisible by design, since results are identical).
+struct ScanTelemetry {
+  ScanMode requested = ScanMode::kAuto;
+  /// True when the structural-index path produced the result.
+  bool used_index = false;
+  SimdLevel level = SimdLevel::kSwar;
+  ScanFallbackReason fallback = ScanFallbackReason::kNone;
+  /// Structural bytes indexed (0 on the scalar path).
+  size_t structural_count = 0;
+  bool clean_quoting = false;
+};
+
+}  // namespace strudel::csv
+
+#endif  // STRUDEL_CSV_SIMD_SCAN_H_

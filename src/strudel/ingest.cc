@@ -18,6 +18,21 @@ std::string IngestResult::Report() const {
                    table.num_rows(), table.num_cols(),
                    table.non_empty_count(),
                    recovered ? ", via recovery mode" : "");
+  out += StrFormat(
+      "scan:     %s%s\n",
+      scan.used_index
+          ? StrFormat("structural-index (%s, %zu structural bytes%s)",
+                      std::string(csv::SimdLevelName(scan.level)).c_str(),
+                      scan.structural_count,
+                      scan.clean_quoting ? ", clean quoting" : "")
+                .c_str()
+          : "scalar",
+      !scan.used_index && scan.fallback != csv::ScanFallbackReason::kNone
+          ? StrFormat(" (fallback: %s)",
+                      std::string(csv::ScanFallbackReasonName(scan.fallback))
+                          .c_str())
+                .c_str()
+          : "");
   out += "diagnostics: " + diagnostics.Report();
   return out;
 }
@@ -49,6 +64,9 @@ Result<IngestResult> IngestText(std::string_view bytes,
   csv::ReaderOptions reader = options.reader;
   reader.dialect = detection.dialect;
   reader.diagnostics = &result.diagnostics;
+  // Both attempts publish here; a recovery retry overwrites, so the
+  // telemetry always describes the parse that produced the table.
+  reader.scan_telemetry = &result.scan;
   auto table = csv::ReadTable(text, reader);
   if (!table.ok()) {
     if (!options.fallback_to_recover) return table.status();

@@ -43,6 +43,9 @@ struct IngestResult {
   /// True when the primary parse failed and the recovery retry produced
   /// the table. The primary failure is recorded in `diagnostics`.
   bool recovered = false;
+  /// Which scan path parsed the file (structural index vs scalar, kernel
+  /// level, fallback reason). From the attempt that produced `table`.
+  csv::ScanTelemetry scan;
 
   /// True when the file needed no repairs and no diagnostics at all.
   bool clean() const { return sanitize.clean() && diagnostics.empty(); }

@@ -1,0 +1,210 @@
+#include "csv/csv_property_gen.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace strudel::csv::testing {
+
+namespace {
+
+/// Ordinary cell bytes: nothing structural, so every structural byte in
+/// a generated file was placed there deliberately (or by the splice
+/// mutation).
+constexpr std::string_view kCellAlphabet =
+    "abcdefghijklmnopqrstuvwxyz0123456789 ._-%";
+
+std::string RandomCellText(Rng& rng, size_t max_len, char delimiter,
+                           char quote) {
+  const size_t len = static_cast<size_t>(rng.UniformInt(max_len + 1));
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    char c = kCellAlphabet[static_cast<size_t>(
+        rng.UniformInt(kCellAlphabet.size()))];
+    // The alphabet is structural-free for the default dialect; exotic
+    // delimiters/quotes (space, '%') could collide, so re-draw once and
+    // fall back to a letter.
+    if (c == delimiter || c == quote) c = 'x';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+Dialect RandomIndexableDialect(Rng& rng) {
+  static constexpr char kDelimiters[] = {',', ';', '\t', '|', ':', ' '};
+  static constexpr char kQuotes[] = {'"', '\'', '\0'};
+  Dialect dialect;
+  dialect.delimiter =
+      kDelimiters[static_cast<size_t>(rng.UniformInt(std::size(kDelimiters)))];
+  dialect.quote =
+      kQuotes[static_cast<size_t>(rng.UniformInt(std::size(kQuotes)))];
+  dialect.escape = '\0';
+  return dialect;
+}
+
+CsvGenConfig RandomConfig(Rng& rng, const Dialect& dialect) {
+  CsvGenConfig config;
+  config.dialect = dialect;
+  config.max_rows = 1 + static_cast<size_t>(rng.UniformInt(24));
+  config.max_cols = 1 + static_cast<size_t>(rng.UniformInt(8));
+  config.max_cell_len = static_cast<size_t>(rng.UniformInt(16));
+  // Scale all anomaly probabilities together: ~1/3 of files are pristine,
+  // ~1/3 mildly damaged, ~1/3 hostile.
+  const double hostility = rng.UniformDouble() * 3.0 - 1.0;
+  const double anomaly = std::max(0.0, hostility) * 0.5;
+  config.quoted_cell_prob = rng.UniformDouble() * 0.8;
+  config.embedded_delimiter_prob = rng.UniformDouble() * 0.5;
+  config.embedded_newline_prob = rng.UniformDouble() * 0.4;
+  config.embedded_crlf_prob = rng.UniformDouble() * 0.2;
+  config.doubled_quote_prob = rng.UniformDouble() * 0.3;
+  config.stray_quote_prob = anomaly * 0.4;
+  config.trailing_junk_prob = anomaly * 0.4;
+  config.ragged_row_prob = rng.UniformDouble() * 0.4;
+  config.crlf_row_prob = rng.UniformDouble() * 0.6;
+  config.bare_cr_row_prob = anomaly * 0.3;
+  config.drop_final_newline_prob = rng.UniformDouble() * 0.6;
+  config.truncate_tail_prob = anomaly * 0.3;
+  config.splice_noise_prob = anomaly * 0.25;
+  return config;
+}
+
+std::string GenerateCsv(Rng& rng, const CsvGenConfig& config) {
+  const Dialect& d = config.dialect;
+  const char delim = d.delimiter;
+  const char quote = d.quote;
+  std::string out;
+
+  const size_t rows = 1 + rng.UniformInt(config.max_rows);
+  size_t cols = 1 + rng.UniformInt(config.max_cols);
+  for (size_t r = 0; r < rows; ++r) {
+    size_t row_cols = cols;
+    if (rng.Bernoulli(config.ragged_row_prob)) {
+      row_cols = 1 + static_cast<size_t>(rng.UniformInt(config.max_cols));
+    }
+    for (size_t c = 0; c < row_cols; ++c) {
+      if (c > 0) out += delim;
+      const bool quoted = quote != '\0' && rng.Bernoulli(config.quoted_cell_prob);
+      if (quoted) {
+        out += quote;
+        std::string body = RandomCellText(rng, config.max_cell_len, delim, quote);
+        // Embed structural bytes that only quoting makes non-structural.
+        if (rng.Bernoulli(config.embedded_delimiter_prob)) {
+          body.insert(body.size() / 2, 1, delim);
+        }
+        if (rng.Bernoulli(config.embedded_newline_prob)) {
+          body.insert(body.size() / 3, 1, '\n');
+        }
+        if (rng.Bernoulli(config.embedded_crlf_prob)) {
+          body.insert(body.size() / 4, "\r\n");
+        }
+        if (rng.Bernoulli(config.doubled_quote_prob)) {
+          body.insert(body.size() / 2, 2, quote);
+        }
+        out += body;
+        out += quote;
+        if (rng.Bernoulli(config.trailing_junk_prob)) {
+          out += RandomCellText(rng, 3, delim, quote);
+        }
+      } else {
+        std::string body = RandomCellText(rng, config.max_cell_len, delim, quote);
+        if (quote != '\0' && rng.Bernoulli(config.stray_quote_prob)) {
+          body.insert(static_cast<size_t>(rng.UniformInt(body.size() + 1)), 1,
+                      quote);
+        }
+        out += body;
+      }
+    }
+    const bool last_row = r + 1 == rows;
+    if (last_row && rng.Bernoulli(config.drop_final_newline_prob)) break;
+    if (rng.Bernoulli(config.bare_cr_row_prob)) {
+      out += '\r';
+    } else if (rng.Bernoulli(config.crlf_row_prob)) {
+      out += "\r\n";
+    } else {
+      out += '\n';
+    }
+  }
+
+  if (!out.empty() && rng.Bernoulli(config.truncate_tail_prob)) {
+    // Mid-file cut: the classic source of unterminated quoted fields.
+    out.resize(1 + static_cast<size_t>(rng.UniformInt(out.size())));
+  }
+  if (rng.Bernoulli(config.splice_noise_prob)) {
+    const char structural[] = {delim, quote != '\0' ? quote : delim, '\n',
+                               '\r'};
+    const int splices = 1 + static_cast<int>(rng.UniformInt(4));
+    for (int s = 0; s < splices; ++s) {
+      const char c =
+          structural[static_cast<size_t>(rng.UniformInt(std::size(structural)))];
+      out.insert(static_cast<size_t>(rng.UniformInt(out.size() + 1)), 1, c);
+    }
+  }
+  return out;
+}
+
+std::string ShrinkToMinimal(
+    std::string input,
+    const std::function<bool(std::string_view)>& still_fails) {
+  if (!still_fails(input)) return input;
+  int budget = 4000;  // predicate-call cap; shrinking is best-effort
+  size_t chunk = std::max<size_t>(1, input.size() / 2);
+  while (chunk > 0 && budget > 0) {
+    bool removed_any = false;
+    size_t start = 0;
+    while (start < input.size() && budget > 0) {
+      const size_t len = std::min(chunk, input.size() - start);
+      std::string candidate = input.substr(0, start);
+      candidate.append(input, start + len, std::string::npos);
+      --budget;
+      if (still_fails(candidate)) {
+        input = std::move(candidate);
+        removed_any = true;
+        // Keep `start` in place: the bytes shifted left into it.
+      } else {
+        start += len;
+      }
+    }
+    if (!removed_any) {
+      if (chunk == 1) break;
+      chunk /= 2;
+    }
+  }
+  return input;
+}
+
+std::string EscapeForDisplay(std::string_view bytes) {
+  std::string out;
+  out.reserve(bytes.size() + 16);
+  for (const char c : bytes) {
+    switch (c) {
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20 ||
+            static_cast<unsigned char>(c) >= 0x7f) {
+          out += StrFormat("\\x%02x", static_cast<unsigned char>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace strudel::csv::testing

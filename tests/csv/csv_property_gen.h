@@ -1,0 +1,81 @@
+// Property-based CSV generation for the differential reader suite.
+//
+// GenerateCsv builds a random CSV byte string from a seeded Rng and a
+// feature-probability config: quoted cells with embedded delimiters and
+// newlines, doubled quotes, stray quotes, text after closing quotes,
+// ragged rows, \r\n and bare-\r endings, missing final newlines,
+// truncated tails (unterminated quotes) and spliced structural noise.
+// Everything is a pure function of (rng state, config), so a failing
+// case reproduces exactly from its seed.
+//
+// ShrinkToMinimal is a ddmin-style chunk remover: given a failing input
+// and a predicate, it returns a (locally) minimal substring that still
+// fails, so a 5 KB random counterexample collapses to the few bytes that
+// actually disagree.
+
+#ifndef STRUDEL_TESTS_CSV_CSV_PROPERTY_GEN_H_
+#define STRUDEL_TESTS_CSV_CSV_PROPERTY_GEN_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "csv/dialect.h"
+
+namespace strudel::csv::testing {
+
+/// Feature probabilities for one generated file. The defaults produce
+/// mostly-well-formed files with a healthy anomaly rate; RandomConfig
+/// jitters them so the corpus covers both tame and hostile regions.
+struct CsvGenConfig {
+  Dialect dialect = Rfc4180Dialect();
+  size_t max_rows = 12;
+  size_t max_cols = 6;
+  size_t max_cell_len = 12;
+  double quoted_cell_prob = 0.35;
+  /// Features inside quoted cells.
+  double embedded_delimiter_prob = 0.30;
+  double embedded_newline_prob = 0.20;
+  double embedded_crlf_prob = 0.10;
+  double doubled_quote_prob = 0.15;
+  /// Anomalies.
+  double stray_quote_prob = 0.08;    // raw quote inside an unquoted cell
+  double trailing_junk_prob = 0.08;  // text after a closing quote
+  double ragged_row_prob = 0.20;
+  /// Row endings.
+  double crlf_row_prob = 0.30;
+  double bare_cr_row_prob = 0.06;
+  double drop_final_newline_prob = 0.35;
+  /// Whole-file mutations applied last.
+  double truncate_tail_prob = 0.08;  // yields unterminated quotes
+  double splice_noise_prob = 0.06;   // random structural bytes spliced in
+};
+
+/// A random dialect the structural indexer supports (single-character
+/// delimiter from a realistic pool, quote variants including "none").
+Dialect RandomIndexableDialect(Rng& rng);
+
+/// Jitters the default probabilities so some files are pristine and some
+/// are hostile, and sizes the file randomly up to a few hundred cells.
+CsvGenConfig RandomConfig(Rng& rng, const Dialect& dialect);
+
+/// Generates one CSV byte string. Deterministic in `rng`.
+std::string GenerateCsv(Rng& rng, const CsvGenConfig& config);
+
+/// Greedy ddmin-style shrink: repeatedly deletes chunks (halving the
+/// chunk size when stuck) while `still_fails` holds, returning a locally
+/// minimal failing input. The predicate call count is capped, so this
+/// terminates quickly even on perverse predicates.
+std::string ShrinkToMinimal(
+    std::string input,
+    const std::function<bool(std::string_view)>& still_fails);
+
+/// Escapes a byte string for display in a failure message (\xNN for
+/// non-printable bytes), so a shrunk counterexample can be pasted
+/// straight back into a regression test.
+std::string EscapeForDisplay(std::string_view bytes);
+
+}  // namespace strudel::csv::testing
+
+#endif  // STRUDEL_TESTS_CSV_CSV_PROPERTY_GEN_H_

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/execution_budget.h"
+
 namespace strudel::csv {
 namespace {
 
@@ -307,6 +309,131 @@ TEST(ReaderTest, ReadFileHandlesEmptyFile) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result->empty());
   std::remove(path.c_str());
+}
+
+// --- Diagnostic attribution (pinned: these exact positions are part of
+// --- the contract the differential suite compares byte for byte).
+
+TEST(ReaderTest, UnterminatedQuoteAttributedToItsOpeningQuote) {
+  // The quote opens on line 2 and swallows the rest of the file. The
+  // diagnostic must point at the opening quote — not at whatever line
+  // the file happens to end on.
+  ReaderOptions options;
+  options.policy = RecoveryPolicy::kRecover;
+  ParseDiagnostics diags;
+  options.diagnostics = &diags;
+  auto rows = ParseCsv("h1,h2\n\"a\nb\nc", options);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(diags.count(DiagnosticCategory::kUnterminatedQuote), 1u);
+  ASSERT_FALSE(diags.entries().empty());
+  const Diagnostic& diag = diags.entries()[0];
+  EXPECT_EQ(diag.line, 2u);
+  EXPECT_EQ(diag.column, 1u);
+  EXPECT_EQ(diag.byte_offset, 6u);
+}
+
+TEST(ReaderTest, StrayQuoteDiagnosticsCarryByteOffsets) {
+  ReaderOptions options;
+  ParseDiagnostics diags;
+  options.diagnostics = &diags;
+  auto rows = ParseCsv("5\" pipe,x\n", options);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(diags.count(DiagnosticCategory::kStrayQuote), 1u);
+  EXPECT_EQ(diags.entries()[0].line, 1u);
+  EXPECT_EQ(diags.entries()[0].column, 2u);
+  EXPECT_EQ(diags.entries()[0].byte_offset, 1u);
+}
+
+TEST(ReaderTest, TrailingJunkAfterMultiLineQuotedFieldAttribution) {
+  // "x\ny" spans two physical lines; the junk 'z' after its closing
+  // quote sits on line 2, column 3, byte 7 — all three must be right.
+  ReaderOptions options;
+  ParseDiagnostics diags;
+  options.diagnostics = &diags;
+  auto rows = ParseCsv("a,\"x\ny\"z\n", options);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(diags.count(DiagnosticCategory::kStrayQuote), 1u);
+  const Diagnostic& diag = diags.entries()[0];
+  EXPECT_EQ(diag.line, 2u);
+  EXPECT_EQ(diag.column, 3u);
+  EXPECT_EQ(diag.byte_offset, 7u);
+}
+
+// --- Multi-character delimiters (scalar-only dialect feature).
+
+TEST(ReaderTest, MultiCharDelimiterSplitsFields) {
+  ReaderOptions options;
+  options.dialect.delimiter_text = "||";
+  auto rows = MustParse("a||b||c\n1||2||3\n", options);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(ReaderTest, MultiCharDelimiterPrefixStaysLiteral) {
+  ReaderOptions options;
+  options.dialect.delimiter_text = "||";
+  auto rows = MustParse("a|b||c|\n", options);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a|b", "c|"}));
+}
+
+TEST(ReaderTest, MultiCharDelimiterInsideQuotesIsContent) {
+  ReaderOptions options;
+  options.dialect.delimiter_text = "||";
+  auto rows = MustParse("\"a||b\"||c\n", options);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a||b", "c"}));
+}
+
+TEST(ReaderTest, SingleCharDelimiterTextOverridesDelimiter) {
+  ReaderOptions options;
+  options.dialect.delimiter = ',';
+  options.dialect.delimiter_text = ";";
+  auto rows = MustParse("a;b,c\n", options);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b,c"}));
+}
+
+// --- Execution budget integration.
+
+TEST(ReaderTest, BudgetExhaustionFailsOutsideRecoverMode) {
+  std::string big;
+  for (int r = 0; r < 3000; ++r) big += "a,b\n";
+  ReaderOptions options;
+  ExecutionBudget budget({0.0, 100});  // far below the first 1024-row charge
+  options.budget = &budget;
+  auto rows = ParseCsv(big, options);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_FALSE(rows.status().message().empty());
+}
+
+TEST(ReaderTest, BudgetExhaustionStopsGracefullyInRecoverMode) {
+  std::string big;
+  for (int r = 0; r < 3000; ++r) big += "a,b\n";
+  ReaderOptions options;
+  options.policy = RecoveryPolicy::kRecover;
+  ExecutionBudget budget({0.0, 100});
+  options.budget = &budget;
+  ParseDiagnostics diags;
+  options.diagnostics = &diags;
+  auto rows = ParseCsv(big, options);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // The first charge happens after 1024 rows; those rows are kept.
+  EXPECT_EQ(rows->size(), 1024u);
+  EXPECT_EQ(diags.count(DiagnosticCategory::kBudgetExhausted), 1u);
+}
+
+TEST(ReaderTest, UnlimitedBudgetIsTransparent) {
+  std::string big;
+  for (int r = 0; r < 2500; ++r) big += "a,b\n";
+  ReaderOptions options;
+  ExecutionBudget budget;  // unlimited
+  options.budget = &budget;
+  auto rows = MustParse(big, options);
+  EXPECT_EQ(rows.size(), 2500u);
+  // Work is recorded (two 1024-row charges) even though nothing trips.
+  EXPECT_EQ(budget.total_work(), 2048u);
 }
 
 }  // namespace

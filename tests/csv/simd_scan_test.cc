@@ -1,0 +1,361 @@
+#include "csv/simd_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "csv/reader.h"
+
+namespace strudel::csv {
+namespace {
+
+/// Byte-at-a-time reference for the block kernels.
+BlockBitmaps NaiveScanBlock(const char* block, char delimiter, char quote) {
+  BlockBitmaps bm;
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t bit = uint64_t{1} << i;
+    const char c = block[i];
+    if (quote != '\0' && c == quote) bm.quote |= bit;
+    if (c == delimiter) bm.delim |= bit;
+    if (c == '\n') bm.lf |= bit;
+    if (c == '\r') bm.cr |= bit;
+  }
+  return bm;
+}
+
+TEST(ScanBlockTest, MatchesNaiveReferenceOnRandomBlocks) {
+  Rng rng(1234);
+  // A byte pool heavy in structural characters so bitmaps are dense.
+  const std::string pool = "abc,\"\n\r;|x\t'";
+  for (int iter = 0; iter < 2000; ++iter) {
+    char block[64];
+    for (char& c : block) {
+      c = pool[static_cast<size_t>(rng.UniformInt(pool.size()))];
+    }
+    const char delim = iter % 2 == 0 ? ',' : ';';
+    const char quote = iter % 3 == 0 ? '\0' : '"';
+    const BlockBitmaps naive = NaiveScanBlock(block, delim, quote);
+    for (const SimdLevel level : {SimdLevel::kSwar, SimdLevel::kAvx2}) {
+      const BlockBitmaps got = ScanBlock(block, delim, quote, level);
+      ASSERT_EQ(got.quote, naive.quote) << "iter " << iter;
+      ASSERT_EQ(got.delim, naive.delim) << "iter " << iter;
+      ASSERT_EQ(got.lf, naive.lf) << "iter " << iter;
+      ASSERT_EQ(got.cr, naive.cr) << "iter " << iter;
+    }
+  }
+}
+
+TEST(ScanBlockTest, AllBytesValuesResolveCorrectly) {
+  // Sweep every byte value through every lane position once.
+  for (int v = 0; v < 256; ++v) {
+    char block[64];
+    for (int i = 0; i < 64; ++i) {
+      block[i] = i % 2 == 0 ? static_cast<char>(v) : 'a';
+    }
+    const BlockBitmaps naive = NaiveScanBlock(block, ',', '"');
+    const BlockBitmaps got = ScanBlock(block, ',', '"', SimdLevel::kSwar);
+    ASSERT_EQ(got.quote, naive.quote) << "byte " << v;
+    ASSERT_EQ(got.delim, naive.delim) << "byte " << v;
+    ASSERT_EQ(got.lf, naive.lf) << "byte " << v;
+    ASSERT_EQ(got.cr, naive.cr) << "byte " << v;
+  }
+}
+
+TEST(ScanBlockTest, SuccessorByteAfterMatchIsNotAFalsePositive) {
+  // Regression: the borrow-prone SWAR zero-byte test flags byte j+1 when
+  // byte j matches and byte j+1 xors to 0x01 (',' followed by '-', '"'
+  // followed by '#', '\n' followed by '\v'). Exercise every lane with the
+  // match/successor pair adjacent in both orders.
+  const std::pair<char, char> pairs[] = {
+      {',', ','  + 1}, {'"', '"' + 1}, {'\n', '\n' + 1}, {'\r', '\r' + 1}};
+  for (const auto& [match, successor] : pairs) {
+    char block[64];
+    for (int i = 0; i < 64; ++i) {
+      block[i] = i % 2 == 0 ? match : successor;
+    }
+    const BlockBitmaps naive = NaiveScanBlock(block, ',', '"');
+    for (const SimdLevel level : {SimdLevel::kSwar, SimdLevel::kAvx2}) {
+      const BlockBitmaps got = ScanBlock(block, ',', '"', level);
+      ASSERT_EQ(got.quote, naive.quote) << "match " << match;
+      ASSERT_EQ(got.delim, naive.delim) << "match " << match;
+      ASSERT_EQ(got.lf, naive.lf) << "match " << match;
+      ASSERT_EQ(got.cr, naive.cr) << "match " << match;
+    }
+  }
+}
+
+TEST(ScanBlockTest, AdjacentBytePairsSweepMatchesNaive) {
+  // Every (value, value+delta) adjacent pairing for small deltas, both
+  // kernels: catches any cross-lane interference, not just the 0x01 case.
+  for (int v = 0; v < 256; ++v) {
+    for (const int delta : {1, -1, 0x7f, 0x80}) {
+      char block[64];
+      for (int i = 0; i < 64; ++i) {
+        block[i] = static_cast<char>(i % 2 == 0 ? v : (v + delta) & 0xff);
+      }
+      const BlockBitmaps naive = NaiveScanBlock(block, ',', '"');
+      for (const SimdLevel level : {SimdLevel::kSwar, SimdLevel::kAvx2}) {
+        const BlockBitmaps got = ScanBlock(block, ',', '"', level);
+        ASSERT_EQ(got.quote, naive.quote) << "v=" << v << " delta=" << delta;
+        ASSERT_EQ(got.delim, naive.delim) << "v=" << v << " delta=" << delta;
+        ASSERT_EQ(got.lf, naive.lf) << "v=" << v << " delta=" << delta;
+        ASSERT_EQ(got.cr, naive.cr) << "v=" << v << " delta=" << delta;
+      }
+    }
+  }
+}
+
+TEST(PrefixXorTest, MatchesBitwiseScan) {
+  Rng rng(99);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const uint64_t bits = rng.Next();
+    const uint64_t got = PrefixXor(bits);
+    uint64_t expected = 0;
+    int running = 0;
+    for (int i = 0; i < 64; ++i) {
+      running ^= static_cast<int>((bits >> i) & 1);
+      expected |= static_cast<uint64_t>(running) << i;
+    }
+    ASSERT_EQ(got, expected) << "bits=" << bits;
+  }
+}
+
+TEST(StructuralIndexTest, CleanFilePrunesQuotedDelimiters) {
+  // The comma inside "b,c" is field content; a certificate-clean scan
+  // must not index it. The quotes, outer commas and newlines remain.
+  const std::string text = "a,\"b,c\",d\n";
+  StructuralIndex index;
+  BuildStructuralIndex(text, Rfc4180Dialect(), &index);
+  EXPECT_TRUE(index.clean_quoting);
+  const std::vector<uint64_t> expected = {1, 2, 6, 7, 9};  // , " " , \n
+  EXPECT_EQ(index.positions, expected);
+}
+
+TEST(StructuralIndexTest, StrayQuoteDisablesPruningFromThatBlockOn) {
+  // 'a"b' trips the adjacency certificate (quote opens mid-field), so
+  // every delimiter must be kept for pass 2 to resolve.
+  const std::string text = "a\"b,c\n";
+  StructuralIndex index;
+  BuildStructuralIndex(text, Rfc4180Dialect(), &index);
+  EXPECT_FALSE(index.clean_quoting);
+  const std::vector<uint64_t> expected = {1, 3, 5};  // " , \n
+  EXPECT_EQ(index.positions, expected);
+}
+
+TEST(StructuralIndexTest, UnterminatedQuoteClearsTheCertificate) {
+  const std::string text = "a,\"bc\n";
+  StructuralIndex index;
+  BuildStructuralIndex(text, Rfc4180Dialect(), &index);
+  EXPECT_FALSE(index.clean_quoting);
+}
+
+TEST(StructuralIndexTest, DoubledQuotesStayCertificateClean) {
+  const std::string text = "\"a\"\"b\",c\n";
+  StructuralIndex index;
+  BuildStructuralIndex(text, Rfc4180Dialect(), &index);
+  EXPECT_TRUE(index.clean_quoting);
+}
+
+TEST(StructuralIndexTest, CarryPropagatesAcrossBlockBoundaries) {
+  // A quoted field spanning several 64-byte blocks: the embedded
+  // delimiters in later blocks must still be pruned.
+  std::string text = "head,\"";
+  text.append(200, 'x');
+  text += ",still,quoted,";
+  text.append(200, 'y');
+  text += "\",tail\n";
+  StructuralIndex index;
+  BuildStructuralIndex(text, Rfc4180Dialect(), &index);
+  EXPECT_TRUE(index.clean_quoting);
+  for (const uint64_t p : index.positions) {
+    // No position may fall strictly inside the quoted span.
+    const bool inside = p > 5 && p < text.size() - 7;
+    EXPECT_FALSE(inside && text[p] == ',') << "pruned delimiter at " << p;
+  }
+  EXPECT_EQ(index.num_blocks, (text.size() + 63) / 64);
+}
+
+TEST(StructuralIndexTest, PositionsAreAscendingStructuralBytes) {
+  Rng rng(77);
+  const std::string pool = "ab,\"\n\rx";
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string text;
+    const size_t len = rng.UniformInt(300);
+    for (size_t i = 0; i < len; ++i) {
+      text += pool[static_cast<size_t>(rng.UniformInt(pool.size()))];
+    }
+    StructuralIndex index;
+    BuildStructuralIndex(text, Rfc4180Dialect(), &index);
+    uint64_t prev = 0;
+    bool first = true;
+    for (const uint64_t p : index.positions) {
+      ASSERT_LT(p, text.size());
+      ASSERT_TRUE(first || p > prev) << "iter " << iter;
+      first = false;
+      prev = p;
+      const char c = text[p];
+      ASSERT_TRUE(c == ',' || c == '"' || c == '\n' || c == '\r')
+          << "iter " << iter << " offset " << p;
+    }
+    // Quotes and newlines are never pruned; only delimiters may be.
+    for (size_t i = 0; i < text.size(); ++i) {
+      const char c = text[i];
+      if (c == '"' || c == '\n' || c == '\r') {
+        ASSERT_TRUE(std::find(index.positions.begin(), index.positions.end(),
+                              static_cast<uint64_t>(i)) !=
+                    index.positions.end())
+            << "iter " << iter << " missing offset " << i;
+      }
+    }
+  }
+}
+
+TEST(StructuralIndexTest, PruningCanBeDisabledForLineLimitedParses) {
+  // With pruning off every delimiter is indexed, even certificate-clean
+  // in-quote ones — the mode the reader uses when oversize-line recovery
+  // could resync mid-quote. The certificate itself is still reported.
+  const std::string text = "a,\"b,c\",d\n";
+  StructuralIndex index;
+  BuildStructuralIndex(text, Rfc4180Dialect(), &index,
+                       /*prune_quoted_delimiters=*/false);
+  EXPECT_TRUE(index.clean_quoting);
+  const std::vector<uint64_t> expected = {1, 2, 4, 6, 7, 9};  // , " , " , \n
+  EXPECT_EQ(index.positions, expected);
+}
+
+TEST(StructuralIndexTest, EmptyInputYieldsEmptyIndex) {
+  StructuralIndex index;
+  BuildStructuralIndex("", Rfc4180Dialect(), &index);
+  EXPECT_TRUE(index.positions.empty());
+  EXPECT_TRUE(index.clean_quoting);
+  EXPECT_EQ(index.num_blocks, 0u);
+}
+
+TEST(ScanModeTest, NamesRoundTrip) {
+  for (const ScanMode mode :
+       {ScanMode::kScalar, ScanMode::kSwar, ScanMode::kAuto}) {
+    ScanMode parsed;
+    ASSERT_TRUE(ParseScanMode(ScanModeName(mode), &parsed));
+    EXPECT_EQ(parsed, mode);
+  }
+  ScanMode unused;
+  EXPECT_FALSE(ParseScanMode("turbo", &unused));
+  EXPECT_FALSE(ParseScanMode("", &unused));
+}
+
+TEST(FallbackMatrixTest, ReasonPerDialect) {
+  Dialect rfc = Rfc4180Dialect();
+  EXPECT_EQ(IndexerFallbackReason(rfc), ScanFallbackReason::kNone);
+  EXPECT_TRUE(IndexerSupportsDialect(rfc));
+
+  Dialect multichar = rfc;
+  multichar.delimiter_text = "||";
+  EXPECT_EQ(IndexerFallbackReason(multichar),
+            ScanFallbackReason::kMultiCharDelimiter);
+
+  // A one-byte delimiter_text is not "multi-char": it indexes fine.
+  Dialect single_text = rfc;
+  single_text.delimiter_text = ";";
+  EXPECT_EQ(IndexerFallbackReason(single_text), ScanFallbackReason::kNone);
+
+  Dialect escape = rfc;
+  escape.escape = '\\';
+  EXPECT_EQ(IndexerFallbackReason(escape), ScanFallbackReason::kEscapeDialect);
+
+  Dialect quote_eq_delim = rfc;
+  quote_eq_delim.quote = ',';
+  EXPECT_EQ(IndexerFallbackReason(quote_eq_delim),
+            ScanFallbackReason::kDegenerateDialect);
+
+  Dialect newline_delim = rfc;
+  newline_delim.delimiter = '\n';
+  EXPECT_EQ(IndexerFallbackReason(newline_delim),
+            ScanFallbackReason::kDegenerateDialect);
+
+  Dialect nul_delim = rfc;
+  nul_delim.delimiter = '\0';
+  EXPECT_EQ(IndexerFallbackReason(nul_delim),
+            ScanFallbackReason::kDegenerateDialect);
+}
+
+TEST(FallbackMatrixTest, AutoRoutesUnsupportedDialectsToScalar) {
+  for (const auto& [make_dialect, reason] :
+       std::vector<std::pair<Dialect, ScanFallbackReason>>{
+           {[] {
+              Dialect d = Rfc4180Dialect();
+              d.delimiter_text = "||";
+              return d;
+            }(),
+            ScanFallbackReason::kMultiCharDelimiter},
+           {[] {
+              Dialect d = Rfc4180Dialect();
+              d.escape = '\\';
+              return d;
+            }(),
+            ScanFallbackReason::kEscapeDialect}}) {
+    ReaderOptions options;
+    options.dialect = make_dialect;
+    options.scan_mode = ScanMode::kAuto;
+    ScanTelemetry telemetry;
+    options.scan_telemetry = &telemetry;
+    auto rows = ParseCsv("a,b\n", options);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_FALSE(telemetry.used_index);
+    EXPECT_EQ(telemetry.fallback, reason);
+    EXPECT_EQ(telemetry.requested, ScanMode::kAuto);
+  }
+}
+
+TEST(FallbackMatrixTest, SwarOnUnsupportedDialectIsUnsupportedDialect) {
+  Dialect multichar = Rfc4180Dialect();
+  multichar.delimiter_text = "::";
+  ReaderOptions options;
+  options.dialect = multichar;
+  options.scan_mode = ScanMode::kSwar;
+  ScanTelemetry telemetry;
+  options.scan_telemetry = &telemetry;
+  auto rows = ParseCsv("a::b\n", options);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kUnsupportedDialect);
+  EXPECT_NE(rows.status().message().find("multichar_delimiter"),
+            std::string::npos)
+      << rows.status().message();
+  EXPECT_EQ(telemetry.fallback, ScanFallbackReason::kMultiCharDelimiter);
+
+  Dialect escape = Rfc4180Dialect();
+  escape.escape = '\\';
+  options.dialect = escape;
+  rows = ParseCsv("a,b\n", options);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kUnsupportedDialect);
+}
+
+TEST(FallbackMatrixTest, AutoOnSupportedDialectUsesTheIndex) {
+  ReaderOptions options;
+  ScanTelemetry telemetry;
+  options.scan_telemetry = &telemetry;
+  auto rows = ParseCsv("a,\"b,c\"\n", options);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(telemetry.used_index);
+  EXPECT_EQ(telemetry.fallback, ScanFallbackReason::kNone);
+  EXPECT_TRUE(telemetry.clean_quoting);
+  EXPECT_GT(telemetry.structural_count, 0u);
+}
+
+TEST(SimdLevelTest, ForceAndResetAreObeyed) {
+  const SimdLevel host = DetectSimdLevel();
+  ForceSimdLevel(SimdLevel::kSwar);
+  StructuralIndex index;
+  BuildStructuralIndex("a,b\n", Rfc4180Dialect(), &index);
+  EXPECT_EQ(index.level, SimdLevel::kSwar);
+  ResetSimdLevel();
+  BuildStructuralIndex("a,b\n", Rfc4180Dialect(), &index);
+  EXPECT_EQ(index.level, host);
+}
+
+}  // namespace
+}  // namespace strudel::csv

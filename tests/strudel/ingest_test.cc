@@ -117,5 +117,25 @@ TEST(IngestTest, ReportMentionsEncodingDialectAndDiagnostics) {
   EXPECT_NE(report.find("diagnostics:"), std::string::npos);
 }
 
+TEST(IngestTest, ScanTelemetryReportsTheIndexedPath) {
+  auto result = IngestText("a,b\n\"1,5\",2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->scan.used_index);
+  EXPECT_EQ(result->scan.fallback, csv::ScanFallbackReason::kNone);
+  EXPECT_GT(result->scan.structural_count, 0u);
+  const std::string report = result->Report();
+  EXPECT_NE(report.find("scan:"), std::string::npos);
+  EXPECT_NE(report.find("structural-index"), std::string::npos);
+}
+
+TEST(IngestTest, ScanModeScalarIsHonoredThroughIngestion) {
+  IngestOptions options;
+  options.reader.scan_mode = csv::ScanMode::kScalar;
+  auto result = IngestText("a,b\n1,2\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->scan.used_index);
+  EXPECT_NE(result->Report().find("scan:     scalar"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace strudel

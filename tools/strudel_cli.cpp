@@ -62,6 +62,17 @@ using namespace strudel;
 
 namespace {
 
+/// Global --scan-mode flag: how every ingestion parses CSV (auto routes
+/// each file to the structural indexer when its dialect allows).
+csv::ScanMode g_scan_mode = csv::ScanMode::kAuto;
+
+/// Ingest options carrying the global CLI flags.
+IngestOptions MakeIngestOptions() {
+  IngestOptions options;
+  options.reader.scan_mode = g_scan_mode;
+  return options;
+}
+
 constexpr int kExitOk = 0;
 constexpr int kExitGeneric = 1;
 constexpr int kExitUsage = 2;
@@ -74,9 +85,15 @@ constexpr int kExitOutput = 7;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: strudel [--budget-ms <n>] [--threads <n>] <command> ...\n"
+      "usage: strudel [--budget-ms <n>] [--threads <n>]\n"
+      "               [--scan-mode <scalar|swar|auto>] <command> ...\n"
       "  --threads <n>: workers for train/classify/extract/batch;\n"
       "                 0 = hardware concurrency (default), 1 = serial\n"
+      "  --scan-mode:   CSV scan path: auto (default) picks the SIMD/SWAR\n"
+      "                 structural indexer when the dialect supports it;\n"
+      "                 scalar forces the byte-at-a-time reference reader;\n"
+      "                 swar demands the indexer (fails on unsupported\n"
+      "                 dialects)\n"
       "  strudel gen <govuk|saus|cius|deex|mendeley|troy> <dir> [files] "
       "[seed]\n"
       "  strudel train <corpus-dir> <model-file>\n"
@@ -158,7 +175,7 @@ std::shared_ptr<ExecutionBudget> MakeBudget(double budget_ms) {
 /// Ingests `path` through the hardened pipeline; on success prints any
 /// repair/diagnostic summary to stderr so the primary output stays clean.
 Result<IngestResult> IngestWithSummary(const std::string& path) {
-  auto ingest = IngestFile(path);
+  auto ingest = IngestFile(path, MakeIngestOptions());
   if (ingest.ok() && !ingest->clean()) {
     std::fprintf(stderr, "note: input needed repairs (%s)\n",
                  ingest->sanitize.clean()
@@ -304,7 +321,7 @@ Status BatchProcessOne(const StrudelCell& model, const std::string& input,
                        const std::filesystem::path& output_path,
                        double budget_ms, std::string& stage_out) {
   stage_out = "ingest";
-  auto ingest = IngestFile(input);
+  auto ingest = IngestFile(input, MakeIngestOptions());
   if (!ingest.ok()) return ingest.status();
 
   stage_out = "predict";
@@ -496,7 +513,7 @@ int CmdInspect(const std::vector<std::string>& args) {
 
 int CmdDoctor(const std::vector<std::string>& args) {
   if (args.size() < 2) return Usage();
-  auto ingest = IngestFile(args[1]);
+  auto ingest = IngestFile(args[1], MakeIngestOptions());
   if (!ingest.ok()) {
     PrintError("ingest", ingest.status(), args[1]);
     return kExitIngest;
@@ -529,6 +546,12 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = std::atoi(arg.substr(10).c_str());
+    } else if (arg == "--scan-mode") {
+      if (i + 1 >= argc || !csv::ParseScanMode(argv[++i], &g_scan_mode)) {
+        return Usage();
+      }
+    } else if (arg.rfind("--scan-mode=", 0) == 0) {
+      if (!csv::ParseScanMode(arg.substr(12), &g_scan_mode)) return Usage();
     } else {
       args.push_back(arg);
     }
