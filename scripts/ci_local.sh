@@ -31,13 +31,15 @@ run_matrix_cell() {
   cmake --build "$build_dir" -j "$(nproc)"
   # The same per-label steps as CI, so a label failure is attributable.
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-      -LE 'faultinjection|modelfuzz|differential'
+      -LE 'faultinjection|modelfuzz|differential|observability'
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
       -L faultinjection
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
       -L modelfuzz
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
       -L differential
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+      -L observability
 }
 
 for compiler in "gcc g++" "clang clang++"; do
@@ -69,5 +71,12 @@ echo "=== csv scan throughput bench smoke ==="
 # SWAR must be >= 1.5x scalar on the clean-numeric workload.
 "$release_dir/bench/bench_csv_throughput" --quick \
     --out "$repo_root/BENCH_csv_scan.json" --min-speedup 1.5
+
+echo "=== trace overhead bench smoke ==="
+# Compiled-in-but-disabled tracing must stay within 3% of untraced
+# throughput.
+cmake --build "$release_dir" -j "$(nproc)" --target bench_trace_overhead
+"$release_dir/bench/bench_trace_overhead" --quick \
+    --out "$repo_root/BENCH_trace_overhead.json" --max-delta 3
 
 echo "=== ci_local: all gates passed ==="

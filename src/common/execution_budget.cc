@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace strudel {
 
 namespace {
@@ -73,11 +76,22 @@ Status ExecutionBudget::Trip(StatusCode code, std::string_view stage,
     exhausted_message_ = "stage '" + exhausted_stage_ + "': " +
                          std::move(detail) + " [" + report.ToString() + "]";
     exhausted_.store(true, std::memory_order_release);
+    // Exhaustion is the event the trace viewer should flag: one instant
+    // per budget, emitted by the first tripper only.
+    trace::Instant("budget.exhausted");
+    static metrics::Counter& exhaustions =
+        metrics::GetCounter("budget.exhaustions");
+    exhaustions.Increment();
   }
   return Status(exhausted_code_, exhausted_message_);
 }
 
 Status ExecutionBudget::Charge(std::string_view stage, uint64_t units) {
+  static metrics::Counter& charges = metrics::GetCounter("budget.charges");
+  static metrics::Counter& charged_units =
+      metrics::GetCounter("budget.charged_units");
+  charges.Increment();
+  charged_units.Add(units);
   const uint64_t total =
       work_.fetch_add(units, std::memory_order_relaxed) + units;
   {

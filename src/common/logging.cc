@@ -2,11 +2,23 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace strudel {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+// Guards sink emission. Lines are formatted outside the lock; only the
+// single write to the sink (or stderr) is serialized, so concurrent
+// loggers can never interleave partial lines.
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+LogSink g_sink = nullptr;
+void* g_sink_user = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -31,6 +43,12 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+void SetLogSink(LogSink sink, void* user) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  g_sink = sink;
+  g_sink_user = user;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -43,8 +61,16 @@ LogMessage::~LogMessage() {
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::string msg = stream_.str();
-  std::fprintf(stderr, "%s\n", msg.c_str());
+  // Format the complete line before taking the lock; hold it only for
+  // the single write.
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (g_sink != nullptr) {
+    g_sink(level_, line, g_sink_user);
+    return;
+  }
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fputc('\n', stderr);
 }
 
 }  // namespace internal

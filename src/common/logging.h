@@ -15,6 +15,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Receives one fully-formatted log line (no trailing newline). Called
+/// under the logging mutex: lines never interleave, and the sink must not
+/// log re-entrantly.
+using LogSink = void (*)(LogLevel level, const std::string& line, void* user);
+
+/// Replaces the stderr writer (tests capture lines through this); pass
+/// nullptr to restore the default.
+void SetLogSink(LogSink sink, void* user);
+
 namespace internal {
 
 class LogMessage {

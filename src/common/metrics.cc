@@ -1,0 +1,193 @@
+#include "common/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace strudel::metrics {
+
+namespace {
+
+/// One registry per instrument kind. Leaked on purpose: instruments must
+/// outlive every call site, including static-destruction-order hazards.
+template <typename T>
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<T>> instruments;
+
+  T& FindOrCreate(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto& slot = instruments[name];
+    if (!slot) slot = std::make_unique<T>();
+    return *slot;
+  }
+};
+
+Registry<Counter>& Counters() {
+  static Registry<Counter>* r = new Registry<Counter>();
+  return *r;
+}
+
+Registry<Gauge>& Gauges() {
+  static Registry<Gauge>* r = new Registry<Gauge>();
+  return *r;
+}
+
+Registry<Histogram>& Histograms() {
+  static Registry<Histogram>* r = new Registry<Histogram>();
+  return *r;
+}
+
+void AppendJsonKey(std::string& out, const std::string& name) {
+  out += "    \"";
+  // Metric names are code-chosen dotted identifiers; escape defensively.
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\": ";
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t sample) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  int64_t seen = min_.load(std::memory_order_relaxed);
+  while (sample < seen &&
+         !min_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (sample > seen &&
+         !max_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::Min() const {
+  return Count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+int64_t Histogram::Max() const {
+  return Count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+Counter& GetCounter(const std::string& name) {
+  return Counters().FindOrCreate(name);
+}
+
+Gauge& GetGauge(const std::string& name) {
+  return Gauges().FindOrCreate(name);
+}
+
+Histogram& GetHistogram(const std::string& name) {
+  return Histograms().FindOrCreate(name);
+}
+
+std::map<std::string, uint64_t> CounterTotals() {
+  std::map<std::string, uint64_t> totals;
+  Registry<Counter>& registry = Counters();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& [name, counter] : registry.instruments) {
+    const uint64_t value = counter->Value();
+    if (value != 0) totals[name] = value;
+  }
+  return totals;
+}
+
+std::string ToJson() {
+  std::string out = "{\n  \"counters\": {";
+  char buf[192];
+  {
+    Registry<Counter>& registry = Counters();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    bool first = true;
+    for (const auto& [name, counter] : registry.instruments) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      AppendJsonKey(out, name);
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, counter->Value());
+      out += buf;
+    }
+    if (!first) out += "\n  ";
+  }
+  out += "},\n  \"gauges\": {";
+  {
+    Registry<Gauge>& registry = Gauges();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    bool first = true;
+    for (const auto& [name, gauge] : registry.instruments) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      AppendJsonKey(out, name);
+      std::snprintf(buf, sizeof(buf), "%" PRId64, gauge->Value());
+      out += buf;
+    }
+    if (!first) out += "\n  ";
+  }
+  out += "},\n  \"histograms\": {";
+  {
+    Registry<Histogram>& registry = Histograms();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    bool first = true;
+    for (const auto& [name, histogram] : registry.instruments) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      AppendJsonKey(out, name);
+      const uint64_t count = histogram->Count();
+      const double mean =
+          count == 0 ? 0.0
+                     : static_cast<double>(histogram->Sum()) /
+                           static_cast<double>(count);
+      std::snprintf(buf, sizeof(buf),
+                    "{\"count\": %" PRIu64 ", \"sum\": %" PRId64
+                    ", \"min\": %" PRId64 ", \"max\": %" PRId64
+                    ", \"mean\": %.3f}",
+                    count, histogram->Sum(), histogram->Min(),
+                    histogram->Max(), mean);
+      out += buf;
+    }
+    if (!first) out += "\n  ";
+  }
+  out += "}\n}\n";
+  return out;
+}
+
+Status WriteJson(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open metrics output: " + path);
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = written == json.size() && std::fclose(file) == 0;
+  if (!ok) return Status::IOError("failed to write metrics output: " + path);
+  return Status::OK();
+}
+
+void ResetForTest() {
+  {
+    Registry<Counter>& registry = Counters();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (auto& [name, counter] : registry.instruments) counter->Reset();
+  }
+  {
+    Registry<Gauge>& registry = Gauges();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (auto& [name, gauge] : registry.instruments) gauge->Reset();
+  }
+  {
+    Registry<Histogram>& registry = Histograms();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (auto& [name, histogram] : registry.instruments) histogram->Reset();
+  }
+}
+
+}  // namespace strudel::metrics

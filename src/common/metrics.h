@@ -1,0 +1,96 @@
+// Process-wide metrics registry: named counters, gauges and histogram-lite
+// aggregates (min/max/sum/count — no buckets), exported as a flat
+// metrics.json. Unlike trace spans, metrics are always on: every instrument
+// is a handful of relaxed atomics, and call sites cache the instrument
+// reference in a function-local static so the registry lock is paid once
+// per site, not per event:
+//
+//   static metrics::Counter& rows = metrics::GetCounter("csv.rows_scanned");
+//   rows.Add(row_count);
+//
+// Registration is idempotent — the same name always returns the same
+// instrument — and instruments live for the process lifetime, so cached
+// references never dangle (including across ResetForTest, which zeroes
+// values in place rather than destroying them).
+
+#ifndef STRUDEL_COMMON_METRICS_H_
+#define STRUDEL_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace strudel::metrics {
+
+/// Monotonic event count (rows scanned, trees trained, budget trips).
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (active threads, model size).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Min/max/sum/count aggregate over recorded samples. No buckets: the four
+/// numbers answer "how many, how big, how skewed" which is all the doctor
+/// summary needs, and they compose across threads with CAS min/max.
+class Histogram {
+ public:
+  void Record(int64_t sample);
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Min/Max are 0 when no samples were recorded.
+  int64_t Min() const;
+  int64_t Max() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{INT64_MIN};
+};
+
+/// Registry lookups: find-or-create by name. O(log n) under a mutex —
+/// cache the reference at the call site (see file comment).
+Counter& GetCounter(const std::string& name);
+Gauge& GetGauge(const std::string& name);
+Histogram& GetHistogram(const std::string& name);
+
+/// All counters with non-zero values, name-ordered. The determinism test
+/// compares these totals across thread counts.
+std::map<std::string, uint64_t> CounterTotals();
+
+/// Flat JSON object: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {count,sum,min,max,mean}}}. Name-ordered, so the
+/// output is byte-stable for a given set of values.
+std::string ToJson();
+
+/// Writes ToJson() to `path`.
+Status WriteJson(const std::string& path);
+
+/// Zeroes every registered instrument in place. References handed out by
+/// the getters stay valid. Test-only: concurrent mutators will race with
+/// the reset and land in either epoch.
+void ResetForTest();
+
+}  // namespace strudel::metrics
+
+#endif  // STRUDEL_COMMON_METRICS_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/trace.h"
+
 namespace strudel {
 
 namespace {
@@ -32,6 +34,11 @@ struct ThreadPool::Job {
   std::mutex error_mu;
   Status first_error;  // first non-OK chunk Status, verbatim
 
+  // Span path of the dispatching loop (empty unless tracing is enabled).
+  // Workers install it so their chunk spans parent under the loop's span
+  // regardless of which physical thread runs them.
+  std::vector<const char*> trace_parent;
+
   // Guarded by the pool's mu_: how many extra workers may still join and
   // how many are currently inside RunChunks.
   int slots = 0;
@@ -42,7 +49,10 @@ ThreadPool::ThreadPool(int num_threads) {
   const int total = ResolveThreadCount(num_threads);
   workers_.reserve(static_cast<size_t>(total - 1));
   for (int i = 0; i < total - 1; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      trace::SetThreadTrack(static_cast<uint32_t>(i) + 1);
+      WorkerLoop();
+    });
   }
 }
 
@@ -79,6 +89,9 @@ Status ThreadPool::SerialFor(size_t begin, size_t end, size_t grain,
 }
 
 Status ThreadPool::RunChunks(Job& job) {
+  // No-op on the dispatching thread (its own span stack is already the
+  // parent); pool workers start with an empty stack and inherit.
+  trace::ScopedInheritedPath inherited(job.trace_parent);
   const bool was_inside = t_inside_parallel_region;
   t_inside_parallel_region = true;
   for (;;) {
@@ -147,6 +160,7 @@ Status ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   job.grain = grain;
   job.fn = &fn;
   job.budget = budget;
+  if (trace::IsEnabled()) job.trace_parent = trace::CurrentPath();
 
   {
     std::unique_lock<std::mutex> lock(mu_);

@@ -1,0 +1,320 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+namespace strudel::trace {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Worker tracks are pinned below this; threads that never called
+/// SetThreadTrack draw ordinals from here up.
+constexpr uint32_t kFirstUnpinnedTrack = 64;
+
+/// Flush threshold for a thread's pending events; spans-per-stage is
+/// coarse so a single pipeline run stays well below it.
+constexpr size_t kFlushThreshold = 4096;
+
+struct Collector {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  Clock::time_point epoch = Clock::now();
+  std::atomic<uint32_t> next_track{kFirstUnpinnedTrack};
+};
+
+Collector& GetCollector() {
+  static Collector* collector = new Collector();
+  return *collector;
+}
+
+struct OpenSpan {
+  const char* name;
+  uint64_t start_ns;
+};
+
+/// Per-thread capture state. Appends never take a lock; `pending` drains
+/// into the collector when `stack` unwinds to empty or the cap is hit.
+struct ThreadState {
+  std::vector<const char*> inherited;  // logical parent installed by a pool
+  std::vector<OpenSpan> stack;
+  std::vector<TraceEvent> pending;
+  uint32_t track = 0;
+  bool track_assigned = false;
+};
+
+ThreadState& GetThreadState() {
+  thread_local ThreadState state;
+  return state;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now() - GetCollector().epoch)
+          .count());
+}
+
+uint32_t TrackOf(ThreadState& state) {
+  if (!state.track_assigned) {
+    state.track = GetCollector().next_track.fetch_add(
+        1, std::memory_order_relaxed);
+    state.track_assigned = true;
+  }
+  return state.track;
+}
+
+std::string JoinPath(const ThreadState& state, const char* leaf) {
+  std::string path;
+  for (const char* part : state.inherited) {
+    path += part;
+    path += '/';
+  }
+  for (const OpenSpan& span : state.stack) {
+    path += span.name;
+    path += '/';
+  }
+  if (leaf != nullptr) path += leaf;
+  return path;
+}
+
+void Flush(ThreadState& state) {
+  if (state.pending.empty()) return;
+  Collector& collector = GetCollector();
+  std::lock_guard<std::mutex> lock(collector.mu);
+  collector.events.insert(collector.events.end(),
+                          std::make_move_iterator(state.pending.begin()),
+                          std::make_move_iterator(state.pending.end()));
+  state.pending.clear();
+}
+
+void MaybeFlush(ThreadState& state) {
+  if (state.stack.empty() || state.pending.size() >= kFlushThreshold) {
+    Flush(state);
+  }
+}
+
+/// Escapes the few characters a span name could smuggle into JSON.
+void AppendJsonEscaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string_view LeafName(std::string_view path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+void Span::Begin(const char* name) {
+  ThreadState& state = GetThreadState();
+  start_ns_ = NowNs();
+  state.stack.push_back({name, start_ns_});
+}
+
+void Span::End() {
+  ThreadState& state = GetThreadState();
+  if (state.stack.empty()) return;  // capture restarted mid-span
+  const OpenSpan open = state.stack.back();
+  state.stack.pop_back();
+  TraceEvent event;
+  event.path = JoinPath(state, open.name);
+  event.phase = 'X';
+  event.track = TrackOf(state);
+  event.start_ns = open.start_ns;
+  event.dur_ns = NowNs() - open.start_ns;
+  state.pending.push_back(std::move(event));
+  MaybeFlush(state);
+}
+
+void Instant(const char* name) {
+  if (!IsEnabled()) return;
+  ThreadState& state = GetThreadState();
+  TraceEvent event;
+  event.path = name;
+  event.phase = 'i';
+  event.track = TrackOf(state);
+  event.start_ns = NowNs();
+  state.pending.push_back(std::move(event));
+  MaybeFlush(state);
+}
+
+void StartCapture() {
+  Collector& collector = GetCollector();
+  {
+    std::lock_guard<std::mutex> lock(collector.mu);
+    collector.events.clear();
+    collector.epoch = Clock::now();
+    collector.next_track.store(kFirstUnpinnedTrack,
+                               std::memory_order_relaxed);
+  }
+  // The capture starter owns track 0.
+  ThreadState& state = GetThreadState();
+  state.track = 0;
+  state.track_assigned = true;
+  state.pending.clear();
+  internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> StopCapture() {
+  internal::g_enabled.store(false, std::memory_order_relaxed);
+  Flush(GetThreadState());
+  return Snapshot();
+}
+
+std::vector<TraceEvent> Snapshot() {
+  Collector& collector = GetCollector();
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(collector.mu);
+    events = collector.events;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.track != b.track) return a.track < b.track;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.path < b.path;
+            });
+  return events;
+}
+
+std::string ToChromeJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  // Thread-name metadata so chrome://tracing labels the tracks.
+  std::vector<uint32_t> tracks;
+  for (const TraceEvent& event : events) tracks.push_back(event.track);
+  std::sort(tracks.begin(), tracks.end());
+  tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
+  bool first = true;
+  for (const uint32_t track : tracks) {
+    char buf[160];
+    const char* label = track == 0 ? "main" : "worker";
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
+                  "\"tid\": %u, \"args\": {\"name\": \"%s-%u\"}}",
+                  track, label, track);
+    if (!first) out += ",\n";
+    first = false;
+    out += buf;
+  }
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",\n";
+    first = false;
+    char buf[128];
+    if (event.phase == 'X') {
+      std::snprintf(buf, sizeof(buf),
+                    "\"ph\": \"X\", \"pid\": 1, \"tid\": %u, \"ts\": %.3f, "
+                    "\"dur\": %.3f",
+                    event.track, static_cast<double>(event.start_ns) / 1e3,
+                    static_cast<double>(event.dur_ns) / 1e3);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "\"ph\": \"i\", \"s\": \"g\", \"pid\": 1, \"tid\": %u, "
+                    "\"ts\": %.3f",
+                    event.track, static_cast<double>(event.start_ns) / 1e3);
+    }
+    out += "  {\"name\": \"";
+    AppendJsonEscaped(out, LeafName(event.path));
+    out += "\", \"cat\": \"strudel\", ";
+    out += buf;
+    out += ", \"args\": {\"path\": \"";
+    AppendJsonEscaped(out, event.path);
+    out += "\"}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeJson(const std::string& path,
+                       const std::vector<TraceEvent>& events) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open trace output: " + path);
+  }
+  const std::string json = ToChromeJson(events);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = written == json.size() && std::fclose(file) == 0;
+  if (!ok) return Status::IOError("failed to write trace output: " + path);
+  return Status::OK();
+}
+
+std::string NormalizedTree(const std::vector<TraceEvent>& events) {
+  // path -> occurrence count; std::map keeps the rendering sorted, and
+  // sorting by full path also sorts every parent before its children.
+  std::map<std::string, size_t> counts;
+  for (const TraceEvent& event : events) {
+    if (event.phase != 'X') continue;
+    ++counts[event.path];
+  }
+  std::string out;
+  for (const auto& [path, count] : counts) {
+    const size_t depth =
+        static_cast<size_t>(std::count(path.begin(), path.end(), '/'));
+    out.append(2 * depth, ' ');
+    out += LeafName(path);
+    if (count > 1) out += " x" + std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<const char*> CurrentPath() {
+  if (!IsEnabled()) return {};
+  const ThreadState& state = GetThreadState();
+  std::vector<const char*> path = state.inherited;
+  for (const OpenSpan& span : state.stack) path.push_back(span.name);
+  return path;
+}
+
+ScopedInheritedPath::ScopedInheritedPath(
+    const std::vector<const char*>& path) {
+  if (path.empty()) return;
+  ThreadState& state = GetThreadState();
+  if (!state.stack.empty() || !state.inherited.empty()) return;
+  state.inherited = path;
+  installed_ = true;
+}
+
+ScopedInheritedPath::~ScopedInheritedPath() {
+  if (!installed_) return;
+  ThreadState& state = GetThreadState();
+  Flush(state);
+  state.inherited.clear();
+}
+
+void SetThreadTrack(uint32_t track) {
+  ThreadState& state = GetThreadState();
+  state.track = track;
+  state.track_assigned = true;
+}
+
+}  // namespace strudel::trace

@@ -1,0 +1,152 @@
+// Zero-dependency tracing: RAII spans buffered per thread and exported as
+// Chrome `chrome://tracing` JSON. The paper's evaluation (§6) reports
+// per-stage costs — dialect detection, featurisation, forest training and
+// inference — and this is the instrument that makes those costs visible in
+// the reproduction: every pipeline stage opens a span, ThreadPool workers
+// inherit the span path of the loop that dispatched them, and budget
+// exhaustions surface as instant events.
+//
+// Cost model. Tracing is compiled in but disabled by default; a disabled
+// span site is ONE relaxed atomic load plus a predictable branch (see
+// bench/bench_trace_overhead.cc for the enforced bound). When enabled,
+// span close appends one event to a thread-local buffer — no lock on the
+// append path; buffers are flushed into the process-wide collector under a
+// mutex only when the thread's span stack unwinds to depth zero (scope
+// exit of the outermost span) or the buffer reaches its cap.
+//
+// Determinism. Spans carry their full logical path ("ingest/csv.parse"),
+// not their physical thread: a ParallelFor chunk running on a pool worker
+// records the dispatching loop's path as its parent, so the span *tree* of
+// a pipeline run is identical at any thread count (timestamps and track
+// ids of course differ). tests/trace_determinism_test.cc holds the
+// pipeline to that.
+
+#ifndef STRUDEL_COMMON_TRACE_H_
+#define STRUDEL_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace strudel::trace {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// True while capture is on. The one load every disabled span site pays.
+inline bool IsEnabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// One collected event. `path` is the slash-joined span path including the
+/// event's own name ("strudel_cell.fit/forest.fit/forest.fit.tree");
+/// timestamps are nanoseconds since StartCapture.
+struct TraceEvent {
+  std::string path;
+  char phase = 'X';    // 'X' complete span, 'i' instant
+  uint32_t track = 0;  // thread ordinal (0 = capture starter, workers > 0)
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+};
+
+/// RAII span. Use the STRUDEL_TRACE_SPAN macro; construct directly only
+/// when the name outlives the span (names are not copied — pass literals).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (!IsEnabled()) return;
+    active_ = true;
+    Begin(name);
+  }
+  ~Span() {
+    if (active_) End();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  bool active_ = false;
+  uint64_t start_ns_ = 0;
+};
+
+/// Records a root-level instant event (budget exhaustion, fallback taken).
+/// Instants deliberately ignore the current span stack so that where a
+/// worker thread happened to be does not leak into the event set.
+void Instant(const char* name);
+
+/// Clears collected events, re-zeroes the clock and enables span sites.
+void StartCapture();
+
+/// Disables span sites and returns every flushed event, ordered by
+/// (track, start). Call with the pipeline quiesced: spans still open on
+/// other threads miss the harvest (their events flush into the next
+/// capture, which StartCapture then discards).
+std::vector<TraceEvent> StopCapture();
+
+/// Copies the events flushed so far without disabling or clearing.
+std::vector<TraceEvent> Snapshot();
+
+/// Renders events as a Chrome trace ("chrome://tracing" / Perfetto): one
+/// complete event per span (ts/dur in microseconds), instants as global
+/// instant events, plus thread-name metadata per track.
+std::string ToChromeJson(const std::vector<TraceEvent>& events);
+
+/// Writes ToChromeJson(events) to `path`.
+Status WriteChromeJson(const std::string& path,
+                       const std::vector<TraceEvent>& events);
+
+/// Canonical text form of the span tree with timestamps and tracks
+/// erased: one line per node, children sorted, repeated siblings
+/// collapsed to "name x<count>". Two runs of the same pipeline must
+/// produce identical normalized trees at any thread count.
+std::string NormalizedTree(const std::vector<TraceEvent>& events);
+
+// --- ThreadPool integration -----------------------------------------------
+
+/// The calling thread's current span path (empty when disabled). Captured
+/// by ParallelFor before dispatching chunks to pool workers.
+std::vector<const char*> CurrentPath();
+
+/// Installs `path` as the logical parent of every span the current thread
+/// opens while in scope. No-op on threads that already have an open span
+/// stack (the dispatching thread runs its own chunks under its real
+/// stack); pool workers start empty, so they pick up the dispatcher's
+/// path. Not re-entrant with itself on the same thread unless nested
+/// loops degrade to serial (they do — see ThreadPool).
+class ScopedInheritedPath {
+ public:
+  explicit ScopedInheritedPath(const std::vector<const char*>& path);
+  ~ScopedInheritedPath();
+  ScopedInheritedPath(const ScopedInheritedPath&) = delete;
+  ScopedInheritedPath& operator=(const ScopedInheritedPath&) = delete;
+
+ private:
+  bool installed_ = false;
+};
+
+/// Pins the current thread's track id (ThreadPool worker i uses i + 1;
+/// the thread that calls StartCapture is track 0; unpinned threads are
+/// assigned ordinals from 64 up in first-event order).
+void SetThreadTrack(uint32_t track);
+
+}  // namespace strudel::trace
+
+#define STRUDEL_TRACE_CONCAT_INNER(a, b) a##b
+#define STRUDEL_TRACE_CONCAT(a, b) STRUDEL_TRACE_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope. `name` must be a
+/// string literal (or otherwise outlive the scope).
+#define STRUDEL_TRACE_SPAN(name)                                      \
+  ::strudel::trace::Span STRUDEL_TRACE_CONCAT(strudel_trace_span_,    \
+                                              __COUNTER__) {          \
+    name                                                              \
+  }
+
+#endif  // STRUDEL_COMMON_TRACE_H_

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "csv/reader.h"
 #include "types/date_parser.h"
 #include "types/value_parser.h"
@@ -102,6 +104,10 @@ std::string_view DialectSourceName(DialectSource source) {
 
 DialectDetection DetectDialectWithFallback(std::string_view text,
                                            const DetectorOptions& options) {
+  STRUDEL_TRACE_SPAN("csv.detect_dialect");
+  static metrics::Counter& detections =
+      metrics::GetCounter("csv.dialect_detections");
+  detections.Increment();
   DialectDetection result;
   result.dialect = Rfc4180Dialect();
 
@@ -182,6 +188,7 @@ DialectDetection DetectDialectWithFallback(std::string_view text,
 
 Result<Dialect> DetectDialect(std::string_view text,
                               const DetectorOptions& options) {
+  STRUDEL_TRACE_SPAN("csv.detect_dialect");
   if (TrimView(text).empty()) {
     return Status::InvalidArgument("cannot detect dialect of empty input");
   }

@@ -6,7 +6,9 @@
 #include <map>
 
 #include "common/execution_budget.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "csv/simd_scan.h"
 
 namespace strudel::csv {
@@ -551,30 +553,51 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
             std::string(ScanFallbackReasonName(reason)).c_str(),
             options.dialect.ToString().c_str()));
       }
+      // Dialect-driven fallback, not a per-reason static: rare enough
+      // that a registry lookup per event is fine.
+      metrics::GetCounter("csv.scan.fallbacks").Increment();
+      metrics::GetCounter(std::string("csv.scan.fallback.") +
+                          std::string(ScanFallbackReasonName(reason)))
+          .Increment();
       mode = ScanMode::kScalar;
     }
   }
 
+  static metrics::Counter& bytes_scanned =
+      metrics::GetCounter("csv.bytes_scanned");
+  static metrics::Counter& rows_scanned =
+      metrics::GetCounter("csv.rows_scanned");
+  bytes_scanned.Add(text.size());
+
   ParseEngine engine(text, options);
   if (mode == ScanMode::kScalar) {
     publish();
-    return engine.RunScalar();
+    STRUDEL_TRACE_SPAN("csv.scan.scalar");
+    auto rows = engine.RunScalar();
+    if (rows.ok()) rows_scanned.Add(rows->size());
+    return rows;
   }
   StructuralIndex index;
-  // Oversize-line recovery force-closes open quotes and resyncs at the
-  // next newline, so quote parity no longer predicts the replay's state.
-  // Whenever that recovery can fire for this input, keep every delimiter
-  // in the index; the replay machine resolves them exactly.
-  const bool line_limit_can_trip =
-      options.max_line_bytes > 0 && options.max_line_bytes < text.size();
-  BuildStructuralIndex(text, options.dialect, &index,
-                       /*prune_quoted_delimiters=*/!line_limit_can_trip);
+  {
+    STRUDEL_TRACE_SPAN("csv.scan.build_index");
+    // Oversize-line recovery force-closes open quotes and resyncs at the
+    // next newline, so quote parity no longer predicts the replay's state.
+    // Whenever that recovery can fire for this input, keep every delimiter
+    // in the index; the replay machine resolves them exactly.
+    const bool line_limit_can_trip =
+        options.max_line_bytes > 0 && options.max_line_bytes < text.size();
+    BuildStructuralIndex(text, options.dialect, &index,
+                         /*prune_quoted_delimiters=*/!line_limit_can_trip);
+  }
   telemetry.used_index = true;
   telemetry.level = index.level;
   telemetry.structural_count = index.positions.size();
   telemetry.clean_quoting = index.clean_quoting;
   publish();
-  return engine.RunIndexed(index);
+  STRUDEL_TRACE_SPAN("csv.scan.index");
+  auto rows = engine.RunIndexed(index);
+  if (rows.ok()) rows_scanned.Add(rows->size());
+  return rows;
 }
 
 Result<Table> ReadTable(std::string_view text, const ReaderOptions& options) {

@@ -2,7 +2,9 @@
 
 #include <cstdint>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace strudel::csv {
 
@@ -133,6 +135,10 @@ std::string SanitizeReport::Summary() const {
 
 std::string Sanitize(std::string_view bytes, const SanitizerOptions& options,
                      SanitizeReport* report, ParseDiagnostics* diagnostics) {
+  STRUDEL_TRACE_SPAN("csv.sanitize");
+  static metrics::Counter& sanitized_bytes =
+      metrics::GetCounter("csv.sanitized_bytes");
+  sanitized_bytes.Add(bytes.size());
   SanitizeReport local_report;
   SanitizeReport& rep = report != nullptr ? *report : local_report;
   rep = SanitizeReport{};

@@ -179,6 +179,8 @@ std::string_view ScanFallbackReasonName(ScanFallbackReason reason) {
       return "escape_dialect";
     case ScanFallbackReason::kDegenerateDialect:
       return "degenerate_dialect";
+    case ScanFallbackReason::kRecoveryForced:
+      return "recovery_forced";
   }
   return "unknown";
 }

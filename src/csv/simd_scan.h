@@ -76,11 +76,18 @@ void ForceSimdLevel(SimdLevel level);
 void ResetSimdLevel();
 
 /// Why a dialect is routed to the scalar reader (the fallback matrix).
+/// The first four are dialect-shaped and decided inside ParseCsv;
+/// kRecoveryForced is decided one layer up, by ingestion's recovery
+/// retry, which re-parses conservatively on the scalar path after the
+/// primary parse fails. Doctor reports the distinction: an unsupported
+/// dialect is a capability gap, a recovery-forced fallback is a damaged
+/// input.
 enum class ScanFallbackReason {
   kNone = 0,             // indexer supports this dialect
   kMultiCharDelimiter,   // delimiter_text longer than one byte
   kEscapeDialect,        // escape character set (backslash-style quoting)
   kDegenerateDialect,    // delimiter collides with quote / newline / NUL
+  kRecoveryForced,       // ingest retried in recovery mode on the scalar path
 };
 
 std::string_view ScanFallbackReasonName(ScanFallbackReason reason);

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "common/math_util.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "ml/dataset.h"
 
 namespace strudel::ml {
@@ -76,6 +78,10 @@ std::vector<std::vector<double>> LinearChainCrf::EmissionScores(
 
 Status LinearChainCrf::Fit(const std::vector<CrfSequence>& sequences,
                            int num_classes) {
+  STRUDEL_TRACE_SPAN("crf.fit");
+  static metrics::Counter& fit_sequences =
+      metrics::GetCounter("crf.fit_sequences");
+  fit_sequences.Add(sequences.size());
   if (sequences.empty()) {
     return Status::InvalidArgument("crf: no training sequences");
   }
@@ -192,6 +198,7 @@ Status LinearChainCrf::Fit(const std::vector<CrfSequence>& sequences,
 }
 
 std::vector<int> LinearChainCrf::Predict(const Matrix& features) const {
+  STRUDEL_TRACE_SPAN("crf.predict");
   const size_t T = features.rows();
   const size_t K = static_cast<size_t>(num_classes_);
   if (T == 0 || K == 0) return {};
@@ -225,6 +232,7 @@ std::vector<int> LinearChainCrf::Predict(const Matrix& features) const {
 
 std::vector<std::vector<double>> LinearChainCrf::PredictMarginals(
     const Matrix& features) const {
+  STRUDEL_TRACE_SPAN("crf.predict");
   const size_t T = features.rows();
   const size_t K = static_cast<size_t>(num_classes_);
   std::vector<std::vector<double>> marginals(T, std::vector<double>(K, 0.0));

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace strudel::ml {
 
@@ -36,6 +38,7 @@ RandomForest::RandomForest(RandomForestOptions options)
     : options_(std::move(options)) {}
 
 Status RandomForest::Fit(const Dataset& data) {
+  STRUDEL_TRACE_SPAN("forest.fit");
   if (!data.Valid()) {
     return Status::InvalidArgument("random forest: invalid dataset");
   }
@@ -72,10 +75,14 @@ Status RandomForest::Fit(const Dataset& data) {
   Status status = ParallelFor(
       options_.num_threads, 0, static_cast<size_t>(num_trees), 1,
       [&](size_t begin, size_t end) -> Status {
+        STRUDEL_TRACE_SPAN("forest.fit.chunk");
+        static metrics::Counter& trees_trained =
+            metrics::GetCounter("ml.trees_trained");
         for (size_t t = begin; t < end; ++t) {
           std::vector<size_t> indices = BootstrapIndices(
               options_.seed, static_cast<int>(t), n, options_.bootstrap);
           STRUDEL_RETURN_IF_ERROR(trees_[t].FitIndices(data, indices));
+          trees_trained.Increment();
         }
         return Status::OK();
       },
@@ -137,6 +144,7 @@ std::vector<double> RandomForest::PredictProba(
 
 std::vector<std::vector<double>> RandomForest::PredictProbaAll(
     const Matrix& features) const {
+  STRUDEL_TRACE_SPAN("forest.predict_all");
   std::vector<std::vector<double>> out(
       features.rows(), std::vector<double>(static_cast<size_t>(num_classes_),
                                            0.0));
@@ -154,6 +162,7 @@ std::vector<std::vector<double>> RandomForest::PredictProbaAll(
 }
 
 std::vector<int> RandomForest::PredictAll(const Matrix& features) const {
+  STRUDEL_TRACE_SPAN("forest.predict_all");
   std::vector<int> out(features.rows(), 0);
   if (trees_.empty()) return out;
   (void)ParallelFor(options_.num_threads, 0, features.rows(),

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "strudel/classes.h"
 #include "strudel/keywords.h"
 
@@ -113,10 +115,14 @@ Status ExtractCellFeaturesImpl(
     const DerivedDetectionResult& detection, const BlockSizeResult& blocks,
     const CellFeatureOptions& options, ExecutionBudget* budget,
     int num_threads, ml::Matrix& features) {
+  STRUDEL_TRACE_SPAN("featurize.cells");
   const int rows = table.num_rows();
   const int cols = table.num_cols();
   const size_t num_features = CellFeatureNames(options).size();
   const auto coords = NonEmptyCellCoordinates(table);
+  static metrics::Counter& cells_featurized =
+      metrics::GetCounter("featurize.cells");
+  cells_featurized.Add(coords.size());
   features = ml::Matrix(coords.size(), num_features);
   if (coords.empty()) return Status::OK();
 

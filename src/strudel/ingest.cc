@@ -1,6 +1,8 @@
 #include "strudel/ingest.h"
 
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace strudel {
 
@@ -28,9 +30,12 @@ std::string IngestResult::Report() const {
                 .c_str()
           : "scalar",
       !scan.used_index && scan.fallback != csv::ScanFallbackReason::kNone
-          ? StrFormat(" (fallback: %s)",
+          ? StrFormat(" (fallback: %s — %s)",
                       std::string(csv::ScanFallbackReasonName(scan.fallback))
-                          .c_str())
+                          .c_str(),
+                      scan.fallback == csv::ScanFallbackReason::kRecoveryForced
+                          ? "damaged input reparsed conservatively"
+                          : "dialect unsupported by the indexer")
                 .c_str()
           : "");
   out += "diagnostics: " + diagnostics.Report();
@@ -39,6 +44,9 @@ std::string IngestResult::Report() const {
 
 Result<IngestResult> IngestText(std::string_view bytes,
                                 const IngestOptions& options) {
+  STRUDEL_TRACE_SPAN("ingest");
+  static metrics::Counter& files = metrics::GetCounter("ingest.files");
+  files.Increment();
   IngestResult result;
   result.diagnostics = csv::ParseDiagnostics(options.max_diagnostics);
 
@@ -76,10 +84,36 @@ Result<IngestResult> IngestText(std::string_view bytes,
         StrFormat("%s parse failed (%s); retrying in recovery mode",
                   std::string(RecoveryPolicyName(reader.policy)).c_str(),
                   table.status().ToString().c_str()));
+    const csv::ScanMode requested_mode = reader.scan_mode;
+    const csv::ScanFallbackReason primary_fallback = result.scan.fallback;
     reader.policy = csv::RecoveryPolicy::kRecover;
+    // Recovery re-parses conservatively on the scalar path: the input
+    // already defeated one parse, so prefer the reference state machine
+    // over the structural index. Only under kAuto — an explicit
+    // scan_mode=swar keeps its config-error semantics.
+    if (requested_mode == csv::ScanMode::kAuto) {
+      reader.scan_mode = csv::ScanMode::kScalar;
+    }
     table = csv::ReadTable(text, reader);
     if (!table.ok()) return table.status();  // cannot happen by contract
     result.recovered = true;
+    if (requested_mode == csv::ScanMode::kAuto && !result.scan.used_index) {
+      // The retry ran with scan_mode forced to scalar, which the reader
+      // reports as "as requested, no fallback". Restore the caller's
+      // view: mode auto fell back to scalar — either for the dialect
+      // reason the primary parse already found, or because recovery
+      // forced it. Doctor tells these apart: the former is a capability
+      // gap, the latter a damaged input.
+      result.scan.requested = requested_mode;
+      result.scan.fallback =
+          primary_fallback != csv::ScanFallbackReason::kNone
+              ? primary_fallback
+              : csv::ScanFallbackReason::kRecoveryForced;
+      if (result.scan.fallback == csv::ScanFallbackReason::kRecoveryForced) {
+        metrics::GetCounter("csv.scan.fallbacks").Increment();
+        metrics::GetCounter("csv.scan.fallback.recovery_forced").Increment();
+      }
+    }
   }
   result.table = *std::move(table);
   return result;

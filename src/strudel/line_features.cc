@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "common/math_util.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "strudel/keywords.h"
 
 namespace strudel {
@@ -125,6 +127,11 @@ Status ExtractLineFeaturesImpl(const csv::Table& table,
                                const LineFeatureOptions& options,
                                ExecutionBudget* budget, int num_threads,
                                ml::Matrix& features) {
+  STRUDEL_TRACE_SPAN("featurize.lines");
+  static metrics::Counter& lines_featurized =
+      metrics::GetCounter("featurize.lines");
+  lines_featurized.Add(
+      static_cast<uint64_t>(std::max(table.num_rows(), 0)));
   const int rows = table.num_rows();
   const int cols = table.num_cols();
   const size_t num_features = LineFeatureNames(options).size();

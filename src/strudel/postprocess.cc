@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace strudel {
 
 namespace {
@@ -129,6 +132,9 @@ int RepairMetadataAfterNotes(const csv::Table& table,
 PostprocessStats PostprocessCellPredictions(
     const csv::Table& table, std::vector<std::vector<int>>& labels,
     const PostprocessOptions& options) {
+  STRUDEL_TRACE_SPAN("postprocess");
+  static metrics::Counter& runs = metrics::GetCounter("postprocess.runs");
+  runs.Increment();
   PostprocessStats stats;
   if (labels.size() != static_cast<size_t>(table.num_rows())) return stats;
   for (const auto& row : labels) {

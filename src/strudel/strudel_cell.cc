@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "strudel/options_io.h"
 #include "strudel/section_io.h"
 
@@ -98,6 +99,7 @@ Status StrudelCell::Fit(const std::vector<AnnotatedFile>& files) {
 }
 
 Status StrudelCell::Fit(const std::vector<const AnnotatedFile*>& files) {
+  STRUDEL_TRACE_SPAN("strudel_cell.fit");
   if (files.empty()) {
     return Status::InvalidArgument("strudel_cell: no training files");
   }
@@ -313,6 +315,7 @@ CellPrediction StrudelCell::Predict(const csv::Table& table) const {
 
 Result<CellPrediction> StrudelCell::TryPredict(const csv::Table& table,
                                                ExecutionBudget* budget) const {
+  STRUDEL_TRACE_SPAN("strudel_cell.predict");
   CellPrediction prediction;
   prediction.classes.assign(
       static_cast<size_t>(std::max(table.num_rows(), 0)),
@@ -346,6 +349,7 @@ Result<CellPrediction> StrudelCell::TryPredict(const csv::Table& table,
     }
     return Status::OK();
   };
+  STRUDEL_TRACE_SPAN("forest.predict");
   STRUDEL_RETURN_IF_ERROR(ParallelFor(options_.num_threads, 0, coords.size(),
                                       kPredictCellChunk, predict_chunk,
                                       budget));

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "strudel/options_io.h"
 #include "strudel/section_io.h"
 
@@ -56,6 +57,7 @@ Status StrudelLine::Fit(const std::vector<AnnotatedFile>& files) {
 }
 
 Status StrudelLine::Fit(const std::vector<const AnnotatedFile*>& files) {
+  STRUDEL_TRACE_SPAN("strudel_line.fit");
   STRUDEL_ASSIGN_OR_RETURN(
       ml::Dataset data,
       BuildDataset(files, options_.features, options_.budget.get(),
@@ -183,6 +185,7 @@ LinePrediction StrudelLine::Predict(const csv::Table& table) const {
 
 Result<LinePrediction> StrudelLine::TryPredict(const csv::Table& table,
                                                ExecutionBudget* budget) const {
+  STRUDEL_TRACE_SPAN("strudel_line.predict");
   LinePrediction prediction;
   const int rows = table.num_rows();
   prediction.classes.assign(static_cast<size_t>(std::max(rows, 0)),
@@ -215,6 +218,7 @@ Result<LinePrediction> StrudelLine::TryPredict(const csv::Table& table,
     }
     return Status::OK();
   };
+  STRUDEL_TRACE_SPAN("forest.predict");
   STRUDEL_RETURN_IF_ERROR(ParallelFor(options_.num_threads, 0,
                                       static_cast<size_t>(rows),
                                       kPredictLineChunk, predict_chunk,

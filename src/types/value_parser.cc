@@ -10,21 +10,179 @@ namespace strudel {
 
 namespace {
 
-// Strips one leading currency marker ($, €, £ as UTF-8, or a 1-3 letter
-// all-caps code like "USD" followed by a space). Returns the remainder.
-std::string_view StripCurrencyPrefix(std::string_view s) {
-  if (!s.empty() && s.front() == '$') return s.substr(1);
-  // UTF-8 Euro sign (E2 82 AC) and Pound sign (C2 A3).
+// Length in bytes of a currency symbol at the start of `s` ($, € as
+// UTF-8 E2 82 AC, £ as C2 A3), 0 when absent.
+size_t CurrencyPrefixLen(std::string_view s) {
+  if (!s.empty() && s.front() == '$') return 1;
   if (s.size() >= 3 && static_cast<unsigned char>(s[0]) == 0xE2 &&
       static_cast<unsigned char>(s[1]) == 0x82 &&
       static_cast<unsigned char>(s[2]) == 0xAC) {
-    return s.substr(3);
+    return 3;
   }
   if (s.size() >= 2 && static_cast<unsigned char>(s[0]) == 0xC2 &&
       static_cast<unsigned char>(s[1]) == 0xA3) {
-    return s.substr(2);
+    return 2;
   }
-  return s;
+  return 0;
+}
+
+// Length in bytes of a currency symbol at the end of `s`, 0 when absent.
+size_t CurrencySuffixLen(std::string_view s) {
+  if (!s.empty() && s.back() == '$') return 1;
+  if (s.size() >= 3 &&
+      static_cast<unsigned char>(s[s.size() - 3]) == 0xE2 &&
+      static_cast<unsigned char>(s[s.size() - 2]) == 0x82 &&
+      static_cast<unsigned char>(s[s.size() - 1]) == 0xAC) {
+    return 3;
+  }
+  if (s.size() >= 2 &&
+      static_cast<unsigned char>(s[s.size() - 2]) == 0xC2 &&
+      static_cast<unsigned char>(s[s.size() - 1]) == 0xA3) {
+    return 2;
+  }
+  return 0;
+}
+
+// Exactly three ASCII uppercase letters (ISO 4217 shape: USD, EUR, ...).
+bool IsCurrencyCode(std::string_view s) {
+  if (s.size() != 3) return false;
+  for (const char c : s) {
+    if (c < 'A' || c > 'Z') return false;
+  }
+  return true;
+}
+
+// Digit groups separated by `sep`: the first group needs at least one
+// digit, every later group exactly three ("1,234,567" but not "1,23" or
+// "12,"). Any other character disqualifies.
+bool ValidateGroups(std::string_view part, char sep) {
+  size_t group_len = 0;
+  bool saw_sep = false;
+  for (const char c : part) {
+    if (c == sep) {
+      if (group_len == 0) return false;
+      if (saw_sep && group_len != 3) return false;
+      saw_sep = true;
+      group_len = 0;
+    } else if (IsDigitAscii(c)) {
+      ++group_len;
+      if (saw_sep && group_len > 3) return false;
+    } else {
+      return false;
+    }
+  }
+  return group_len > 0 && (!saw_sep || group_len == 3);
+}
+
+void AppendWithoutSeparator(std::string& out, std::string_view part,
+                            char sep) {
+  for (const char c : part) {
+    if (c != sep) out += c;
+  }
+}
+
+struct CoreNumber {
+  std::string digits;  // strtod-ready: plain digits, '.' decimal point
+  bool is_integer = true;
+};
+
+// Parses the bare numeric token left after affix stripping: digits with
+// optional thousands grouping, optional decimal part, optional exponent.
+// Both conventions are accepted — US "1,234.50" and EU "1.234,50" — with
+// the decimal separator decided by which of '.' and ',' occurs last when
+// both appear. A lone comma stays a thousands separator ("1,23" is NOT
+// 1.23) and a lone dot stays a decimal point ("1.234" is NOT 1234), so
+// the common single-separator cases keep their historical meaning; two or
+// more dots with valid 3-digit groups read as EU grouping ("1.234.567"),
+// while ragged groups like "1.2.3" or "127.0.0.1" stay non-numeric.
+std::optional<CoreNumber> ParseCore(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+
+  size_t m = 0;
+  size_t dots = 0;
+  size_t commas = 0;
+  size_t last_dot = 0;
+  size_t last_comma = 0;
+  bool any_digit = false;
+  while (m < s.size() &&
+         (IsDigitAscii(s[m]) || s[m] == '.' || s[m] == ',')) {
+    if (s[m] == '.') {
+      ++dots;
+      last_dot = m;
+    } else if (s[m] == ',') {
+      ++commas;
+      last_comma = m;
+    } else {
+      any_digit = true;
+    }
+    ++m;
+  }
+  const std::string_view mantissa = s.substr(0, m);
+  std::string_view rest = s.substr(m);
+  if (!any_digit) return std::nullopt;
+
+  CoreNumber out;
+  if (dots == 0 && commas == 0) {
+    out.digits = mantissa;
+  } else if (dots == 0) {
+    // Commas only: US thousands grouping, integer value.
+    if (!ValidateGroups(mantissa, ',')) return std::nullopt;
+    AppendWithoutSeparator(out.digits, mantissa, ',');
+  } else if (commas == 0 && dots == 1) {
+    // One dot: plain US decimal (".5", "12.5", "5.").
+    out.digits = mantissa;
+    out.is_integer = false;
+  } else if (commas == 0) {
+    // Two or more dots: EU thousands grouping, integer value.
+    if (!ValidateGroups(mantissa, '.')) return std::nullopt;
+    AppendWithoutSeparator(out.digits, mantissa, '.');
+  } else if (last_dot > last_comma) {
+    // Both present, dot last: US "1,234.50".
+    if (dots != 1) return std::nullopt;
+    const std::string_view whole = mantissa.substr(0, last_dot);
+    const std::string_view frac = mantissa.substr(last_dot + 1);
+    if (!ValidateGroups(whole, ',')) return std::nullopt;
+    if (frac.find(',') != std::string_view::npos) return std::nullopt;
+    AppendWithoutSeparator(out.digits, whole, ',');
+    out.digits += '.';
+    out.digits += frac;
+    out.is_integer = false;
+  } else {
+    // Both present, comma last: EU "1.234,50".
+    if (commas != 1) return std::nullopt;
+    const std::string_view whole = mantissa.substr(0, last_comma);
+    const std::string_view frac = mantissa.substr(last_comma + 1);
+    if (!ValidateGroups(whole, '.')) return std::nullopt;
+    if (frac.empty() || frac.find('.') != std::string_view::npos) {
+      return std::nullopt;
+    }
+    AppendWithoutSeparator(out.digits, whole, '.');
+    out.digits += '.';
+    out.digits += frac;
+    out.is_integer = false;
+  }
+
+  // Optional exponent consumes the rest or the value is junk-trailed.
+  if (!rest.empty() && (rest.front() == 'e' || rest.front() == 'E')) {
+    size_t i = 1;
+    std::string exp_part = "e";
+    if (i < rest.size() && (rest[i] == '+' || rest[i] == '-')) {
+      exp_part += rest[i];
+      ++i;
+    }
+    const size_t exp_digit_start = i;
+    while (i < rest.size() && IsDigitAscii(rest[i])) {
+      exp_part += rest[i];
+      ++i;
+    }
+    if (i > exp_digit_start && i == rest.size()) {
+      out.digits += exp_part;
+      out.is_integer = false;
+      rest = {};
+    }
+  }
+  if (!rest.empty()) return std::nullopt;
+  return out;
 }
 
 }  // namespace
@@ -33,105 +191,82 @@ std::optional<ParsedNumber> ParseNumber(std::string_view value) {
   std::string_view s = TrimView(value);
   if (s.empty()) return std::nullopt;
 
+  // Affixes compose in any order — "($1,234.50)", "-$5", "1.234,50 €",
+  // "(USD 20)" — but each kind is stripped at most once, so "--5" and
+  // "$$5" stay non-numeric. A parenthesis wrap after an explicit sign is
+  // rejected ("-(5)"): the two negation spellings don't stack.
   bool negative = false;
-  // Accounting-style negative: "(1,234)".
-  if (s.size() >= 2 && s.front() == '(' && s.back() == ')') {
-    negative = true;
-    s = TrimView(s.substr(1, s.size() - 2));
-    if (s.empty()) return std::nullopt;
-  }
-
-  s = TrimView(StripCurrencyPrefix(s));
-  if (s.empty()) return std::nullopt;
-
   bool percent = false;
-  if (s.back() == '%') {
-    percent = true;
-    s = TrimView(s.substr(0, s.size() - 1));
-    if (s.empty()) return std::nullopt;
-  }
-
-  if (s.front() == '+' || s.front() == '-') {
-    if (s.front() == '-') negative = !negative;
-    s = s.substr(1);
-    if (s.empty()) return std::nullopt;
-  }
-
-  // Validate the remaining shape: digits with optional well-formed
-  // thousands grouping, optional decimal part, optional exponent.
-  std::string digits;
-  digits.reserve(s.size());
-  size_t i = 0;
-  bool saw_digit = false;
-  bool saw_separator = false;
-  int group_len = 0;
-  while (i < s.size() && (IsDigitAscii(s[i]) || s[i] == ',')) {
-    if (s[i] == ',') {
-      // Separator must follow 1-3 leading digits and then exactly 3-digit
-      // groups; a trailing or doubled comma disqualifies the value.
-      if (group_len == 0) return std::nullopt;
-      if (saw_separator && group_len != 3) return std::nullopt;
-      saw_separator = true;
-      group_len = 0;
-    } else {
-      digits += s[i];
-      saw_digit = true;
-      ++group_len;
-      if (saw_separator && group_len > 3) return std::nullopt;
+  bool wrapped = false;
+  bool currency = false;
+  bool sign = false;
+  bool progress = true;
+  while (progress && !s.empty()) {
+    progress = false;
+    // Accounting-style negative: "(1,234)"; "(-5)" flips back to +5.
+    if (!wrapped && !sign && s.size() >= 2 && s.front() == '(' &&
+        s.back() == ')') {
+      wrapped = true;
+      negative = !negative;
+      s = TrimView(s.substr(1, s.size() - 2));
+      progress = true;
+      continue;
     }
-    ++i;
-  }
-  if (saw_separator && group_len != 3) return std::nullopt;
-
-  bool is_integer = true;
-  if (i < s.size() && s[i] == '.') {
-    is_integer = false;
-    digits += '.';
-    ++i;
-    size_t frac_start = i;
-    while (i < s.size() && IsDigitAscii(s[i])) {
-      digits += s[i];
-      ++i;
+    if (!sign && (s.front() == '+' || s.front() == '-')) {
+      if (s.front() == '-') negative = !negative;
+      sign = true;
+      s = s.substr(1);
+      progress = true;
+      continue;
     }
-    if (i == frac_start && !saw_digit) return std::nullopt;  // lone "."
-    saw_digit = saw_digit || i > frac_start;
-  }
-  if (!saw_digit) return std::nullopt;
-
-  // Optional exponent.
-  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
-    size_t exp_start = i;
-    std::string exp_part;
-    exp_part += 'e';
-    ++i;
-    if (i < s.size() && (s[i] == '+' || s[i] == '-')) {
-      exp_part += s[i];
-      ++i;
+    if (!currency) {
+      const size_t prefix = CurrencyPrefixLen(s);
+      if (prefix > 0) {
+        currency = true;
+        s = TrimView(s.substr(prefix));
+        progress = true;
+        continue;
+      }
+      if (s.size() >= 4 && s[3] == ' ' && IsCurrencyCode(s.substr(0, 3))) {
+        currency = true;
+        s = TrimView(s.substr(4));
+        progress = true;
+        continue;
+      }
+      const size_t suffix = CurrencySuffixLen(s);
+      if (suffix > 0) {
+        currency = true;
+        s = TrimView(s.substr(0, s.size() - suffix));
+        progress = true;
+        continue;
+      }
+      if (s.size() >= 4 && s[s.size() - 4] == ' ' &&
+          IsCurrencyCode(s.substr(s.size() - 3))) {
+        currency = true;
+        s = TrimView(s.substr(0, s.size() - 4));
+        progress = true;
+        continue;
+      }
     }
-    size_t exp_digits = 0;
-    while (i < s.size() && IsDigitAscii(s[i])) {
-      exp_part += s[i];
-      ++i;
-      ++exp_digits;
-    }
-    if (exp_digits == 0) {
-      i = exp_start;  // "12e" -> not an exponent, and trailing junk below
-    } else {
-      digits += exp_part;
-      is_integer = false;
+    if (!percent && s.back() == '%') {
+      percent = true;
+      s = TrimView(s.substr(0, s.size() - 1));
+      progress = true;
+      continue;
     }
   }
 
-  if (i != s.size()) return std::nullopt;  // trailing junk
+  auto core = ParseCore(s);
+  if (!core) return std::nullopt;
 
-  double magnitude = std::strtod(digits.c_str(), nullptr);
+  const double magnitude = std::strtod(core->digits.c_str(), nullptr);
   ParsedNumber out;
   out.value = negative ? -magnitude : magnitude;
   if (percent) {
     out.value /= 100.0;
     out.is_integer = false;
   } else {
-    out.is_integer = is_integer;
+    out.is_integer = core->is_integer;
   }
   return out;
 }

@@ -1,0 +1,96 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace strudel::metrics {
+namespace {
+
+class MetricsRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetForTest(); }
+  void TearDown() override { ResetForTest(); }
+};
+
+TEST_F(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  Counter& a = GetCounter("test.same");
+  Counter& b = GetCounter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3u);
+}
+
+TEST_F(MetricsRegistryTest, CountersSurviveResetByReference) {
+  Counter& counter = GetCounter("test.survives");
+  counter.Add(5);
+  ResetForTest();
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  EXPECT_EQ(GetCounter("test.survives").Value(), 1u);
+}
+
+TEST_F(MetricsRegistryTest, CounterTotalsSkipsZeroes) {
+  GetCounter("test.zero");
+  GetCounter("test.nonzero").Add(2);
+  const auto totals = CounterTotals();
+  EXPECT_EQ(totals.count("test.zero"), 0u);
+  ASSERT_EQ(totals.count("test.nonzero"), 1u);
+  EXPECT_EQ(totals.at("test.nonzero"), 2u);
+}
+
+TEST_F(MetricsRegistryTest, HistogramTracksMinMaxSumCount) {
+  Histogram& hist = GetHistogram("test.hist");
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_EQ(hist.Min(), 0);
+  EXPECT_EQ(hist.Max(), 0);
+  hist.Record(5);
+  hist.Record(-3);
+  hist.Record(10);
+  EXPECT_EQ(hist.Count(), 3u);
+  EXPECT_EQ(hist.Sum(), 12);
+  EXPECT_EQ(hist.Min(), -3);
+  EXPECT_EQ(hist.Max(), 10);
+}
+
+TEST_F(MetricsRegistryTest, ConcurrentAddsAreLossless) {
+  Counter& counter = GetCounter("test.concurrent");
+  Histogram& hist = GetHistogram("test.concurrent_hist");
+  constexpr int kThreads = 8;
+  constexpr int kOps = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &hist] {
+      for (int i = 0; i < kOps; ++i) {
+        counter.Increment();
+        hist.Record(i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(hist.Count(), static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(hist.Min(), 0);
+  EXPECT_EQ(hist.Max(), kOps - 1);
+}
+
+TEST_F(MetricsRegistryTest, JsonCoversAllThreeKinds) {
+  GetCounter("test.c").Add(1);
+  GetGauge("test.g").Set(-7);
+  GetHistogram("test.h").Record(4);
+  const std::string json = ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.c\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"test.g\": -7"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  int braces = 0;
+  for (const char c : json) braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+  EXPECT_EQ(braces, 0);
+}
+
+}  // namespace
+}  // namespace strudel::metrics

@@ -1,0 +1,144 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace strudel::trace {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    // Leave tracing disabled and the collector drained for the next test.
+    (void)StopCapture();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  { STRUDEL_TRACE_SPAN("ignored"); }
+  Instant("also_ignored");
+  StartCapture();
+  const std::vector<TraceEvent> events = StopCapture();
+  EXPECT_TRUE(events.empty());
+}
+
+TEST_F(TraceTest, NestedSpansRecordFullPaths) {
+  StartCapture();
+  {
+    STRUDEL_TRACE_SPAN("outer");
+    { STRUDEL_TRACE_SPAN("inner"); }
+    { STRUDEL_TRACE_SPAN("inner"); }
+  }
+  const std::vector<TraceEvent> events = StopCapture();
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted by (track, start): outer opened first.
+  EXPECT_EQ(events[0].path, "outer");
+  EXPECT_EQ(events[1].path, "outer/inner");
+  EXPECT_EQ(events[2].path, "outer/inner");
+  EXPECT_GE(events[0].dur_ns, events[1].dur_ns);
+}
+
+TEST_F(TraceTest, InstantsIgnoreTheOpenStack) {
+  StartCapture();
+  {
+    STRUDEL_TRACE_SPAN("stage");
+    Instant("budget.exhausted");
+  }
+  const std::vector<TraceEvent> events = StopCapture();
+  ASSERT_EQ(events.size(), 2u);
+  bool found = false;
+  for (const TraceEvent& event : events) {
+    if (event.phase == 'i') {
+      EXPECT_EQ(event.path, "budget.exhausted");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceTest, NormalizedTreeCollapsesRepeatedSiblings) {
+  StartCapture();
+  {
+    STRUDEL_TRACE_SPAN("fit");
+    { STRUDEL_TRACE_SPAN("tree"); }
+    { STRUDEL_TRACE_SPAN("tree"); }
+    { STRUDEL_TRACE_SPAN("tree"); }
+    { STRUDEL_TRACE_SPAN("oob"); }
+  }
+  const std::string tree = NormalizedTree(StopCapture());
+  EXPECT_EQ(tree, "fit\n  oob\n  tree x3\n");
+}
+
+TEST_F(TraceTest, ScopedInheritedPathParentsWorkerSpans) {
+  StartCapture();
+  std::vector<const char*> parent;
+  {
+    STRUDEL_TRACE_SPAN("dispatch");
+    parent = CurrentPath();
+    std::thread worker([&parent] {
+      SetThreadTrack(7);
+      ScopedInheritedPath inherited(parent);
+      STRUDEL_TRACE_SPAN("chunk");
+    });
+    worker.join();
+  }
+  const std::vector<TraceEvent> events = StopCapture();
+  ASSERT_EQ(events.size(), 2u);
+  // Track 0 (this thread) sorts before track 7 (the worker).
+  EXPECT_EQ(events[0].path, "dispatch");
+  EXPECT_EQ(events[1].path, "dispatch/chunk");
+  EXPECT_EQ(events[1].track, 7u);
+}
+
+TEST_F(TraceTest, InheritedPathIsNoOpUnderAnOpenStack) {
+  StartCapture();
+  std::vector<const char*> foreign = {"foreign"};
+  {
+    STRUDEL_TRACE_SPAN("own");
+    ScopedInheritedPath inherited(foreign);  // must not re-root "nested"
+    { STRUDEL_TRACE_SPAN("nested"); }
+  }
+  const std::vector<TraceEvent> events = StopCapture();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].path, "own");
+  EXPECT_EQ(events[1].path, "own/nested");
+}
+
+TEST_F(TraceTest, ChromeJsonHasCompleteEventsAndMetadata) {
+  StartCapture();
+  {
+    STRUDEL_TRACE_SPAN("stage");
+    Instant("event");
+  }
+  const std::string json = ToChromeJson(StopCapture());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"stage\""), std::string::npos);
+  // Crude structural sanity: balanced braces and brackets.
+  int braces = 0;
+  int brackets = 0;
+  for (const char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(TraceTest, StartCaptureDiscardsThePreviousCapture) {
+  StartCapture();
+  { STRUDEL_TRACE_SPAN("old"); }
+  StartCapture();
+  { STRUDEL_TRACE_SPAN("new"); }
+  const std::vector<TraceEvent> events = StopCapture();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].path, "new");
+}
+
+}  // namespace
+}  // namespace strudel::trace

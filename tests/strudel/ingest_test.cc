@@ -4,6 +4,7 @@
 
 #include <fstream>
 
+#include "csv/simd_scan.h"
 #include "csv/writer.h"
 #include "testing/test_tables.h"
 
@@ -60,6 +61,22 @@ TEST(IngestTest, BudgetOverrunFallsBackToRecovery) {
                 csv::DiagnosticCategory::kRecoveryFallback),
             1u);
   EXPECT_GE(result->table.num_rows(), 1);
+}
+
+TEST(IngestTest, RecoveryRetryRecordsForcedScalarFallbackReason) {
+  IngestOptions options;
+  options.reader.max_cells = 4;
+  auto result = IngestText("a,b\nc,d\ne,f\ng,h\n", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->recovered);
+  // The recovery retry forced the conservative scalar path; telemetry must
+  // say why, and distinguish it from an indexer capability gap.
+  EXPECT_EQ(result->scan.requested, csv::ScanMode::kAuto);
+  EXPECT_FALSE(result->scan.used_index);
+  EXPECT_EQ(result->scan.fallback, csv::ScanFallbackReason::kRecoveryForced);
+  const std::string report = result->Report();
+  EXPECT_NE(report.find("recovery_forced"), std::string::npos) << report;
+  EXPECT_NE(report.find("damaged input"), std::string::npos) << report;
 }
 
 TEST(IngestTest, RecoveryFallbackCanBeDisabled) {

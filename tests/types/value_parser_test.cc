@@ -54,6 +54,32 @@ INSTANTIATE_TEST_SUITE_P(
                       NumberCase{"2.5E-2", 0.025, false},
                       NumberCase{"1e+2", 100.0, false}));
 
+// Compositions of parentheses, currency and separators; the bugs these
+// pin down were surfaced by the observability PR's value audit.
+INSTANTIATE_TEST_SUITE_P(
+    AffixCompositions, ParseNumberValidTest,
+    ::testing::Values(NumberCase{"($1,234.50)", -1234.50, false},
+                      NumberCase{"$(1,234.50)", -1234.50, false},
+                      NumberCase{"-$1,234.50", -1234.50, false},
+                      NumberCase{"$-5", -5.0, true},
+                      NumberCase{"(USD 20)", -20.0, true},
+                      NumberCase{"USD 1,200", 1200.0, true},
+                      NumberCase{"12 USD", 12.0, true},
+                      NumberCase{"(-5)", 5.0, true},
+                      NumberCase{"(5%)", -0.05, false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    EuropeanSeparators, ParseNumberValidTest,
+    ::testing::Values(NumberCase{"1.234,50", 1234.50, false},
+                      NumberCase{"(1.234,50 \xE2\x82\xAC)", -1234.50, false},
+                      NumberCase{"1.234,50 \xE2\x82\xAC", 1234.50, false},
+                      NumberCase{"\xE2\x82\xAC"
+                                 " 99",
+                                 99.0, true},
+                      NumberCase{"99 \xC2\xA3", 99.0, true},
+                      NumberCase{"1.234.567", 1234567.0, true},
+                      NumberCase{"(1.234)", -1.234, false}));
+
 class ParseNumberInvalidTest : public ::testing::TestWithParam<const char*> {
 };
 
@@ -66,6 +92,20 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("", "   ", "abc", "12 apples", "1,23", "1,2345",
                       ",123", "12,", "--5", "1.2.3", "()", "%", "$",
                       "one", "12e", "N/A", "-", "1 2"));
+
+INSTANTIATE_TEST_SUITE_P(
+    AffixCompositionRejections, ParseNumberInvalidTest,
+    ::testing::Values("$$5",        // currency stripped at most once
+                      "-(5)",       // negation spellings don't stack
+                      "((5))",      // parens stripped at most once
+                      "12USD",      // letter codes need a separator space
+                      "USD",        // currency with no number
+                      "12E",        // uppercase E is not a currency code
+                      "1.23,45",    // EU grouping must be 3-digit groups
+                      "1.234,",     // EU decimal part needs a digit
+                      "127.0.0.1",  // dotted quad is not EU grouping
+                      "1.234.56",   // ragged EU groups
+                      "5%%"));      // percent stripped at most once
 
 TEST(ParseDoubleTest, MatchesParseNumber) {
   EXPECT_EQ(ParseDouble("1,000").value(), 1000.0);

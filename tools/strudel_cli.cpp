@@ -23,6 +23,12 @@
 // loop (0 = hardware concurrency, 1 = serial); outputs are bit-identical
 // at any thread count.
 //
+// Observability: --trace <file> captures every pipeline stage as spans and
+// writes a chrome://tracing-loadable JSON on exit; --metrics <file> dumps
+// the process-wide counter/gauge/histogram registry. Both wrap whichever
+// command runs, cost nothing when absent, and never change the exit code
+// of a command that already failed.
+//
 // Exit codes distinguish failure classes so scripts can branch without
 // scraping stderr:
 //   0  success
@@ -47,7 +53,9 @@
 #include <vector>
 
 #include "common/execution_budget.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "csv/crop.h"
 #include "csv/dialect_detector.h"
 #include "csv/reader.h"
@@ -86,7 +94,9 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: strudel [--budget-ms <n>] [--threads <n>]\n"
-      "               [--scan-mode <scalar|swar|auto>] <command> ...\n"
+      "               [--scan-mode <scalar|swar|auto>]\n"
+      "               [--trace <out.json>] [--metrics <out.json>]\n"
+      "               <command> ...\n"
       "  --threads <n>: workers for train/classify/extract/batch;\n"
       "                 0 = hardware concurrency (default), 1 = serial\n"
       "  --scan-mode:   CSV scan path: auto (default) picks the SIMD/SWAR\n"
@@ -94,6 +104,10 @@ int Usage() {
       "                 scalar forces the byte-at-a-time reference reader;\n"
       "                 swar demands the indexer (fails on unsupported\n"
       "                 dialects)\n"
+      "  --trace:       write a chrome://tracing JSON of every pipeline\n"
+      "                 stage the command ran (load it at ui.perfetto.dev)\n"
+      "  --metrics:     write the flat metrics registry (counters, gauges,\n"
+      "                 histograms) as JSON when the command finishes\n"
       "  strudel gen <govuk|saus|cius|deex|mendeley|troy> <dir> [files] "
       "[seed]\n"
       "  strudel train <corpus-dir> <model-file>\n"
@@ -315,23 +329,46 @@ int CmdExtract(const std::vector<std::string>& args, double budget_ms,
   return kExitOk;
 }
 
+/// Wall-clock milliseconds each batch stage spent on one file; a stage
+/// that never ran (earlier stage failed) stays at zero.
+struct BatchTimings {
+  double ingest_ms = 0.0;
+  double predict_ms = 0.0;
+  double output_ms = 0.0;
+};
+
+/// Milliseconds elapsed since `start`.
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 /// Classifies one batch file end to end; writes the per-line/cell classes
-/// to `output_path` on success. Failures name the stage in `stage_out`.
+/// to `output_path` on success. Failures name the stage in `stage_out`;
+/// per-stage wall-clock goes to `timings_out` either way.
 Status BatchProcessOne(const StrudelCell& model, const std::string& input,
                        const std::filesystem::path& output_path,
-                       double budget_ms, std::string& stage_out) {
+                       double budget_ms, std::string& stage_out,
+                       BatchTimings& timings_out) {
   stage_out = "ingest";
+  auto stage_start = std::chrono::steady_clock::now();
   auto ingest = IngestFile(input, MakeIngestOptions());
+  timings_out.ingest_ms = MsSince(stage_start);
   if (!ingest.ok()) return ingest.status();
 
   stage_out = "predict";
+  stage_start = std::chrono::steady_clock::now();
   auto budget = MakeBudget(budget_ms);
   auto prediction = model.TryPredict(ingest->table, budget.get());
+  timings_out.predict_ms = MsSince(stage_start);
   if (!prediction.ok()) return prediction.status();
 
   stage_out = "output";
+  stage_start = std::chrono::steady_clock::now();
   std::ofstream out(output_path);
   if (!out) {
+    timings_out.output_ms = MsSince(stage_start);
     return Status::IOError("cannot open output file: " +
                            output_path.string());
   }
@@ -349,6 +386,7 @@ Status BatchProcessOne(const StrudelCell& model, const std::string& input,
     out << '\n';
   }
   out.flush();
+  timings_out.output_ms = MsSince(stage_start);
   if (!out) {
     return Status::IOError("write failed: " + output_path.string());
   }
@@ -360,6 +398,7 @@ struct BatchEntry {
   Status status;
   std::string stage;
   std::string output;  // relative to the output dir, successes only
+  BatchTimings timings;
 };
 
 int CmdBatch(const std::vector<std::string>& args, double budget_ms,
@@ -413,7 +452,7 @@ int CmdBatch(const std::vector<std::string>& args, double budget_ms,
       const fs::path output_path =
           output_dir / "results" / (entry.file + ".classes");
       entry.status = BatchProcessOne(*model, input.string(), output_path,
-                                     budget_ms, entry.stage);
+                                     budget_ms, entry.stage, entry.timings);
       if (entry.status.ok()) {
         entry.output = "results/" + entry.file + ".classes";
       } else {
@@ -450,13 +489,16 @@ int CmdBatch(const std::vector<std::string>& args, double budget_ms,
     report << "    {\"file\": \"" << Escape(entry.file) << "\", ";
     if (entry.status.ok()) {
       report << "\"status\": \"ok\", \"output\": \"" << Escape(entry.output)
-             << "\"}";
+             << "\"";
     } else {
       report << "\"status\": \"quarantined\", \"stage\": \""
              << Escape(entry.stage) << "\", \"code\": \""
              << StatusCodeToString(entry.status.code()) << "\", \"message\": \""
-             << Escape(entry.status.message()) << "\"}";
+             << Escape(entry.status.message()) << "\"";
     }
+    report << ", \"timings_ms\": {\"ingest\": " << entry.timings.ingest_ms
+           << ", \"predict\": " << entry.timings.predict_ms
+           << ", \"output\": " << entry.timings.output_ms << "}}";
     report << (i + 1 < entries.size() ? ",\n" : "\n");
   }
   report << "  ]\n}\n";
@@ -525,7 +567,38 @@ int CmdDoctor(const std::vector<std::string>& args) {
                   : (ingest->recovered
                          ? "recovered — parse needed recovery mode"
                          : "repaired — parses after tolerated repairs"));
+  // Observability summary: every counter the ingestion touched. The
+  // csv.scan.fallback.<reason> counters distinguish an indexer capability
+  // gap (unsupported dialect) from damaged input that forced the
+  // conservative scalar re-parse (recovery_forced).
+  const auto totals = metrics::CounterTotals();
+  if (!totals.empty()) {
+    std::printf("counters:\n");
+    for (const auto& [name, value] : totals) {
+      std::printf("  %-32s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
   return kExitOk;
+}
+
+}  // namespace
+
+namespace {
+
+/// Dispatches to the command handler; factored out so the observability
+/// wrapper in main() brackets exactly the command's work.
+int RunCommand(const std::vector<std::string>& args, double budget_ms,
+               int threads) {
+  const std::string& command = args[0];
+  if (command == "gen") return CmdGen(args);
+  if (command == "train") return CmdTrain(args, budget_ms, threads);
+  if (command == "classify") return CmdClassify(args, budget_ms, threads);
+  if (command == "extract") return CmdExtract(args, budget_ms, threads);
+  if (command == "batch") return CmdBatch(args, budget_ms, threads);
+  if (command == "inspect") return CmdInspect(args);
+  if (command == "doctor") return CmdDoctor(args);
+  return Usage();
 }
 
 }  // namespace
@@ -534,6 +607,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> args;
   double budget_ms = 0.0;
   int threads = 0;  // 0 = hardware concurrency
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--budget-ms") {
@@ -552,19 +627,42 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--scan-mode=", 0) == 0) {
       if (!csv::ParseScanMode(arg.substr(12), &g_scan_mode)) return Usage();
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) return Usage();
+      trace_path = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg == "--metrics") {
+      if (i + 1 >= argc) return Usage();
+      metrics_path = argv[++i];
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
     } else {
       args.push_back(arg);
     }
   }
   if (threads < 0) return Usage();
   if (args.empty()) return Usage();
-  const std::string& command = args[0];
-  if (command == "gen") return CmdGen(args);
-  if (command == "train") return CmdTrain(args, budget_ms, threads);
-  if (command == "classify") return CmdClassify(args, budget_ms, threads);
-  if (command == "extract") return CmdExtract(args, budget_ms, threads);
-  if (command == "batch") return CmdBatch(args, budget_ms, threads);
-  if (command == "inspect") return CmdInspect(args);
-  if (command == "doctor") return CmdDoctor(args);
-  return Usage();
+
+  if (!trace_path.empty()) trace::StartCapture();
+  int code = RunCommand(args, budget_ms, threads);
+
+  // Export failures surface on stderr and only downgrade a *successful*
+  // command to the output-failure exit code; a command that already failed
+  // keeps its more specific code.
+  if (!trace_path.empty()) {
+    Status status = trace::WriteChromeJson(trace_path, trace::StopCapture());
+    if (!status.ok()) {
+      PrintError("trace", status, trace_path);
+      if (code == kExitOk) code = kExitOutput;
+    }
+  }
+  if (!metrics_path.empty()) {
+    Status status = metrics::WriteJson(metrics_path);
+    if (!status.ok()) {
+      PrintError("metrics", status, metrics_path);
+      if (code == kExitOk) code = kExitOutput;
+    }
+  }
+  return code;
 }
