@@ -1,0 +1,45 @@
+#include "common/exit_codes.h"
+
+#include <string>
+
+namespace strudel {
+
+const std::vector<CliExitInfo>& AllCliExitCodes() {
+  static const std::vector<CliExitInfo> kTable = {
+      {kExitOk, "ok", "success"},
+      {kExitGeneric, "generic", "generic failure / partial batch"},
+      {kExitUsage, "usage", "bad command line"},
+      {kExitIngest, "ingest", "input ingestion failed"},
+      {kExitModelLoad, "model_load", "model load failed (missing/corrupt)"},
+      {kExitBudget, "budget", "execution budget exhausted"},
+      {kExitTrain, "train", "training failed"},
+      {kExitOutput, "output", "output write failed"},
+      {kExitServe, "serve", "serve daemon / client connection failed"},
+      {kExitInterrupted, "interrupted", "interrupted by SIGINT/SIGTERM"},
+  };
+  return kTable;
+}
+
+std::string CliExitCodesSummary() {
+  std::string out;
+  for (const CliExitInfo& info : AllCliExitCodes()) {
+    if (!out.empty()) out += ", ";
+    out += std::to_string(info.code) + " " + std::string(info.name);
+  }
+  return out;
+}
+
+int ExitCodeForStatus(const Status& status, int fallback) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kCancelled:
+      return kExitBudget;
+    case StatusCode::kCorruptModel:
+      return kExitModelLoad;
+    default:
+      return fallback;
+  }
+}
+
+}  // namespace strudel

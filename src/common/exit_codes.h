@@ -1,0 +1,51 @@
+// CLI exit-code taxonomy: the one table both `tools/strudel_cli.cpp` and
+// the README's exit-code documentation derive from. Scripts branch on
+// these values, so they are frozen: a code, once shipped, never changes
+// meaning, and new failure classes append. The enumeration test
+// (tests/common/exit_codes_test.cc) pins every value and cross-checks the
+// Status→exit-code mapping so the table cannot drift silently again.
+
+#ifndef STRUDEL_COMMON_EXIT_CODES_H_
+#define STRUDEL_COMMON_EXIT_CODES_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace strudel {
+
+enum CliExit : int {
+  kExitOk = 0,        // success
+  kExitGeneric = 1,   // generic failure / batch finished with quarantines
+  kExitUsage = 2,     // bad command line
+  kExitIngest = 3,    // input ingestion failed
+  kExitModelLoad = 4, // model load failed (missing or corrupt model)
+  kExitBudget = 5,    // execution budget exhausted (deadline/work/cancel)
+  kExitTrain = 6,     // training failed
+  kExitOutput = 7,    // output write failed
+  kExitServe = 8,     // serve daemon / client connection failed
+  kExitInterrupted = 9,  // SIGINT/SIGTERM interrupted a partial run
+};
+
+struct CliExitInfo {
+  CliExit code;
+  std::string_view name;     // short identifier ("model_load")
+  std::string_view summary;  // one-line description for usage/docs
+};
+
+/// Every defined exit code, ascending, with no gaps. The usage text and
+/// the enumeration test are both generated from this table.
+const std::vector<CliExitInfo>& AllCliExitCodes();
+
+/// One line for the usage footer: "0 ok, 1 generic/partial batch, ...".
+std::string CliExitCodesSummary();
+
+/// Maps a Status to the exit code of its failure class; `fallback` is the
+/// command's own class for statuses that don't carry one (budget and
+/// corrupt-model codes always win over the fallback).
+int ExitCodeForStatus(const Status& status, int fallback);
+
+}  // namespace strudel
+
+#endif  // STRUDEL_COMMON_EXIT_CODES_H_

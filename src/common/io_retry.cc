@@ -1,0 +1,182 @@
+#include "common/io_retry.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace strudel {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left before `deadline`, clamped to >= 0; kNoIoTimeout when
+/// there is no deadline.
+int RemainingMs(bool has_deadline, Clock::time_point deadline) {
+  if (!has_deadline) return kNoIoTimeout;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return static_cast<int>(std::max<int64_t>(0, left.count()));
+}
+
+/// Blocks until `fd` is ready for `events` or the deadline passes.
+/// Retries EINTR itself (recomputing the remaining window each time).
+Status PollReady(int fd, short events, bool has_deadline,
+                 Clock::time_point deadline, const char* verb) {
+  while (true) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int timeout = RemainingMs(has_deadline, deadline);
+    const int rc = ::poll(&pfd, 1, timeout);
+    if (rc > 0) {
+      // Readable/writable — or an error/hangup condition, which the next
+      // read/write will surface with a precise errno.
+      return Status::OK();
+    }
+    if (rc == 0) {
+      return Status::DeadlineExceeded(StrFormat(
+          "%s timed out waiting for descriptor readiness", verb));
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(
+        StrFormat("poll failed during %s: %s", verb, ::strerror(errno)));
+  }
+}
+
+}  // namespace
+
+Status ReadFull(int fd, void* buf, size_t n, int timeout_ms,
+                size_t* bytes_read) {
+  char* out = static_cast<char*>(buf);
+  size_t done = 0;
+  const bool has_deadline = timeout_ms != kNoIoTimeout;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+  Status status;
+  while (done < n) {
+    // Readiness is checked up front, not only on EAGAIN: a blocking
+    // descriptor never returns EAGAIN, so this is the only place the
+    // deadline can bound a read from a silent peer.
+    if (has_deadline) {
+      status = PollReady(fd, POLLIN, has_deadline, deadline, "read");
+      if (!status.ok()) break;
+    }
+    const ssize_t rc = ::read(fd, out + done, n - done);
+    if (rc > 0) {
+      done += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      status = Status::IOError(
+          StrFormat("connection closed after %zu of %zu bytes", done, n));
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      status = PollReady(fd, POLLIN, has_deadline, deadline, "read");
+      if (!status.ok()) break;
+      continue;
+    }
+    status =
+        Status::IOError(StrFormat("read failed: %s", ::strerror(errno)));
+    break;
+  }
+  if (bytes_read != nullptr) *bytes_read = done;
+  return status;
+}
+
+Result<size_t> ReadSome(int fd, void* buf, size_t n, int timeout_ms) {
+  const bool has_deadline = timeout_ms != kNoIoTimeout;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+  while (true) {
+    if (has_deadline) {
+      STRUDEL_RETURN_IF_ERROR(
+          PollReady(fd, POLLIN, has_deadline, deadline, "read"));
+    }
+    const ssize_t rc = ::read(fd, buf, n);
+    if (rc >= 0) return static_cast<size_t>(rc);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      STRUDEL_RETURN_IF_ERROR(
+          PollReady(fd, POLLIN, has_deadline, deadline, "read"));
+      continue;
+    }
+    return Status::IOError(StrFormat("read failed: %s", ::strerror(errno)));
+  }
+}
+
+Status WriteFull(int fd, const void* buf, size_t n, int timeout_ms,
+                 size_t* bytes_written) {
+  const char* in = static_cast<const char*>(buf);
+  size_t done = 0;
+  const bool has_deadline = timeout_ms != kNoIoTimeout;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+  Status status;
+  while (done < n) {
+    if (has_deadline) {
+      status = PollReady(fd, POLLOUT, has_deadline, deadline, "write");
+      if (!status.ok()) break;
+    }
+    const ssize_t rc = ::write(fd, in + done, n - done);
+    if (rc > 0) {
+      done += static_cast<size_t>(rc);  // short write: loop transfers the rest
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      status = PollReady(fd, POLLOUT, has_deadline, deadline, "write");
+      if (!status.ok()) break;
+      continue;
+    }
+    status = Status::IOError(StrFormat(
+        "write failed after %zu of %zu bytes: %s", done, n,
+        rc < 0 ? ::strerror(errno) : "zero-length write"));
+    break;
+  }
+  if (bytes_written != nullptr) *bytes_written = done;
+  return status;
+}
+
+double BackoffDelayMs(const BackoffOptions& options, int attempt) {
+  if (attempt < 1) attempt = 1;
+  // min(initial * 2^(attempt-1), max), without overflowing the shift.
+  double base = options.initial_ms;
+  for (int i = 1; i < attempt && base < options.max_ms; ++i) base *= 2.0;
+  base = std::min(base, options.max_ms);
+  // Uniform jitter in [base/2, base]: full jitter would allow ~0ms sleeps
+  // that defeat the point of backing off; half-open keeps a floor.
+  const uint64_t raw = SplitMix64Stream(options.jitter_seed,
+                                        static_cast<uint64_t>(attempt));
+  const double unit = static_cast<double>(raw >> 11) * 0x1.0p-53;  // [0,1)
+  return base * (0.5 + 0.5 * unit);
+}
+
+Status RetryWithBackoff(const BackoffOptions& options,
+                        const std::function<Status()>& op,
+                        const std::function<bool(const Status&)>& is_transient) {
+  const int attempts = std::max(1, options.max_attempts);
+  Status status;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    status = op();
+    if (status.ok()) return status;
+    if (attempt == attempts || !is_transient(status)) return status;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        BackoffDelayMs(options, attempt)));
+  }
+  return status;
+}
+
+}  // namespace strudel

@@ -1,0 +1,82 @@
+// Transient-I/O containment: every raw read/write the library issues on a
+// file descriptor goes through these helpers, which absorb the three
+// failure shapes POSIX allows on a healthy descriptor — EINTR (a signal
+// landed mid-syscall), EAGAIN/EWOULDBLOCK (the descriptor is non-blocking
+// or has an SO_RCVTIMEO/SO_SNDTIMEO), and short reads/writes — and turn
+// everything else into a structured Status. Used by the file reader
+// (csv::ReadFileToString) and by the serve subsystem's frame I/O, where a
+// slow or stalled peer must surface as kDeadlineExceeded after a bounded
+// wait, never as a wedged thread.
+//
+// The header also hosts the retry-with-backoff policy the serve client
+// uses for connect failures and `overloaded` responses: capped exponential
+// backoff with deterministic jitter (SplitMix64 keyed by a caller seed),
+// so tests can pin the exact delay sequence.
+
+#ifndef STRUDEL_COMMON_IO_RETRY_H_
+#define STRUDEL_COMMON_IO_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace strudel {
+
+/// No deadline: ReadFull/WriteFull wait as long as the kernel does.
+inline constexpr int kNoIoTimeout = -1;
+
+/// Reads exactly `n` bytes from `fd` into `buf`, retrying EINTR and —
+/// when the descriptor is non-blocking — polling for readability with at
+/// most `timeout_ms` total wall clock across the whole transfer.
+/// Failure taxonomy:
+///   kDeadlineExceeded  the deadline elapsed before `n` bytes arrived
+///   kIOError           EOF mid-transfer (peer closed) or a hard errno
+/// `bytes_read`, when non-null, receives the count transferred so far even
+/// on failure, so callers can distinguish a torn prefix from silence.
+Status ReadFull(int fd, void* buf, size_t n, int timeout_ms = kNoIoTimeout,
+                size_t* bytes_read = nullptr);
+
+/// Reads up to `n` bytes — whatever the next successful read() returns —
+/// retrying EINTR and polling through EAGAIN under the same deadline
+/// contract. Returns the byte count, 0 at end-of-stream. The primitive
+/// for consumers that read until EOF (file slurps) rather than an exact
+/// count (frames).
+Result<size_t> ReadSome(int fd, void* buf, size_t n,
+                        int timeout_ms = kNoIoTimeout);
+
+/// Writes exactly `n` bytes, retrying EINTR and short writes, polling for
+/// writability under the same deadline contract as ReadFull. EPIPE and
+/// ECONNRESET (peer vanished) map to kIOError.
+Status WriteFull(int fd, const void* buf, size_t n,
+                 int timeout_ms = kNoIoTimeout, size_t* bytes_written = nullptr);
+
+/// Capped exponential backoff with deterministic jitter. Delay for
+/// attempt k (0-based) is uniform in [base/2, base] where
+/// base = min(initial_ms * 2^k, max_ms); the jitter stream is SplitMix64
+/// keyed by (seed, attempt) so two clients with different seeds never
+/// thundering-herd in lockstep, while a fixed seed replays exactly.
+struct BackoffOptions {
+  int max_attempts = 5;          // total tries, including the first
+  double initial_ms = 10.0;      // pre-jitter delay after the first failure
+  double max_ms = 1000.0;        // cap on the pre-jitter delay
+  uint64_t jitter_seed = 0x5eed; // keyed jitter stream
+};
+
+/// The post-jitter delay (milliseconds) to sleep before retry number
+/// `attempt` (1-based: attempt 1 follows the first failure). Pure —
+/// callers own the sleeping — so the schedule is unit-testable.
+double BackoffDelayMs(const BackoffOptions& options, int attempt);
+
+/// Runs `op` up to `options.max_attempts` times, sleeping the backoff
+/// schedule between tries while `is_transient(status)` holds. Returns the
+/// first success or the last failure. `op` is invoked at least once.
+Status RetryWithBackoff(const BackoffOptions& options,
+                        const std::function<Status()>& op,
+                        const std::function<bool(const Status&)>& is_transient);
+
+}  // namespace strudel
+
+#endif  // STRUDEL_COMMON_IO_RETRY_H_

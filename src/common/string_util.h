@@ -58,6 +58,11 @@ std::string ReplaceAll(std::string_view s, std::string_view from,
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Escapes `text` for embedding inside a double-quoted JSON string:
+/// quotes, backslashes, and control characters (\n, \r, \t, \uXXXX).
+/// The CLI's structured stderr records share the same rules.
+std::string JsonEscape(std::string_view text);
+
 }  // namespace strudel
 
 #endif  // STRUDEL_COMMON_STRING_UTIL_H_

@@ -1,11 +1,16 @@
 #include "csv/reader.h"
 
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <filesystem>
-#include <fstream>
 #include <map>
 
 #include "common/execution_budget.h"
+#include "common/io_retry.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/trace.h"
@@ -612,23 +617,30 @@ Result<std::string> ReadFileToString(const std::string& path) {
   if (!ec && std::filesystem::is_directory(file_status)) {
     return Status::IOError("is a directory, not a file: " + path);
   }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::IOError("cannot open file: " + path);
+  // Raw POSIX read through the transient-I/O helper: a signal landing
+  // mid-read (the batch interrupt handler, a profiler) retries instead of
+  // surfacing as a spurious failure, and short reads keep transferring.
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Status::IOError("cannot open file: " + path + ": " +
+                           ::strerror(errno));
   }
   std::string data;
   char buffer[1 << 16];
   while (true) {
-    in.read(buffer, sizeof(buffer));
-    data.append(buffer, static_cast<size_t>(in.gcount()));
-    if (in.bad()) {
-      return Status::IOError("I/O error while reading file: " + path);
+    auto got = ReadSome(fd, buffer, sizeof(buffer));
+    if (!got.ok()) {
+      ::close(fd);
+      return Status::IOError("I/O error while reading file: " + path + ": " +
+                             std::string(got.status().message()));
     }
-    if (in.eof()) break;
-    if (in.fail()) {
-      return Status::IOError("read failed before end of file: " + path);
-    }
+    if (*got == 0) break;  // end of file
+    data.append(buffer, *got);
   }
+  ::close(fd);
   // A short read (device error, concurrent truncation) must not be
   // silently parsed as a complete file.
   if (!ec && std::filesystem::is_regular_file(file_status)) {

@@ -1,0 +1,109 @@
+#include "serve/client.h"
+
+#include <signal.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/string_util.h"
+#include "serve/socket_util.h"
+
+namespace strudel::serve {
+
+namespace {
+
+/// Connect failures the server being down/restarting explains; the
+/// socket layer tags them "(transient)".
+bool IsTransientConnect(const Status& status) {
+  return status.code() == StatusCode::kIOError &&
+         status.message().find("(transient)") != std::string_view::npos;
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options) : options_(std::move(options)) {
+  // A server that closes mid-write must surface as a Status, not SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+Result<ServeReply> Client::RoundTrip(RequestType type,
+                                     std::string_view payload,
+                                     uint64_t trace_id, bool retry_on_shed) {
+  RequestHeader request;
+  request.type = type;
+  request.budget_ms = options_.budget_ms;
+  request.trace_id = trace_id;
+  const std::string frame = EncodeRequest(request, payload);
+
+  const int attempts = std::max(1, options_.backoff.max_attempts);
+  Status last_status;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    const auto sleep_before_retry = [&](uint32_t server_hint_ms) {
+      if (attempt >= attempts) return;
+      // The server's retry-after hint is a floor under our own backoff:
+      // never come back sooner than asked, never slower than the cap
+      // schedule says.
+      const double delay = std::max(static_cast<double>(server_hint_ms),
+                                    BackoffDelayMs(options_.backoff, attempt));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay));
+    };
+
+    auto fd = ConnectUnix(options_.socket_path);
+    if (!fd.ok()) {
+      last_status = fd.status();
+      if (!IsTransientConnect(last_status)) return last_status;
+      sleep_before_retry(0);
+      continue;
+    }
+    Status io = SendFrame(fd->get(), frame, options_.io_timeout_ms);
+    if (io.ok()) {
+      auto response_frame =
+          RecvFrame(fd->get(), kMaxPayloadBytes, options_.io_timeout_ms);
+      if (response_frame.ok()) {
+        auto header = DecodeResponseHeader(response_frame->header);
+        if (!header.ok()) return header.status();
+        ServeReply reply;
+        reply.code = header->code;
+        reply.trace_id = header->trace_id;
+        reply.retry_after_ms = header->retry_after_ms;
+        reply.payload = std::move(response_frame->payload);
+        reply.attempts = attempt;
+        const bool shed = reply.code == ResponseCode::kOverloaded ||
+                          reply.code == ResponseCode::kShuttingDown;
+        if (shed && retry_on_shed && attempt < attempts) {
+          sleep_before_retry(reply.retry_after_ms);
+          continue;
+        }
+        return reply;
+      }
+      last_status = response_frame.status();
+    } else {
+      last_status = io;
+    }
+    // A torn exchange (server restarted mid-request, response timed out)
+    // is transient from the client's perspective: the connection is
+    // one-shot, so retrying is safe — classification is idempotent.
+    sleep_before_retry(0);
+  }
+  return Status(last_status.code(),
+                StrFormat("request failed after %d attempts: %s", attempts,
+                          std::string(last_status.message()).c_str()));
+}
+
+Result<ServeReply> Client::Classify(std::string_view csv_bytes,
+                                    uint64_t trace_id) {
+  return RoundTrip(RequestType::kClassify, csv_bytes, trace_id,
+                   /*retry_on_shed=*/true);
+}
+
+Result<ServeReply> Client::Health() {
+  return RoundTrip(RequestType::kHealth, {}, 0, /*retry_on_shed=*/false);
+}
+
+Result<ServeReply> Client::Metrics() {
+  return RoundTrip(RequestType::kMetrics, {}, 0, /*retry_on_shed=*/false);
+}
+
+}  // namespace strudel::serve

@@ -1,0 +1,71 @@
+// Client side of `strudel serve`: one-shot request/response over the
+// framing protocol, wrapped in a capped-exponential-backoff retry loop.
+// Two failure families are retried — transient connect errors (the server
+// is restarting, or not up yet) and explicit `overloaded` /
+// `shutting_down` sheds, whose retry-after hint is honoured as a floor
+// under the backoff delay. Everything else (malformed, ingest/predict
+// errors, deadline_exceeded) is the request's own fault and returns
+// immediately.
+
+#ifndef STRUDEL_SERVE_CLIENT_H_
+#define STRUDEL_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/io_retry.h"
+#include "common/result.h"
+#include "serve/protocol.h"
+
+namespace strudel::serve {
+
+struct ClientOptions {
+  std::string socket_path;
+  /// Per-request wall-clock budget forwarded to the server; 0 = server
+  /// default.
+  uint32_t budget_ms = 0;
+  /// Whole-frame read/write deadlines (slow-server watchdog, mirroring
+  /// the server's slow-client one).
+  int io_timeout_ms = 30000;
+  /// Retry schedule for transient failures. max_attempts = 1 disables
+  /// retries entirely.
+  BackoffOptions backoff;
+};
+
+/// A delivered response (any code). `attempts` counts tries including
+/// the successful one, so tests can pin the retry schedule.
+struct ServeReply {
+  ResponseCode code = ResponseCode::kInternal;
+  uint64_t trace_id = 0;
+  uint32_t retry_after_ms = 0;
+  std::string payload;
+  int attempts = 1;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+
+  /// Sends one classify request carrying `csv_bytes`, retrying per the
+  /// backoff policy. Returns the last delivered reply — including
+  /// non-OK codes once retries are exhausted — or the transport Status
+  /// when no response was ever received.
+  Result<ServeReply> Classify(std::string_view csv_bytes,
+                              uint64_t trace_id = 0);
+
+  /// Health / metrics endpoints (no payload, no retries on overload —
+  /// these are expected to answer even under load).
+  Result<ServeReply> Health();
+  Result<ServeReply> Metrics();
+
+ private:
+  Result<ServeReply> RoundTrip(RequestType type, std::string_view payload,
+                               uint64_t trace_id, bool retry_on_shed);
+
+  ClientOptions options_;
+};
+
+}  // namespace strudel::serve
+
+#endif  // STRUDEL_SERVE_CLIENT_H_

@@ -1,0 +1,165 @@
+#include "serve/protocol.h"
+
+#include "common/string_util.h"
+
+namespace strudel::serve {
+
+namespace {
+
+void PutU16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t GetU16(const unsigned char* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Shared leading-fields check: magic, version, reserved. `kind` names
+/// the frame direction in the error message.
+Status CheckCommon(const unsigned char* p, size_t size, const char* kind) {
+  if (size != kHeaderBytes) {
+    return Status::ParseError(StrFormat(
+        "%s header is %zu bytes, expected %zu", kind, size, kHeaderBytes));
+  }
+  const uint32_t magic = GetU32(p);
+  if (magic != kMagic) {
+    return Status::ParseError(
+        StrFormat("%s frame has bad magic 0x%08x", kind, magic));
+  }
+  if (p[4] != kProtocolVersion) {
+    return Status::ParseError(StrFormat(
+        "%s frame has unsupported protocol version %u", kind, p[4]));
+  }
+  if (GetU16(p + 6) != 0) {
+    return Status::ParseError(
+        StrFormat("%s frame has nonzero reserved field", kind));
+  }
+  return Status::OK();
+}
+
+Status CheckPayloadLen(uint32_t payload_len, const char* kind) {
+  if (payload_len > kMaxPayloadBytes) {
+    return Status::OutOfRange(StrFormat(
+        "%s payload length %u exceeds protocol maximum %u", kind,
+        payload_len, kMaxPayloadBytes));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view ResponseCodeName(ResponseCode code) {
+  switch (code) {
+    case ResponseCode::kOk:
+      return "ok";
+    case ResponseCode::kMalformed:
+      return "malformed";
+    case ResponseCode::kPayloadTooLarge:
+      return "payload_too_large";
+    case ResponseCode::kOverloaded:
+      return "overloaded";
+    case ResponseCode::kShuttingDown:
+      return "shutting_down";
+    case ResponseCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ResponseCode::kIngestError:
+      return "ingest_error";
+    case ResponseCode::kPredictError:
+      return "predict_error";
+    case ResponseCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string EncodeRequest(RequestHeader header, std::string_view payload) {
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  PutU32(out, kMagic);
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(header.type));
+  PutU16(out, 0);
+  PutU32(out, header.budget_ms);
+  PutU64(out, header.trace_id);
+  PutU32(out, header.payload_len);
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeResponse(ResponseHeader header, std::string_view payload) {
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  PutU32(out, kMagic);
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(header.code));
+  PutU16(out, 0);
+  PutU32(out, header.retry_after_ms);
+  PutU64(out, header.trace_id);
+  PutU32(out, header.payload_len);
+  out.append(payload);
+  return out;
+}
+
+Result<RequestHeader> DecodeRequestHeader(std::string_view bytes) {
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  STRUDEL_RETURN_IF_ERROR(CheckCommon(p, bytes.size(), "request"));
+  const uint8_t type = p[5];
+  if (type < static_cast<uint8_t>(RequestType::kClassify) ||
+      type > static_cast<uint8_t>(RequestType::kMetrics)) {
+    return Status::ParseError(
+        StrFormat("request frame has unknown type %u", type));
+  }
+  RequestHeader header;
+  header.type = static_cast<RequestType>(type);
+  header.budget_ms = GetU32(p + 8);
+  header.trace_id = GetU64(p + 12);
+  header.payload_len = GetU32(p + 20);
+  STRUDEL_RETURN_IF_ERROR(CheckPayloadLen(header.payload_len, "request"));
+  return header;
+}
+
+Result<ResponseHeader> DecodeResponseHeader(std::string_view bytes) {
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  STRUDEL_RETURN_IF_ERROR(CheckCommon(p, bytes.size(), "response"));
+  const uint8_t code = p[5];
+  if (code > static_cast<uint8_t>(ResponseCode::kInternal)) {
+    return Status::ParseError(
+        StrFormat("response frame has unknown code %u", code));
+  }
+  ResponseHeader header;
+  header.code = static_cast<ResponseCode>(code);
+  header.retry_after_ms = GetU32(p + 8);
+  header.trace_id = GetU64(p + 12);
+  header.payload_len = GetU32(p + 20);
+  STRUDEL_RETURN_IF_ERROR(CheckPayloadLen(header.payload_len, "response"));
+  return header;
+}
+
+}  // namespace strudel::serve

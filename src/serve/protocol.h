@@ -1,0 +1,98 @@
+// Wire protocol for `strudel serve`: length-prefixed frames over a local
+// stream socket. One request, one response, then the server closes the
+// connection — retry logic lives in the client, so the framing stays
+// trivially validatable and a torn or hostile byte stream can always be
+// classified by looking at a fixed 24-byte header.
+//
+//   request  := header(24B) payload(payload_len bytes)
+//   header   := magic:u32 version:u8 type:u8 reserved:u16
+//               budget_ms:u32 trace_id:u64 payload_len:u32
+//   response := header(24B) payload(payload_len bytes)
+//   header   := magic:u32 version:u8 code:u8 reserved:u16
+//               retry_after_ms:u32 trace_id:u64 payload_len:u32
+//
+// All integers little-endian. A classify payload is raw CSV bytes; the
+// response payload is the classified-lines text (success) or a one-line
+// structured error record (failure). Validation is strict and total:
+// every malformed header decodes to a precise Status, never undefined
+// behaviour, and payload lengths are capped before any allocation.
+
+#ifndef STRUDEL_SERVE_PROTOCOL_H_
+#define STRUDEL_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace strudel::serve {
+
+/// "SRV1" little-endian. Anything else in the first four bytes is not a
+/// strudel-serve peer and is shed immediately.
+inline constexpr uint32_t kMagic = 0x31565253;
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kHeaderBytes = 24;
+
+/// Absolute payload ceiling baked into the protocol; servers may enforce
+/// a lower per-deployment cap (ServerOptions::max_payload_bytes), but a
+/// length field beyond this is malformed no matter the configuration —
+/// the decoder refuses it before any buffer is sized.
+inline constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+
+enum class RequestType : uint8_t {
+  kClassify = 1,  // payload: CSV bytes → per-line/cell classes
+  kHealth = 2,    // payload: empty → JSON status snapshot
+  kMetrics = 3,   // payload: empty → metrics registry JSON
+};
+
+enum class ResponseCode : uint8_t {
+  kOk = 0,
+  kMalformed = 1,         // header failed validation; connection closes
+  kPayloadTooLarge = 2,   // declared payload exceeds the server cap
+  kOverloaded = 3,        // admission queue full; retry_after_ms is a hint
+  kShuttingDown = 4,      // server draining; retry against a fresh instance
+  kDeadlineExceeded = 5,  // per-request budget tripped (queue wait counts)
+  kIngestError = 6,       // payload unreadable even in recovery mode
+  kPredictError = 7,      // classification failed
+  kInternal = 8,          // anything else; details in the payload record
+};
+
+/// Canonical lowercase name ("overloaded", "deadline_exceeded", ...).
+std::string_view ResponseCodeName(ResponseCode code);
+
+struct RequestHeader {
+  RequestType type = RequestType::kClassify;
+  /// Requested wall-clock budget; 0 = server default. The server clamps
+  /// to its configured maximum.
+  uint32_t budget_ms = 0;
+  /// Client-chosen trace id; 0 asks the server to assign one. Echoed in
+  /// the response either way.
+  uint64_t trace_id = 0;
+  uint32_t payload_len = 0;
+};
+
+struct ResponseHeader {
+  ResponseCode code = ResponseCode::kOk;
+  /// Backoff hint for kOverloaded / kShuttingDown, milliseconds.
+  uint32_t retry_after_ms = 0;
+  uint64_t trace_id = 0;
+  uint32_t payload_len = 0;
+};
+
+/// Serialises header + payload into one contiguous frame. `payload` must
+/// match `header.payload_len` (asserted by setting the field here).
+std::string EncodeRequest(RequestHeader header, std::string_view payload);
+std::string EncodeResponse(ResponseHeader header, std::string_view payload);
+
+/// Decodes a header from exactly kHeaderBytes bytes. Total: every input
+/// yields either a header or a Status naming the violation
+/// (kParseError for magic/version/type/reserved, kOutOfRange for a
+/// payload length beyond kMaxPayloadBytes).
+Result<RequestHeader> DecodeRequestHeader(std::string_view bytes);
+Result<ResponseHeader> DecodeResponseHeader(std::string_view bytes);
+
+}  // namespace strudel::serve
+
+#endif  // STRUDEL_SERVE_PROTOCOL_H_

@@ -1,0 +1,665 @@
+#include "serve/server.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/trace.h"
+#include "strudel/batch_runner.h"
+
+namespace strudel::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// One-line structured error payload, greppable like the CLI's stderr
+/// records: stage=<s> code=<c> msg="...".
+std::string ErrorPayload(std::string_view stage, const Status& status) {
+  std::string msg(status.message());
+  // Keep the record one line; the message may embed newlines from reports.
+  std::replace(msg.begin(), msg.end(), '\n', ' ');
+  return StrFormat("stage=%s code=%s msg=\"%s\"",
+                   std::string(stage).c_str(),
+                   std::string(StatusCodeToString(status.code())).c_str(),
+                   msg.c_str());
+}
+
+}  // namespace
+
+/// Per-server monotonic counters. Relaxed atomics: the accounting
+/// identity is asserted only after drain, when all writers have joined.
+struct Server::Counters {
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> shed_queue{0};
+  std::atomic<uint64_t> shed_connections{0};
+  std::atomic<uint64_t> rejected_draining{0};
+  std::atomic<uint64_t> malformed{0};
+  std::atomic<uint64_t> payload_too_large{0};
+  std::atomic<uint64_t> deadline_exceeded{0};
+  std::atomic<uint64_t> ingest_errors{0};
+  std::atomic<uint64_t> predict_errors{0};
+  std::atomic<uint64_t> io_failed{0};
+  std::atomic<uint64_t> write_failures{0};
+  std::atomic<uint64_t> inline_answered{0};
+  std::atomic<uint64_t> drain_cancelled{0};
+};
+
+std::string ServerStats::ToJson() const {
+  return StrFormat(
+      "{\"status\": \"%s\", \"accepted\": %llu, \"admitted\": %llu, "
+      "\"completed\": %llu, \"shed_queue\": %llu, "
+      "\"shed_connections\": %llu, \"rejected_draining\": %llu, "
+      "\"malformed\": %llu, \"payload_too_large\": %llu, "
+      "\"deadline_exceeded\": %llu, \"ingest_errors\": %llu, "
+      "\"predict_errors\": %llu, \"io_failed\": %llu, "
+      "\"write_failures\": %llu, \"inline_answered\": %llu, "
+      "\"drain_cancelled\": %llu, \"queue_depth\": %zu, "
+      "\"in_flight\": %zu, \"open_connections\": %zu}",
+      draining ? "draining" : "ok",
+      static_cast<unsigned long long>(accepted),
+      static_cast<unsigned long long>(admitted),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(shed_queue),
+      static_cast<unsigned long long>(shed_connections),
+      static_cast<unsigned long long>(rejected_draining),
+      static_cast<unsigned long long>(malformed),
+      static_cast<unsigned long long>(payload_too_large),
+      static_cast<unsigned long long>(deadline_exceeded),
+      static_cast<unsigned long long>(ingest_errors),
+      static_cast<unsigned long long>(predict_errors),
+      static_cast<unsigned long long>(io_failed),
+      static_cast<unsigned long long>(write_failures),
+      static_cast<unsigned long long>(inline_answered),
+      static_cast<unsigned long long>(drain_cancelled), queue_depth,
+      in_flight, open_connections);
+}
+
+Server::Server(StrudelCell model, ServerOptions options)
+    : model_(std::move(model)),
+      options_(std::move(options)),
+      counters_(std::make_unique<Counters>()) {}
+
+Server::~Server() {
+  if (started_.load(std::memory_order_relaxed)) {
+    RequestStop();
+    (void)Wait();
+  }
+}
+
+Status Server::Start() {
+  if (options_.socket_path.empty()) {
+    return Status::InvalidArgument("ServerOptions::socket_path is empty");
+  }
+  if (!model_.fitted()) {
+    return Status::FailedPrecondition("serve requires a fitted model");
+  }
+  if (options_.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (options_.queue_depth < 1) {
+    return Status::InvalidArgument("queue_depth must be >= 1");
+  }
+  if (options_.max_payload_bytes > kMaxPayloadBytes) {
+    options_.max_payload_bytes = kMaxPayloadBytes;
+  }
+  // A client vanishing mid-write must surface as EPIPE on the write, not
+  // kill the process.
+  ::signal(SIGPIPE, SIG_IGN);
+  STRUDEL_ASSIGN_OR_RETURN(
+      listener_, ListenUnix(options_.socket_path,
+                            std::max(16, options_.max_connections)));
+  start_time_ = Clock::now();
+  started_.store(true, std::memory_order_relaxed);
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptorLoop(); });
+  STRUDEL_LOG(kInfo) << "serve: listening on " << options_.socket_path
+                     << " (workers=" << options_.num_workers
+                     << " queue_depth=" << options_.queue_depth
+                     << " max_connections=" << options_.max_connections
+                     << ")";
+  return Status::OK();
+}
+
+void Server::RequestStop() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true,
+                                         std::memory_order_relaxed)) {
+    return;  // idempotent
+  }
+  STRUDEL_LOG(kInfo) << "serve: drain requested";
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  queue_cv_.notify_all();
+  drain_cv_.notify_all();
+}
+
+Status Server::Wait() {
+  if (!started_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("server was never started");
+  }
+  // Phase 1: wait for the drain request itself.
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    drain_cv_.wait(lock, [this] {
+      return draining_.load(std::memory_order_relaxed);
+    });
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  // Phase 2: give queued + in-flight work the drain grace period.
+  bool forced = false;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    const bool drained = drain_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.drain_timeout_ms),
+        [this] { return queue_.empty() && in_flight_ == 0; });
+    if (!drained) {
+      // Deadline-cancel everything still running or queued; workers turn
+      // each into a deadline_exceeded response and the queue drains fast.
+      forced = true;
+      for (const auto& budget : active_budgets_) {
+        if (budget != nullptr) budget->Cancel();
+      }
+      counters_->drain_cancelled.fetch_add(active_budgets_.size(),
+                                           std::memory_order_relaxed);
+      workers_paused_ = false;  // a paused test server must still drain
+      queue_cv_.notify_all();
+      drain_cv_.wait(lock,
+                     [this] { return queue_.empty() && in_flight_ == 0; });
+    }
+    queue_cv_.notify_all();  // workers: stop + empty queue → exit
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Phase 3: connection threads (each is bounded by its write deadline).
+  ReapConnections(/*all=*/true);
+  listener_.Reset();
+  ::unlink(options_.socket_path.c_str());
+  started_.store(false, std::memory_order_relaxed);
+  const ServerStats final_stats = stats();
+  STRUDEL_LOG(kInfo) << "serve: drained " << (forced ? "(forced) " : "")
+                     << final_stats.ToJson();
+  if (forced) {
+    return Status::DeadlineExceeded(
+        "drain deadline forced cancellation of in-flight work");
+  }
+  return Status::OK();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.accepted = counters_->accepted.load(std::memory_order_relaxed);
+  s.admitted = counters_->admitted.load(std::memory_order_relaxed);
+  s.completed = counters_->completed.load(std::memory_order_relaxed);
+  s.shed_queue = counters_->shed_queue.load(std::memory_order_relaxed);
+  s.shed_connections =
+      counters_->shed_connections.load(std::memory_order_relaxed);
+  s.rejected_draining =
+      counters_->rejected_draining.load(std::memory_order_relaxed);
+  s.malformed = counters_->malformed.load(std::memory_order_relaxed);
+  s.payload_too_large =
+      counters_->payload_too_large.load(std::memory_order_relaxed);
+  s.deadline_exceeded =
+      counters_->deadline_exceeded.load(std::memory_order_relaxed);
+  s.ingest_errors = counters_->ingest_errors.load(std::memory_order_relaxed);
+  s.predict_errors =
+      counters_->predict_errors.load(std::memory_order_relaxed);
+  s.io_failed = counters_->io_failed.load(std::memory_order_relaxed);
+  s.write_failures =
+      counters_->write_failures.load(std::memory_order_relaxed);
+  s.inline_answered =
+      counters_->inline_answered.load(std::memory_order_relaxed);
+  s.drain_cancelled =
+      counters_->drain_cancelled.load(std::memory_order_relaxed);
+  s.draining = draining_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    s.queue_depth = queue_.size();
+    s.in_flight = in_flight_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    // finished_connections_ may hold ids whose std::thread is not yet
+    // registered, so count registered-and-unfinished explicitly.
+    size_t open = connections_.size();
+    for (const uint64_t id : finished_connections_) {
+      if (connections_.count(id) != 0 && open > 0) --open;
+    }
+    s.open_connections = open;
+  }
+  return s;
+}
+
+void Server::PauseWorkersForTest() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  workers_paused_ = true;
+}
+
+void Server::ResumeWorkers() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  workers_paused_ = false;
+  queue_cv_.notify_all();
+}
+
+void Server::AcceptorLoop() {
+  trace::SetThreadTrack(90);
+  while (!draining_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd;
+    pfd.fd = listener_.get();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    ReapConnections(/*all=*/false);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      STRUDEL_LOG(kError) << "serve: acceptor poll failed: "
+                          << ::strerror(errno);
+      break;
+    }
+    if (rc == 0) continue;
+    int raw;
+    do {
+      raw = ::accept4(listener_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    } while (raw < 0 && errno == EINTR);
+    if (raw < 0) continue;  // peer vanished between poll and accept
+    UniqueFd fd(raw);
+    counters_->accepted.fetch_add(1, std::memory_order_relaxed);
+    static metrics::Counter& accepted =
+        metrics::GetCounter("serve.accepted");
+    accepted.Increment();
+
+    size_t open;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      open = connections_.size();
+      for (const uint64_t id : finished_connections_) {
+        if (connections_.count(id) != 0 && open > 0) --open;
+      }
+    }
+    if (open >= static_cast<size_t>(options_.max_connections)) {
+      // Accept-level load shedding: the connection-thread budget is
+      // spent, so answer `overloaded` right here. The write is bounded
+      // (100ms) — a 24-byte frame into a fresh socket buffer cannot
+      // block unless the peer is hostile, and then we drop it.
+      counters_->shed_connections.fetch_add(1, std::memory_order_relaxed);
+      static metrics::Counter& shed =
+          metrics::GetCounter("serve.shed.connections");
+      shed.Increment();
+      ShedConnection(fd.get(), ResponseCode::kOverloaded);
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    const uint64_t conn_id = next_conn_id_++;
+    connections_.emplace(
+        conn_id, std::thread([this, conn_id, raw_fd = fd.Release()] {
+          HandleConnection(UniqueFd(raw_fd), conn_id);
+        }));
+  }
+  listener_.Reset();  // stop the kernel queueing further connections
+}
+
+void Server::ShedConnection(int fd, ResponseCode code) {
+  ResponseHeader header;
+  header.code = code;
+  header.retry_after_ms = options_.retry_after_ms;
+  const std::string frame = EncodeResponse(header, "");
+  (void)SendFrame(fd, frame, /*timeout_ms=*/100);
+}
+
+std::string Server::HealthJson() const {
+  ServerStats s = stats();
+  std::string json = s.ToJson();
+  // Splice uptime into the stats object: replace the trailing brace.
+  json.pop_back();
+  json += StrFormat(", \"uptime_ms\": %.0f}", MsSince(start_time_));
+  return json;
+}
+
+void Server::HandleConnection(UniqueFd fd, uint64_t conn_id) {
+  const auto finish = [this, conn_id] {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    finished_connections_.push_back(conn_id);
+    conn_cv_.notify_all();
+  };
+
+  bool cap_exceeded = false;
+  auto frame = RecvFrame(fd.get(), options_.max_payload_bytes,
+                         options_.read_timeout_ms, &cap_exceeded);
+  if (!frame.ok()) {
+    if (cap_exceeded) {
+      // Valid header, hostile length: structured refusal, then close.
+      counters_->payload_too_large.fetch_add(1, std::memory_order_relaxed);
+      static metrics::Counter& too_large =
+          metrics::GetCounter("serve.payload_too_large");
+      too_large.Increment();
+      ResponseHeader header;
+      header.code = ResponseCode::kPayloadTooLarge;
+      (void)SendFrame(fd.get(),
+                      EncodeResponse(header, ErrorPayload("serve.recv",
+                                                          frame.status())),
+                      options_.write_timeout_ms);
+    } else {
+      // Torn frame, read timeout or mid-request disconnect: there is no
+      // trustworthy header to answer, so account and close. The watchdog
+      // bound (read_timeout_ms) is what kept this thread from wedging.
+      counters_->io_failed.fetch_add(1, std::memory_order_relaxed);
+      static metrics::Counter& io_failed =
+          metrics::GetCounter("serve.io_failed");
+      io_failed.Increment();
+    }
+    finish();
+    return;
+  }
+
+  auto header = DecodeRequestHeader(frame->header);
+  if (!header.ok()) {
+    counters_->malformed.fetch_add(1, std::memory_order_relaxed);
+    static metrics::Counter& malformed =
+        metrics::GetCounter("serve.malformed");
+    malformed.Increment();
+    ResponseHeader response;
+    response.code = ResponseCode::kMalformed;
+    (void)SendFrame(
+        fd.get(),
+        EncodeResponse(response,
+                       ErrorPayload("serve.decode", header.status())),
+        options_.write_timeout_ms);
+    finish();
+    return;
+  }
+  // RecvFrame trusts the raw length field to size the payload; the
+  // decoder re-validates it, so a mismatch cannot happen — but a frame
+  // whose *decoded* length disagrees with the bytes read would be a bug,
+  // not a client error.
+  const uint64_t trace_id =
+      header->trace_id != 0
+          ? header->trace_id
+          : next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+
+  // Health and metrics bypass admission: they must answer while the
+  // queue is saturated — that is their entire purpose.
+  if (header->type == RequestType::kHealth ||
+      header->type == RequestType::kMetrics) {
+    counters_->inline_answered.fetch_add(1, std::memory_order_relaxed);
+    ResponseHeader response;
+    response.code = ResponseCode::kOk;
+    response.trace_id = trace_id;
+    const std::string payload = header->type == RequestType::kHealth
+                                    ? HealthJson()
+                                    : metrics::ToJson();
+    if (!SendFrame(fd.get(), EncodeResponse(response, payload),
+                   options_.write_timeout_ms)
+             .ok()) {
+      counters_->write_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    finish();
+    return;
+  }
+
+  ResponseHeader response;
+  response.trace_id = trace_id;
+  std::string response_payload;
+
+  if (draining_.load(std::memory_order_relaxed)) {
+    counters_->rejected_draining.fetch_add(1, std::memory_order_relaxed);
+    static metrics::Counter& rejected =
+        metrics::GetCounter("serve.rejected.draining");
+    rejected.Increment();
+    response.code = ResponseCode::kShuttingDown;
+    response.retry_after_ms = options_.retry_after_ms;
+  } else {
+    // Admission: budget clock starts here, so time spent queued counts
+    // against the request's own deadline — a saturated queue converts
+    // stale work into deadline_exceeded instead of serving it late.
+    double budget_ms = header->budget_ms > 0
+                           ? static_cast<double>(header->budget_ms)
+                           : options_.default_budget_ms;
+    if (options_.max_budget_ms > 0) {
+      budget_ms = std::min(budget_ms, options_.max_budget_ms);
+    }
+    WorkItem item;
+    item.payload = std::move(frame->payload);
+    item.trace_id = trace_id;
+    item.budget = ExecutionBudget::Limited(budget_ms / 1000.0);
+    item.admitted_at = Clock::now();
+    item.completion = std::make_shared<Completion>();
+    auto completion = item.completion;
+
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (draining_.load(std::memory_order_relaxed)) {
+        // raced with RequestStop between the check above and here
+      } else if (queue_.size() >= options_.queue_depth) {
+        // Load shed: the queue is the only buffer, and it is full.
+      } else {
+        active_budgets_.push_back(item.budget);
+        queue_.push_back(std::move(item));
+        queue_cv_.notify_one();
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      counters_->admitted.fetch_add(1, std::memory_order_relaxed);
+      static metrics::Counter& admitted_counter =
+          metrics::GetCounter("serve.admitted");
+      admitted_counter.Increment();
+      // Wait for the worker (or the drain flusher) to fill the slot.
+      // Every admitted item is completed exactly once, so this wait
+      // terminates; the deadline is belt-and-braces against bugs.
+      const int wait_ms = static_cast<int>(
+          (budget_ms > 0 ? budget_ms : 0) + options_.drain_timeout_ms +
+          static_cast<double>(options_.write_timeout_ms) + 60000.0);
+      std::unique_lock<std::mutex> lock(completion->mu);
+      if (completion->cv.wait_for(lock, std::chrono::milliseconds(wait_ms),
+                                  [&] { return completion->ready; })) {
+        response = completion->header;
+        response.trace_id = trace_id;
+        response_payload = std::move(completion->payload);
+      } else {
+        response.code = ResponseCode::kInternal;
+        response_payload = ErrorPayload(
+            "serve.wait",
+            Status::Internal("request lost by the worker pool"));
+      }
+    } else if (draining_.load(std::memory_order_relaxed)) {
+      counters_->rejected_draining.fetch_add(1, std::memory_order_relaxed);
+      response.code = ResponseCode::kShuttingDown;
+      response.retry_after_ms = options_.retry_after_ms;
+    } else {
+      counters_->shed_queue.fetch_add(1, std::memory_order_relaxed);
+      static metrics::Counter& shed =
+          metrics::GetCounter("serve.shed.queue_full");
+      shed.Increment();
+      trace::Instant("serve.shed");
+      response.code = ResponseCode::kOverloaded;
+      response.retry_after_ms = options_.retry_after_ms;
+    }
+  }
+
+  if (!SendFrame(fd.get(), EncodeResponse(response, response_payload),
+                 options_.write_timeout_ms)
+           .ok()) {
+    // Slow or vanished reader: the response is dropped, the thread moves
+    // on. The client's retry layer owns recovery.
+    counters_->write_failures.fetch_add(1, std::memory_order_relaxed);
+    static metrics::Counter& write_failures =
+        metrics::GetCounter("serve.write_failures");
+    write_failures.Increment();
+  }
+  finish();
+}
+
+void Server::WorkerLoop() {
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        if (workers_paused_) return false;
+        return !queue_.empty() || draining_.load(std::memory_order_relaxed);
+      });
+      if (queue_.empty()) {
+        if (draining_.load(std::memory_order_relaxed)) return;
+        continue;  // spurious wake
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    ProcessItem(std::move(item));
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+void Server::Complete(const WorkItem& item, ResponseCode code,
+                      std::string payload, uint32_t retry_after_ms) {
+  std::lock_guard<std::mutex> lock(item.completion->mu);
+  item.completion->header.code = code;
+  item.completion->header.trace_id = item.trace_id;
+  item.completion->header.retry_after_ms = retry_after_ms;
+  item.completion->payload = std::move(payload);
+  item.completion->ready = true;
+  item.completion->cv.notify_all();
+}
+
+void Server::ProcessItem(WorkItem item) {
+  STRUDEL_TRACE_SPAN("serve.request");
+  static metrics::Histogram& queue_wait =
+      metrics::GetHistogram("serve.queue_wait_ms");
+  queue_wait.Record(static_cast<int64_t>(MsSince(item.admitted_at)));
+  const auto work_start = Clock::now();
+  const auto release_budget = [this, &item] {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    auto& budgets = active_budgets_;
+    budgets.erase(std::remove(budgets.begin(), budgets.end(), item.budget),
+                  budgets.end());
+  };
+
+  // The deadline may already have passed while the item sat in the
+  // queue — the admission-control contract is that such work is dropped
+  // at first touch, not executed late.
+  Status admission = item.budget->Check("serve.dequeue");
+  if (!admission.ok()) {
+    counters_->deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    static metrics::Counter& deadline =
+        metrics::GetCounter("serve.deadline_exceeded");
+    deadline.Increment();
+    Complete(item, ResponseCode::kDeadlineExceeded,
+             ErrorPayload("serve.dequeue", admission));
+    release_budget();
+    return;
+  }
+
+  if (options_.worker_delay_ms > 0) {
+    // Fault-injection aid: simulate heavier work, in budget-aware slices
+    // so drain cancellation still bites mid-delay.
+    double remaining = options_.worker_delay_ms;
+    while (remaining > 0 && item.budget->Check("serve.delay").ok()) {
+      const double slice = std::min(remaining, 20.0);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(slice));
+      remaining -= slice;
+    }
+  }
+
+  auto ingest = IngestText(item.payload, options_.ingest);
+  if (!ingest.ok()) {
+    counters_->ingest_errors.fetch_add(1, std::memory_order_relaxed);
+    static metrics::Counter& ingest_errors =
+        metrics::GetCounter("serve.errors.ingest");
+    ingest_errors.Increment();
+    Complete(item, ResponseCode::kIngestError,
+             ErrorPayload("serve.ingest", ingest.status()));
+    release_budget();
+    return;
+  }
+
+  auto prediction = model_.TryPredict(ingest->table, item.budget.get());
+  if (!prediction.ok()) {
+    const StatusCode code = prediction.status().code();
+    const bool budget_trip = code == StatusCode::kDeadlineExceeded ||
+                             code == StatusCode::kResourceExhausted ||
+                             code == StatusCode::kCancelled;
+    if (budget_trip) {
+      counters_->deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      static metrics::Counter& deadline =
+          metrics::GetCounter("serve.deadline_exceeded");
+      deadline.Increment();
+      Complete(item, ResponseCode::kDeadlineExceeded,
+               ErrorPayload("serve.predict", prediction.status()));
+    } else {
+      counters_->predict_errors.fetch_add(1, std::memory_order_relaxed);
+      static metrics::Counter& predict_errors =
+          metrics::GetCounter("serve.errors.predict");
+      predict_errors.Increment();
+      Complete(item, ResponseCode::kPredictError,
+               ErrorPayload("serve.predict", prediction.status()));
+    }
+    release_budget();
+    return;
+  }
+
+  counters_->completed.fetch_add(1, std::memory_order_relaxed);
+  static metrics::Counter& completed =
+      metrics::GetCounter("serve.completed");
+  completed.Increment();
+  static metrics::Histogram& request_ms =
+      metrics::GetHistogram("serve.request_ms");
+  request_ms.Record(static_cast<int64_t>(MsSince(work_start)));
+  Complete(item, ResponseCode::kOk,
+           FormatClassifiedTable(ingest->table, *prediction));
+  release_budget();
+}
+
+void Server::ReapConnections(bool all) {
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  const auto join_finished = [this] {
+    // A connection thread can mark itself finished before the acceptor
+    // registers its std::thread object; such ids stay queued for the
+    // next sweep.
+    std::vector<uint64_t> still_pending;
+    for (const uint64_t id : finished_connections_) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) {
+        still_pending.push_back(id);
+        continue;
+      }
+      it->second.join();
+      connections_.erase(it);
+    }
+    finished_connections_ = std::move(still_pending);
+  };
+  join_finished();
+  if (!all) return;
+  while (!connections_.empty()) {
+    conn_cv_.wait(lock, [this] { return !finished_connections_.empty(); });
+    join_finished();
+  }
+}
+
+}  // namespace strudel::serve

@@ -1,0 +1,218 @@
+// `strudel serve`: a long-lived classification service over a unix-domain
+// socket. Loads the model once, then assumes the worst about everything
+// that arrives — malformed frames, oversized payloads, slow or vanished
+// clients, request rates beyond capacity — and degrades each into a
+// structured response or a bounded timeout instead of a crash or a wedge.
+//
+// Architecture (three thread roles, all owned by Server):
+//
+//   acceptor ──> connection threads (bounded)  ──admit──> workers
+//                  read frame w/ deadline                 classify under
+//                  validate strictly                      per-request
+//                  write response w/ deadline             ExecutionBudget
+//
+//  * Admission control: a bounded queue between connection threads and
+//    workers. When full, the request is shed with an `overloaded`
+//    response carrying a retry-after hint — never queued unboundedly.
+//    When the connection-thread cap is reached, the acceptor itself sheds
+//    with the same response, so even accept pressure is bounded.
+//  * Slow-client watchdog: connection threads do all socket I/O under
+//    read/write deadlines; workers never touch a socket. A stalled client
+//    costs exactly one bounded connection thread, never a worker.
+//  * Graceful drain: RequestStop() stops accepting and admitting; workers
+//    finish queued work; after the drain deadline every in-flight budget
+//    is cancelled, turning stragglers into deadline_exceeded responses.
+//  * Health and metrics are answered inline on connection threads, not
+//    through the admission queue — they keep working under full overload,
+//    which is the moment they exist for.
+
+#ifndef STRUDEL_SERVE_SERVER_H_
+#define STRUDEL_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/execution_budget.h"
+#include "common/status.h"
+#include "serve/protocol.h"
+#include "serve/socket_util.h"
+#include "strudel/ingest.h"
+#include "strudel/strudel_cell.h"
+
+namespace strudel::serve {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Classification workers. Each runs requests serially; per-request
+  /// inner loops share the process ThreadPool opportunistically (nested
+  /// loops degrade to serial, so concurrent requests never deadlock).
+  int num_workers = 2;
+  /// Admission-queue depth. Requests beyond it shed with `overloaded`.
+  size_t queue_depth = 16;
+  /// Cap on simultaneously-open connections (each owns one thread).
+  /// Beyond it the acceptor sheds with `overloaded` before reading.
+  int max_connections = 64;
+  /// Per-request wall-clock budget when the client sends 0; 0 = none.
+  /// The budget clock starts at admission, so queue wait counts.
+  double default_budget_ms = 10000.0;
+  /// Clamp on client-supplied budgets.
+  double max_budget_ms = 60000.0;
+  /// Slow-client watchdog: whole-frame read/write deadlines.
+  int read_timeout_ms = 5000;
+  int write_timeout_ms = 5000;
+  /// Server-side payload cap (≤ protocol kMaxPayloadBytes). A valid
+  /// header declaring more is answered with `payload_too_large`.
+  size_t max_payload_bytes = 32u << 20;
+  /// Hint embedded in `overloaded` / `shutting_down` responses.
+  uint32_t retry_after_ms = 50;
+  /// Drain grace: after RequestStop(), in-flight work gets this long
+  /// before its budgets are cancelled.
+  int drain_timeout_ms = 5000;
+  /// Fault-injection aid (tests, CI smoke): artificial per-request work
+  /// delay, applied before classification, to make overload storms and
+  /// drain races reproducible. 0 in production.
+  double worker_delay_ms = 0.0;
+  /// Ingestion options for classify payloads (scan mode etc.).
+  IngestOptions ingest;
+};
+
+/// Monotonic per-server counters plus instantaneous depths. The
+/// accounting identity the fault harness asserts:
+///   accepted == admitted + shed_queue + shed_connections +
+///               rejected_draining + malformed + payload_too_large +
+///               io_failed + inline_answered
+/// and admitted == completed + deadline_exceeded + ingest_errors +
+///                 predict_errors once drained.
+struct ServerStats {
+  uint64_t accepted = 0;
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  uint64_t shed_queue = 0;
+  uint64_t shed_connections = 0;
+  uint64_t rejected_draining = 0;
+  uint64_t malformed = 0;
+  uint64_t payload_too_large = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t ingest_errors = 0;
+  uint64_t predict_errors = 0;
+  uint64_t io_failed = 0;         // torn frame / read timeout / disconnect
+  uint64_t write_failures = 0;    // response could not be delivered
+  uint64_t inline_answered = 0;   // health + metrics requests
+  uint64_t drain_cancelled = 0;   // budgets force-cancelled at drain
+  size_t queue_depth = 0;         // instantaneous
+  size_t in_flight = 0;           // instantaneous
+  size_t open_connections = 0;    // instantaneous
+  bool draining = false;
+
+  /// JSON object used by the health endpoint and the CLI's final report.
+  std::string ToJson() const;
+};
+
+class Server {
+ public:
+  /// Takes ownership of a fitted model. `options.socket_path` must be
+  /// set; everything else has serving defaults.
+  Server(StrudelCell model, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and spawns acceptor + workers. Fails (kIOError /
+  /// kInvalidArgument) without leaving a partial server behind.
+  Status Start();
+
+  /// Begins graceful drain: stop accepting, reject new classify work with
+  /// `shutting_down`, let workers finish the queue. Idempotent; safe from
+  /// any thread (not from a signal handler — signal handlers should set a
+  /// flag and call this from normal context, as the CLI does).
+  void RequestStop();
+
+  /// Blocks until the server has fully drained and every thread joined;
+  /// removes the socket file. Returns OK on a clean drain, or
+  /// kDeadlineExceeded when the drain deadline forced budget
+  /// cancellations (the server still shut down cleanly).
+  Status Wait();
+
+  ServerStats stats() const;
+  const ServerOptions& options() const { return options_; }
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// Test hooks: freeze/unfreeze workers so the admission queue can be
+  /// filled deterministically (overload-storm and drain tests).
+  void PauseWorkersForTest();
+  void ResumeWorkers();
+
+ private:
+  struct Completion {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    ResponseHeader header;
+    std::string payload;
+  };
+
+  struct WorkItem {
+    std::string payload;
+    uint64_t trace_id = 0;
+    std::shared_ptr<ExecutionBudget> budget;
+    std::chrono::steady_clock::time_point admitted_at;
+    std::shared_ptr<Completion> completion;
+  };
+
+  void AcceptorLoop();
+  void WorkerLoop();
+  void HandleConnection(UniqueFd fd, uint64_t conn_id);
+  /// Classifies one admitted item (worker thread).
+  void ProcessItem(WorkItem item);
+  /// Fills the completion slot and wakes the waiting connection thread.
+  static void Complete(const WorkItem& item, ResponseCode code,
+                       std::string payload, uint32_t retry_after_ms = 0);
+  /// Best-effort response on a connection the server is refusing.
+  void ShedConnection(int fd, ResponseCode code);
+  std::string HealthJson() const;
+  /// Joins finished connection threads; `all` waits for every one.
+  void ReapConnections(bool all);
+
+  StrudelCell model_;
+  ServerOptions options_;
+  UniqueFd listener_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::chrono::steady_clock::time_point start_time_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;   // workers: work available / stop
+  std::condition_variable drain_cv_;   // Wait(): queue empty + idle
+  std::deque<WorkItem> queue_;
+  size_t in_flight_ = 0;
+  bool workers_paused_ = false;
+  /// Budgets of admitted-but-unfinished items, for drain cancellation.
+  std::vector<std::shared_ptr<ExecutionBudget>> active_budgets_;
+
+  mutable std::mutex conn_mu_;
+  std::unordered_map<uint64_t, std::thread> connections_;
+  std::vector<uint64_t> finished_connections_;
+  std::condition_variable conn_cv_;
+  uint64_t next_conn_id_ = 1;
+
+  struct Counters;
+  std::unique_ptr<Counters> counters_;
+};
+
+}  // namespace strudel::serve
+
+#endif  // STRUDEL_SERVE_SERVER_H_

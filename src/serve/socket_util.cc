@@ -1,0 +1,146 @@
+#include "serve/socket_util.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/io_retry.h"
+#include "common/string_util.h"
+
+namespace strudel::serve {
+
+namespace {
+
+/// Fills a sockaddr_un for `path`, rejecting paths that do not fit.
+Result<sockaddr_un> MakeAddr(const std::string& path) {
+  sockaddr_un addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::IOError(StrFormat(
+        "socket path too long (%zu bytes, max %zu): %s", path.size(),
+        sizeof(addr.sun_path) - 1, path.c_str()));
+  }
+  ::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+Result<UniqueFd> MakeSocket() {
+  int fd;
+  do {
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Status::IOError(
+        StrFormat("socket() failed: %s", ::strerror(errno)));
+  }
+  return UniqueFd(fd);
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) {
+    // EINTR on close is unrecoverable by retry on Linux (the fd is gone
+    // either way); best effort.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<UniqueFd> ListenUnix(const std::string& path, int backlog) {
+  STRUDEL_ASSIGN_OR_RETURN(sockaddr_un addr, MakeAddr(path));
+  STRUDEL_ASSIGN_OR_RETURN(UniqueFd fd, MakeSocket());
+  // A stale socket file from a crashed predecessor blocks bind(); probe
+  // it with a connect — refused means nobody is home and the file can be
+  // reclaimed, success means another live server owns the path.
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (errno != EADDRINUSE) {
+      return Status::IOError(StrFormat("bind(%s) failed: %s", path.c_str(),
+                                       ::strerror(errno)));
+    }
+    auto probe = ConnectUnix(path);
+    if (probe.ok()) {
+      return Status::IOError(StrFormat(
+          "socket %s is owned by another live server", path.c_str()));
+    }
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      return Status::IOError(StrFormat("bind(%s) failed after reclaiming "
+                                       "stale socket: %s",
+                                       path.c_str(), ::strerror(errno)));
+    }
+  }
+  if (::listen(fd.get(), backlog) < 0) {
+    return Status::IOError(StrFormat("listen(%s) failed: %s", path.c_str(),
+                                     ::strerror(errno)));
+  }
+  return fd;
+}
+
+Result<UniqueFd> ConnectUnix(const std::string& path) {
+  STRUDEL_ASSIGN_OR_RETURN(sockaddr_un addr, MakeAddr(path));
+  STRUDEL_ASSIGN_OR_RETURN(UniqueFd fd, MakeSocket());
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const bool transient = errno == ECONNREFUSED || errno == ENOENT ||
+                           errno == EAGAIN;
+    return Status::IOError(StrFormat(
+        "connect(%s) failed%s: %s", path.c_str(),
+        transient ? " (transient)" : "", ::strerror(errno)));
+  }
+  return fd;
+}
+
+Result<Frame> RecvFrame(int fd, size_t max_payload, int timeout_ms,
+                        bool* payload_cap_exceeded) {
+  if (payload_cap_exceeded != nullptr) *payload_cap_exceeded = false;
+  Frame frame;
+  frame.header.resize(kHeaderBytes);
+  STRUDEL_RETURN_IF_ERROR(
+      ReadFull(fd, frame.header.data(), kHeaderBytes, timeout_ms));
+  // Both header layouts keep payload_len in the last four bytes; decode
+  // just that field here so transport stays agnostic of direction. Full
+  // semantic validation is the caller's job — but the length field is
+  // only meaningful under our magic, so a non-protocol peer is handed
+  // back header-only for the caller to classify as malformed, instead of
+  // having its garbage length counted as an oversize declaration.
+  const auto* m = reinterpret_cast<const unsigned char*>(frame.header.data());
+  const uint32_t magic = static_cast<uint32_t>(m[0]) |
+                         (static_cast<uint32_t>(m[1]) << 8) |
+                         (static_cast<uint32_t>(m[2]) << 16) |
+                         (static_cast<uint32_t>(m[3]) << 24);
+  if (magic != kMagic) return frame;
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(frame.header.data()) + 20;
+  const uint32_t payload_len = static_cast<uint32_t>(p[0]) |
+                               (static_cast<uint32_t>(p[1]) << 8) |
+                               (static_cast<uint32_t>(p[2]) << 16) |
+                               (static_cast<uint32_t>(p[3]) << 24);
+  if (payload_len > max_payload || payload_len > kMaxPayloadBytes) {
+    if (payload_cap_exceeded != nullptr) *payload_cap_exceeded = true;
+    return Status::OutOfRange(
+        StrFormat("declared payload of %u bytes exceeds cap of %zu",
+                  payload_len, max_payload));
+  }
+  frame.payload.resize(payload_len);
+  if (payload_len > 0) {
+    STRUDEL_RETURN_IF_ERROR(
+        ReadFull(fd, frame.payload.data(), payload_len, timeout_ms));
+  }
+  return frame;
+}
+
+Status SendFrame(int fd, std::string_view frame, int timeout_ms) {
+  return WriteFull(fd, frame.data(), frame.size(), timeout_ms);
+}
+
+}  // namespace strudel::serve

@@ -1,0 +1,82 @@
+// Thin RAII layer over unix-domain stream sockets plus frame-level I/O
+// built on the common transient-I/O helpers. Everything returns Status;
+// every read and write takes a deadline so no caller can wedge on a
+// stalled peer. SIGPIPE is never raised: sends use MSG_NOSIGNAL via the
+// write path's EPIPE mapping (writes go through write(2); the process
+// ignores SIGPIPE — the server installs that once at Start).
+
+#ifndef STRUDEL_SERVE_SOCKET_UTIL_H_
+#define STRUDEL_SERVE_SOCKET_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace strudel::serve {
+
+/// Owning file descriptor; closes on destruction, move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on a unix-domain socket at `path`, replacing a stale
+/// socket file left by a crashed predecessor. Fails with kIOError when
+/// the path is too long for sockaddr_un or another live process holds it.
+Result<UniqueFd> ListenUnix(const std::string& path, int backlog);
+
+/// Connects to the unix-domain socket at `path`. ECONNREFUSED / ENOENT
+/// (server not up yet) are reported as kUnavailable-shaped kIOError with
+/// "transient" in the message so retry policies can classify them.
+Result<UniqueFd> ConnectUnix(const std::string& path);
+
+/// One frame: a kHeaderBytes header plus its payload.
+struct Frame {
+  std::string header;   // exactly kHeaderBytes
+  std::string payload;  // payload_len bytes
+};
+
+/// Reads one frame, enforcing `max_payload` before allocating the payload
+/// buffer. The deadline covers the whole frame; a peer that stalls
+/// mid-header or mid-payload yields kDeadlineExceeded, a peer that closes
+/// early yields kIOError — both with the bytes-so-far in the message.
+/// `payload_cap_exceeded`, when non-null, is set when the header itself
+/// was valid but declared a payload above `max_payload` (the caller can
+/// then answer kPayloadTooLarge instead of dropping the connection). A
+/// header without the protocol magic is returned header-only, payload
+/// unread: its length field is noise, and the caller's decode classifies
+/// the frame as malformed.
+Result<Frame> RecvFrame(int fd, size_t max_payload, int timeout_ms,
+                        bool* payload_cap_exceeded = nullptr);
+
+/// Writes `frame` (an already-encoded request or response) under one
+/// deadline for the whole transfer.
+Status SendFrame(int fd, std::string_view frame, int timeout_ms);
+
+}  // namespace strudel::serve
+
+#endif  // STRUDEL_SERVE_SOCKET_UTIL_H_

@@ -1,0 +1,291 @@
+#include "strudel/batch_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "strudel/classes.h"
+#include "strudel/model_io.h"
+
+namespace strudel {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Tracks budgets of files currently being processed so the interrupt
+/// watchdog can cancel them. Once `CancelAll` ran, later registrations
+/// are cancelled on entry — a file that slipped past the scheduling
+/// check still stops at its first budget checkpoint.
+class ActiveBudgets {
+ public:
+  void Register(const std::shared_ptr<ExecutionBudget>& budget) {
+    if (budget == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_) {
+      budget->Cancel();
+      return;
+    }
+    budgets_.push_back(budget);
+  }
+
+  void Unregister(const std::shared_ptr<ExecutionBudget>& budget) {
+    if (budget == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    budgets_.erase(std::remove(budgets_.begin(), budgets_.end(), budget),
+                   budgets_.end());
+  }
+
+  void CancelAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+    for (const auto& budget : budgets_) budget->Cancel();
+    budgets_.clear();
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::shared_ptr<ExecutionBudget>> budgets_;
+  bool cancelled_ = false;
+};
+
+/// Classifies one batch file end to end; writes the per-line/cell
+/// classes to `output_path` on success. Failures name the stage in
+/// `entry.stage`; per-stage wall clock is recorded either way.
+Status ProcessOne(const StrudelCell& model, const std::string& input,
+                  const fs::path& output_path, const BatchOptions& options,
+                  ActiveBudgets& active, BatchEntry& entry) {
+  entry.stage = "ingest";
+  auto stage_start = std::chrono::steady_clock::now();
+  auto ingest = IngestFile(input, options.ingest);
+  entry.timings.ingest_ms = MsSince(stage_start);
+  if (!ingest.ok()) return ingest.status();
+
+  entry.stage = "predict";
+  stage_start = std::chrono::steady_clock::now();
+  std::shared_ptr<ExecutionBudget> budget;
+  if (options.budget_ms > 0.0) {
+    budget = ExecutionBudget::Limited(options.budget_ms / 1000.0);
+  } else if (options.interrupt != nullptr) {
+    // No deadline, but the interrupt watchdog still needs a handle to
+    // cancel in-flight work.
+    budget = std::make_shared<ExecutionBudget>();
+  }
+  active.Register(budget);
+  auto prediction = model.TryPredict(ingest->table, budget.get());
+  active.Unregister(budget);
+  entry.timings.predict_ms = MsSince(stage_start);
+  if (!prediction.ok()) return prediction.status();
+
+  entry.stage = "output";
+  stage_start = std::chrono::steady_clock::now();
+  std::ofstream out(output_path);
+  if (!out) {
+    entry.timings.output_ms = MsSince(stage_start);
+    return Status::IOError("cannot open output file: " +
+                           output_path.string());
+  }
+  out << FormatClassifiedTable(ingest->table, *prediction);
+  out.flush();
+  entry.timings.output_ms = MsSince(stage_start);
+  if (!out) {
+    return Status::IOError("write failed: " + output_path.string());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string FormatClassifiedTable(const csv::Table& table,
+                                  const CellPrediction& prediction) {
+  std::string out;
+  for (int r = 0; r < table.num_rows(); ++r) {
+    out += std::to_string(r);
+    out += ' ';
+    out += ElementClassName(
+        prediction.line_prediction.classes[static_cast<size_t>(r)]);
+    for (int c = 0; c < table.num_cols(); ++c) {
+      if (table.cell_empty(r, c)) continue;
+      out += ' ';
+      out += std::to_string(c);
+      out += ':';
+      out += ElementClassName(
+          prediction.classes[static_cast<size_t>(r)][static_cast<size_t>(c)]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string BatchReportJson(const BatchSummary& summary) {
+  std::string report;
+  report += "{\n";
+  report += "  \"processed\": " + std::to_string(summary.processed) + ",\n";
+  report += "  \"succeeded\": " + std::to_string(summary.succeeded) + ",\n";
+  report +=
+      "  \"quarantined\": " + std::to_string(summary.quarantined) + ",\n";
+  report += "  \"skipped\": " + std::to_string(summary.skipped) + ",\n";
+  report += std::string("  \"interrupted\": ") +
+            (summary.interrupted ? "true" : "false") + ",\n";
+  report += StrFormat("  \"elapsed_seconds\": %g,\n", summary.elapsed_seconds);
+  report += "  \"files\": [\n";
+  for (size_t i = 0; i < summary.entries.size(); ++i) {
+    const BatchEntry& entry = summary.entries[i];
+    report += "    {\"file\": \"" + JsonEscape(entry.file) + "\", ";
+    if (entry.skipped) {
+      report += "\"status\": \"skipped\"";
+    } else if (entry.status.ok()) {
+      report +=
+          "\"status\": \"ok\", \"output\": \"" + JsonEscape(entry.output) +
+          "\"";
+    } else {
+      report += "\"status\": \"quarantined\", \"stage\": \"" +
+                JsonEscape(entry.stage) + "\", \"code\": \"" +
+                std::string(StatusCodeToString(entry.status.code())) +
+                "\", \"message\": \"" + JsonEscape(entry.status.message()) +
+                "\"";
+    }
+    if (!entry.skipped) {
+      report += StrFormat(
+          ", \"timings_ms\": {\"ingest\": %g, \"predict\": %g, "
+          "\"output\": %g}",
+          entry.timings.ingest_ms, entry.timings.predict_ms,
+          entry.timings.output_ms);
+    }
+    report += "}";
+    report += (i + 1 < summary.entries.size()) ? ",\n" : "\n";
+  }
+  report += "  ]\n}\n";
+  return report;
+}
+
+Result<BatchSummary> RunBatch(const StrudelCell& model,
+                              const std::string& input_dir,
+                              const std::string& output_dir,
+                              const BatchOptions& options) {
+  std::error_code ec;
+  if (!fs::is_directory(input_dir, ec)) {
+    return Status::IOError("input is not a directory: " + input_dir);
+  }
+  const fs::path out_dir(output_dir);
+  fs::create_directories(out_dir / "results", ec);
+  fs::create_directories(out_dir / "quarantine", ec);
+  if (ec) {
+    return Status::IOError("cannot create output directory: " + output_dir);
+  }
+
+  std::vector<fs::path> inputs;
+  for (const auto& entry : fs::directory_iterator(input_dir, ec)) {
+    if (entry.is_regular_file()) inputs.push_back(entry.path());
+  }
+  std::sort(inputs.begin(), inputs.end());
+
+  const auto interrupted = [&options] {
+    return options.interrupt != nullptr &&
+           options.interrupt->load(std::memory_order_relaxed);
+  };
+
+  // Interrupt watchdog: in-flight budgets are cancelled from a normal
+  // thread, because a signal handler may only set the flag. The watchdog
+  // is started lazily-never when no interrupt flag was supplied.
+  ActiveBudgets active;
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  if (options.interrupt != nullptr) {
+    watchdog = std::thread([&] {
+      const auto poll =
+          std::chrono::milliseconds(std::max(1, options.interrupt_poll_ms));
+      while (!watchdog_stop.load(std::memory_order_relaxed)) {
+        if (interrupted()) {
+          active.CancelAll();
+          return;
+        }
+        std::this_thread::sleep_for(poll);
+      }
+    });
+  }
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  BatchSummary summary;
+  summary.entries.resize(inputs.size());
+  // Up to `threads` files in flight, one file per chunk. Each file keeps
+  // its own fresh budget (one pathological input cannot starve the rest
+  // of the batch) and does its own quarantine filesystem work; per-file
+  // failures are recorded, never propagated, so the batch always runs to
+  // completion. Every worker writes only its own entry slot, keyed by
+  // the sorted input order, so the report is identical at any thread
+  // count. An interrupt stops new files from starting; in-flight files
+  // are cancelled by the watchdog and land in quarantine as kCancelled.
+  auto process_chunk = [&](size_t chunk_begin, size_t chunk_end) -> Status {
+    for (size_t i = chunk_begin; i < chunk_end; ++i) {
+      const fs::path& input = inputs[i];
+      BatchEntry& entry = summary.entries[i];
+      entry.file = input.filename().string();
+      if (interrupted()) {
+        entry.skipped = true;
+        continue;
+      }
+      const fs::path output_path =
+          out_dir / "results" / (entry.file + ".classes");
+      entry.status = ProcessOne(model, input.string(), output_path, options,
+                                active, entry);
+      if (entry.status.ok()) {
+        entry.output = "results/" + entry.file + ".classes";
+      } else {
+        std::error_code file_ec;
+        fs::copy_file(input, out_dir / "quarantine" / entry.file,
+                      fs::copy_options::overwrite_existing, file_ec);
+        fs::remove(output_path, file_ec);  // drop any partial output
+      }
+    }
+    return Status::OK();
+  };
+  // Cannot fail: no shared budget, and the chunk function never errors.
+  (void)ParallelFor(options.threads, 0, inputs.size(), /*grain=*/1,
+                    process_chunk);
+
+  watchdog_stop.store(true, std::memory_order_relaxed);
+  if (watchdog.joinable()) watchdog.join();
+
+  summary.interrupted = interrupted();
+  summary.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    batch_start)
+          .count();
+  for (const BatchEntry& entry : summary.entries) {
+    if (entry.skipped) {
+      ++summary.skipped;
+    } else if (entry.status.ok()) {
+      ++summary.succeeded;
+      ++summary.processed;
+    } else {
+      ++summary.quarantined;
+      ++summary.processed;
+    }
+  }
+
+  // The report is flushed even — especially — on an interrupted run;
+  // dying mid-write is exactly the failure this path exists to prevent.
+  std::ofstream report_out(out_dir / "report.json");
+  report_out << BatchReportJson(summary);
+  report_out.flush();
+  if (!report_out) {
+    return Status::IOError("failed to write report.json: " +
+                           (out_dir / "report.json").string());
+  }
+  return summary;
+}
+
+}  // namespace strudel

@@ -1,0 +1,91 @@
+// Directory-batch classification, factored out of the CLI so that the
+// interrupt contract is unit-testable and the serve subsystem can share
+// the output format. One call classifies every regular file in a
+// directory under a fresh per-file ExecutionBudget, quarantining failures
+// instead of aborting, exactly as `strudel batch` always did — plus a
+// cooperative interrupt: when the caller's flag flips (the CLI wires
+// SIGINT/SIGTERM to it), no new file is started, budgets of in-flight
+// files are cancelled by a watchdog thread, and the report is still
+// written — with an `"interrupted": true` marker — instead of dying
+// mid-run with a torn report.json.
+
+#ifndef STRUDEL_STRUDEL_BATCH_RUNNER_H_
+#define STRUDEL_STRUDEL_BATCH_RUNNER_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "strudel/ingest.h"
+#include "strudel/strudel_cell.h"
+
+namespace strudel {
+
+/// Renders a prediction in the batch/serve output format: one line per
+/// row, "<row> <line-class> <col>:<cell-class>..." for non-empty cells.
+std::string FormatClassifiedTable(const csv::Table& table,
+                                  const CellPrediction& prediction);
+
+struct BatchOptions {
+  /// Fresh wall-clock budget per file; <= 0 = unlimited.
+  double budget_ms = 0.0;
+  /// File-level fan-out workers (0 = hardware concurrency, 1 = serial).
+  int threads = 0;
+  IngestOptions ingest;
+  /// Cooperative interrupt. When it becomes true no new file starts and
+  /// in-flight budgets are cancelled; files never started are reported
+  /// as skipped. Nullable.
+  const std::atomic<bool>* interrupt = nullptr;
+  /// How often the watchdog polls `interrupt` to cancel in-flight
+  /// budgets. Only meaningful when `interrupt` is set.
+  int interrupt_poll_ms = 50;
+};
+
+/// Wall-clock milliseconds each stage spent on one file; a stage that
+/// never ran (earlier stage failed) stays at zero.
+struct BatchTimings {
+  double ingest_ms = 0.0;
+  double predict_ms = 0.0;
+  double output_ms = 0.0;
+};
+
+struct BatchEntry {
+  std::string file;
+  Status status;
+  std::string stage;   // failures: stage that failed
+  std::string output;  // successes: path relative to the output dir
+  bool skipped = false;  // interrupted before this file started
+  BatchTimings timings;
+};
+
+struct BatchSummary {
+  size_t processed = 0;   // files that ran (succeeded or quarantined)
+  size_t succeeded = 0;
+  size_t quarantined = 0;
+  size_t skipped = 0;     // never started because of the interrupt
+  bool interrupted = false;
+  double elapsed_seconds = 0.0;
+  std::vector<BatchEntry> entries;  // sorted input order, incl. skipped
+};
+
+/// Classifies every regular file in `input_dir` into
+/// `output_dir/results`, quarantining failures into
+/// `output_dir/quarantine` and writing `output_dir/report.json`.
+/// Returns the summary; fails only on setup errors (unreadable input
+/// dir, uncreatable output dir) or an unwritable report. Interruption is
+/// not an error: the summary (and report) carry `interrupted = true`.
+Result<BatchSummary> RunBatch(const StrudelCell& model,
+                              const std::string& input_dir,
+                              const std::string& output_dir,
+                              const BatchOptions& options);
+
+/// Serialises a summary as the report.json format (hand-rolled JSON, no
+/// dependency). Exposed for the CLI and tests.
+std::string BatchReportJson(const BatchSummary& summary);
+
+}  // namespace strudel
+
+#endif  // STRUDEL_STRUDEL_BATCH_RUNNER_H_

@@ -133,5 +133,60 @@ TEST(ExecutionBudgetTest, ConcurrentTripIsConsistent) {
   EXPECT_EQ(budget.Check("after").code(), StatusCode::kResourceExhausted);
 }
 
+// Edge cases around deadline construction and admission that the serve
+// subsystem leans on: a request budget is created at admission time, may
+// carry a degenerate deadline, and can expire before the first work unit
+// is ever charged.
+
+TEST(ExecutionBudgetTest, ZeroDeadlineMeansUnlimited) {
+  ExecutionBudgetOptions options;
+  options.max_wall_seconds = 0.0;
+  ExecutionBudget budget(options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  EXPECT_TRUE(budget.Charge("stage", 1).ok());
+  EXPECT_FALSE(budget.exhausted());
+}
+
+TEST(ExecutionBudgetTest, NegativeDeadlineMeansUnlimited) {
+  ExecutionBudgetOptions options;
+  options.max_wall_seconds = -5.0;
+  ExecutionBudget budget(options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  // A negative deadline must not be "already expired": only positive
+  // values arm the wall clock at all.
+  EXPECT_TRUE(budget.Charge("stage", 1).ok());
+  EXPECT_FALSE(budget.exhausted());
+}
+
+TEST(ExecutionBudgetTest, DeadlineCanExpireBeforeFirstWorkUnit) {
+  // The serve admission path: the budget clock starts when the request is
+  // admitted, so a long queue wait can consume the whole deadline before
+  // the worker charges anything. The very first checkpoint must already
+  // report the trip.
+  auto budget = ExecutionBudget::Limited(0.005);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Status first = budget->Check("dequeue");
+  EXPECT_EQ(first.code(), StatusCode::kDeadlineExceeded) << first.message();
+  EXPECT_NE(first.message().find("dequeue"), std::string_view::npos)
+      << first.message();
+}
+
+TEST(ExecutionBudgetTest, CancelAfterExhaustionKeepsOriginalStatus) {
+  ExecutionBudgetOptions options;
+  options.max_work_units = 10;
+  ExecutionBudget budget(options);
+  ASSERT_EQ(budget.Charge("work", 11).code(),
+            StatusCode::kResourceExhausted);
+  // A later Cancel (the drain path cancels every active budget, tripped
+  // or not) must not rewrite history: the sticky status stays the
+  // original exhaustion, stage included.
+  budget.Cancel();
+  Status later = budget.Check("after_cancel");
+  EXPECT_EQ(later.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(later.message().find("work"), std::string_view::npos)
+      << later.message();
+  EXPECT_TRUE(budget.cancelled());
+}
+
 }  // namespace
 }  // namespace strudel

@@ -1,0 +1,91 @@
+#include "common/exit_codes.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace strudel {
+namespace {
+
+// The exit-code table is a shipped interface: scripts branch on the
+// values and the README documents them. This test enumerates the whole
+// table so any drift — a renumbered code, a gap, a duplicate name, a
+// README update that forgot the code — fails loudly here.
+
+TEST(ExitCodesTest, TableIsDenseAscendingFromZero) {
+  const auto& table = AllCliExitCodes();
+  ASSERT_FALSE(table.empty());
+  for (size_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(table[i].code), static_cast<int>(i))
+        << "slot " << i << " holds " << table[i].name;
+  }
+}
+
+TEST(ExitCodesTest, EveryShippedCodeIsPinned) {
+  // Appending is the only allowed change; these pins never move.
+  const auto& table = AllCliExitCodes();
+  ASSERT_EQ(table.size(), 10u);
+  EXPECT_EQ(kExitOk, 0);
+  EXPECT_EQ(kExitGeneric, 1);
+  EXPECT_EQ(kExitUsage, 2);
+  EXPECT_EQ(kExitIngest, 3);
+  EXPECT_EQ(kExitModelLoad, 4);
+  EXPECT_EQ(kExitBudget, 5);
+  EXPECT_EQ(kExitTrain, 6);
+  EXPECT_EQ(kExitOutput, 7);
+  EXPECT_EQ(kExitServe, 8);
+  EXPECT_EQ(kExitInterrupted, 9);
+  EXPECT_EQ(table[kExitOk].name, "ok");
+  EXPECT_EQ(table[kExitGeneric].name, "generic");
+  EXPECT_EQ(table[kExitUsage].name, "usage");
+  EXPECT_EQ(table[kExitIngest].name, "ingest");
+  EXPECT_EQ(table[kExitModelLoad].name, "model_load");
+  EXPECT_EQ(table[kExitBudget].name, "budget");
+  EXPECT_EQ(table[kExitTrain].name, "train");
+  EXPECT_EQ(table[kExitOutput].name, "output");
+  EXPECT_EQ(table[kExitServe].name, "serve");
+  EXPECT_EQ(table[kExitInterrupted].name, "interrupted");
+}
+
+TEST(ExitCodesTest, NamesAndSummariesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (const CliExitInfo& info : AllCliExitCodes()) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.summary.empty());
+    EXPECT_TRUE(names.insert(std::string(info.name)).second)
+        << "duplicate name " << info.name;
+  }
+}
+
+TEST(ExitCodesTest, SummaryLineMentionsEveryCode) {
+  const std::string summary = CliExitCodesSummary();
+  for (const CliExitInfo& info : AllCliExitCodes()) {
+    EXPECT_NE(summary.find(std::to_string(static_cast<int>(info.code))),
+              std::string::npos)
+        << summary;
+  }
+}
+
+TEST(ExitCodesTest, BudgetShapedStatusesWinOverTheFallback) {
+  EXPECT_EQ(ExitCodeForStatus(Status::DeadlineExceeded("d"), kExitTrain),
+            kExitBudget);
+  EXPECT_EQ(ExitCodeForStatus(Status::ResourceExhausted("r"), kExitGeneric),
+            kExitBudget);
+  EXPECT_EQ(ExitCodeForStatus(Status::Cancelled("c"), kExitOutput),
+            kExitBudget);
+  EXPECT_EQ(ExitCodeForStatus(Status::CorruptModel("m"), kExitGeneric),
+            kExitModelLoad);
+}
+
+TEST(ExitCodesTest, OtherStatusesUseTheCommandFallback) {
+  EXPECT_EQ(ExitCodeForStatus(Status::IOError("io"), kExitIngest),
+            kExitIngest);
+  EXPECT_EQ(ExitCodeForStatus(Status::ParseError("p"), kExitGeneric),
+            kExitGeneric);
+  EXPECT_EQ(ExitCodeForStatus(Status::Internal("i"), kExitServe),
+            kExitServe);
+}
+
+}  // namespace
+}  // namespace strudel

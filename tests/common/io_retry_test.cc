@@ -1,0 +1,230 @@
+#include "common/io_retry.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace strudel {
+namespace {
+
+/// A connected AF_UNIX stream pair, closed on scope exit.
+class SocketPair {
+ public:
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a_ = fds[0];
+    b_ = fds[1];
+  }
+  ~SocketPair() {
+    CloseA();
+    CloseB();
+  }
+  int a() const { return a_; }
+  int b() const { return b_; }
+  void CloseA() {
+    if (a_ >= 0) ::close(a_);
+    a_ = -1;
+  }
+  void CloseB() {
+    if (b_ >= 0) ::close(b_);
+    b_ = -1;
+  }
+
+ private:
+  int a_ = -1;
+  int b_ = -1;
+};
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ASSERT_GE(flags, 0);
+  ASSERT_EQ(::fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0);
+}
+
+TEST(IoRetryTest, WriteFullThenReadFullRoundTrips) {
+  SocketPair pair;
+  const std::string message = "twelve bytes";
+  ASSERT_TRUE(
+      WriteFull(pair.a(), message.data(), message.size(), 1000).ok());
+  std::string buf(message.size(), '\0');
+  size_t got = 0;
+  ASSERT_TRUE(ReadFull(pair.b(), buf.data(), buf.size(), 1000, &got).ok());
+  EXPECT_EQ(got, message.size());
+  EXPECT_EQ(buf, message);
+}
+
+TEST(IoRetryTest, ReadFullTimesOutOnSilence) {
+  SocketPair pair;
+  SetNonBlocking(pair.b());
+  char buf[8];
+  size_t got = 123;
+  Status status = ReadFull(pair.b(), buf, sizeof(buf), 50, &got);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded) << status.message();
+  EXPECT_EQ(got, 0u);
+}
+
+TEST(IoRetryTest, ReadFullReportsTornPrefixOnEarlyClose) {
+  SocketPair pair;
+  ASSERT_TRUE(WriteFull(pair.a(), "abc", 3, 1000).ok());
+  pair.CloseA();
+  char buf[8];
+  size_t got = 0;
+  Status status = ReadFull(pair.b(), buf, sizeof(buf), 1000, &got);
+  EXPECT_EQ(status.code(), StatusCode::kIOError) << status.message();
+  EXPECT_EQ(got, 3u);  // the torn prefix arrived before the close
+}
+
+TEST(IoRetryTest, ReadFullPollsThroughEagainUntilDataArrives) {
+  SocketPair pair;
+  SetNonBlocking(pair.b());
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_TRUE(WriteFull(pair.a(), "late", 4, 1000).ok());
+  });
+  char buf[4];
+  Status status = ReadFull(pair.b(), buf, sizeof(buf), 2000);
+  writer.join();
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(std::string(buf, 4), "late");
+}
+
+TEST(IoRetryTest, WriteFullDrainsThroughFullSocketBuffer) {
+  SocketPair pair;
+  SetNonBlocking(pair.a());
+  // Far larger than any default socket buffer, so the writer must poll
+  // through EAGAIN while the reader drains.
+  const std::string big(4u << 20, 'x');
+  std::thread reader([&] {
+    std::string buf(big.size(), '\0');
+    EXPECT_TRUE(
+        ReadFull(pair.b(), buf.data(), buf.size(), 10000).ok());
+    EXPECT_EQ(buf, big);
+  });
+  size_t wrote = 0;
+  Status status = WriteFull(pair.a(), big.data(), big.size(), 10000, &wrote);
+  reader.join();
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(wrote, big.size());
+}
+
+TEST(IoRetryTest, WriteFullFailsCleanlyOnClosedPeer) {
+  // The WriteFull contract assumes the process ignores SIGPIPE (the
+  // server installs this at Start); mirror that here so the EPIPE write
+  // surfaces as a Status instead of killing the test.
+  ::signal(SIGPIPE, SIG_IGN);
+  SocketPair pair;
+  pair.CloseB();
+  const std::string big(1u << 20, 'x');
+  Status status = WriteFull(pair.a(), big.data(), big.size(), 1000);
+  EXPECT_EQ(status.code(), StatusCode::kIOError) << status.message();
+}
+
+TEST(IoRetryTest, ReadSomeReturnsAvailableBytesThenZeroAtEof) {
+  SocketPair pair;
+  ASSERT_TRUE(WriteFull(pair.a(), "chunk", 5, 1000).ok());
+  char buf[64];
+  auto got = ReadSome(pair.b(), buf, sizeof(buf), 1000);
+  ASSERT_TRUE(got.ok()) << got.status().message();
+  EXPECT_EQ(*got, 5u);
+  EXPECT_EQ(std::string(buf, *got), "chunk");
+  pair.CloseA();
+  auto eof = ReadSome(pair.b(), buf, sizeof(buf), 1000);
+  ASSERT_TRUE(eof.ok()) << eof.status().message();
+  EXPECT_EQ(*eof, 0u);
+}
+
+TEST(IoRetryTest, BackoffDelayIsDeterministicAndBounded) {
+  BackoffOptions options;
+  options.initial_ms = 10.0;
+  options.max_ms = 80.0;
+  options.jitter_seed = 42;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const double base =
+        std::min(options.initial_ms * (1 << (attempt - 1)), options.max_ms);
+    const double delay = BackoffDelayMs(options, attempt);
+    EXPECT_GE(delay, base / 2) << "attempt " << attempt;
+    EXPECT_LE(delay, base) << "attempt " << attempt;
+    // Pure function of (options, attempt): replays exactly.
+    EXPECT_EQ(delay, BackoffDelayMs(options, attempt));
+  }
+  // The cap holds no matter how far the schedule runs.
+  EXPECT_LE(BackoffDelayMs(options, 30), options.max_ms);
+}
+
+TEST(IoRetryTest, BackoffJitterSeedsDiverge) {
+  BackoffOptions a;
+  BackoffOptions b;
+  a.jitter_seed = 1;
+  b.jitter_seed = 2;
+  int differing = 0;
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    if (BackoffDelayMs(a, attempt) != BackoffDelayMs(b, attempt)) {
+      ++differing;
+    }
+  }
+  // Different seeds must not replay the same schedule in lockstep.
+  EXPECT_GT(differing, 0);
+}
+
+TEST(IoRetryTest, RetryWithBackoffStopsOnFirstSuccess) {
+  BackoffOptions options;
+  options.max_attempts = 5;
+  options.initial_ms = 0.1;
+  int calls = 0;
+  Status status = RetryWithBackoff(
+      options,
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::IOError("transient") : Status::OK();
+      },
+      [](const Status&) { return true; });
+  EXPECT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(IoRetryTest, RetryWithBackoffDoesNotRetryPermanentFailures) {
+  BackoffOptions options;
+  options.max_attempts = 5;
+  options.initial_ms = 0.1;
+  int calls = 0;
+  Status status = RetryWithBackoff(
+      options,
+      [&] {
+        ++calls;
+        return Status::InvalidArgument("permanent");
+      },
+      [](const Status& s) { return s.code() == StatusCode::kIOError; });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(IoRetryTest, RetryWithBackoffExhaustsAttemptsAndKeepsLastError) {
+  BackoffOptions options;
+  options.max_attempts = 4;
+  options.initial_ms = 0.1;
+  int calls = 0;
+  Status status = RetryWithBackoff(
+      options,
+      [&] {
+        ++calls;
+        return Status::IOError("try " + std::to_string(calls));
+      },
+      [](const Status&) { return true; });
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 4);
+  EXPECT_NE(status.message().find("try 4"), std::string_view::npos)
+      << status.message();
+}
+
+}  // namespace
+}  // namespace strudel

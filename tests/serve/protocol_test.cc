@@ -1,0 +1,157 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace strudel::serve {
+namespace {
+
+TEST(ProtocolTest, RequestRoundTripsThroughEncodeDecode) {
+  RequestHeader header;
+  header.type = RequestType::kClassify;
+  header.budget_ms = 2500;
+  header.trace_id = 0xDEADBEEFCAFEF00Dull;
+  const std::string payload = "a,b,c\n1,2,3\n";
+  const std::string frame = EncodeRequest(header, payload);
+  ASSERT_EQ(frame.size(), kHeaderBytes + payload.size());
+
+  auto decoded = DecodeRequestHeader(
+      std::string_view(frame).substr(0, kHeaderBytes));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->type, RequestType::kClassify);
+  EXPECT_EQ(decoded->budget_ms, 2500u);
+  EXPECT_EQ(decoded->trace_id, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(decoded->payload_len, payload.size());
+  EXPECT_EQ(frame.substr(kHeaderBytes), payload);
+}
+
+TEST(ProtocolTest, ResponseRoundTripsThroughEncodeDecode) {
+  ResponseHeader header;
+  header.code = ResponseCode::kOverloaded;
+  header.retry_after_ms = 75;
+  header.trace_id = 42;
+  const std::string frame = EncodeResponse(header, "busy");
+  ASSERT_EQ(frame.size(), kHeaderBytes + 4);
+
+  auto decoded = DecodeResponseHeader(
+      std::string_view(frame).substr(0, kHeaderBytes));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->code, ResponseCode::kOverloaded);
+  EXPECT_EQ(decoded->retry_after_ms, 75u);
+  EXPECT_EQ(decoded->trace_id, 42u);
+  EXPECT_EQ(decoded->payload_len, 4u);
+}
+
+TEST(ProtocolTest, EmptyPayloadRoundTrips) {
+  const std::string frame = EncodeRequest(RequestHeader{}, "");
+  ASSERT_EQ(frame.size(), kHeaderBytes);
+  auto decoded = DecodeRequestHeader(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->payload_len, 0u);
+}
+
+TEST(ProtocolTest, TruncatedHeaderIsRejected) {
+  const std::string frame = EncodeRequest(RequestHeader{}, "x");
+  for (size_t len : {0u, 1u, 4u, 23u}) {
+    auto decoded = DecodeRequestHeader(std::string_view(frame).substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "length " << len;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(ProtocolTest, BadMagicIsRejected) {
+  std::string frame = EncodeRequest(RequestHeader{}, "");
+  frame[0] = 'X';
+  auto decoded = DecodeRequestHeader(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(decoded.status().message().find("magic"),
+            std::string_view::npos)
+      << decoded.status().message();
+}
+
+TEST(ProtocolTest, WrongVersionIsRejected) {
+  std::string frame = EncodeRequest(RequestHeader{}, "");
+  frame[4] = static_cast<char>(kProtocolVersion + 1);
+  auto decoded = DecodeRequestHeader(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(decoded.status().message().find("version"),
+            std::string_view::npos)
+      << decoded.status().message();
+}
+
+TEST(ProtocolTest, UnknownRequestTypeIsRejected) {
+  std::string frame = EncodeRequest(RequestHeader{}, "");
+  frame[5] = 0;  // below kClassify
+  EXPECT_FALSE(DecodeRequestHeader(frame).ok());
+  frame[5] = 99;  // above kMetrics
+  auto decoded = DecodeRequestHeader(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+TEST(ProtocolTest, UnknownResponseCodeIsRejected) {
+  std::string frame = EncodeResponse(ResponseHeader{}, "");
+  frame[5] = 99;
+  auto decoded = DecodeResponseHeader(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+TEST(ProtocolTest, NonZeroReservedBytesAreRejected) {
+  // The reserved field must stay zero until a protocol revision assigns
+  // it meaning; rejecting now keeps forward compatibility unambiguous.
+  std::string frame = EncodeRequest(RequestHeader{}, "");
+  frame[6] = 1;
+  EXPECT_FALSE(DecodeRequestHeader(frame).ok());
+  frame[6] = 0;
+  frame[7] = 1;
+  EXPECT_FALSE(DecodeRequestHeader(frame).ok());
+}
+
+TEST(ProtocolTest, PayloadLengthBeyondProtocolCapIsRejected) {
+  std::string frame = EncodeRequest(RequestHeader{}, "");
+  const uint32_t huge = kMaxPayloadBytes + 1;
+  frame[20] = static_cast<char>(huge & 0xff);
+  frame[21] = static_cast<char>((huge >> 8) & 0xff);
+  frame[22] = static_cast<char>((huge >> 16) & 0xff);
+  frame[23] = static_cast<char>((huge >> 24) & 0xff);
+  auto decoded = DecodeRequestHeader(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ProtocolTest, PayloadLengthAtProtocolCapIsAccepted) {
+  std::string frame = EncodeRequest(RequestHeader{}, "");
+  const uint32_t cap = kMaxPayloadBytes;
+  frame[20] = static_cast<char>(cap & 0xff);
+  frame[21] = static_cast<char>((cap >> 8) & 0xff);
+  frame[22] = static_cast<char>((cap >> 16) & 0xff);
+  frame[23] = static_cast<char>((cap >> 24) & 0xff);
+  auto decoded = DecodeRequestHeader(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->payload_len, kMaxPayloadBytes);
+}
+
+TEST(ProtocolTest, GarbageBytesNeverDecode) {
+  std::string garbage(kHeaderBytes, '\xff');
+  EXPECT_FALSE(DecodeRequestHeader(garbage).ok());
+  EXPECT_FALSE(DecodeResponseHeader(garbage).ok());
+  std::string zeros(kHeaderBytes, '\0');
+  EXPECT_FALSE(DecodeRequestHeader(zeros).ok());
+}
+
+TEST(ProtocolTest, ResponseCodeNamesAreCanonical) {
+  EXPECT_EQ(ResponseCodeName(ResponseCode::kOk), "ok");
+  EXPECT_EQ(ResponseCodeName(ResponseCode::kOverloaded), "overloaded");
+  EXPECT_EQ(ResponseCodeName(ResponseCode::kShuttingDown), "shutting_down");
+  EXPECT_EQ(ResponseCodeName(ResponseCode::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(ResponseCodeName(ResponseCode::kPayloadTooLarge),
+            "payload_too_large");
+}
+
+}  // namespace
+}  // namespace strudel::serve

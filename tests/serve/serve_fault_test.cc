@@ -1,0 +1,605 @@
+// Fault-injection harness for `strudel serve`: an in-process Server on a
+// temp unix socket, attacked with the failure shapes the tentpole
+// promises to survive — torn frames, oversized payloads, slow and
+// vanishing clients, overload storms, drain races. Every test asserts
+// two things: the attacked request degrades into the right structured
+// response (or a bounded close), and the server stays available for the
+// next well-formed request. The overload and drain tests additionally
+// assert the stats accounting identity, so every request the harness
+// sent is provably counted somewhere.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/corpus.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/socket_util.h"
+#include "strudel/strudel_cell.h"
+
+namespace strudel::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr const char* kCsv =
+    "Region,Units,Price\nNorth,12,3.5\nSouth,7,1.25\nTotal,19,4.75\n";
+
+/// Fits the fast test model once and hands out per-test copies via the
+/// serialization round trip (StrudelCell is move-only).
+const std::string& FittedModelBytes() {
+  static const std::string* bytes = [] {
+    datagen::DatasetProfile profile =
+        datagen::ScaledProfile(datagen::SausProfile(), 0.05, 0.35);
+    auto corpus = datagen::GenerateCorpus(profile, 41);
+    StrudelCellOptions options;
+    options.forest.num_trees = 6;
+    options.line.forest.num_trees = 6;
+    options.line_cross_fit_folds = 0;
+    StrudelCell model(options);
+    Status status = model.Fit(corpus);
+    EXPECT_TRUE(status.ok()) << status.message();
+    std::ostringstream out;
+    EXPECT_TRUE(model.SaveTo(out).ok());
+    return new std::string(out.str());
+  }();
+  return *bytes;
+}
+
+StrudelCell LoadFittedModel() {
+  StrudelCell model;
+  std::istringstream in(FittedModelBytes());
+  Status status = model.LoadFrom(in);
+  EXPECT_TRUE(status.ok()) << status.message();
+  model.set_num_threads(1);
+  return model;
+}
+
+/// A unique, short socket path (sockaddr_un caps path length, so the
+/// build directory is not usable).
+std::string TempSocketPath() {
+  static std::atomic<int> counter{0};
+  return "/tmp/strudel_serve_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+ServerOptions FastServerOptions(const std::string& socket_path) {
+  ServerOptions options;
+  options.socket_path = socket_path;
+  options.num_workers = 2;
+  options.queue_depth = 8;
+  options.read_timeout_ms = 2000;
+  options.write_timeout_ms = 2000;
+  options.default_budget_ms = 20000;
+  options.drain_timeout_ms = 5000;
+  return options;
+}
+
+ClientOptions NoRetryClient(const std::string& socket_path) {
+  ClientOptions options;
+  options.socket_path = socket_path;
+  options.backoff.max_attempts = 1;
+  return options;
+}
+
+/// Polls `predicate` until true or ~5s elapsed.
+bool WaitFor(const std::function<bool()>& predicate) {
+  for (int i = 0; i < 500; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+  return predicate();
+}
+
+/// The monotonic counters' accounting identity (header comment of
+/// ServerStats): every accepted connection lands in exactly one bucket.
+void ExpectAccountingIdentity(const ServerStats& s) {
+  EXPECT_EQ(s.accepted, s.admitted + s.shed_queue + s.shed_connections +
+                            s.rejected_draining + s.malformed +
+                            s.payload_too_large + s.io_failed +
+                            s.inline_answered)
+      << s.ToJson();
+  EXPECT_EQ(s.admitted, s.completed + s.deadline_exceeded + s.ingest_errors +
+                            s.predict_errors)
+      << s.ToJson();
+}
+
+TEST(ServeFaultTest, ClassifyRoundTripEchoesTraceIdAndClassifiesLines) {
+  const std::string path = TempSocketPath();
+  Server server(LoadFittedModel(), FastServerOptions(path));
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client(NoRetryClient(path));
+  auto reply = client.Classify(kCsv, /*trace_id=*/7777);
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  EXPECT_EQ(reply->code, ResponseCode::kOk);
+  EXPECT_EQ(reply->trace_id, 7777u);
+  // One output line per input row, each leading with its row index.
+  int lines = 0;
+  for (char c : reply->payload) lines += c == '\n';
+  EXPECT_EQ(lines, 4) << reply->payload;
+  EXPECT_EQ(reply->payload.rfind("0 ", 0), 0u) << reply->payload;
+
+  // trace_id 0 asks the server to assign one.
+  auto assigned = client.Classify(kCsv);
+  ASSERT_TRUE(assigned.ok());
+  EXPECT_NE(assigned->trace_id, 0u);
+
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+  ExpectAccountingIdentity(server.stats());
+}
+
+TEST(ServeFaultTest, HealthAndMetricsAnswerWithoutTouchingTheQueue) {
+  const std::string path = TempSocketPath();
+  Server server(LoadFittedModel(), FastServerOptions(path));
+  ASSERT_TRUE(server.Start().ok());
+  // Workers frozen: anything that needed the queue would never answer.
+  server.PauseWorkersForTest();
+
+  Client client(NoRetryClient(path));
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status().message();
+  EXPECT_EQ(health->code, ResponseCode::kOk);
+  EXPECT_NE(health->payload.find("\"status\": \"ok\""), std::string::npos)
+      << health->payload;
+  EXPECT_NE(health->payload.find("uptime_ms"), std::string::npos);
+
+  auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().message();
+  EXPECT_EQ(metrics->code, ResponseCode::kOk);
+  EXPECT_FALSE(metrics->payload.empty());
+
+  server.ResumeWorkers();
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.inline_answered, 2u);
+  EXPECT_EQ(stats.admitted, 0u);
+}
+
+TEST(ServeFaultTest, TornHeaderClosesConnectionAndServerStaysAvailable) {
+  const std::string path = TempSocketPath();
+  ServerOptions options = FastServerOptions(path);
+  options.read_timeout_ms = 150;  // keep the torn read bounded
+  Server server(LoadFittedModel(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    // Half a header, then disconnect.
+    auto fd = ConnectUnix(path);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(SendFrame(fd->get(), std::string(10, 'S'), 1000).ok());
+  }
+  // A header that promises a payload that never comes (mid-request
+  // disconnect): the read deadline reclaims the connection thread.
+  {
+    auto fd = ConnectUnix(path);
+    ASSERT_TRUE(fd.ok());
+    RequestHeader header;
+    std::string frame = EncodeRequest(header, std::string(100, 'x'));
+    frame.resize(kHeaderBytes + 10);  // truncate mid-payload
+    ASSERT_TRUE(SendFrame(fd->get(), frame, 1000).ok());
+  }
+  ASSERT_TRUE(WaitFor([&] { return server.stats().io_failed == 2; }))
+      << server.stats().ToJson();
+
+  // The attack cost nothing but one bounded thread: requests still work.
+  Client client(NoRetryClient(path));
+  auto reply = client.Classify(kCsv);
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  EXPECT_EQ(reply->code, ResponseCode::kOk);
+
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+  ExpectAccountingIdentity(server.stats());
+}
+
+TEST(ServeFaultTest, MalformedHeaderGetsStructuredErrorNotACrash) {
+  const std::string path = TempSocketPath();
+  Server server(LoadFittedModel(), FastServerOptions(path));
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = ConnectUnix(path);
+  ASSERT_TRUE(fd.ok());
+  std::string frame = EncodeRequest(RequestHeader{}, "");
+  frame[0] = 'X';  // bad magic
+  ASSERT_TRUE(SendFrame(fd->get(), frame, 1000).ok());
+  auto response = RecvFrame(fd->get(), kMaxPayloadBytes, 2000);
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  auto header = DecodeResponseHeader(response->header);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->code, ResponseCode::kMalformed);
+  EXPECT_NE(response->payload.find("stage=serve.decode"), std::string::npos)
+      << response->payload;
+
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+  EXPECT_EQ(server.stats().malformed, 1u);
+  ExpectAccountingIdentity(server.stats());
+}
+
+TEST(ServeFaultTest, GarbageBytesAreMalformedNotOversized) {
+  const std::string path = TempSocketPath();
+  Server server(LoadFittedModel(), FastServerOptions(path));
+  ASSERT_TRUE(server.Start().ok());
+
+  // 24 bytes of 0xff: without a magic check the all-ones length field
+  // would be misread as a 4GB payload declaration.
+  auto fd = ConnectUnix(path);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(SendFrame(fd->get(), std::string(kHeaderBytes, '\xff'), 1000)
+                  .ok());
+  auto response = RecvFrame(fd->get(), kMaxPayloadBytes, 2000);
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  auto header = DecodeResponseHeader(response->header);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->code, ResponseCode::kMalformed);
+
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+  EXPECT_EQ(server.stats().malformed, 1u);
+  EXPECT_EQ(server.stats().payload_too_large, 0u);
+  ExpectAccountingIdentity(server.stats());
+}
+
+TEST(ServeFaultTest, OversizedPayloadIsRefusedBeforeAllocation) {
+  const std::string path = TempSocketPath();
+  ServerOptions options = FastServerOptions(path);
+  options.max_payload_bytes = 1024;
+  Server server(LoadFittedModel(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = ConnectUnix(path);
+  ASSERT_TRUE(fd.ok());
+  // A valid header declaring 2 MiB against the 1 KiB server cap. Only
+  // the header is sent — the server must refuse without waiting for (or
+  // buffering) the body.
+  RequestHeader request;
+  const std::string body(2u << 20, 'x');
+  std::string frame = EncodeRequest(request, body);
+  frame.resize(kHeaderBytes);
+  ASSERT_TRUE(SendFrame(fd->get(), frame, 1000).ok());
+  auto response = RecvFrame(fd->get(), kMaxPayloadBytes, 2000);
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  auto header = DecodeResponseHeader(response->header);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->code, ResponseCode::kPayloadTooLarge);
+
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+  EXPECT_EQ(server.stats().payload_too_large, 1u);
+  ExpectAccountingIdentity(server.stats());
+}
+
+TEST(ServeFaultTest, SlowClientCostsOneBoundedThreadNotTheServer) {
+  const std::string path = TempSocketPath();
+  ServerOptions options = FastServerOptions(path);
+  options.read_timeout_ms = 200;
+  Server server(LoadFittedModel(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A client that connects and then says nothing.
+  auto stalled = ConnectUnix(path);
+  ASSERT_TRUE(stalled.ok());
+
+  // While it stalls, everyone else is served.
+  Client client(NoRetryClient(path));
+  auto reply = client.Classify(kCsv);
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  EXPECT_EQ(reply->code, ResponseCode::kOk);
+
+  // The read deadline reclaims the stalled connection's thread.
+  ASSERT_TRUE(WaitFor([&] { return server.stats().io_failed == 1; }))
+      << server.stats().ToJson();
+
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+  ExpectAccountingIdentity(server.stats());
+}
+
+TEST(ServeFaultTest, TinyBudgetYieldsDeadlineExceededResponse) {
+  const std::string path = TempSocketPath();
+  ServerOptions options = FastServerOptions(path);
+  options.worker_delay_ms = 100;  // guarantee the 1ms budget expires
+  Server server(LoadFittedModel(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions client_options = NoRetryClient(path);
+  client_options.budget_ms = 1;
+  Client client(client_options);
+  auto reply = client.Classify(kCsv);
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  EXPECT_EQ(reply->code, ResponseCode::kDeadlineExceeded)
+      << ResponseCodeName(reply->code);
+  EXPECT_NE(reply->payload.find("code=deadline_exceeded"), std::string::npos)
+      << reply->payload;
+
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+  EXPECT_EQ(server.stats().deadline_exceeded, 1u);
+  EXPECT_EQ(server.stats().completed, 0u);
+  ExpectAccountingIdentity(server.stats());
+}
+
+TEST(ServeFaultTest, OverloadStormShedsDeterministicallyWithRetryHint) {
+  const std::string path = TempSocketPath();
+  ServerOptions options = FastServerOptions(path);
+  options.queue_depth = 2;
+  options.num_workers = 1;
+  options.retry_after_ms = 123;
+  Server server(LoadFittedModel(), options);
+  ASSERT_TRUE(server.Start().ok());
+  // Freeze the workers so the queue fills to exactly queue_depth and
+  // stays there: the shed count below is deterministic, not a race.
+  server.PauseWorkersForTest();
+
+  std::vector<std::thread> fillers;
+  std::atomic<int> fill_ok{0};
+  for (size_t i = 0; i < options.queue_depth; ++i) {
+    fillers.emplace_back([&] {
+      Client client(NoRetryClient(path));
+      auto reply = client.Classify(kCsv);
+      if (reply.ok() && reply->code == ResponseCode::kOk) ++fill_ok;
+    });
+  }
+  ASSERT_TRUE(WaitFor([&] {
+    return server.stats().queue_depth == options.queue_depth;
+  })) << server.stats().ToJson();
+
+  // Storm: every further request is shed immediately with the hint.
+  constexpr int kStorm = 5;
+  for (int i = 0; i < kStorm; ++i) {
+    Client client(NoRetryClient(path));
+    auto reply = client.Classify(kCsv);
+    ASSERT_TRUE(reply.ok()) << reply.status().message();
+    EXPECT_EQ(reply->code, ResponseCode::kOverloaded)
+        << ResponseCodeName(reply->code);
+    EXPECT_EQ(reply->retry_after_ms, 123u);
+  }
+
+  server.ResumeWorkers();
+  for (std::thread& t : fillers) t.join();
+  EXPECT_EQ(fill_ok.load(), static_cast<int>(options.queue_depth));
+
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admitted, options.queue_depth);
+  EXPECT_EQ(stats.shed_queue, static_cast<uint64_t>(kStorm));
+  EXPECT_EQ(stats.completed, options.queue_depth);
+  // Every request the storm sent is accounted for exactly once.
+  EXPECT_EQ(stats.accepted,
+            static_cast<uint64_t>(options.queue_depth) + kStorm);
+  ExpectAccountingIdentity(stats);
+}
+
+TEST(ServeFaultTest, DrainRejectsNewWorkAndFinishesAdmittedWork) {
+  const std::string path = TempSocketPath();
+  ServerOptions options = FastServerOptions(path);
+  options.num_workers = 1;
+  Server server(LoadFittedModel(), options);
+  ASSERT_TRUE(server.Start().ok());
+  server.PauseWorkersForTest();
+
+  // One admitted request parked in the queue.
+  std::atomic<bool> fill_completed{false};
+  std::thread filler([&] {
+    Client client(NoRetryClient(path));
+    auto reply = client.Classify(kCsv);
+    fill_completed = reply.ok() && reply->code == ResponseCode::kOk;
+  });
+  ASSERT_TRUE(WaitFor([&] { return server.stats().queue_depth == 1; }));
+
+  // A connection opened before the drain, whose request arrives after:
+  // it must get the structured shutting_down response, not a hang or a
+  // dropped socket.
+  auto late = ConnectUnix(path);
+  ASSERT_TRUE(late.ok());
+  // The filler's connection is also open, so wait for ours to be
+  // accepted too: once draining starts the backlog is never accepted.
+  ASSERT_TRUE(WaitFor([&] { return server.stats().open_connections >= 2; }));
+  server.RequestStop();
+  ASSERT_TRUE(server.draining());
+  ASSERT_TRUE(SendFrame(late->get(), EncodeRequest(RequestHeader{}, kCsv),
+                        1000)
+                  .ok());
+  auto response = RecvFrame(late->get(), kMaxPayloadBytes, 2000);
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  auto header = DecodeResponseHeader(response->header);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->code, ResponseCode::kShuttingDown);
+  EXPECT_GT(header->retry_after_ms, 0u);
+
+  // The admitted request still completes: drain finishes accepted work.
+  server.ResumeWorkers();
+  EXPECT_TRUE(server.Wait().ok());
+  filler.join();
+  EXPECT_TRUE(fill_completed.load());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected_draining, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  ExpectAccountingIdentity(stats);
+}
+
+TEST(ServeFaultTest, DrainDeadlineCancelsStragglersInsteadOfHanging) {
+  const std::string path = TempSocketPath();
+  ServerOptions options = FastServerOptions(path);
+  options.num_workers = 1;
+  options.worker_delay_ms = 60000;  // far beyond the drain deadline
+  options.drain_timeout_ms = 200;
+  Server server(LoadFittedModel(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::thread straggler([&] {
+    Client client(NoRetryClient(path));
+    auto reply = client.Classify(kCsv);
+    // The forced drain turns the in-flight request into a structured
+    // deadline_exceeded response, still delivered to the client.
+    EXPECT_TRUE(reply.ok()) << reply.status().message();
+    EXPECT_EQ(reply->code, ResponseCode::kDeadlineExceeded)
+        << ResponseCodeName(reply->code);
+  });
+  ASSERT_TRUE(WaitFor([&] { return server.stats().in_flight == 1; }));
+
+  const auto drain_start = std::chrono::steady_clock::now();
+  server.RequestStop();
+  Status drained = server.Wait();
+  const double drain_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    drain_start)
+          .count();
+  straggler.join();
+  // Forced drain: reported as kDeadlineExceeded, bounded in time (the
+  // 60s worker delay did NOT run to completion), nothing left running.
+  EXPECT_EQ(drained.code(), StatusCode::kDeadlineExceeded)
+      << drained.message();
+  EXPECT_LT(drain_seconds, 10.0);
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.drain_cancelled, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  ExpectAccountingIdentity(stats);
+}
+
+TEST(ServeFaultTest, ClientBacksOffUntilTheServerComesUp) {
+  const std::string path = TempSocketPath();
+
+  ClientOptions options = NoRetryClient(path);
+  options.backoff.max_attempts = 20;
+  options.backoff.initial_ms = 20;
+  options.backoff.max_ms = 100;
+  Client client(options);
+
+  // Server starts only after the client has begun retrying.
+  Server server(LoadFittedModel(), FastServerOptions(path));
+  std::thread late_starter([&] {
+    std::this_thread::sleep_for(milliseconds(150));
+    ASSERT_TRUE(server.Start().ok());
+  });
+  auto reply = client.Classify(kCsv);
+  late_starter.join();
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  EXPECT_EQ(reply->code, ResponseCode::kOk);
+  EXPECT_GT(reply->attempts, 1);
+
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+}
+
+TEST(ServeFaultTest, ClientRetriesOverloadedUntilCapacityFrees) {
+  const std::string path = TempSocketPath();
+  ServerOptions options = FastServerOptions(path);
+  options.queue_depth = 1;
+  options.num_workers = 1;
+  options.retry_after_ms = 20;
+  Server server(LoadFittedModel(), options);
+  ASSERT_TRUE(server.Start().ok());
+  server.PauseWorkersForTest();
+
+  // Fill the single queue slot.
+  std::thread filler([&] {
+    Client client(NoRetryClient(path));
+    (void)client.Classify(kCsv);
+  });
+  ASSERT_TRUE(WaitFor([&] { return server.stats().queue_depth == 1; }));
+
+  // This client gets shed, backs off, retries; capacity frees shortly
+  // after, so a later attempt lands.
+  ClientOptions retry_options = NoRetryClient(path);
+  retry_options.backoff.max_attempts = 30;
+  retry_options.backoff.initial_ms = 10;
+  retry_options.backoff.max_ms = 50;
+  Client retrying(retry_options);
+  std::thread unpauser([&] {
+    std::this_thread::sleep_for(milliseconds(100));
+    server.ResumeWorkers();
+  });
+  auto reply = retrying.Classify(kCsv);
+  unpauser.join();
+  filler.join();
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  EXPECT_EQ(reply->code, ResponseCode::kOk);
+  EXPECT_GT(reply->attempts, 1);
+
+  server.RequestStop();
+  EXPECT_TRUE(server.Wait().ok());
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.shed_queue, 1u);
+  ExpectAccountingIdentity(stats);
+}
+
+TEST(ServeFaultTest, StaleSocketFileFromACrashedServerIsReclaimed) {
+  const std::string path = TempSocketPath();
+  {
+    Server first(LoadFittedModel(), FastServerOptions(path));
+    ASSERT_TRUE(first.Start().ok());
+    first.RequestStop();
+    EXPECT_TRUE(first.Wait().ok());
+  }
+  // Simulate the crashed-predecessor case: a socket file nobody listens
+  // on. (Wait() unlinks on clean shutdown, so plant one explicitly.)
+  {
+    auto stale = ListenUnix(path, 1);
+    ASSERT_TRUE(stale.ok());
+    // Listener fd closes here but the file stays behind.
+  }
+  Server second(LoadFittedModel(), FastServerOptions(path));
+  ASSERT_TRUE(second.Start().ok()) << "stale socket file not reclaimed";
+  Client client(NoRetryClient(path));
+  auto reply = client.Classify(kCsv);
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  EXPECT_EQ(reply->code, ResponseCode::kOk);
+  second.RequestStop();
+  EXPECT_TRUE(second.Wait().ok());
+}
+
+TEST(ServeFaultTest, SecondServerOnALiveSocketIsRefused) {
+  const std::string path = TempSocketPath();
+  Server first(LoadFittedModel(), FastServerOptions(path));
+  ASSERT_TRUE(first.Start().ok());
+
+  Server second(LoadFittedModel(), FastServerOptions(path));
+  Status status = second.Start();
+  EXPECT_FALSE(status.ok());
+
+  // The live server is unharmed by the failed takeover.
+  Client client(NoRetryClient(path));
+  auto reply = client.Classify(kCsv);
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  EXPECT_EQ(reply->code, ResponseCode::kOk);
+  first.RequestStop();
+  EXPECT_TRUE(first.Wait().ok());
+}
+
+TEST(ServeFaultTest, StartValidatesOptionsAndModel) {
+  ServerOptions options = FastServerOptions(TempSocketPath());
+  {
+    StrudelCell unfitted;
+    Server server(std::move(unfitted), options);
+    EXPECT_EQ(server.Start().code(), StatusCode::kFailedPrecondition);
+  }
+  {
+    ServerOptions bad = options;
+    bad.socket_path.clear();
+    Server server(LoadFittedModel(), bad);
+    EXPECT_EQ(server.Start().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    ServerOptions bad = options;
+    bad.num_workers = 0;
+    Server server(LoadFittedModel(), bad);
+    EXPECT_EQ(server.Start().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace strudel::serve

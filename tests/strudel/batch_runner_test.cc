@@ -1,0 +1,288 @@
+#include "strudel/batch_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "datagen/corpus.h"
+#include "strudel/strudel_cell.h"
+#include "testing/test_tables.h"
+
+namespace strudel {
+namespace {
+
+namespace fs = std::filesystem;
+
+const StrudelCell& FittedModel() {
+  static const StrudelCell* model = [] {
+    datagen::DatasetProfile profile =
+        datagen::ScaledProfile(datagen::SausProfile(), 0.05, 0.35);
+    auto corpus = datagen::GenerateCorpus(profile, 41);
+    StrudelCellOptions options;
+    options.forest.num_trees = 6;
+    options.line.forest.num_trees = 6;
+    options.line_cross_fit_folds = 0;
+    auto* cell = new StrudelCell(options);
+    EXPECT_TRUE(cell->Fit(corpus).ok());
+    return cell;
+  }();
+  return *model;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+constexpr const char* kGoodCsv =
+    "Region,Units,Price\nNorth,12,3.5\nSouth,7,1.25\nTotal,19,4.75\n";
+
+// A verbose file in the paper's sense: preamble, header, data, aggregate,
+// footnote. Big enough that classification does nontrivial work.
+std::string VerboseCsv() {
+  std::string out = "Report generated 2024-01-01\n\nRegion,Units,Price\n";
+  for (int i = 0; i < 40; ++i) {
+    out += "R" + std::to_string(i) + "," + std::to_string(i * 3) + "," +
+           std::to_string(i) + ".5\n";
+  }
+  out += "Total,2340,n/a\nSource: internal ledger\n";
+  return out;
+}
+
+TEST(BatchRunnerTest, ClassifiesEveryFileAndWritesReport) {
+  const std::string in_dir = FreshDir("batch_in_ok");
+  const std::string out_dir = FreshDir("batch_out_ok");
+  WriteFile(in_dir + "/a.csv", kGoodCsv);
+  WriteFile(in_dir + "/b.csv", VerboseCsv());
+  WriteFile(in_dir + "/c.csv", kGoodCsv);
+
+  BatchOptions options;
+  options.threads = 2;
+  auto summary = RunBatch(FittedModel(), in_dir, out_dir, options);
+  ASSERT_TRUE(summary.ok()) << summary.status().message();
+  EXPECT_EQ(summary->processed, 3u);
+  EXPECT_EQ(summary->succeeded, 3u);
+  EXPECT_EQ(summary->quarantined, 0u);
+  EXPECT_EQ(summary->skipped, 0u);
+  EXPECT_FALSE(summary->interrupted);
+  ASSERT_EQ(summary->entries.size(), 3u);
+  // Entries come back in sorted input order regardless of thread count.
+  EXPECT_EQ(summary->entries[0].file, "a.csv");
+  EXPECT_EQ(summary->entries[1].file, "b.csv");
+  EXPECT_EQ(summary->entries[2].file, "c.csv");
+  for (const BatchEntry& entry : summary->entries) {
+    EXPECT_TRUE(entry.status.ok()) << entry.file;
+    EXPECT_TRUE(fs::exists(out_dir + "/results/" + entry.file + ".classes"))
+        << entry.file;
+    EXPECT_GT(entry.timings.predict_ms, 0.0) << entry.file;
+  }
+  // One line per input row, each "<row> <class> ...".
+  const std::string classified =
+      ReadWholeFile(out_dir + "/results/a.csv.classes");
+  int lines = 0;
+  for (char c : classified) lines += c == '\n';
+  EXPECT_EQ(lines, 4) << classified;
+  EXPECT_EQ(classified.rfind("0 ", 0), 0u) << classified;
+
+  const std::string report = ReadWholeFile(out_dir + "/report.json");
+  EXPECT_NE(report.find("\"processed\": 3"), std::string::npos) << report;
+  EXPECT_NE(report.find("\"interrupted\": false"), std::string::npos);
+  EXPECT_NE(report.find("\"a.csv\""), std::string::npos);
+}
+
+TEST(BatchRunnerTest, QuarantinesUnparseableFilesAndKeepsGoing) {
+  const std::string in_dir = FreshDir("batch_in_q");
+  const std::string out_dir = FreshDir("batch_out_q");
+  // Text after a closing quote is a structural anomaly: fatal under
+  // strict policy once the recovery retry is disabled.
+  WriteFile(in_dir + "/bad.csv", "a,\"b\"stray,c\n1,2,3\n");
+  WriteFile(in_dir + "/good.csv", kGoodCsv);
+
+  BatchOptions options;
+  options.threads = 1;
+  options.ingest.reader.policy = csv::RecoveryPolicy::kStrict;
+  options.ingest.fallback_to_recover = false;
+  auto summary = RunBatch(FittedModel(), in_dir, out_dir, options);
+  ASSERT_TRUE(summary.ok()) << summary.status().message();
+  EXPECT_EQ(summary->processed, 2u);
+  EXPECT_EQ(summary->succeeded, 1u);
+  EXPECT_EQ(summary->quarantined, 1u);
+  ASSERT_EQ(summary->entries.size(), 2u);
+  const BatchEntry& bad = summary->entries[0];
+  EXPECT_EQ(bad.file, "bad.csv");
+  EXPECT_FALSE(bad.status.ok());
+  EXPECT_EQ(bad.stage, "ingest");
+  // The offender is copied aside for inspection; no partial output left.
+  EXPECT_TRUE(fs::exists(out_dir + "/quarantine/bad.csv"));
+  EXPECT_FALSE(fs::exists(out_dir + "/results/bad.csv.classes"));
+  EXPECT_TRUE(fs::exists(out_dir + "/results/good.csv.classes"));
+
+  const std::string report = ReadWholeFile(out_dir + "/report.json");
+  EXPECT_NE(report.find("\"quarantined\": 1"), std::string::npos) << report;
+}
+
+TEST(BatchRunnerTest, InterruptSkipsRemainingFilesButFlushesReport) {
+  const std::string in_dir = FreshDir("batch_in_intr");
+  const std::string out_dir = FreshDir("batch_out_intr");
+  for (int i = 0; i < 8; ++i) {
+    WriteFile(in_dir + "/f" + std::to_string(i) + ".csv", kGoodCsv);
+  }
+
+  // Flag already set: every file is skipped, yet the report is written
+  // and marked interrupted — the contract SIGINT relies on.
+  std::atomic<bool> interrupt{true};
+  BatchOptions options;
+  options.threads = 2;
+  options.interrupt = &interrupt;
+  auto summary = RunBatch(FittedModel(), in_dir, out_dir, options);
+  ASSERT_TRUE(summary.ok()) << summary.status().message();
+  EXPECT_TRUE(summary->interrupted);
+  EXPECT_EQ(summary->skipped, 8u);
+  EXPECT_EQ(summary->processed, 0u);
+  ASSERT_EQ(summary->entries.size(), 8u);
+  for (const BatchEntry& entry : summary->entries) {
+    EXPECT_TRUE(entry.skipped) << entry.file;
+  }
+  const std::string report = ReadWholeFile(out_dir + "/report.json");
+  EXPECT_NE(report.find("\"interrupted\": true"), std::string::npos) << report;
+  EXPECT_NE(report.find("\"skipped\""), std::string::npos) << report;
+}
+
+TEST(BatchRunnerTest, MidRunInterruptCancelsViaWatchdogAndStillReports) {
+  const std::string in_dir = FreshDir("batch_in_mid");
+  const std::string out_dir = FreshDir("batch_out_mid");
+  // Enough serial work that the whole run takes far longer than the
+  // flipper's delay: the flag is guaranteed to flip while files are
+  // still pending, whatever the machine's speed.
+  constexpr int kFiles = 64;
+  std::string big = "Report generated 2024-01-01\n\nRegion,Units,Price\n";
+  for (int r = 0; r < 400; ++r) {
+    big += "R" + std::to_string(r) + "," + std::to_string(r * 3) + "," +
+           std::to_string(r) + ".5\n";
+  }
+  big += "Total,2340,n/a\n";
+  for (int i = 0; i < kFiles; ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "f%02d", i);
+    WriteFile(in_dir + std::string("/") + buf + ".csv", big);
+  }
+
+  std::atomic<bool> interrupt{false};
+  BatchOptions options;
+  options.threads = 1;
+  options.interrupt = &interrupt;
+  options.interrupt_poll_ms = 5;
+  std::thread flipper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    interrupt = true;
+  });
+  auto summary = RunBatch(FittedModel(), in_dir, out_dir, options);
+  flipper.join();
+  ASSERT_TRUE(summary.ok()) << summary.status().message();
+  EXPECT_TRUE(summary->interrupted);
+  // Whatever mix of completed/cancelled/skipped resulted, every file is
+  // accounted for and the report landed on disk.
+  EXPECT_EQ(summary->processed + summary->skipped,
+            static_cast<size_t>(kFiles));
+  EXPECT_EQ(summary->entries.size(), static_cast<size_t>(kFiles));
+  EXPECT_TRUE(fs::exists(out_dir + "/report.json"));
+  const std::string report = ReadWholeFile(out_dir + "/report.json");
+  EXPECT_NE(report.find("\"interrupted\": true"), std::string::npos) << report;
+}
+
+TEST(BatchRunnerTest, PerFileBudgetQuarantinesInsteadOfAborting) {
+  const std::string in_dir = FreshDir("batch_in_budget");
+  const std::string out_dir = FreshDir("batch_out_budget");
+  WriteFile(in_dir + "/slow.csv", VerboseCsv());
+
+  BatchOptions options;
+  options.threads = 1;
+  options.budget_ms = 0.001;  // guaranteed to trip
+  auto summary = RunBatch(FittedModel(), in_dir, out_dir, options);
+  ASSERT_TRUE(summary.ok()) << summary.status().message();
+  EXPECT_EQ(summary->quarantined, 1u);
+  EXPECT_FALSE(summary->interrupted);
+  ASSERT_EQ(summary->entries.size(), 1u);
+  EXPECT_EQ(summary->entries[0].status.code(),
+            StatusCode::kDeadlineExceeded)
+      << summary->entries[0].status.message();
+  EXPECT_TRUE(fs::exists(out_dir + "/quarantine/slow.csv"));
+}
+
+TEST(BatchRunnerTest, FailsCleanlyOnMissingInputDir) {
+  const std::string out_dir = FreshDir("batch_out_missing");
+  BatchOptions options;
+  auto summary = RunBatch(FittedModel(), ::testing::TempDir() + "/nope_xyz",
+                          out_dir, options);
+  EXPECT_FALSE(summary.ok());
+}
+
+TEST(BatchRunnerTest, ReportJsonEscapesAndCountsFaithfully) {
+  BatchSummary summary;
+  summary.processed = 1;
+  summary.quarantined = 1;
+  summary.interrupted = true;
+  summary.elapsed_seconds = 0.25;
+  BatchEntry entry;
+  entry.file = "we\"ird\\name.csv";
+  entry.status = Status::ParseError("line 3: stray \"quote\"\nnext");
+  entry.stage = "ingest";
+  summary.entries.push_back(entry);
+  BatchEntry skipped;
+  skipped.file = "later.csv";
+  skipped.skipped = true;
+  summary.entries.push_back(skipped);
+
+  const std::string json = BatchReportJson(summary);
+  // Quotes, backslashes and newlines must arrive escaped, not raw.
+  EXPECT_NE(json.find("we\\\"ird\\\\name.csv"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\n"), std::string::npos) << json;
+  // The raw message (unescaped quotes, embedded newline) must not appear.
+  EXPECT_EQ(json.find("stray \"quote\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"interrupted\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"skipped\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stage\": \"ingest\""), std::string::npos) << json;
+}
+
+TEST(BatchRunnerTest, FormatClassifiedTableOneLinePerRow) {
+  csv::Table table = testing::MakeTable({{"Region", "Units"},
+                                         {"North", "12"},
+                                         {"", ""}});
+  auto prediction = FittedModel().TryPredict(table, nullptr);
+  ASSERT_TRUE(prediction.ok()) << prediction.status().message();
+  const std::string text = FormatClassifiedTable(table, *prediction);
+  int lines = 0;
+  for (char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, 3) << text;
+  // Row indices lead each line; empty cells carry no cell annotation.
+  EXPECT_EQ(text.rfind("0 ", 0), 0u) << text;
+  const size_t last_line = text.rfind("2 ");
+  ASSERT_NE(last_line, std::string::npos) << text;
+  EXPECT_EQ(text.find(":", last_line), std::string::npos)
+      << "empty cells must not be annotated: " << text;
+}
+
+}  // namespace
+}  // namespace strudel

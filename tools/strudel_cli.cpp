@@ -5,6 +5,8 @@
 //   strudel classify <model-file> <input.csv>    per-line/cell classes
 //   strudel extract <model-file> <input.csv>     relational tables (CSV)
 //   strudel batch <model-file> <in-dir> <out-dir> classify a directory
+//   strudel serve <model-file> <socket>          long-lived service
+//   strudel client <socket> <input.csv>...       send requests to a server
 //   strudel inspect <input.csv>                  dialect + shape report
 //   strudel doctor <input.csv>                   ingestion health report
 //
@@ -23,6 +25,12 @@
 // loop (0 = hardware concurrency, 1 = serial); outputs are bit-identical
 // at any thread count.
 //
+// Long-running commands honour SIGINT/SIGTERM: `batch` stops starting new
+// files, cancels in-flight budgets, and still writes report.json (with
+// "interrupted": true) before exiting with the interrupted code; `serve`
+// drains gracefully — stops accepting, finishes or deadline-cancels
+// in-flight requests, prints the final stats report.
+//
 // Observability: --trace <file> captures every pipeline stage as spans and
 // writes a chrome://tracing-loadable JSON on exit; --metrics <file> dumps
 // the process-wide counter/gauge/histogram registry. Both wrap whichever
@@ -30,30 +38,30 @@
 // of a command that already failed.
 //
 // Exit codes distinguish failure classes so scripts can branch without
-// scraping stderr:
-//   0  success
-//   1  generic failure / batch finished with quarantined files
-//   2  usage error
-//   3  input ingestion failed
-//   4  model load failed (missing or corrupt model)
-//   5  execution budget exhausted (deadline / work cap / cancelled)
-//   6  training failed
-//   7  output write failed
-// Every failure additionally emits one structured stderr record:
+// scraping stderr; common/exit_codes.h is the single source of truth and
+// the usage footer is generated from it. Every failure additionally emits
+// one structured stderr record:
 //   strudel: error stage=<stage> code=<status-code> file="..." msg="..."
 
+#include <signal.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/execution_budget.h"
+#include "common/exit_codes.h"
 #include "common/metrics.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "csv/crop.h"
@@ -62,6 +70,9 @@
 #include "csv/writer.h"
 #include "datagen/annotated_io.h"
 #include "datagen/corpus.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "strudel/batch_runner.h"
 #include "strudel/ingest.h"
 #include "strudel/model_io.h"
 #include "strudel/segmentation.h"
@@ -81,14 +92,36 @@ IngestOptions MakeIngestOptions() {
   return options;
 }
 
-constexpr int kExitOk = 0;
-constexpr int kExitGeneric = 1;
-constexpr int kExitUsage = 2;
-constexpr int kExitIngest = 3;
-constexpr int kExitModelLoad = 4;
-constexpr int kExitBudget = 5;
-constexpr int kExitTrain = 6;
-constexpr int kExitOutput = 7;
+/// SIGINT/SIGTERM land here. Handlers only set the flag (the one
+/// async-signal-safe thing to do); batch's watchdog and serve's drain
+/// loop poll it from normal context.
+std::atomic<bool> g_interrupt{false};
+
+extern "C" void HandleSignal(int) {
+  g_interrupt.store(true, std::memory_order_relaxed);
+}
+
+/// Routes SIGINT/SIGTERM to the cooperative flag for the duration of a
+/// long-running command; restores the previous disposition on scope exit
+/// so short commands keep default kill-me semantics.
+class ScopedSignalTrap {
+ public:
+  ScopedSignalTrap() {
+    struct sigaction action = {};
+    action.sa_handler = HandleSignal;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGINT, &action, &old_int_);
+    ::sigaction(SIGTERM, &action, &old_term_);
+  }
+  ~ScopedSignalTrap() {
+    ::sigaction(SIGINT, &old_int_, nullptr);
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+  }
+
+ private:
+  struct sigaction old_int_ = {};
+  struct sigaction old_term_ = {};
+};
 
 int Usage() {
   std::fprintf(
@@ -114,71 +147,28 @@ int Usage() {
       "  strudel classify <model-file> <input.csv>\n"
       "  strudel extract <model-file> <input.csv>\n"
       "  strudel batch <model-file> <input-dir> <output-dir>\n"
+      "  strudel serve <model-file> <socket-path>\n"
+      "      [--workers <n>] [--queue-depth <n>] [--max-conn <n>]\n"
+      "      [--read-timeout-ms <n>] [--write-timeout-ms <n>]\n"
+      "      [--drain-timeout-ms <n>] [--retry-after-ms <n>]\n"
+      "      [--worker-delay-ms <n>]\n"
+      "  strudel client <socket-path> <input.csv>... | --health | --metrics\n"
+      "      [--retries <n>]\n"
       "  strudel inspect <input.csv>\n"
       "  strudel doctor <input.csv>\n"
-      "exit codes: 0 ok, 1 generic/partial batch, 2 usage, 3 ingest,\n"
-      "            4 model load, 5 budget exhausted, 6 train, 7 output\n");
+      "exit codes: %s\n",
+      CliExitCodesSummary().c_str());
   return kExitUsage;
-}
-
-/// Escapes a string for embedding in double quotes (stderr records and the
-/// batch JSON report share the same rules).
-std::string Escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 /// One-line structured error record on stderr.
 void PrintError(std::string_view stage, const Status& status,
                 std::string_view file = {}) {
-  std::fprintf(stderr, "strudel: error stage=%s code=%s file=\"%s\" msg=\"%s\"\n",
+  std::fprintf(stderr,
+               "strudel: error stage=%s code=%s file=\"%s\" msg=\"%s\"\n",
                std::string(stage).c_str(),
                std::string(StatusCodeToString(status.code())).c_str(),
-               Escape(file).c_str(), Escape(status.message()).c_str());
-}
-
-/// Maps a Status to the exit code of its failure class; `fallback` is the
-/// command's own class for statuses that don't carry one.
-int ExitCodeFor(const Status& status, int fallback) {
-  switch (status.code()) {
-    case StatusCode::kDeadlineExceeded:
-    case StatusCode::kResourceExhausted:
-    case StatusCode::kCancelled:
-      return kExitBudget;
-    case StatusCode::kCorruptModel:
-      return kExitModelLoad;
-    default:
-      return fallback;
-  }
+               JsonEscape(file).c_str(), JsonEscape(status.message()).c_str());
 }
 
 std::shared_ptr<ExecutionBudget> MakeBudget(double budget_ms) {
@@ -245,7 +235,7 @@ int CmdTrain(const std::vector<std::string>& args, double budget_ms,
   Status status = model.Fit(*corpus);
   if (!status.ok()) {
     PrintError("train", status, args[1]);
-    return ExitCodeFor(status, kExitTrain);
+    return ExitCodeForStatus(status, kExitTrain);
   }
   status = SaveModelToFile(model, args[2]);
   if (!status.ok()) {
@@ -276,7 +266,7 @@ int CmdClassify(const std::vector<std::string>& args, double budget_ms,
   auto prediction = model->TryPredict(table, budget.get());
   if (!prediction.ok()) {
     PrintError("predict", prediction.status(), args[2]);
-    return ExitCodeFor(prediction.status(), kExitGeneric);
+    return ExitCodeForStatus(prediction.status(), kExitGeneric);
   }
   for (int r = 0; r < table.num_rows(); ++r) {
     std::printf("%4d %-8s |", r,
@@ -315,7 +305,7 @@ int CmdExtract(const std::vector<std::string>& args, double budget_ms,
   auto lines = model->line_model().TryPredict(table, budget.get());
   if (!lines.ok()) {
     PrintError("predict", lines.status(), args[2]);
-    return ExitCodeFor(lines.status(), kExitGeneric);
+    return ExitCodeForStatus(lines.status(), kExitGeneric);
   }
   FileSegmentation segmentation = SegmentFile(table, lines->classes);
   auto tables = ExtractRelationalTables(table, segmentation);
@@ -329,81 +319,8 @@ int CmdExtract(const std::vector<std::string>& args, double budget_ms,
   return kExitOk;
 }
 
-/// Wall-clock milliseconds each batch stage spent on one file; a stage
-/// that never ran (earlier stage failed) stays at zero.
-struct BatchTimings {
-  double ingest_ms = 0.0;
-  double predict_ms = 0.0;
-  double output_ms = 0.0;
-};
-
-/// Milliseconds elapsed since `start`.
-double MsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
-
-/// Classifies one batch file end to end; writes the per-line/cell classes
-/// to `output_path` on success. Failures name the stage in `stage_out`;
-/// per-stage wall-clock goes to `timings_out` either way.
-Status BatchProcessOne(const StrudelCell& model, const std::string& input,
-                       const std::filesystem::path& output_path,
-                       double budget_ms, std::string& stage_out,
-                       BatchTimings& timings_out) {
-  stage_out = "ingest";
-  auto stage_start = std::chrono::steady_clock::now();
-  auto ingest = IngestFile(input, MakeIngestOptions());
-  timings_out.ingest_ms = MsSince(stage_start);
-  if (!ingest.ok()) return ingest.status();
-
-  stage_out = "predict";
-  stage_start = std::chrono::steady_clock::now();
-  auto budget = MakeBudget(budget_ms);
-  auto prediction = model.TryPredict(ingest->table, budget.get());
-  timings_out.predict_ms = MsSince(stage_start);
-  if (!prediction.ok()) return prediction.status();
-
-  stage_out = "output";
-  stage_start = std::chrono::steady_clock::now();
-  std::ofstream out(output_path);
-  if (!out) {
-    timings_out.output_ms = MsSince(stage_start);
-    return Status::IOError("cannot open output file: " +
-                           output_path.string());
-  }
-  const csv::Table& table = ingest->table;
-  for (int r = 0; r < table.num_rows(); ++r) {
-    out << r << ' '
-        << ElementClassName(
-               prediction->line_prediction.classes[static_cast<size_t>(r)]);
-    for (int c = 0; c < table.num_cols(); ++c) {
-      if (table.cell_empty(r, c)) continue;
-      out << ' ' << c << ':'
-          << ElementClassName(prediction->classes[static_cast<size_t>(r)]
-                                                 [static_cast<size_t>(c)]);
-    }
-    out << '\n';
-  }
-  out.flush();
-  timings_out.output_ms = MsSince(stage_start);
-  if (!out) {
-    return Status::IOError("write failed: " + output_path.string());
-  }
-  return Status::OK();
-}
-
-struct BatchEntry {
-  std::string file;
-  Status status;
-  std::string stage;
-  std::string output;  // relative to the output dir, successes only
-  BatchTimings timings;
-};
-
 int CmdBatch(const std::vector<std::string>& args, double budget_ms,
              int threads) {
-  namespace fs = std::filesystem;
   if (args.size() < 4) return Usage();
   auto model = LoadCellModelFromFile(args[1]);
   if (!model.ok()) {
@@ -414,108 +331,197 @@ int CmdBatch(const std::vector<std::string>& args, double budget_ms,
   // detect the nesting and run serial inside each worker.
   model->set_num_threads(1);
 
-  const fs::path input_dir = args[2];
-  const fs::path output_dir = args[3];
-  std::error_code ec;
-  if (!fs::is_directory(input_dir, ec)) {
-    PrintError("batch",
-               Status::IOError("input is not a directory: " + args[2]));
-    return kExitIngest;
-  }
-  fs::create_directories(output_dir / "results", ec);
-  fs::create_directories(output_dir / "quarantine", ec);
-  if (ec) {
-    PrintError("batch",
-               Status::IOError("cannot create output directory: " + args[3]));
-    return kExitOutput;
-  }
+  BatchOptions options;
+  options.budget_ms = budget_ms;
+  options.threads = threads;
+  options.ingest = MakeIngestOptions();
+  options.interrupt = &g_interrupt;
 
-  std::vector<fs::path> inputs;
-  for (const auto& entry : fs::directory_iterator(input_dir, ec)) {
-    if (entry.is_regular_file()) inputs.push_back(entry.path());
+  ScopedSignalTrap trap;
+  auto summary = RunBatch(*model, args[2], args[3], options);
+  if (!summary.ok()) {
+    PrintError("batch", summary.status(), args[2]);
+    return ExitCodeForStatus(summary.status(),
+                             summary.status().code() == StatusCode::kIOError
+                                 ? kExitOutput
+                                 : kExitGeneric);
   }
-  std::sort(inputs.begin(), inputs.end());
-
-  const auto batch_start = std::chrono::steady_clock::now();
-  std::vector<BatchEntry> entries(inputs.size());
-  // Up to `threads` files in flight, one file per chunk. Each file keeps
-  // its own fresh budget (one pathological input cannot starve the rest
-  // of the batch) and does its own quarantine filesystem work; per-file
-  // failures are recorded, never propagated, so the batch always runs to
-  // completion. Every worker writes only its own entry slot, keyed by the
-  // sorted input order, so the report is identical at any thread count.
-  auto process_chunk = [&](size_t chunk_begin, size_t chunk_end) -> Status {
-    for (size_t i = chunk_begin; i < chunk_end; ++i) {
-      const fs::path& input = inputs[i];
-      BatchEntry& entry = entries[i];
-      entry.file = input.filename().string();
-      const fs::path output_path =
-          output_dir / "results" / (entry.file + ".classes");
-      entry.status = BatchProcessOne(*model, input.string(), output_path,
-                                     budget_ms, entry.stage, entry.timings);
-      if (entry.status.ok()) {
-        entry.output = "results/" + entry.file + ".classes";
-      } else {
-        PrintError("batch/" + entry.stage, entry.status, input.string());
-        std::error_code file_ec;
-        fs::copy_file(input, output_dir / "quarantine" / entry.file,
-                      fs::copy_options::overwrite_existing, file_ec);
-        fs::remove(output_path, file_ec);  // drop any partial output
-      }
+  for (const BatchEntry& entry : summary->entries) {
+    if (!entry.skipped && !entry.status.ok()) {
+      PrintError("batch/" + entry.stage, entry.status, entry.file);
     }
-    return Status::OK();
-  };
-  // Cannot fail: no shared budget, and the chunk function never errors.
-  (void)ParallelFor(threads, 0, inputs.size(), /*grain=*/1, process_chunk);
-  size_t succeeded = 0;
-  for (const BatchEntry& entry : entries) {
-    if (entry.status.ok()) ++succeeded;
   }
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    batch_start)
-          .count();
+  std::printf("batch: %zu processed, %zu succeeded, %zu quarantined, "
+              "%zu skipped (%.2fs)%s; report: %s\n",
+              summary->processed, summary->succeeded, summary->quarantined,
+              summary->skipped, summary->elapsed_seconds,
+              summary->interrupted ? " [interrupted]" : "",
+              (std::filesystem::path(args[3]) / "report.json").string().c_str());
+  if (summary->interrupted) return kExitInterrupted;
+  return summary->quarantined == 0 ? kExitOk : kExitGeneric;
+}
 
-  // JSON error report, hand-rolled (no JSON dependency in the tree).
-  std::ofstream report(output_dir / "report.json");
-  report << "{\n"
-         << "  \"processed\": " << entries.size() << ",\n"
-         << "  \"succeeded\": " << succeeded << ",\n"
-         << "  \"quarantined\": " << entries.size() - succeeded << ",\n"
-         << "  \"elapsed_seconds\": " << elapsed << ",\n"
-         << "  \"files\": [\n";
-  for (size_t i = 0; i < entries.size(); ++i) {
-    const BatchEntry& entry = entries[i];
-    report << "    {\"file\": \"" << Escape(entry.file) << "\", ";
-    if (entry.status.ok()) {
-      report << "\"status\": \"ok\", \"output\": \"" << Escape(entry.output)
-             << "\"";
+int CmdServe(const std::vector<std::string>& args, double budget_ms,
+             int threads) {
+  if (args.size() < 3) return Usage();
+  serve::ServerOptions options;
+  options.ingest = MakeIngestOptions();
+  if (budget_ms > 0.0) options.default_budget_ms = budget_ms;
+  if (threads > 0) options.num_workers = threads;
+  options.socket_path = args[2];
+
+  for (size_t i = 3; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next_int = [&](long min_value) -> long {
+      if (i + 1 >= args.size()) return min_value - 1;
+      return std::strtol(args[++i].c_str(), nullptr, 10);
+    };
+    long value = 0;
+    if (arg == "--workers") {
+      if ((value = next_int(1)) < 1) return Usage();
+      options.num_workers = static_cast<int>(value);
+    } else if (arg == "--queue-depth") {
+      if ((value = next_int(1)) < 1) return Usage();
+      options.queue_depth = static_cast<size_t>(value);
+    } else if (arg == "--max-conn") {
+      if ((value = next_int(1)) < 1) return Usage();
+      options.max_connections = static_cast<int>(value);
+    } else if (arg == "--read-timeout-ms") {
+      if ((value = next_int(1)) < 1) return Usage();
+      options.read_timeout_ms = static_cast<int>(value);
+    } else if (arg == "--write-timeout-ms") {
+      if ((value = next_int(1)) < 1) return Usage();
+      options.write_timeout_ms = static_cast<int>(value);
+    } else if (arg == "--drain-timeout-ms") {
+      if ((value = next_int(0)) < 0) return Usage();
+      options.drain_timeout_ms = static_cast<int>(value);
+    } else if (arg == "--retry-after-ms") {
+      if ((value = next_int(0)) < 0) return Usage();
+      options.retry_after_ms = static_cast<uint32_t>(value);
+    } else if (arg == "--worker-delay-ms") {
+      if ((value = next_int(0)) < 0) return Usage();
+      options.worker_delay_ms = static_cast<double>(value);
     } else {
-      report << "\"status\": \"quarantined\", \"stage\": \""
-             << Escape(entry.stage) << "\", \"code\": \""
-             << StatusCodeToString(entry.status.code()) << "\", \"message\": \""
-             << Escape(entry.status.message()) << "\"";
+      return Usage();
     }
-    report << ", \"timings_ms\": {\"ingest\": " << entry.timings.ingest_ms
-           << ", \"predict\": " << entry.timings.predict_ms
-           << ", \"output\": " << entry.timings.output_ms << "}}";
-    report << (i + 1 < entries.size() ? ",\n" : "\n");
   }
-  report << "  ]\n}\n";
-  report.flush();
-  const bool report_ok = static_cast<bool>(report);
-  report.close();
 
-  std::printf("batch: %zu processed, %zu succeeded, %zu quarantined "
-              "(%.2fs); report: %s\n",
-              entries.size(), succeeded, entries.size() - succeeded, elapsed,
-              (output_dir / "report.json").string().c_str());
-  if (!report_ok) {
-    PrintError("batch", Status::IOError("failed to write report.json"),
-               (output_dir / "report.json").string());
-    return kExitOutput;
+  auto model = LoadCellModelFromFile(args[1]);
+  if (!model.ok()) {
+    PrintError("model_load", model.status(), args[1]);
+    return kExitModelLoad;
   }
-  return succeeded == entries.size() ? kExitOk : kExitGeneric;
+  // Worker threads provide request-level parallelism; each request's
+  // inner loops fall back to serial when the shared pool is busy.
+  model->set_num_threads(1);
+
+  serve::Server server(std::move(*model), options);
+  Status status = server.Start();
+  if (!status.ok()) {
+    PrintError("serve", status, options.socket_path);
+    return kExitServe;
+  }
+  // Banner on stderr: stdout carries exactly one JSON object (the final
+  // stats report), so scripts can parse it without filtering.
+  std::fprintf(stderr,
+               "serving on %s (%d workers, queue depth %zu); "
+               "SIGINT/SIGTERM drains\n",
+               options.socket_path.c_str(), options.num_workers,
+               options.queue_depth);
+  std::fflush(stderr);
+
+  {
+    ScopedSignalTrap trap;
+    while (!g_interrupt.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  std::fprintf(stderr, "strudel: draining...\n");
+  server.RequestStop();
+  Status drain = server.Wait();
+  // The final report is the drain contract: every request accounted for.
+  std::printf("%s\n", server.stats().ToJson().c_str());
+  if (!drain.ok()) {
+    PrintError("serve/drain", drain, options.socket_path);
+    return kExitGeneric;  // shut down, but had to cancel stragglers
+  }
+  return kExitOk;
+}
+
+int CmdClient(const std::vector<std::string>& args, double budget_ms) {
+  if (args.size() < 3) return Usage();
+  serve::ClientOptions options;
+  options.socket_path = args[1];
+  if (budget_ms > 0.0) options.budget_ms = static_cast<uint32_t>(budget_ms);
+
+  bool health = false;
+  bool metrics = false;
+  std::vector<std::string> inputs;
+  for (size_t i = 2; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--health") {
+      health = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--retries") {
+      if (i + 1 >= args.size()) return Usage();
+      options.backoff.max_attempts = std::atoi(args[++i].c_str());
+      if (options.backoff.max_attempts < 1) return Usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (!health && !metrics && inputs.empty()) return Usage();
+
+  serve::Client client(options);
+  if (health || metrics) {
+    auto reply = health ? client.Health() : client.Metrics();
+    if (!reply.ok()) {
+      PrintError("client", reply.status(), args[1]);
+      return kExitServe;
+    }
+    std::printf("%s\n", reply->payload.c_str());
+    return kExitOk;
+  }
+
+  int code = kExitOk;
+  for (const std::string& input : inputs) {
+    auto text = csv::ReadFileToString(input);
+    if (!text.ok()) {
+      PrintError("client/read", text.status(), input);
+      code = std::max(code, static_cast<int>(kExitIngest));
+      continue;
+    }
+    auto reply = client.Classify(*text);
+    if (!reply.ok()) {
+      PrintError("client", reply.status(), input);
+      code = std::max(code, static_cast<int>(kExitServe));
+      continue;
+    }
+    if (reply->code != serve::ResponseCode::kOk) {
+      std::fprintf(stderr,
+                   "strudel: server error file=\"%s\" code=%s trace=%llu "
+                   "detail=\"%s\"\n",
+                   JsonEscape(input).c_str(),
+                   std::string(serve::ResponseCodeName(reply->code)).c_str(),
+                   static_cast<unsigned long long>(reply->trace_id),
+                   JsonEscape(reply->payload).c_str());
+      switch (reply->code) {
+        case serve::ResponseCode::kDeadlineExceeded:
+          code = std::max(code, static_cast<int>(kExitBudget));
+          break;
+        case serve::ResponseCode::kIngestError:
+          code = std::max(code, static_cast<int>(kExitIngest));
+          break;
+        default:
+          code = std::max(code, static_cast<int>(kExitServe));
+      }
+      continue;
+    }
+    if (inputs.size() > 1) std::printf("# %s\n", input.c_str());
+    std::printf("%s", reply->payload.c_str());
+  }
+  return code;
 }
 
 int CmdInspect(const std::vector<std::string>& args) {
@@ -596,6 +602,8 @@ int RunCommand(const std::vector<std::string>& args, double budget_ms,
   if (command == "classify") return CmdClassify(args, budget_ms, threads);
   if (command == "extract") return CmdExtract(args, budget_ms, threads);
   if (command == "batch") return CmdBatch(args, budget_ms, threads);
+  if (command == "serve") return CmdServe(args, budget_ms, threads);
+  if (command == "client") return CmdClient(args, budget_ms);
   if (command == "inspect") return CmdInspect(args);
   if (command == "doctor") return CmdDoctor(args);
   return Usage();
@@ -609,8 +617,15 @@ int main(int argc, char** argv) {
   int threads = 0;  // 0 = hardware concurrency
   std::string trace_path;
   std::string metrics_path;
+  bool saw_command = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    // Global flags stop at the command word: everything after it belongs
+    // to the subcommand (so `serve --workers 4` is not eaten here).
+    if (saw_command) {
+      args.push_back(arg);
+      continue;
+    }
     if (arg == "--budget-ms") {
       if (i + 1 >= argc) return Usage();
       budget_ms = std::atof(argv[++i]);
@@ -639,6 +654,7 @@ int main(int argc, char** argv) {
       metrics_path = arg.substr(10);
     } else {
       args.push_back(arg);
+      saw_command = true;
     }
   }
   if (threads < 0) return Usage();
