@@ -3,8 +3,10 @@
 # the fault-injection (corrupted CSV input), model-fuzz (corrupted
 # serialised model), differential-scan (SIMD indexer vs scalar reader),
 # observability (trace/metrics determinism across thread counts) and serve
-# (torn frames, overload storms, drain races against a live server) suites,
-# where memory errors and data races on the telemetry paths hide. Usage:
+# (torn frames, overload storms, drain races against a live server, plus
+# the supervision chaos suite: worker SIGKILLs, poison payloads, watchdog
+# kills) suites, where memory errors and data races on the telemetry
+# paths hide. Usage:
 #
 #   scripts/sanitize_gate.sh [build-dir]
 #
@@ -20,7 +22,7 @@ cmake -B "$build_dir" -S "$repo_root" \
 cmake --build "$build_dir" -j "$(nproc)" \
     --target strudel_faultinjection_tests strudel_modelfuzz_tests \
              strudel_differential_tests strudel_observability_tests \
-             strudel_serve_tests
+             strudel_serve_tests strudel_supervisor_tests
 
 # halt_on_error makes a UBSan finding fail the test instead of just
 # printing; detect_leaks stays on by default under ASan.

@@ -16,6 +16,7 @@ const std::vector<CliExitInfo>& AllCliExitCodes() {
       {kExitOutput, "output", "output write failed"},
       {kExitServe, "serve", "serve daemon / client connection failed"},
       {kExitInterrupted, "interrupted", "interrupted by SIGINT/SIGTERM"},
+      {kExitWorker, "worker", "worker crashed on request / quarantined"},
   };
   return kTable;
 }

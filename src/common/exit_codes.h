@@ -26,6 +26,8 @@ enum CliExit : int {
   kExitOutput = 7,    // output write failed
   kExitServe = 8,     // serve daemon / client connection failed
   kExitInterrupted = 9,  // SIGINT/SIGTERM interrupted a partial run
+  kExitWorker = 10,   // request lost to a worker crash, or payload
+                      // quarantined after crashing workers repeatedly
 };
 
 struct CliExitInfo {

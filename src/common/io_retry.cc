@@ -3,6 +3,7 @@
 #include <errno.h>
 #include <poll.h>
 #include <string.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -125,12 +126,28 @@ Status WriteFull(int fd, const void* buf, size_t n, int timeout_ms,
   const Clock::time_point deadline =
       Clock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
   Status status;
+  // Sockets get MSG_NOSIGNAL so a peer that vanished mid-write surfaces
+  // as EPIPE instead of raising SIGPIPE — callers cannot be trusted to
+  // have installed a handler, and a signal would kill the process. The
+  // first ENOTSOCK (regular file, pipe) drops to plain write() for the
+  // rest of the call; pipes can still raise SIGPIPE, which the serving
+  // entry points ignore process-wide.
+  bool use_send = true;
   while (done < n) {
     if (has_deadline) {
       status = PollReady(fd, POLLOUT, has_deadline, deadline, "write");
       if (!status.ok()) break;
     }
-    const ssize_t rc = ::write(fd, in + done, n - done);
+    ssize_t rc;
+    if (use_send) {
+      rc = ::send(fd, in + done, n - done, MSG_NOSIGNAL);
+      if (rc < 0 && errno == ENOTSOCK) {
+        use_send = false;
+        continue;
+      }
+    } else {
+      rc = ::write(fd, in + done, n - done);
+    }
     if (rc > 0) {
       done += static_cast<size_t>(rc);  // short write: loop transfers the rest
       continue;

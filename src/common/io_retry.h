@@ -49,7 +49,9 @@ Result<size_t> ReadSome(int fd, void* buf, size_t n,
 
 /// Writes exactly `n` bytes, retrying EINTR and short writes, polling for
 /// writability under the same deadline contract as ReadFull. EPIPE and
-/// ECONNRESET (peer vanished) map to kIOError.
+/// ECONNRESET (peer vanished) map to kIOError. Sockets are written with
+/// send(MSG_NOSIGNAL), so a half-closed peer can never raise SIGPIPE
+/// through this path; non-sockets fall back to write(2).
 Status WriteFull(int fd, const void* buf, size_t n,
                  int timeout_ms = kNoIoTimeout, size_t* bytes_written = nullptr);
 

@@ -38,7 +38,9 @@ Result<ServeReply> Client::RoundTrip(RequestType type,
 
   const int attempts = std::max(1, options_.backoff.max_attempts);
   Status last_status;
+  bool torn_after_send = false;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
+    torn_after_send = false;
     const auto sleep_before_retry = [&](uint32_t server_hint_ms) {
       if (attempt >= attempts) return;
       // The server's retry-after hint is a floor under our own backoff:
@@ -71,7 +73,8 @@ Result<ServeReply> Client::RoundTrip(RequestType type,
         reply.payload = std::move(response_frame->payload);
         reply.attempts = attempt;
         const bool shed = reply.code == ResponseCode::kOverloaded ||
-                          reply.code == ResponseCode::kShuttingDown;
+                          reply.code == ResponseCode::kShuttingDown ||
+                          reply.code == ResponseCode::kWorkerCrashed;
         if (shed && retry_on_shed && attempt < attempts) {
           sleep_before_retry(reply.retry_after_ms);
           continue;
@@ -79,13 +82,33 @@ Result<ServeReply> Client::RoundTrip(RequestType type,
         return reply;
       }
       last_status = response_frame.status();
+      // EOF/reset after a fully-sent request is the signature of the
+      // serving process dying mid-classification (a timeout, by
+      // contrast, just means slow). Remember the shape so an exhausted
+      // retry budget can report it structurally.
+      torn_after_send = last_status.code() == StatusCode::kIOError;
     } else {
       last_status = io;
+      // EPIPE/reset mid-send once connected: the peer process vanished.
+      torn_after_send = io.code() == StatusCode::kIOError;
     }
     // A torn exchange (server restarted mid-request, response timed out)
     // is transient from the client's perspective: the connection is
     // one-shot, so retrying is safe — classification is idempotent.
-    sleep_before_retry(0);
+    sleep_before_retry(torn_after_send ? options_.crashed_retry_after_ms
+                                       : 0);
+  }
+  if (torn_after_send) {
+    ServeReply reply;
+    reply.code = ResponseCode::kWorkerCrashed;
+    reply.trace_id = trace_id;
+    reply.retry_after_ms = options_.crashed_retry_after_ms;
+    reply.payload = StrFormat(
+        "stage=serve.client code=kIOError msg=\"connection died before a "
+        "response after %d attempts: %s\"",
+        attempts, std::string(last_status.message()).c_str());
+    reply.attempts = attempts;
+    return reply;
   }
   return Status(last_status.code(),
                 StrFormat("request failed after %d attempts: %s", attempts,

@@ -31,6 +31,9 @@ struct ClientOptions {
   /// Retry schedule for transient failures. max_attempts = 1 disables
   /// retries entirely.
   BackoffOptions backoff;
+  /// Hint attached to a synthesized `worker_crashed` reply (see below)
+  /// when the server never got to send one of its own.
+  uint32_t crashed_retry_after_ms = 50;
 };
 
 /// A delivered response (any code). `attempts` counts tries including
@@ -50,7 +53,13 @@ class Client {
   /// Sends one classify request carrying `csv_bytes`, retrying per the
   /// backoff policy. Returns the last delivered reply — including
   /// non-OK codes once retries are exhausted — or the transport Status
-  /// when no response was ever received.
+  /// when no response was ever received. One exception: an exchange torn
+  /// *after* the request was fully sent (the connection died with no
+  /// response — the signature of a worker crashing mid-classification)
+  /// synthesizes a `worker_crashed` reply with a retry-after hint once
+  /// retries are exhausted, so callers see the same structured shape the
+  /// supervisor sends when it sheds for a dead pool. `worker_crashed`
+  /// replies from the server are retried like `overloaded` sheds.
   Result<ServeReply> Classify(std::string_view csv_bytes,
                               uint64_t trace_id = 0);
 

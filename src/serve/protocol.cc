@@ -93,6 +93,10 @@ std::string_view ResponseCodeName(ResponseCode code) {
       return "predict_error";
     case ResponseCode::kInternal:
       return "internal";
+    case ResponseCode::kQuarantined:
+      return "quarantined";
+    case ResponseCode::kWorkerCrashed:
+      return "worker_crashed";
   }
   return "unknown";
 }
@@ -149,7 +153,7 @@ Result<ResponseHeader> DecodeResponseHeader(std::string_view bytes) {
   const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
   STRUDEL_RETURN_IF_ERROR(CheckCommon(p, bytes.size(), "response"));
   const uint8_t code = p[5];
-  if (code > static_cast<uint8_t>(ResponseCode::kInternal)) {
+  if (code > static_cast<uint8_t>(ResponseCode::kWorkerCrashed)) {
     return Status::ParseError(
         StrFormat("response frame has unknown code %u", code));
   }

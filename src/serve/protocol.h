@@ -57,6 +57,9 @@ enum class ResponseCode : uint8_t {
   kIngestError = 6,       // payload unreadable even in recovery mode
   kPredictError = 7,      // classification failed
   kInternal = 8,          // anything else; details in the payload record
+  kQuarantined = 9,       // payload implicated in repeated worker crashes
+  kWorkerCrashed = 10,    // request lost to a worker crash; retry_after_ms
+                          // hints when capacity should be back
 };
 
 /// Canonical lowercase name ("overloaded", "deadline_exceeded", ...).

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "common/logging.h"
@@ -41,6 +42,17 @@ std::string ErrorPayload(std::string_view stage, const Status& status) {
 
 }  // namespace
 
+uint64_t PayloadFingerprint(std::string_view payload) {
+  // FNV-1a 64; stable across platforms so quarantine journals written by
+  // one worker generation mean the same thing to the next.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : payload) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
 /// Per-server monotonic counters. Relaxed atomics: the accounting
 /// identity is asserted only after drain, when all writers have joined.
 struct Server::Counters {
@@ -59,6 +71,7 @@ struct Server::Counters {
   std::atomic<uint64_t> write_failures{0};
   std::atomic<uint64_t> inline_answered{0};
   std::atomic<uint64_t> drain_cancelled{0};
+  std::atomic<uint64_t> quarantined{0};
 };
 
 std::string ServerStats::ToJson() const {
@@ -70,7 +83,8 @@ std::string ServerStats::ToJson() const {
       "\"deadline_exceeded\": %llu, \"ingest_errors\": %llu, "
       "\"predict_errors\": %llu, \"io_failed\": %llu, "
       "\"write_failures\": %llu, \"inline_answered\": %llu, "
-      "\"drain_cancelled\": %llu, \"queue_depth\": %zu, "
+      "\"drain_cancelled\": %llu, \"quarantined\": %llu, "
+      "\"queue_depth\": %zu, "
       "\"in_flight\": %zu, \"open_connections\": %zu}",
       draining ? "draining" : "ok",
       static_cast<unsigned long long>(accepted),
@@ -87,7 +101,8 @@ std::string ServerStats::ToJson() const {
       static_cast<unsigned long long>(io_failed),
       static_cast<unsigned long long>(write_failures),
       static_cast<unsigned long long>(inline_answered),
-      static_cast<unsigned long long>(drain_cancelled), queue_depth,
+      static_cast<unsigned long long>(drain_cancelled),
+      static_cast<unsigned long long>(quarantined), queue_depth,
       in_flight, open_connections);
 }
 
@@ -122,9 +137,15 @@ Status Server::Start() {
   // A client vanishing mid-write must surface as EPIPE on the write, not
   // kill the process.
   ::signal(SIGPIPE, SIG_IGN);
-  STRUDEL_ASSIGN_OR_RETURN(
-      listener_, ListenUnix(options_.socket_path,
-                            std::max(16, options_.max_connections)));
+  if (options_.inherited_listener_fd >= 0) {
+    // Supervised worker: the supervisor bound the path and passed us our
+    // copy of the listener over SCM_RIGHTS; adopt it as-is.
+    listener_ = UniqueFd(options_.inherited_listener_fd);
+  } else {
+    STRUDEL_ASSIGN_OR_RETURN(
+        listener_, ListenUnix(options_.socket_path,
+                              std::max(16, options_.max_connections)));
+  }
   start_time_ = Clock::now();
   started_.store(true, std::memory_order_relaxed);
   workers_.reserve(static_cast<size_t>(options_.num_workers));
@@ -194,7 +215,11 @@ Status Server::Wait() {
   // Phase 3: connection threads (each is bounded by its write deadline).
   ReapConnections(/*all=*/true);
   listener_.Reset();
-  ::unlink(options_.socket_path.c_str());
+  if (options_.inherited_listener_fd < 0) {
+    // An inherited listener's socket file belongs to the supervisor; a
+    // dying worker must not yank it out from under its siblings.
+    ::unlink(options_.socket_path.c_str());
+  }
   started_.store(false, std::memory_order_relaxed);
   const ServerStats final_stats = stats();
   STRUDEL_LOG(kInfo) << "serve: drained " << (forced ? "(forced) " : "")
@@ -231,6 +256,7 @@ ServerStats Server::stats() const {
       counters_->inline_answered.load(std::memory_order_relaxed);
   s.drain_cancelled =
       counters_->drain_cancelled.load(std::memory_order_relaxed);
+  s.quarantined = counters_->quarantined.load(std::memory_order_relaxed);
   s.draining = draining_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -404,9 +430,11 @@ void Server::HandleConnection(UniqueFd fd, uint64_t conn_id) {
     ResponseHeader response;
     response.code = ResponseCode::kOk;
     response.trace_id = trace_id;
-    const std::string payload = header->type == RequestType::kHealth
-                                    ? HealthJson()
-                                    : metrics::ToJson();
+    const std::string payload =
+        header->type == RequestType::kHealth
+            ? (options_.hooks.health_override ? options_.hooks.health_override()
+                                              : HealthJson())
+            : metrics::ToJson();
     if (!SendFrame(fd.get(), EncodeResponse(response, payload),
                    options_.write_timeout_ms)
              .ok()) {
@@ -419,6 +447,30 @@ void Server::HandleConnection(UniqueFd fd, uint64_t conn_id) {
   ResponseHeader response;
   response.trace_id = trace_id;
   std::string response_payload;
+
+  // Poison-payload gate: a fingerprint the supervisor has quarantined is
+  // refused before it can touch a worker thread — the whole point is
+  // that it never gets another chance to crash one.
+  if (options_.hooks.is_quarantined &&
+      options_.hooks.is_quarantined(PayloadFingerprint(frame->payload))) {
+    counters_->quarantined.fetch_add(1, std::memory_order_relaxed);
+    static metrics::Counter& quarantined =
+        metrics::GetCounter("serve.quarantined");
+    quarantined.Increment();
+    trace::Instant("serve.quarantined");
+    response.code = ResponseCode::kQuarantined;
+    response_payload = ErrorPayload(
+        "serve.quarantine",
+        Status::FailedPrecondition(
+            "payload fingerprint implicated in repeated worker crashes"));
+    if (!SendFrame(fd.get(), EncodeResponse(response, response_payload),
+                   options_.write_timeout_ms)
+             .ok()) {
+      counters_->write_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    finish();
+    return;
+  }
 
   if (draining_.load(std::memory_order_relaxed)) {
     counters_->rejected_draining.fetch_add(1, std::memory_order_relaxed);
@@ -587,8 +639,40 @@ void Server::ProcessItem(WorkItem item) {
     }
   }
 
+  // Dangerous region: everything from here to classify_end runs over
+  // attacker-controlled bytes. Journal the fingerprint first so a crash
+  // inside leaves the culprit's identity behind for the supervisor.
+  const uint64_t fingerprint = options_.hooks.classify_begin ||
+                                       options_.hooks.classify_end
+                                   ? PayloadFingerprint(item.payload)
+                                   : 0;
+  if (options_.hooks.classify_begin) {
+    options_.hooks.classify_begin(fingerprint);
+  }
+  const auto classify_end = [this, fingerprint] {
+    if (options_.hooks.classify_end) options_.hooks.classify_end(fingerprint);
+  };
+
+  if (options_.enable_test_faults) {
+    // Deterministic chaos levers, compiled in but inert unless a test
+    // explicitly opts in. Crash = abort (SIGABRT, no cleanup, exactly
+    // like a real heap corruption trap); freeze = sleep until the
+    // watchdog SIGKILLs the process.
+    if (item.payload.rfind(kFaultCrashPayload, 0) == 0) {
+      STRUDEL_LOG(kError) << "serve: test fault payload — aborting";
+      std::abort();
+    }
+    if (item.payload.rfind(kFaultFreezePayload, 0) == 0) {
+      STRUDEL_LOG(kError) << "serve: test fault payload — freezing";
+      while (true) {
+        std::this_thread::sleep_for(std::chrono::seconds(3600));
+      }
+    }
+  }
+
   auto ingest = IngestText(item.payload, options_.ingest);
   if (!ingest.ok()) {
+    classify_end();
     counters_->ingest_errors.fetch_add(1, std::memory_order_relaxed);
     static metrics::Counter& ingest_errors =
         metrics::GetCounter("serve.errors.ingest");
@@ -600,6 +684,7 @@ void Server::ProcessItem(WorkItem item) {
   }
 
   auto prediction = model_.TryPredict(ingest->table, item.budget.get());
+  classify_end();
   if (!prediction.ok()) {
     const StatusCode code = prediction.status().code();
     const bool budget_trip = code == StatusCode::kDeadlineExceeded ||

@@ -34,9 +34,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -49,6 +51,42 @@
 #include "strudel/strudel_cell.h"
 
 namespace strudel::serve {
+
+/// Stable 64-bit fingerprint of a request payload (FNV-1a). The worker
+/// journals it before classifying; the supervisor keys the poison-payload
+/// quarantine table on it. Not cryptographic — an adversary who can forge
+/// collisions can already send the colliding payload directly.
+uint64_t PayloadFingerprint(std::string_view payload);
+
+/// Test-only fault payloads, honoured exclusively when
+/// ServerOptions::enable_test_faults is set (chaos tests, never
+/// production): a classify payload starting with kFaultCrashPayload
+/// aborts the process, one starting with kFaultFreezePayload sleeps
+/// until killed. They make worker death and hangs deterministic.
+inline constexpr std::string_view kFaultCrashPayload =
+    "__STRUDEL_FAULT_CRASH__";
+inline constexpr std::string_view kFaultFreezePayload =
+    "__STRUDEL_FAULT_FREEZE__";
+
+/// Supervision integration points. All default-empty: a Server with no
+/// hooks behaves exactly as in the single-process deployment. A worker
+/// process fills these so the in-process Server journals classification
+/// starts, consults the supervisor's quarantine table, and reports the
+/// supervisor's aggregate health instead of its own slice.
+struct ServeHooks {
+  /// Called with the payload fingerprint before a classify is admitted.
+  /// Returning true rejects the request with `quarantined`.
+  std::function<bool(uint64_t)> is_quarantined;
+  /// Bracket the dangerous region: `classify_begin` runs right before
+  /// ingest/predict (journal the fingerprint), `classify_end` right after
+  /// (clear the journal slot). A crash in between leaves the fingerprint
+  /// on disk for the supervisor's post-mortem.
+  std::function<void(uint64_t)> classify_begin;
+  std::function<void(uint64_t)> classify_end;
+  /// When set, health requests answer with this JSON instead of the
+  /// server's own HealthJson — the supervisor's tree-wide view.
+  std::function<std::string()> health_override;
+};
 
 struct ServerOptions {
   std::string socket_path;
@@ -83,15 +121,26 @@ struct ServerOptions {
   double worker_delay_ms = 0.0;
   /// Ingestion options for classify payloads (scan mode etc.).
   IngestOptions ingest;
+  /// When ≥ 0, Start() adopts this already-listening descriptor (passed
+  /// from a supervisor over SCM_RIGHTS) instead of binding socket_path
+  /// itself, and Wait() leaves the socket file alone — the supervisor
+  /// owns the path's lifecycle.
+  int inherited_listener_fd = -1;
+  /// Honour kFaultCrashPayload / kFaultFreezePayload. Tests only.
+  bool enable_test_faults = false;
+  /// Supervision integration points; see ServeHooks.
+  ServeHooks hooks;
 };
 
 /// Monotonic per-server counters plus instantaneous depths. The
 /// accounting identity the fault harness asserts:
 ///   accepted == admitted + shed_queue + shed_connections +
 ///               rejected_draining + malformed + payload_too_large +
-///               io_failed + inline_answered
+///               io_failed + inline_answered + quarantined
 /// and admitted == completed + deadline_exceeded + ingest_errors +
-///                 predict_errors once drained.
+///                 predict_errors once drained. Under supervision the
+/// aggregate identity gains crash_lost_* buckets for requests that died
+/// with their worker (see supervisor.h).
 struct ServerStats {
   uint64_t accepted = 0;
   uint64_t admitted = 0;
@@ -108,6 +157,7 @@ struct ServerStats {
   uint64_t write_failures = 0;    // response could not be delivered
   uint64_t inline_answered = 0;   // health + metrics requests
   uint64_t drain_cancelled = 0;   // budgets force-cancelled at drain
+  uint64_t quarantined = 0;       // rejected via the poison-payload table
   size_t queue_depth = 0;         // instantaneous
   size_t in_flight = 0;           // instantaneous
   size_t open_connections = 0;    // instantaneous

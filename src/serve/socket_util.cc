@@ -1,6 +1,7 @@
 #include "serve/socket_util.h"
 
 #include <errno.h>
+#include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -141,6 +142,94 @@ Result<Frame> RecvFrame(int fd, size_t max_payload, int timeout_ms,
 
 Status SendFrame(int fd, std::string_view frame, int timeout_ms) {
   return WriteFull(fd, frame.data(), frame.size(), timeout_ms);
+}
+
+Status SendFdOverSocket(int socket_fd, int fd_to_send) {
+  if (fd_to_send < 0) {
+    return Status::InvalidArgument("SendFdOverSocket: invalid descriptor");
+  }
+  // One data byte must accompany the ancillary payload or sendmsg refuses
+  // the message on some kernels; 'F' is purely a carrier.
+  char marker = 'F';
+  struct iovec iov;
+  iov.iov_base = &marker;
+  iov.iov_len = 1;
+  alignas(struct cmsghdr) char control[CMSG_SPACE(sizeof(int))];
+  ::memset(control, 0, sizeof(control));
+  struct msghdr msg;
+  ::memset(&msg, 0, sizeof(msg));
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof(control);
+  struct cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+  cmsg->cmsg_level = SOL_SOCKET;
+  cmsg->cmsg_type = SCM_RIGHTS;
+  cmsg->cmsg_len = CMSG_LEN(sizeof(int));
+  ::memcpy(CMSG_DATA(cmsg), &fd_to_send, sizeof(int));
+  ssize_t rc;
+  do {
+    rc = ::sendmsg(socket_fd, &msg, MSG_NOSIGNAL);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return Status::IOError(
+        StrFormat("sendmsg(SCM_RIGHTS) failed: %s", ::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<UniqueFd> RecvFdOverSocket(int socket_fd, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = socket_fd;
+  pfd.events = POLLIN;
+  int prc;
+  do {
+    prc = ::poll(&pfd, 1, timeout_ms);
+  } while (prc < 0 && errno == EINTR);
+  if (prc == 0) {
+    return Status::DeadlineExceeded(StrFormat(
+        "no descriptor arrived within %d ms", timeout_ms));
+  }
+  if (prc < 0) {
+    return Status::IOError(
+        StrFormat("poll() for passed fd failed: %s", ::strerror(errno)));
+  }
+  char marker = 0;
+  struct iovec iov;
+  iov.iov_base = &marker;
+  iov.iov_len = 1;
+  alignas(struct cmsghdr) char control[CMSG_SPACE(sizeof(int))];
+  ::memset(control, 0, sizeof(control));
+  struct msghdr msg;
+  ::memset(&msg, 0, sizeof(msg));
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof(control);
+  ssize_t rc;
+  do {
+    rc = ::recvmsg(socket_fd, &msg, MSG_CMSG_CLOEXEC);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return Status::IOError(
+        StrFormat("recvmsg(SCM_RIGHTS) failed: %s", ::strerror(errno)));
+  }
+  if (rc == 0) {
+    return Status::IOError("peer closed before passing a descriptor");
+  }
+  if (msg.msg_flags & MSG_CTRUNC) {
+    return Status::IOError("ancillary data truncated receiving descriptor");
+  }
+  for (struct cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+       cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+    if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SCM_RIGHTS &&
+        cmsg->cmsg_len == CMSG_LEN(sizeof(int))) {
+      int received = -1;
+      ::memcpy(&received, CMSG_DATA(cmsg), sizeof(int));
+      if (received >= 0) return UniqueFd(received);
+    }
+  }
+  return Status::IOError("message carried no descriptor");
 }
 
 }  // namespace strudel::serve

@@ -1,9 +1,9 @@
 // Thin RAII layer over unix-domain stream sockets plus frame-level I/O
 // built on the common transient-I/O helpers. Everything returns Status;
 // every read and write takes a deadline so no caller can wedge on a
-// stalled peer. SIGPIPE is never raised: sends use MSG_NOSIGNAL via the
-// write path's EPIPE mapping (writes go through write(2); the process
-// ignores SIGPIPE — the server installs that once at Start).
+// stalled peer. SIGPIPE is never raised: every socket write goes through
+// WriteFull's send(MSG_NOSIGNAL) path, and the serve entry points ignore
+// SIGPIPE process-wide as a second layer.
 
 #ifndef STRUDEL_SERVE_SOCKET_UTIL_H_
 #define STRUDEL_SERVE_SOCKET_UTIL_H_
@@ -76,6 +76,17 @@ Result<Frame> RecvFrame(int fd, size_t max_payload, int timeout_ms,
 /// Writes `frame` (an already-encoded request or response) under one
 /// deadline for the whole transfer.
 Status SendFrame(int fd, std::string_view frame, int timeout_ms);
+
+/// Passes a descriptor across a unix-domain socket (SCM_RIGHTS). The
+/// supervisor hands each freshly-forked worker its copy of the shared
+/// listener this way instead of relying on fd-number inheritance, so the
+/// worker's descriptor table only holds what it was explicitly given. One
+/// byte of regular data rides along (ancillary data cannot travel alone).
+Status SendFdOverSocket(int socket_fd, int fd_to_send);
+
+/// Receives one descriptor sent by SendFdOverSocket, waiting at most
+/// `timeout_ms`. The returned UniqueFd owns the new descriptor.
+Result<UniqueFd> RecvFdOverSocket(int socket_fd, int timeout_ms);
 
 }  // namespace strudel::serve
 

@@ -1,0 +1,793 @@
+#include "serve/supervisor.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/prctl.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "common/io_retry.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/trace.h"
+#include "serve/worker.h"
+
+namespace strudel::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Adds b's monotonic counters into a (instantaneous fields untouched).
+void AddCounters(ServerStats& a, const ServerStats& b) {
+  a.accepted += b.accepted;
+  a.admitted += b.admitted;
+  a.completed += b.completed;
+  a.shed_queue += b.shed_queue;
+  a.shed_connections += b.shed_connections;
+  a.rejected_draining += b.rejected_draining;
+  a.malformed += b.malformed;
+  a.payload_too_large += b.payload_too_large;
+  a.deadline_exceeded += b.deadline_exceeded;
+  a.ingest_errors += b.ingest_errors;
+  a.predict_errors += b.predict_errors;
+  a.io_failed += b.io_failed;
+  a.write_failures += b.write_failures;
+  a.inline_answered += b.inline_answered;
+  a.drain_cancelled += b.drain_cancelled;
+  a.quarantined += b.quarantined;
+}
+
+/// Parses a run of space-separated unsigned decimals starting at `s`.
+std::vector<uint64_t> ParseU64List(const char* s) {
+  std::vector<uint64_t> values;
+  while (*s != '\0') {
+    while (*s == ' ') ++s;
+    if (*s == '\0') break;
+    char* end = nullptr;
+    values.push_back(::strtoull(s, &end, 10));
+    if (end == s) break;
+    s = end;
+  }
+  return values;
+}
+
+std::string ErrorRecord(std::string_view stage, std::string_view msg) {
+  return StrFormat("stage=%s code=kFailedPrecondition msg=\"%s\"",
+                   std::string(stage).c_str(), std::string(msg).c_str());
+}
+
+}  // namespace
+
+double RespawnDelayMs(double initial_ms, double max_ms,
+                      int consecutive_crashes) {
+  if (consecutive_crashes <= 0) return 0.0;
+  const int exponent = std::min(consecutive_crashes - 1, 30);
+  const double delay = initial_ms * std::ldexp(1.0, exponent);
+  return std::min(delay, max_ms);
+}
+
+std::string_view BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+std::string SupervisorStats::ToJson(double uptime_ms) const {
+  std::string json = aggregate.ToJson();
+  json.pop_back();  // reopen the object to splice the supervision keys
+  json += StrFormat(
+      ", \"crash_lost_connections\": %llu, \"crash_lost_requests\": %llu, "
+      "\"workers\": %d, \"live_workers\": %d, \"worker_restarts\": %llu, "
+      "\"worker_crashes\": %llu, \"watchdog_kills\": %llu, "
+      "\"quarantine_size\": %zu, \"breaker\": \"%s\", "
+      "\"supervised\": true, \"worker_pids\": [",
+      static_cast<unsigned long long>(crash_lost_connections),
+      static_cast<unsigned long long>(crash_lost_requests), num_workers,
+      live_workers, static_cast<unsigned long long>(worker_restarts),
+      static_cast<unsigned long long>(worker_crashes),
+      static_cast<unsigned long long>(watchdog_kills), quarantine_size,
+      std::string(BreakerStateName(breaker)).c_str());
+  for (size_t i = 0; i < worker_pids.size(); ++i) {
+    if (i > 0) json += ", ";
+    json += StrFormat("%d", static_cast<int>(worker_pids[i]));
+  }
+  json += StrFormat("], \"uptime_ms\": %.0f}", uptime_ms);
+  return json;
+}
+
+Supervisor::Supervisor(StrudelCell model, SupervisorOptions options)
+    : model_(std::move(model)), options_(std::move(options)) {}
+
+Supervisor::~Supervisor() {
+  // Best-effort teardown for a supervisor abandoned mid-run (tests):
+  // forcefully reap children so they cannot outlive their tree.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (WorkerSlot& slot : slots_) {
+    if (slot.alive && slot.pid > 0) {
+      ::kill(slot.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(slot.pid, &status, 0);
+      slot.alive = false;
+    }
+  }
+}
+
+Status Supervisor::Start() {
+  if (options_.server.socket_path.empty()) {
+    return Status::InvalidArgument("supervisor requires a socket_path");
+  }
+  if (!model_.fitted()) {
+    return Status::FailedPrecondition("serve requires a fitted model");
+  }
+  if (options_.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (options_.quarantine_after < 1) {
+    return Status::InvalidArgument("quarantine_after must be >= 1");
+  }
+  ::signal(SIGPIPE, SIG_IGN);
+  if (options_.scratch_dir.empty()) {
+    options_.scratch_dir = options_.server.socket_path + ".journals";
+  }
+  if (::mkdir(options_.scratch_dir.c_str(), 0700) != 0 && errno != EEXIST) {
+    return Status::IOError(StrFormat("mkdir(%s) failed: %s",
+                                     options_.scratch_dir.c_str(),
+                                     ::strerror(errno)));
+  }
+  STRUDEL_ASSIGN_OR_RETURN(
+      listener_,
+      ListenUnix(options_.server.socket_path,
+                 std::max(16, options_.server.max_connections)));
+  start_ms_ = NowMs();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.resize(static_cast<size_t>(options_.num_workers));
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].journal_path = StrFormat(
+        "%s/worker_%zu.journal", options_.scratch_dir.c_str(), i);
+    Status st = SpawnWorker(i);
+    if (!st.ok()) {
+      for (WorkerSlot& slot : slots_) {
+        if (slot.alive && slot.pid > 0) {
+          ::kill(slot.pid, SIGKILL);
+          int status = 0;
+          ::waitpid(slot.pid, &status, 0);
+          slot.alive = false;
+        }
+      }
+      listener_.Reset();
+      ::unlink(options_.server.socket_path.c_str());
+      return st;
+    }
+  }
+  started_.store(true, std::memory_order_relaxed);
+  STRUDEL_LOG(kInfo) << "serve: supervising " << options_.num_workers
+                     << " workers on " << options_.server.socket_path
+                     << " (quarantine_after=" << options_.quarantine_after
+                     << ")";
+  return Status::OK();
+}
+
+Status Supervisor::SpawnWorker(size_t index) {
+  WorkerSlot& slot = slots_[index];
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0) {
+    return Status::IOError(
+        StrFormat("socketpair() failed: %s", ::strerror(errno)));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return Status::IOError(StrFormat("fork() failed: %s", ::strerror(errno)));
+  }
+  if (pid == 0) {
+    // Child. The supervisor is single-threaded, so the heap is quiescent
+    // and ordinary C++ is safe here. Die with the supervisor (PDEATHSIG),
+    // guard against the parent having died before prctl took effect.
+    ::prctl(PR_SET_PDEATHSIG, SIGTERM);
+    if (::getppid() == 1) ::_exit(1);
+    // Descriptor hygiene: the worker keeps exactly its own control end;
+    // the listener arrives as a fresh SCM_RIGHTS copy.
+    ::close(sv[0]);
+    ::close(listener_.get());
+    for (const WorkerSlot& other : slots_) {
+      if (other.control.valid()) ::close(other.control.get());
+    }
+    if (options_.worker_rlimit_as_mb > 0) {
+      struct rlimit lim;
+      lim.rlim_cur = lim.rlim_max =
+          static_cast<rlim_t>(options_.worker_rlimit_as_mb) << 20;
+      ::setrlimit(RLIMIT_AS, &lim);
+    }
+    if (options_.worker_rlimit_nofile > 0) {
+      struct rlimit lim;
+      lim.rlim_cur = lim.rlim_max =
+          static_cast<rlim_t>(options_.worker_rlimit_nofile);
+      ::setrlimit(RLIMIT_NOFILE, &lim);
+    }
+    WorkerConfig config;
+    config.control_fd = sv[1];
+    config.journal_path = slot.journal_path;
+    config.server = options_.server;
+    config.heartbeat_interval_ms = options_.heartbeat_interval_ms;
+    ::_exit(WorkerMain(std::move(model_), std::move(config)));
+  }
+  // Parent.
+  ::close(sv[1]);
+  slot.pid = pid;
+  slot.control = UniqueFd(sv[0]);
+  slot.rx_buffer.clear();
+  slot.last = ServerStats{};
+  slot.have_last = false;
+  slot.final_stats = ServerStats{};
+  slot.have_final = false;
+  slot.spawn_ms = NowMs();
+  slot.last_hb_ms = 0;
+  slot.oldest_active_ms = 0;
+  slot.respawn_at_ms = 0;
+  slot.alive = true;
+  Status st = SendFdOverSocket(slot.control.get(), listener_.get());
+  if (!st.ok()) {
+    // The child will time out waiting for the listener and exit; let the
+    // reap path handle it as a crash.
+    STRUDEL_LOG(kError) << "serve: listener pass to worker " << pid
+                        << " failed: " << st.message();
+    return st;
+  }
+  SendQuarantineTable(slot);
+  return Status::OK();
+}
+
+void Supervisor::SendQuarantineTable(WorkerSlot& slot) {
+  // A respawned worker starts with an empty quarantine mirror; replay the
+  // table so a quarantined payload cannot crash the fresh process.
+  for (const uint64_t fingerprint : quarantine_) {
+    const std::string line = StrFormat(
+        "Q %llx\n", static_cast<unsigned long long>(fingerprint));
+    (void)WriteFull(slot.control.get(), line.data(), line.size(),
+                    /*timeout_ms=*/1000);
+  }
+}
+
+void Supervisor::BroadcastQuarantine(uint64_t fingerprint) {
+  const std::string line =
+      StrFormat("Q %llx\n", static_cast<unsigned long long>(fingerprint));
+  for (WorkerSlot& slot : slots_) {
+    if (slot.alive && slot.control.valid()) {
+      (void)WriteFull(slot.control.get(), line.data(), line.size(),
+                      /*timeout_ms=*/1000);
+    }
+  }
+}
+
+void Supervisor::ReadControl(WorkerSlot& slot) {
+  char chunk[4096];
+  ssize_t n;
+  do {
+    n = ::read(slot.control.get(), chunk, sizeof(chunk));
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return;  // EAGAIN under a spurious poll wake; try next tick
+  if (n == 0) {
+    // Worker closed its end (exiting); waitpid owns the rest.
+    slot.control.Reset();
+    return;
+  }
+  slot.rx_buffer.append(chunk, static_cast<size_t>(n));
+  size_t eol;
+  while ((eol = slot.rx_buffer.find('\n')) != std::string::npos) {
+    const std::string line = slot.rx_buffer.substr(0, eol);
+    slot.rx_buffer.erase(0, eol + 1);
+    HandleControlLine(slot, line);
+  }
+}
+
+void Supervisor::HandleControlLine(WorkerSlot& slot,
+                                   const std::string& line) {
+  if (line.rfind("HB ", 0) == 0) {
+    const std::vector<uint64_t> values = ParseU64List(line.c_str() + 3);
+    if (values.size() != 1 + kStatsWireCount) return;
+    slot.oldest_active_ms = values[0];
+    StatsFromWire(values.data() + 1, &slot.last);
+    slot.have_last = true;
+    slot.last_hb_ms = NowMs();
+    // A worker that heartbeats after surviving its first second has
+    // recovered; its crash streak (and backoff) resets.
+    if (slot.consecutive_crashes > 0 &&
+        slot.last_hb_ms - slot.spawn_ms > 1000) {
+      slot.consecutive_crashes = 0;
+    }
+  } else if (line.rfind("FIN ", 0) == 0) {
+    const std::vector<uint64_t> values = ParseU64List(line.c_str() + 4);
+    if (values.size() != kStatsWireCount) return;
+    StatsFromWire(values.data(), &slot.final_stats);
+    slot.have_final = true;
+  } else if (line == "H") {
+    const std::string response = "HRESP " + HealthJsonLocked() + "\n";
+    (void)WriteFull(slot.control.get(), response.data(), response.size(),
+                    /*timeout_ms=*/1000);
+  }
+}
+
+void Supervisor::ReapChildren() {
+  while (true) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+    if (pid <= 0) break;
+    for (WorkerSlot& slot : slots_) {
+      if (slot.pid == pid && slot.alive) {
+        // Drain any FIN still buffered in the socketpair before folding.
+        if (slot.control.valid()) ReadControl(slot);
+        OnWorkerDeath(slot, status);
+        break;
+      }
+    }
+  }
+}
+
+void Supervisor::OnWorkerDeath(WorkerSlot& slot, int wait_status) {
+  slot.alive = false;
+  slot.control.Reset();
+  const bool clean = WIFEXITED(wait_status) &&
+                     WEXITSTATUS(wait_status) == 0 && slot.have_final;
+  if (clean) {
+    AddCounters(dead_total_, slot.final_stats);
+    slot.consecutive_crashes = 0;
+    slot.respawn_at_ms = NowMs();  // e.g. externally SIGTERMed: immediate
+    STRUDEL_LOG(kInfo) << "serve: worker " << slot.pid
+                       << " exited cleanly";
+    return;
+  }
+  RecordCrash(slot);
+  if (WIFSIGNALED(wait_status)) {
+    STRUDEL_LOG(kWarning) << "serve: worker " << slot.pid
+                          << " killed by signal "
+                          << WTERMSIG(wait_status);
+  } else {
+    STRUDEL_LOG(kWarning) << "serve: worker " << slot.pid
+                          << " exited with status "
+                          << (WIFEXITED(wait_status)
+                                  ? WEXITSTATUS(wait_status)
+                                  : -1);
+  }
+}
+
+void Supervisor::RecordCrash(WorkerSlot& slot) {
+  const uint64_t now = NowMs();
+  ++worker_crashes_;
+  static metrics::Counter& crashes =
+      metrics::GetCounter("serve.worker_crashes");
+  crashes.Increment();
+  trace::Instant("serve.worker_crash");
+
+  // Fold the corpse's last-known counters, attributing the unaccounted
+  // remainder (the in-flight work that died with it) explicitly so the
+  // aggregate identity keeps holding.
+  if (slot.have_last) {
+    const ServerStats& s = slot.last;
+    AddCounters(dead_total_, s);
+    const uint64_t accept_buckets =
+        s.admitted + s.shed_queue + s.shed_connections +
+        s.rejected_draining + s.malformed + s.payload_too_large +
+        s.io_failed + s.inline_answered + s.quarantined;
+    if (s.accepted > accept_buckets) {
+      crash_lost_connections_ += s.accepted - accept_buckets;
+    }
+    const uint64_t completion_buckets = s.completed + s.deadline_exceeded +
+                                        s.ingest_errors + s.predict_errors;
+    if (s.admitted > completion_buckets) {
+      crash_lost_requests_ += s.admitted - completion_buckets;
+    }
+  }
+
+  // Post-mortem: whatever fingerprints the worker left journalled were on
+  // the table when it died. K implications quarantine the payload.
+  for (const uint64_t fingerprint :
+       CrashJournal::ReadImplicated(slot.journal_path)) {
+    const int count = ++crash_counts_[fingerprint];
+    if (count >= options_.quarantine_after &&
+        quarantine_.insert(fingerprint).second) {
+      static metrics::Counter& quarantined =
+          metrics::GetCounter("serve.payloads_quarantined");
+      quarantined.Increment();
+      trace::Instant("serve.payload_quarantined");
+      STRUDEL_LOG(kWarning) << "serve: quarantined payload fingerprint "
+                            << StrFormat("%016llx",
+                                         static_cast<unsigned long long>(
+                                             fingerprint))
+                            << " after " << count << " crashes";
+      BroadcastQuarantine(fingerprint);
+    }
+  }
+
+  crash_times_ms_.push_back(now);
+  if (breaker_ == BreakerState::kHalfOpen) {
+    // The probe worker died: back to open for another cooldown.
+    breaker_ = BreakerState::kOpen;
+    breaker_open_until_ms_ = now + options_.breaker_open_ms;
+    static metrics::Counter& opened =
+        metrics::GetCounter("serve.breaker_open");
+    opened.Increment();
+    trace::Instant("serve.breaker_open");
+  }
+
+  if (!draining_) {
+    ++slot.consecutive_crashes;
+    const double delay =
+        RespawnDelayMs(options_.respawn_initial_ms, options_.respawn_max_ms,
+                       slot.consecutive_crashes);
+    slot.respawn_at_ms = now + static_cast<uint64_t>(delay);
+  }
+}
+
+void Supervisor::RunWatchdog(uint64_t now_ms) {
+  const int budget_ms =
+      options_.watchdog_budget_ms > 0
+          ? options_.watchdog_budget_ms
+          : (options_.server.max_budget_ms > 0
+                 ? static_cast<int>(options_.server.max_budget_ms)
+                 : 60000);
+  const uint64_t hang_limit =
+      static_cast<uint64_t>(budget_ms) +
+      static_cast<uint64_t>(options_.watchdog_grace_ms);
+  const uint64_t stall_limit = std::max<uint64_t>(
+      10ull * static_cast<uint64_t>(options_.heartbeat_interval_ms), 3000);
+  for (WorkerSlot& slot : slots_) {
+    if (!slot.alive) continue;
+    const uint64_t hb_ref =
+        slot.last_hb_ms != 0 ? slot.last_hb_ms : slot.spawn_ms;
+    // Saturating age: heartbeats processed this tick are stamped after
+    // `now_ms` was captured, so the reference can sit slightly in the
+    // future — that means "fresh", never "wedged since the epoch".
+    const uint64_t hb_age = now_ms > hb_ref ? now_ms - hb_ref : 0;
+    const uint64_t since_hb = slot.last_hb_ms != 0 && now_ms > slot.last_hb_ms
+                                  ? now_ms - slot.last_hb_ms
+                                  : 0;
+    bool kill = false;
+    // Frozen classification: the heartbeat keeps arriving but the oldest
+    // journalled request keeps ageing past any budget it could obey.
+    if (slot.oldest_active_ms > 0 && slot.last_hb_ms != 0 &&
+        slot.oldest_active_ms + since_hb > hang_limit) {
+      kill = true;
+      STRUDEL_LOG(kWarning)
+          << "serve: watchdog killing worker " << slot.pid
+          << " (classification active " << slot.oldest_active_ms << "ms)";
+    } else if (hb_age > stall_limit) {
+      // Whole process wedged: heartbeats stopped entirely.
+      kill = true;
+      STRUDEL_LOG(kWarning) << "serve: watchdog killing worker " << slot.pid
+                            << " (heartbeat stalled " << hb_age << "ms)";
+    }
+    if (kill) {
+      ::kill(slot.pid, SIGKILL);
+      ++watchdog_kills_;
+      static metrics::Counter& kills =
+          metrics::GetCounter("serve.watchdog_kills");
+      kills.Increment();
+      trace::Instant("serve.watchdog_kill");
+      // The reap on a following tick folds it as a crash; stop checking
+      // this slot so one hang counts one kill.
+      slot.oldest_active_ms = 0;
+      slot.last_hb_ms = now_ms;
+    }
+  }
+}
+
+int Supervisor::LiveWorkers() const {
+  int live = 0;
+  for (const WorkerSlot& slot : slots_) {
+    if (slot.alive) ++live;
+  }
+  return live;
+}
+
+void Supervisor::UpdateBreakerAndRespawn(uint64_t now_ms) {
+  const uint64_t window = static_cast<uint64_t>(options_.breaker_window_ms);
+  while (!crash_times_ms_.empty() &&
+         now_ms - crash_times_ms_.front() > window) {
+    crash_times_ms_.pop_front();
+  }
+  switch (breaker_) {
+    case BreakerState::kClosed:
+      if (static_cast<int>(crash_times_ms_.size()) >=
+          options_.breaker_crash_threshold) {
+        breaker_ = BreakerState::kOpen;
+        breaker_open_until_ms_ = now_ms + options_.breaker_open_ms;
+        static metrics::Counter& opened =
+            metrics::GetCounter("serve.breaker_open");
+        opened.Increment();
+        trace::Instant("serve.breaker_open");
+        STRUDEL_LOG(kWarning)
+            << "serve: circuit breaker OPEN (" << crash_times_ms_.size()
+            << " crashes in " << options_.breaker_window_ms
+            << "ms); shedding until respawns stabilise";
+      }
+      break;
+    case BreakerState::kOpen:
+      if (now_ms >= breaker_open_until_ms_) {
+        breaker_ = BreakerState::kHalfOpen;
+        STRUDEL_LOG(kInfo) << "serve: circuit breaker half-open; "
+                              "probing with one worker";
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // A live, heartbeating probe proves classification is viable again.
+      for (const WorkerSlot& slot : slots_) {
+        if (slot.alive && slot.last_hb_ms != 0 &&
+            slot.last_hb_ms >= breaker_open_until_ms_) {
+          breaker_ = BreakerState::kClosed;
+          crash_times_ms_.clear();
+          STRUDEL_LOG(kInfo) << "serve: circuit breaker closed";
+          break;
+        }
+      }
+      break;
+  }
+
+  if (breaker_ == BreakerState::kOpen) return;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    WorkerSlot& slot = slots_[i];
+    if (slot.alive) continue;
+    if (breaker_ == BreakerState::kHalfOpen && LiveWorkers() >= 1) {
+      continue;  // exactly one probe at a time
+    }
+    if (now_ms < slot.respawn_at_ms) continue;
+    Status st = SpawnWorker(i);
+    if (!st.ok()) {
+      STRUDEL_LOG(kError) << "serve: respawn failed: " << st.message();
+      slot.respawn_at_ms = now_ms + 1000;
+      continue;
+    }
+    ++worker_restarts_;
+    static metrics::Counter& restarts =
+        metrics::GetCounter("serve.worker_restarts");
+    restarts.Increment();
+    trace::Instant("serve.worker_respawn");
+    STRUDEL_LOG(kInfo) << "serve: respawned worker slot " << i << " (pid "
+                       << slot.pid << ", streak "
+                       << slot.consecutive_crashes << ")";
+  }
+}
+
+void Supervisor::ServeInline() {
+  // Degraded mode: no live worker holds the listener, so the supervisor
+  // answers directly — health and metrics stay available (that is the
+  // moment they exist for) and classify work sheds with `worker_crashed`
+  // + retry-after instead of leaving clients to hang on a dead pool.
+  for (int i = 0; i < 16; ++i) {
+    struct pollfd pfd;
+    pfd.fd = listener_.get();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    if (::poll(&pfd, 1, 0) <= 0 || (pfd.revents & POLLIN) == 0) break;
+    int raw;
+    do {
+      raw = ::accept4(listener_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    } while (raw < 0 && errno == EINTR);
+    if (raw < 0) break;
+    AnswerInlineConnection(UniqueFd(raw));
+  }
+}
+
+void Supervisor::AnswerInlineConnection(UniqueFd fd) {
+  sup_inline_.accepted++;
+  bool cap_exceeded = false;
+  auto frame = RecvFrame(fd.get(), options_.server.max_payload_bytes,
+                         /*timeout_ms=*/250, &cap_exceeded);
+  ResponseHeader response;
+  std::string payload;
+  if (!frame.ok()) {
+    if (!cap_exceeded) {
+      sup_inline_.io_failed++;
+      return;
+    }
+    sup_inline_.payload_too_large++;
+    response.code = ResponseCode::kPayloadTooLarge;
+    payload = ErrorRecord("serve.recv", "payload exceeds cap");
+  } else {
+    auto header = DecodeRequestHeader(frame->header);
+    if (!header.ok()) {
+      sup_inline_.malformed++;
+      response.code = ResponseCode::kMalformed;
+      payload = ErrorRecord("serve.decode", "malformed request header");
+    } else if (header->type == RequestType::kHealth) {
+      sup_inline_.inline_answered++;
+      response.code = ResponseCode::kOk;
+      response.trace_id = header->trace_id;
+      payload = HealthJsonLocked();
+    } else if (header->type == RequestType::kMetrics) {
+      sup_inline_.inline_answered++;
+      response.code = ResponseCode::kOk;
+      response.trace_id = header->trace_id;
+      payload = metrics::ToJson();
+    } else if (draining_) {
+      sup_inline_.rejected_draining++;
+      response.code = ResponseCode::kShuttingDown;
+      response.trace_id = header->trace_id;
+      response.retry_after_ms = options_.server.retry_after_ms;
+    } else {
+      // Classify with zero live workers: structured shed. The hint is
+      // when capacity could plausibly be back — the nearest respawn (or
+      // the breaker reopening), floored at the configured hint.
+      sup_inline_.shed_connections++;
+      const uint64_t now = NowMs();
+      uint64_t back_at = breaker_ == BreakerState::kOpen
+                             ? breaker_open_until_ms_
+                             : 0;
+      for (const WorkerSlot& slot : slots_) {
+        if (!slot.alive &&
+            (back_at == 0 || slot.respawn_at_ms < back_at)) {
+          back_at = slot.respawn_at_ms;
+        }
+      }
+      uint64_t hint = back_at > now ? back_at - now : 0;
+      hint = std::max<uint64_t>(hint, options_.server.retry_after_ms);
+      hint = std::min<uint64_t>(hint, 10000);
+      response.code = ResponseCode::kWorkerCrashed;
+      response.trace_id = header->trace_id;
+      response.retry_after_ms = static_cast<uint32_t>(hint);
+      payload = ErrorRecord("serve.supervisor",
+                            "no live worker; pool is respawning");
+    }
+  }
+  if (!SendFrame(fd.get(), EncodeResponse(response, payload),
+                 /*timeout_ms=*/250)
+           .ok()) {
+    sup_inline_.write_failures++;
+  }
+}
+
+void Supervisor::RequestStop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+}
+
+Status Supervisor::Run(const std::function<bool()>& interrupted) {
+  if (!started_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("supervisor was never started");
+  }
+  while (true) {
+    if (interrupted && interrupted()) RequestStop();
+
+    std::vector<struct pollfd> fds;
+    std::vector<size_t> fd_slots;
+    bool poll_listener = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].alive && slots_[i].control.valid()) {
+          fds.push_back({slots_[i].control.get(), POLLIN, 0});
+          fd_slots.push_back(i);
+        }
+      }
+      if (LiveWorkers() == 0) {
+        poll_listener = true;
+        fds.push_back({listener_.get(), POLLIN, 0});
+      }
+    }
+    int rc;
+    do {
+      rc = ::poll(fds.data(), fds.size(), 50);
+    } while (rc < 0 && errno == EINTR);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t now = NowMs();
+    if (stop_requested_.load(std::memory_order_relaxed) && !draining_) {
+      draining_ = true;
+      drain_started_ms_ = now;
+      STRUDEL_LOG(kInfo) << "serve: drain cascade (SIGTERM to "
+                         << LiveWorkers() << " workers)";
+      for (const WorkerSlot& slot : slots_) {
+        if (slot.alive && slot.pid > 0) ::kill(slot.pid, SIGTERM);
+      }
+    }
+    for (size_t i = 0; i < fd_slots.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      WorkerSlot& slot = slots_[fd_slots[i]];
+      if (slot.alive && slot.control.valid() &&
+          slot.control.get() == fds[i].fd) {
+        ReadControl(slot);
+      }
+    }
+    ReapChildren();
+    RunWatchdog(now);
+    if (!draining_) {
+      UpdateBreakerAndRespawn(now);
+    } else {
+      const uint64_t grace =
+          static_cast<uint64_t>(options_.server.drain_timeout_ms) + 3000;
+      if (!drain_forced_ && now - drain_started_ms_ > grace) {
+        drain_forced_ = true;
+        for (const WorkerSlot& slot : slots_) {
+          if (slot.alive && slot.pid > 0) {
+            STRUDEL_LOG(kWarning) << "serve: drain deadline, SIGKILL "
+                                  << slot.pid;
+            ::kill(slot.pid, SIGKILL);
+          }
+        }
+      }
+      if (LiveWorkers() == 0) break;
+    }
+    if (poll_listener) ServeInline();
+  }
+
+  listener_.Reset();
+  ::unlink(options_.server.socket_path.c_str());
+  started_.store(false, std::memory_order_relaxed);
+  std::string final_json;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    final_json = HealthJsonLocked();
+  }
+  STRUDEL_LOG(kInfo) << "serve: supervisor drained " << final_json;
+  if (drain_forced_) {
+    return Status::DeadlineExceeded(
+        "drain deadline forced SIGKILL of straggling workers");
+  }
+  return Status::OK();
+}
+
+SupervisorStats Supervisor::StatsLocked() const {
+  SupervisorStats stats;
+  stats.aggregate = dead_total_;
+  AddCounters(stats.aggregate, sup_inline_);
+  for (const WorkerSlot& slot : slots_) {
+    if (slot.alive && slot.have_last) {
+      AddCounters(stats.aggregate, slot.last);
+    }
+    if (slot.alive) stats.worker_pids.push_back(slot.pid);
+  }
+  stats.aggregate.draining = draining_;
+  stats.worker_restarts = worker_restarts_;
+  stats.worker_crashes = worker_crashes_;
+  stats.watchdog_kills = watchdog_kills_;
+  stats.crash_lost_connections = crash_lost_connections_;
+  stats.crash_lost_requests = crash_lost_requests_;
+  stats.quarantine_size = quarantine_.size();
+  stats.breaker = breaker_;
+  stats.live_workers = LiveWorkers();
+  stats.num_workers = options_.num_workers;
+  return stats;
+}
+
+SupervisorStats Supervisor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StatsLocked();
+}
+
+std::string Supervisor::HealthJsonLocked() const {
+  return StatsLocked().ToJson(
+      static_cast<double>(NowMs() - start_ms_));
+}
+
+std::string Supervisor::HealthJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return HealthJsonLocked();
+}
+
+}  // namespace strudel::serve

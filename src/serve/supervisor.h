@@ -1,0 +1,221 @@
+// Supervision tree for `strudel serve`: one supervisor process owning the
+// listening socket, a pool of forked single-threaded worker processes
+// each serving connections on their SCM_RIGHTS copy of that listener, and
+// the self-healing machinery in between. A worker crash — SIGSEGV, abort,
+// OOM kill, watchdog SIGKILL — loses at most its in-flight request:
+//
+//   supervisor ──fork──> worker 0   (control socketpair, crash journal)
+//        │     ──fork──> worker 1
+//        │        ...
+//        ├─ waitpid(WNOHANG): detect death, fold the corpse's last
+//        │    heartbeat into the aggregate, attribute crash-lost work
+//        ├─ crash journal post-mortem → poison-payload quarantine after
+//        │    `quarantine_after` implications; broadcast to live workers
+//        ├─ respawn under capped exponential backoff; a circuit breaker
+//        │    opens when crashes churn (threshold per sliding window) and
+//        │    half-opens with a single probe worker
+//        ├─ hung-worker watchdog: heartbeat-carried oldest-active age
+//        │    beyond budget + grace (or heartbeat stall) → SIGKILL
+//        └─ when no worker is live, the supervisor itself accepts and
+//             answers health/metrics inline, shedding classify work with
+//             `worker_crashed` + retry-after so clients never hang on a
+//             dead pool
+//
+// The supervisor stays strictly single-threaded (poll loop), so fork is
+// always safe; every worker is spawned from a quiescent heap.
+//
+// Accounting identity across worker deaths. Each generation's counters
+// come from its final report (clean drain) or last heartbeat (crash); for
+// a crashed generation the in-flight remainder is attributed explicitly:
+//   crash_lost_connections = accepted − Σ accept-level buckets
+//   crash_lost_requests    = admitted − Σ completion buckets
+// so the aggregate obeys, once drained:
+//   accepted == admitted + shed_queue + shed_connections +
+//               rejected_draining + malformed + payload_too_large +
+//               io_failed + inline_answered + quarantined +
+//               crash_lost_connections
+//   admitted == completed + deadline_exceeded + ingest_errors +
+//               predict_errors + crash_lost_requests
+
+#ifndef STRUDEL_SERVE_SUPERVISOR_H_
+#define STRUDEL_SERVE_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/server.h"
+#include "serve/socket_util.h"
+#include "strudel/strudel_cell.h"
+
+namespace strudel::serve {
+
+/// Pre-jitter respawn delay (ms) before restarting a worker that has
+/// crashed `consecutive_crashes` times in a row: capped exponential,
+/// min(initial_ms * 2^(n-1), max_ms); 0 for a worker with no crash
+/// streak. Pure, so the schedule is unit-testable.
+double RespawnDelayMs(double initial_ms, double max_ms,
+                      int consecutive_crashes);
+
+enum class BreakerState { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+std::string_view BreakerStateName(BreakerState state);
+
+struct SupervisorOptions {
+  /// Template for each worker's in-process server (socket_path, budgets,
+  /// timeouts, test faults...). num_workers inside is forced to 1; the
+  /// process is the concurrency unit out here.
+  ServerOptions server;
+  /// Worker processes to keep alive.
+  int num_workers = 2;
+  /// A payload implicated in this many worker crashes is quarantined.
+  int quarantine_after = 3;
+  int heartbeat_interval_ms = 100;
+  /// Hung-worker watchdog: oldest in-flight classification older than
+  /// budget + grace → SIGKILL. 0 budget derives from server.max_budget_ms.
+  int watchdog_budget_ms = 0;
+  int watchdog_grace_ms = 1000;
+  /// Capped exponential respawn backoff (see RespawnDelayMs).
+  double respawn_initial_ms = 50.0;
+  double respawn_max_ms = 5000.0;
+  /// Circuit breaker: this many crashes inside the sliding window opens
+  /// it (no respawns, supervisor sheds inline); after breaker_open_ms it
+  /// half-opens with a single probe worker whose first heartbeat closes
+  /// it again.
+  int breaker_crash_threshold = 8;
+  int breaker_window_ms = 10000;
+  int breaker_open_ms = 2000;
+  /// Per-worker RLIMIT guards applied in the child; 0 = leave unset
+  /// (sanitizer builds reserve huge shadow mappings, so address-space
+  /// caps must be opt-in).
+  long worker_rlimit_as_mb = 0;
+  long worker_rlimit_nofile = 0;
+  /// Directory for crash journals; default "<socket_path>.journals".
+  std::string scratch_dir;
+};
+
+struct SupervisorStats {
+  /// Folded counters: dead generations + live workers' last heartbeats +
+  /// the supervisor's own inline answers.
+  ServerStats aggregate;
+  uint64_t worker_restarts = 0;   // respawns (initial spawns excluded)
+  uint64_t worker_crashes = 0;    // abnormal exits, watchdog kills included
+  uint64_t watchdog_kills = 0;
+  uint64_t crash_lost_connections = 0;
+  uint64_t crash_lost_requests = 0;
+  size_t quarantine_size = 0;
+  BreakerState breaker = BreakerState::kClosed;
+  int live_workers = 0;
+  int num_workers = 0;
+  std::vector<pid_t> worker_pids;  // live workers only
+
+  /// Superset of ServerStats::ToJson with the supervision keys spliced
+  /// in; this is what the health endpoint and the CLI final report emit
+  /// under supervision.
+  std::string ToJson(double uptime_ms) const;
+};
+
+class Supervisor {
+ public:
+  /// Takes ownership of a fitted model; each forked worker serves its
+  /// copy-on-write copy, so the fit cost is paid once.
+  Supervisor(StrudelCell model, SupervisorOptions options);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Binds the listener, prepares the scratch dir, forks the initial
+  /// pool. Fails without leaving children behind.
+  Status Start();
+
+  /// Begins the drain cascade: SIGTERM to every worker, no respawns,
+  /// inline requests answered `shutting_down`. Idempotent, thread-safe.
+  void RequestStop();
+
+  /// The supervision loop; blocks until the tree has fully drained after
+  /// RequestStop. `interrupted`, when set, is polled every tick and
+  /// triggers RequestStop when it first returns true (how the CLI hooks
+  /// SIGINT/SIGTERM without signal-unsafe calls). Returns OK on a clean
+  /// drain, kDeadlineExceeded when stragglers had to be SIGKILLed.
+  Status Run(const std::function<bool()>& interrupted = nullptr);
+
+  SupervisorStats stats() const;
+  /// One-line JSON for the health endpoint (aggregate + supervision keys).
+  std::string HealthJson() const;
+  const SupervisorOptions& options() const { return options_; }
+
+ private:
+  struct WorkerSlot {
+    pid_t pid = -1;
+    UniqueFd control;        // supervisor's socketpair end
+    std::string journal_path;
+    std::string rx_buffer;   // partial control line
+    ServerStats last;        // most recent heartbeat snapshot
+    bool have_last = false;
+    ServerStats final_stats;  // from FIN, set on clean drain
+    bool have_final = false;
+    uint64_t spawn_ms = 0;
+    uint64_t last_hb_ms = 0;          // 0 until the first heartbeat
+    uint64_t oldest_active_ms = 0;    // as of last_hb_ms
+    int consecutive_crashes = 0;
+    uint64_t respawn_at_ms = 0;
+    bool alive = false;
+  };
+
+  Status SpawnWorker(size_t index);
+  void ReadControl(WorkerSlot& slot);
+  void HandleControlLine(WorkerSlot& slot, const std::string& line);
+  void ReapChildren();
+  void OnWorkerDeath(WorkerSlot& slot, int wait_status);
+  void RecordCrash(WorkerSlot& slot);
+  void RunWatchdog(uint64_t now_ms);
+  void UpdateBreakerAndRespawn(uint64_t now_ms);
+  void ServeInline();
+  void AnswerInlineConnection(UniqueFd fd);
+  void BroadcastQuarantine(uint64_t fingerprint);
+  void SendQuarantineTable(WorkerSlot& slot);
+  int LiveWorkers() const;
+  SupervisorStats StatsLocked() const;
+  std::string HealthJsonLocked() const;
+
+  StrudelCell model_;
+  SupervisorOptions options_;
+  UniqueFd listener_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_requested_{false};
+  uint64_t start_ms_ = 0;
+
+  /// Guards every field below. The supervisor is single-threaded, but
+  /// stats()/HealthJson() may be called from other threads in tests.
+  mutable std::mutex mu_;
+  std::vector<WorkerSlot> slots_;
+  ServerStats dead_total_;   // folded counters of dead generations
+  ServerStats sup_inline_;   // the supervisor's own inline answers
+  uint64_t worker_restarts_ = 0;
+  uint64_t worker_crashes_ = 0;
+  uint64_t watchdog_kills_ = 0;
+  uint64_t crash_lost_connections_ = 0;
+  uint64_t crash_lost_requests_ = 0;
+  std::unordered_map<uint64_t, int> crash_counts_;
+  std::unordered_set<uint64_t> quarantine_;
+  std::deque<uint64_t> crash_times_ms_;  // breaker sliding window
+  BreakerState breaker_ = BreakerState::kClosed;
+  uint64_t breaker_open_until_ms_ = 0;
+  bool draining_ = false;
+  uint64_t drain_started_ms_ = 0;
+  bool drain_forced_ = false;
+};
+
+}  // namespace strudel::serve
+
+#endif  // STRUDEL_SERVE_SUPERVISOR_H_

@@ -1,0 +1,371 @@
+#include "serve/worker.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "common/io_retry.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace strudel::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+void PutU64Le(unsigned char* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+uint64_t GetU64Le(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// SIGTERM → drain. sig_atomic_t flag only; the real work happens on the
+/// main thread, which polls this between heartbeat slices.
+volatile std::sig_atomic_t g_worker_term = 0;
+void OnWorkerTerm(int) { g_worker_term = 1; }
+
+}  // namespace
+
+void StatsToWire(const ServerStats& stats, uint64_t out[kStatsWireCount]) {
+  out[0] = stats.accepted;
+  out[1] = stats.admitted;
+  out[2] = stats.completed;
+  out[3] = stats.shed_queue;
+  out[4] = stats.shed_connections;
+  out[5] = stats.rejected_draining;
+  out[6] = stats.malformed;
+  out[7] = stats.payload_too_large;
+  out[8] = stats.deadline_exceeded;
+  out[9] = stats.ingest_errors;
+  out[10] = stats.predict_errors;
+  out[11] = stats.io_failed;
+  out[12] = stats.write_failures;
+  out[13] = stats.inline_answered;
+  out[14] = stats.drain_cancelled;
+  out[15] = stats.quarantined;
+}
+
+void StatsFromWire(const uint64_t in[kStatsWireCount], ServerStats* stats) {
+  stats->accepted = in[0];
+  stats->admitted = in[1];
+  stats->completed = in[2];
+  stats->shed_queue = in[3];
+  stats->shed_connections = in[4];
+  stats->rejected_draining = in[5];
+  stats->malformed = in[6];
+  stats->payload_too_large = in[7];
+  stats->deadline_exceeded = in[8];
+  stats->ingest_errors = in[9];
+  stats->predict_errors = in[10];
+  stats->io_failed = in[11];
+  stats->write_failures = in[12];
+  stats->inline_answered = in[13];
+  stats->drain_cancelled = in[14];
+  stats->quarantined = in[15];
+}
+
+CrashJournal::CrashJournal(std::string path) : path_(std::move(path)) {}
+
+Status CrashJournal::Open() {
+  int fd;
+  do {
+    fd = ::open(path_.c_str(), O_CREAT | O_TRUNC | O_RDWR | O_CLOEXEC, 0600);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("open(%s) failed: %s", path_.c_str(),
+                                     ::strerror(errno)));
+  }
+  fd_ = UniqueFd(fd);
+  unsigned char zeros[kSlots * kSlotBytes];
+  ::memset(zeros, 0, sizeof(zeros));
+  size_t written = 0;
+  const Status st =
+      WriteFull(fd_.get(), zeros, sizeof(zeros), /*timeout_ms=*/2000,
+                &written);
+  if (!st.ok()) return st;
+  for (Slot& slot : slots_) slot = Slot{};
+  return Status::OK();
+}
+
+Status CrashJournal::Begin(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < kSlots; ++i) {
+    if (slots_[i].start_ms != 0) continue;
+    slots_[i].fingerprint = fingerprint;
+    slots_[i].start_ms = std::max<uint64_t>(1, NowMs());
+    unsigned char bytes[kSlotBytes];
+    PutU64Le(bytes, slots_[i].fingerprint);
+    PutU64Le(bytes + 8, slots_[i].start_ms);
+    ssize_t rc;
+    do {
+      rc = ::pwrite(fd_.get(), bytes, sizeof(bytes),
+                    static_cast<off_t>(i * kSlotBytes));
+    } while (rc < 0 && errno == EINTR);
+    if (rc != static_cast<ssize_t>(sizeof(bytes))) {
+      return Status::IOError(StrFormat("journal pwrite failed: %s",
+                                       rc < 0 ? ::strerror(errno) : "short"));
+    }
+    return Status::OK();
+  }
+  return Status::ResourceExhausted("crash journal has no free slot");
+}
+
+void CrashJournal::End(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < kSlots; ++i) {
+    if (slots_[i].start_ms == 0 || slots_[i].fingerprint != fingerprint) {
+      continue;
+    }
+    slots_[i] = Slot{};
+    unsigned char zeros[kSlotBytes];
+    ::memset(zeros, 0, sizeof(zeros));
+    ssize_t rc;
+    do {
+      rc = ::pwrite(fd_.get(), zeros, sizeof(zeros),
+                    static_cast<off_t>(i * kSlotBytes));
+    } while (rc < 0 && errno == EINTR);
+    (void)rc;  // a failed clear over-implicates, never under-implicates
+    return;
+  }
+}
+
+uint64_t CrashJournal::OldestActiveMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t oldest = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.start_ms != 0 && (oldest == 0 || slot.start_ms < oldest)) {
+      oldest = slot.start_ms;
+    }
+  }
+  if (oldest == 0) return 0;
+  const uint64_t now = NowMs();
+  return now > oldest ? now - oldest : 1;
+}
+
+std::vector<uint64_t> CrashJournal::ReadImplicated(const std::string& path) {
+  std::vector<uint64_t> implicated;
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return implicated;
+  UniqueFd owned(fd);
+  unsigned char bytes[kSlots * kSlotBytes];
+  size_t got = 0;
+  (void)ReadFull(owned.get(), bytes, sizeof(bytes), /*timeout_ms=*/2000,
+                 &got);
+  for (size_t i = 0; i + kSlotBytes <= got; i += kSlotBytes) {
+    const uint64_t fingerprint = GetU64Le(bytes + i);
+    const uint64_t start_ms = GetU64Le(bytes + i + 8);
+    if (start_ms != 0) implicated.push_back(fingerprint);
+  }
+  return implicated;
+}
+
+int WorkerMain(StrudelCell model, WorkerConfig config) {
+  UniqueFd control(config.control_fd);
+  g_worker_term = 0;
+
+  struct sigaction sa;
+  ::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnWorkerTerm;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  // Ctrl-C lands on the whole foreground process group; the supervisor
+  // translates it into an orderly SIGTERM cascade, so the raw SIGINT must
+  // not tear workers down out of order.
+  ::signal(SIGINT, SIG_IGN);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  auto listener = RecvFdOverSocket(control.get(), /*timeout_ms=*/10000);
+  if (!listener.ok()) {
+    STRUDEL_LOG(kError) << "worker: no listener from supervisor: "
+                        << listener.status().message();
+    return 1;
+  }
+
+  CrashJournal journal(config.journal_path);
+  if (Status st = journal.Open(); !st.ok()) {
+    STRUDEL_LOG(kError) << "worker: journal open failed: " << st.message();
+    return 1;
+  }
+
+  // Quarantine mirror, grown by `Q` lines from the supervisor.
+  std::mutex quarantine_mu;
+  std::unordered_set<uint64_t> quarantined;
+
+  // Control writes come from the heartbeat loop, connection threads
+  // (health forwarding) and the final FIN; one mutex keeps lines whole.
+  std::mutex write_mu;
+  const auto send_line = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    (void)WriteFull(control.get(), line.data(), line.size(),
+                    /*timeout_ms=*/1000);
+  };
+
+  // Health forwarding: one outstanding round-trip at a time; the control
+  // reader thread fulfils it from the HRESP line.
+  std::mutex health_round_mu;
+  std::mutex health_mu;
+  std::condition_variable health_cv;
+  std::string health_json;
+  bool health_ready = false;
+
+  Server* server_ptr = nullptr;
+
+  ServerOptions opts = config.server;
+  opts.num_workers = 1;  // the isolation unit is the process
+  opts.inherited_listener_fd = listener->Release();
+  opts.hooks.is_quarantined = [&](uint64_t fingerprint) {
+    std::lock_guard<std::mutex> lock(quarantine_mu);
+    return quarantined.count(fingerprint) != 0;
+  };
+  opts.hooks.classify_begin = [&](uint64_t fingerprint) {
+    if (Status st = journal.Begin(fingerprint); !st.ok()) {
+      STRUDEL_LOG(kWarning) << "worker: journal begin failed: "
+                            << st.message();
+    }
+  };
+  opts.hooks.classify_end = [&](uint64_t fingerprint) {
+    journal.End(fingerprint);
+  };
+  opts.hooks.health_override = [&]() -> std::string {
+    std::lock_guard<std::mutex> round(health_round_mu);
+    {
+      std::lock_guard<std::mutex> lock(health_mu);
+      health_ready = false;
+    }
+    send_line("H\n");
+    std::unique_lock<std::mutex> lock(health_mu);
+    if (health_cv.wait_for(lock, std::chrono::milliseconds(2000),
+                           [&] { return health_ready; })) {
+      return health_json;
+    }
+    // Supervisor unresponsive: degrade to this worker's own slice rather
+    // than wedging the health endpoint.
+    return server_ptr != nullptr ? server_ptr->stats().ToJson() : "{}";
+  };
+
+  Server server(std::move(model), std::move(opts));
+  server_ptr = &server;
+  if (Status st = server.Start(); !st.ok()) {
+    STRUDEL_LOG(kError) << "worker: start failed: " << st.message();
+    return 1;
+  }
+
+  // Control reader: quarantine pushes + health responses. EOF means the
+  // supervisor is gone — drain and exit (PDEATHSIG is the backstop for
+  // the case where the read is not in flight).
+  std::thread reader([&] {
+    std::string buffer;
+    char chunk[4096];
+    while (true) {
+      ssize_t n;
+      do {
+        n = ::read(control.get(), chunk, sizeof(chunk));
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<size_t>(n));
+      size_t eol;
+      while ((eol = buffer.find('\n')) != std::string::npos) {
+        const std::string line = buffer.substr(0, eol);
+        buffer.erase(0, eol + 1);
+        if (line.rfind("Q ", 0) == 0) {
+          const uint64_t fingerprint =
+              ::strtoull(line.c_str() + 2, nullptr, 16);
+          std::lock_guard<std::mutex> lock(quarantine_mu);
+          quarantined.insert(fingerprint);
+        } else if (line.rfind("HRESP ", 0) == 0) {
+          std::lock_guard<std::mutex> lock(health_mu);
+          health_json = line.substr(6);
+          health_ready = true;
+          health_cv.notify_all();
+        }
+      }
+    }
+    g_worker_term = 1;
+  });
+
+  const auto stats_line = [&](const char* tag, uint64_t oldest_ms,
+                              bool with_oldest) {
+    uint64_t wire[kStatsWireCount];
+    ServerStats snapshot = server.stats();
+    // The counters are independent relaxed atomics, so a mid-request
+    // snapshot can transiently show a completion bucket incremented before
+    // the admission counter it balances. Repair the roll-up counters to be
+    // at least the sum of their buckets (inner identity first, since its
+    // left side feeds the outer one); the supervisor then derives
+    // crash_lost_* per generation by subtraction, and the final aggregate
+    // identity is exact instead of approximately true.
+    snapshot.admitted = std::max(
+        snapshot.admitted, snapshot.completed + snapshot.deadline_exceeded +
+                               snapshot.ingest_errors + snapshot.predict_errors);
+    snapshot.accepted = std::max(
+        snapshot.accepted,
+        snapshot.admitted + snapshot.shed_queue + snapshot.shed_connections +
+            snapshot.rejected_draining + snapshot.malformed +
+            snapshot.payload_too_large + snapshot.io_failed +
+            snapshot.inline_answered + snapshot.quarantined);
+    StatsToWire(snapshot, wire);
+    std::string line(tag);
+    if (with_oldest) {
+      line += StrFormat(" %llu", static_cast<unsigned long long>(oldest_ms));
+    }
+    for (size_t i = 0; i < kStatsWireCount; ++i) {
+      line += StrFormat(" %llu", static_cast<unsigned long long>(wire[i]));
+    }
+    line += "\n";
+    return line;
+  };
+
+  // Heartbeat loop on the main thread; 20ms slices keep SIGTERM latency
+  // low without busy-waiting.
+  const int interval = std::max(20, config.heartbeat_interval_ms);
+  uint64_t last_hb = 0;
+  while (g_worker_term == 0) {
+    const uint64_t now = NowMs();
+    if (now - last_hb >= static_cast<uint64_t>(interval)) {
+      last_hb = now;
+      send_line(stats_line("HB", journal.OldestActiveMs(), true));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  server.RequestStop();
+  const Status drained = server.Wait();
+  if (!drained.ok()) {
+    STRUDEL_LOG(kWarning) << "worker: forced drain: " << drained.message();
+  }
+  send_line(stats_line("FIN", 0, false));
+  // Unblock the reader (its read returns 0 after SHUT_RD) and let the
+  // supervisor see EOF once the process exits and the fd closes.
+  ::shutdown(control.get(), SHUT_RD);
+  reader.join();
+  return 0;
+}
+
+}  // namespace strudel::serve

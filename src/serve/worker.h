@@ -1,0 +1,117 @@
+// Worker-process side of the supervision tree. A worker is one forked
+// child of the supervisor that runs the ordinary in-process Server over a
+// listener descriptor it receives via SCM_RIGHTS, journals the
+// fingerprint of every payload it is about to classify to a crash-scoped
+// scratch file, heartbeats its stats over the control socketpair, and
+// drains on SIGTERM. Everything here is designed around one invariant:
+// when this process dies mid-classification — SIGSEGV, abort, OOM kill,
+// watchdog SIGKILL — the supervisor can reconstruct *which payload* was
+// on the table (the journal) and *how much work is unaccounted for* (the
+// last heartbeat), without any cooperation from the corpse.
+//
+// Control wire (newline-delimited text over the socketpair, both ways):
+//   worker → supervisor
+//     HB <oldest_active_ms> <c0> ... <c15>   periodic heartbeat
+//     FIN <c0> ... <c15>                     final stats before clean exit
+//     H                                      forward a health request
+//   supervisor → worker
+//     Q <fingerprint-hex>                    quarantine this payload hash
+//     HRESP <one-line-json>                  reply to a forwarded H
+// where <c0>..<c15> are the 16 monotonic ServerStats counters in
+// kStatsWireCount order (see StatsToWire).
+
+#ifndef STRUDEL_SERVE_WORKER_H_
+#define STRUDEL_SERVE_WORKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "serve/server.h"
+#include "serve/socket_util.h"
+#include "strudel/strudel_cell.h"
+
+namespace strudel::serve {
+
+/// Number of monotonic counters carried on the control wire.
+inline constexpr size_t kStatsWireCount = 16;
+
+/// Flattens the monotonic ServerStats counters into wire order; the
+/// instantaneous fields (queue_depth etc.) are deliberately excluded —
+/// they are meaningless once the worker is dead.
+void StatsToWire(const ServerStats& stats, uint64_t out[kStatsWireCount]);
+
+/// Inverse of StatsToWire. Instantaneous fields are left zero.
+void StatsFromWire(const uint64_t in[kStatsWireCount], ServerStats* stats);
+
+/// Fixed-size on-disk journal of in-flight classifications. Layout:
+/// kSlots slots of 16 bytes, {fingerprint:u64 LE, start_ms:u64 LE}; a
+/// slot with start_ms == 0 is free. The worker pwrite()s a slot before
+/// touching a payload and zeroes it after; no fsync — a process crash
+/// preserves the page cache, and a machine crash takes the supervisor
+/// (and the need for the journal) with it.
+class CrashJournal {
+ public:
+  static constexpr size_t kSlots = 16;
+  static constexpr size_t kSlotBytes = 16;
+
+  explicit CrashJournal(std::string path);
+  CrashJournal(const CrashJournal&) = delete;
+  CrashJournal& operator=(const CrashJournal&) = delete;
+
+  /// Creates (or truncates) the journal file, all slots free.
+  Status Open();
+
+  /// Records `fingerprint` as in-flight. Best-effort: a full journal or a
+  /// failed write degrades crash attribution, never classification.
+  Status Begin(uint64_t fingerprint);
+
+  /// Frees the slot holding `fingerprint` (no-op when absent).
+  void End(uint64_t fingerprint);
+
+  /// Age (ms) of the oldest in-flight classification; 0 when idle. The
+  /// heartbeat carries this for the supervisor's hung-worker watchdog.
+  uint64_t OldestActiveMs() const;
+
+  /// Supervisor-side post-mortem: the fingerprints a dead worker left
+  /// journalled, i.e. the payloads implicated in its crash. Returns empty
+  /// on a missing/short file (a worker that died before Open finished).
+  static std::vector<uint64_t> ReadImplicated(const std::string& path);
+
+ private:
+  struct Slot {
+    uint64_t fingerprint = 0;
+    uint64_t start_ms = 0;
+  };
+
+  std::string path_;
+  UniqueFd fd_;
+  mutable std::mutex mu_;
+  Slot slots_[kSlots];
+};
+
+struct WorkerConfig {
+  /// Worker's end of the control socketpair; WorkerMain takes ownership.
+  /// The listener arrives over it (SCM_RIGHTS) before anything else.
+  int control_fd = -1;
+  /// Crash journal path, unique per worker slot.
+  std::string journal_path;
+  /// Template server options. num_workers is forced to 1 (the isolation
+  /// unit is the process) and inherited_listener_fd is filled from the
+  /// descriptor received over control_fd.
+  ServerOptions server;
+  int heartbeat_interval_ms = 100;
+};
+
+/// Runs one worker process to completion: receive the listener, serve
+/// until SIGTERM (or supervisor death — control EOF / PDEATHSIG), drain,
+/// report final stats. Returns the child's exit code; the caller (the
+/// forked child in supervisor.cc) passes it straight to _exit.
+int WorkerMain(StrudelCell model, WorkerConfig config);
+
+}  // namespace strudel::serve
+
+#endif  // STRUDEL_SERVE_WORKER_H_

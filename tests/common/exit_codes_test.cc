@@ -25,7 +25,7 @@ TEST(ExitCodesTest, TableIsDenseAscendingFromZero) {
 TEST(ExitCodesTest, EveryShippedCodeIsPinned) {
   // Appending is the only allowed change; these pins never move.
   const auto& table = AllCliExitCodes();
-  ASSERT_EQ(table.size(), 10u);
+  ASSERT_EQ(table.size(), 11u);
   EXPECT_EQ(kExitOk, 0);
   EXPECT_EQ(kExitGeneric, 1);
   EXPECT_EQ(kExitUsage, 2);
@@ -36,6 +36,7 @@ TEST(ExitCodesTest, EveryShippedCodeIsPinned) {
   EXPECT_EQ(kExitOutput, 7);
   EXPECT_EQ(kExitServe, 8);
   EXPECT_EQ(kExitInterrupted, 9);
+  EXPECT_EQ(kExitWorker, 10);
   EXPECT_EQ(table[kExitOk].name, "ok");
   EXPECT_EQ(table[kExitGeneric].name, "generic");
   EXPECT_EQ(table[kExitUsage].name, "usage");
@@ -46,6 +47,7 @@ TEST(ExitCodesTest, EveryShippedCodeIsPinned) {
   EXPECT_EQ(table[kExitOutput].name, "output");
   EXPECT_EQ(table[kExitServe].name, "serve");
   EXPECT_EQ(table[kExitInterrupted].name, "interrupted");
+  EXPECT_EQ(table[kExitWorker].name, "worker");
 }
 
 TEST(ExitCodesTest, NamesAndSummariesAreUniqueAndNonEmpty) {

@@ -226,5 +226,32 @@ TEST(IoRetryTest, RetryWithBackoffExhaustsAttemptsAndKeepsLastError) {
       << status.message();
 }
 
+TEST(IoRetryTest, WriteToHalfClosedSocketIsIOErrorNotSigpipe) {
+  // SIGPIPE must never escape WriteFull: sockets are written with
+  // send(MSG_NOSIGNAL). Arm the default (fatal) disposition so a
+  // regression kills the test instead of passing silently.
+  struct sigaction fatal, saved;
+  ::memset(&fatal, 0, sizeof(fatal));
+  fatal.sa_handler = SIG_DFL;
+  ASSERT_EQ(::sigaction(SIGPIPE, &fatal, &saved), 0);
+
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  ::close(pair[1]);  // peer vanishes mid-conversation
+
+  // The first write may land in the dead socket's buffer; writing until
+  // failure guarantees hitting the EPIPE path.
+  const std::string chunk(64 * 1024, 'x');
+  Status status = Status::OK();
+  for (int i = 0; i < 64 && status.ok(); ++i) {
+    status = WriteFull(pair[0], chunk.data(), chunk.size(),
+                       /*timeout_ms=*/1000);
+  }
+  EXPECT_EQ(status.code(), StatusCode::kIOError) << status.message();
+
+  ::close(pair[0]);
+  ASSERT_EQ(::sigaction(SIGPIPE, &saved, nullptr), 0);
+}
+
 }  // namespace
 }  // namespace strudel

@@ -151,6 +151,8 @@ TEST(ProtocolTest, ResponseCodeNamesAreCanonical) {
             "deadline_exceeded");
   EXPECT_EQ(ResponseCodeName(ResponseCode::kPayloadTooLarge),
             "payload_too_large");
+  EXPECT_EQ(ResponseCodeName(ResponseCode::kQuarantined), "quarantined");
+  EXPECT_EQ(ResponseCodeName(ResponseCode::kWorkerCrashed), "worker_crashed");
 }
 
 }  // namespace

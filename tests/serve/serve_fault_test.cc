@@ -104,7 +104,7 @@ void ExpectAccountingIdentity(const ServerStats& s) {
   EXPECT_EQ(s.accepted, s.admitted + s.shed_queue + s.shed_connections +
                             s.rejected_draining + s.malformed +
                             s.payload_too_large + s.io_failed +
-                            s.inline_answered)
+                            s.inline_answered + s.quarantined)
       << s.ToJson();
   EXPECT_EQ(s.admitted, s.completed + s.deadline_exceeded + s.ingest_errors +
                             s.predict_errors)

@@ -1,0 +1,601 @@
+// Chaos harness for the `strudel serve` supervision tree. Each chaos test
+// forks a real supervisor (which then forks its worker pool) and attacks
+// it from the outside: SIGKILL mid-request, poison payloads that abort
+// the worker, a frozen worker for the watchdog. The assertions are the
+// tentpole's promises — a worker crash loses at most its in-flight
+// request (which surfaces as a structured worker_crashed response with a
+// retry hint), poison payloads are quarantined after K implications, the
+// watchdog reclaims hung workers, and the aggregate accounting identity
+// holds exactly across many forced worker deaths.
+//
+// The supervisor runs in a forked child (not in-process) because respawn
+// forks, and fork is only safe from a single-threaded process; the test
+// process has gtest machinery and client threads.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/corpus.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/socket_util.h"
+#include "serve/supervisor.h"
+#include "serve/worker.h"
+#include "strudel/strudel_cell.h"
+
+namespace strudel::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr const char* kCsv =
+    "Region,Units,Price\nNorth,12,3.5\nSouth,7,1.25\nTotal,19,4.75\n";
+
+/// Fits the fast test model once (pre-fork: the fit's worker threads are
+/// joined by the time any chaos test forks) and hands out per-test copies
+/// via the serialization round trip.
+const std::string& FittedModelBytes() {
+  static const std::string* bytes = [] {
+    datagen::DatasetProfile profile =
+        datagen::ScaledProfile(datagen::SausProfile(), 0.05, 0.35);
+    auto corpus = datagen::GenerateCorpus(profile, 41);
+    StrudelCellOptions options;
+    options.forest.num_trees = 6;
+    options.line.forest.num_trees = 6;
+    options.line_cross_fit_folds = 0;
+    StrudelCell model(options);
+    Status status = model.Fit(corpus);
+    EXPECT_TRUE(status.ok()) << status.message();
+    std::ostringstream out;
+    EXPECT_TRUE(model.SaveTo(out).ok());
+    return new std::string(out.str());
+  }();
+  return *bytes;
+}
+
+StrudelCell LoadFittedModel() {
+  StrudelCell model;
+  std::istringstream in(FittedModelBytes());
+  Status status = model.LoadFrom(in);
+  EXPECT_TRUE(status.ok()) << status.message();
+  model.set_num_threads(1);
+  return model;
+}
+
+std::string TempPath(const char* suffix) {
+  static std::atomic<int> counter{0};
+  return "/tmp/strudel_chaos_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + suffix;
+}
+
+/// Flat-JSON number extraction (the health report nests at most one
+/// level and keys are unique).
+bool JsonU64(const std::string& json, const std::string& key,
+             uint64_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return false;
+  const char* p = json.c_str() + at + needle.size();
+  char* end = nullptr;
+  const unsigned long long value = ::strtoull(p, &end, 10);
+  if (end == p) return false;
+  *out = value;
+  return true;
+}
+
+uint64_t JsonU64OrDie(const std::string& json, const std::string& key) {
+  uint64_t value = 0;
+  EXPECT_TRUE(JsonU64(json, key, &value)) << key << " missing in " << json;
+  return value;
+}
+
+std::vector<pid_t> ParseWorkerPids(const std::string& json) {
+  std::vector<pid_t> pids;
+  const std::string needle = "\"worker_pids\":";
+  size_t at = json.find(needle);
+  if (at == std::string::npos) return pids;
+  at = json.find('[', at + needle.size());
+  if (at == std::string::npos) return pids;
+  ++at;
+  while (at < json.size() && json[at] != ']') {
+    char* end = nullptr;
+    const long pid = ::strtol(json.c_str() + at, &end, 10);
+    if (end == json.c_str() + at) break;
+    pids.push_back(static_cast<pid_t>(pid));
+    at = static_cast<size_t>(end - json.c_str());
+    if (at < json.size() && json[at] == ',') ++at;
+  }
+  return pids;
+}
+
+volatile std::sig_atomic_t g_child_term = 0;
+void OnChildTerm(int) { g_child_term = 1; }
+
+/// The forked supervisor process: builds its own model copy, runs the
+/// supervision loop until SIGTERM, writes the final health report (the
+/// drained aggregate) to `report_path`, exits 0 on a clean drain.
+[[noreturn]] void SupervisorChildMain(const SupervisorOptions& sup,
+                                      const std::string& report_path) {
+  g_child_term = 0;
+  struct sigaction sa;
+  ::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnChildTerm;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGINT, SIG_IGN);
+
+  Supervisor supervisor(LoadFittedModel(), sup);
+  if (!supervisor.Start().ok()) ::_exit(3);
+  const Status drain =
+      supervisor.Run([] { return g_child_term != 0; });
+  {
+    std::ofstream out(report_path);
+    out << supervisor.HealthJson() << "\n";
+  }
+  ::_exit(drain.ok() ? 0 : 4);
+}
+
+/// Owns the forked supervisor for one test: SIGTERMs and reaps it on
+/// destruction even when assertions bail out early.
+class SupervisorProc {
+ public:
+  explicit SupervisorProc(SupervisorOptions sup)
+      : socket_path_(sup.server.socket_path), report_path_(TempPath(".json")) {
+    pid_ = ::fork();
+    if (pid_ == 0) SupervisorChildMain(sup, report_path_);
+  }
+
+  ~SupervisorProc() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+    std::remove(report_path_.c_str());
+  }
+
+  bool started() const { return pid_ > 0; }
+
+  /// Polls the health endpoint until the pool reports at least
+  /// `min_live` live workers. Returns the health JSON, empty on timeout.
+  std::string WaitHealthy(int min_live = 1, int timeout_ms = 20000) {
+    ClientOptions options;
+    options.socket_path = socket_path_;
+    options.backoff.max_attempts = 1;
+    Client client(options);
+    const auto deadline =
+        std::chrono::steady_clock::now() + milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      auto reply = client.Health();
+      if (reply.ok() && reply->code == ResponseCode::kOk) {
+        uint64_t live = 0;
+        if (JsonU64(reply->payload, "live_workers", &live) &&
+            live >= static_cast<uint64_t>(min_live)) {
+          return reply->payload;
+        }
+      }
+      std::this_thread::sleep_for(milliseconds(20));
+    }
+    return "";
+  }
+
+  /// SIGTERM → clean drain → final report. Returns the report JSON and
+  /// stores the child's exit code in `exit_code`.
+  std::string Shutdown(int* exit_code = nullptr) {
+    if (pid_ <= 0) return "";
+    ::kill(pid_, SIGTERM);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    if (exit_code != nullptr) {
+      *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+    pid_ = -1;
+    std::ifstream in(report_path_);
+    std::string report((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+    return report;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  std::string socket_path_;
+  std::string report_path_;
+};
+
+SupervisorOptions ChaosOptions(const std::string& socket_path) {
+  SupervisorOptions sup;
+  sup.server.socket_path = socket_path;
+  sup.server.queue_depth = 8;
+  sup.server.read_timeout_ms = 2000;
+  sup.server.write_timeout_ms = 2000;
+  sup.server.default_budget_ms = 20000;
+  sup.server.drain_timeout_ms = 5000;
+  sup.server.enable_test_faults = true;
+  sup.num_workers = 2;
+  sup.heartbeat_interval_ms = 50;
+  sup.respawn_initial_ms = 10;
+  sup.respawn_max_ms = 200;
+  // Chaos tests opt into each mechanism explicitly; the others are
+  // parked out of the way so they cannot fire by accident.
+  sup.quarantine_after = 1000;
+  sup.breaker_crash_threshold = 1000;
+  return sup;
+}
+
+ClientOptions NoRetryClient(const std::string& socket_path) {
+  ClientOptions options;
+  options.socket_path = socket_path;
+  options.backoff.max_attempts = 1;
+  return options;
+}
+
+ClientOptions PatientClient(const std::string& socket_path) {
+  ClientOptions options;
+  options.socket_path = socket_path;
+  options.backoff.max_attempts = 40;
+  options.backoff.initial_ms = 10;
+  options.backoff.max_ms = 100;
+  return options;
+}
+
+// ---------------------------------------------------------------------
+// Unit layer: the deterministic pieces the chaos layer depends on.
+// ---------------------------------------------------------------------
+
+TEST(FdPassingTest, DescriptorCrossesASocketpairAndCarriesData) {
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  UniqueFd a(pair[0]), b(pair[1]);
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  UniqueFd read_end(pipe_fds[0]), write_end(pipe_fds[1]);
+
+  ASSERT_TRUE(SendFdOverSocket(a.get(), read_end.get()).ok());
+  auto received = RecvFdOverSocket(b.get(), /*timeout_ms=*/2000);
+  ASSERT_TRUE(received.ok()) << received.status().message();
+  ASSERT_TRUE(received->valid());
+  EXPECT_NE(received->get(), read_end.get());  // a new descriptor
+
+  // The received descriptor references the same pipe.
+  ASSERT_EQ(::write(write_end.get(), "hi", 2), 2);
+  char buf[8] = {0};
+  ASSERT_EQ(::read(received->get(), buf, sizeof(buf)), 2);
+  EXPECT_EQ(std::string(buf, 2), "hi");
+}
+
+TEST(FdPassingTest, RecvTimesOutWhenNothingWasSent) {
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  UniqueFd a(pair[0]), b(pair[1]);
+  auto received = RecvFdOverSocket(b.get(), /*timeout_ms=*/50);
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CrashJournalTest, ActiveSlotsImplicateAndEndedSlotsDoNot) {
+  const std::string path = TempPath(".journal");
+  CrashJournal journal(path);
+  ASSERT_TRUE(journal.Open().ok());
+  EXPECT_EQ(journal.OldestActiveMs(), 0u);
+
+  ASSERT_TRUE(journal.Begin(0xabcull).ok());
+  ASSERT_TRUE(journal.Begin(0xdefull).ok());
+  EXPECT_GT(journal.OldestActiveMs(), 0u);
+  journal.End(0xabcull);
+
+  // Post-mortem view: only the still-active payload is implicated.
+  const std::vector<uint64_t> implicated = CrashJournal::ReadImplicated(path);
+  ASSERT_EQ(implicated.size(), 1u);
+  EXPECT_EQ(implicated[0], 0xdefull);
+
+  journal.End(0xdefull);
+  EXPECT_TRUE(CrashJournal::ReadImplicated(path).empty());
+  EXPECT_EQ(journal.OldestActiveMs(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CrashJournalTest, SlotsAreReusedAndExhaustionIsStructured) {
+  const std::string path = TempPath(".journal");
+  CrashJournal journal(path);
+  ASSERT_TRUE(journal.Open().ok());
+  for (size_t round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < CrashJournal::kSlots; ++i) {
+      ASSERT_TRUE(journal.Begin(i + 1).ok());
+    }
+    EXPECT_EQ(journal.Begin(999).code(), StatusCode::kResourceExhausted);
+    for (size_t i = 0; i < CrashJournal::kSlots; ++i) journal.End(i + 1);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RespawnBackoffTest, DelayDoublesFromInitialAndCaps) {
+  EXPECT_DOUBLE_EQ(RespawnDelayMs(50, 5000, 0), 0.0);
+  EXPECT_DOUBLE_EQ(RespawnDelayMs(50, 5000, 1), 50.0);
+  EXPECT_DOUBLE_EQ(RespawnDelayMs(50, 5000, 2), 100.0);
+  EXPECT_DOUBLE_EQ(RespawnDelayMs(50, 5000, 3), 200.0);
+  EXPECT_DOUBLE_EQ(RespawnDelayMs(50, 5000, 7), 3200.0);
+  EXPECT_DOUBLE_EQ(RespawnDelayMs(50, 5000, 8), 5000.0);   // capped
+  EXPECT_DOUBLE_EQ(RespawnDelayMs(50, 5000, 60), 5000.0);  // no overflow
+}
+
+TEST(StatsWireTest, AllSixteenCountersRoundTrip) {
+  ServerStats stats;
+  stats.accepted = 1;
+  stats.admitted = 2;
+  stats.completed = 3;
+  stats.shed_queue = 4;
+  stats.shed_connections = 5;
+  stats.rejected_draining = 6;
+  stats.malformed = 7;
+  stats.payload_too_large = 8;
+  stats.deadline_exceeded = 9;
+  stats.ingest_errors = 10;
+  stats.predict_errors = 11;
+  stats.io_failed = 12;
+  stats.write_failures = 13;
+  stats.inline_answered = 14;
+  stats.drain_cancelled = 15;
+  stats.quarantined = 16;
+
+  uint64_t wire[kStatsWireCount];
+  StatsToWire(stats, wire);
+  ServerStats round;
+  StatsFromWire(wire, &round);
+  for (size_t i = 0; i < kStatsWireCount; ++i) {
+    EXPECT_EQ(wire[i], i + 1) << "wire slot " << i;
+  }
+  uint64_t again[kStatsWireCount];
+  StatsToWire(round, again);
+  for (size_t i = 0; i < kStatsWireCount; ++i) {
+    EXPECT_EQ(again[i], wire[i]) << "round-trip slot " << i;
+  }
+}
+
+TEST(PayloadFingerprintTest, DistinguishesPayloadsAndIsStable) {
+  const uint64_t a = PayloadFingerprint("hello");
+  EXPECT_EQ(a, PayloadFingerprint("hello"));
+  EXPECT_NE(a, PayloadFingerprint("hello!"));
+  EXPECT_NE(PayloadFingerprint(""), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Chaos layer: a real forked supervision tree under attack.
+// ---------------------------------------------------------------------
+
+TEST(SupervisorChaosTest, SigkillMidRequestLosesOnlyThatRequest) {
+  FittedModelBytes();  // fit before any fork
+  SupervisorOptions sup = ChaosOptions(TempPath(".sock"));
+  // Slow requests so the kill window is wide open.
+  sup.server.worker_delay_ms = 1500;
+  SupervisorProc proc(sup);
+  ASSERT_TRUE(proc.started());
+  const std::string health = proc.WaitHealthy(sup.num_workers);
+  ASSERT_FALSE(health.empty());
+
+  // A request that will die with its worker.
+  std::thread victim([&] {
+    Client client(NoRetryClient(sup.server.socket_path));
+    auto reply = client.Classify(kCsv);
+    // The torn connection surfaces as a structured worker_crashed reply
+    // with a retry hint — not a raw error, not a hang.
+    ASSERT_TRUE(reply.ok()) << reply.status().message();
+    EXPECT_EQ(reply->code, ResponseCode::kWorkerCrashed)
+        << ResponseCodeName(reply->code);
+    EXPECT_GT(reply->retry_after_ms, 0u);
+  });
+  // Give the request time to be accepted, then murder the whole pool:
+  // whichever worker held it is certainly among the dead.
+  std::this_thread::sleep_for(milliseconds(400));
+  for (pid_t pid : ParseWorkerPids(health)) ::kill(pid, SIGKILL);
+  victim.join();
+
+  // Self-healing: the pool respawns and the daemon answers again.
+  ASSERT_FALSE(proc.WaitHealthy(1).empty());
+  Client patient(PatientClient(sup.server.socket_path));
+  auto reply = patient.Classify(kCsv);
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  EXPECT_EQ(reply->code, ResponseCode::kOk) << ResponseCodeName(reply->code);
+
+  const std::string report = proc.Shutdown();
+  ASSERT_FALSE(report.empty());
+  EXPECT_GE(JsonU64OrDie(report, "worker_crashes"), 1u);
+  EXPECT_GE(JsonU64OrDie(report, "worker_restarts"), 1u);
+}
+
+TEST(SupervisorChaosTest, PoisonPayloadIsQuarantinedAfterKCrashes) {
+  FittedModelBytes();
+  SupervisorOptions sup = ChaosOptions(TempPath(".sock"));
+  sup.num_workers = 1;
+  sup.quarantine_after = 2;
+  SupervisorProc proc(sup);
+  ASSERT_TRUE(proc.started());
+  ASSERT_FALSE(proc.WaitHealthy(1).empty());
+
+  // One logical request, retried through two worker crashes: the third
+  // delivery hits the quarantine gate and comes back structured instead
+  // of crashing a third worker.
+  const std::string poison = std::string(kFaultCrashPayload) + " boom";
+  Client client(PatientClient(sup.server.socket_path));
+  auto reply = client.Classify(poison);
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  EXPECT_EQ(reply->code, ResponseCode::kQuarantined)
+      << ResponseCodeName(reply->code);
+  EXPECT_GE(reply->attempts, 3);
+
+  // The poison cost two workers, not the service.
+  Client patient(PatientClient(sup.server.socket_path));
+  auto ok_reply = patient.Classify(kCsv);
+  ASSERT_TRUE(ok_reply.ok()) << ok_reply.status().message();
+  EXPECT_EQ(ok_reply->code, ResponseCode::kOk);
+
+  const std::string report = proc.Shutdown();
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(JsonU64OrDie(report, "worker_crashes"), 2u);
+  EXPECT_EQ(JsonU64OrDie(report, "quarantine_size"), 1u);
+  EXPECT_GE(JsonU64OrDie(report, "quarantined"), 1u);
+}
+
+TEST(SupervisorChaosTest, WatchdogSigkillsAFrozenWorker) {
+  FittedModelBytes();
+  SupervisorOptions sup = ChaosOptions(TempPath(".sock"));
+  sup.num_workers = 1;
+  sup.watchdog_budget_ms = 300;
+  sup.watchdog_grace_ms = 200;
+  SupervisorProc proc(sup);
+  ASSERT_TRUE(proc.started());
+  ASSERT_FALSE(proc.WaitHealthy(1).empty());
+
+  // The freeze payload wedges the worker's only thread forever; only the
+  // watchdog can get the slot back.
+  std::thread frozen([&] {
+    Client client(NoRetryClient(sup.server.socket_path));
+    auto reply = client.Classify(std::string(kFaultFreezePayload));
+    ASSERT_TRUE(reply.ok()) << reply.status().message();
+    EXPECT_EQ(reply->code, ResponseCode::kWorkerCrashed)
+        << ResponseCodeName(reply->code);
+  });
+  frozen.join();
+
+  // The replacement worker serves normally.
+  Client patient(PatientClient(sup.server.socket_path));
+  auto reply = patient.Classify(kCsv);
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  EXPECT_EQ(reply->code, ResponseCode::kOk);
+
+  const std::string report = proc.Shutdown();
+  ASSERT_FALSE(report.empty());
+  EXPECT_GE(JsonU64OrDie(report, "watchdog_kills"), 1u);
+  EXPECT_GE(JsonU64OrDie(report, "worker_crashes"), 1u);
+}
+
+TEST(SupervisorChaosTest, AccountingIdentityHoldsAcrossTenWorkerDeaths) {
+  FittedModelBytes();
+  SupervisorOptions sup = ChaosOptions(TempPath(".sock"));
+  // Hold every request for a few heartbeats before classification: the
+  // crashed generations' last heartbeats then provably carry the
+  // admitted-but-uncompleted poison request, so the crash-lost
+  // attribution below is exercised, not vacuously zero.
+  sup.server.worker_delay_ms = 150;
+  SupervisorProc proc(sup);
+  ASSERT_TRUE(proc.started());
+  ASSERT_FALSE(proc.WaitHealthy(sup.num_workers).empty());
+
+  // Ten generations die mid-crash-classification; ordinary traffic is
+  // interleaved so every bucket class is exercised across deaths.
+  const std::string poison = std::string(kFaultCrashPayload) + " storm";
+  uint64_t crashes_seen = 0;
+  for (int round = 0; round < 10; ++round) {
+    Client crasher(NoRetryClient(sup.server.socket_path));
+    auto crashed = crasher.Classify(poison);
+    ASSERT_TRUE(crashed.ok()) << crashed.status().message();
+    EXPECT_EQ(crashed->code, ResponseCode::kWorkerCrashed)
+        << ResponseCodeName(crashed->code);
+
+    Client patient(PatientClient(sup.server.socket_path));
+    auto served = patient.Classify(kCsv);
+    ASSERT_TRUE(served.ok()) << served.status().message();
+    EXPECT_EQ(served->code, ResponseCode::kOk);
+
+    // Let the supervisor register the death before the next round so the
+    // ten crashes land in ten distinct generations.
+    const auto deadline =
+        std::chrono::steady_clock::now() + milliseconds(10000);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const std::string health = proc.WaitHealthy(1);
+      ASSERT_FALSE(health.empty());
+      crashes_seen = JsonU64OrDie(health, "worker_crashes");
+      if (crashes_seen >= static_cast<uint64_t>(round + 1)) break;
+      std::this_thread::sleep_for(milliseconds(20));
+    }
+  }
+  EXPECT_GE(crashes_seen, 10u);
+
+  int exit_code = -1;
+  const std::string report = proc.Shutdown(&exit_code);
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(exit_code, 0) << report;
+
+  // The drained aggregate obeys both identities *exactly*: every
+  // connection and every admitted request across all generations — dead
+  // and alive — is in exactly one bucket.
+  const uint64_t accepted = JsonU64OrDie(report, "accepted");
+  const uint64_t admitted = JsonU64OrDie(report, "admitted");
+  EXPECT_GE(JsonU64OrDie(report, "worker_crashes"), 10u);
+  EXPECT_EQ(accepted,
+            admitted + JsonU64OrDie(report, "shed_queue") +
+                JsonU64OrDie(report, "shed_connections") +
+                JsonU64OrDie(report, "rejected_draining") +
+                JsonU64OrDie(report, "malformed") +
+                JsonU64OrDie(report, "payload_too_large") +
+                JsonU64OrDie(report, "io_failed") +
+                JsonU64OrDie(report, "inline_answered") +
+                JsonU64OrDie(report, "quarantined") +
+                JsonU64OrDie(report, "crash_lost_connections"))
+      << report;
+  EXPECT_EQ(admitted,
+            JsonU64OrDie(report, "completed") +
+                JsonU64OrDie(report, "deadline_exceeded") +
+                JsonU64OrDie(report, "ingest_errors") +
+                JsonU64OrDie(report, "predict_errors") +
+                JsonU64OrDie(report, "crash_lost_requests"))
+      << report;
+  // The crashes actually lost work (the in-flight poison requests), so
+  // the crash-lost attribution is live, not vacuous.
+  EXPECT_GE(JsonU64OrDie(report, "crash_lost_requests"), 1u) << report;
+}
+
+TEST(SupervisorChaosTest, BreakerOpensUnderCrashChurnThenRecovers) {
+  FittedModelBytes();
+  SupervisorOptions sup = ChaosOptions(TempPath(".sock"));
+  sup.num_workers = 1;
+  sup.breaker_crash_threshold = 3;
+  sup.breaker_window_ms = 60000;  // every crash below stays in-window
+  sup.breaker_open_ms = 300;
+  SupervisorProc proc(sup);
+  ASSERT_TRUE(proc.started());
+  ASSERT_FALSE(proc.WaitHealthy(1).empty());
+
+  // Three fast crashes trip the breaker. Each round waits for a live
+  // worker first so the poison provably lands on one (a no-retry client
+  // could otherwise be answered by the supervisor's inline shedding,
+  // which crashes nothing).
+  const std::string poison = std::string(kFaultCrashPayload) + " churn";
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_FALSE(proc.WaitHealthy(1).empty()) << "round " << i;
+    Client crasher(NoRetryClient(sup.server.socket_path));
+    auto reply = crasher.Classify(poison);
+    ASSERT_TRUE(reply.ok()) << reply.status().message();
+    ASSERT_EQ(reply->code, ResponseCode::kWorkerCrashed)
+        << "round " << i << ": " << ResponseCodeName(reply->code);
+  }
+
+  // While open, the supervisor itself answers: health stays reachable
+  // with zero live workers, classify is shed with worker_crashed.
+  // After breaker_open_ms the half-open probe respawns and its heartbeat
+  // closes the breaker; normal service resumes.
+  Client patient(PatientClient(sup.server.socket_path));
+  auto reply = patient.Classify(kCsv);
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  EXPECT_EQ(reply->code, ResponseCode::kOk) << ResponseCodeName(reply->code);
+
+  const std::string report = proc.Shutdown();
+  ASSERT_FALSE(report.empty());
+  EXPECT_GE(JsonU64OrDie(report, "worker_crashes"), 3u);
+}
+
+}  // namespace
+}  // namespace strudel::serve

@@ -72,6 +72,7 @@
 #include "datagen/corpus.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "serve/supervisor.h"
 #include "strudel/batch_runner.h"
 #include "strudel/ingest.h"
 #include "strudel/model_io.h"
@@ -148,14 +149,21 @@ int Usage() {
       "  strudel extract <model-file> <input.csv>\n"
       "  strudel batch <model-file> <input-dir> <output-dir>\n"
       "  strudel serve <model-file> <socket-path>\n"
-      "      [--workers <n>] [--queue-depth <n>] [--max-conn <n>]\n"
-      "      [--read-timeout-ms <n>] [--write-timeout-ms <n>]\n"
-      "      [--drain-timeout-ms <n>] [--retry-after-ms <n>]\n"
-      "      [--worker-delay-ms <n>]\n"
+      "      [--workers <n>] [--no-isolate] [--queue-depth <n>]\n"
+      "      [--max-conn <n>] [--read-timeout-ms <n>]\n"
+      "      [--write-timeout-ms <n>] [--drain-timeout-ms <n>]\n"
+      "      [--retry-after-ms <n>] [--worker-delay-ms <n>]\n"
+      "      [--quarantine-after <k>] [--watchdog-ms <n>]\n"
+      "      [--worker-rlimit-as-mb <n>] [--worker-rlimit-nofile <n>]\n"
+      "    serves from a supervisor + <n> isolated worker processes: a\n"
+      "    crashed worker loses at most its in-flight request and is\n"
+      "    respawned under backoff; payloads implicated in <k> crashes\n"
+      "    are quarantined. --no-isolate restores the single-process\n"
+      "    server (workers become threads)\n"
       "  strudel client <socket-path> <input.csv>... | --health | --metrics\n"
       "      [--retries <n>]\n"
       "  strudel inspect <input.csv>\n"
-      "  strudel doctor <input.csv>\n"
+      "  strudel doctor <input.csv> | --serve <socket-path>\n"
       "exit codes: %s\n",
       CliExitCodesSummary().c_str());
   return kExitUsage;
@@ -367,8 +375,13 @@ int CmdServe(const std::vector<std::string>& args, double budget_ms,
   serve::ServerOptions options;
   options.ingest = MakeIngestOptions();
   if (budget_ms > 0.0) options.default_budget_ms = budget_ms;
-  if (threads > 0) options.num_workers = threads;
   options.socket_path = args[2];
+
+  // Supervised (multi-process) serving is the default; --no-isolate
+  // restores the single-process server where --workers means threads.
+  bool isolate = true;
+  int workers = threads > 0 ? threads : 2;
+  serve::SupervisorOptions sup;
 
   for (size_t i = 3; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -379,7 +392,25 @@ int CmdServe(const std::vector<std::string>& args, double budget_ms,
     long value = 0;
     if (arg == "--workers") {
       if ((value = next_int(1)) < 1) return Usage();
-      options.num_workers = static_cast<int>(value);
+      workers = static_cast<int>(value);
+    } else if (arg == "--no-isolate") {
+      isolate = false;
+    } else if (arg == "--quarantine-after") {
+      if ((value = next_int(1)) < 1) return Usage();
+      sup.quarantine_after = static_cast<int>(value);
+    } else if (arg == "--watchdog-ms") {
+      if ((value = next_int(1)) < 1) return Usage();
+      sup.watchdog_budget_ms = static_cast<int>(value);
+    } else if (arg == "--worker-rlimit-as-mb") {
+      if ((value = next_int(1)) < 1) return Usage();
+      sup.worker_rlimit_as_mb = value;
+    } else if (arg == "--worker-rlimit-nofile") {
+      if ((value = next_int(1)) < 1) return Usage();
+      sup.worker_rlimit_nofile = value;
+    } else if (arg == "--enable-test-faults") {
+      // Deterministic crash/freeze payloads for chaos tests and CI; never
+      // useful in production, so it is deliberately undocumented in usage.
+      options.enable_test_faults = true;
     } else if (arg == "--queue-depth") {
       if ((value = next_int(1)) < 1) return Usage();
       options.queue_depth = static_cast<size_t>(value);
@@ -411,41 +442,154 @@ int CmdServe(const std::vector<std::string>& args, double budget_ms,
     PrintError("model_load", model.status(), args[1]);
     return kExitModelLoad;
   }
-  // Worker threads provide request-level parallelism; each request's
-  // inner loops fall back to serial when the shared pool is busy.
+  // Requests are the unit of parallelism (worker processes or threads);
+  // each request's inner loops stay serial so one request cannot starve
+  // the rest of the pool.
   model->set_num_threads(1);
 
-  serve::Server server(std::move(*model), options);
-  Status status = server.Start();
+  if (!isolate) {
+    // Single-process fallback: --workers means threads, exactly the
+    // pre-supervision server.
+    options.num_workers = workers;
+    serve::Server server(std::move(*model), options);
+    Status status = server.Start();
+    if (!status.ok()) {
+      PrintError("serve", status, options.socket_path);
+      return kExitServe;
+    }
+    // Banner on stderr: stdout carries exactly one JSON object (the final
+    // stats report), so scripts can parse it without filtering.
+    std::fprintf(stderr,
+                 "serving on %s (%d worker threads, queue depth %zu, "
+                 "no isolation); SIGINT/SIGTERM drains\n",
+                 options.socket_path.c_str(), options.num_workers,
+                 options.queue_depth);
+    std::fflush(stderr);
+
+    {
+      ScopedSignalTrap trap;
+      while (!g_interrupt.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+    std::fprintf(stderr, "strudel: draining...\n");
+    server.RequestStop();
+    Status drain = server.Wait();
+    // The final report is the drain contract: every request accounted for.
+    std::printf("%s\n", server.stats().ToJson().c_str());
+    if (!drain.ok()) {
+      PrintError("serve/drain", drain, options.socket_path);
+      return kExitGeneric;  // shut down, but had to cancel stragglers
+    }
+    return kExitOk;
+  }
+
+  // Supervised serving: fork `workers` single-threaded processes sharing
+  // the listener; a crashed worker loses at most its in-flight request.
+  sup.server = options;
+  sup.server.num_workers = 1;
+  sup.num_workers = workers;
+  serve::Supervisor supervisor(std::move(*model), sup);
+  Status status = supervisor.Start();
   if (!status.ok()) {
     PrintError("serve", status, options.socket_path);
     return kExitServe;
   }
-  // Banner on stderr: stdout carries exactly one JSON object (the final
-  // stats report), so scripts can parse it without filtering.
   std::fprintf(stderr,
-               "serving on %s (%d workers, queue depth %zu); "
-               "SIGINT/SIGTERM drains\n",
-               options.socket_path.c_str(), options.num_workers,
+               "serving on %s (%d isolated worker processes, queue depth "
+               "%zu per worker); SIGINT/SIGTERM drains\n",
+               options.socket_path.c_str(), sup.num_workers,
                options.queue_depth);
   std::fflush(stderr);
 
+  Status drain;
   {
     ScopedSignalTrap trap;
-    while (!g_interrupt.load(std::memory_order_relaxed)) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    }
+    drain = supervisor.Run(
+        [] { return g_interrupt.load(std::memory_order_relaxed); });
   }
-  std::fprintf(stderr, "strudel: draining...\n");
-  server.RequestStop();
-  Status drain = server.Wait();
-  // The final report is the drain contract: every request accounted for.
-  std::printf("%s\n", server.stats().ToJson().c_str());
+  // The final report aggregates every worker generation plus the
+  // supervisor's own inline answers; the accounting identity holds across
+  // worker crashes via the crash_lost_* buckets.
+  std::printf("%s\n", supervisor.HealthJson().c_str());
   if (!drain.ok()) {
     PrintError("serve/drain", drain, options.socket_path);
     return kExitGeneric;  // shut down, but had to cancel stragglers
   }
   return kExitOk;
+}
+
+/// Minimal value extraction from the flat health/stats JSON the serve
+/// layer emits (no nested objects below one level, keys never repeat in a
+/// conflicting position). Good enough for pretty-printing; scripts should
+/// parse the raw JSON line instead.
+bool JsonFindU64(const std::string& json, const std::string& key,
+                 unsigned long long* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return false;
+  const char* p = json.c_str() + at + needle.size();
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(p, &end, 10);
+  if (end == p) return false;
+  *out = value;
+  return true;
+}
+
+bool JsonFindStr(const std::string& json, const std::string& key,
+                 std::string* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return false;
+  size_t start = at + needle.size();
+  while (start < json.size() && json[start] == ' ') ++start;
+  if (start >= json.size() || json[start] != '"') return false;
+  ++start;
+  const size_t end = json.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = json.substr(start, end - start);
+  return true;
+}
+
+bool JsonHasTrue(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return false;
+  size_t p = at + needle.size();
+  while (p < json.size() && json[p] == ' ') ++p;
+  return json.compare(p, 4, "true") == 0;
+}
+
+/// Renders the supervision block of a health report as aligned stderr
+/// lines. Returns false (printing nothing) when the report has no
+/// "supervised" key — i.e. the daemon runs --no-isolate.
+bool PrintSupervisedHealth(const std::string& json) {
+  if (!JsonHasTrue(json, "supervised")) return false;
+  unsigned long long live = 0, workers = 0, restarts = 0, crashes = 0;
+  unsigned long long watchdog = 0, quarantine = 0, lost_conn = 0,
+                     lost_req = 0, accepted = 0, completed = 0;
+  std::string breaker = "?";
+  JsonFindU64(json, "live_workers", &live);
+  JsonFindU64(json, "workers", &workers);
+  JsonFindU64(json, "worker_restarts", &restarts);
+  JsonFindU64(json, "worker_crashes", &crashes);
+  JsonFindU64(json, "watchdog_kills", &watchdog);
+  JsonFindU64(json, "quarantine_size", &quarantine);
+  JsonFindU64(json, "crash_lost_connections", &lost_conn);
+  JsonFindU64(json, "crash_lost_requests", &lost_req);
+  JsonFindU64(json, "accepted", &accepted);
+  JsonFindU64(json, "completed", &completed);
+  JsonFindStr(json, "breaker", &breaker);
+  std::fprintf(stderr,
+               "workers:     %llu/%llu live, %llu restarts "
+               "(%llu crashes, %llu watchdog kills)\n"
+               "breaker:     %s\n"
+               "quarantine:  %llu payload(s)\n"
+               "requests:    %llu accepted, %llu completed, "
+               "%llu lost to crashes (%llu connections)\n",
+               live, workers, restarts, crashes, watchdog, breaker.c_str(),
+               quarantine, accepted, completed, lost_req, lost_conn);
+  return true;
 }
 
 int CmdClient(const std::vector<std::string>& args, double budget_ms) {
@@ -480,7 +624,10 @@ int CmdClient(const std::vector<std::string>& args, double budget_ms) {
       PrintError("client", reply.status(), args[1]);
       return kExitServe;
     }
+    // Raw JSON stays the first stdout line (scripts parse it); the
+    // human-readable supervision summary goes to stderr.
     std::printf("%s\n", reply->payload.c_str());
+    if (health) PrintSupervisedHealth(reply->payload);
     return kExitOk;
   }
 
@@ -512,6 +659,10 @@ int CmdClient(const std::vector<std::string>& args, double budget_ms) {
           break;
         case serve::ResponseCode::kIngestError:
           code = std::max(code, static_cast<int>(kExitIngest));
+          break;
+        case serve::ResponseCode::kQuarantined:
+        case serve::ResponseCode::kWorkerCrashed:
+          code = std::max(code, static_cast<int>(kExitWorker));
           break;
         default:
           code = std::max(code, static_cast<int>(kExitServe));
@@ -561,6 +712,26 @@ int CmdInspect(const std::vector<std::string>& args) {
 
 int CmdDoctor(const std::vector<std::string>& args) {
   if (args.size() < 2) return Usage();
+  if (args[1] == "--serve") {
+    // Live-daemon probe: fetch the health report over the socket and
+    // render the supervision summary a human actually wants to read.
+    if (args.size() < 3) return Usage();
+    serve::ClientOptions options;
+    options.socket_path = args[2];
+    serve::Client client(options);
+    auto reply = client.Health();
+    if (!reply.ok()) {
+      PrintError("doctor/serve", reply.status(), args[2]);
+      return kExitServe;
+    }
+    std::printf("%s\n", reply->payload.c_str());
+    if (!PrintSupervisedHealth(reply->payload)) {
+      std::fprintf(stderr,
+                   "daemon is running without worker isolation "
+                   "(--no-isolate)\n");
+    }
+    return kExitOk;
+  }
   auto ingest = IngestFile(args[1], MakeIngestOptions());
   if (!ingest.ok()) {
     PrintError("ingest", ingest.status(), args[1]);
