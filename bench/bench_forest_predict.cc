@@ -1,0 +1,285 @@
+// Inference fast-path bench: the same trained forest predicting the same
+// feature matrix through three engines — per-row pointer walking (the
+// legacy path), batched pointer walking, and the batched flat
+// breadth-first layout — plus an end-to-end ingest→classify pass through
+// StrudelLine. Emits BENCH_forest_predict.json.
+//
+// Before any timing, the bench cross-checks that the flat engine's
+// probabilities are bit-identical to the pointer engine's on the full
+// probe matrix; any difference is an immediate failure, because a fast
+// wrong answer is worthless.
+//
+//   bench_forest_predict [--quick] [--threads <n>] [--repeats <n>]
+//                        [--out <path>] [--min-speedup <x>]
+//
+// --min-speedup gates the batched-flat vs batched-pointer speedup (the
+// tentpole claim); timings are medians over --repeats runs so one noisy
+// run cannot flip the gate. The JSON carries both raw seconds and the
+// machine-independent ratio metrics the CI baseline comparison uses.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/corpus.h"
+#include "ml/random_forest.h"
+#include "strudel/strudel_line.h"
+
+namespace {
+
+using namespace strudel;
+
+/// Median wall-clock seconds of `fn()` over `repeats` runs.
+template <typename Fn>
+double TimeMedian(int repeats, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    samples.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+  }
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  return n % 2 == 1 ? samples[n / 2]
+                    : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+[[noreturn]] void Fail(const std::string& message) {
+  std::fprintf(stderr, "FAIL: %s\n", message.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int threads = 1;
+  int repeats = 5;
+  std::string out_path = "BENCH_forest_predict.json";
+  double min_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--repeats" && i + 1 < argc) {
+      repeats = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--min-speedup" && i + 1 < argc) {
+      min_speedup = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_forest_predict [--quick] [--threads <n>] "
+                   "[--repeats <n>] [--out <path>] [--min-speedup <x>]\n");
+      return 2;
+    }
+  }
+  if (threads < 1) threads = 1;
+  if (repeats < 1) repeats = 1;
+
+  std::printf("== forest predict ==\n");
+  std::printf("threads: %d, repeats (median): %d, mode: %s\n\n", threads,
+              repeats, quick ? "quick" : "default");
+
+  // Real line features from a generated corpus seed the geometry; the
+  // training and probe matrices tile them with per-cell Gaussian jitter
+  // plus a 10% label-noise fraction. Verbatim tiling would hand CART a
+  // handful of distinct rows, the trees would converge after a few dozen
+  // splits, and the whole forest would sit in L1 where the two node
+  // layouts cannot differ. Jitter and label noise grow the trees to the
+  // size a production-scale corpus produces — the regime the flat layout
+  // exists for — while keeping the feature distributions real.
+  datagen::DatasetProfile profile = datagen::ProfileByName("saus");
+  profile = datagen::ScaledProfile(profile, quick ? 0.2 : 0.4,
+                                   quick ? 0.6 : 1.0);
+  const std::vector<AnnotatedFile> corpus =
+      datagen::GenerateCorpus(profile, 42);
+  const ml::Dataset data = StrudelLine::BuildDataset(corpus);
+  const auto jitter_tile = [&data](size_t rows, uint64_t seed) {
+    ml::Dataset out;
+    out.features = ml::Matrix(0, data.features.cols());
+    out.num_classes = data.num_classes;
+    out.feature_names = data.feature_names;
+    Rng rng(seed);
+    std::vector<double> buf(data.features.cols());
+    while (out.features.rows() < rows) {
+      for (size_t i = 0; i < data.size() && out.features.rows() < rows;
+           ++i) {
+        const std::span<const double> src = data.features.row(i);
+        for (size_t c = 0; c < buf.size(); ++c) {
+          buf[c] =
+              src[c] + rng.Gaussian(0.0, 0.05 * (std::abs(src[c]) + 1.0));
+        }
+        out.features.append_row(buf);
+        int label = data.labels[i];
+        if (rng.UniformInt(uint64_t{10}) == 0) {
+          label = static_cast<int>(
+              rng.UniformInt(static_cast<uint64_t>(data.num_classes)));
+        }
+        out.labels.push_back(label);
+      }
+    }
+    return out;
+  };
+  const ml::Dataset train = jitter_tile(quick ? 12000 : 30000, 42);
+  const ml::Matrix probe =
+      jitter_tile(quick ? 20000 : 60000, 4242).features;
+  std::printf("corpus: %zu files, %zu distinct rows, train: %zu rows, "
+              "probe: %zu rows x %zu\n",
+              corpus.size(), data.size(), train.size(), probe.rows(),
+              probe.cols());
+
+  ml::RandomForestOptions options;
+  options.num_trees = quick ? 60 : 100;
+  options.seed = 42;
+  options.num_threads = threads;
+  ml::RandomForest forest(options);
+  if (Status status = forest.Fit(train); !status.ok()) {
+    Fail("forest fit: " + std::string(status.message()));
+  }
+  std::printf("forest: %d trees, %zu internal nodes, %zu leaves\n\n",
+              forest.num_trees(), forest.flat_forest().num_internal_nodes(),
+              forest.flat_forest().num_leaves());
+
+  // Correctness first: flat and pointer answers must be bit-identical on
+  // the whole probe before any of the timings below mean anything.
+  std::vector<std::vector<double>> flat_probas, pointer_probas;
+  if (Status status =
+          forest.TryPredictProbaAll(probe, nullptr, "forest_predict",
+                                    &flat_probas,
+                                    ml::ForestPredictEngine::kFlat);
+      !status.ok()) {
+    Fail("flat predict: " + std::string(status.message()));
+  }
+  if (Status status =
+          forest.TryPredictProbaAll(probe, nullptr, "forest_predict",
+                                    &pointer_probas,
+                                    ml::ForestPredictEngine::kPointer);
+      !status.ok()) {
+    Fail("pointer predict: " + std::string(status.message()));
+  }
+  if (flat_probas != pointer_probas) {
+    Fail("flat and pointer probabilities are not bit-identical");
+  }
+  std::printf("bit-identity cross-check passed on %zu rows\n\n",
+              probe.rows());
+
+  // Phase 1: the legacy shape — one PredictProba call per row.
+  const double single_row_pointer = TimeMedian(repeats, [&] {
+    double sink = 0.0;
+    for (size_t i = 0; i < probe.rows(); ++i) {
+      sink += forest.PredictProba(probe.row(i))[0];
+    }
+    if (sink < 0.0) std::printf("unreachable %f\n", sink);
+  });
+  std::printf("single_row_pointer: %8.4fs\n", single_row_pointer);
+
+  // Phase 2: batched, pointer walk.
+  const double batched_pointer = TimeMedian(repeats, [&] {
+    std::vector<std::vector<double>> probas;
+    (void)forest.TryPredictProbaAll(probe, nullptr, "forest_predict",
+                                    &probas,
+                                    ml::ForestPredictEngine::kPointer);
+  });
+  std::printf("batched_pointer:    %8.4fs\n", batched_pointer);
+
+  // Phase 3: batched, flat layout.
+  const double batched_flat = TimeMedian(repeats, [&] {
+    std::vector<std::vector<double>> probas;
+    (void)forest.TryPredictProbaAll(probe, nullptr, "forest_predict",
+                                    &probas, ml::ForestPredictEngine::kFlat);
+  });
+  std::printf("batched_flat:       %8.4fs\n", batched_flat);
+
+  // Phase 4: end-to-end ingest→classify — featurise + normalise +
+  // batched predict over every corpus table via the production path.
+  StrudelLineOptions line_options;
+  line_options.forest.num_trees = options.num_trees;
+  line_options.forest.seed = 42;
+  line_options.num_threads = threads;
+  StrudelLine line_model(line_options);
+  if (Status status = line_model.Fit(corpus); !status.ok()) {
+    Fail("line model fit: " + std::string(status.message()));
+  }
+  size_t total_lines = 0;
+  for (const AnnotatedFile& file : corpus) {
+    total_lines += static_cast<size_t>(file.table.num_rows());
+  }
+  const double end_to_end = TimeMedian(repeats, [&] {
+    for (const AnnotatedFile& file : corpus) {
+      auto prediction = line_model.TryPredict(file.table);
+      if (!prediction.ok()) {
+        Fail("end-to-end predict: " +
+             std::string(prediction.status().message()));
+      }
+    }
+  });
+  std::printf("end_to_end:         %8.4fs (%zu lines)\n\n", end_to_end,
+              total_lines);
+
+  const double speedup_flat_vs_pointer =
+      batched_flat > 0.0 ? batched_pointer / batched_flat : 0.0;
+  const double speedup_batched_vs_single =
+      batched_pointer > 0.0 ? single_row_pointer / batched_pointer : 0.0;
+  const double speedup_flat_vs_single =
+      batched_flat > 0.0 ? single_row_pointer / batched_flat : 0.0;
+  std::printf("speedup batched_flat vs batched_pointer: %.2fx\n",
+              speedup_flat_vs_pointer);
+  std::printf("speedup batched_pointer vs single_row:   %.2fx\n",
+              speedup_batched_vs_single);
+  std::printf("speedup batched_flat vs single_row:      %.2fx\n",
+              speedup_flat_vs_single);
+
+  std::ofstream json(out_path);
+  json.precision(6);
+  json << "{\n"
+       << "  \"bench\": \"forest_predict\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"repeats\": " << repeats << ",\n"
+       << "  \"probe_rows\": " << probe.rows() << ",\n"
+       << "  \"num_trees\": " << forest.num_trees() << ",\n"
+       << "  \"seconds\": {\n"
+       << "    \"single_row_pointer\": " << single_row_pointer << ",\n"
+       << "    \"batched_pointer\": " << batched_pointer << ",\n"
+       << "    \"batched_flat\": " << batched_flat << ",\n"
+       << "    \"end_to_end\": " << end_to_end << "\n"
+       << "  },\n"
+       << "  \"ratios\": {\n"
+       << "    \"speedup_flat_vs_pointer\": " << speedup_flat_vs_pointer
+       << ",\n"
+       << "    \"speedup_batched_vs_single\": " << speedup_batched_vs_single
+       << ",\n"
+       << "    \"speedup_flat_vs_single\": " << speedup_flat_vs_single
+       << "\n"
+       << "  }\n}\n";
+  json.flush();
+  if (!json) Fail("cannot write " + out_path);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (min_speedup > 0.0) {
+    if (speedup_flat_vs_pointer < min_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: batched_flat speedup %.2fx over batched_pointer is "
+                   "below the required %.2fx\n",
+                   speedup_flat_vs_pointer, min_speedup);
+      return 1;
+    }
+    std::printf("speedup gate passed: %.2fx >= %.2fx\n",
+                speedup_flat_vs_pointer, min_speedup);
+  }
+  return 0;
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Local mirror of .github/workflows/ci.yml: the {gcc, clang} x {Debug,
-# Release} build-and-test matrix, then the sanitizer gate and the parallel
-# scaling bench smoke. Compilers that are not installed are skipped with a
-# note, so the script degrades gracefully on minimal machines. Usage:
+# Release} build-and-test matrix, then the sanitizer gate, the bench
+# gates (forest predict, parallel scaling, csv throughput, trace
+# overhead) and the baseline comparison. Compilers that are not installed
+# are skipped with a note, so the script degrades gracefully on minimal
+# machines. Usage:
 #
 #   scripts/ci_local.sh [build-dir-prefix]
 #
@@ -56,11 +58,20 @@ done
 echo "=== sanitizer gate ==="
 "$repo_root/scripts/sanitize_gate.sh" "$prefix-asan"
 
-echo "=== parallel scaling bench smoke ==="
+echo "=== forest predict bench smoke ==="
 release_dir="$prefix-gcc-release"
 [ -d "$release_dir" ] || release_dir="$prefix-clang-release"
 cmake --build "$release_dir" -j "$(nproc)" \
-    --target bench_parallel_scaling bench_csv_throughput
+    --target bench_forest_predict bench_parallel_scaling \
+             bench_csv_throughput
+# Matches CI's bench-gate job: bit-identity cross-check, then the
+# batched-flat >= 1.5x batched-pointer claim, medians over 5 repeats at
+# a pinned thread count.
+"$release_dir/bench/bench_forest_predict" --quick --threads 2 \
+    --repeats 5 --out "$repo_root/BENCH_forest_predict.json" \
+    --min-speedup 1.5
+
+echo "=== parallel scaling bench smoke ==="
 # Matches CI: BENCH_parallel.json plus the 1.5x 4-thread forest-fit gate
 # (skipped automatically on machines with < 4 hardware threads).
 "$release_dir/bench/bench_parallel_scaling" --quick \
@@ -78,5 +89,15 @@ echo "=== trace overhead bench smoke ==="
 cmake --build "$release_dir" -j "$(nproc)" --target bench_trace_overhead
 "$release_dir/bench/bench_trace_overhead" --quick \
     --out "$repo_root/BENCH_trace_overhead.json" --max-delta 3
+
+echo "=== bench baseline comparison ==="
+# Ratio-only comparison against the committed baselines, same as CI's
+# bench-gate job (> 10% regression fails, > 5% warns; see DESIGN.md
+# "Bench policy").
+python3 "$repo_root/scripts/bench_compare.py" \
+    --baseline-dir "$repo_root/bench/baselines" \
+    --current-dir "$repo_root" \
+    BENCH_forest_predict.json BENCH_csv_scan.json BENCH_parallel.json \
+    BENCH_trace_overhead.json
 
 echo "=== ci_local: all gates passed ==="

@@ -169,6 +169,8 @@ void ResetSimdLevel() {
   g_forced_level.store(-1, std::memory_order_relaxed);
 }
 
+SimdLevel EffectiveSimdLevel() { return CurrentSimdLevel(); }
+
 std::string_view ScanFallbackReasonName(ScanFallbackReason reason) {
   switch (reason) {
     case ScanFallbackReason::kNone:

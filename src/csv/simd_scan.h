@@ -75,6 +75,12 @@ void ForceSimdLevel(SimdLevel level);
 /// Undo ForceSimdLevel and return to runtime detection.
 void ResetSimdLevel();
 
+/// The level kernels actually run at right now: the forced level when one
+/// is pinned (and runnable), otherwise DetectSimdLevel(). Every SIMD call
+/// site outside pass 1 (e.g. the feature-text kernels) dispatches on this
+/// so ForceSimdLevel keeps governing the whole kernel surface.
+SimdLevel EffectiveSimdLevel();
+
 /// Why a dialect is routed to the scalar reader (the fallback matrix).
 /// The first four are dialect-shaped and decided inside ParseCsv;
 /// kRecoveryForced is decided one layer up, by ingestion's recovery

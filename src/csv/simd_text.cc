@@ -1,0 +1,133 @@
+#include "csv/simd_text.h"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define STRUDEL_TEXT_X86 1
+#include <immintrin.h>
+#endif
+
+namespace strudel::csv {
+
+namespace {
+
+constexpr uint64_t kLowBytes = 0x0101010101010101ull;
+constexpr uint64_t kHighBytes = 0x8080808080808080ull;
+
+/// Loads 8 bytes as a little-endian word (byte j = bit range [8j, 8j+8)),
+/// same convention as the structural scanner's kernels.
+inline uint64_t LoadLe64(const char* p) {
+  uint64_t word;
+  std::memcpy(&word, p, sizeof(word));
+  if constexpr (std::endian::native == std::endian::big) {
+    word = __builtin_bswap64(word);
+  }
+  return word;
+}
+
+/// Gathers the per-byte high bits into one 8-bit mask (bit j = byte j).
+inline uint64_t CollapseHighBits(uint64_t high) {
+  return ((high >> 7) * 0x0102040810204080ull) >> 56;
+}
+
+/// 8-bit mask of the ASCII-alphanumeric bytes among the 8 at `p`. The
+/// range compares run on high-bit-masked lanes (values <= 0x7f plus an
+/// addend <= 0x80 cannot carry across byte lanes); the separate
+/// `ascii` term then excludes bytes >= 0x80, whose masked value could
+/// otherwise alias into a range — matching the scalar predicate, which
+/// treats non-ASCII bytes as word separators.
+inline uint64_t AlnumMask8(const char* p) {
+  const uint64_t word = LoadLe64(p);
+  const uint64_t ascii = ~word & kHighBytes;
+  const uint64_t y = word & ~kHighBytes;
+  // ge(lo): high bit set iff lane >= lo; le(hi): high bit set iff <= hi.
+  const auto ge = [y](uint8_t lo) {
+    return (y + kLowBytes * static_cast<uint64_t>(0x80 - lo)) & kHighBytes;
+  };
+  const auto le = [y](uint8_t hi) {
+    return ~(y + kLowBytes * static_cast<uint64_t>(0x7f - hi)) & kHighBytes;
+  };
+  const uint64_t digit = ge('0') & le('9');
+  const uint64_t upper = ge('A') & le('Z');
+  const uint64_t lower = ge('a') & le('z');
+  return CollapseHighBits((digit | upper | lower) & ascii);
+}
+
+/// Counts rising edges of the alphanumeric mask over `size` bytes, with
+/// `carry` holding whether the byte before `data` was alphanumeric. The
+/// tail (< 8 bytes) is zero-padded; padding is non-alphanumeric, so it
+/// can neither start nor extend a word.
+int CountWordsSwarRange(const char* data, size_t size, uint64_t carry) {
+  int count = 0;
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    const uint64_t mask = AlnumMask8(data + i);
+    count += std::popcount(mask & ~((mask << 1) | carry));
+    carry = (mask >> 7) & 1;
+  }
+  if (i < size) {
+    char buf[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    std::memcpy(buf, data + i, size - i);
+    const uint64_t mask = AlnumMask8(buf);
+    count += std::popcount(mask & ~((mask << 1) | carry));
+  }
+  return count;
+}
+
+#if STRUDEL_TEXT_X86
+
+/// AVX2 variant: 32 bytes per step via signed compares — ASCII range
+/// bounds are positive, so bytes >= 0x80 (negative lanes) fail every
+/// `x > lo-1` test and come out non-alphanumeric for free.
+__attribute__((target("avx2"))) int CountWordsAvx2(const char* data,
+                                                   size_t size) {
+  const __m256i d_lo = _mm256_set1_epi8('0' - 1);
+  const __m256i d_hi = _mm256_set1_epi8('9' + 1);
+  const __m256i u_lo = _mm256_set1_epi8('A' - 1);
+  const __m256i u_hi = _mm256_set1_epi8('Z' + 1);
+  const __m256i l_lo = _mm256_set1_epi8('a' - 1);
+  const __m256i l_hi = _mm256_set1_epi8('z' + 1);
+  int count = 0;
+  uint64_t carry = 0;
+  size_t i = 0;
+  for (; i + 32 <= size; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i digit = _mm256_and_si256(_mm256_cmpgt_epi8(x, d_lo),
+                                           _mm256_cmpgt_epi8(d_hi, x));
+    const __m256i upper = _mm256_and_si256(_mm256_cmpgt_epi8(x, u_lo),
+                                           _mm256_cmpgt_epi8(u_hi, x));
+    const __m256i lower = _mm256_and_si256(_mm256_cmpgt_epi8(x, l_lo),
+                                           _mm256_cmpgt_epi8(l_hi, x));
+    const __m256i alnum = _mm256_or_si256(digit, _mm256_or_si256(upper, lower));
+    const uint64_t mask =
+        static_cast<uint32_t>(_mm256_movemask_epi8(alnum));
+    count += std::popcount(mask & ~((mask << 1) | carry));
+    carry = (mask >> 31) & 1;
+  }
+  return count + CountWordsSwarRange(data + i, size - i, carry);
+}
+
+#endif  // STRUDEL_TEXT_X86
+
+}  // namespace
+
+int CountWordsSimd(std::string_view s, SimdLevel level) {
+  if (s.empty()) return 0;
+#if STRUDEL_TEXT_X86
+  if (level == SimdLevel::kAvx2 && DetectSimdLevel() == SimdLevel::kAvx2) {
+    return CountWordsAvx2(s.data(), s.size());
+  }
+#else
+  (void)level;
+#endif
+  return CountWordsSwarRange(s.data(), s.size(), 0);
+}
+
+int CountWordsSimd(std::string_view s) {
+  return CountWordsSimd(s, EffectiveSimdLevel());
+}
+
+}  // namespace strudel::csv

@@ -1,0 +1,35 @@
+// SIMD text predicates for the feature extractors (Table 1/Table 2 of the
+// paper). The heaviest per-cell computation in line featurisation is
+// WordAmount, which counts maximal ASCII-alphanumeric runs in every cell
+// of the file; this module provides a block-wise kernel for it behind the
+// same runtime dispatch as the structural scanner (csv/simd_scan.h), so
+// ForceSimdLevel pins this kernel too and the differential tests can
+// prove kSwar == kAvx2 == scalar on arbitrary bytes.
+//
+// The kernel builds a per-byte "is ASCII alphanumeric" bitmask (SWAR
+// range compares on high-bit-masked lanes, or AVX2 signed compares) and
+// counts words as rising edges of that mask — popcount(mask & ~prev) with
+// a one-bit carry across blocks — which is exactly the run count the
+// scalar strudel::CountWords computes. Bytes >= 0x80 are never
+// alphanumeric, matching the scalar predicate's ASCII-only definition.
+
+#ifndef STRUDEL_CSV_SIMD_TEXT_H_
+#define STRUDEL_CSV_SIMD_TEXT_H_
+
+#include <string_view>
+
+#include "csv/simd_scan.h"
+
+namespace strudel::csv {
+
+/// Number of maximal ASCII-alphanumeric runs in `s`. Identical to
+/// strudel::CountWords(s) for every input; dispatches on
+/// EffectiveSimdLevel().
+int CountWordsSimd(std::string_view s);
+
+/// Kernel-pinned variant for the differential tests and benchmarks.
+int CountWordsSimd(std::string_view s, SimdLevel level);
+
+}  // namespace strudel::csv
+
+#endif  // STRUDEL_CSV_SIMD_TEXT_H_

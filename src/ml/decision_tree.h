@@ -38,6 +38,20 @@ struct DecisionTreeOptions {
 
 class DecisionTree final : public Classifier {
  public:
+  struct Node {
+    // Internal nodes: feature/threshold/children. Leaves: left == -1.
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    // Class distribution at the node (normalised), used at leaves.
+    std::vector<double> distribution;
+    // Bookkeeping for importances.
+    double impurity = 0.0;
+    int samples = 0;
+    int node_depth = 0;
+  };
+
   explicit DecisionTree(DecisionTreeOptions options = {});
 
   Status Fit(const Dataset& data) override;
@@ -48,6 +62,12 @@ class DecisionTree final : public Classifier {
 
   std::vector<double> PredictProba(
       std::span<const double> features) const override;
+
+  /// Walks to the leaf for `features` and returns a view of its class
+  /// distribution — the allocation-free core of PredictProba, used by the
+  /// forest's bulk pointer-walking path. Empty span on an unfitted tree.
+  std::span<const double> PredictLeaf(std::span<const double> features) const;
+
   int num_classes() const override { return num_classes_; }
   std::unique_ptr<Classifier> CloneUntrained() const override;
 
@@ -64,21 +84,11 @@ class DecisionTree final : public Classifier {
   int depth() const;
   size_t num_features() const { return num_features_; }
 
- private:
-  struct Node {
-    // Internal nodes: feature/threshold/children. Leaves: left == -1.
-    int feature = -1;
-    double threshold = 0.0;
-    int left = -1;
-    int right = -1;
-    // Class distribution at the node (normalised), used at leaves.
-    std::vector<double> distribution;
-    // Bookkeeping for importances.
-    double impurity = 0.0;
-    int samples = 0;
-    int node_depth = 0;
-  };
+  /// Pre-order node storage (children strictly after their parent; node 0
+  /// is the root). Read-only view for the flat-forest compaction.
+  const std::vector<Node>& nodes() const { return nodes_; }
 
+ private:
   int BuildNode(const Dataset& data, std::vector<size_t>& indices,
                 size_t begin, size_t end, int depth, Rng& rng);
 

@@ -19,8 +19,19 @@
 
 #include "common/execution_budget.h"
 #include "ml/decision_tree.h"
+#include "ml/flat_forest.h"
 
 namespace strudel::ml {
+
+/// Which prediction engine the bulk Try* paths use. kAuto takes the flat
+/// layout whenever it is built (always, after a successful Fit or Load);
+/// the explicit values exist for the differential tests and benchmarks
+/// that prove the two engines bit-identical and measure the gap.
+enum class ForestPredictEngine {
+  kAuto = 0,
+  kFlat = 1,
+  kPointer = 2,
+};
 
 struct RandomForestOptions {
   int num_trees = 100;
@@ -55,6 +66,31 @@ class RandomForest final : public Classifier {
   std::vector<int> PredictAll(const Matrix& features) const override;
   std::vector<std::vector<double>> PredictProbaAll(
       const Matrix& features) const override;
+
+  /// Budget-aware batched prediction: validates the feature count once,
+  /// charges `budget_stage` one unit per row (chunk-batched), and walks
+  /// row chunks through the selected engine. Output is bit-identical for
+  /// every engine and thread count. `out` is resized/overwritten; on
+  /// error it holds all-zero probabilities (resp. class 0).
+  Status TryPredictProbaAll(
+      const Matrix& features, ExecutionBudget* budget,
+      const char* budget_stage, std::vector<std::vector<double>>* out,
+      ForestPredictEngine engine = ForestPredictEngine::kAuto) const;
+  Status TryPredictAll(
+      const Matrix& features, ExecutionBudget* budget,
+      const char* budget_stage, std::vector<int>* out,
+      ForestPredictEngine engine = ForestPredictEngine::kAuto) const;
+
+  /// The flat compaction of the trained trees, rebuilt after every
+  /// successful Fit/Load; empty() when unfitted.
+  const FlatForest& flat_forest() const { return flat_; }
+
+  /// Re-pins the worker count for the bulk predict paths (results are
+  /// identical at any value). The strudel layer propagates its own
+  /// --threads setting here after fitting or loading a backbone.
+  void set_num_threads(int num_threads) { options_.num_threads = num_threads; }
+  int num_threads() const { return options_.num_threads; }
+
   int num_classes() const override { return num_classes_; }
   std::unique_ptr<Classifier> CloneUntrained() const override;
 
@@ -82,8 +118,15 @@ class RandomForest final : public Classifier {
   /// enough to balance load across workers on mid-sized tables.
   static constexpr size_t kPredictChunkRows = 64;
 
+  /// Accumulates the tree-order probability average for one row into
+  /// `acc` (pre-zeroed, num_classes wide) via the pointer walk — the
+  /// legacy engine with validation and allocation hoisted out.
+  void AccumulateProbaPointer(std::span<const double> row,
+                              std::span<double> acc) const;
+
   RandomForestOptions options_;
   std::vector<DecisionTree> trees_;
+  FlatForest flat_;
   int num_classes_ = 0;
   double oob_score_ = -1.0;
 };

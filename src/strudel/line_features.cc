@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "common/string_util.h"
 #include "common/trace.h"
+#include "csv/simd_text.h"
 #include "strudel/keywords.h"
 
 namespace strudel {
@@ -140,10 +141,15 @@ Status ExtractLineFeaturesImpl(const csv::Table& table,
 
   // WordAmount is min-max normalised per file (paper §4), so compute the
   // raw counts first.
+  // This pass touches every byte of every cell, so it runs on the SIMD
+  // word-count kernel (identical to CountWords; csv/simd_text.h).
+  const csv::SimdLevel simd_level = csv::EffectiveSimdLevel();
   std::vector<double> word_counts(static_cast<size_t>(rows), 0.0);
   for (int r = 0; r < rows; ++r) {
     int words = 0;
-    for (int c = 0; c < cols; ++c) words += CountWords(table.cell(r, c));
+    for (int c = 0; c < cols; ++c) {
+      words += csv::CountWordsSimd(table.cell(r, c), simd_level);
+    }
     word_counts[static_cast<size_t>(r)] = static_cast<double>(words);
   }
   MinMaxNormalize(word_counts);

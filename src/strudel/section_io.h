@@ -16,6 +16,7 @@
 #include <charconv>
 #include <cstdint>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -93,6 +94,22 @@ inline Result<std::string> ReadSection(std::istream& in,
     return Status::CorruptModel("checksum mismatch in " + where);
   }
   return payload;
+}
+
+/// Reads a trailing optional section: clean end-of-stream means the
+/// section is absent (nullopt) — that is how files written before the
+/// section existed stay loadable — but any remaining content must parse
+/// as a full valid section named `name`. Partial or foreign trailing
+/// data is kCorruptModel, never silently ignored.
+inline Result<std::optional<std::string>> ReadOptionalSection(
+    std::istream& in, std::string_view name, size_t max_bytes) {
+  in >> std::ws;
+  if (!in.good() || in.peek() == std::char_traits<char>::eof()) {
+    return std::optional<std::string>();
+  }
+  Result<std::string> section = ReadSection(in, name, max_bytes);
+  if (!section.ok()) return section.status();
+  return std::optional<std::string>(std::move(section).value());
 }
 
 }  // namespace strudel::internal_model_io

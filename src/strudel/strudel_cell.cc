@@ -1,6 +1,7 @@
 #include "strudel/strudel_cell.h"
 
 #include <numeric>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -182,7 +183,15 @@ Status StrudelCell::Fit(const std::vector<const AnnotatedFile*>& files) {
   Status status = model_->Fit(data);
   // A failed training run (budget exhaustion, invalid features) must not
   // leave a half-trained model claiming to be fitted.
-  if (!status.ok()) model_.reset();
+  if (!status.ok()) {
+    model_.reset();
+    return status;
+  }
+  // The bulk predict path parallelises inside the forest now, so the
+  // strudel-level --threads setting has to reach it.
+  if (auto* forest = dynamic_cast<ml::RandomForest*>(model_.get())) {
+    forest->set_num_threads(options_.num_threads);
+  }
   return status;
 }
 
@@ -230,6 +239,11 @@ Status StrudelCell::SaveTo(std::ostream& out) const {
   forest_payload.precision(17);
   STRUDEL_RETURN_IF_ERROR(forest->Save(forest_payload));
   internal_model_io::WriteSection(out, "forest", forest_payload.str());
+
+  // Optional trailing section: the flat inference layout (see
+  // strudel_line.cc for the compatibility and validation contract).
+  internal_model_io::WriteSection(out, "flat_forest",
+                                  forest->flat_forest().Serialize());
   if (!out) return Status::IOError("strudel_cell: write failed");
   return Status::OK();
 }
@@ -292,6 +306,22 @@ Status StrudelCell::LoadFrom(std::istream& in) {
     STRUDEL_RETURN_IF_ERROR(forest->Load(section));
   }
 
+  // Optional flat-forest section: must equal the flat forest rebuilt from
+  // the pointer trees (see strudel_line.cc — catches corruption even when
+  // the section checksum was fixed up, so it can never mispredict).
+  STRUDEL_ASSIGN_OR_RETURN(
+      const std::optional<std::string> flat_payload,
+      internal_model_io::ReadOptionalSection(
+          in, "flat_forest", internal_model_io::kForestSectionCap));
+  if (flat_payload.has_value()) {
+    STRUDEL_ASSIGN_OR_RETURN(const ml::FlatForest flat,
+                             ml::FlatForest::Parse(*flat_payload));
+    if (!(flat == forest->flat_forest())) {
+      return Status::CorruptModel(
+          "strudel_cell: flat_forest section does not match the forest");
+    }
+  }
+
   const size_t expected = CellFeatureNames(features_options).size();
   if (forest->num_features() != expected ||
       normalizer.mins().size() != expected) {
@@ -299,6 +329,7 @@ Status StrudelCell::LoadFrom(std::istream& in) {
         "strudel_cell: feature count mismatch across sections");
   }
 
+  forest->set_num_threads(options_.num_threads);
   options_.features = features_options;
   options_.use_column_probabilities = false;
   options_.backbone_prototype = nullptr;
@@ -335,8 +366,26 @@ Result<CellPrediction> StrudelCell::TryPredict(const csv::Table& table,
                           options_.features, budget, options_.num_threads));
   normalizer_.Transform(features);
   const auto coords = NonEmptyCellCoordinates(table);
-  // Each cell writes only its own grid slot, so the prediction is
-  // bit-identical at any thread count.
+  STRUDEL_TRACE_SPAN("forest.predict");
+  if (coords.empty()) return prediction;
+  // The feature matrix has one row per non-empty cell, already in coords
+  // order, so the forest backbone classifies the whole batch through the
+  // flat engine and the classes scatter back onto the grid.
+  if (const auto* forest =
+          dynamic_cast<const ml::RandomForest*>(model_.get())) {
+    std::vector<int> classes;
+    STRUDEL_RETURN_IF_ERROR(
+        forest->TryPredictAll(features, budget, "cell_predict", &classes));
+    for (size_t i = 0; i < coords.size(); ++i) {
+      const auto [r, c] = coords[i];
+      prediction.classes[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+          classes[i];
+    }
+    return prediction;
+  }
+  // Non-forest backbones keep the per-cell path. Each cell writes only
+  // its own grid slot, so the prediction is bit-identical at any thread
+  // count.
   constexpr size_t kPredictCellChunk = 64;
   auto predict_chunk = [&](size_t chunk_begin, size_t chunk_end) -> Status {
     for (size_t i = chunk_begin; i < chunk_end; ++i) {
@@ -349,7 +398,6 @@ Result<CellPrediction> StrudelCell::TryPredict(const csv::Table& table,
     }
     return Status::OK();
   };
-  STRUDEL_TRACE_SPAN("forest.predict");
   STRUDEL_RETURN_IF_ERROR(ParallelFor(options_.num_threads, 0, coords.size(),
                                       kPredictCellChunk, predict_chunk,
                                       budget));

@@ -1,5 +1,6 @@
 #include "strudel/strudel_line.h"
 
+#include <optional>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -81,7 +82,15 @@ Status StrudelLine::Fit(const std::vector<const AnnotatedFile*>& files) {
   Status status = model_->Fit(data);
   // A failed training run (budget exhaustion, invalid features) must not
   // leave a half-trained model claiming to be fitted.
-  if (!status.ok()) model_.reset();
+  if (!status.ok()) {
+    model_.reset();
+    return status;
+  }
+  // The bulk predict path parallelises inside the forest now, so the
+  // strudel-level --threads setting has to reach it.
+  if (auto* forest = dynamic_cast<ml::RandomForest*>(model_.get())) {
+    forest->set_num_threads(options_.num_threads);
+  }
   return status;
 }
 
@@ -111,6 +120,13 @@ Status StrudelLine::SaveTo(std::ostream& out) const {
   forest_payload.precision(17);
   STRUDEL_RETURN_IF_ERROR(forest->Save(forest_payload));
   internal_model_io::WriteSection(out, "forest", forest_payload.str());
+
+  // Optional trailing section: the flat inference layout. Readers that
+  // predate it stop after the forest section; loaders that find it
+  // require it to equal the flat forest rebuilt from the trees, so a
+  // corrupted copy can never mispredict.
+  internal_model_io::WriteSection(out, "flat_forest",
+                                  forest->flat_forest().Serialize());
   if (!out) return Status::IOError("strudel_line: write failed");
   return Status::OK();
 }
@@ -162,6 +178,24 @@ Status StrudelLine::LoadFrom(std::istream& in) {
     STRUDEL_RETURN_IF_ERROR(forest->Load(section));
   }
 
+  // Optional flat-forest section (absent in files written before it
+  // existed). When present it must match the flat forest the Load above
+  // already rebuilt from the pointer trees bit for bit — an equality check
+  // that catches corruption even when the mutation fixed up the section
+  // checksum, so a damaged flat layout can never mispredict.
+  STRUDEL_ASSIGN_OR_RETURN(
+      const std::optional<std::string> flat_payload,
+      internal_model_io::ReadOptionalSection(
+          in, "flat_forest", internal_model_io::kForestSectionCap));
+  if (flat_payload.has_value()) {
+    STRUDEL_ASSIGN_OR_RETURN(const ml::FlatForest flat,
+                             ml::FlatForest::Parse(*flat_payload));
+    if (!(flat == forest->flat_forest())) {
+      return Status::CorruptModel(
+          "strudel_line: flat_forest section does not match the forest");
+    }
+  }
+
   // Cross-section consistency: the forest, the normaliser and the feature
   // schema implied by the options must agree on the feature count.
   const size_t expected = LineFeatureNames(features_options).size();
@@ -171,6 +205,7 @@ Status StrudelLine::LoadFrom(std::istream& in) {
         "strudel_line: feature count mismatch across sections");
   }
 
+  forest->set_num_threads(options_.num_threads);
   options_.features = features_options;
   options_.backbone_prototype = nullptr;
   normalizer_ = std::move(normalizer);
@@ -202,6 +237,30 @@ Result<LinePrediction> StrudelLine::TryPredict(const csv::Table& table,
       ExtractLineFeatures(table, detection, options_.features, budget,
                           options_.num_threads));
   normalizer_.Transform(features);
+  // Empty lines carry no class and are never charged, so gather the
+  // non-empty rows and batch them through the forest's flat engine. The
+  // per-row fallback below covers non-forest backbones.
+  std::vector<size_t> live;
+  live.reserve(static_cast<size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    if (!table.row_empty(r)) live.push_back(static_cast<size_t>(r));
+  }
+  STRUDEL_TRACE_SPAN("forest.predict");
+  if (live.empty()) return prediction;
+  if (const auto* forest =
+          dynamic_cast<const ml::RandomForest*>(model_.get())) {
+    const ml::Matrix gathered = features.select_rows(live);
+    std::vector<std::vector<double>> probas;
+    STRUDEL_RETURN_IF_ERROR(
+        forest->TryPredictProbaAll(gathered, budget, "line_predict",
+                                   &probas));
+    for (size_t j = 0; j < live.size(); ++j) {
+      const size_t ri = live[j];
+      prediction.classes[ri] = static_cast<int>(ArgMax(probas[j]));
+      prediction.probabilities[ri] = std::move(probas[j]);
+    }
+    return prediction;
+  }
   // Each line writes only its own prediction slot, so the output is
   // bit-identical at any thread count.
   constexpr size_t kPredictLineChunk = 16;
@@ -218,7 +277,6 @@ Result<LinePrediction> StrudelLine::TryPredict(const csv::Table& table,
     }
     return Status::OK();
   };
-  STRUDEL_TRACE_SPAN("forest.predict");
   STRUDEL_RETURN_IF_ERROR(ParallelFor(options_.num_threads, 0,
                                       static_cast<size_t>(rows),
                                       kPredictLineChunk, predict_chunk,

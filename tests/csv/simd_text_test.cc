@@ -1,0 +1,120 @@
+// Differential tests for the SIMD word-count kernel: every input must
+// produce exactly the count of the scalar reference (common/string_util's
+// CountWords) at every SimdLevel, including word runs that straddle the
+// 8-byte SWAR and 32-byte AVX2 block boundaries and bytes >= 0x80.
+
+#include "csv/simd_text.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "csv/simd_scan.h"
+
+namespace strudel::csv {
+namespace {
+
+std::vector<SimdLevel> RunnableLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kSwar};
+  if (DetectSimdLevel() == SimdLevel::kAvx2) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+TEST(CountWordsSimdTest, HandPickedCases) {
+  const struct {
+    const char* input;
+    int expected;
+  } cases[] = {
+      {"", 0},
+      {" ", 0},
+      {"a", 1},
+      {"hello world", 2},
+      {"  leading and trailing  ", 3},
+      {"a,b;c|d", 4},
+      {"total2020", 1},
+      {"...", 0},
+      {"x", 1},
+      {"one", 1},
+  };
+  for (const auto& c : cases) {
+    ASSERT_EQ(CountWords(c.input), c.expected) << '"' << c.input << '"';
+    for (SimdLevel level : RunnableLevels()) {
+      EXPECT_EQ(CountWordsSimd(c.input, level), c.expected)
+          << '"' << c.input << "\" at " << SimdLevelName(level);
+    }
+  }
+}
+
+TEST(CountWordsSimdTest, WordsStraddlingBlockBoundaries) {
+  // Runs of 'a' of every length 1..100 at every offset 0..40 exercise
+  // carries across both the 8-byte SWAR words and the 32-byte AVX2 blocks.
+  for (int offset = 0; offset <= 40; ++offset) {
+    for (int len = 1; len <= 100; len += 7) {
+      std::string s(static_cast<size_t>(offset), ' ');
+      s.append(static_cast<size_t>(len), 'a');
+      s.push_back('.');
+      s.append(static_cast<size_t>(len), 'Z');
+      const int expected = CountWords(s);
+      for (SimdLevel level : RunnableLevels()) {
+        ASSERT_EQ(CountWordsSimd(s, level), expected)
+            << "offset=" << offset << " len=" << len << " at "
+            << SimdLevelName(level);
+      }
+    }
+  }
+}
+
+TEST(CountWordsSimdTest, MatchesScalarOnRandomBytes) {
+  Rng rng(20260807);
+  for (int iter = 0; iter < 4000; ++iter) {
+    const size_t size = static_cast<size_t>(rng.UniformInt(uint64_t{200}));
+    std::string s(size, '\0');
+    for (char& c : s) {
+      // Full byte range, including 0x00 and >= 0x80 (never alphanumeric).
+      c = static_cast<char>(rng.UniformInt(uint64_t{256}));
+    }
+    const int expected = CountWords(s);
+    for (SimdLevel level : RunnableLevels()) {
+      ASSERT_EQ(CountWordsSimd(s, level), expected)
+          << "iter=" << iter << " at " << SimdLevelName(level);
+    }
+  }
+}
+
+TEST(CountWordsSimdTest, MatchesScalarOnAlnumHeavyText) {
+  Rng rng(99);
+  const std::string pool = "abyzABYZ0189 \t.,;-_'\"\xc3\xa9";
+  for (int iter = 0; iter < 4000; ++iter) {
+    const size_t size = static_cast<size_t>(rng.UniformInt(uint64_t{300}));
+    std::string s(size, '\0');
+    for (char& c : s) {
+      c = pool[static_cast<size_t>(rng.UniformInt(pool.size()))];
+    }
+    const int expected = CountWords(s);
+    for (SimdLevel level : RunnableLevels()) {
+      ASSERT_EQ(CountWordsSimd(s, level), expected)
+          << "iter=" << iter << " at " << SimdLevelName(level);
+    }
+  }
+}
+
+TEST(CountWordsSimdTest, DispatcherFollowsEffectiveLevel) {
+  // The level-free overload must agree with the scalar reference however
+  // the runtime dispatch resolves, both forced and auto-detected.
+  const std::string s = "Total 2020: net amount, 3 rows";
+  const int expected = CountWords(s);
+  for (SimdLevel level : RunnableLevels()) {
+    ForceSimdLevel(level);
+    EXPECT_EQ(CountWordsSimd(s), expected) << SimdLevelName(level);
+  }
+  ResetSimdLevel();
+  EXPECT_EQ(CountWordsSimd(s), expected);
+}
+
+}  // namespace
+}  // namespace strudel::csv

@@ -1,0 +1,220 @@
+// FlatForest unit tests: layout edge cases (leaf-only trees, empty
+// forests, deep unbalanced chains), serialisation round trips, and the
+// structural rejections Parse must produce on malformed payloads. The
+// bit-identity of flat vs pointer prediction on trained forests is
+// proven separately by the differential suite
+// (tests/ml/forest_differential_test.cc, ctest -L differential).
+
+#include "ml/flat_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/random_forest.h"
+
+namespace strudel::ml {
+namespace {
+
+Dataset TwoBlobDataset(int n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  data.num_classes = 2;
+  for (int i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(rng.UniformInt(2));
+    data.features.append_row(std::vector<double>{
+        (cls == 0 ? -1.0 : 1.0) + rng.Gaussian(0.0, 0.3),
+        rng.Gaussian(0.0, 1.0)});
+    data.labels.push_back(cls);
+  }
+  data.groups.assign(data.labels.size(), -1);
+  return data;
+}
+
+// A dataset whose labels are constant: every tree is a single leaf.
+Dataset ConstantLabelDataset(int n) {
+  Dataset data;
+  data.num_classes = 3;
+  for (int i = 0; i < n; ++i) {
+    data.features.append_row(std::vector<double>{static_cast<double>(i), 1.0});
+    data.labels.push_back(1);
+  }
+  data.groups.assign(data.labels.size(), -1);
+  return data;
+}
+
+// Monotone 1-D labels with min_samples_leaf 1 and depth cap 0 produce a
+// deep unbalanced chain of splits.
+Dataset StaircaseDataset(int n) {
+  Dataset data;
+  data.num_classes = 2;
+  for (int i = 0; i < n; ++i) {
+    data.features.append_row(std::vector<double>{static_cast<double>(i)});
+    data.labels.push_back(i % 2);
+  }
+  data.groups.assign(data.labels.size(), -1);
+  return data;
+}
+
+TEST(FlatForestTest, EmptyForestIsEmptyAndPredictsZeros) {
+  FlatForest flat;
+  EXPECT_TRUE(flat.empty());
+  EXPECT_EQ(flat.num_trees(), 0);
+  // Untrained RandomForest also exposes an empty flat forest.
+  RandomForest forest;
+  EXPECT_TRUE(forest.flat_forest().empty());
+}
+
+TEST(FlatForestTest, LeafOnlyTreesHaveNoInternalNodes) {
+  RandomForestOptions options;
+  options.num_trees = 5;
+  options.num_threads = 1;
+  RandomForest forest(options);
+  ASSERT_TRUE(forest.Fit(ConstantLabelDataset(20)).ok());
+  const FlatForest& flat = forest.flat_forest();
+  EXPECT_EQ(flat.num_trees(), 5);
+  EXPECT_EQ(flat.num_internal_nodes(), 0u);
+  EXPECT_EQ(flat.num_leaves(), 5u);
+  const std::vector<double> proba =
+      flat.PredictProba(std::vector<double>{0.0, 0.0});
+  ASSERT_EQ(proba.size(), 3u);
+  EXPECT_DOUBLE_EQ(proba[1], 1.0);
+}
+
+TEST(FlatForestTest, DeepUnbalancedTreeMatchesPointerWalk) {
+  RandomForestOptions options;
+  options.num_trees = 1;
+  options.bootstrap = false;
+  options.max_features = 0;
+  options.num_threads = 1;
+  RandomForest forest(options);
+  Dataset data = StaircaseDataset(64);
+  ASSERT_TRUE(forest.Fit(data).ok());
+  const FlatForest& flat = forest.flat_forest();
+  EXPECT_GE(flat.num_internal_nodes(), 8u);
+  // Strict binary tree: leaves = internal + trees.
+  EXPECT_EQ(flat.num_leaves(),
+            flat.num_internal_nodes() + static_cast<size_t>(flat.num_trees()));
+  for (size_t i = 0; i < data.features.rows(); ++i) {
+    const std::vector<double> expect =
+        forest.PredictProba(data.features.row(i));
+    const std::vector<double> got = flat.PredictProba(data.features.row(i));
+    ASSERT_EQ(expect, got);
+  }
+}
+
+TEST(FlatForestTest, SerializeParseRoundTripIsExact) {
+  RandomForestOptions options;
+  options.num_trees = 8;
+  options.num_threads = 2;
+  RandomForest forest(options);
+  ASSERT_TRUE(forest.Fit(TwoBlobDataset(120, 7)).ok());
+  const FlatForest& flat = forest.flat_forest();
+  const std::string payload = flat.Serialize();
+  Result<FlatForest> parsed = FlatForest::Parse(payload);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_TRUE(*parsed == flat);
+}
+
+TEST(FlatForestTest, EmptyRoundTrip) {
+  const FlatForest empty;
+  Result<FlatForest> parsed = FlatForest::Parse(empty.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(FlatForestTest, PredictBlockMatchesPerRow) {
+  RandomForestOptions options;
+  options.num_trees = 12;
+  options.num_threads = 1;
+  RandomForest forest(options);
+  Dataset data = TwoBlobDataset(90, 11);
+  ASSERT_TRUE(forest.Fit(data).ok());
+  const FlatForest& flat = forest.flat_forest();
+  const size_t k = static_cast<size_t>(flat.num_classes());
+  std::vector<double> block(data.features.rows() * k);
+  flat.PredictBlock(data.features, 0, data.features.rows(), block.data());
+  for (size_t i = 0; i < data.features.rows(); ++i) {
+    const std::vector<double> row = flat.PredictProba(data.features.row(i));
+    for (size_t c = 0; c < k; ++c) {
+      ASSERT_EQ(row[c], block[i * k + c]);
+    }
+  }
+}
+
+// --- Parse rejection cases -------------------------------------------------
+
+std::string ValidPayload() {
+  RandomForestOptions options;
+  options.num_trees = 3;
+  options.num_threads = 1;
+  RandomForest forest(options);
+  Dataset data = TwoBlobDataset(60, 13);
+  EXPECT_TRUE(forest.Fit(data).ok());
+  return forest.flat_forest().Serialize();
+}
+
+void ExpectCorrupt(const std::string& payload) {
+  Result<FlatForest> parsed = FlatForest::Parse(payload);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruptModel)
+      << parsed.status().message();
+}
+
+TEST(FlatForestParseTest, RejectsBadMagic) {
+  ExpectCorrupt("flan v1 2 2 1 0 1\n~0\n1 1\n");
+}
+
+TEST(FlatForestParseTest, RejectsTruncatedPayload) {
+  const std::string payload = ValidPayload();
+  ExpectCorrupt(payload.substr(0, payload.size() / 2));
+}
+
+TEST(FlatForestParseTest, RejectsTrailingData) {
+  ExpectCorrupt(ValidPayload() + "0 0 0 0\n");
+}
+
+TEST(FlatForestParseTest, RejectsLeafCountViolatingBinaryInvariant) {
+  // 1 tree, 2 internal nodes can only have 3 leaves; claim 4.
+  ExpectCorrupt("flat v1 2 2 1 2 4\n0\n0 0.5 1 -1\n0 0.25 -2 -3\n"
+                "1 0\n0 1\n1 0\n0 1\n");
+}
+
+TEST(FlatForestParseTest, RejectsBackwardChildReference) {
+  // Node 1's left child points back to node 0: would loop forever.
+  ExpectCorrupt("flat v1 2 2 1 2 3\n0\n0 0.5 1 -1\n0 0.25 0 -2\n"
+                "1 0\n0 1\n1 0\n");
+}
+
+TEST(FlatForestParseTest, RejectsFeatureOutOfRange) {
+  ExpectCorrupt("flat v1 2 2 1 1 2\n0\n7 0.5 -1 -2\n1 0\n0 1\n");
+}
+
+TEST(FlatForestParseTest, RejectsNonFiniteThreshold) {
+  ExpectCorrupt("flat v1 2 2 1 1 2\n0\n0 nan -1 -2\n1 0\n0 1\n");
+}
+
+TEST(FlatForestParseTest, RejectsOutOfRangeLeafProbability) {
+  ExpectCorrupt("flat v1 2 2 1 1 2\n0\n0 0.5 -1 -2\n1 0\n0 2.5\n");
+}
+
+TEST(FlatForestParseTest, AcceptsMinimalValidPayload) {
+  // One tree, one split, two leaves.
+  Result<FlatForest> parsed = FlatForest::Parse(
+      "flat v1 2 2 1 1 2\n0\n0 0.5 -1 -2\n1 0\n0 1\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->num_internal_nodes(), 1u);
+  EXPECT_EQ(parsed->num_leaves(), 2u);
+  const std::vector<double> left =
+      parsed->PredictProba(std::vector<double>{0.0, 0.0});
+  EXPECT_DOUBLE_EQ(left[0], 1.0);
+  const std::vector<double> right =
+      parsed->PredictProba(std::vector<double>{1.0, 0.0});
+  EXPECT_DOUBLE_EQ(right[1], 1.0);
+}
+
+}  // namespace
+}  // namespace strudel::ml

@@ -10,8 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "datagen/corpus.h"
@@ -128,9 +130,11 @@ TEST_F(ModelFuzzTest, CellModelSurvivesEveryMutation) {
 
 TEST_F(ModelFuzzTest, DoubleMutationsStillContained) {
   // Stacked corruption: two mutations of different kinds on one stream.
+  constexpr uint64_t kNumKinds = std::size(testing::kAllModelCorruptionKinds);
   for (uint64_t seed = 0; seed < kSeedsPerKind; ++seed) {
-    const auto first = testing::kAllModelCorruptionKinds[seed % 7];
-    const auto second = testing::kAllModelCorruptionKinds[(seed + 3) % 7];
+    const auto first = testing::kAllModelCorruptionKinds[seed % kNumKinds];
+    const auto second =
+        testing::kAllModelCorruptionKinds[(seed + 3) % kNumKinds];
     SCOPED_TRACE("seed=" + std::to_string(seed));
     std::stringstream stream(
         Corrupt(Corrupt(*line_bytes_, first, seed), second, seed + 1000));
@@ -141,6 +145,36 @@ TEST_F(ModelFuzzTest, DoubleMutationsStillContained) {
       EXPECT_TRUE(IsCleanLoadFailure(loaded.status().code()))
           << loaded.status().ToString();
     }
+  }
+}
+
+TEST_F(ModelFuzzTest, FlatSectionCorruptionNeverMispredicts) {
+  // The acceptance bar for the serialised inference layout: a damaged
+  // flat_forest section either fails the load cleanly or — when the
+  // mutation happens to be textually benign — loads into a model whose
+  // predictions are bit-identical to the pristine one. A loaded-but-
+  // mispredicting model would mean the corrupted flat arrays were used.
+  const csv::Table probe = testing::Figure1File().table;
+  std::stringstream pristine_stream(*line_bytes_);
+  auto pristine = LoadLineModel(pristine_stream);
+  ASSERT_TRUE(pristine.ok());
+  const LinePrediction expected = pristine->Predict(probe);
+
+  constexpr uint64_t kFlatSeeds = 48;  // 16 per variant on average
+  for (uint64_t seed = 0; seed < kFlatSeeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    std::stringstream stream(
+        Corrupt(*line_bytes_, testing::ModelCorruptionKind::kFlatSection,
+                seed));
+    auto loaded = LoadLineModel(stream);
+    if (!loaded.ok()) {
+      EXPECT_TRUE(IsCleanLoadFailure(loaded.status().code()))
+          << loaded.status().ToString();
+      continue;
+    }
+    const LinePrediction got = loaded->Predict(probe);
+    ASSERT_EQ(got.classes, expected.classes);
+    ASSERT_EQ(got.probabilities, expected.probabilities);
   }
 }
 

@@ -570,18 +570,25 @@ TEST(SupervisorChaosTest, BreakerOpensUnderCrashChurnThenRecovers) {
   ASSERT_FALSE(proc.WaitHealthy(1).empty());
 
   // Three fast crashes trip the breaker. Each round waits for a live
-  // worker first so the poison provably lands on one (a no-retry client
-  // could otherwise be answered by the supervisor's inline shedding,
-  // which crashes nothing).
+  // worker first so the poison lands on one — but an inline-shed answer
+  // from the supervisor also reads kWorkerCrashed and crashes nothing
+  // (the no-retry client can race the respawned worker's listener), so
+  // rounds are counted by the supervisor's own crash bookkeeping, not by
+  // reply codes, and a shed round is simply retried.
   const std::string poison = std::string(kFaultCrashPayload) + " churn";
-  for (int i = 0; i < 3; ++i) {
-    ASSERT_FALSE(proc.WaitHealthy(1).empty()) << "round " << i;
+  uint64_t crashes = 0;
+  for (int attempt = 0; attempt < 12 && crashes < 3; ++attempt) {
+    ASSERT_FALSE(proc.WaitHealthy(1).empty()) << "attempt " << attempt;
     Client crasher(NoRetryClient(sup.server.socket_path));
     auto reply = crasher.Classify(poison);
     ASSERT_TRUE(reply.ok()) << reply.status().message();
     ASSERT_EQ(reply->code, ResponseCode::kWorkerCrashed)
-        << "round " << i << ": " << ResponseCodeName(reply->code);
+        << "attempt " << attempt << ": " << ResponseCodeName(reply->code);
+    const std::string health = proc.WaitHealthy(0);
+    ASSERT_FALSE(health.empty()) << "attempt " << attempt;
+    crashes = JsonU64OrDie(health, "worker_crashes");
   }
+  EXPECT_GE(crashes, 3u);
 
   // While open, the supervisor itself answers: health stays reachable
   // with zero live workers, classify is shed with worker_crashed.

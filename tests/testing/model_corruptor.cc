@@ -1,8 +1,11 @@
 #include "testing/model_corruptor.h"
 
 #include <cctype>
+#include <charconv>
 #include <utility>
 #include <vector>
+
+#include "strudel/section_io.h"
 
 namespace strudel::testing {
 
@@ -136,6 +139,65 @@ std::string GarbageInsert(std::string input, Rng& rng) {
   return input;
 }
 
+// Targets the flat_forest section (the serialised inference layout).
+// Three escalating variants: a truncation inside the payload, a payload
+// byte flip the section checksum catches, and a payload byte flip with
+// the FNV checksum recomputed — the hardest case, where only the
+// semantic "flat equals the forest rebuilt from the trees" equality
+// check stands between a damaged layout and a misprediction.
+std::string FlatSection(std::string input, Rng& rng) {
+  constexpr std::string_view kNeedle = "section flat_forest ";
+  // A cell model nests a line model, so there can be several flat
+  // sections; pick the last (the outer model's own layout).
+  const size_t header_begin = input.rfind(kNeedle);
+  if (header_begin == std::string::npos) {
+    return ByteFlip(std::move(input), rng);
+  }
+  size_t i = header_begin + kNeedle.size();
+  uint64_t payload_bytes = 0;
+  while (i < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[i]))) {
+    payload_bytes = payload_bytes * 10 + static_cast<uint64_t>(input[i] - '0');
+    ++i;
+  }
+  if (i >= input.size() || input[i] != ' ') {
+    return ByteFlip(std::move(input), rng);
+  }
+  const size_t hex_begin = i + 1;
+  const size_t header_end = input.find('\n', hex_begin);
+  if (header_end == std::string::npos) {
+    return ByteFlip(std::move(input), rng);
+  }
+  const size_t hex_size = header_end - hex_begin;
+  const size_t payload_begin = header_end + 1;
+  if (payload_bytes == 0 ||
+      payload_begin + payload_bytes > input.size()) {
+    return ByteFlip(std::move(input), rng);
+  }
+
+  const uint64_t variant = rng.UniformInt(uint64_t{3});
+  if (variant == 0) {
+    input.resize(payload_begin + rng.UniformInt(payload_bytes));
+    return input;
+  }
+  const size_t at = payload_begin + rng.UniformInt(payload_bytes);
+  char replacement = static_cast<char>('!' + rng.UniformInt(uint64_t{93}));
+  if (replacement == input[at]) {
+    replacement = replacement == '!' ? '"' : '!';
+  }
+  input[at] = replacement;
+  if (variant == 2) {
+    const uint64_t hash = internal_model_io::Fnv1a64(
+        std::string_view(input).substr(payload_begin, payload_bytes));
+    char hex[17];
+    auto [end, ec] = std::to_chars(hex, hex + sizeof(hex) - 1, hash, 16);
+    (void)ec;
+    input.replace(hex_begin, hex_size,
+                  std::string(hex, static_cast<size_t>(end - hex)));
+  }
+  return input;
+}
+
 }  // namespace
 
 std::string_view ModelCorruptionKindName(ModelCorruptionKind kind) {
@@ -154,6 +216,8 @@ std::string_view ModelCorruptionKindName(ModelCorruptionKind kind) {
       return "token_delete";
     case ModelCorruptionKind::kGarbageInsert:
       return "garbage_insert";
+    case ModelCorruptionKind::kFlatSection:
+      return "flat_section";
   }
   return "unknown";
 }
@@ -175,6 +239,8 @@ std::string CorruptModelBytes(std::string input, ModelCorruptionKind kind,
       return TokenDelete(std::move(input), rng);
     case ModelCorruptionKind::kGarbageInsert:
       return GarbageInsert(std::move(input), rng);
+    case ModelCorruptionKind::kFlatSection:
+      return FlatSection(std::move(input), rng);
   }
   return input;
 }

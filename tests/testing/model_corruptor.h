@@ -25,13 +25,18 @@ enum class ModelCorruptionKind {
   kChecksumDamage,  // damage a section checksum digit
   kTokenDelete,     // delete a random token
   kGarbageInsert,   // splice random bytes into the middle
+  kFlatSection,     // damage the flat_forest section specifically:
+                    // truncate inside its payload, flip a payload byte
+                    // (stale checksum), or flip a payload byte AND
+                    // recompute the checksum so only the semantic
+                    // flat-vs-trees equality check can object
 };
 
 inline constexpr ModelCorruptionKind kAllModelCorruptionKinds[] = {
     ModelCorruptionKind::kTruncate,       ModelCorruptionKind::kByteFlip,
     ModelCorruptionKind::kFieldSwap,      ModelCorruptionKind::kCountInflate,
     ModelCorruptionKind::kChecksumDamage, ModelCorruptionKind::kTokenDelete,
-    ModelCorruptionKind::kGarbageInsert,
+    ModelCorruptionKind::kGarbageInsert,  ModelCorruptionKind::kFlatSection,
 };
 
 std::string_view ModelCorruptionKindName(ModelCorruptionKind kind);
