@@ -8,21 +8,39 @@
 // BENCH_csv_scan.json.
 //
 //   bench_csv_throughput [--quick] [--out <path>] [--min-speedup <x>]
+//   bench_csv_throughput --large [--quick] [--out <path>]
+//                        [--min-parallel-speedup <x>]
 //
 // --min-speedup gates the SWAR-vs-scalar throughput ratio on the
 // clean_numeric workload (the steady-state case); CI runs with 1.5.
+//
+// --large switches to the big-file mode: a >1 GB generated verbose-portal
+// workload, indexed serially and with the speculative chunk-parallel
+// build at 2/4/8 threads (each cross-checked bit-identical against the
+// serial index before timing), plus a cold-then-warm ingest through the
+// persistent structural-index cache where the warm run MUST report a
+// cache hit (telemetry-asserted). Emits BENCH_csv_large.json.
+// --min-parallel-speedup gates the 4-thread parallel-index speedup; like
+// bench_parallel_scaling, the gate is skipped (with a note) on hosts
+// with fewer than 4 hardware threads, where scaling is physically
+// impossible.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "csv/index_cache.h"
 #include "csv/reader.h"
 #include "csv/simd_scan.h"
+#include "strudel/ingest.h"
 
 namespace {
 
@@ -133,27 +151,238 @@ struct WorkloadResult {
   std::vector<ModeResult> modes;
 };
 
+/// The --large mode: serial vs chunk-parallel indexing on a >1 GB
+/// workload, and a warm-cache ingest that must skip the scan.
+int RunLargeMode(bool quick, const std::string& out_path,
+                 double min_parallel_speedup) {
+  const size_t target = quick ? (size_t{64} << 20) : (size_t{1280} << 20);
+  const size_t ingest_target = quick ? (size_t{8} << 20) : (size_t{128} << 20);
+  const int reps = 2;
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("== csv large-file ingestion ==\n");
+  std::printf("workload: %zu MiB, ingest slice: %zu MiB, hardware threads: "
+              "%u\n\n",
+              target >> 20, ingest_target >> 20, hardware);
+
+  Rng rng(20260807);
+  const std::string text = MakeVerbosePortal(rng, target);
+  const double mb = static_cast<double>(text.size()) / (1024.0 * 1024.0);
+
+  // Serial reference index: correctness anchor and timing denominator.
+  csv::StructuralIndex reference;
+  csv::BuildStructuralIndex(text, csv::Rfc4180Dialect(), &reference);
+  const double serial_seconds = TimeBest(reps, [&] {
+    csv::StructuralIndex index;
+    csv::BuildStructuralIndex(text, csv::Rfc4180Dialect(), &index);
+  });
+  std::printf("index serial       %8.4fs  %8.1f MB/s\n", serial_seconds,
+              mb / serial_seconds);
+
+  struct ParallelTiming {
+    int threads = 0;
+    double seconds = 0.0;
+    uint64_t chunks = 0;
+    uint64_t repairs = 0;
+  };
+  std::vector<ParallelTiming> timings;
+  for (const int threads : {2, 4, 8}) {
+    csv::ParallelScanOptions options;
+    options.num_threads = threads;
+    csv::StructuralIndex parallel;
+    csv::BuildStructuralIndexParallel(text, csv::Rfc4180Dialect(), options,
+                                      &parallel);
+    if (parallel.positions != reference.positions ||
+        parallel.clean_quoting != reference.clean_quoting) {
+      std::fprintf(stderr,
+                   "FAIL: %d-thread parallel index differs from serial\n",
+                   threads);
+      return 1;
+    }
+    const double seconds = TimeBest(reps, [&] {
+      csv::StructuralIndex index;
+      csv::BuildStructuralIndexParallel(text, csv::Rfc4180Dialect(), options,
+                                        &index);
+    });
+    timings.push_back(
+        {threads, seconds, parallel.chunks, parallel.speculation_repairs});
+    std::printf("index %d threads    %8.4fs  %8.1f MB/s  (%.2fx, %llu "
+                "chunks, %llu repairs)\n",
+                threads, seconds, mb / seconds, serial_seconds / seconds,
+                static_cast<unsigned long long>(parallel.chunks),
+                static_cast<unsigned long long>(parallel.speculation_repairs));
+  }
+  const auto speedup_at = [&](int threads) {
+    for (const ParallelTiming& t : timings) {
+      if (t.threads == threads) return serial_seconds / t.seconds;
+    }
+    return 0.0;
+  };
+
+  // Warm-cache ingest: write a row-aligned slice to disk, ingest cold
+  // (miss + store), then warm — the warm run must report a cache hit or
+  // the bench fails outright; the cache's entire point is skipping the
+  // scan, and only telemetry can see whether it did.
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path dir = fs::temp_directory_path() / "strudel_bench_csv_large";
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
+  size_t cut = text.rfind('\n', ingest_target);
+  cut = cut == std::string::npos ? ingest_target : cut + 1;
+  const std::string input_path = (dir / "input.csv").string();
+  {
+    std::ofstream out(input_path, std::ios::binary | std::ios::trunc);
+    out.write(text.data(), static_cast<std::streamsize>(cut));
+    if (!out.good()) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", input_path.c_str());
+      return 1;
+    }
+  }
+  csv::IndexCache cache((dir / "cache").string());
+  IngestOptions ingest_options;
+  ingest_options.reader.index_cache = &cache;
+
+  const auto now = [] { return std::chrono::steady_clock::now(); };
+  const auto cold_start = now();
+  auto cold = IngestFile(input_path, ingest_options);
+  const double cold_seconds =
+      std::chrono::duration<double>(now() - cold_start).count();
+  if (!cold.ok()) {
+    std::fprintf(stderr, "FAIL: cold ingest: %s\n",
+                 cold.status().ToString().c_str());
+    return 1;
+  }
+  if (cold->scan.cache != csv::IndexCacheStatus::kMiss) {
+    std::fprintf(stderr, "FAIL: cold ingest reported cache %s, not miss\n",
+                 std::string(csv::IndexCacheStatusName(cold->scan.cache))
+                     .c_str());
+    return 1;
+  }
+
+  double warm_seconds = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto warm_start = now();
+    auto warm = IngestFile(input_path, ingest_options);
+    const double elapsed =
+        std::chrono::duration<double>(now() - warm_start).count();
+    if (!warm.ok()) {
+      std::fprintf(stderr, "FAIL: warm ingest: %s\n",
+                   warm.status().ToString().c_str());
+      return 1;
+    }
+    if (warm->scan.cache != csv::IndexCacheStatus::kHit) {
+      std::fprintf(stderr,
+                   "FAIL: warm ingest reported cache %s — the scan was "
+                   "rebuilt instead of reused\n",
+                   std::string(csv::IndexCacheStatusName(warm->scan.cache))
+                       .c_str());
+      return 1;
+    }
+    if (warm->table.num_rows() != cold->table.num_rows() ||
+        warm->table.num_cols() != cold->table.num_cols()) {
+      std::fprintf(stderr, "FAIL: warm ingest shape differs from cold\n");
+      return 1;
+    }
+    if (r == 0 || elapsed < warm_seconds) warm_seconds = elapsed;
+  }
+  const double warm_speedup = cold_seconds / warm_seconds;
+  std::printf("\ningest cold        %8.4fs  (index cache miss + store)\n",
+              cold_seconds);
+  std::printf("ingest warm        %8.4fs  (index cache hit, %.2fx)\n",
+              warm_seconds, warm_speedup);
+  fs::remove_all(dir, ec);
+
+  const bool gate_enforced = min_parallel_speedup > 0.0 && hardware >= 4;
+  std::ofstream json(out_path);
+  json.precision(6);
+  json << "{\n"
+       << "  \"bench\": \"csv_large\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"hardware_concurrency\": " << hardware << ",\n"
+       << "  \"bytes\": " << text.size() << ",\n"
+       << "  \"ingest_bytes\": " << cut << ",\n"
+       << "  \"min_parallel_speedup_required\": " << min_parallel_speedup
+       << ",\n"
+       << "  \"gate_enforced\": " << (gate_enforced ? "true" : "false")
+       << ",\n"
+       << "  \"serial_index_seconds\": " << serial_seconds << ",\n"
+       << "  \"serial_index_mb_per_s\": " << mb / serial_seconds << ",\n"
+       << "  \"parallel\": [";
+  for (size_t i = 0; i < timings.size(); ++i) {
+    json << "{\"threads\": " << timings[i].threads
+         << ", \"seconds\": " << timings[i].seconds
+         << ", \"chunks\": " << timings[i].chunks
+         << ", \"speculation_repairs\": " << timings[i].repairs << "}"
+         << (i + 1 < timings.size() ? ", " : "");
+  }
+  json << "],\n"
+       << "  \"parallel_index_speedup_2t\": " << speedup_at(2) << ",\n"
+       << "  \"parallel_index_speedup_4t\": " << speedup_at(4) << ",\n"
+       << "  \"parallel_index_speedup_8t\": " << speedup_at(8) << ",\n"
+       << "  \"cold_ingest_seconds\": " << cold_seconds << ",\n"
+       << "  \"warm_ingest_seconds\": " << warm_seconds << ",\n"
+       << "  \"warm_ingest_speedup\": " << warm_speedup << ",\n"
+       << "  \"warm_cache_hit\": true\n"
+       << "}\n";
+  json.flush();
+  if (!json) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (min_parallel_speedup > 0.0) {
+    const double speedup_4t = speedup_at(4);
+    if (!gate_enforced) {
+      std::printf("parallel-index gate skipped: only %u hardware thread(s)\n",
+                  hardware);
+    } else if (speedup_4t < min_parallel_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: parallel index 4-thread speedup %.2fx below the "
+                   "required %.2fx\n",
+                   speedup_4t, min_parallel_speedup);
+      return 1;
+    } else {
+      std::printf(
+          "parallel-index gate passed: 4 threads %.2fx >= %.2fx\n",
+          speedup_4t, min_parallel_speedup);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
-  std::string out_path = "BENCH_csv_scan.json";
+  bool large = false;
+  std::string out_path;
   double min_speedup = 0.0;
+  double min_parallel_speedup = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--large") {
+      large = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--min-speedup" && i + 1 < argc) {
       min_speedup = std::atof(argv[++i]);
+    } else if (arg == "--min-parallel-speedup" && i + 1 < argc) {
+      min_parallel_speedup = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: bench_csv_throughput [--quick] [--out <path>] "
-                   "[--min-speedup <x>]\n");
+                   "usage: bench_csv_throughput [--quick] [--large] "
+                   "[--out <path>] [--min-speedup <x>] "
+                   "[--min-parallel-speedup <x>]\n");
       return 2;
     }
   }
+  if (out_path.empty()) {
+    out_path = large ? "BENCH_csv_large.json" : "BENCH_csv_scan.json";
+  }
+  if (large) return RunLargeMode(quick, out_path, min_parallel_speedup);
 
   const size_t target = quick ? (2u << 20) : (16u << 20);
   const int reps = quick ? 3 : 5;

@@ -1,0 +1,241 @@
+#include "csv/index_cache.h"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "strudel/section_io.h"
+
+namespace strudel::csv {
+
+namespace {
+
+using internal_model_io::Fnv1a64;
+using internal_model_io::ReadSection;
+using internal_model_io::WriteSection;
+
+constexpr size_t kKeySectionCap = 64ull * 1024;
+constexpr size_t kMetaSectionCap = 4ull * 1024;
+// Positions are 8 bytes per structural byte; 8 GB of payload covers a
+// file with a billion structural bytes. Larger indexes are simply not
+// persisted (Store refuses) — the cap exists so an inflated byte count
+// in a corrupted header cannot force a huge allocation.
+constexpr size_t kPositionsSectionCap = size_t{1} << 33;
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvAccumulate(uint64_t hash, std::string_view data) {
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t FnvAccumulateU64(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xff;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Little-endian (de)serialization of the positions vector, so entries
+/// written on one host parse identically on any other.
+std::string EncodePositions(const std::vector<uint64_t>& positions) {
+  std::string payload(positions.size() * sizeof(uint64_t), '\0');
+  std::memcpy(payload.data(), positions.data(), payload.size());
+  if constexpr (std::endian::native == std::endian::big) {
+    for (size_t i = 0; i < positions.size(); ++i) {
+      uint64_t v;
+      std::memcpy(&v, payload.data() + i * 8, 8);
+      v = __builtin_bswap64(v);
+      std::memcpy(payload.data() + i * 8, &v, 8);
+    }
+  }
+  return payload;
+}
+
+bool DecodePositions(const std::string& payload, uint64_t count,
+                     std::vector<uint64_t>* out) {
+  if (payload.size() != count * sizeof(uint64_t)) return false;
+  out->resize(count);
+  std::memcpy(out->data(), payload.data(), payload.size());
+  if constexpr (std::endian::native == std::endian::big) {
+    for (uint64_t& v : *out) v = __builtin_bswap64(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string IndexCacheKey::Serialize() const {
+  return StrFormat(
+      "v%u delim=%d quote=%d pruned=%d mtime_ns=%llu file_size=%llu "
+      "text_size=%llu sample=%016llx path=%s",
+      scan_version, static_cast<int>(static_cast<unsigned char>(delimiter)),
+      static_cast<int>(static_cast<unsigned char>(quote)), pruned ? 1 : 0,
+      static_cast<unsigned long long>(identity.mtime_ns),
+      static_cast<unsigned long long>(identity.file_size),
+      static_cast<unsigned long long>(text_size),
+      static_cast<unsigned long long>(sample_hash), identity.path.c_str());
+}
+
+uint64_t HashTextSample(std::string_view text) {
+  constexpr size_t kSample = 4096;
+  uint64_t hash = FnvAccumulateU64(kFnvOffset, text.size());
+  hash = FnvAccumulate(hash, text.substr(0, std::min(kSample, text.size())));
+  if (text.size() > kSample) {
+    hash = FnvAccumulate(hash, text.substr(text.size() - kSample));
+  }
+  return hash;
+}
+
+IndexCacheKey MakeIndexCacheKey(const IndexCacheIdentity& identity,
+                                std::string_view text,
+                                const Dialect& dialect, bool pruned) {
+  IndexCacheKey key;
+  key.identity = identity;
+  key.text_size = text.size();
+  key.sample_hash = HashTextSample(text);
+  key.delimiter = dialect.delimiter_text.empty() ? dialect.delimiter
+                                                 : dialect.delimiter_text[0];
+  key.quote = dialect.quote;
+  key.pruned = pruned;
+  return key;
+}
+
+IndexCache::IndexCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // soft: Store re-checks
+}
+
+std::string IndexCache::EntryPath(const IndexCacheKey& key) const {
+  return dir_ + "/strudel-index-" +
+         StrFormat("%016llx", static_cast<unsigned long long>(
+                                  Fnv1a64(key.identity.path))) +
+         ".sidx";
+}
+
+IndexCacheStatus IndexCache::Lookup(const IndexCacheKey& key,
+                                    StructuralIndex* index) const {
+  index->Clear();
+  const auto publish = [](IndexCacheStatus status) {
+    metrics::GetCounter(std::string("csv.index_cache.") +
+                        std::string(IndexCacheStatusName(status)))
+        .Increment();
+    return status;
+  };
+
+  std::ifstream in(EntryPath(key), std::ios::binary);
+  if (!in) return publish(IndexCacheStatus::kMiss);
+
+  auto stored_key = ReadSection(in, "index_key", kKeySectionCap);
+  if (!stored_key.ok()) return publish(IndexCacheStatus::kCorrupt);
+  if (*stored_key != key.Serialize()) {
+    return publish(IndexCacheStatus::kStale);
+  }
+
+  auto meta = ReadSection(in, "index_meta", kMetaSectionCap);
+  if (!meta.ok()) return publish(IndexCacheStatus::kCorrupt);
+  std::istringstream meta_in(*meta);
+  std::string clean_tag, blocks_tag, count_tag;
+  int clean = -1;
+  uint64_t blocks = 0, count = 0;
+  if (!(meta_in >> clean_tag >> clean >> blocks_tag >> blocks >> count_tag >>
+        count) ||
+      clean_tag != "clean" || blocks_tag != "blocks" ||
+      count_tag != "count" || (clean != 0 && clean != 1)) {
+    return publish(IndexCacheStatus::kCorrupt);
+  }
+  // Shape validation against the key, not the entry's own claims: the
+  // block count is fully determined by the text size, and no input can
+  // have more structural bytes than bytes.
+  if (blocks != (key.text_size + 63) / 64 || count > key.text_size) {
+    return publish(IndexCacheStatus::kCorrupt);
+  }
+
+  auto positions = ReadSection(in, "index_positions", kPositionsSectionCap);
+  if (!positions.ok()) return publish(IndexCacheStatus::kCorrupt);
+  if (!DecodePositions(*positions, count, &index->positions)) {
+    index->Clear();
+    return publish(IndexCacheStatus::kCorrupt);
+  }
+  // Offsets must be strictly ascending and inside the text — the replay
+  // engine's preconditions. A checksum-fixed corruption that rewrites
+  // payload bytes lands here instead of in the parser.
+  for (size_t i = 0; i < index->positions.size(); ++i) {
+    if (index->positions[i] >= key.text_size ||
+        (i > 0 && index->positions[i] <= index->positions[i - 1])) {
+      index->Clear();
+      return publish(IndexCacheStatus::kCorrupt);
+    }
+  }
+  // Nothing may trail the last section: partial concatenation or foreign
+  // bytes are corruption, never silently ignored.
+  in >> std::ws;
+  if (in.good() && in.peek() != std::char_traits<char>::eof()) {
+    index->Clear();
+    return publish(IndexCacheStatus::kCorrupt);
+  }
+
+  index->clean_quoting = clean == 1;
+  index->num_blocks = blocks;
+  // A hit never ran a kernel; report the level current dispatch would
+  // use so telemetry stays meaningful.
+  index->level = EffectiveSimdLevel();
+  index->chunks = 1;
+  index->speculation_repairs = 0;
+  return publish(IndexCacheStatus::kHit);
+}
+
+bool IndexCache::Store(const IndexCacheKey& key,
+                       const StructuralIndex& index) const {
+  const auto fail = [] {
+    metrics::GetCounter("csv.index_cache.store_failed").Increment();
+    return false;
+  };
+  if (index.positions.size() * sizeof(uint64_t) > kPositionsSectionCap) {
+    return fail();
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+
+  const std::string entry_path = EntryPath(key);
+  const std::string temp_path =
+      entry_path + ".tmp" + std::to_string(::getpid());
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return fail();
+    WriteSection(out, "index_key", key.Serialize());
+    WriteSection(out, "index_meta",
+                 StrFormat("clean %d blocks %llu count %llu",
+                           index.clean_quoting ? 1 : 0,
+                           static_cast<unsigned long long>(index.num_blocks),
+                           static_cast<unsigned long long>(
+                               index.positions.size())));
+    WriteSection(out, "index_positions", EncodePositions(index.positions));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::filesystem::remove(temp_path, ec);
+      return fail();
+    }
+  }
+  std::filesystem::rename(temp_path, entry_path, ec);
+  if (ec) {
+    std::filesystem::remove(temp_path, ec);
+    return fail();
+  }
+  metrics::GetCounter("csv.index_cache.store").Increment();
+  return true;
+}
+
+}  // namespace strudel::csv

@@ -1,0 +1,106 @@
+// Persistent structural-index cache: repeated ingests of an unchanged
+// file skip pass 1 entirely.
+//
+// An entry stores the StructuralIndex (the ascending structural byte
+// offsets plus the clean-quoting certificate) for one (file, dialect,
+// pruning, scan-version) combination, in the same checksummed section
+// framing the v2 model format uses (strudel/section_io.h): a corrupted,
+// truncated or bit-flipped entry fails checksum or shape validation and
+// degrades to a clean rescan — misusing the cache can cost one scan,
+// never a wrong parse. The key embeds everything the index depends on:
+//
+//   path + mtime_ns + file_size   the file's identity on disk
+//   text_size + sample_hash       the sanitized bytes actually scanned
+//   delimiter + quote             the dialect bits pass 1 branches on
+//   pruned                        whether in-quote delimiters were pruned
+//   kStructuralIndexVersion       the scan semantics themselves
+//
+// One entry is kept per source path (the file name is a hash of the
+// path), so a file whose dialect or content changes overwrites its own
+// entry instead of growing the cache without bound. Writes go to a temp
+// file in the cache directory and are renamed into place, so a crashed
+// or concurrent writer can leave a stale temp file but never a torn
+// entry. Only inputs with a stable identity are cacheable: pipes, stdin
+// and in-memory text report IndexCacheStatus::kDisabled.
+
+#ifndef STRUDEL_CSV_INDEX_CACHE_H_
+#define STRUDEL_CSV_INDEX_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "csv/dialect.h"
+#include "csv/simd_scan.h"
+
+namespace strudel::csv {
+
+/// The stable identity of the file behind a parsed text. Filled by the
+/// file-backed entry points (ReadTableFromFile, IngestFile) from the
+/// fstat the MmapSource already did; `valid` stays false for inputs with
+/// no such identity, which disables the cache for that parse.
+struct IndexCacheIdentity {
+  bool valid = false;
+  std::string path;  // absolute, so cwd changes cannot alias entries
+  uint64_t mtime_ns = 0;
+  uint64_t file_size = 0;
+};
+
+/// Everything a cached index depends on. Compared as a serialized string
+/// (MakeIndexCacheKey → Serialize): any mismatch marks the entry stale.
+struct IndexCacheKey {
+  IndexCacheIdentity identity;
+  uint64_t text_size = 0;    // sanitized text length (≠ file_size when
+                             // the sanitizer rewrote bytes)
+  uint64_t sample_hash = 0;  // FNV-1a over the text's head + tail
+  char delimiter = ',';
+  char quote = '"';
+  bool pruned = true;
+  uint32_t scan_version = kStructuralIndexVersion;
+
+  /// One-line canonical form; equality of serializations is key equality.
+  std::string Serialize() const;
+};
+
+/// FNV-1a over the first and last 4 KB of `text` plus its length — a
+/// cheap content fingerprint that catches same-size rewrites (content
+/// swapped, mtime restored) without rehashing multi-GB inputs.
+uint64_t HashTextSample(std::string_view text);
+
+IndexCacheKey MakeIndexCacheKey(const IndexCacheIdentity& identity,
+                                std::string_view text,
+                                const Dialect& dialect, bool pruned);
+
+/// A directory of index entries. Stateless apart from the directory
+/// path; safe to share across threads (entries are replaced by atomic
+/// rename, and readers validate whatever bytes they find).
+class IndexCache {
+ public:
+  /// Uses (and lazily creates) `dir` as the cache directory.
+  explicit IndexCache(std::string dir);
+
+  /// Loads the entry for `key` into *index. kHit means *index is valid
+  /// and the scan can be skipped; on every other status *index is
+  /// cleared and the caller must build the index itself. Increments the
+  /// csv.index_cache.* metrics.
+  IndexCacheStatus Lookup(const IndexCacheKey& key,
+                          StructuralIndex* index) const;
+
+  /// Writes the entry for `key` (atomically, via temp + rename).
+  /// Returns false on any I/O failure or when the index is too large to
+  /// persist — the cache is an accelerator, so failures are soft.
+  bool Store(const IndexCacheKey& key, const StructuralIndex& index) const;
+
+  /// Where the entry for `key` lives (exposed for tests, which corrupt
+  /// entries in place to prove the validation story).
+  std::string EntryPath(const IndexCacheKey& key) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace strudel::csv
+
+#endif  // STRUDEL_CSV_INDEX_CACHE_H_

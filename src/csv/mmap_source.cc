@@ -1,0 +1,213 @@
+#include "csv/mmap_source.h"
+
+#include <fcntl.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/io_retry.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace strudel::csv {
+
+namespace {
+
+/// Slurps the rest of `fd` into `out` through the transient-I/O helper
+/// (EINTR retries, short-read continuation). `expected` > 0 pre-sizes the
+/// buffer so regular files land in one allocation.
+Status ReadAll(int fd, const std::string& path, uint64_t expected,
+               std::string* out) {
+  out->clear();
+  if (expected > 0) out->reserve(expected);
+  char buffer[1 << 16];
+  while (true) {
+    auto got = ReadSome(fd, buffer, sizeof(buffer));
+    if (!got.ok()) {
+      return Status::IOError("I/O error while reading file: " + path + ": " +
+                             std::string(got.status().message()));
+    }
+    if (*got == 0) break;  // end of stream
+    out->append(buffer, *got);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view IoModeName(IoMode mode) {
+  switch (mode) {
+    case IoMode::kBuffered:
+      return "buffered";
+    case IoMode::kMmap:
+      return "mmap";
+    case IoMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+bool ParseIoMode(std::string_view name, IoMode* mode) {
+  if (name == "buffered") {
+    *mode = IoMode::kBuffered;
+  } else if (name == "mmap") {
+    *mode = IoMode::kMmap;
+  } else if (name == "auto") {
+    *mode = IoMode::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string_view IoFallbackReasonName(IoFallbackReason reason) {
+  switch (reason) {
+    case IoFallbackReason::kNone:
+      return "none";
+    case IoFallbackReason::kNotRegularFile:
+      return "not_regular_file";
+    case IoFallbackReason::kFileTooSmall:
+      return "file_too_small";
+    case IoFallbackReason::kMmapFailed:
+      return "mmap_failed";
+  }
+  return "unknown";
+}
+
+MmapSource::~MmapSource() { Reset(); }
+
+void MmapSource::Reset() {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_len_);
+    map_ = nullptr;
+    map_len_ = 0;
+  }
+}
+
+MmapSource::MmapSource(MmapSource&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_len_(std::exchange(other.map_len_, 0)),
+      buffer_(std::move(other.buffer_)),
+      regular_(other.regular_),
+      mtime_ns_(other.mtime_ns_),
+      size_(other.size_),
+      telemetry_(other.telemetry_) {}
+
+MmapSource& MmapSource::operator=(MmapSource&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    map_ = std::exchange(other.map_, nullptr);
+    map_len_ = std::exchange(other.map_len_, 0);
+    buffer_ = std::move(other.buffer_);
+    regular_ = other.regular_;
+    mtime_ns_ = other.mtime_ns_;
+    size_ = other.size_;
+    telemetry_ = other.telemetry_;
+  }
+  return *this;
+}
+
+Result<MmapSource> MmapSource::Open(const std::string& path, IoMode mode,
+                                    IoTelemetry* telemetry) {
+  MmapSource source;
+  source.telemetry_.requested = mode;
+  source.telemetry_.from_file = true;
+
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Status::IOError("cannot open file: " + path + ": " +
+                           ::strerror(errno));
+  }
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string detail = ::strerror(errno);
+    ::close(fd);
+    return Status::IOError("cannot stat file: " + path + ": " + detail);
+  }
+  if (S_ISDIR(st.st_mode)) {
+    ::close(fd);
+    return Status::IOError("is a directory, not a file: " + path);
+  }
+
+  source.regular_ = S_ISREG(st.st_mode);
+  if (source.regular_) {
+    source.size_ = static_cast<uint64_t>(st.st_size);
+    source.mtime_ns_ = static_cast<uint64_t>(st.st_mtim.tv_sec) *
+                           1'000'000'000ull +
+                       static_cast<uint64_t>(st.st_mtim.tv_nsec);
+  }
+
+  IoFallbackReason fallback = IoFallbackReason::kNone;
+  bool try_map = mode != IoMode::kBuffered;
+  if (try_map && !source.regular_) {
+    fallback = IoFallbackReason::kNotRegularFile;
+    try_map = false;
+  }
+  if (try_map && source.size_ == 0) {
+    // mmap(2) rejects zero-length mappings; an empty file is the
+    // degenerate too-small case under either mapping mode.
+    fallback = IoFallbackReason::kFileTooSmall;
+    try_map = false;
+  }
+  if (try_map && mode == IoMode::kAuto && source.size_ < kMmapMinBytes) {
+    fallback = IoFallbackReason::kFileTooSmall;
+    try_map = false;
+  }
+
+  if (try_map) {
+    void* map = ::mmap(nullptr, static_cast<size_t>(source.size_), PROT_READ,
+                       MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      fallback = IoFallbackReason::kMmapFailed;
+    } else {
+      source.map_ = map;
+      source.map_len_ = static_cast<size_t>(source.size_);
+      // The scan passes walk the file front to back; tell the kernel so
+      // readahead stays aggressive.
+      ::posix_madvise(map, source.map_len_, POSIX_MADV_SEQUENTIAL);
+    }
+  }
+
+  if (source.map_ == nullptr) {
+    const Status read = ReadAll(fd, path, source.size_, &source.buffer_);
+    if (!read.ok()) {
+      ::close(fd);
+      return read;
+    }
+    // A short read of a regular file (device error, concurrent truncation)
+    // must not be silently parsed as a complete file.
+    if (source.regular_ && source.buffer_.size() != source.size_) {
+      ::close(fd);
+      return Status::IOError(StrFormat(
+          "short read: got %zu of %zu bytes from %s", source.buffer_.size(),
+          static_cast<size_t>(source.size_), path.c_str()));
+    }
+    if (!source.regular_) source.size_ = source.buffer_.size();
+  }
+  ::close(fd);  // the mapping (if any) survives the descriptor
+
+  source.telemetry_.used_mmap = source.map_ != nullptr;
+  source.telemetry_.fallback = fallback;
+  source.telemetry_.bytes = source.view().size();
+
+  metrics::GetCounter(source.telemetry_.used_mmap ? "csv.io.mmap"
+                                                  : "csv.io.buffered")
+      .Increment();
+  if (fallback != IoFallbackReason::kNone) {
+    metrics::GetCounter("csv.io.fallbacks").Increment();
+    metrics::GetCounter(std::string("csv.io.fallback.") +
+                        std::string(IoFallbackReasonName(fallback)))
+        .Increment();
+  }
+  if (telemetry != nullptr) *telemetry = source.telemetry_;
+  return source;
+}
+
+}  // namespace strudel::csv

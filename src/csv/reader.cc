@@ -542,6 +542,7 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
 
   ScanTelemetry telemetry;
   telemetry.requested = options.scan_mode;
+  telemetry.io = options.io;
   const auto publish = [&telemetry, &options] {
     if (options.scan_telemetry != nullptr) *options.scan_telemetry = telemetry;
   };
@@ -582,22 +583,50 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
     if (rows.ok()) rows_scanned.Add(rows->size());
     return rows;
   }
+  // Oversize-line recovery force-closes open quotes and resyncs at the
+  // next newline, so quote parity no longer predicts the replay's state.
+  // Whenever that recovery can fire for this input, keep every delimiter
+  // in the index; the replay machine resolves them exactly.
+  const bool line_limit_can_trip =
+      options.max_line_bytes > 0 && options.max_line_bytes < text.size();
+  const bool prune = !line_limit_can_trip;
+
   StructuralIndex index;
-  {
-    STRUDEL_TRACE_SPAN("csv.scan.build_index");
-    // Oversize-line recovery force-closes open quotes and resyncs at the
-    // next newline, so quote parity no longer predicts the replay's state.
-    // Whenever that recovery can fire for this input, keep every delimiter
-    // in the index; the replay machine resolves them exactly.
-    const bool line_limit_can_trip =
-        options.max_line_bytes > 0 && options.max_line_bytes < text.size();
-    BuildStructuralIndex(text, options.dialect, &index,
-                         /*prune_quoted_delimiters=*/!line_limit_can_trip);
+  IndexCacheStatus cache_status = IndexCacheStatus::kDisabled;
+  IndexCacheKey cache_key;
+  // The cache needs a stable on-disk identity; in-memory text, pipes and
+  // stdin never set cache_identity.valid, so they always rescan.
+  const bool cache_usable =
+      options.index_cache != nullptr && options.cache_identity.valid;
+  if (cache_usable) {
+    cache_key =
+        MakeIndexCacheKey(options.cache_identity, text, options.dialect, prune);
+    STRUDEL_TRACE_SPAN("csv.scan.index_cache_lookup");
+    cache_status = options.index_cache->Lookup(cache_key, &index);
+  }
+  if (cache_status != IndexCacheStatus::kHit) {
+    {
+      STRUDEL_TRACE_SPAN("csv.scan.build_index");
+      BuildStructuralIndexParallel(
+          text, options.dialect,
+          {options.num_threads, options.parallel_chunk_bytes, prune}, &index);
+    }
+    if (index.speculation_repairs > 0) {
+      metrics::GetCounter("csv.scan.speculation_repairs")
+          .Add(index.speculation_repairs);
+    }
+    if (cache_usable) {
+      STRUDEL_TRACE_SPAN("csv.scan.index_cache_store");
+      options.index_cache->Store(cache_key, index);
+    }
   }
   telemetry.used_index = true;
   telemetry.level = index.level;
   telemetry.structural_count = index.positions.size();
   telemetry.clean_quoting = index.clean_quoting;
+  telemetry.parallel_chunks = index.chunks;
+  telemetry.speculation_repairs = index.speculation_repairs;
+  telemetry.cache = cache_status;
   publish();
   STRUDEL_TRACE_SPAN("csv.scan.index");
   auto rows = engine.RunIndexed(index);
@@ -656,8 +685,20 @@ Result<std::string> ReadFileToString(const std::string& path) {
 
 Result<Table> ReadTableFromFile(const std::string& path,
                                 const ReaderOptions& options) {
-  STRUDEL_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
-  return ReadTable(text, options);
+  STRUDEL_ASSIGN_OR_RETURN(MmapSource source,
+                           MmapSource::Open(path, options.io_mode));
+  ReaderOptions file_options = options;
+  file_options.io = source.telemetry();
+  if (source.is_regular_file()) {
+    std::error_code ec;
+    const std::filesystem::path absolute =
+        std::filesystem::absolute(path, ec);
+    file_options.cache_identity.valid = true;
+    file_options.cache_identity.path = ec ? path : absolute.string();
+    file_options.cache_identity.mtime_ns = source.mtime_ns();
+    file_options.cache_identity.file_size = source.file_size();
+  }
+  return ReadTable(source.view(), file_options);
 }
 
 }  // namespace strudel::csv

@@ -30,6 +30,8 @@
 #include "common/result.h"
 #include "csv/dialect.h"
 #include "csv/diagnostics.h"
+#include "csv/index_cache.h"
+#include "csv/mmap_source.h"
 #include "csv/simd_scan.h"
 #include "csv/table.h"
 
@@ -82,6 +84,29 @@ struct ReaderOptions {
   /// Optional telemetry sink (not owned). Records which scan path ran and
   /// why, since fallbacks are invisible in the (identical) results.
   ScanTelemetry* scan_telemetry = nullptr;
+  /// Threads for the speculative chunk-parallel structural index (0 =
+  /// hardware concurrency, 1 = serial). Results are bit-identical at any
+  /// count; inputs smaller than one chunk always build serially.
+  int num_threads = 0;
+  /// Chunk size for the parallel index build. Production callers keep
+  /// the default (~32 MB); tests shrink it to force chunk boundaries
+  /// inside small inputs.
+  size_t parallel_chunk_bytes = kDefaultScanChunkBytes;
+  /// How the file-backed entry points (ReadTableFromFile, IngestFile)
+  /// load the bytes. Ignored by the in-memory entry points.
+  IoMode io_mode = IoMode::kAuto;
+  /// Optional persistent structural-index cache (not owned). Consulted
+  /// only when `cache_identity.valid` — i.e. the text is backed by a
+  /// regular file whose identity the file-backed entry points filled in.
+  IndexCache* index_cache = nullptr;
+  /// Identity of the file behind `text`; set by ReadTableFromFile /
+  /// IngestFile, left invalid for in-memory and unseekable inputs
+  /// (which thereby disable the cache).
+  IndexCacheIdentity cache_identity;
+  /// How the input bytes were loaded; set by the file-backed entry
+  /// points and copied into ScanTelemetry so doctor can attribute I/O
+  /// routing the same way it attributes scan fallbacks.
+  IoTelemetry io;
 };
 
 /// Parses CSV text into rows of cell values. Under

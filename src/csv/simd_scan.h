@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "csv/dialect.h"
+#include "csv/mmap_source.h"
 
 namespace strudel::csv {
 
@@ -104,6 +105,13 @@ inline bool IndexerSupportsDialect(const Dialect& dialect) {
   return IndexerFallbackReason(dialect) == ScanFallbackReason::kNone;
 }
 
+/// Version of the structural-index semantics: what counts as a
+/// structural byte, the pruning rule, and the on-the-wire meaning of
+/// `positions`. Bump whenever any of those change so persisted index
+/// caches (csv/index_cache.h) from older builds are rejected as stale
+/// instead of replayed wrongly.
+inline constexpr uint32_t kStructuralIndexVersion = 1;
+
 /// Pass-1 output: the ascending offsets of every structural byte, plus
 /// what the scan learned about the input on the way.
 struct StructuralIndex {
@@ -119,12 +127,20 @@ struct StructuralIndex {
   uint64_t num_blocks = 0;
   /// Kernel that produced the bitmaps.
   SimdLevel level = SimdLevel::kSwar;
+  /// Chunks the speculative parallel build split the input into (1 for a
+  /// serial build or a cache hit).
+  uint64_t chunks = 1;
+  /// Chunks whose speculated entry state was wrong and had to be
+  /// re-scanned during the stitch (0 for a serial build).
+  uint64_t speculation_repairs = 0;
 
   void Clear() {
     positions.clear();
     clean_quoting = true;
     num_blocks = 0;
     level = SimdLevel::kSwar;
+    chunks = 1;
+    speculation_repairs = 0;
   }
 };
 
@@ -141,6 +157,61 @@ struct StructuralIndex {
 void BuildStructuralIndex(std::string_view text, const Dialect& dialect,
                           StructuralIndex* index,
                           bool prune_quoted_delimiters = true);
+
+/// The cross-block scan state threaded through pass 1: everything the
+/// per-64-byte-block loop carries from one block to the next. A chunk of
+/// the input can be scanned independently given the ScanCarry at its
+/// entry — that is the whole basis of the speculative parallel build,
+/// which guesses the entry state (not-in-quote, nothing pending, clean)
+/// and repairs chunks whose guess the left-to-right stitch disproves.
+struct ScanCarry {
+  /// Quote parity: true when the byte before the chunk lies inside a
+  /// quoted region. The one bit speculation can get wrong.
+  bool in_quote = false;
+  /// Whether the byte immediately before the chunk is a boundary byte
+  /// (delimiter / LF / CR / quote). Byte-local, so chunk entries compute
+  /// it exactly — it is never speculated.
+  bool prev_byte_is_boundary = true;  // start-of-input is a boundary
+  /// A closing quote sat on the last bit of the previous block; its
+  /// successor-boundary check is owed by the next block scanned.
+  bool pending_close_check = false;
+  /// The adjacency certificate has held so far; while true (and pruning
+  /// is on) in-quote delimiters are dropped from the index.
+  bool clean = true;
+
+  friend bool operator==(const ScanCarry&, const ScanCarry&) = default;
+};
+
+/// Production chunk size for the speculative parallel build: large
+/// enough that per-chunk setup and the serial stitch are noise, small
+/// enough that a 1 GB file fans out across a pool. (Chang et al.,
+/// SIGMOD 2019 use the same order of magnitude.)
+inline constexpr size_t kDefaultScanChunkBytes = size_t{32} << 20;
+
+struct ParallelScanOptions {
+  /// Worker threads for the chunk fan-out: 0 = hardware concurrency,
+  /// 1 = scan chunks serially (still exercising speculation + stitch).
+  int num_threads = 0;
+  /// Chunk size in bytes; rounded up to a multiple of 64 (the block
+  /// size) with a floor of 64. Production callers keep the default;
+  /// tests shrink it to force many boundaries on tiny inputs.
+  size_t chunk_bytes = kDefaultScanChunkBytes;
+  bool prune_quoted_delimiters = true;
+};
+
+/// Pass 1, chunk-parallel: splits `text` into chunks, scans each with a
+/// speculated entry ScanCarry in parallel (common/thread_pool.h), then
+/// stitches left to right, re-scanning any chunk whose actual entry
+/// state differs from the speculation. The output StructuralIndex is
+/// bit-identical to BuildStructuralIndex on the same input at any thread
+/// count and chunk size — misprediction costs one extra scan of the
+/// affected chunks, never correctness — which the differential suite
+/// enforces over the fault + boundary-adversarial corpora. Inputs that
+/// fit in a single chunk take the serial path unchanged.
+void BuildStructuralIndexParallel(std::string_view text,
+                                  const Dialect& dialect,
+                                  const ParallelScanOptions& options,
+                                  StructuralIndex* index);
 
 /// One 64-byte block's structural bitmaps; bit i = byte i of the block.
 /// Exposed for the kernel unit tests and the bitmap documentation in
@@ -161,6 +232,22 @@ BlockBitmaps ScanBlock(const char* block, char delimiter, char quote,
 /// 0..i. The carry-propagation primitive for quoted-region resolution.
 uint64_t PrefixXor(uint64_t bits);
 
+/// What the persistent structural-index cache (csv/index_cache.h) did
+/// for one ParseCsv call. Lives here (not in index_cache.h) so
+/// ScanTelemetry can embed it without a header cycle.
+enum class IndexCacheStatus {
+  kDisabled = 0,  // no cache configured, or the input has no stable
+                  // file identity (in-memory text, pipe, stdin)
+  kMiss,          // no entry for this file; the index was built and stored
+  kHit,           // the scan was skipped: index loaded and validated
+  kStale,         // an entry existed but its key no longer matches
+                  // (mtime/size/dialect/scan-version changed); rebuilt
+  kCorrupt,       // an entry existed but failed checksum or shape
+                  // validation; rebuilt from a clean rescan
+};
+
+std::string_view IndexCacheStatusName(IndexCacheStatus status);
+
 /// Telemetry sink for one ParseCsv call (set ReaderOptions::scan_telemetry
 /// to observe which path actually ran — the fallback decisions are
 /// otherwise invisible by design, since results are identical).
@@ -173,6 +260,15 @@ struct ScanTelemetry {
   /// Structural bytes indexed (0 on the scalar path).
   size_t structural_count = 0;
   bool clean_quoting = false;
+  /// Chunks the speculative parallel build used (1 = serial build).
+  size_t parallel_chunks = 1;
+  /// Chunks re-scanned because their speculated entry state was wrong.
+  size_t speculation_repairs = 0;
+  /// What the persistent index cache did for this parse.
+  IndexCacheStatus cache = IndexCacheStatus::kDisabled;
+  /// How the input bytes were loaded (filled by file-backed callers;
+  /// in-memory parses keep the default with from_file = false).
+  IoTelemetry io;
 };
 
 }  // namespace strudel::csv

@@ -1,8 +1,11 @@
 #include "strudel/ingest.h"
 
+#include <filesystem>
+
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/trace.h"
+#include "csv/mmap_source.h"
 
 namespace strudel {
 
@@ -20,13 +23,60 @@ std::string IngestResult::Report() const {
                    table.num_rows(), table.num_cols(),
                    table.non_empty_count(),
                    recovered ? ", via recovery mode" : "");
+  // I/O routing, attributed exactly like scan fallbacks below: the parse
+  // is identical either way, so doctor is the only place the decision
+  // (and why mmap was not used) is visible.
+  const char* io_reason = "";
+  switch (scan.io.fallback) {
+    case csv::IoFallbackReason::kNone:
+      break;
+    case csv::IoFallbackReason::kNotRegularFile:
+      io_reason = "not a regular file (pipe/stdin); cannot be mapped";
+      break;
+    case csv::IoFallbackReason::kFileTooSmall:
+      io_reason = "below the mmap threshold; one buffered read is cheaper";
+      break;
+    case csv::IoFallbackReason::kMmapFailed:
+      io_reason = "mmap(2) failed; fell back to a buffered read";
+      break;
+  }
+  out += StrFormat(
+      "io:       %s%s\n",
+      !scan.io.from_file ? "in-memory"
+      : scan.io.used_mmap
+          ? StrFormat("mmap (%llu bytes)",
+                      static_cast<unsigned long long>(scan.io.bytes))
+                .c_str()
+          : "buffered",
+      scan.io.from_file && scan.io.fallback != csv::IoFallbackReason::kNone
+          ? StrFormat(" (fallback: %s — %s)",
+                      std::string(
+                          csv::IoFallbackReasonName(scan.io.fallback))
+                          .c_str(),
+                      io_reason)
+                .c_str()
+          : "");
   out += StrFormat(
       "scan:     %s%s\n",
       scan.used_index
-          ? StrFormat("structural-index (%s, %zu structural bytes%s)",
+          ? StrFormat("structural-index (%s, %zu structural bytes%s%s%s)",
                       std::string(csv::SimdLevelName(scan.level)).c_str(),
                       scan.structural_count,
-                      scan.clean_quoting ? ", clean quoting" : "")
+                      scan.clean_quoting ? ", clean quoting" : "",
+                      scan.parallel_chunks > 1
+                          ? StrFormat(", %zu chunks, %zu speculation "
+                                      "repairs",
+                                      scan.parallel_chunks,
+                                      scan.speculation_repairs)
+                                .c_str()
+                          : "",
+                      scan.cache != csv::IndexCacheStatus::kDisabled
+                          ? StrFormat(", index cache %s",
+                                      std::string(csv::IndexCacheStatusName(
+                                                      scan.cache))
+                                          .c_str())
+                                .c_str()
+                          : "")
                 .c_str()
           : "scalar",
       !scan.used_index && scan.fallback != csv::ScanFallbackReason::kNone
@@ -121,8 +171,24 @@ Result<IngestResult> IngestText(std::string_view bytes,
 
 Result<IngestResult> IngestFile(const std::string& path,
                                 const IngestOptions& options) {
-  STRUDEL_ASSIGN_OR_RETURN(std::string bytes, csv::ReadFileToString(path));
-  return IngestText(bytes, options);
+  STRUDEL_ASSIGN_OR_RETURN(
+      csv::MmapSource source,
+      csv::MmapSource::Open(path, options.reader.io_mode));
+  IngestOptions file_options = options;
+  file_options.reader.io = source.telemetry();
+  if (source.is_regular_file()) {
+    // Regular files carry the stable (path, mtime, size) identity the
+    // structural-index cache keys on; pipes and stdin leave the identity
+    // invalid, which disables the cache for this ingest.
+    std::error_code ec;
+    const std::filesystem::path absolute =
+        std::filesystem::absolute(path, ec);
+    file_options.reader.cache_identity.valid = true;
+    file_options.reader.cache_identity.path = ec ? path : absolute.string();
+    file_options.reader.cache_identity.mtime_ns = source.mtime_ns();
+    file_options.reader.cache_identity.file_size = source.file_size();
+  }
+  return IngestText(source.view(), file_options);
 }
 
 }  // namespace strudel

@@ -145,6 +145,94 @@ std::string GenerateCsv(Rng& rng, const CsvGenConfig& config) {
   return out;
 }
 
+std::string GenerateBoundaryAdversarialCsv(Rng& rng, const Dialect& dialect,
+                                           size_t chunk_bytes,
+                                           size_t num_boundaries) {
+  const char delim = dialect.delimiter;
+  const char quote = dialect.quote;
+  std::string out;
+  // Fill with complete short rows of non-structural bytes so a gadget is
+  // the only structure near its boundary.
+  const auto pad_to = [&out](size_t target) {
+    while (out.size() < target) {
+      const size_t n = target - out.size();
+      if (n == 1) {
+        out += '\n';
+        break;
+      }
+      const size_t row = std::min<size_t>(n, 40);
+      out.append(row - 1, 'a');
+      out += '\n';
+    }
+  };
+  for (size_t k = 1; k <= num_boundaries; ++k) {
+    const size_t boundary = k * chunk_bytes;
+    // `lead` positions the gadget so gadget[lead] lands on the boundary.
+    size_t lead = 0;
+    std::string gadget;
+    if (quote == '\0') {
+      // Quoteless dialects: the remaining hazards are the CRLF pair and
+      // a delimiter landing exactly on the boundary.
+      if (rng.UniformInt(2) == 0) {
+        gadget = std::string("ab\r\ncd") + delim + "ef\n";
+        lead = 3;  // '\r' at boundary-1, '\n' on the boundary
+      } else {
+        gadget = std::string(1, delim) + "cd\n";
+        lead = 0;  // delimiter exactly on the boundary
+      }
+    } else {
+      switch (rng.UniformInt(7)) {
+        case 0:  // quote opens just before the boundary; the delimiter
+                 // after it is inside the quoted field
+          gadget = std::string(1, quote) + "ab" + delim + "cd" +
+                   std::string(1, quote) + '\n';
+          lead = 2;
+          break;
+        case 1:  // doubled (escaped) quote split exactly across
+          gadget = std::string(1, quote) + "ab" + std::string(2, quote) +
+                   "cd" + std::string(1, quote) + '\n';
+          lead = 4;
+          break;
+        case 2:  // CRLF pair astride the boundary
+          gadget = std::string("ab\r\ncd") + delim + "ef\n";
+          lead = 3;
+          break;
+        case 3:  // multi-line quoted cell: the boundary newline is data
+          gadget = std::string(1, quote) + "ab\ncd" + delim + "ef" +
+                   std::string(1, quote) + '\n';
+          lead = 3;
+          break;
+        case 4:  // closing quote as the last byte of the chunk
+          gadget = std::string(1, quote) + "ab" + std::string(1, quote) +
+                   delim + "cd\n";
+          lead = 4;
+          break;
+        case 5:  // stray quote exactly on the boundary, unquoted context
+          gadget = std::string("ab") + quote + "cd" + delim + "ef\n";
+          lead = 2;
+          break;
+        default: {  // quoted cell swallowing the entire next chunk
+          std::string body(chunk_bytes + chunk_bytes / 2, 'x');
+          body[body.size() / 3] = delim;
+          body[body.size() / 2] = '\n';
+          gadget = std::string(1, quote) + body + std::string(1, quote) + '\n';
+          lead = 1;
+          break;
+        }
+      }
+    }
+    if (boundary < lead) continue;
+    const size_t target = boundary - lead;
+    if (out.size() > target) continue;  // a previous gadget overshot this one
+    pad_to(target);
+    out += gadget;
+  }
+  if (rng.Bernoulli(0.3) && !out.empty() && out.back() == '\n') {
+    out.pop_back();
+  }
+  return out;
+}
+
 std::string ShrinkToMinimal(
     std::string input,
     const std::function<bool(std::string_view)>& still_fails) {

@@ -63,6 +63,20 @@ CsvGenConfig RandomConfig(Rng& rng, const Dialect& dialect);
 /// Generates one CSV byte string. Deterministic in `rng`.
 std::string GenerateCsv(Rng& rng, const CsvGenConfig& config);
 
+/// Boundary-adversarial generation for the speculative chunk-parallel
+/// indexer: each gadget — a quoted field opening just before a chunk
+/// boundary, a doubled quote split across one, a CRLF pair astride it, a
+/// multi-line quoted cell whose embedded newline lands exactly on it, a
+/// closing quote as the last byte of a chunk, a stray quote on the
+/// boundary, or a quoted cell swallowing an entire chunk — is padded so
+/// its structurally ambiguous byte sits on a multiple of `chunk_bytes`,
+/// exactly where the parallel scan speculates its entry state. The rest
+/// of the file is structural-free filler, so every disagreement traces
+/// to a deliberately placed hazard. Deterministic in `rng`.
+std::string GenerateBoundaryAdversarialCsv(Rng& rng, const Dialect& dialect,
+                                           size_t chunk_bytes,
+                                           size_t num_boundaries);
+
 /// Greedy ddmin-style shrink: repeatedly deletes chunks (halving the
 /// chunk size when stuck) while `still_fails` holds, returning a locally
 /// minimal failing input. The predicate call count is capped, so this

@@ -18,6 +18,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -465,6 +467,191 @@ TEST(DifferentialGeneratorTest, GeneratorIsDeterministic) {
     EXPECT_EQ(csv::testing::GenerateCsv(rng_a, ca),
               csv::testing::GenerateCsv(rng_b, cb));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Speculative chunk-parallel indexing. The parallel index build guesses
+// the quote parity at every chunk boundary and repairs mispredictions in
+// a serial stitch, so it must stay byte-equivalent to the scalar reader
+// at every thread count and chunk size — including on inputs built so
+// quoted fields, escaped quotes and CRLF pairs straddle the boundaries.
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+class ParallelDifferentialTest : public DifferentialReaderTest {
+ protected:
+  static void CheckCorruptedParallel(const std::string& bytes,
+                                     const std::string& label, int threads,
+                                     size_t chunk_bytes) {
+    ReaderOptions raw;
+    raw.num_threads = threads;
+    raw.parallel_chunk_bytes = chunk_bytes;
+    std::string diff = DiffAllPolicies(bytes, raw);
+    if (!diff.empty()) ReportMismatch(bytes, raw, label + " (raw)", diff);
+
+    const std::string text = csv::Sanitize(bytes, {}, nullptr, nullptr);
+    ReaderOptions sanitized;
+    sanitized.dialect = csv::DetectDialectWithFallback(text).dialect;
+    sanitized.num_threads = threads;
+    sanitized.parallel_chunk_bytes = chunk_bytes;
+    diff = DiffAllPolicies(text, sanitized);
+    if (!diff.empty()) {
+      ReportMismatch(text, sanitized, label + " (sanitized)", diff);
+    }
+  }
+};
+
+TEST_F(ParallelDifferentialTest, FaultCorpusAgreesAtAllThreadCounts) {
+  // The same 576-input sweep as the serial differential test (same seeds,
+  // same corpus), re-parsed with the speculative chunk-parallel indexer
+  // at 64-byte chunks so every input spans many chunks. The thread count
+  // rotates with the seed, so each of 1, 2 and 8 threads covers the full
+  // base x corruption-kind grid.
+  int runs = 0;
+  for (size_t b = 0; b < bases_->size(); ++b) {
+    for (testing::CorruptionKind kind : testing::kAllCorruptionKinds) {
+      for (uint64_t seed = 0; seed < 6; ++seed) {
+        Rng rng(seed * 7919 + b * 104729 +
+                static_cast<uint64_t>(kind) * 31 + 1);
+        const std::string corrupted =
+            testing::Corrupt((*bases_)[b], kind, rng);
+        const int threads = kThreadCounts[seed % std::size(kThreadCounts)];
+        CheckCorruptedParallel(
+            corrupted,
+            StrFormat("parallel base=%zu kind=%s seed=%llu threads=%d", b,
+                      std::string(testing::CorruptionKindName(kind)).c_str(),
+                      static_cast<unsigned long long>(seed), threads),
+            threads, 64);
+        ++runs;
+      }
+    }
+  }
+  EXPECT_GE(runs, 500);
+}
+
+TEST_F(ParallelDifferentialTest, BoundaryAdversarialCorpusAgrees) {
+  // Every input places quote/CRLF hazards exactly on chunk boundaries;
+  // each is checked at 1, 2 and 8 threads under all three policies.
+  for (int i = 0; i < 240; ++i) {
+    Rng rng(SplitMix64Stream(0xb0a2dull, static_cast<uint64_t>(i)));
+    const Dialect dialect = csv::testing::RandomIndexableDialect(rng);
+    const size_t chunk = (i % 2 == 0) ? 64 : 256;
+    const std::string text = csv::testing::GenerateBoundaryAdversarialCsv(
+        rng, dialect, chunk, 6);
+    for (const int threads : kThreadCounts) {
+      ReaderOptions base;
+      base.dialect = dialect;
+      base.num_threads = threads;
+      base.parallel_chunk_bytes = chunk;
+      const std::string diff = DiffAllPolicies(text, base);
+      if (!diff.empty()) {
+        ReportMismatch(text, base,
+                       StrFormat("boundary case %d threads=%d chunk=%zu", i,
+                                 threads, chunk),
+                       diff);
+        return;
+      }
+    }
+  }
+}
+
+TEST(ParallelIndexPropertyTest, ParallelIndexEqualsSerialIndex) {
+  // The index itself, not just the parse: positions and the
+  // clean-quoting certificate must match the serial build bit-for-bit at
+  // every (chunk size, thread count, prune flag) combination.
+  for (int i = 0; i < 300; ++i) {
+    Rng rng(SplitMix64Stream(0x9a11e1ull, static_cast<uint64_t>(i)));
+    const Dialect dialect = csv::testing::RandomIndexableDialect(rng);
+    std::string text;
+    if (i % 3 == 0) {
+      text = csv::testing::GenerateBoundaryAdversarialCsv(rng, dialect, 64, 5);
+    } else {
+      const csv::testing::CsvGenConfig config =
+          csv::testing::RandomConfig(rng, dialect);
+      text = csv::testing::GenerateCsv(rng, config);
+    }
+    for (const bool prune : {true, false}) {
+      csv::StructuralIndex serial;
+      csv::BuildStructuralIndex(text, dialect, &serial, prune);
+      for (const size_t chunk : {size_t{64}, size_t{128}, size_t{256}}) {
+        for (const int threads : kThreadCounts) {
+          csv::ParallelScanOptions options;
+          options.num_threads = threads;
+          options.chunk_bytes = chunk;
+          options.prune_quoted_delimiters = prune;
+          csv::StructuralIndex parallel;
+          csv::BuildStructuralIndexParallel(text, dialect, options, &parallel);
+          ASSERT_EQ(serial.positions, parallel.positions)
+              << "case " << i << " chunk=" << chunk << " threads=" << threads
+              << " prune=" << prune << ": \""
+              << csv::testing::EscapeForDisplay(text) << "\"";
+          ASSERT_EQ(serial.clean_quoting, parallel.clean_quoting)
+              << "case " << i << " chunk=" << chunk << " threads=" << threads;
+          if (text.size() > chunk) {
+            EXPECT_GT(parallel.chunks, 1u) << "case " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelIndexPropertyTest, ForcedMispredictionRepairsAndAgrees) {
+  // Chunk 1 begins inside a quoted field, so the boundary speculation
+  // (quote parity even) must mispredict, the stitch must repair, and the
+  // repaired parse must still equal the scalar reference.
+  std::string text(60, 'a');
+  text += ",\"";  // quote opens at byte 61; the 64-byte boundary is inside
+  text += std::string(20, 'b');
+  text += ",c\",d\n";
+  ReaderOptions base;
+  base.num_threads = 2;
+  base.parallel_chunk_bytes = 64;
+  EXPECT_EQ(DiffAllPolicies(text, base), "");
+
+  base.policy = RecoveryPolicy::kLenient;
+  const Outcome indexed = RunParse(text, base, ScanMode::kAuto);
+  EXPECT_TRUE(indexed.telemetry.used_index);
+  EXPECT_EQ(indexed.telemetry.parallel_chunks, 2u);
+  EXPECT_GE(indexed.telemetry.speculation_repairs, 1u);
+
+  // A quote-free input of the same shape must pay zero repairs: the
+  // boundary guess is simply correct.
+  std::string clean(60, 'a');
+  clean += ",bbb\n";
+  clean += std::string(60, 'c') + ",ddd\n";
+  const Outcome ok = RunParse(clean, base, ScanMode::kAuto);
+  EXPECT_TRUE(ok.telemetry.used_index);
+  EXPECT_GE(ok.telemetry.parallel_chunks, 2u);
+  EXPECT_EQ(ok.telemetry.speculation_repairs, 0u);
+}
+
+TEST(BoundaryGeneratorTest, DeterministicAndActuallyAdversarial) {
+  for (int i = 0; i < 50; ++i) {
+    Rng rng_a(SplitMix64Stream(7, static_cast<uint64_t>(i)));
+    Rng rng_b(SplitMix64Stream(7, static_cast<uint64_t>(i)));
+    const Dialect da = csv::testing::RandomIndexableDialect(rng_a);
+    const Dialect db = csv::testing::RandomIndexableDialect(rng_b);
+    ASSERT_EQ(csv::testing::GenerateBoundaryAdversarialCsv(rng_a, da, 64, 4),
+              csv::testing::GenerateBoundaryAdversarialCsv(rng_b, db, 64, 4));
+  }
+  // The corpus is vacuous unless hazard bytes actually sit on (or
+  // immediately around) the chunk boundaries; count them.
+  size_t adjacent = 0;
+  for (int i = 0; i < 50; ++i) {
+    Rng rng(SplitMix64Stream(0xb0dull, static_cast<uint64_t>(i)));
+    const std::string text = csv::testing::GenerateBoundaryAdversarialCsv(
+        rng, csv::Rfc4180Dialect(), 64, 6);
+    for (size_t b = 64; b < text.size(); b += 64) {
+      for (size_t off = b - 4; off < std::min(text.size(), b + 4); ++off) {
+        if (text[off] == '"' || text[off] == '\r' || text[off] == '\n') {
+          ++adjacent;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(adjacent, 50u);
 }
 
 TEST(DifferentialGeneratorTest, ShrinkFindsSmallRepro) {

@@ -1,0 +1,470 @@
+// Persistent structural-index cache: correctness under reuse, staleness
+// and hostile on-disk state.
+//
+// The invariant every test here defends: a cache can make parsing
+// faster, never different. Hits must reproduce the serial index
+// bit-for-bit; any mismatch between the key and the file behind it
+// (mtime, size, dialect, prune flag, scan version) must read as stale;
+// and arbitrary corruption of the entry bytes — truncation, bit flips,
+// token damage, even checksum-consistent payload rewrites — must at
+// worst force a clean rescan, never a wrong parse.
+//
+// Runs as its own executable under the `indexcache` ctest label; the
+// sanitizer gate runs it under ASan/UBSan.
+
+#include "csv/index_cache.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "csv/mmap_source.h"
+#include "csv/reader.h"
+#include "csv/simd_scan.h"
+#include "csv/writer.h"
+#include "strudel/ingest.h"
+#include "strudel/section_io.h"
+#include "testing/model_corruptor.h"
+
+namespace strudel {
+namespace {
+
+using csv::IndexCache;
+using csv::IndexCacheIdentity;
+using csv::IndexCacheKey;
+using csv::IndexCacheStatus;
+using csv::StructuralIndex;
+
+/// A fresh directory per test so entries never leak across tests.
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/idxcache_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void WriteFileOrDie(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// The single .sidx entry a one-file workload produces.
+std::string EntryFileIn(const std::string& dir) {
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".sidx") return e.path().string();
+  }
+  return "";
+}
+
+/// Big enough for a non-trivial index, quoted so pruning has work to do.
+std::string SampleCsv() {
+  std::string text = "h1,h2,h3\n";
+  for (int i = 0; i < 200; ++i) {
+    text += StrFormat("r%d,\"v,%d\",plain%d\n", i, i, i);
+  }
+  return text;
+}
+
+IndexCacheIdentity FakeIdentity(const std::string& path, uint64_t mtime_ns,
+                                uint64_t file_size) {
+  IndexCacheIdentity identity;
+  identity.valid = true;
+  identity.path = path;
+  identity.mtime_ns = mtime_ns;
+  identity.file_size = file_size;
+  return identity;
+}
+
+void BumpMtime(const std::string& path) {
+  const auto now = std::filesystem::last_write_time(path);
+  std::filesystem::last_write_time(path, now + std::chrono::seconds(2));
+}
+
+IngestOptions CachedIngestOptions(IndexCache* cache) {
+  IngestOptions options;
+  options.reader.index_cache = cache;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Direct Store/Lookup contract.
+
+TEST(IndexCacheDirectTest, StoreThenLookupRoundTripsTheIndex) {
+  const std::string text = SampleCsv();
+  StructuralIndex built;
+  csv::BuildStructuralIndex(text, csv::Rfc4180Dialect(), &built);
+  ASSERT_FALSE(built.positions.empty());
+
+  const IndexCacheIdentity identity =
+      FakeIdentity("/virtual/sample.csv", 42, text.size());
+  const IndexCacheKey key =
+      csv::MakeIndexCacheKey(identity, text, csv::Rfc4180Dialect(), true);
+  IndexCache cache(FreshDir("roundtrip"));
+
+  StructuralIndex out;
+  EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kMiss);
+  ASSERT_TRUE(cache.Store(key, built));
+  EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kHit);
+  EXPECT_EQ(out.positions, built.positions);
+  EXPECT_EQ(out.clean_quoting, built.clean_quoting);
+  EXPECT_EQ(out.num_blocks, built.num_blocks);
+}
+
+TEST(IndexCacheDirectTest, AnyKeyComponentChangeIsStale) {
+  const std::string text = SampleCsv();
+  StructuralIndex built;
+  csv::BuildStructuralIndex(text, csv::Rfc4180Dialect(), &built);
+  const IndexCacheIdentity identity =
+      FakeIdentity("/virtual/sample.csv", 42, text.size());
+  const IndexCacheKey key =
+      csv::MakeIndexCacheKey(identity, text, csv::Rfc4180Dialect(), true);
+  IndexCache cache(FreshDir("stale"));
+  ASSERT_TRUE(cache.Store(key, built));
+
+  StructuralIndex out;
+  // mtime changed under the same path: the classic stale entry.
+  IndexCacheKey mtime = key;
+  mtime.identity.mtime_ns = 43;
+  EXPECT_EQ(cache.Lookup(mtime, &out), IndexCacheStatus::kStale);
+  EXPECT_TRUE(out.positions.empty());
+  // File grew.
+  IndexCacheKey size = key;
+  size.identity.file_size += 1;
+  EXPECT_EQ(cache.Lookup(size, &out), IndexCacheStatus::kStale);
+  // Dialect changed: the same bytes index differently under ';'.
+  csv::Dialect semicolon = csv::Rfc4180Dialect();
+  semicolon.delimiter = ';';
+  EXPECT_EQ(cache.Lookup(
+                csv::MakeIndexCacheKey(identity, text, semicolon, true), &out),
+            IndexCacheStatus::kStale);
+  // Prune flag changed: a pruned index is not valid for an unpruned
+  // parse (line-limited parses need every delimiter).
+  EXPECT_EQ(cache.Lookup(
+                csv::MakeIndexCacheKey(identity, text, csv::Rfc4180Dialect(),
+                                       false),
+                &out),
+            IndexCacheStatus::kStale);
+  // Scan-version bump: an old entry must never satisfy a new indexer.
+  IndexCacheKey version = key;
+  version.scan_version = csv::kStructuralIndexVersion + 1;
+  EXPECT_EQ(cache.Lookup(version, &out), IndexCacheStatus::kStale);
+  // The original key still hits: staleness is per-key, not destructive.
+  EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kHit);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through IngestFile.
+
+TEST(IndexCacheIngestTest, MissThenHitWithIdenticalTables) {
+  const std::string dir = FreshDir("ingest");
+  const std::string path = dir + "/input.csv";
+  WriteFileOrDie(path, SampleCsv());
+  IndexCache cache(FreshDir("ingest_cache"));
+
+  auto first = IngestFile(path, CachedIngestOptions(&cache));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->scan.cache, IndexCacheStatus::kMiss);
+
+  auto second = IngestFile(path, CachedIngestOptions(&cache));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->scan.cache, IndexCacheStatus::kHit);
+  EXPECT_EQ(csv::WriteTable(first->table), csv::WriteTable(second->table));
+  EXPECT_NE(second->Report().find("index cache hit"), std::string::npos)
+      << second->Report();
+}
+
+TEST(IndexCacheIngestTest, MtimeBumpIsStaleThenHitsAgain) {
+  const std::string dir = FreshDir("mtime");
+  const std::string path = dir + "/input.csv";
+  WriteFileOrDie(path, SampleCsv());
+  IndexCache cache(FreshDir("mtime_cache"));
+
+  ASSERT_TRUE(IngestFile(path, CachedIngestOptions(&cache)).ok());
+  BumpMtime(path);
+  auto stale = IngestFile(path, CachedIngestOptions(&cache));
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale->scan.cache, IndexCacheStatus::kStale);
+  // The stale parse re-stored under the new mtime.
+  auto hit = IngestFile(path, CachedIngestOptions(&cache));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->scan.cache, IndexCacheStatus::kHit);
+}
+
+TEST(IndexCacheIngestTest, RewrittenFileNeverServesTheOldIndex) {
+  const std::string dir = FreshDir("rewrite");
+  const std::string path = dir + "/input.csv";
+  IndexCache cache(FreshDir("rewrite_cache"));
+
+  WriteFileOrDie(path, SampleCsv());
+  ASSERT_TRUE(IngestFile(path, CachedIngestOptions(&cache)).ok());
+
+  // Different bytes, different structure, same path. Force the mtime
+  // forward so the rewrite is visible even on coarse filesystem clocks.
+  std::string rewritten = "x;y;z\n";
+  for (int i = 0; i < 50; ++i) {
+    rewritten += StrFormat("%d;\"a;%d\";b\n", i, i);
+  }
+  WriteFileOrDie(path, rewritten);
+  BumpMtime(path);
+
+  auto after = IngestFile(path, CachedIngestOptions(&cache));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_NE(after->scan.cache, IndexCacheStatus::kHit);
+  // The parse must equal a cache-free ingest of the new bytes.
+  auto reference = IngestText(rewritten, {});
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(csv::WriteTable(after->table), csv::WriteTable(reference->table));
+  // And the refreshed entry serves the new structure from now on.
+  auto hit = IngestFile(path, CachedIngestOptions(&cache));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->scan.cache, IndexCacheStatus::kHit);
+  EXPECT_EQ(csv::WriteTable(hit->table), csv::WriteTable(reference->table));
+}
+
+TEST(IndexCacheIngestTest, InMemoryInputDisablesTheCache) {
+  const std::string cache_dir = FreshDir("inmem_cache");
+  IndexCache cache(cache_dir);
+  auto result = IngestText(SampleCsv(), CachedIngestOptions(&cache));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->scan.cache, IndexCacheStatus::kDisabled);
+  EXPECT_EQ(EntryFileIn(cache_dir), "");
+}
+
+TEST(IndexCacheIngestTest, FifoInputDisablesTheCacheAndFallsBackToBuffered) {
+  const std::string dir = FreshDir("fifo");
+  const std::string path = dir + "/pipe.csv";
+  ASSERT_EQ(::mkfifo(path.c_str(), 0600), 0);
+  const std::string payload = "a,b\n\"c,d\",e\n";
+  std::thread writer([&] {
+    std::ofstream out(path, std::ios::binary);
+    out << payload;
+  });
+  const std::string cache_dir = FreshDir("fifo_cache");
+  IndexCache cache(cache_dir);
+  auto result = IngestFile(path, CachedIngestOptions(&cache));
+  writer.join();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->scan.cache, IndexCacheStatus::kDisabled);
+  EXPECT_FALSE(result->scan.io.used_mmap);
+  EXPECT_EQ(result->scan.io.fallback, csv::IoFallbackReason::kNotRegularFile);
+  EXPECT_EQ(EntryFileIn(cache_dir), "");
+  EXPECT_EQ(result->table.num_rows(), 2);
+}
+
+TEST(IndexCacheIngestTest, UnwritableCacheDirectoryDegradesToMisses) {
+  const std::string dir = FreshDir("unwritable");
+  const std::string blocker = dir + "/blocker";
+  WriteFileOrDie(blocker, "not a directory");
+  // The cache directory path runs through a regular file, so neither
+  // create_directories nor any entry write can succeed.
+  IndexCache cache(blocker + "/sub");
+  const std::string path = dir + "/input.csv";
+  WriteFileOrDie(path, SampleCsv());
+  for (int round = 0; round < 2; ++round) {
+    auto result = IngestFile(path, CachedIngestOptions(&cache));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->scan.cache, IndexCacheStatus::kMiss) << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile on-disk entries. Reuses the model-persistence fuzz machinery
+// (tests/testing/model_corruptor.h): the cache entry is the same
+// checksummed section format, so every mutation kind applies directly.
+
+TEST(IndexCacheFuzzTest, CorruptedEntriesNeverChangeTheParse) {
+  const std::string dir = FreshDir("fuzz");
+  const std::string path = dir + "/input.csv";
+  WriteFileOrDie(path, SampleCsv());
+  const std::string cache_dir = FreshDir("fuzz_cache");
+  IndexCache cache(cache_dir);
+
+  auto reference = IngestFile(path, CachedIngestOptions(&cache));
+  ASSERT_TRUE(reference.ok());
+  const std::string reference_table = csv::WriteTable(reference->table);
+  const std::string entry_path = EntryFileIn(cache_dir);
+  ASSERT_NE(entry_path, "");
+  const std::string valid_entry = ReadFileOrDie(entry_path);
+  ASSERT_FALSE(valid_entry.empty());
+
+  size_t rejected = 0;
+  for (const testing::ModelCorruptionKind kind :
+       testing::kAllModelCorruptionKinds) {
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      Rng rng(seed * 2741 + static_cast<uint64_t>(kind) * 97 + 11);
+      const std::string corrupted =
+          testing::CorruptModelBytes(valid_entry, kind, rng);
+      WriteFileOrDie(entry_path, corrupted);
+
+      auto result = IngestFile(path, CachedIngestOptions(&cache));
+      ASSERT_TRUE(result.ok())
+          << "kind=" << testing::ModelCorruptionKindName(kind)
+          << " seed=" << seed << ": " << result.status().ToString();
+      // The one invariant: damage may cost a rescan, never correctness.
+      EXPECT_EQ(csv::WriteTable(result->table), reference_table)
+          << "kind=" << testing::ModelCorruptionKindName(kind)
+          << " seed=" << seed;
+      // A hit is only legitimate when the mutation happened to be a
+      // no-op; anything else must have been rejected and rebuilt.
+      if (result->scan.cache == IndexCacheStatus::kHit) {
+        EXPECT_EQ(corrupted, valid_entry)
+            << "kind=" << testing::ModelCorruptionKindName(kind)
+            << " seed=" << seed << ": corrupted entry served as a hit";
+      } else {
+        ++rejected;
+      }
+    }
+  }
+  EXPECT_GT(rejected, 20u);
+}
+
+TEST(IndexCacheFuzzTest, TruncationAtEveryDepthNeverHits) {
+  const std::string text = SampleCsv();
+  StructuralIndex built;
+  csv::BuildStructuralIndex(text, csv::Rfc4180Dialect(), &built);
+  const IndexCacheKey key = csv::MakeIndexCacheKey(
+      FakeIdentity("/virtual/trunc.csv", 7, text.size()), text,
+      csv::Rfc4180Dialect(), true);
+  IndexCache cache(FreshDir("trunc_cache"));
+  ASSERT_TRUE(cache.Store(key, built));
+  const std::string entry_path = cache.EntryPath(key);
+  const std::string valid_entry = ReadFileOrDie(entry_path);
+  ASSERT_GT(valid_entry.size(), 64u);
+
+  const size_t step = std::max<size_t>(1, valid_entry.size() / 64);
+  for (size_t len = 0; len < valid_entry.size(); len += step) {
+    WriteFileOrDie(entry_path, valid_entry.substr(0, len));
+    StructuralIndex out;
+    const IndexCacheStatus status = cache.Lookup(key, &out);
+    EXPECT_NE(status, IndexCacheStatus::kHit) << "len=" << len;
+    EXPECT_TRUE(out.positions.empty()) << "len=" << len;
+  }
+  // Restoring the full bytes restores the hit.
+  WriteFileOrDie(entry_path, valid_entry);
+  StructuralIndex out;
+  EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kHit);
+}
+
+TEST(IndexCacheFuzzTest, ChecksumValidButSemanticallyHostileEntriesAreCorrupt) {
+  using internal_model_io::WriteSection;
+  const std::string text = SampleCsv();
+  StructuralIndex built;
+  csv::BuildStructuralIndex(text, csv::Rfc4180Dialect(), &built);
+  const IndexCacheKey key = csv::MakeIndexCacheKey(
+      FakeIdentity("/virtual/hostile.csv", 7, text.size()), text,
+      csv::Rfc4180Dialect(), true);
+  IndexCache cache(FreshDir("hostile_cache"));
+  ASSERT_TRUE(cache.Store(key, built));
+  const std::string entry_path = cache.EntryPath(key);
+
+  const auto encode = [](const std::vector<uint64_t>& positions) {
+    std::string payload(positions.size() * sizeof(uint64_t), '\0');
+    std::memcpy(payload.data(), positions.data(), payload.size());
+    return payload;  // little-endian hosts only; fine for a unit test
+  };
+  const auto write_entry = [&](const std::string& meta,
+                               const std::vector<uint64_t>& positions,
+                               const std::string& trailer = "") {
+    std::ofstream out(entry_path, std::ios::binary | std::ios::trunc);
+    WriteSection(out, "index_key", key.Serialize());
+    WriteSection(out, "index_meta", meta);
+    WriteSection(out, "index_positions", encode(positions));
+    out << trailer;
+  };
+  const std::string good_meta =
+      StrFormat("clean %d blocks %llu count %llu", built.clean_quoting ? 1 : 0,
+                static_cast<unsigned long long>(built.num_blocks),
+                static_cast<unsigned long long>(built.positions.size()));
+
+  StructuralIndex out;
+  // Every section checksum below is valid — only semantic validation can
+  // reject these.
+  // (a) Block count inconsistent with the text size.
+  write_entry(StrFormat("clean 1 blocks %llu count %llu",
+                        static_cast<unsigned long long>(built.num_blocks + 1),
+                        static_cast<unsigned long long>(
+                            built.positions.size())),
+              built.positions);
+  EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kCorrupt);
+  // (b) Structural-byte count exceeding the byte count of the text.
+  write_entry(StrFormat("clean 1 blocks %llu count %llu",
+                        static_cast<unsigned long long>(built.num_blocks),
+                        static_cast<unsigned long long>(text.size() + 1)),
+              built.positions);
+  EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kCorrupt);
+  // (c) Count disagreeing with the payload length.
+  write_entry(StrFormat("clean 1 blocks %llu count %llu",
+                        static_cast<unsigned long long>(built.num_blocks),
+                        static_cast<unsigned long long>(
+                            built.positions.size() + 1)),
+              built.positions);
+  EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kCorrupt);
+  // (d) Non-ascending offsets: would violate the replay preconditions.
+  {
+    std::vector<uint64_t> swapped = built.positions;
+    ASSERT_GE(swapped.size(), 2u);
+    std::swap(swapped[0], swapped[1]);
+    write_entry(good_meta, swapped);
+    EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kCorrupt);
+    EXPECT_TRUE(out.positions.empty());
+  }
+  // (e) An offset past the end of the text.
+  {
+    std::vector<uint64_t> oob = built.positions;
+    oob.back() = text.size();
+    write_entry(good_meta, oob);
+    EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kCorrupt);
+  }
+  // (f) Trailing bytes after the last section.
+  write_entry(good_meta, built.positions, "section trailing 0 0\n\n");
+  EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kCorrupt);
+  // A well-formed rewrite still hits, so none of the rejections above
+  // were an artifact of the writer lambda.
+  write_entry(good_meta, built.positions);
+  EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kHit);
+  EXPECT_EQ(out.positions, built.positions);
+}
+
+TEST(IndexCacheFuzzTest, ForeignKeyEntryInTheSlotIsStaleNotServed) {
+  // Two different source paths can never share a slot (the entry name
+  // hashes the path), but a moved/copied cache directory can present an
+  // entry whose stored key describes another file. That must read as
+  // stale, not hit.
+  const std::string text = SampleCsv();
+  StructuralIndex built;
+  csv::BuildStructuralIndex(text, csv::Rfc4180Dialect(), &built);
+  const IndexCacheKey key_a = csv::MakeIndexCacheKey(
+      FakeIdentity("/virtual/a.csv", 7, text.size()), text,
+      csv::Rfc4180Dialect(), true);
+  const IndexCacheKey key_b = csv::MakeIndexCacheKey(
+      FakeIdentity("/virtual/b.csv", 7, text.size()), text,
+      csv::Rfc4180Dialect(), true);
+  IndexCache cache(FreshDir("foreign_cache"));
+  ASSERT_TRUE(cache.Store(key_a, built));
+  std::filesystem::copy_file(cache.EntryPath(key_a), cache.EntryPath(key_b));
+  StructuralIndex out;
+  EXPECT_EQ(cache.Lookup(key_b, &out), IndexCacheStatus::kStale);
+}
+
+}  // namespace
+}  // namespace strudel

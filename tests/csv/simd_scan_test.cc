@@ -346,6 +346,87 @@ TEST(FallbackMatrixTest, AutoOnSupportedDialectUsesTheIndex) {
   EXPECT_GT(telemetry.structural_count, 0u);
 }
 
+TEST(ParallelScanTest, ChunkedBuildMatchesSerialOnQuotedInput) {
+  std::string text;
+  for (int i = 0; i < 60; ++i) {
+    text += "plain,\"quo,ted\",\"multi\nline\",tail\n";
+  }
+  StructuralIndex serial;
+  BuildStructuralIndex(text, Rfc4180Dialect(), &serial);
+  for (const int threads : {1, 2, 8}) {
+    ParallelScanOptions options;
+    options.num_threads = threads;
+    options.chunk_bytes = 64;
+    StructuralIndex parallel;
+    BuildStructuralIndexParallel(text, Rfc4180Dialect(), options, &parallel);
+    EXPECT_EQ(serial.positions, parallel.positions) << "threads=" << threads;
+    EXPECT_EQ(serial.clean_quoting, parallel.clean_quoting);
+    EXPECT_EQ(serial.num_blocks, parallel.num_blocks);
+    EXPECT_GT(parallel.chunks, 1u);
+  }
+}
+
+TEST(ParallelScanTest, SmallInputDelegatesToTheSerialBuild) {
+  StructuralIndex index;
+  BuildStructuralIndexParallel("a,b\n", Rfc4180Dialect(), {}, &index);
+  EXPECT_EQ(index.chunks, 1u);
+  EXPECT_EQ(index.speculation_repairs, 0u);
+  StructuralIndex serial;
+  BuildStructuralIndex("a,b\n", Rfc4180Dialect(), &serial);
+  EXPECT_EQ(index.positions, serial.positions);
+}
+
+TEST(ParallelScanTest, MispredictedQuoteParityIsRepaired) {
+  // The 64-byte chunk boundary lands inside a quoted field, so the
+  // entry speculation (not-in-quote) is wrong and the stitch must rescan
+  // chunk 1 with the corrected carry.
+  std::string text(60, 'a');
+  text += ",\"";
+  text += std::string(20, 'b');
+  text += ",c\",d\n";
+  ParallelScanOptions options;
+  options.num_threads = 2;
+  options.chunk_bytes = 64;
+  StructuralIndex parallel;
+  BuildStructuralIndexParallel(text, Rfc4180Dialect(), options, &parallel);
+  EXPECT_EQ(parallel.chunks, 2u);
+  EXPECT_GE(parallel.speculation_repairs, 1u);
+  StructuralIndex serial;
+  BuildStructuralIndex(text, Rfc4180Dialect(), &serial);
+  EXPECT_EQ(parallel.positions, serial.positions);
+  EXPECT_EQ(parallel.clean_quoting, serial.clean_quoting);
+}
+
+TEST(ParallelScanTest, QuoteFreeChunksSpeculateWithoutRepairs) {
+  std::string text;
+  for (int i = 0; i < 30; ++i) text += "aaaa,bbbb,cccc\n";
+  ParallelScanOptions options;
+  options.num_threads = 2;
+  options.chunk_bytes = 64;
+  StructuralIndex index;
+  BuildStructuralIndexParallel(text, Rfc4180Dialect(), options, &index);
+  EXPECT_GT(index.chunks, 2u);
+  EXPECT_EQ(index.speculation_repairs, 0u);
+  EXPECT_TRUE(index.clean_quoting);
+}
+
+TEST(ParallelScanTest, PruneFlagIsHonoredAcrossChunks) {
+  std::string text;
+  for (int i = 0; i < 30; ++i) text += "x,\"a,b\",y\n";
+  ParallelScanOptions pruned, unpruned;
+  pruned.chunk_bytes = unpruned.chunk_bytes = 64;
+  unpruned.prune_quoted_delimiters = false;
+  StructuralIndex with_prune, without_prune;
+  BuildStructuralIndexParallel(text, Rfc4180Dialect(), pruned, &with_prune);
+  BuildStructuralIndexParallel(text, Rfc4180Dialect(), unpruned,
+                               &without_prune);
+  // The unpruned index keeps the quoted delimiters the pruned one drops.
+  EXPECT_GT(without_prune.positions.size(), with_prune.positions.size());
+  StructuralIndex serial_unpruned;
+  BuildStructuralIndex(text, Rfc4180Dialect(), &serial_unpruned, false);
+  EXPECT_EQ(without_prune.positions, serial_unpruned.positions);
+}
+
 TEST(SimdLevelTest, ForceAndResetAreObeyed) {
   const SimdLevel host = DetectSimdLevel();
   ForceSimdLevel(SimdLevel::kSwar);

@@ -145,6 +145,77 @@ TEST(IngestTest, ScanTelemetryReportsTheIndexedPath) {
   EXPECT_NE(report.find("structural-index"), std::string::npos);
 }
 
+TEST(IngestTest, IoFallbacksAreAttributedLikeScanFallbacks) {
+  // A small file under kAuto routes to the buffered read; doctor must say
+  // so and say why, exactly as it attributes scalar-scan fallbacks.
+  const std::string path = ::testing::TempDir() + "/ingest_io_auto.csv";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "a,b\n1,2\n";
+  }
+  auto result = IngestFile(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->scan.io.from_file);
+  EXPECT_FALSE(result->scan.io.used_mmap);
+  EXPECT_EQ(result->scan.io.fallback, csv::IoFallbackReason::kFileTooSmall);
+  EXPECT_EQ(result->scan.io.bytes, 8u);
+  const std::string report = result->Report();
+  EXPECT_NE(report.find("io:       buffered"), std::string::npos) << report;
+  EXPECT_NE(report.find("file_too_small"), std::string::npos) << report;
+  EXPECT_NE(report.find("below the mmap threshold"), std::string::npos)
+      << report;
+  std::remove(path.c_str());
+}
+
+TEST(IngestTest, ForcedMmapIsReportedWithoutAFallback) {
+  const std::string path = ::testing::TempDir() + "/ingest_io_mmap.csv";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "a,b\n1,2\n";
+  }
+  IngestOptions options;
+  options.reader.io_mode = csv::IoMode::kMmap;
+  auto result = IngestFile(path, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->scan.io.used_mmap);
+  EXPECT_EQ(result->scan.io.fallback, csv::IoFallbackReason::kNone);
+  const std::string report = result->Report();
+  EXPECT_NE(report.find("io:       mmap (8 bytes)"), std::string::npos)
+      << report;
+  EXPECT_EQ(report.find("fallback: not_regular_file"), std::string::npos)
+      << report;
+  // And the parse is byte-identical to the in-memory route.
+  auto in_memory = IngestText("a,b\n1,2\n");
+  ASSERT_TRUE(in_memory.ok());
+  EXPECT_EQ(csv::WriteTable(result->table),
+            csv::WriteTable(in_memory->table));
+  std::remove(path.c_str());
+}
+
+TEST(IngestTest, InMemoryIngestReportsInMemoryIo) {
+  auto result = IngestText("a,b\n1,2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->scan.io.from_file);
+  EXPECT_NE(result->Report().find("io:       in-memory"), std::string::npos)
+      << result->Report();
+}
+
+TEST(IngestTest, ParallelChunkScanIsReportedInDoctor) {
+  // Shrink the chunk size so even this small input spans chunks; the
+  // scan line must then carry the chunk and repair counts.
+  std::string text;
+  for (int i = 0; i < 40; ++i) text += "alpha,beta,gamma\n";
+  IngestOptions options;
+  options.reader.num_threads = 2;
+  options.reader.parallel_chunk_bytes = 64;
+  auto result = IngestText(text, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->scan.parallel_chunks, 1u);
+  const std::string report = result->Report();
+  EXPECT_NE(report.find("chunks"), std::string::npos) << report;
+  EXPECT_NE(report.find("speculation repairs"), std::string::npos) << report;
+}
+
 TEST(IngestTest, ScanModeScalarIsHonoredThroughIngestion) {
   IngestOptions options;
   options.reader.scan_mode = csv::ScanMode::kScalar;
