@@ -1,13 +1,23 @@
 // CSV scan throughput: the scalar reference reader vs the two-pass
-// structural-index path (SWAR kernel, and AVX2 when the host has it), on
-// workloads spanning the pruning spectrum — clean numeric tables, verbose
-// portal files with preambles and footnotes, quote-heavy files, and the
-// worst case of every cell quoted with embedded delimiters. Each parse is
+// structural-index path at every runnable SimdLevel (SWAR everywhere,
+// plus AVX2/AVX-512 or NEON as the build and host provide), on workloads
+// spanning the pruning spectrum — clean numeric tables, verbose portal
+// files with preambles and footnotes, quote-heavy files, and the worst
+// case of every cell quoted with embedded delimiters. Each parse is
 // cross-checked cell-for-cell against the scalar result before timing
 // counts, so the numbers can never come from a wrong parse. Emits
 // BENCH_csv_scan.json.
 //
+// The run also measures dispatch overhead: the per-block kernel is
+// reached through a function pointer resolved once per scan range
+// (ResolveScanBlockFn), and this bench times that indirect call against
+// a direct call of the same SWAR kernel over the same blocks. The
+// resulting dispatch_overhead_pct is the price of kernel portability;
+// --max-dispatch-overhead gates it (CI runs with 5, the ROADMAP item 3
+// criterion).
+//
 //   bench_csv_throughput [--quick] [--out <path>] [--min-speedup <x>]
+//                        [--max-dispatch-overhead <pct>]
 //   bench_csv_throughput --large [--quick] [--out <path>]
 //                        [--min-parallel-speedup <x>]
 //
@@ -142,6 +152,45 @@ struct ModeResult {
   double seconds = 0.0;
   double mbps = 0.0;
 };
+
+/// One pass over `text` in 64-byte blocks through `fn`, folding every
+/// bitmap into a checksum so the calls cannot be dead-code-eliminated.
+uint64_t SweepBlocks(csv::ScanBlockFn fn, const std::string& text) {
+  uint64_t checksum = 0;
+  const size_t blocks = text.size() / 64;
+  for (size_t b = 0; b < blocks; ++b) {
+    const csv::BlockBitmaps bits = fn(text.data() + b * 64, ',', '"');
+    checksum ^= bits.quote + bits.delim + bits.lf + bits.cr;
+  }
+  return checksum;
+}
+
+/// Measures what the kernel table costs: the same SWAR kernel swept over
+/// the same blocks, once called directly and once through the pointer
+/// ResolveScanBlockFn returns — exactly the indirect call ScanRange makes
+/// per 64-byte block. Returns the overhead in percent (negative values,
+/// i.e. timing noise, are reported as measured).
+double MeasureDispatchOverheadPct(const std::string& text, int reps) {
+  volatile uint64_t sink = 0;
+  const csv::ScanBlockFn dispatched =
+      csv::ResolveScanBlockFn(csv::SimdLevel::kSwar);
+  // One sweep is ~1 ms, so reps are nearly free — take many and
+  // interleave the two variants so a load spike on a shared runner hits
+  // both sides instead of skewing the ratio.
+  const int sweep_reps = reps * 8;
+  double direct_seconds = 0.0;
+  double dispatched_seconds = 0.0;
+  for (int r = 0; r < sweep_reps; ++r) {
+    const double direct = TimeBest(
+        1, [&] { sink = sink + SweepBlocks(&csv::ScanBlockSwar, text); });
+    const double indirect =
+        TimeBest(1, [&] { sink = sink + SweepBlocks(dispatched, text); });
+    if (r == 0 || direct < direct_seconds) direct_seconds = direct;
+    if (r == 0 || indirect < dispatched_seconds) dispatched_seconds = indirect;
+  }
+  (void)sink;
+  return (dispatched_seconds - direct_seconds) / direct_seconds * 100.0;
+}
 
 struct WorkloadResult {
   std::string name;
@@ -359,6 +408,8 @@ int main(int argc, char** argv) {
   std::string out_path;
   double min_speedup = 0.0;
   double min_parallel_speedup = 0.0;
+  double max_dispatch_overhead = 0.0;
+  bool dispatch_gate = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -371,10 +422,14 @@ int main(int argc, char** argv) {
       min_speedup = std::atof(argv[++i]);
     } else if (arg == "--min-parallel-speedup" && i + 1 < argc) {
       min_parallel_speedup = std::atof(argv[++i]);
+    } else if (arg == "--max-dispatch-overhead" && i + 1 < argc) {
+      max_dispatch_overhead = std::atof(argv[++i]);
+      dispatch_gate = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_csv_throughput [--quick] [--large] "
                    "[--out <path>] [--min-speedup <x>] "
+                   "[--max-dispatch-overhead <pct>] "
                    "[--min-parallel-speedup <x>]\n");
       return 2;
     }
@@ -386,11 +441,18 @@ int main(int argc, char** argv) {
 
   const size_t target = quick ? (2u << 20) : (16u << 20);
   const int reps = quick ? 3 : 5;
-  const bool host_avx2 = csv::DetectSimdLevel() == csv::SimdLevel::kAvx2;
+  const std::vector<csv::SimdLevel> levels = csv::RunnableSimdLevels();
+  std::string level_names;
+  for (const csv::SimdLevel level : levels) {
+    if (!level_names.empty()) level_names += ", ";
+    level_names += csv::SimdLevelName(level);
+  }
   std::printf("== csv scan throughput ==\n");
-  std::printf("workload size: %zu MiB, reps: %d, host kernel: %s\n\n",
+  std::printf("workload size: %zu MiB, reps: %d, host kernel: %s, "
+              "runnable: [%s]\n\n",
               target >> 20, reps,
-              std::string(csv::SimdLevelName(csv::DetectSimdLevel())).c_str());
+              std::string(csv::SimdLevelName(csv::DetectSimdLevel())).c_str(),
+              level_names.c_str());
 
   Rng rng(20260805);
   std::vector<Workload> workloads;
@@ -418,14 +480,11 @@ int main(int argc, char** argv) {
     const double mb = static_cast<double>(w.text.size()) / (1024.0 * 1024.0);
     result.modes.push_back({"scalar", scalar_seconds, mb / scalar_seconds});
 
-    struct Kernel {
-      const char* name;
-      csv::SimdLevel level;
-    };
-    std::vector<Kernel> kernels = {{"swar", csv::SimdLevel::kSwar}};
-    if (host_avx2) kernels.push_back({"avx2", csv::SimdLevel::kAvx2});
-    for (const Kernel& kernel : kernels) {
-      csv::ForceSimdLevel(kernel.level);
+    // Every runnable kernel level, SWAR first (RunnableSimdLevels is in
+    // enum order and SWAR always runs), so modes[1] stays the SWAR gate.
+    for (const csv::SimdLevel level : levels) {
+      const std::string kernel_name{csv::SimdLevelName(level)};
+      csv::ForceSimdLevel(level);
       csv::ReaderOptions options;
       options.scan_mode = csv::ScanMode::kSwar;
       csv::ScanTelemetry telemetry;
@@ -434,7 +493,7 @@ int main(int argc, char** argv) {
       if (!rows.ok() || *rows != *reference) {
         std::fprintf(stderr,
                      "FAIL: %s %s parse differs from the scalar reader\n",
-                     w.name.c_str(), kernel.name);
+                     w.name.c_str(), kernel_name.c_str());
         csv::ResetSimdLevel();
         return 1;
       }
@@ -442,7 +501,7 @@ int main(int argc, char** argv) {
       result.clean_quoting = telemetry.clean_quoting;
       const double seconds =
           TimeBest(reps, [&] { (void)csv::ParseCsv(w.text, options); });
-      result.modes.push_back({kernel.name, seconds, mb / seconds});
+      result.modes.push_back({kernel_name, seconds, mb / seconds});
       csv::ResetSimdLevel();
     }
 
@@ -458,17 +517,34 @@ int main(int argc, char** argv) {
     results.push_back(std::move(result));
   }
 
+  const double dispatch_overhead_pct =
+      MeasureDispatchOverheadPct(workloads[0].text, reps);
+  std::printf("dispatch overhead (indirect vs direct swar): %+.2f%%\n\n",
+              dispatch_overhead_pct);
+
   const bool gate_enforced = min_speedup > 0.0;
   std::ofstream json(out_path);
   json.precision(6);
   json << "{\n"
        << "  \"bench\": \"csv_scan\",\n"
        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
-       << "  \"host_avx2\": " << (host_avx2 ? "true" : "false") << ",\n"
+       << "  \"host_level\": \""
+       << std::string(csv::SimdLevelName(csv::DetectSimdLevel())) << "\",\n"
+       << "  \"runnable_levels\": [";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    json << '"' << std::string(csv::SimdLevelName(levels[i])) << '"'
+         << (i + 1 < levels.size() ? ", " : "");
+  }
+  json << "],\n"
        << "  \"min_speedup_required\": " << min_speedup << ",\n"
        << "  \"gate_enforced\": " << (gate_enforced ? "true" : "false")
        << ",\n"
        << "  \"swar_speedup_clean_numeric\": " << gate_speedup << ",\n"
+       << "  \"dispatch_overhead_pct\": " << dispatch_overhead_pct << ",\n"
+       << "  \"max_dispatch_overhead_pct\": " << max_dispatch_overhead
+       << ",\n"
+       << "  \"dispatch_gate_enforced\": "
+       << (dispatch_gate ? "true" : "false") << ",\n"
        << "  \"workloads\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const WorkloadResult& w = results[i];
@@ -502,6 +578,17 @@ int main(int argc, char** argv) {
     }
     std::printf("speedup gate passed: swar clean_numeric %.2fx >= %.2fx\n",
                 gate_speedup, min_speedup);
+  }
+  if (dispatch_gate) {
+    if (dispatch_overhead_pct > max_dispatch_overhead) {
+      std::fprintf(stderr,
+                   "FAIL: kernel dispatch overhead %.2f%% above the "
+                   "allowed %.2f%%\n",
+                   dispatch_overhead_pct, max_dispatch_overhead);
+      return 1;
+    }
+    std::printf("dispatch gate passed: overhead %.2f%% <= %.2f%%\n",
+                dispatch_overhead_pct, max_dispatch_overhead);
   }
   return 0;
 }

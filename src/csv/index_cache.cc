@@ -146,13 +146,15 @@ IndexCacheStatus IndexCache::Lookup(const IndexCacheKey& key,
   auto meta = ReadSection(in, "index_meta", kMetaSectionCap);
   if (!meta.ok()) return publish(IndexCacheStatus::kCorrupt);
   std::istringstream meta_in(*meta);
-  std::string clean_tag, blocks_tag, count_tag;
+  std::string clean_tag, blocks_tag, count_tag, level_tag, level_name;
   int clean = -1;
   uint64_t blocks = 0, count = 0;
+  SimdLevel built_level = SimdLevel::kSwar;
   if (!(meta_in >> clean_tag >> clean >> blocks_tag >> blocks >> count_tag >>
-        count) ||
+        count >> level_tag >> level_name) ||
       clean_tag != "clean" || blocks_tag != "blocks" ||
-      count_tag != "count" || (clean != 0 && clean != 1)) {
+      count_tag != "count" || (clean != 0 && clean != 1) ||
+      level_tag != "level" || !ParseSimdLevel(level_name, &built_level)) {
     return publish(IndexCacheStatus::kCorrupt);
   }
   // Shape validation against the key, not the entry's own claims: the
@@ -188,9 +190,12 @@ IndexCacheStatus IndexCache::Lookup(const IndexCacheKey& key,
 
   index->clean_quoting = clean == 1;
   index->num_blocks = blocks;
-  // A hit never ran a kernel; report the level current dispatch would
-  // use so telemetry stays meaningful.
-  index->level = EffectiveSimdLevel();
+  // A hit never ran a kernel; report the level that *built* the entry
+  // (persisted in the metadata), not whatever this host would dispatch
+  // to — machines sharing a cache dir can differ, and telemetry must
+  // attribute work that actually happened. Doctor renders hits as
+  // "cache(<level>)" to keep the distinction visible.
+  index->level = built_level;
   index->chunks = 1;
   index->speculation_repairs = 0;
   return publish(IndexCacheStatus::kHit);
@@ -216,11 +221,12 @@ bool IndexCache::Store(const IndexCacheKey& key,
     if (!out) return fail();
     WriteSection(out, "index_key", key.Serialize());
     WriteSection(out, "index_meta",
-                 StrFormat("clean %d blocks %llu count %llu",
+                 StrFormat("clean %d blocks %llu count %llu level %s",
                            index.clean_quoting ? 1 : 0,
                            static_cast<unsigned long long>(index.num_blocks),
                            static_cast<unsigned long long>(
-                               index.positions.size())));
+                               index.positions.size()),
+                           std::string(SimdLevelName(index.level)).c_str()));
     WriteSection(out, "index_positions", EncodePositions(index.positions));
     out.flush();
     if (!out.good()) {

@@ -85,12 +85,18 @@ void MmapSource::Reset() {
     map_ = nullptr;
     map_len_ = 0;
   }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
 }
 
 MmapSource::MmapSource(MmapSource&& other) noexcept
     : map_(std::exchange(other.map_, nullptr)),
       map_len_(std::exchange(other.map_len_, 0)),
       buffer_(std::move(other.buffer_)),
+      fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
       regular_(other.regular_),
       mtime_ns_(other.mtime_ns_),
       size_(other.size_),
@@ -102,12 +108,37 @@ MmapSource& MmapSource::operator=(MmapSource&& other) noexcept {
     map_ = std::exchange(other.map_, nullptr);
     map_len_ = std::exchange(other.map_len_, 0);
     buffer_ = std::move(other.buffer_);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
     regular_ = other.regular_;
     mtime_ns_ = other.mtime_ns_;
     size_ = other.size_;
     telemetry_ = other.telemetry_;
   }
   return *this;
+}
+
+Status MmapSource::VerifyUnchanged() const {
+  if (fd_ < 0) return Status::OK();
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IOError("cannot re-stat file after scan: " + path_ + ": " +
+                           ::strerror(errno));
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  const uint64_t mtime_ns =
+      static_cast<uint64_t>(st.st_mtim.tv_sec) * 1'000'000'000ull +
+      static_cast<uint64_t>(st.st_mtim.tv_nsec);
+  if (size != size_ || mtime_ns != mtime_ns_) {
+    metrics::GetCounter("csv.io.changed_mid_ingest").Increment();
+    return Status::IOError(StrFormat(
+        "file changed while being ingested (mapped %llu bytes, now %llu%s): "
+        "%s",
+        static_cast<unsigned long long>(size_),
+        static_cast<unsigned long long>(size),
+        size == size_ ? ", rewritten in place" : "", path_.c_str()));
+  }
+  return Status::OK();
 }
 
 Result<MmapSource> MmapSource::Open(const std::string& path, IoMode mode,
@@ -191,7 +222,14 @@ Result<MmapSource> MmapSource::Open(const std::string& path, IoMode mode,
     }
     if (!source.regular_) source.size_ = source.buffer_.size();
   }
-  ::close(fd);  // the mapping (if any) survives the descriptor
+  if (source.map_ != nullptr) {
+    // Keep the descriptor so VerifyUnchanged can re-fstat the mapped
+    // inode after the scan (truncation / in-place rewrite detection).
+    source.fd_ = fd;
+    source.path_ = path;
+  } else {
+    ::close(fd);  // buffered bytes are owned; nothing left to guard
+  }
 
   source.telemetry_.used_mmap = source.map_ != nullptr;
   source.telemetry_.fallback = fallback;

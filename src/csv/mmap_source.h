@@ -106,12 +106,29 @@ class MmapSource {
   uint64_t file_size() const { return size_; }
   const IoTelemetry& telemetry() const { return telemetry_; }
 
+  /// Re-fstats a mapped regular file and fails with kIOError when its
+  /// size or mtime changed since Open — the mmap counterpart of the
+  /// buffered path's short-read guard. A MAP_PRIVATE mapping is not a
+  /// snapshot: a writer truncating the file mid-scan makes the tail pages
+  /// SIGBUS, and an in-place rewrite tears the bytes under the parser, so
+  /// file-backed callers verify after the parse and discard the result on
+  /// failure. A no-op (always OK) for buffered sources — their bytes were
+  /// copied out under the short-read guard — and for sources whose
+  /// descriptor is gone (moved-from). Note the check is by descriptor,
+  /// not path: replacing the file via rename(2) leaves the mapped inode
+  /// untouched and is correctly not an error.
+  Status VerifyUnchanged() const;
+
  private:
   void Reset();
 
   void* map_ = nullptr;
   size_t map_len_ = 0;
   std::string buffer_;
+  /// Kept open for mapped regular files so VerifyUnchanged can re-fstat
+  /// the exact inode that was mapped; -1 for buffered sources.
+  int fd_ = -1;
+  std::string path_;
   bool regular_ = false;
   uint64_t mtime_ns_ = 0;
   uint64_t size_ = 0;

@@ -698,7 +698,15 @@ Result<Table> ReadTableFromFile(const std::string& path,
     file_options.cache_identity.mtime_ns = source.mtime_ns();
     file_options.cache_identity.file_size = source.file_size();
   }
-  return ReadTable(source.view(), file_options);
+  auto table = ReadTable(source.view(), file_options);
+  if (table.ok()) {
+    // Mirror of the buffered path's short-read guard: a concurrent
+    // truncation or in-place rewrite of the mapped file means the table
+    // was parsed from torn bytes.
+    const Status unchanged = source.VerifyUnchanged();
+    if (!unchanged.ok()) return unchanged;
+  }
+  return table;
 }
 
 }  // namespace strudel::csv

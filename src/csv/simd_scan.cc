@@ -11,6 +11,18 @@
 #if defined(__x86_64__) || defined(__i386__)
 #define STRUDEL_SCAN_X86 1
 #include <immintrin.h>
+// The AVX-512 kernel needs compiler support for the avx512f/avx512bw
+// target attributes; CMake probes for it and defines
+// STRUDEL_HAVE_AVX512_TARGET (see the check_cxx_source_compiles block in
+// the top-level CMakeLists.txt).
+#if defined(STRUDEL_HAVE_AVX512_TARGET)
+#define STRUDEL_SCAN_AVX512 1
+#endif
+#endif
+
+#if defined(__aarch64__)
+#define STRUDEL_SCAN_NEON 1
+#include <arm_neon.h>
 #endif
 
 namespace strudel::csv {
@@ -50,6 +62,8 @@ inline uint64_t CollapseHighBits(uint64_t high) {
   return ((high >> 7) * 0x0102040810204080ull) >> 56;
 }
 
+}  // namespace
+
 BlockBitmaps ScanBlockSwar(const char* block, char delimiter, char quote) {
   BlockBitmaps out;
   const uint64_t dpat = kLowBytes * static_cast<uint8_t>(delimiter);
@@ -68,6 +82,8 @@ BlockBitmaps ScanBlockSwar(const char* block, char delimiter, char quote) {
   }
   return out;
 }
+
+namespace {
 
 #if STRUDEL_SCAN_X86
 
@@ -98,12 +114,139 @@ __attribute__((target("avx2"))) BlockBitmaps ScanBlockAvx2(const char* block,
   return out;
 }
 
+#if STRUDEL_SCAN_AVX512
+
+/// One masked compare per pattern: AVX-512BW's byte-equality compare
+/// returns a 64-bit mask register, which *is* the block bitmap — no
+/// movemask narrowing step at all.
+__attribute__((target("avx512f,avx512bw"))) BlockBitmaps ScanBlockAvx512(
+    const char* block, char delimiter, char quote) {
+  const __m512i x = _mm512_loadu_si512(block);
+  BlockBitmaps out;
+  out.delim = _mm512_cmpeq_epi8_mask(x, _mm512_set1_epi8(delimiter));
+  out.lf = _mm512_cmpeq_epi8_mask(x, _mm512_set1_epi8('\n'));
+  out.cr = _mm512_cmpeq_epi8_mask(x, _mm512_set1_epi8('\r'));
+  if (quote != '\0') {
+    out.quote = _mm512_cmpeq_epi8_mask(x, _mm512_set1_epi8(quote));
+  }
+  return out;
+}
+
+#endif  // STRUDEL_SCAN_AVX512
+
 #endif  // STRUDEL_SCAN_X86
 
-SimdLevel DetectSimdLevelUncached() {
+#if STRUDEL_SCAN_NEON
+
+/// NEON has no movemask instruction; narrow four 16-byte compare results
+/// (each lane 0x00 or 0xFF) into one 64-bit mask by keeping one bit per
+/// lane and folding pairwise. AND-ing with {0x01,0x02,...,0x80} leaves
+/// lane j of each half holding its destination bit; three pairwise adds
+/// collapse the four vectors into 8 bytes whose byte k is the mask byte
+/// for input bytes [8k, 8k+8). (The simdjson aarch64 kernel uses the
+/// same narrowing.)
+inline uint64_t NeonMoveMask64(uint8x16_t m0, uint8x16_t m1, uint8x16_t m2,
+                               uint8x16_t m3) {
+  const uint8x16_t bit_mask = {0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40,
+                               0x80, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20,
+                               0x40, 0x80};
+  const uint8x16_t t0 = vandq_u8(m0, bit_mask);
+  const uint8x16_t t1 = vandq_u8(m1, bit_mask);
+  const uint8x16_t t2 = vandq_u8(m2, bit_mask);
+  const uint8x16_t t3 = vandq_u8(m3, bit_mask);
+  const uint8x16_t sum0 = vpaddq_u8(t0, t1);
+  const uint8x16_t sum1 = vpaddq_u8(t2, t3);
+  const uint8x16_t sum = vpaddq_u8(vpaddq_u8(sum0, sum1), vdupq_n_u8(0));
+  return vgetq_lane_u64(vreinterpretq_u64_u8(sum), 0);
+}
+
+inline uint64_t NeonEqMask64(uint8x16_t b0, uint8x16_t b1, uint8x16_t b2,
+                             uint8x16_t b3, char pattern) {
+  const uint8x16_t pat = vdupq_n_u8(static_cast<uint8_t>(pattern));
+  return NeonMoveMask64(vceqq_u8(b0, pat), vceqq_u8(b1, pat),
+                        vceqq_u8(b2, pat), vceqq_u8(b3, pat));
+}
+
+BlockBitmaps ScanBlockNeon(const char* block, char delimiter, char quote) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(block);
+  const uint8x16_t b0 = vld1q_u8(p);
+  const uint8x16_t b1 = vld1q_u8(p + 16);
+  const uint8x16_t b2 = vld1q_u8(p + 32);
+  const uint8x16_t b3 = vld1q_u8(p + 48);
+  BlockBitmaps out;
+  out.delim = NeonEqMask64(b0, b1, b2, b3, delimiter);
+  out.lf = NeonEqMask64(b0, b1, b2, b3, '\n');
+  out.cr = NeonEqMask64(b0, b1, b2, b3, '\r');
+  if (quote != '\0') {
+    out.quote = NeonEqMask64(b0, b1, b2, b3, quote);
+  }
+  return out;
+}
+
+#endif  // STRUDEL_SCAN_NEON
+
+/// The kernel table, indexed by the integer value of SimdLevel. A null
+/// entry means "not compiled into this binary" (the arch gate above
+/// excluded it); a non-null entry may still need a CPUID check before it
+/// is runnable (HostSupports below).
+constexpr ScanBlockFn kKernelTable[] = {
+    /*kSwar=*/&ScanBlockSwar,
 #if STRUDEL_SCAN_X86
-  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+    /*kAvx2=*/&ScanBlockAvx2,
+#else
+    /*kAvx2=*/nullptr,
 #endif
+#if STRUDEL_SCAN_NEON
+    /*kNeon=*/&ScanBlockNeon,
+#else
+    /*kNeon=*/nullptr,
+#endif
+#if STRUDEL_SCAN_AVX512
+    /*kAvx512=*/&ScanBlockAvx512,
+#else
+    /*kAvx512=*/nullptr,
+#endif
+};
+constexpr int kNumSimdLevels =
+    static_cast<int>(sizeof(kKernelTable) / sizeof(kKernelTable[0]));
+
+/// Whether the host CPU can execute `level`'s instructions (independent
+/// of whether the kernel was compiled in). NEON is architecturally
+/// mandatory on aarch64, so compiled-in implies supported.
+bool HostSupports(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kSwar:
+      return true;
+    case SimdLevel::kAvx2:
+#if STRUDEL_SCAN_X86
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case SimdLevel::kNeon:
+#if STRUDEL_SCAN_NEON
+      return true;
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx512:
+#if STRUDEL_SCAN_X86
+      return __builtin_cpu_supports("avx512bw") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+SimdLevel DetectSimdLevelUncached() {
+  // Best runnable level per arch: AVX-512 beats AVX2 beats SWAR on x86
+  // (one compare per pattern vs two-plus-movemask vs eight SWAR words);
+  // NEON is the only vector level on aarch64.
+  for (const SimdLevel level :
+       {SimdLevel::kAvx512, SimdLevel::kAvx2, SimdLevel::kNeon}) {
+    if (IsRunnable(level)) return level;
+  }
   return SimdLevel::kSwar;
 }
 
@@ -114,11 +257,11 @@ SimdLevel CurrentSimdLevel() {
   const int forced = g_forced_level.load(std::memory_order_relaxed);
   if (forced >= 0) {
     const SimdLevel level = static_cast<SimdLevel>(forced);
-    // Forcing a kernel the host cannot run is ignored, not fatal.
-    if (level == SimdLevel::kAvx2 && DetectSimdLevel() != SimdLevel::kAvx2) {
-      return SimdLevel::kSwar;
-    }
-    return level;
+    // Forcing a kernel this build/host cannot run degrades to the
+    // portable kernel, never to an illegal instruction. One predicate
+    // covers every level — not an AVX2 special case — so a forced
+    // kNeon on x86 or kAvx512 on an AVX2-only host behaves the same way.
+    return IsRunnable(level) ? level : SimdLevel::kSwar;
   }
   return DetectSimdLevel();
 }
@@ -156,8 +299,42 @@ std::string_view SimdLevelName(SimdLevel level) {
       return "swar";
     case SimdLevel::kAvx2:
       return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+    case SimdLevel::kAvx512:
+      return "avx512";
   }
   return "unknown";
+}
+
+bool ParseSimdLevel(std::string_view name, SimdLevel* level) {
+  if (name == "swar") {
+    *level = SimdLevel::kSwar;
+  } else if (name == "avx2") {
+    *level = SimdLevel::kAvx2;
+  } else if (name == "neon") {
+    *level = SimdLevel::kNeon;
+  } else if (name == "avx512") {
+    *level = SimdLevel::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool IsRunnable(SimdLevel level) {
+  const int i = static_cast<int>(level);
+  if (i < 0 || i >= kNumSimdLevels) return false;
+  return kKernelTable[i] != nullptr && HostSupports(level);
+}
+
+std::vector<SimdLevel> RunnableSimdLevels() {
+  std::vector<SimdLevel> levels;
+  for (int i = 0; i < kNumSimdLevels; ++i) {
+    const SimdLevel level = static_cast<SimdLevel>(i);
+    if (IsRunnable(level)) levels.push_back(level);
+  }
+  return levels;
 }
 
 SimdLevel DetectSimdLevel() {
@@ -212,16 +389,14 @@ ScanFallbackReason IndexerFallbackReason(const Dialect& dialect) {
   return ScanFallbackReason::kNone;
 }
 
+ScanBlockFn ResolveScanBlockFn(SimdLevel level) {
+  if (!IsRunnable(level)) return &ScanBlockSwar;
+  return kKernelTable[static_cast<int>(level)];
+}
+
 BlockBitmaps ScanBlock(const char* block, char delimiter, char quote,
                        SimdLevel level) {
-#if STRUDEL_SCAN_X86
-  if (level == SimdLevel::kAvx2 && DetectSimdLevel() == SimdLevel::kAvx2) {
-    return ScanBlockAvx2(block, delimiter, quote);
-  }
-#else
-  (void)level;
-#endif
-  return ScanBlockSwar(block, delimiter, quote);
+  return ResolveScanBlockFn(level)(block, delimiter, quote);
 }
 
 uint64_t PrefixXor(uint64_t bits) {
@@ -262,15 +437,19 @@ ScanCarry ScanRange(std::string_view text, size_t begin, size_t end,
   bool pending_close_check = entry.pending_close_check;
   bool clean = entry.clean;
 
+  // Resolve the kernel once per range; the block loop pays one indirect
+  // call per 64 bytes (the bench gates that overhead under 5%).
+  const ScanBlockFn scan_block = ResolveScanBlockFn(level);
+
   for (size_t off = begin; off < end; off += 64) {
     const size_t len = end - off < 64 ? end - off : 64;
     BlockBitmaps bm;
     if (len == 64) {
-      bm = ScanBlock(text.data() + off, delim, quote, level);
+      bm = scan_block(text.data() + off, delim, quote);
     } else {
       char buf[64] = {0};
       std::memcpy(buf, text.data() + off, len);
-      bm = ScanBlock(buf, delim, quote, level);
+      bm = scan_block(buf, delim, quote);
       const uint64_t valid = (uint64_t{1} << len) - 1;
       bm.quote &= valid;
       bm.delim &= valid;

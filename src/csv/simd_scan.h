@@ -58,20 +58,42 @@ std::string_view ScanModeName(ScanMode mode);
 /// on anything else, leaving *mode untouched.
 bool ParseScanMode(std::string_view name, ScanMode* mode);
 
-/// Which pass-1 kernel is in use. kSwar is the portable 64-bit
-/// fallback; kAvx2 is selected at runtime on x86-64 hosts with AVX2.
+/// Which pass-1 kernel is in use. kSwar is the portable 64-bit fallback
+/// and is always runnable; the vector levels are compiled in per-arch
+/// (AVX2/AVX-512 behind per-function target attributes on x86, NEON on
+/// aarch64) and selected by runtime dispatch. The numeric values are
+/// stable: they are stored in the forced-level atomic and named in
+/// persisted index-cache entries.
 enum class SimdLevel {
   kSwar = 0,
   kAvx2 = 1,
+  kNeon = 2,
+  kAvx512 = 3,
 };
 
 std::string_view SimdLevelName(SimdLevel level);
+/// Parses "swar" / "avx2" / "neon" / "avx512". Returns false on anything
+/// else, leaving *level untouched.
+bool ParseSimdLevel(std::string_view name, SimdLevel* level);
+
+/// Whether `level`'s kernel is compiled into this binary AND the host CPU
+/// can execute it. kSwar is always runnable; kNeon requires an aarch64
+/// build; kAvx2/kAvx512 require an x86 build plus the matching CPUID
+/// feature (avx2 / avx512bw). Dispatch, the forced-level guard, tests and
+/// benches all consult this one predicate, so "runnable" cannot drift
+/// between them.
+bool IsRunnable(SimdLevel level);
+
+/// Every runnable level, ascending (kSwar first). The sweep domain for
+/// differential tests and per-level bench timings.
+std::vector<SimdLevel> RunnableSimdLevels();
 
 /// The best kernel the host supports (cached after the first call).
 SimdLevel DetectSimdLevel();
 
-/// Test/bench hook: pin the pass-1 kernel (e.g. to compare kSwar and
-/// kAvx2 head to head). Forcing kAvx2 on a host without AVX2 is ignored.
+/// Test/bench hook: pin the pass-1 kernel (e.g. to compare levels head to
+/// head). Forcing a level that is not runnable on this build/host is not
+/// fatal: dispatch degrades to kSwar (see IsRunnable).
 void ForceSimdLevel(SimdLevel level);
 /// Undo ForceSimdLevel and return to runtime detection.
 void ResetSimdLevel();
@@ -107,10 +129,11 @@ inline bool IndexerSupportsDialect(const Dialect& dialect) {
 
 /// Version of the structural-index semantics: what counts as a
 /// structural byte, the pruning rule, and the on-the-wire meaning of
-/// `positions`. Bump whenever any of those change so persisted index
-/// caches (csv/index_cache.h) from older builds are rejected as stale
-/// instead of replayed wrongly.
-inline constexpr uint32_t kStructuralIndexVersion = 1;
+/// `positions` and the entry metadata. Bump whenever any of those change
+/// so persisted index caches (csv/index_cache.h) from older builds are
+/// rejected as stale instead of replayed wrongly.
+/// v2: entry metadata records the SimdLevel that built the index.
+inline constexpr uint32_t kStructuralIndexVersion = 2;
 
 /// Pass-1 output: the ascending offsets of every structural byte, plus
 /// what the scan learned about the input on the way.
@@ -223,8 +246,26 @@ struct BlockBitmaps {
   uint64_t cr = 0;
 };
 
+/// One per-block kernel: scans exactly 64 bytes at `block` into the four
+/// structural bitmaps. Every backend (SWAR, AVX2, NEON, AVX-512) has this
+/// signature; a table indexed by SimdLevel maps levels to kernels.
+using ScanBlockFn = BlockBitmaps (*)(const char* block, char delimiter,
+                                     char quote);
+
+/// The kernel for `level`, degraded to the SWAR kernel when `level` is
+/// not runnable on this build/host (never null). The scan loop resolves
+/// this once per range, not per block, so dispatch costs one indirect
+/// call per 64 bytes — the bench's dispatch-overhead metric holds that
+/// under 5% of the SWAR kernel's own cost.
+ScanBlockFn ResolveScanBlockFn(SimdLevel level);
+
+/// The portable SWAR kernel, exposed directly so the bench can measure
+/// dispatch overhead (direct call vs through ResolveScanBlockFn).
+BlockBitmaps ScanBlockSwar(const char* block, char delimiter, char quote);
+
 /// Scans exactly 64 bytes at `block` with the requested kernel. `quote`
 /// may be '\0' (no quoting), which leaves the quote bitmap empty.
+/// Convenience wrapper over ResolveScanBlockFn for one-shot callers.
 BlockBitmaps ScanBlock(const char* block, char delimiter, char quote,
                        SimdLevel level);
 

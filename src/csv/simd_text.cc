@@ -7,6 +7,14 @@
 #if defined(__x86_64__) || defined(__i386__)
 #define STRUDEL_TEXT_X86 1
 #include <immintrin.h>
+#if defined(STRUDEL_HAVE_AVX512_TARGET)
+#define STRUDEL_TEXT_AVX512 1
+#endif
+#endif
+
+#if defined(__aarch64__)
+#define STRUDEL_TEXT_NEON 1
+#include <arm_neon.h>
 #endif
 
 namespace strudel::csv {
@@ -110,20 +118,104 @@ __attribute__((target("avx2"))) int CountWordsAvx2(const char* data,
   return count + CountWordsSwarRange(data + i, size - i, carry);
 }
 
+#if STRUDEL_TEXT_AVX512
+
+/// AVX-512BW variant: 64 bytes per step, each range compare producing a
+/// 64-bit mask register directly. Same signed-compare trick as AVX2 for
+/// excluding bytes >= 0x80.
+__attribute__((target("avx512f,avx512bw"))) int CountWordsAvx512(
+    const char* data, size_t size) {
+  const __m512i d_lo = _mm512_set1_epi8('0' - 1);
+  const __m512i d_hi = _mm512_set1_epi8('9' + 1);
+  const __m512i u_lo = _mm512_set1_epi8('A' - 1);
+  const __m512i u_hi = _mm512_set1_epi8('Z' + 1);
+  const __m512i l_lo = _mm512_set1_epi8('a' - 1);
+  const __m512i l_hi = _mm512_set1_epi8('z' + 1);
+  int count = 0;
+  uint64_t carry = 0;
+  size_t i = 0;
+  for (; i + 64 <= size; i += 64) {
+    const __m512i x = _mm512_loadu_si512(data + i);
+    const uint64_t digit = _mm512_cmpgt_epi8_mask(x, d_lo) &
+                           _mm512_cmpgt_epi8_mask(d_hi, x);
+    const uint64_t upper = _mm512_cmpgt_epi8_mask(x, u_lo) &
+                           _mm512_cmpgt_epi8_mask(u_hi, x);
+    const uint64_t lower = _mm512_cmpgt_epi8_mask(x, l_lo) &
+                           _mm512_cmpgt_epi8_mask(l_hi, x);
+    const uint64_t mask = digit | upper | lower;
+    count += std::popcount(mask & ~((mask << 1) | carry));
+    carry = mask >> 63;
+  }
+  return count + CountWordsSwarRange(data + i, size - i, carry);
+}
+
+#endif  // STRUDEL_TEXT_AVX512
+
 #endif  // STRUDEL_TEXT_X86
+
+#if STRUDEL_TEXT_NEON
+
+/// NEON variant: 16 bytes per step via unsigned range compares (bytes
+/// >= 0x80 exceed every upper bound, so they fail all three ranges with
+/// no separate ASCII mask), narrowed to a 16-bit mask with the same
+/// bit-mask-and-fold scheme as the structural kernel.
+inline uint64_t NeonAlnumMask16(uint8x16_t x) {
+  const uint8x16_t digit = vandq_u8(vcgeq_u8(x, vdupq_n_u8('0')),
+                                    vcleq_u8(x, vdupq_n_u8('9')));
+  const uint8x16_t upper = vandq_u8(vcgeq_u8(x, vdupq_n_u8('A')),
+                                    vcleq_u8(x, vdupq_n_u8('Z')));
+  const uint8x16_t lower = vandq_u8(vcgeq_u8(x, vdupq_n_u8('a')),
+                                    vcleq_u8(x, vdupq_n_u8('z')));
+  const uint8x16_t alnum = vorrq_u8(digit, vorrq_u8(upper, lower));
+  const uint8x16_t bit_mask = {0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40,
+                               0x80, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20,
+                               0x40, 0x80};
+  const uint8x16_t t = vandq_u8(alnum, bit_mask);
+  const uint8x16_t sum = vpaddq_u8(vpaddq_u8(t, vdupq_n_u8(0)),
+                                   vdupq_n_u8(0));
+  // Bytes 0 and 1 of `sum` hold the masks of lanes [0,8) and [8,16).
+  return vgetq_lane_u8(sum, 0) |
+         (static_cast<uint64_t>(vgetq_lane_u8(sum, 1)) << 8);
+}
+
+int CountWordsNeon(const char* data, size_t size) {
+  int count = 0;
+  uint64_t carry = 0;
+  size_t i = 0;
+  for (; i + 16 <= size; i += 16) {
+    const uint64_t mask =
+        NeonAlnumMask16(vld1q_u8(reinterpret_cast<const uint8_t*>(data + i)));
+    count += std::popcount(mask & ~((mask << 1) | carry));
+    carry = (mask >> 15) & 1;
+  }
+  return count + CountWordsSwarRange(data + i, size - i, carry);
+}
+
+#endif  // STRUDEL_TEXT_NEON
 
 }  // namespace
 
 int CountWordsSimd(std::string_view s, SimdLevel level) {
   if (s.empty()) return 0;
-#if STRUDEL_TEXT_X86
-  if (level == SimdLevel::kAvx2 && DetectSimdLevel() == SimdLevel::kAvx2) {
-    return CountWordsAvx2(s.data(), s.size());
-  }
-#else
-  (void)level;
+  // Same degradation rule as the structural scanner: an unrunnable
+  // level falls back to the portable kernel.
+  if (!IsRunnable(level)) level = SimdLevel::kSwar;
+  switch (level) {
+#if STRUDEL_TEXT_AVX512
+    case SimdLevel::kAvx512:
+      return CountWordsAvx512(s.data(), s.size());
 #endif
-  return CountWordsSwarRange(s.data(), s.size(), 0);
+#if STRUDEL_TEXT_X86
+    case SimdLevel::kAvx2:
+      return CountWordsAvx2(s.data(), s.size());
+#endif
+#if STRUDEL_TEXT_NEON
+    case SimdLevel::kNeon:
+      return CountWordsNeon(s.data(), s.size());
+#endif
+    default:
+      return CountWordsSwarRange(s.data(), s.size(), 0);
+  }
 }
 
 int CountWordsSimd(std::string_view s) {

@@ -4,10 +4,12 @@
 // of the file; this module provides a block-wise kernel for it behind the
 // same runtime dispatch as the structural scanner (csv/simd_scan.h), so
 // ForceSimdLevel pins this kernel too and the differential tests can
-// prove kSwar == kAvx2 == scalar on arbitrary bytes.
+// prove every runnable backend (SWAR, AVX2, NEON, AVX-512) equal to the
+// scalar count on arbitrary bytes.
 //
 // The kernel builds a per-byte "is ASCII alphanumeric" bitmask (SWAR
-// range compares on high-bit-masked lanes, or AVX2 signed compares) and
+// range compares on high-bit-masked lanes, AVX2/AVX-512 signed compares,
+// or NEON unsigned range compares with a movemask fold) and
 // counts words as rising edges of that mask — popcount(mask & ~prev) with
 // a one-bit carry across blocks — which is exactly the run count the
 // scalar strudel::CountWords computes. Bytes >= 0x80 are never

@@ -60,7 +60,18 @@ std::string IngestResult::Report() const {
       "scan:     %s%s\n",
       scan.used_index
           ? StrFormat("structural-index (%s, %zu structural bytes%s%s%s)",
-                      std::string(csv::SimdLevelName(scan.level)).c_str(),
+                      // On a cache hit no kernel ran this parse: the level
+                      // is the one that built the persisted entry, shown
+                      // as cache(<level>) so it reads as attribution, not
+                      // as "this kernel executed".
+                      scan.cache == csv::IndexCacheStatus::kHit
+                          ? StrFormat("cache(%s)",
+                                      std::string(
+                                          csv::SimdLevelName(scan.level))
+                                          .c_str())
+                                .c_str()
+                          : std::string(csv::SimdLevelName(scan.level))
+                                .c_str(),
                       scan.structural_count,
                       scan.clean_quoting ? ", clean quoting" : "",
                       scan.parallel_chunks > 1
@@ -188,7 +199,14 @@ Result<IngestResult> IngestFile(const std::string& path,
     file_options.reader.cache_identity.mtime_ns = source.mtime_ns();
     file_options.reader.cache_identity.file_size = source.file_size();
   }
-  return IngestText(source.view(), file_options);
+  auto result = IngestText(source.view(), file_options);
+  if (result.ok()) {
+    // A mapped file is not a snapshot: if a writer truncated or rewrote
+    // it mid-parse, the table was built from torn bytes — discard it.
+    const Status unchanged = source.VerifyUnchanged();
+    if (!unchanged.ok()) return unchanged;
+  }
+  return result;
 }
 
 }  // namespace strudel

@@ -420,9 +420,14 @@ class SimdLevelDifferentialTest : public ::testing::Test {
   void TearDown() override { csv::ResetSimdLevel(); }
 };
 
-TEST_F(SimdLevelDifferentialTest, Avx2AndSwarKernelsProduceIdenticalIndexes) {
-  if (csv::DetectSimdLevel() != SimdLevel::kAvx2) {
-    GTEST_SKIP() << "host has no AVX2; kernel cross-check not possible";
+TEST_F(SimdLevelDifferentialTest, AllRunnableKernelsProduceIdenticalIndexes) {
+  // Sweep every backend compiled into this binary and runnable on this
+  // host (SWAR + AVX2/AVX-512 on x86 CI, SWAR + NEON on the aarch64
+  // job) against the SWAR reference — indexes and full parses must be
+  // byte-identical at every level.
+  const std::vector<SimdLevel> levels = csv::RunnableSimdLevels();
+  if (levels.size() < 2) {
+    GTEST_SKIP() << "only swar is runnable; kernel cross-check not possible";
   }
   for (int i = 0; i < 500; ++i) {
     Rng rng(SplitMix64Stream(0xa5c2ull, static_cast<uint64_t>(i)));
@@ -430,28 +435,31 @@ TEST_F(SimdLevelDifferentialTest, Avx2AndSwarKernelsProduceIdenticalIndexes) {
     const csv::testing::CsvGenConfig config = csv::testing::RandomConfig(rng, dialect);
     const std::string text = csv::testing::GenerateCsv(rng, config);
 
-    csv::StructuralIndex swar, avx2;
+    csv::StructuralIndex swar;
     csv::ForceSimdLevel(SimdLevel::kSwar);
     csv::BuildStructuralIndex(text, dialect, &swar);
-    csv::ForceSimdLevel(SimdLevel::kAvx2);
-    csv::BuildStructuralIndex(text, dialect, &avx2);
-    ASSERT_EQ(swar.positions, avx2.positions)
-        << "case " << i << ": \"" << csv::testing::EscapeForDisplay(text)
-        << "\"";
-    EXPECT_EQ(swar.clean_quoting, avx2.clean_quoting) << "case " << i;
-    EXPECT_EQ(swar.level, SimdLevel::kSwar);
-    EXPECT_EQ(avx2.level, SimdLevel::kAvx2);
-
-    // And the full parse, end to end, on both kernels.
     ReaderOptions base;
     base.dialect = dialect;
-    csv::ForceSimdLevel(SimdLevel::kSwar);
-    const Outcome swar_out =
-        RunParse(text, base, ScanMode::kSwar);
-    csv::ForceSimdLevel(SimdLevel::kAvx2);
-    const Outcome avx2_out =
-        RunParse(text, base, ScanMode::kSwar);
-    EXPECT_EQ(DiffOutcomes(swar_out, avx2_out), "") << "case " << i;
+    const Outcome swar_out = RunParse(text, base, ScanMode::kSwar);
+
+    for (size_t li = 1; li < levels.size(); ++li) {
+      const SimdLevel level = levels[li];
+      csv::StructuralIndex vec;
+      csv::ForceSimdLevel(level);
+      csv::BuildStructuralIndex(text, dialect, &vec);
+      ASSERT_EQ(swar.positions, vec.positions)
+          << "case " << i << " at " << csv::SimdLevelName(level) << ": \""
+          << csv::testing::EscapeForDisplay(text) << "\"";
+      EXPECT_EQ(swar.clean_quoting, vec.clean_quoting)
+          << "case " << i << " at " << csv::SimdLevelName(level);
+      EXPECT_EQ(vec.level, level);
+
+      // And the full parse, end to end, on the vector kernel.
+      const Outcome vec_out = RunParse(text, base, ScanMode::kSwar);
+      EXPECT_EQ(DiffOutcomes(swar_out, vec_out), "")
+          << "case " << i << " at " << csv::SimdLevelName(level);
+    }
+    EXPECT_EQ(swar.level, SimdLevel::kSwar);
   }
 }
 

@@ -172,6 +172,33 @@ TEST(IndexCacheDirectTest, AnyKeyComponentChangeIsStale) {
   EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kHit);
 }
 
+TEST(IndexCacheDirectTest, HitReportsTheLevelThatBuiltTheEntry) {
+  // Regression: a hit used to stamp the index with EffectiveSimdLevel(),
+  // claiming a kernel ran that never did — and the *wrong* kernel once
+  // levels differ across machines sharing a cache dir. The building
+  // level is persisted in the entry and must come back verbatim,
+  // whatever this host would dispatch to.
+  const std::string text = SampleCsv();
+  StructuralIndex built;
+  csv::ForceSimdLevel(csv::SimdLevel::kSwar);
+  csv::BuildStructuralIndex(text, csv::Rfc4180Dialect(), &built);
+  csv::ResetSimdLevel();
+  ASSERT_EQ(built.level, csv::SimdLevel::kSwar);
+
+  const IndexCacheIdentity identity =
+      FakeIdentity("/virtual/level.csv", 7, text.size());
+  const IndexCacheKey key =
+      csv::MakeIndexCacheKey(identity, text, csv::Rfc4180Dialect(), true);
+  IndexCache cache(FreshDir("level_attr"));
+  ASSERT_TRUE(cache.Store(key, built));
+
+  StructuralIndex out;
+  // Lookup under whatever level the host detects (on CI: avx2/avx512,
+  // where the old code would have misattributed the hit).
+  EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kHit);
+  EXPECT_EQ(out.level, csv::SimdLevel::kSwar);
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end through IngestFile.
 
@@ -191,6 +218,35 @@ TEST(IndexCacheIngestTest, MissThenHitWithIdenticalTables) {
   EXPECT_EQ(csv::WriteTable(first->table), csv::WriteTable(second->table));
   EXPECT_NE(second->Report().find("index cache hit"), std::string::npos)
       << second->Report();
+}
+
+TEST(IndexCacheIngestTest, HitAttributesTheBuildingLevelInTelemetryAndDoctor) {
+  const std::string dir = FreshDir("level_e2e");
+  const std::string path = dir + "/input.csv";
+  WriteFileOrDie(path, SampleCsv());
+  IndexCache cache(FreshDir("level_e2e_cache"));
+
+  // Build (and store) the entry under the pinned SWAR kernel...
+  csv::ForceSimdLevel(csv::SimdLevel::kSwar);
+  auto first = IngestFile(path, CachedIngestOptions(&cache));
+  csv::ResetSimdLevel();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->scan.cache, IndexCacheStatus::kMiss);
+  EXPECT_EQ(first->scan.level, csv::SimdLevel::kSwar);
+
+  // ...then hit it with dispatch back on auto-detect. Telemetry must
+  // still say swar (the kernel that built the entry; no kernel ran
+  // now), and doctor must render it as a cache attribution.
+  auto second = IngestFile(path, CachedIngestOptions(&cache));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->scan.cache, IndexCacheStatus::kHit);
+  EXPECT_EQ(second->scan.level, csv::SimdLevel::kSwar);
+  EXPECT_NE(second->Report().find("cache(swar)"), std::string::npos)
+      << second->Report();
+  // The miss that built the entry reports its kernel without the
+  // cache(...) wrapper: it genuinely ran.
+  EXPECT_EQ(first->Report().find("cache(swar)"), std::string::npos)
+      << first->Report();
 }
 
 TEST(IndexCacheIngestTest, MtimeBumpIsStaleThenHitsAgain) {
@@ -391,29 +447,30 @@ TEST(IndexCacheFuzzTest, ChecksumValidButSemanticallyHostileEntriesAreCorrupt) {
     WriteSection(out, "index_positions", encode(positions));
     out << trailer;
   };
-  const std::string good_meta =
-      StrFormat("clean %d blocks %llu count %llu", built.clean_quoting ? 1 : 0,
-                static_cast<unsigned long long>(built.num_blocks),
-                static_cast<unsigned long long>(built.positions.size()));
+  const std::string good_meta = StrFormat(
+      "clean %d blocks %llu count %llu level %s", built.clean_quoting ? 1 : 0,
+      static_cast<unsigned long long>(built.num_blocks),
+      static_cast<unsigned long long>(built.positions.size()),
+      std::string(SimdLevelName(built.level)).c_str());
 
   StructuralIndex out;
   // Every section checksum below is valid — only semantic validation can
   // reject these.
   // (a) Block count inconsistent with the text size.
-  write_entry(StrFormat("clean 1 blocks %llu count %llu",
+  write_entry(StrFormat("clean 1 blocks %llu count %llu level swar",
                         static_cast<unsigned long long>(built.num_blocks + 1),
                         static_cast<unsigned long long>(
                             built.positions.size())),
               built.positions);
   EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kCorrupt);
   // (b) Structural-byte count exceeding the byte count of the text.
-  write_entry(StrFormat("clean 1 blocks %llu count %llu",
+  write_entry(StrFormat("clean 1 blocks %llu count %llu level swar",
                         static_cast<unsigned long long>(built.num_blocks),
                         static_cast<unsigned long long>(text.size() + 1)),
               built.positions);
   EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kCorrupt);
   // (c) Count disagreeing with the payload length.
-  write_entry(StrFormat("clean 1 blocks %llu count %llu",
+  write_entry(StrFormat("clean 1 blocks %llu count %llu level swar",
                         static_cast<unsigned long long>(built.num_blocks),
                         static_cast<unsigned long long>(
                             built.positions.size() + 1)),
@@ -437,6 +494,24 @@ TEST(IndexCacheFuzzTest, ChecksumValidButSemanticallyHostileEntriesAreCorrupt) {
   }
   // (f) Trailing bytes after the last section.
   write_entry(good_meta, built.positions, "section trailing 0 0\n\n");
+  EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kCorrupt);
+  // (g) A level name no kernel answers to: attribution would dangle.
+  write_entry(StrFormat("clean %d blocks %llu count %llu level sse9",
+                        built.clean_quoting ? 1 : 0,
+                        static_cast<unsigned long long>(built.num_blocks),
+                        static_cast<unsigned long long>(
+                            built.positions.size())),
+              built.positions);
+  EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kCorrupt);
+  // (h) A v1-era meta with no level field at all reads as corrupt (the
+  // version bump in the key normally rejects such entries as stale
+  // first; this guards the parser itself).
+  write_entry(StrFormat("clean %d blocks %llu count %llu",
+                        built.clean_quoting ? 1 : 0,
+                        static_cast<unsigned long long>(built.num_blocks),
+                        static_cast<unsigned long long>(
+                            built.positions.size())),
+              built.positions);
   EXPECT_EQ(cache.Lookup(key, &out), IndexCacheStatus::kCorrupt);
   // A well-formed rewrite still hits, so none of the rejections above
   // were an artifact of the writer lambda.

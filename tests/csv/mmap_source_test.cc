@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
 
 #include "common/metrics.h"
 
@@ -95,6 +98,69 @@ TEST(MmapSourceTest, MoveTransfersTheView) {
   MmapSource moved = std::move(*source);
   EXPECT_EQ(moved.view(), "a,b\n");
   EXPECT_TRUE(moved.used_mmap());
+  // The truncation guard moved with the mapping; the moved-from source
+  // holds nothing to verify.
+  EXPECT_TRUE(moved.VerifyUnchanged().ok());
+  EXPECT_TRUE(source->VerifyUnchanged().ok());
+}
+
+// Regression for the mmap truncation window: the buffered path has
+// always rejected short reads of regular files, but a file truncated
+// *after* Open left the mapped scan to SIGBUS or read zero pages with no
+// error at all. VerifyUnchanged is the mirror guard: re-fstat after the
+// scan, and fail the parse when the bytes under the mapping changed.
+TEST(MmapSourceTest, TruncationBetweenOpenAndVerifyIsAnIOError) {
+  std::string big;
+  while (big.size() < kMmapMinBytes) big += "col1,col2,col3\n";
+  const std::string path = WriteTemp("mmap_truncated.csv", big);
+  auto source = MmapSource::Open(path, IoMode::kMmap);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  ASSERT_TRUE(source->used_mmap());
+  EXPECT_TRUE(source->VerifyUnchanged().ok());
+
+  // A writer truncates the file while we hold the mapping — the tail
+  // pages of the view are now beyond EOF.
+  std::filesystem::resize_file(path, big.size() / 2);
+
+  const Status changed = source->VerifyUnchanged();
+  ASSERT_FALSE(changed.ok());
+  EXPECT_EQ(changed.code(), StatusCode::kIOError);
+  EXPECT_NE(changed.message().find("changed while being ingested"),
+            std::string::npos)
+      << changed.message();
+}
+
+TEST(MmapSourceTest, InPlaceRewriteBetweenOpenAndVerifyIsAnIOError) {
+  const std::string path = WriteTemp("mmap_rewritten.csv", "a,b\nc,d\n");
+  auto source = MmapSource::Open(path, IoMode::kMmap);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  ASSERT_TRUE(source->used_mmap());
+
+  // Same size, different bytes and mtime: a torn read the size check
+  // alone cannot see.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "x,y\nz,w\n";
+  }
+  const auto now = std::filesystem::last_write_time(path);
+  std::filesystem::last_write_time(path, now + std::chrono::seconds(2));
+
+  const Status changed = source->VerifyUnchanged();
+  ASSERT_FALSE(changed.ok());
+  EXPECT_EQ(changed.code(), StatusCode::kIOError);
+  EXPECT_NE(changed.message().find("rewritten in place"), std::string::npos)
+      << changed.message();
+}
+
+TEST(MmapSourceTest, BufferedSourcesHaveNothingToVerify) {
+  // Buffered bytes were copied out under the short-read guard; a later
+  // truncation cannot retroactively tear them.
+  const std::string path = WriteTemp("mmap_buffered_verify.csv", "a,b\n");
+  auto source = MmapSource::Open(path, IoMode::kBuffered);
+  ASSERT_TRUE(source.ok());
+  ASSERT_FALSE(source->used_mmap());
+  std::filesystem::resize_file(path, 2);
+  EXPECT_TRUE(source->VerifyUnchanged().ok());
 }
 
 TEST(IoModeTest, NamesAndParsingRoundTrip) {

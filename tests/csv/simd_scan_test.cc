@@ -39,7 +39,7 @@ TEST(ScanBlockTest, MatchesNaiveReferenceOnRandomBlocks) {
     const char delim = iter % 2 == 0 ? ',' : ';';
     const char quote = iter % 3 == 0 ? '\0' : '"';
     const BlockBitmaps naive = NaiveScanBlock(block, delim, quote);
-    for (const SimdLevel level : {SimdLevel::kSwar, SimdLevel::kAvx2}) {
+    for (const SimdLevel level : RunnableSimdLevels()) {
       const BlockBitmaps got = ScanBlock(block, delim, quote, level);
       ASSERT_EQ(got.quote, naive.quote) << "iter " << iter;
       ASSERT_EQ(got.delim, naive.delim) << "iter " << iter;
@@ -78,7 +78,7 @@ TEST(ScanBlockTest, SuccessorByteAfterMatchIsNotAFalsePositive) {
       block[i] = i % 2 == 0 ? match : successor;
     }
     const BlockBitmaps naive = NaiveScanBlock(block, ',', '"');
-    for (const SimdLevel level : {SimdLevel::kSwar, SimdLevel::kAvx2}) {
+    for (const SimdLevel level : RunnableSimdLevels()) {
       const BlockBitmaps got = ScanBlock(block, ',', '"', level);
       ASSERT_EQ(got.quote, naive.quote) << "match " << match;
       ASSERT_EQ(got.delim, naive.delim) << "match " << match;
@@ -98,7 +98,7 @@ TEST(ScanBlockTest, AdjacentBytePairsSweepMatchesNaive) {
         block[i] = static_cast<char>(i % 2 == 0 ? v : (v + delta) & 0xff);
       }
       const BlockBitmaps naive = NaiveScanBlock(block, ',', '"');
-      for (const SimdLevel level : {SimdLevel::kSwar, SimdLevel::kAvx2}) {
+      for (const SimdLevel level : RunnableSimdLevels()) {
         const BlockBitmaps got = ScanBlock(block, ',', '"', level);
         ASSERT_EQ(got.quote, naive.quote) << "v=" << v << " delta=" << delta;
         ASSERT_EQ(got.delim, naive.delim) << "v=" << v << " delta=" << delta;
@@ -436,6 +436,79 @@ TEST(SimdLevelTest, ForceAndResetAreObeyed) {
   ResetSimdLevel();
   BuildStructuralIndex("a,b\n", Rfc4180Dialect(), &index);
   EXPECT_EQ(index.level, host);
+}
+
+TEST(SimdLevelTest, NamesRoundTripAndRejectUnknowns) {
+  for (const SimdLevel level : {SimdLevel::kSwar, SimdLevel::kAvx2,
+                                SimdLevel::kNeon, SimdLevel::kAvx512}) {
+    SimdLevel parsed;
+    ASSERT_TRUE(ParseSimdLevel(SimdLevelName(level), &parsed))
+        << SimdLevelName(level);
+    EXPECT_EQ(parsed, level);
+  }
+  SimdLevel unused;
+  EXPECT_FALSE(ParseSimdLevel("sse2", &unused));
+  EXPECT_FALSE(ParseSimdLevel("", &unused));
+  EXPECT_FALSE(ParseSimdLevel("unknown", &unused));
+}
+
+TEST(SimdLevelTest, RunnableLevelsAlwaysIncludeSwarAndTheDetectedLevel) {
+  const std::vector<SimdLevel> levels = RunnableSimdLevels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), SimdLevel::kSwar);
+  EXPECT_NE(std::find(levels.begin(), levels.end(), DetectSimdLevel()),
+            levels.end());
+  for (const SimdLevel level : levels) EXPECT_TRUE(IsRunnable(level));
+  EXPECT_TRUE(IsRunnable(SimdLevel::kSwar));
+  // NEON and the x86 levels are mutually exclusive builds: at most one
+  // family can be runnable in any single binary.
+  EXPECT_FALSE(IsRunnable(SimdLevel::kNeon) &&
+               (IsRunnable(SimdLevel::kAvx2) ||
+                IsRunnable(SimdLevel::kAvx512)));
+}
+
+// Regression (per level) for the forced-level safety net: before the
+// generalized IsRunnable guard only a forced kAvx2 degraded; any other
+// unrunnable level leaked through dispatch toward an illegal
+// instruction. Forcing every level — runnable or not — must keep the
+// whole kernel surface both alive and byte-correct.
+TEST(SimdLevelTest, ForcingAnyUnrunnableLevelDegradesToSwar) {
+  const std::string text = "a,\"b,c\",d\r\n\"x\",y\n";
+  StructuralIndex reference;
+  BuildStructuralIndex(text, Rfc4180Dialect(), &reference);
+  for (const SimdLevel level : {SimdLevel::kSwar, SimdLevel::kAvx2,
+                                SimdLevel::kNeon, SimdLevel::kAvx512}) {
+    ForceSimdLevel(level);
+    const SimdLevel effective = EffectiveSimdLevel();
+    if (IsRunnable(level)) {
+      EXPECT_EQ(effective, level) << SimdLevelName(level);
+    } else {
+      EXPECT_EQ(effective, SimdLevel::kSwar) << SimdLevelName(level);
+    }
+    // The degraded dispatch must still scan correctly end to end.
+    StructuralIndex index;
+    BuildStructuralIndex(text, Rfc4180Dialect(), &index);
+    EXPECT_EQ(index.level, effective) << SimdLevelName(level);
+    EXPECT_EQ(index.positions, reference.positions) << SimdLevelName(level);
+    ResetSimdLevel();
+  }
+  EXPECT_EQ(EffectiveSimdLevel(), DetectSimdLevel());
+}
+
+TEST(ScanBlockTest, ResolveFnDegradesUnrunnableLevelsToTheSwarKernel) {
+  EXPECT_EQ(ResolveScanBlockFn(SimdLevel::kSwar), &ScanBlockSwar);
+  for (const SimdLevel level : {SimdLevel::kAvx2, SimdLevel::kNeon,
+                                SimdLevel::kAvx512}) {
+    const ScanBlockFn fn = ResolveScanBlockFn(level);
+    ASSERT_NE(fn, nullptr) << SimdLevelName(level);
+    if (!IsRunnable(level)) {
+      EXPECT_EQ(fn, &ScanBlockSwar) << SimdLevelName(level);
+    } else {
+      EXPECT_NE(fn, &ScanBlockSwar) << SimdLevelName(level);
+    }
+  }
+  // An out-of-range value (e.g. a corrupted forced level) also degrades.
+  EXPECT_EQ(ResolveScanBlockFn(static_cast<SimdLevel>(99)), &ScanBlockSwar);
 }
 
 }  // namespace

@@ -1,7 +1,9 @@
 // Differential tests for the SIMD word-count kernel: every input must
 // produce exactly the count of the scalar reference (common/string_util's
-// CountWords) at every SimdLevel, including word runs that straddle the
-// 8-byte SWAR and 32-byte AVX2 block boundaries and bytes >= 0x80.
+// CountWords) at every runnable SimdLevel — the sweep comes from
+// RunnableSimdLevels(), so whichever backends this build/host carries
+// (SWAR, AVX2, NEON, AVX-512) are all proven — including word runs that
+// straddle the 8/16/32/64-byte kernel block boundaries and bytes >= 0x80.
 
 #include "csv/simd_text.h"
 
@@ -17,13 +19,7 @@
 namespace strudel::csv {
 namespace {
 
-std::vector<SimdLevel> RunnableLevels() {
-  std::vector<SimdLevel> levels = {SimdLevel::kSwar};
-  if (DetectSimdLevel() == SimdLevel::kAvx2) {
-    levels.push_back(SimdLevel::kAvx2);
-  }
-  return levels;
-}
+std::vector<SimdLevel> RunnableLevels() { return RunnableSimdLevels(); }
 
 TEST(CountWordsSimdTest, HandPickedCases) {
   const struct {
@@ -114,6 +110,21 @@ TEST(CountWordsSimdTest, DispatcherFollowsEffectiveLevel) {
   }
   ResetSimdLevel();
   EXPECT_EQ(CountWordsSimd(s), expected);
+}
+
+TEST(CountWordsSimdTest, UnrunnableForcedLevelsDegradeToTheSwarKernel) {
+  // Mirror of the structural scanner's safety net: forcing a level this
+  // build/host cannot run (NEON on x86, AVX-512 on an AVX2-only host)
+  // must count through the portable kernel, not crash.
+  const std::string s = "alpha beta 42 \xc3\xa9 gamma";
+  const int expected = CountWords(s);
+  for (const SimdLevel level : {SimdLevel::kSwar, SimdLevel::kAvx2,
+                                SimdLevel::kNeon, SimdLevel::kAvx512}) {
+    ForceSimdLevel(level);
+    EXPECT_EQ(CountWordsSimd(s), expected) << SimdLevelName(level);
+    EXPECT_EQ(CountWordsSimd(s, level), expected) << SimdLevelName(level);
+    ResetSimdLevel();
+  }
 }
 
 }  // namespace
